@@ -1,0 +1,56 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper (see
+// DESIGN.md section 5): it prints the reproduced artifact to stdout, then
+// runs its registered google-benchmark timings. The experiment inputs are
+// the synthetic fleets of silicon/fleet.h with the default (published)
+// seeds, so every bench is exactly reproducible.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <exception>
+
+#include "silicon/fleet.h"
+
+namespace ropuf::bench {
+
+/// The full paper-scale VT fleet (194 nominal + 5 environment boards).
+inline const sil::VtFleet& vt_fleet() {
+  static const sil::VtFleet fleet = sil::make_vt_fleet(sil::VtFleetSpec{});
+  return fleet;
+}
+
+/// The in-house Virtex-5 stand-in (9 boards x 1024 inverters).
+inline const std::vector<sil::Chip>& inhouse_fleet() {
+  static const std::vector<sil::Chip> fleet =
+      sil::make_inhouse_fleet(sil::InHouseFleetSpec{});
+  return fleet;
+}
+
+/// Prints the experiment header banner.
+inline void banner(const char* experiment, const char* paper_artifact) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_artifact);
+  std::printf("================================================================\n\n");
+}
+
+/// Runs the experiment body, then google-benchmark. Usage:
+///   int main(int argc, char** argv) { return bench_main(argc, argv, run); }
+template <typename Fn>
+int bench_main(int argc, char** argv, Fn&& experiment) {
+  try {
+    experiment();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "experiment failed: %s\n", e.what());
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ropuf::bench

@@ -1,0 +1,76 @@
+// Extension experiment: joint voltage+temperature stress.
+//
+// The paper varies voltage (Fig. 4) and temperature (IV.D) separately.
+// A fielded device sees both at once, so this bench extends the protocol
+// to the full 5x5 VT grid: enroll at (1.20 V, 25 C), count bit positions
+// that flip at *any* of the other 24 corners — the worst case a verifier
+// must budget for.
+#include "bench_common.h"
+
+#include "analysis/experiments.h"
+#include "common/table.h"
+#include "puf/selection.h"
+
+namespace {
+
+using namespace ropuf;
+
+void run() {
+  bench::banner("bench_ext_joint_corners",
+                "extension: bit flips over the joint 5x5 voltage-temperature grid");
+
+  std::vector<sil::OperatingPoint> corners;
+  std::size_t baseline = 0;
+  for (const double v : sil::vt_voltages()) {
+    for (const double t : sil::vt_temperatures()) {
+      if (v == 1.20 && t == 25.0) baseline = corners.size();
+      corners.push_back({v, t});
+    }
+  }
+
+  analysis::DatasetOptions opts;
+  opts.mode = puf::SelectionCase::kSameConfig;
+  opts.distill = false;
+  const auto cells = analysis::environment_reliability(
+      bench::vt_fleet().env, {3, 5, 7, 9}, corners, baseline, opts);
+
+  TextTable table({"board", "n", "bits", "configurable@nominal", "traditional", "1-of-8"});
+  double conf = 0.0, trad = 0.0, one8 = 0.0;
+  for (const auto& cell : cells) {
+    table.add_row({std::to_string(cell.board_index), std::to_string(cell.stages),
+                   std::to_string(cell.bits),
+                   TextTable::num(cell.configurable_flip_pct[baseline], 1),
+                   TextTable::num(cell.traditional_flip_pct, 1),
+                   TextTable::num(cell.one_of_eight_flip_pct, 1)});
+    conf += cell.configurable_flip_pct[baseline];
+    trad += cell.traditional_flip_pct;
+    one8 += cell.one_of_eight_flip_pct;
+  }
+  std::printf("%s\n", table.render().c_str());
+  const double n_cells = static_cast<double>(cells.size());
+  std::printf("averages over 24 stress corners: configurable %.2f%%  traditional %.2f%%"
+              "  1-of-8 %.2f%%\n",
+              conf / n_cells, trad / n_cells, one8 / n_cells);
+  std::printf("joint stress is voltage-dominated: compare with bench_fig4 (voltage\n"
+              "only) and bench_fig5 (temperature only) to see the composition.\n");
+}
+
+void bm_joint_grid_cell(benchmark::State& state) {
+  const std::vector<sil::Chip> one_board(bench::vt_fleet().env.begin(),
+                                         bench::vt_fleet().env.begin() + 1);
+  std::vector<sil::OperatingPoint> corners;
+  for (const double v : sil::vt_voltages()) {
+    for (const double t : sil::vt_temperatures()) corners.push_back({v, t});
+  }
+  analysis::DatasetOptions opts;
+  opts.distill = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::environment_reliability(one_board, {5}, corners, 12, opts));
+  }
+}
+BENCHMARK(bm_joint_grid_cell)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) { return ropuf::bench::bench_main(argc, argv, run); }

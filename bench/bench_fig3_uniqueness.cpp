@@ -1,0 +1,76 @@
+// Fig. 3: inter-chip Hamming distance of the configurable PUF outputs.
+//
+// 97 streams of 96 bits (two boards each); all C(97,2) = 4656 pairwise
+// Hamming distances are histogrammed. The paper reports bell shapes with
+// mean 46.88 / sd 4.89 (Case-1) and mean 46.79 / sd 4.95 (Case-2).
+#include "bench_common.h"
+
+#include "analysis/experiments.h"
+#include "analysis/hamming_stats.h"
+#include "common/table.h"
+#include "puf/selection.h"
+
+namespace {
+
+using namespace ropuf;
+
+analysis::HdStats stats_for(puf::SelectionCase mode) {
+  analysis::DatasetOptions opts;
+  opts.mode = mode;
+  opts.stages = 5;
+  opts.distill = true;
+  const auto responses = analysis::board_responses(bench::vt_fleet().nominal, opts);
+  return analysis::pairwise_hd(analysis::combine_board_pairs(responses));
+}
+
+void print_histogram(const analysis::HdStats& stats) {
+  // ASCII rendition of the Fig. 3 histogram, 4-bit-wide bins.
+  std::printf("  HD range   pairs\n");
+  for (std::size_t lo = 24; lo < 72; lo += 4) {
+    std::size_t count = 0;
+    for (std::size_t hd = lo; hd < lo + 4; ++hd) {
+      const auto it = stats.histogram.find(hd);
+      if (it != stats.histogram.end()) count += it->second;
+    }
+    std::printf("  [%2zu,%2zu)  %5zu  ", lo, lo + 4, count);
+    for (std::size_t star = 0; star < count / 20; ++star) std::printf("*");
+    std::printf("\n");
+  }
+}
+
+void run() {
+  bench::banner("bench_fig3_uniqueness",
+                "Fig. 3 - histogram of inter-chip HD, Case-1 (left) / Case-2 (right)");
+
+  const auto case1 = stats_for(puf::SelectionCase::kSameConfig);
+  std::printf("Case-1: mean HD %.2f bits, sd %.2f (paper: 46.88 / 4.89), duplicates %zu\n",
+              case1.mean, case1.stddev, case1.duplicates);
+  print_histogram(case1);
+
+  const auto case2 = stats_for(puf::SelectionCase::kIndependent);
+  std::printf("\nCase-2: mean HD %.2f bits, sd %.2f (paper: 46.79 / 4.95), duplicates %zu\n",
+              case2.mean, case2.stddev, case2.duplicates);
+  print_histogram(case2);
+
+  std::printf("\nnormalized uniqueness: Case-1 %.1f%%, Case-2 %.1f%% of 96 bits"
+              " (ideal 50%%)\n",
+              100.0 * case1.mean / 96.0, 100.0 * case2.mean / 96.0);
+}
+
+void bm_pairwise_hd_97x96(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<BitVec> population;
+  for (int i = 0; i < 97; ++i) {
+    BitVec v(96);
+    for (std::size_t b = 0; b < 96; ++b) v.set(b, rng.flip());
+    population.push_back(v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::pairwise_hd(population));
+  }
+}
+BENCHMARK(bm_pairwise_hd_97x96)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) { return ropuf::bench::bench_main(argc, argv, run); }

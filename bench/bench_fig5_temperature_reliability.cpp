@@ -1,0 +1,74 @@
+// Fig. 5 / Section IV.D closing paragraph: bit flips under temperature
+// variation (25..65 C at the nominal 1.20 V).
+//
+// The paper reports "little impact of temperature variation ... only the
+// traditional RO PUF has bit flips", i.e. the configurable PUF (and
+// 1-out-of-8) are flip-free over the temperature sweep.
+#include "bench_common.h"
+
+#include "analysis/experiments.h"
+#include "common/table.h"
+#include "puf/selection.h"
+
+namespace {
+
+using namespace ropuf;
+
+void run() {
+  bench::banner("bench_fig5_temperature_reliability",
+                "Section IV.D temperature experiment - % bit flips, 25..65 C");
+
+  std::vector<sil::OperatingPoint> corners;
+  for (const double t : sil::vt_temperatures()) corners.push_back({1.20, t});
+
+  analysis::DatasetOptions opts;
+  opts.mode = puf::SelectionCase::kSameConfig;
+  opts.distill = false;
+  const auto cells = analysis::environment_reliability(
+      bench::vt_fleet().env, {3, 5, 7, 9}, corners, /*baseline=*/0, opts);
+
+  TextTable table({"board", "n", "bits", "cfg@25C", "cfg@35C", "cfg@45C", "cfg@55C",
+                   "cfg@65C", "traditional", "1-of-8"});
+  double conf_total = 0.0, trad_total = 0.0, one8_total = 0.0;
+  for (const auto& cell : cells) {
+    table.add_row({std::to_string(cell.board_index), std::to_string(cell.stages),
+                   std::to_string(cell.bits),
+                   TextTable::num(cell.configurable_flip_pct[0], 1),
+                   TextTable::num(cell.configurable_flip_pct[1], 1),
+                   TextTable::num(cell.configurable_flip_pct[2], 1),
+                   TextTable::num(cell.configurable_flip_pct[3], 1),
+                   TextTable::num(cell.configurable_flip_pct[4], 1),
+                   TextTable::num(cell.traditional_flip_pct, 1),
+                   TextTable::num(cell.one_of_eight_flip_pct, 1)});
+    conf_total += cell.configurable_flip_pct[0];
+    trad_total += cell.traditional_flip_pct;
+    one8_total += cell.one_of_eight_flip_pct;
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double n_cells = static_cast<double>(cells.size());
+  std::printf("averages: configurable@25C %.2f%%  traditional %.2f%%  1-of-8 %.2f%%\n",
+              conf_total / n_cells, trad_total / n_cells, one8_total / n_cells);
+  std::printf("paper claim (only traditional flips under temperature): %s\n",
+              (conf_total == 0.0 && one8_total == 0.0 && trad_total > 0.0)
+                  ? "HOLDS"
+                  : (conf_total <= trad_total ? "HOLDS (weak: configurable <= traditional)"
+                                              : "VIOLATED"));
+}
+
+void bm_temperature_scaling(benchmark::State& state) {
+  const sil::Chip& board = bench::vt_fleet().env[0];
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < board.unit_count(); ++i) {
+      acc += board.unit_ddiff_ps(i, {1.20, 65.0});
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * board.unit_count());
+}
+BENCHMARK(bm_temperature_scaling)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) { return ropuf::bench::bench_main(argc, argv, run); }

@@ -1,0 +1,175 @@
+// Scoreboard: the standard PUF metric trio for every scheme in the library.
+//
+// Uniqueness (ideal 50%), reliability across the full VT corner grid
+// (ideal 100%), and uniformity (ideal 50%) — the vocabulary in which RO PUF
+// papers, including this one implicitly, compare designs. Uniqueness and
+// uniformity use the distilled pipeline over nominal boards (the paper's
+// IV.A setting); reliability uses raw measurements on the env boards
+// (IV.D setting).
+#include "bench_common.h"
+
+#include "analysis/experiments.h"
+#include "analysis/metrics.h"
+#include "common/table.h"
+#include "puf/schemes.h"
+#include "sram/sram_puf.h"
+
+namespace {
+
+using namespace ropuf;
+
+constexpr std::size_t kStages = 7;
+
+struct SchemeMetrics {
+  std::string name;
+  double uniqueness = 0.0;
+  double reliability = 0.0;
+  double uniformity = 0.0;
+};
+
+/// Uniqueness/uniformity over the first `board_count` nominal boards.
+template <typename RespondFn>
+void population_metrics(SchemeMetrics& out, std::size_t board_count, bool distill,
+                        RespondFn&& respond) {
+  analysis::DatasetOptions opts;
+  opts.distill = distill;
+  Rng master(0x9e7);
+  std::vector<BitVec> responses;
+  const auto& boards = bench::vt_fleet().nominal;
+  for (std::size_t b = 0; b < board_count; ++b) {
+    Rng rng = master.fork();
+    const auto values = analysis::board_unit_values(boards[b], sil::nominal_op(), opts, rng);
+    responses.push_back(respond(values));
+  }
+  out.uniqueness = analysis::uniqueness_percent(responses);
+  out.uniformity = analysis::uniformity_percent(responses);
+}
+
+/// Reliability: enroll at nominal, re-evaluate at all 25 VT corners.
+template <typename EnrollFn, typename RespondFn>
+double corner_reliability(EnrollFn&& enroll, RespondFn&& respond) {
+  analysis::DatasetOptions opts;
+  opts.distill = false;
+  Rng master(0x9e8);
+  double total = 0.0;
+  const auto& boards = bench::vt_fleet().env;
+  for (const sil::Chip& board : boards) {
+    Rng rng = master.fork();
+    const auto nominal_values =
+        analysis::board_unit_values(board, sil::nominal_op(), opts, rng);
+    auto enrollment = enroll(nominal_values);
+    const BitVec reference = respond(nominal_values, enrollment);
+    std::vector<BitVec> samples;
+    for (const double v : sil::vt_voltages()) {
+      for (const double t : sil::vt_temperatures()) {
+        const auto values = analysis::board_unit_values(board, {v, t}, opts, rng);
+        samples.push_back(respond(values, enrollment));
+      }
+    }
+    total += analysis::reliability_percent(reference, samples);
+  }
+  return total / static_cast<double>(boards.size());
+}
+
+void run() {
+  bench::banner("bench_puf_metrics",
+                "uniqueness / reliability / uniformity scoreboard, all schemes");
+  const puf::BoardLayout layout = puf::paper_layout(kStages);
+  constexpr std::size_t kBoards = 60;
+
+  std::vector<SchemeMetrics> rows;
+
+  {
+    SchemeMetrics m{"traditional", 0, 0, 0};
+    population_metrics(m, kBoards, true, [&](const std::vector<double>& v) {
+      return puf::traditional_respond(v, layout).response;
+    });
+    m.reliability = corner_reliability(
+        [&](const std::vector<double>&) { return 0; },
+        [&](const std::vector<double>& v, int) {
+          return puf::traditional_respond(v, layout).response;
+        });
+    rows.push_back(m);
+  }
+  {
+    SchemeMetrics m{"1-out-of-8 [1]", 0, 0, 0};
+    population_metrics(m, kBoards, true, [&](const std::vector<double>& v) {
+      return puf::one_of_eight_respond(v, puf::one_of_eight_enroll(v, layout));
+    });
+    m.reliability = corner_reliability(
+        [&](const std::vector<double>& v) { return puf::one_of_eight_enroll(v, layout); },
+        [&](const std::vector<double>& v, const puf::OneOutOfEightEnrollment& e) {
+          return puf::one_of_eight_respond(v, e);
+        });
+    rows.push_back(m);
+  }
+  for (const auto mode : {puf::SelectionCase::kSameConfig, puf::SelectionCase::kIndependent}) {
+    SchemeMetrics m{mode == puf::SelectionCase::kSameConfig ? "configurable Case-1"
+                                                            : "configurable Case-2",
+                    0, 0, 0};
+    population_metrics(m, kBoards, true, [&](const std::vector<double>& v) {
+      return puf::configurable_enroll(v, layout, mode).response();
+    });
+    m.reliability = corner_reliability(
+        [&](const std::vector<double>& v) {
+          return puf::configurable_enroll(v, layout, mode);
+        },
+        [&](const std::vector<double>& v, const puf::ConfigurableEnrollment& e) {
+          return puf::configurable_respond(v, e);
+        });
+    rows.push_back(m);
+  }
+
+  // Cross-family context (intro reference [3]): SRAM power-up PUF with a
+  // 32-bit-equivalent budget — uniqueness across chips, reliability across
+  // power-ups (it has no V/T-configured margin to defend).
+  {
+    SchemeMetrics m{"SRAM power-up [3] (context)", 0, 0, 0};
+    Rng rng(0x5ea);
+    sram::SramSpec spec;
+    spec.cells = layout.pair_count;
+    std::vector<BitVec> states;
+    for (std::size_t c = 0; c < kBoards; ++c) {
+      const sram::SramPuf puf(spec, rng);
+      states.push_back(puf.reference());
+    }
+    m.uniqueness = analysis::uniqueness_percent(states);
+    m.uniformity = analysis::uniformity_percent(states);
+    const sram::SramPuf one(spec, rng);
+    std::vector<BitVec> powerups;
+    for (int s = 0; s < 25; ++s) powerups.push_back(one.power_up(rng));
+    m.reliability = analysis::reliability_percent(one.reference(), powerups);
+    rows.push_back(m);
+  }
+
+  TextTable table({"scheme", "uniqueness % (ideal 50)", "reliability % (ideal 100)",
+                   "uniformity % (ideal 50)", "bits/board"});
+  for (const auto& m : rows) {
+    table.add_row({m.name, TextTable::num(m.uniqueness, 2),
+                   TextTable::num(m.reliability, 2), TextTable::num(m.uniformity, 2),
+                   std::to_string(m.name.find("1-out") != std::string::npos
+                                      ? puf::one_of_eight_bits(layout)
+                                      : layout.pair_count)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected ordering: configurable reliability >= 1-of-8 ~ 100 >>\n"
+              "traditional, at 4x the 1-of-8 bit yield (paper abstract).\n");
+}
+
+void bm_metrics_population(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<BitVec> responses;
+  for (int c = 0; c < 60; ++c) {
+    BitVec v(32);
+    for (std::size_t i = 0; i < 32; ++i) v.set(i, rng.flip());
+    responses.push_back(v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::uniqueness_percent(responses));
+  }
+}
+BENCHMARK(bm_metrics_population)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) { return ropuf::bench::bench_main(argc, argv, run); }

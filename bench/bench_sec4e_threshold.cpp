@@ -1,0 +1,90 @@
+// Section IV.E: reliability threshold sweep on the in-house fleet.
+//
+// 9 Virtex-5-class boards, 1024 inverters each; 64 ROs of up to 13
+// inverters form 32 pairs -> 32 potential bits. The traditional RO PUF
+// keeps a pair only when its delay difference exceeds Rth; the paper
+// reports 32 bits at Rth=0 dropping to 13 at Rth=3, while the configurable
+// PUF still yields all 32 reliable bits at Rth=3.
+//
+// The paper's Rth is in counter units of its measurement setup; this
+// reproduction expresses Rth in picoseconds and reports the paper-unit
+// mapping that matches the traditional PUF's 32 -> 13 drop.
+#include "bench_common.h"
+
+#include "analysis/experiments.h"
+#include "common/table.h"
+#include "puf/chip_puf.h"
+
+namespace {
+
+using namespace ropuf;
+
+puf::DeviceSpec device_spec() {
+  puf::DeviceSpec spec;
+  spec.stages = 13;
+  spec.pair_count = 32;  // 64 ROs x 13 units = 832 of 1024 inverters
+  spec.mode = puf::SelectionCase::kSameConfig;
+  return spec;
+}
+
+void run() {
+  bench::banner("bench_sec4e_threshold",
+                "Section IV.E - reliable bits vs reliability threshold Rth");
+
+  // A fine sweep to locate the paper's operating points.
+  std::vector<double> rths;
+  for (double r = 0.0; r <= 90.0; r += 7.5) rths.push_back(r);
+  const auto sweep =
+      analysis::threshold_sweep(bench::inhouse_fleet(), device_spec(), rths, 0x4e);
+
+  TextTable table({"Rth (ps)", "Rth (paper units)", "traditional bits", "configurable bits"});
+  // Calibrate the paper-unit scale: paper Rth=3 is where the traditional
+  // PUF drops to ~13 of 32 bits.
+  double rth_at_13 = rths.back();
+  for (const auto& point : sweep) {
+    if (point.traditional_reliable_bits <= 13.0) {
+      rth_at_13 = point.rth_ps;
+      break;
+    }
+  }
+  const double ps_per_paper_unit = rth_at_13 / 3.0;
+  for (const auto& point : sweep) {
+    table.add_row({TextTable::num(point.rth_ps, 1),
+                   TextTable::num(point.rth_ps / ps_per_paper_unit, 2),
+                   TextTable::num(point.traditional_reliable_bits, 1),
+                   TextTable::num(point.configurable_reliable_bits, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto at0 = sweep.front();
+  std::printf("paper row Rth=0: traditional %.1f bits (paper 32), configurable %.1f (paper 32)\n",
+              at0.traditional_reliable_bits, at0.configurable_reliable_bits);
+  double conf_at_3 = 0.0, trad_at_3 = 0.0;
+  for (const auto& point : sweep) {
+    if (point.rth_ps <= rth_at_13) {
+      conf_at_3 = point.configurable_reliable_bits;
+      trad_at_3 = point.traditional_reliable_bits;
+    }
+  }
+  std::printf("paper row Rth=3 (= %.1f ps): traditional %.1f bits (paper 13), "
+              "configurable %.1f (paper 32)\n",
+              rth_at_13, trad_at_3, conf_at_3);
+  std::printf("shape check (configurable holds full yield where traditional halves): %s\n",
+              conf_at_3 >= 30.0 && trad_at_3 <= 16.0 ? "HOLDS" : "VIOLATED");
+}
+
+void bm_device_enroll(benchmark::State& state) {
+  const sil::Chip& board = bench::inhouse_fleet()[0];
+  Rng rng(6);
+  puf::ConfigurableRoPufDevice device(&board, device_spec(), rng);
+  for (auto _ : state) {
+    device.enroll(sil::nominal_op(), rng);
+    benchmark::DoNotOptimize(device.selections());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(bm_device_enroll)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) { return ropuf::bench::bench_main(argc, argv, run); }

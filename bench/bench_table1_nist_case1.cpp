@@ -1,0 +1,76 @@
+// Table I: NIST SP 800-22 results of the Case-1 configurable PUF outputs.
+//
+// Pipeline (paper Section IV.A): 194 boards, n = 5 stages -> 48 bits per
+// board; two boards concatenate into one 96-bit stream -> 97 streams; the
+// regression distiller removes systematic variation; the NIST battery runs
+// per stream and the final analysis report aggregates. The paper reports
+// that raw streams FAIL and distilled streams PASS every test — both sides
+// are reproduced here.
+#include "bench_common.h"
+
+#include "analysis/experiments.h"
+#include "nist/report.h"
+#include "nist/suite.h"
+#include "puf/selection.h"
+
+namespace {
+
+using namespace ropuf;
+
+analysis::DatasetOptions options(bool distill) {
+  analysis::DatasetOptions opts;
+  opts.mode = puf::SelectionCase::kSameConfig;
+  opts.stages = 5;
+  opts.distill = distill;
+  return opts;
+}
+
+nist::FinalAnalysisReport build_report(bool distill) {
+  const auto responses =
+      analysis::board_responses(bench::vt_fleet().nominal, options(distill));
+  const auto streams = analysis::combine_board_pairs(responses);
+  nist::FinalAnalysisReport report;
+  for (const auto& stream : streams) {
+    report.add_sequence(nist::run_suite(stream, nist::paper_config()));
+  }
+  return report;
+}
+
+void run() {
+  bench::banner("bench_table1_nist_case1",
+                "Table I - NIST test results, Case-1 configurable PUF (97 x 96-bit)");
+
+  const auto raw = build_report(false);
+  std::printf("--- raw (no distiller), expected to FAIL ---\n%s\n", raw.render().c_str());
+  std::printf("raw verdict: %s   (paper: FAIL, caused by systematic variation)\n\n",
+              raw.all_pass() ? "PASS" : "FAIL");
+
+  const auto distilled = build_report(true);
+  std::printf("--- distilled [18], expected to PASS ---\n%s\n", distilled.render().c_str());
+  std::printf("distilled verdict: %s   (paper: PASS on all tests)\n",
+              distilled.all_pass() ? "PASS" : "FAIL");
+}
+
+void bm_case1_pipeline(benchmark::State& state) {
+  const auto& boards = bench::vt_fleet().nominal;
+  const std::vector<sil::Chip> subset(boards.begin(), boards.begin() + 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::board_responses(subset, options(true)));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(bm_case1_pipeline)->Unit(benchmark::kMillisecond);
+
+void bm_nist_suite_96(benchmark::State& state) {
+  Rng rng(1);
+  BitVec bits(96);
+  for (std::size_t i = 0; i < 96; ++i) bits.set(i, rng.flip());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nist::run_suite(bits, nist::paper_config()));
+  }
+}
+BENCHMARK(bm_nist_suite_96)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) { return ropuf::bench::bench_main(argc, argv, run); }

@@ -1,0 +1,59 @@
+// Table II: NIST SP 800-22 results of the Case-2 configurable PUF outputs.
+//
+// Same pipeline as Table I with independent top/bottom configurations
+// (equal popcount). See bench_table1_nist_case1.cpp for the pipeline notes.
+#include "bench_common.h"
+
+#include "analysis/experiments.h"
+#include "nist/report.h"
+#include "nist/suite.h"
+#include "puf/selection.h"
+
+namespace {
+
+using namespace ropuf;
+
+nist::FinalAnalysisReport build_report(bool distill) {
+  analysis::DatasetOptions opts;
+  opts.mode = puf::SelectionCase::kIndependent;
+  opts.stages = 5;
+  opts.distill = distill;
+  const auto responses = analysis::board_responses(bench::vt_fleet().nominal, opts);
+  const auto streams = analysis::combine_board_pairs(responses);
+  nist::FinalAnalysisReport report;
+  for (const auto& stream : streams) {
+    report.add_sequence(nist::run_suite(stream, nist::paper_config()));
+  }
+  return report;
+}
+
+void run() {
+  bench::banner("bench_table2_nist_case2",
+                "Table II - NIST test results, Case-2 configurable PUF (97 x 96-bit)");
+
+  const auto raw = build_report(false);
+  std::printf("--- raw (no distiller), expected to FAIL ---\n%s\n", raw.render().c_str());
+  std::printf("raw verdict: %s   (paper: FAIL)\n\n", raw.all_pass() ? "PASS" : "FAIL");
+
+  const auto distilled = build_report(true);
+  std::printf("--- distilled [18], expected to PASS ---\n%s\n", distilled.render().c_str());
+  std::printf("distilled verdict: %s   (paper: PASS on all tests)\n",
+              distilled.all_pass() ? "PASS" : "FAIL");
+}
+
+void bm_case2_selection(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> top(15), bottom(15);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (auto& v : top) v = rng.gaussian(0.0, 10.0);
+    for (auto& v : bottom) v = rng.gaussian(0.0, 10.0);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(puf::select_case2(top, bottom));
+  }
+}
+BENCHMARK(bm_case2_selection);
+
+}  // namespace
+
+int main(int argc, char** argv) { return ropuf::bench::bench_main(argc, argv, run); }

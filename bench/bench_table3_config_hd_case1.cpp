@@ -1,0 +1,54 @@
+// Table III: pairwise HD of the Case-1 best configurations.
+//
+// Section IV.C: n = 15 stages -> 16 RO pairs per board; each pair's optimal
+// shared configuration is a 15-bit vector; 194 boards give 3104 vectors.
+// The paper finds no duplicates and most pairs at HD 6 or 8.
+#include "bench_common.h"
+
+#include "analysis/experiments.h"
+#include "analysis/hamming_stats.h"
+#include "common/table.h"
+#include "puf/selection.h"
+
+namespace {
+
+using namespace ropuf;
+
+void run() {
+  bench::banner("bench_table3_config_hd_case1",
+                "Table III - intra-chip HD of best configuration, Case-1 (3104 x 15-bit)");
+
+  analysis::DatasetOptions opts;
+  opts.mode = puf::SelectionCase::kSameConfig;
+  opts.distill = true;
+  const auto streams = analysis::configuration_streams(bench::vt_fleet().nominal, opts);
+  std::printf("configuration vectors: %zu x %zu bits\n\n", streams.size(),
+              streams[0].size());
+
+  const auto stats = analysis::pairwise_hd(streams);
+  TextTable table({"HD", "% of pairs", "paper %"});
+  const double paper[] = {0.0, 0.822, 9.80, 32.8, 38.3, 16.1, 2.15, 0.061};
+  for (std::size_t hd = 0; hd <= 14; hd += 2) {
+    table.add_row({std::to_string(hd), TextTable::num(stats.percent_at(hd), 3),
+                   TextTable::num(paper[hd / 2], 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("duplicates (HD 0 pairs): %zu   (paper: none)\n", stats.duplicates);
+  std::printf("mean HD %.2f of 15 bits\n", stats.mean);
+}
+
+void bm_configuration_streams(benchmark::State& state) {
+  const auto& boards = bench::vt_fleet().nominal;
+  const std::vector<sil::Chip> subset(boards.begin(), boards.begin() + 8);
+  analysis::DatasetOptions opts;
+  opts.mode = puf::SelectionCase::kSameConfig;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::configuration_streams(subset, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 16);
+}
+BENCHMARK(bm_configuration_streams)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) { return ropuf::bench::bench_main(argc, argv, run); }

@@ -1,0 +1,56 @@
+// Table IV: pairwise HD of the Case-2 best configurations.
+//
+// As Table III but with independent top/bottom configurations: each RO pair
+// contributes a 30-bit vector (top | bottom); 3104 vectors total. The paper
+// finds the mass between HD 12 and 18 and zero pairs at HD 0 or 30.
+#include "bench_common.h"
+
+#include "analysis/experiments.h"
+#include "analysis/hamming_stats.h"
+#include "common/table.h"
+#include "puf/selection.h"
+
+namespace {
+
+using namespace ropuf;
+
+void run() {
+  bench::banner("bench_table4_config_hd_case2",
+                "Table IV - intra-chip HD of best configuration, Case-2 (3104 x 30-bit)");
+
+  analysis::DatasetOptions opts;
+  opts.mode = puf::SelectionCase::kIndependent;
+  opts.distill = true;
+  const auto streams = analysis::configuration_streams(bench::vt_fleet().nominal, opts);
+  std::printf("configuration vectors: %zu x %zu bits\n\n", streams.size(),
+              streams[0].size());
+
+  const auto stats = analysis::pairwise_hd(streams);
+  TextTable table({"HD", "% of pairs", "paper %"});
+  const double paper[] = {0.0,  0.0,   0.015, 0.213, 1.64,  6.87, 17.2, 26.3,
+                          25.4, 15.3,  5.68,  1.25,  0.153, 0.0,  0.0,  0.0};
+  for (std::size_t hd = 0; hd <= 30; hd += 2) {
+    table.add_row({std::to_string(hd), TextTable::num(stats.percent_at(hd), 3),
+                   TextTable::num(paper[hd / 2], 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  const std::size_t at0 = stats.histogram.count(0) ? stats.histogram.at(0) : 0;
+  const std::size_t at30 = stats.histogram.count(30) ? stats.histogram.at(30) : 0;
+  std::printf("pairs at HD 0 or 30: %zu   (paper: 0)\n", at0 + at30);
+  std::printf("mean HD %.2f of 30 bits\n", stats.mean);
+}
+
+void bm_case2_config_streams(benchmark::State& state) {
+  const auto& boards = bench::vt_fleet().nominal;
+  const std::vector<sil::Chip> subset(boards.begin(), boards.begin() + 8);
+  analysis::DatasetOptions opts;
+  opts.mode = puf::SelectionCase::kIndependent;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::configuration_streams(subset, opts));
+  }
+}
+BENCHMARK(bm_case2_config_streams)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) { return ropuf::bench::bench_main(argc, argv, run); }

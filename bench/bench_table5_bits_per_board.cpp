@@ -1,0 +1,71 @@
+// Table V: total number of bits per board for n = 3/5/7/9.
+//
+// Accounting over the 512-unit board: configurable and traditional PUFs
+// yield 80/48/32/24 bits; 1-out-of-8 exactly one quarter (20/12/8/6). The
+// bench also verifies the yields empirically by generating the responses.
+#include "bench_common.h"
+
+#include "analysis/experiments.h"
+#include "common/table.h"
+#include "puf/schemes.h"
+
+namespace {
+
+using namespace ropuf;
+
+void run() {
+  bench::banner("bench_table5_bits_per_board",
+                "Table V - total number of bits per board (512 units)");
+
+  TextTable table({"scheme", "n=3", "n=5", "n=7", "n=9", "paper"});
+  std::vector<std::string> configurable{"configurable PUFs"};
+  std::vector<std::string> traditional{"traditional PUFs"};
+  std::vector<std::string> one8{"1-out-of-8 PUFs"};
+  for (const std::size_t n : {3u, 5u, 7u, 9u}) {
+    const puf::BoardLayout layout = puf::paper_layout(n);
+    configurable.push_back(std::to_string(layout.pair_count));
+    traditional.push_back(std::to_string(layout.pair_count));
+    one8.push_back(std::to_string(puf::one_of_eight_bits(layout)));
+  }
+  configurable.push_back("80/48/32/24");
+  traditional.push_back("80/48/32/24");
+  one8.push_back("20/12/8/6");
+  table.add_row(configurable);
+  table.add_row(traditional);
+  table.add_row(one8);
+  std::printf("%s\n", table.render().c_str());
+
+  // Empirical confirmation: actually generate responses on one board.
+  const sil::Chip& board = bench::vt_fleet().nominal[0];
+  Rng rng(4);
+  const auto values =
+      puf::measure_unit_ddiffs(board, sil::nominal_op(), puf::UnitMeasurementSpec{}, rng);
+  std::printf("empirical check on board 0:\n");
+  for (const std::size_t n : {3u, 5u, 7u, 9u}) {
+    const puf::BoardLayout layout = puf::paper_layout(n);
+    const auto enrollment =
+        puf::configurable_enroll(values, layout, puf::SelectionCase::kSameConfig);
+    const auto one8_enrollment = puf::one_of_eight_enroll(values, layout);
+    std::printf("  n=%zu: configurable %zu bits, 1-of-8 %zu bits\n", n,
+                enrollment.response().size(),
+                puf::one_of_eight_respond(values, one8_enrollment).size());
+  }
+}
+
+void bm_enroll_full_board(benchmark::State& state) {
+  const sil::Chip& board = bench::vt_fleet().nominal[0];
+  Rng rng(5);
+  const auto values =
+      puf::measure_unit_ddiffs(board, sil::nominal_op(), puf::UnitMeasurementSpec{}, rng);
+  const puf::BoardLayout layout = puf::paper_layout(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        puf::configurable_enroll(values, layout, puf::SelectionCase::kSameConfig));
+  }
+  state.SetItemsProcessed(state.iterations() * layout.pair_count);
+}
+BENCHMARK(bm_enroll_full_board)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) { return ropuf::bench::bench_main(argc, argv, run); }

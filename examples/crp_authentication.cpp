@@ -1,0 +1,84 @@
+// Challenge-response authentication over the CRP oracle.
+//
+// Unlike examples/authentication.cpp (which compares one fixed response),
+// this protocol never reuses a challenge: the verifier keeps the enrollment
+// record, draws a fresh random challenge per session, and expects the
+// device to answer with the bits of the challenged pair subset. Because the
+// challenge only permutes *which fixed-configuration pairs* are read, the
+// CRP surface leaks no model (see bench_modeling_attack).
+#include <cstdio>
+#include <exception>
+
+#include "analysis/experiments.h"
+#include "common/rng.h"
+#include "puf/crp.h"
+#include "silicon/fleet.h"
+
+int main() {
+  try {
+    using namespace ropuf;
+
+    // One provisioned board; the verifier stores its enrollment record.
+    sil::VtFleetSpec fleet_spec;
+    fleet_spec.nominal_boards = 2;  // device + an impostor of the same design
+    fleet_spec.env_boards = 0;
+    const sil::VtFleet fleet = sil::make_vt_fleet(fleet_spec);
+
+    analysis::DatasetOptions opts;
+    opts.mode = puf::SelectionCase::kIndependent;
+    opts.stages = 7;
+    opts.distill = true;
+    Rng rng(2024);
+
+    const auto enroll_values =
+        analysis::board_unit_values(fleet.nominal[0], sil::nominal_op(), opts, rng);
+    const puf::BoardLayout layout = puf::paper_layout(7);
+    const auto enrollment = puf::configurable_enroll(enroll_values, layout, opts.mode);
+    const puf::CrpOracle oracle(&enrollment, /*response_bits=*/16);
+    std::printf("enrolled device: %zu pairs, 16-bit responses per challenge\n\n",
+                enrollment.selections.size());
+
+    // --- sessions: fresh challenge, fresh measurement, fresh corner -------
+    std::printf("session  challenge         corner         HD  verdict\n");
+    std::size_t accepted = 0;
+    const int sessions = 8;
+    for (int s = 0; s < sessions; ++s) {
+      const std::uint64_t challenge = rng.next_u64();
+      const sil::OperatingPoint op{rng.uniform(0.98, 1.44), rng.uniform(25.0, 65.0)};
+      const auto values = analysis::board_unit_values(fleet.nominal[0], op, opts, rng);
+      const BitVec answer = oracle.respond(challenge, values);
+      const std::size_t hd = answer.hamming_distance(oracle.reference(challenge));
+      const bool ok = hd <= 3;
+      accepted += ok ? 1 : 0;
+      std::printf("%7d  %016llx  %.2fV/%5.1fC  %2zu  %s\n", s,
+                  static_cast<unsigned long long>(challenge), op.voltage_v,
+                  op.temperature_c, hd, ok ? "ACCEPT" : "reject");
+    }
+
+    // --- an impostor device answering the same challenges ------------------
+    std::printf("\nimpostor (same design, different silicon):\n");
+    std::size_t rejected = 0;
+    for (int s = 0; s < sessions; ++s) {
+      const std::uint64_t challenge = rng.next_u64();
+      const auto values =
+          analysis::board_unit_values(fleet.nominal[1], sil::nominal_op(), opts, rng);
+      // The impostor measures its own silicon against the victim's stored
+      // configurations (the best physical attack without cloning).
+      const BitVec answer = oracle.respond(challenge, values);
+      const std::size_t hd = answer.hamming_distance(oracle.reference(challenge));
+      if (hd > 3) ++rejected;
+      std::printf("  challenge %016llx: HD %zu -> %s\n",
+                  static_cast<unsigned long long>(challenge), hd,
+                  hd > 3 ? "reject" : "ACCEPT (!)");
+    }
+    std::printf("\naccepted %zu/%d genuine sessions, rejected %zu/%d impostor sessions\n",
+                accepted, sessions, rejected, sessions);
+    return (accepted == static_cast<std::size_t>(sessions) &&
+            rejected == static_cast<std::size_t>(sessions))
+               ? 0
+               : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

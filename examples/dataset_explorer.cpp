@@ -1,0 +1,95 @@
+// Dataset explorer: inspect the synthetic stand-in for the Virginia Tech
+// RO PUF dataset.
+//
+// Prints the fleet-level statistics that motivate the paper's pipeline: the
+// per-board delay spread, the spatial systematic trend (the reason raw PUF
+// bits fail NIST), and how the environment shifts the whole population.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <vector>
+
+#include "common/rng.h"
+#include "puf/measurement.h"
+#include "silicon/fleet.h"
+
+namespace {
+
+/// Tiny ASCII heat map of per-unit values over the die grid.
+void print_heatmap(const ropuf::sil::Chip& chip, const std::vector<double>& values) {
+  static const char kShades[] = " .:-=+*#%@";
+  double lo = values[0], hi = values[0];
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (std::size_t r = 0; r < chip.grid_rows(); r += 2) {  // halve rows for aspect
+    for (std::size_t c = 0; c < chip.grid_cols(); ++c) {
+      const double v = values[r * chip.grid_cols() + c];
+      const int shade = static_cast<int>((v - lo) / (hi - lo + 1e-12) * 9.0);
+      std::putchar(kShades[shade]);
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main() {
+  try {
+    using namespace ropuf;
+
+    sil::VtFleetSpec spec;
+    spec.nominal_boards = 16;
+    spec.env_boards = 1;
+    const sil::VtFleet fleet = sil::make_vt_fleet(spec);
+    Rng rng(5);
+    const puf::UnitMeasurementSpec meas;
+
+    std::printf("synthetic VT-style fleet: %zu nominal + %zu env boards, %zu units each\n\n",
+                fleet.nominal.size(), fleet.env.size(), fleet.nominal[0].unit_count());
+
+    // Per-board spread at the nominal corner.
+    std::printf("board  mean ddiff(ps)  sd(ps)  min     max\n");
+    for (std::size_t b = 0; b < 6; ++b) {
+      const auto v = puf::measure_unit_ddiffs(fleet.nominal[b], sil::nominal_op(), meas, rng);
+      double sum = 0.0, sum2 = 0.0, lo = v[0], hi = v[0];
+      for (const double x : v) {
+        sum += x;
+        sum2 += x * x;
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+      const double mean = sum / static_cast<double>(v.size());
+      const double sd = std::sqrt(sum2 / static_cast<double>(v.size()) - mean * mean);
+      std::printf("%5zu  %14.1f  %6.2f  %.1f  %.1f\n", b, mean, sd, lo, hi);
+    }
+
+    // The spatial systematic trend of board 0 (reason raw bits fail NIST).
+    std::printf("\nspatial ddiff heat map, board 0 (16 cols x 32 rows, rows halved):\n");
+    const auto values =
+        puf::measure_unit_ddiffs(fleet.nominal[0], sil::nominal_op(), meas, rng);
+    print_heatmap(fleet.nominal[0], values);
+
+    // Environment sweep of the env board's mean delay.
+    std::printf("\nenvironment response of board e0 (mean unit ddiff, ps):\n");
+    std::printf("        ");
+    for (const double t : sil::vt_temperatures()) std::printf("%7.0fC", t);
+    std::printf("\n");
+    for (const double volt : sil::vt_voltages()) {
+      std::printf("%.2fV  ", volt);
+      for (const double t : sil::vt_temperatures()) {
+        const auto v = puf::measure_unit_ddiffs(fleet.env[0], {volt, t}, meas, rng);
+        double sum = 0.0;
+        for (const double x : v) sum += x;
+        std::printf("%8.1f", sum / static_cast<double>(v.size()));
+      }
+      std::printf("\n");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

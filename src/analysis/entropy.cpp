@@ -1,0 +1,62 @@
+#include "analysis/entropy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::analysis {
+namespace {
+
+std::vector<double> ones_fraction(const std::vector<BitVec>& population) {
+  ROPUF_REQUIRE(!population.empty(), "empty population");
+  const std::size_t width = population.front().size();
+  ROPUF_REQUIRE(width > 0, "empty responses");
+  std::vector<double> fraction(width, 0.0);
+  for (const BitVec& response : population) {
+    ROPUF_REQUIRE(response.size() == width, "response length mismatch");
+    for (std::size_t i = 0; i < width; ++i) {
+      if (response.get(i)) fraction[i] += 1.0;
+    }
+  }
+  for (auto& f : fraction) f /= static_cast<double>(population.size());
+  return fraction;
+}
+
+}  // namespace
+
+BitPositionStats bit_position_stats(const std::vector<BitVec>& population) {
+  BitPositionStats stats;
+  stats.ones_fraction = ones_fraction(population);
+  for (const double p : stats.ones_fraction) {
+    const double bias = std::fabs(p - 0.5);
+    stats.worst_bias = std::max(stats.worst_bias, bias);
+    stats.mean_bias += bias;
+  }
+  stats.mean_bias /= static_cast<double>(stats.ones_fraction.size());
+  return stats;
+}
+
+double binary_entropy(double p) {
+  ROPUF_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  if (p == 0.0 || p == 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double mean_shannon_entropy(const std::vector<BitVec>& population) {
+  const auto fraction = ones_fraction(population);
+  double total = 0.0;
+  for (const double p : fraction) total += binary_entropy(p);
+  return total / static_cast<double>(fraction.size());
+}
+
+double mean_min_entropy(const std::vector<BitVec>& population) {
+  const auto fraction = ones_fraction(population);
+  double total = 0.0;
+  for (const double p : fraction) {
+    total += -std::log2(std::max(p, 1.0 - p));
+  }
+  return total / static_cast<double>(fraction.size());
+}
+
+}  // namespace ropuf::analysis

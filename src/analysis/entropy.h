@@ -1,0 +1,35 @@
+// Entropy estimation for PUF response populations.
+//
+// Complements the NIST battery (Section IV.A) with the estimators PUF
+// evaluations usually report alongside it: per-bit-position bias across a
+// fleet, Shannon and min-entropy per bit, and the fleet-level uniqueness
+// entropy. All operate on a population of equal-length responses, one per
+// chip.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace ropuf::analysis {
+
+/// Per-position statistics over a response population.
+struct BitPositionStats {
+  std::vector<double> ones_fraction;  ///< P(bit = 1) per position
+  double worst_bias = 0.0;            ///< max |P(1) - 0.5| over positions
+  double mean_bias = 0.0;             ///< mean |P(1) - 0.5|
+};
+
+BitPositionStats bit_position_stats(const std::vector<BitVec>& population);
+
+/// Shannon entropy of a Bernoulli(p) bit, in bits (0 for p in {0,1}).
+double binary_entropy(double p);
+
+/// Average per-bit Shannon entropy across positions, in bits/bit.
+double mean_shannon_entropy(const std::vector<BitVec>& population);
+
+/// Average per-bit min-entropy across positions: -log2(max(p, 1-p)).
+double mean_min_entropy(const std::vector<BitVec>& population);
+
+}  // namespace ropuf::analysis

@@ -1,0 +1,201 @@
+#include "analysis/experiments.h"
+
+#include <cmath>
+
+#include "analysis/reliability.h"
+#include "common/error.h"
+#include "puf/distiller.h"
+
+namespace ropuf::analysis {
+
+std::vector<double> board_unit_values(const sil::Chip& board,
+                                      const sil::OperatingPoint& op,
+                                      const DatasetOptions& opts, Rng& rng) {
+  std::vector<double> values = puf::measure_unit_ddiffs(board, op, opts.measurement, rng);
+  if (opts.distill) {
+    const puf::RegressionDistiller distiller(opts.distiller_degree);
+    values = distiller.distill_chip(board, values);
+  }
+  return values;
+}
+
+std::vector<BitVec> board_responses(const std::vector<sil::Chip>& boards,
+                                    const DatasetOptions& opts) {
+  ROPUF_REQUIRE(!boards.empty(), "empty fleet");
+  Rng master(opts.noise_seed);
+  std::vector<BitVec> responses;
+  responses.reserve(boards.size());
+  for (const sil::Chip& board : boards) {
+    Rng rng = master.fork();
+    const auto values = board_unit_values(board, sil::nominal_op(), opts, rng);
+    const puf::BoardLayout layout = puf::paper_layout(opts.stages, board.unit_count());
+    responses.push_back(puf::configurable_enroll(values, layout, opts.mode).response());
+  }
+  return responses;
+}
+
+std::vector<BitVec> table_responses(const sil::MeasurementTable& table,
+                                    const DatasetOptions& opts) {
+  ROPUF_REQUIRE(!table.boards.empty(), "empty measurement table");
+  std::vector<sil::DieLocation> locations(table.units_per_board());
+  for (std::size_t i = 0; i < locations.size(); ++i) locations[i] = table.location(i);
+
+  std::vector<BitVec> responses;
+  responses.reserve(table.boards.size());
+  const puf::BoardLayout layout = puf::paper_layout(opts.stages, table.units_per_board());
+  for (const auto& board : table.boards) {
+    std::vector<double> values = board;
+    if (opts.distill) {
+      const puf::RegressionDistiller distiller(opts.distiller_degree);
+      values = distiller.distill(values, locations);
+    }
+    responses.push_back(puf::configurable_enroll(values, layout, opts.mode).response());
+  }
+  return responses;
+}
+
+std::vector<BitVec> combine_board_pairs(const std::vector<BitVec>& responses) {
+  std::vector<BitVec> streams;
+  streams.reserve(responses.size() / 2);
+  for (std::size_t i = 0; i + 1 < responses.size(); i += 2) {
+    BitVec stream = responses[i];
+    stream.append(responses[i + 1]);
+    streams.push_back(std::move(stream));
+  }
+  return streams;
+}
+
+std::vector<BitVec> configuration_streams(const std::vector<sil::Chip>& boards,
+                                          const DatasetOptions& opts) {
+  ROPUF_REQUIRE(!boards.empty(), "empty fleet");
+  constexpr std::size_t kStages = 15;  // Section IV.C setup
+  Rng master(opts.noise_seed);
+  std::vector<BitVec> streams;
+  for (const sil::Chip& board : boards) {
+    Rng rng = master.fork();
+    const auto values = board_unit_values(board, sil::nominal_op(), opts, rng);
+    const puf::BoardLayout layout = puf::paper_layout(kStages, board.unit_count());
+    const auto enrollment = puf::configurable_enroll(values, layout, opts.mode);
+    for (const puf::Selection& sel : enrollment.selections) {
+      if (opts.mode == puf::SelectionCase::kSameConfig) {
+        streams.push_back(sel.top_config);
+      } else {
+        BitVec combined = sel.top_config;
+        combined.append(sel.bottom_config);
+        streams.push_back(std::move(combined));
+      }
+    }
+  }
+  return streams;
+}
+
+std::vector<EnvReliabilityCell> environment_reliability(
+    const std::vector<sil::Chip>& boards, const std::vector<std::size_t>& stage_counts,
+    const std::vector<sil::OperatingPoint>& corners, std::size_t baseline_corner,
+    const DatasetOptions& opts) {
+  ROPUF_REQUIRE(!boards.empty() && !corners.empty(), "empty boards or corners");
+  ROPUF_REQUIRE(baseline_corner < corners.size(), "baseline corner out of range");
+
+  Rng master(opts.noise_seed);
+  std::vector<EnvReliabilityCell> cells;
+  for (std::size_t b = 0; b < boards.size(); ++b) {
+    Rng rng = master.fork();
+    // One measurement snapshot per corner, shared by all schemes.
+    std::vector<std::vector<double>> values;
+    values.reserve(corners.size());
+    for (const auto& corner : corners) {
+      values.push_back(board_unit_values(boards[b], corner, opts, rng));
+    }
+
+    for (const std::size_t stages : stage_counts) {
+      const puf::BoardLayout layout = puf::paper_layout(stages, boards[b].unit_count());
+      EnvReliabilityCell cell;
+      cell.board_index = b;
+      cell.stages = stages;
+      cell.bits = layout.pair_count;
+      cell.one8_bits = puf::one_of_eight_bits(layout);
+
+      // Configurable PUF: enroll at each corner, stress against the others.
+      for (std::size_t e = 0; e < corners.size(); ++e) {
+        const auto enrollment = puf::configurable_enroll(values[e], layout, opts.mode);
+        const BitVec baseline = enrollment.response();
+        std::vector<BitVec> stress;
+        for (std::size_t c = 0; c < corners.size(); ++c) {
+          if (c == e) continue;
+          stress.push_back(puf::configurable_respond(values[c], enrollment));
+        }
+        cell.configurable_flip_pct.push_back(flip_percentage(baseline, stress));
+      }
+
+      // Traditional PUF: baseline at the designated corner.
+      {
+        const BitVec baseline =
+            puf::traditional_respond(values[baseline_corner], layout).response;
+        std::vector<BitVec> stress;
+        for (std::size_t c = 0; c < corners.size(); ++c) {
+          if (c == baseline_corner) continue;
+          stress.push_back(puf::traditional_respond(values[c], layout).response);
+        }
+        cell.traditional_flip_pct = flip_percentage(baseline, stress);
+      }
+
+      // 1-out-of-8: enrollment picks at the designated corner.
+      {
+        const auto enrollment = puf::one_of_eight_enroll(values[baseline_corner], layout);
+        const BitVec baseline = puf::one_of_eight_respond(values[baseline_corner], enrollment);
+        std::vector<BitVec> stress;
+        for (std::size_t c = 0; c < corners.size(); ++c) {
+          if (c == baseline_corner) continue;
+          stress.push_back(puf::one_of_eight_respond(values[c], enrollment));
+        }
+        cell.one_of_eight_flip_pct = flip_percentage(baseline, stress);
+      }
+
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+std::vector<ThresholdSweepPoint> threshold_sweep(const std::vector<sil::Chip>& boards,
+                                                 const puf::DeviceSpec& device_spec,
+                                                 const std::vector<double>& rth_values_ps,
+                                                 std::uint64_t seed) {
+  ROPUF_REQUIRE(!boards.empty(), "empty fleet");
+  Rng master(seed);
+
+  // Collect per-board margins once; the sweep is pure counting.
+  std::vector<std::vector<double>> traditional_margins, configurable_margins;
+  for (const sil::Chip& board : boards) {
+    Rng rng = master.fork();
+    puf::ConfigurableRoPufDevice device(&board, device_spec, rng);
+    device.enroll(sil::nominal_op(), rng);
+    std::vector<double> conf;
+    conf.reserve(device.selections().size());
+    for (const puf::Selection& sel : device.selections()) conf.push_back(sel.margin);
+    configurable_margins.push_back(std::move(conf));
+    traditional_margins.push_back(
+        device.traditional_response(sil::nominal_op(), rng).margins_ps);
+  }
+
+  std::vector<ThresholdSweepPoint> sweep;
+  sweep.reserve(rth_values_ps.size());
+  for (const double rth : rth_values_ps) {
+    ThresholdSweepPoint point;
+    point.rth_ps = rth;
+    for (std::size_t b = 0; b < boards.size(); ++b) {
+      for (const double m : traditional_margins[b]) {
+        if (std::fabs(m) >= rth) point.traditional_reliable_bits += 1.0;
+      }
+      for (const double m : configurable_margins[b]) {
+        if (std::fabs(m) >= rth) point.configurable_reliable_bits += 1.0;
+      }
+    }
+    point.traditional_reliable_bits /= static_cast<double>(boards.size());
+    point.configurable_reliable_bits /= static_cast<double>(boards.size());
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+}  // namespace ropuf::analysis

@@ -1,0 +1,99 @@
+// Experiment drivers for the paper's evaluation (Section IV).
+//
+// Each bench binary (bench/) is a thin wrapper over one of these functions,
+// which keeps the experiment logic unit-testable. The dataset-style
+// experiments (IV.A-IV.D) operate on per-unit measurement snapshots, exactly
+// as the paper operates on the Virginia Tech dataset; the Section IV.E
+// experiment uses the full-circuit device (inverter-level measurement, as
+// the paper's in-house data does).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "puf/chip_puf.h"
+#include "puf/measurement.h"
+#include "puf/schemes.h"
+#include "puf/selection.h"
+#include "silicon/chip.h"
+#include "silicon/dataset_io.h"
+
+namespace ropuf::analysis {
+
+/// Options shared by the dataset-style experiments.
+struct DatasetOptions {
+  puf::SelectionCase mode = puf::SelectionCase::kSameConfig;
+  std::size_t stages = 5;
+  bool distill = true;                   ///< IV.A/IV.B run distilled; IV.D raw
+  std::size_t distiller_degree = 2;
+  puf::UnitMeasurementSpec measurement;  ///< unit-level readout noise
+  std::uint64_t noise_seed = 0x5eed;
+};
+
+/// Measured (and, if configured, distilled) per-unit values of one board.
+std::vector<double> board_unit_values(const sil::Chip& board,
+                                      const sil::OperatingPoint& op,
+                                      const DatasetOptions& opts, Rng& rng);
+
+/// One configurable-PUF response per board at the nominal corner — the
+/// IV.A pipeline: measure, distill, select, emit bits.
+std::vector<BitVec> board_responses(const std::vector<sil::Chip>& boards,
+                                    const DatasetOptions& opts);
+
+/// The same pipeline over an imported measurement table (e.g. the real VT
+/// dataset loaded via sil::from_csv): distill per board over the table's
+/// grid, select, emit. Measurement noise options are ignored (the table
+/// already is a measurement).
+std::vector<BitVec> table_responses(const sil::MeasurementTable& table,
+                                    const DatasetOptions& opts);
+
+/// Concatenates responses of consecutive board pairs: 194 boards x 48 bits
+/// become 97 streams x 96 bits (paper Section IV.A).
+std::vector<BitVec> combine_board_pairs(const std::vector<BitVec>& responses);
+
+/// Best-configuration bitstreams of every RO pair across boards (Tables
+/// III/IV): n = 15, 16 pairs per board. Case-1 yields the shared 15-bit
+/// configuration; Case-2 the 30-bit top|bottom concatenation.
+std::vector<BitVec> configuration_streams(const std::vector<sil::Chip>& boards,
+                                          const DatasetOptions& opts);
+
+/// One subplot cell of Fig. 4 / Fig. 5: flip percentages for one board and
+/// one RO length, under one family of stress corners.
+struct EnvReliabilityCell {
+  std::size_t board_index = 0;
+  std::size_t stages = 0;
+  std::size_t bits = 0;       ///< configurable/traditional bits per board
+  std::size_t one8_bits = 0;  ///< 1-out-of-8 bits per board
+  /// Configurable-PUF flip %, one entry per enrollment corner (the paper's
+  /// first five bars).
+  std::vector<double> configurable_flip_pct;
+  double traditional_flip_pct = 0.0;   ///< bar 6
+  double one_of_eight_flip_pct = 0.0;  ///< bar 7
+};
+
+/// Runs the Fig. 4 (voltage) / Fig. 5 (temperature) experiment: for every
+/// board and stage count, enroll the configurable PUF at each corner and
+/// count flips against the other corners; traditional and 1-out-of-8 use
+/// `baseline_corner` for enrollment.
+std::vector<EnvReliabilityCell> environment_reliability(
+    const std::vector<sil::Chip>& boards, const std::vector<std::size_t>& stage_counts,
+    const std::vector<sil::OperatingPoint>& corners, std::size_t baseline_corner,
+    const DatasetOptions& opts);
+
+/// One point of the Section IV.E reliability-threshold sweep.
+struct ThresholdSweepPoint {
+  double rth_ps = 0.0;
+  double traditional_reliable_bits = 0.0;   ///< mean bits/board above Rth
+  double configurable_reliable_bits = 0.0;
+};
+
+/// Runs the in-house experiment: per board, a full-circuit device is
+/// enrolled at nominal; reliable-bit counts are averaged over boards.
+std::vector<ThresholdSweepPoint> threshold_sweep(const std::vector<sil::Chip>& boards,
+                                                 const puf::DeviceSpec& device_spec,
+                                                 const std::vector<double>& rth_values_ps,
+                                                 std::uint64_t seed);
+
+}  // namespace ropuf::analysis

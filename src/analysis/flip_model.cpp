@@ -1,0 +1,50 @@
+#include "analysis/flip_model.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "numeric/special_functions.h"
+
+namespace ropuf::analysis {
+
+EnvPerturbation estimate_perturbation(const std::vector<double>& enroll_values,
+                                      const std::vector<double>& stress_values) {
+  ROPUF_REQUIRE(enroll_values.size() == stress_values.size() && enroll_values.size() >= 2,
+                "need >= 2 paired comparison values");
+  // Slope through the origin: a = sum(x*y) / sum(x*x). The comparison values
+  // are zero-mean by construction (signed pair differences), so no
+  // intercept term is fitted.
+  double xy = 0.0, xx = 0.0;
+  for (std::size_t i = 0; i < enroll_values.size(); ++i) {
+    xy += enroll_values[i] * stress_values[i];
+    xx += enroll_values[i] * enroll_values[i];
+  }
+  ROPUF_REQUIRE(xx > 0.0, "degenerate enrollment values");
+  EnvPerturbation env;
+  env.scale = xy / xx;
+
+  double var = 0.0;
+  for (std::size_t i = 0; i < enroll_values.size(); ++i) {
+    const double resid = stress_values[i] - env.scale * enroll_values[i];
+    var += resid * resid;
+  }
+  var /= static_cast<double>(enroll_values.size());
+  ROPUF_REQUIRE(var > 0.0, "degenerate perturbation population");
+  env.sigma = std::sqrt(var);
+  return env;
+}
+
+double pair_flip_probability(double margin, const EnvPerturbation& env) {
+  ROPUF_REQUIRE(env.sigma > 0.0 && env.scale > 0.0, "invalid perturbation model");
+  return num::normal_cdf(-env.scale * std::fabs(margin) / env.sigma);
+}
+
+double predicted_flip_percent(const std::vector<double>& margins,
+                              const EnvPerturbation& env) {
+  ROPUF_REQUIRE(!margins.empty(), "empty margin population");
+  double total = 0.0;
+  for (const double m : margins) total += pair_flip_probability(m, env);
+  return 100.0 * total / static_cast<double>(margins.size());
+}
+
+}  // namespace ropuf::analysis

@@ -1,0 +1,43 @@
+// Analytical bit-flip model.
+//
+// Between the enrollment corner and a stress corner, a pair's comparison
+// value transforms (to first order) as
+//
+//   stress = a * enroll + eps,   eps ~ N(0, sigma^2)
+//
+// where `a` is the common environmental scaling (harmless: it preserves
+// signs) and eps the device-sensitivity mismatch (the flip mechanism).
+// The pair flips when sign(a*m + eps) != sign(m), i.e. with probability
+// Phi(-a |m| / sigma); a scheme's expected flip fraction is the average
+// over its margin population.
+//
+// This closes the loop between the simulator and first-order theory: the
+// same margins enrollment produces predict Fig. 4's bars without running
+// the stress corners (bench_ext_flip_model compares prediction against
+// simulation), and the formula makes the paper's observation 3 (flips
+// vanish as n grows) quantitative — margins grow ~linearly in n while
+// sigma grows ~sqrt(n).
+#pragma once
+
+#include <vector>
+
+namespace ropuf::analysis {
+
+/// First-order model of one enrollment->stress corner transition.
+struct EnvPerturbation {
+  double scale = 1.0;   ///< a: common multiplicative factor
+  double sigma = 0.0;   ///< eps std: the sign-flipping mismatch
+};
+
+/// Least-squares fit of (scale, sigma) from paired comparison values.
+EnvPerturbation estimate_perturbation(const std::vector<double>& enroll_values,
+                                      const std::vector<double>& stress_values);
+
+/// P(flip) of one pair under the model: Phi(-scale * |margin| / sigma).
+double pair_flip_probability(double margin, const EnvPerturbation& env);
+
+/// Expected flipped fraction of a margin population, in percent.
+double predicted_flip_percent(const std::vector<double>& margins,
+                              const EnvPerturbation& env);
+
+}  // namespace ropuf::analysis

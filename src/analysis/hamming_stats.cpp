@@ -1,0 +1,36 @@
+#include "analysis/hamming_stats.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::analysis {
+
+double HdStats::percent_at(std::size_t hd) const {
+  if (pair_count == 0) return 0.0;
+  const auto it = histogram.find(hd);
+  if (it == histogram.end()) return 0.0;
+  return 100.0 * static_cast<double>(it->second) / static_cast<double>(pair_count);
+}
+
+HdStats pairwise_hd(const std::vector<BitVec>& population) {
+  ROPUF_REQUIRE(population.size() >= 2, "need at least two members");
+  HdStats stats;
+  double sum = 0.0, sum2 = 0.0;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    for (std::size_t j = i + 1; j < population.size(); ++j) {
+      const std::size_t hd = population[i].hamming_distance(population[j]);
+      ++stats.histogram[hd];
+      ++stats.pair_count;
+      if (hd == 0) ++stats.duplicates;
+      sum += static_cast<double>(hd);
+      sum2 += static_cast<double>(hd) * static_cast<double>(hd);
+    }
+  }
+  const double n = static_cast<double>(stats.pair_count);
+  stats.mean = sum / n;
+  stats.stddev = std::sqrt(std::max(0.0, sum2 / n - stats.mean * stats.mean));
+  return stats;
+}
+
+}  // namespace ropuf::analysis

@@ -1,0 +1,33 @@
+// Pairwise Hamming-distance statistics.
+//
+// Used for the paper's uniqueness study (Fig. 3: inter-chip HD of the
+// response streams) and configuration-information study (Tables III/IV:
+// pairwise HD of the per-pair best configurations, including the
+// "no duplicates" claim).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace ropuf::analysis {
+
+/// Summary of all C(n,2) pairwise Hamming distances of a population.
+struct HdStats {
+  std::map<std::size_t, std::size_t> histogram;  ///< HD -> pair count
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t pair_count = 0;
+  std::size_t duplicates = 0;  ///< pairs at HD 0
+
+  /// Fraction of pairs at a given distance (Tables III/IV rows).
+  double percent_at(std::size_t hd) const;
+};
+
+/// Computes the statistics; all vectors must have equal bit length and the
+/// population must have at least two members.
+HdStats pairwise_hd(const std::vector<BitVec>& population);
+
+}  // namespace ropuf::analysis

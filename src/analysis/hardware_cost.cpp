@@ -1,0 +1,50 @@
+#include "analysis/hardware_cost.h"
+
+#include "common/error.h"
+#include "puf/schemes.h"
+
+namespace ropuf::analysis {
+
+std::vector<SchemeCost> hardware_cost_table(std::size_t stages, std::size_t board_units) {
+  const puf::BoardLayout layout = puf::paper_layout(stages, board_units);
+  const double n = static_cast<double>(stages);
+  const double trad_bits = static_cast<double>(layout.pair_count);
+  const double one8_bits = static_cast<double>(puf::one_of_eight_bits(layout));
+
+  std::vector<SchemeCost> table;
+
+  SchemeCost configurable;
+  configurable.scheme = "configurable (this paper)";
+  configurable.ros_per_bit = 2.0;
+  configurable.inverters_per_bit = 2.0 * n;
+  configurable.muxes_per_bit = 2.0 * n;      // one MUX per delay unit
+  configurable.luts_per_bit = 2.0 * n;       // inverter+MUX pair packs per LUT
+  configurable.bits_per_512_units = trad_bits;
+  table.push_back(configurable);
+
+  SchemeCost traditional;
+  traditional.scheme = "traditional RO PUF";
+  traditional.ros_per_bit = 2.0;
+  traditional.inverters_per_bit = 2.0 * n;
+  traditional.muxes_per_bit = 0.0;
+  traditional.luts_per_bit = 2.0 * n;
+  traditional.bits_per_512_units = trad_bits;
+  table.push_back(traditional);
+
+  SchemeCost one8;
+  one8.scheme = "1-out-of-8 [1]";
+  one8.ros_per_bit = 8.0;
+  one8.inverters_per_bit = 8.0 * n;
+  one8.muxes_per_bit = 0.0;
+  one8.luts_per_bit = 8.0 * n;
+  one8.bits_per_512_units = one8_bits;
+  table.push_back(one8);
+
+  for (SchemeCost& cost : table) {
+    ROPUF_REQUIRE(one8_bits > 0.0, "degenerate 1-out-of-8 yield");
+    cost.efficiency_vs_one8 = cost.bits_per_512_units / one8_bits;
+  }
+  return table;
+}
+
+}  // namespace ropuf::analysis

@@ -1,0 +1,43 @@
+#include "analysis/metrics.h"
+
+#include "analysis/hamming_stats.h"
+#include "common/error.h"
+
+namespace ropuf::analysis {
+
+double uniqueness_percent(const std::vector<BitVec>& responses) {
+  const HdStats stats = pairwise_hd(responses);
+  ROPUF_REQUIRE(!responses.front().empty(), "empty responses");
+  return 100.0 * stats.mean / static_cast<double>(responses.front().size());
+}
+
+double intra_distance_percent(const BitVec& reference,
+                              const std::vector<BitVec>& reevaluations) {
+  ROPUF_REQUIRE(!reference.empty(), "empty reference");
+  ROPUF_REQUIRE(!reevaluations.empty(), "no re-evaluations");
+  double total = 0.0;
+  for (const BitVec& sample : reevaluations) {
+    total += static_cast<double>(reference.hamming_distance(sample));
+  }
+  return 100.0 * total /
+         (static_cast<double>(reevaluations.size()) *
+          static_cast<double>(reference.size()));
+}
+
+double reliability_percent(const BitVec& reference,
+                           const std::vector<BitVec>& reevaluations) {
+  return 100.0 - intra_distance_percent(reference, reevaluations);
+}
+
+double uniformity_percent(const std::vector<BitVec>& responses) {
+  ROPUF_REQUIRE(!responses.empty(), "empty population");
+  double ones = 0.0, bits = 0.0;
+  for (const BitVec& response : responses) {
+    ROPUF_REQUIRE(!response.empty(), "empty response");
+    ones += static_cast<double>(response.popcount());
+    bits += static_cast<double>(response.size());
+  }
+  return 100.0 * ones / bits;
+}
+
+}  // namespace ropuf::analysis

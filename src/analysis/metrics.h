@@ -1,0 +1,38 @@
+// The standard PUF quality-metric trio (Maiti et al.'s framework, the de
+// facto benchmark vocabulary for RO PUFs):
+//
+//   uniqueness  — mean normalized inter-chip HD of responses (ideal 50%);
+//   reliability — 100% minus the mean normalized intra-chip HD between a
+//                 reference response and re-evaluations (ideal 100%);
+//   uniformity  — mean fraction of 1s per response (ideal 50%).
+//
+// The paper reports these implicitly (Fig. 3 is uniqueness, Fig. 4/5 are
+// the reliability complement, IV.A is uniformity via NIST); this module
+// makes them first-class so schemes can be compared on one scoreboard
+// (bench_puf_metrics).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace ropuf::analysis {
+
+/// Mean normalized pairwise inter-chip HD, in percent. Needs >= 2 responses
+/// of equal length.
+double uniqueness_percent(const std::vector<BitVec>& responses);
+
+/// Mean normalized intra-chip HD between `reference` and each re-evaluation,
+/// in percent (0 = perfectly stable).
+double intra_distance_percent(const BitVec& reference,
+                              const std::vector<BitVec>& reevaluations);
+
+/// 100 - intra_distance_percent: the usual "reliability" figure.
+double reliability_percent(const BitVec& reference,
+                           const std::vector<BitVec>& reevaluations);
+
+/// Mean fraction of 1s over all bits of all responses, in percent.
+double uniformity_percent(const std::vector<BitVec>& responses);
+
+}  // namespace ropuf::analysis

@@ -1,0 +1,26 @@
+#include "analysis/reliability.h"
+
+#include "common/error.h"
+
+namespace ropuf::analysis {
+
+std::size_t flipped_positions(const BitVec& baseline,
+                              const std::vector<BitVec>& stress_responses) {
+  ROPUF_REQUIRE(!baseline.empty(), "empty baseline response");
+  BitVec changed(baseline.size());
+  for (const BitVec& stress : stress_responses) {
+    ROPUF_REQUIRE(stress.size() == baseline.size(), "response length mismatch");
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      if (stress.get(i) != baseline.get(i)) changed.set(i, true);
+    }
+  }
+  return changed.popcount();
+}
+
+double flip_percentage(const BitVec& baseline,
+                       const std::vector<BitVec>& stress_responses) {
+  return 100.0 * static_cast<double>(flipped_positions(baseline, stress_responses)) /
+         static_cast<double>(baseline.size());
+}
+
+}  // namespace ropuf::analysis

@@ -1,0 +1,21 @@
+// Bit-flip accounting, following the paper's definition (Section IV.D):
+// re-generate the response at every stress corner and count the bit
+// *positions* that differ from the baseline in at least one corner.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace ropuf::analysis {
+
+/// Number of positions that flipped in >= 1 of the stress responses.
+std::size_t flipped_positions(const BitVec& baseline,
+                              const std::vector<BitVec>& stress_responses);
+
+/// Same, as a percentage of the response length.
+double flip_percentage(const BitVec& baseline,
+                       const std::vector<BitVec>& stress_responses);
+
+}  // namespace ropuf::analysis

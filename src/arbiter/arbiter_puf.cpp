@@ -1,0 +1,99 @@
+#include "arbiter/arbiter_puf.h"
+
+#include "common/error.h"
+
+namespace ropuf::arb {
+
+ArbiterPuf::ArbiterPuf(const ArbiterSpec& spec, Rng& rng)
+    : arbiter_bias_ps_(rng.gaussian(spec.arbiter_bias_ps, spec.mismatch_sigma_ps)),
+      noise_sigma_ps_(spec.noise_sigma_ps) {
+  ROPUF_REQUIRE(spec.stages >= 1, "arbiter chain needs at least one stage");
+  ROPUF_REQUIRE(spec.mismatch_sigma_ps >= 0.0 && spec.noise_sigma_ps >= 0.0,
+                "negative sigma");
+  stages_.reserve(spec.stages);
+  for (std::size_t i = 0; i < spec.stages; ++i) {
+    SwitchStage stage;
+    stage.straight_top_ps = rng.gaussian(spec.nominal_delay_ps, spec.mismatch_sigma_ps);
+    stage.straight_bottom_ps = rng.gaussian(spec.nominal_delay_ps, spec.mismatch_sigma_ps);
+    stage.cross_top_ps = rng.gaussian(spec.nominal_delay_ps, spec.mismatch_sigma_ps);
+    stage.cross_bottom_ps = rng.gaussian(spec.nominal_delay_ps, spec.mismatch_sigma_ps);
+    stages_.push_back(stage);
+  }
+}
+
+double ArbiterPuf::delay_difference_ps(const BitVec& challenge) const {
+  ROPUF_REQUIRE(challenge.size() == stages_.size(), "challenge arity mismatch");
+  // Race the two signals; crossing swaps the lanes.
+  double top = 0.0, bottom = 0.0;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const SwitchStage& stage = stages_[i];
+    if (challenge.get(i)) {
+      const double new_top = bottom + stage.cross_top_ps;
+      const double new_bottom = top + stage.cross_bottom_ps;
+      top = new_top;
+      bottom = new_bottom;
+    } else {
+      top += stage.straight_top_ps;
+      bottom += stage.straight_bottom_ps;
+    }
+  }
+  return top - bottom + arbiter_bias_ps_ + tuning_offset_ps_;
+}
+
+bool ArbiterPuf::respond(const BitVec& challenge, Rng& rng) const {
+  return delay_difference_ps(challenge) + rng.gaussian(0.0, noise_sigma_ps_) > 0.0;
+}
+
+std::vector<double> ArbiterPuf::features(const BitVec& challenge) {
+  const std::size_t n = challenge.size();
+  // phi_i = prod_{j >= i} (1 - 2 c_j), built back to front; phi_{n+1} = 1.
+  std::vector<double> phi(n + 1);
+  phi[n] = 1.0;
+  double acc = 1.0;
+  for (std::size_t i = n; i-- > 0;) {
+    acc *= challenge.get(i) ? -1.0 : 1.0;
+    phi[i] = acc;
+  }
+  return phi;
+}
+
+std::vector<double> ArbiterPuf::linear_weights() const {
+  // From the lane-swap recurrence D_i = (1-2c_i) D_{i-1} + delta(c_i):
+  // w_1 = (d0_1 - d1_1)/2; w_i = (d0_i - d1_i)/2 + (d0_{i-1} + d1_{i-1})/2;
+  // w_{n+1} = (d0_n + d1_n)/2 + arbiter bias + tuning offset, with
+  // d0_i / d1_i the straight / crossed top-bottom arc differences.
+  const std::size_t n = stages_.size();
+  std::vector<double> w(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d0 = stages_[i].straight_top_ps - stages_[i].straight_bottom_ps;
+    const double d1 = stages_[i].cross_top_ps - stages_[i].cross_bottom_ps;
+    w[i] += (d0 - d1) / 2.0;
+    w[i + 1] += (d0 + d1) / 2.0;
+  }
+  w[n] += arbiter_bias_ps_ + tuning_offset_ps_;
+  return w;
+}
+
+void ArbiterPuf::set_tuning_offset_ps(double offset) { tuning_offset_ps_ = offset; }
+
+XorArbiterPuf::XorArbiterPuf(const ArbiterSpec& spec, std::size_t chains, Rng& rng) {
+  ROPUF_REQUIRE(chains >= 1, "XOR arbiter needs at least one chain");
+  chains_.reserve(chains);
+  for (std::size_t c = 0; c < chains; ++c) chains_.emplace_back(spec, rng);
+}
+
+bool XorArbiterPuf::respond(const BitVec& challenge, Rng& rng) const {
+  bool out = false;
+  for (const ArbiterPuf& chain : chains_) out = out != chain.respond(challenge, rng);
+  return out;
+}
+
+bool XorArbiterPuf::noiseless_response(const BitVec& challenge) const {
+  bool out = false;
+  for (const ArbiterPuf& chain : chains_) {
+    out = out != (chain.delay_difference_ps(challenge) > 0.0);
+  }
+  return out;
+}
+
+}  // namespace ropuf::arb

@@ -1,0 +1,102 @@
+// Arbiter PUF (Suh & Devadas [1]) with the PDL-style bias tuning of
+// Majzoobi et al. [13].
+//
+// Two copies of a signal race through n switch stages; challenge bit i
+// decides whether stage i passes the signals straight or crossed. An
+// arbiter at the end outputs which copy won. The paper cites [1] as the
+// origin of delay PUFs and [13] for the programmable-delay-line measurement
+// idea behind its Section III.B, and its Related Work argues that
+// reconfigurable/strong PUFs of this type "are vulnerable to attacks such
+// as modeling and machine learning [16]" — this module exists so that claim
+// can be demonstrated against a real implementation
+// (bench_modeling_attack).
+//
+// The standard additive delay model applies: the final arrival-time
+// difference is exactly linear in the challenge's parity features
+//   phi_i(C) = prod_{j >= i} (1 - 2 c_j),  phi_{n+1} = 1,
+// which is precisely why logistic regression learns the device.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+
+namespace ropuf::arb {
+
+/// Timing arcs of one switch stage (four paths through the 2x2 switch).
+struct SwitchStage {
+  double straight_top_ps = 0.0;     ///< top in  -> top out   (c = 0)
+  double straight_bottom_ps = 0.0;  ///< bottom  -> bottom    (c = 0)
+  double cross_top_ps = 0.0;        ///< bottom  -> top       (c = 1)
+  double cross_bottom_ps = 0.0;     ///< top     -> bottom    (c = 1)
+};
+
+/// Fabrication parameters of an arbiter chain.
+struct ArbiterSpec {
+  std::size_t stages = 64;
+  double nominal_delay_ps = 100.0;
+  double mismatch_sigma_ps = 1.0;   ///< per-arc process variation
+  double arbiter_bias_ps = 0.0;     ///< setup skew of the arbiter latch
+  double noise_sigma_ps = 0.02;     ///< per-evaluation thermal noise
+};
+
+/// One fabricated arbiter PUF instance.
+class ArbiterPuf {
+ public:
+  /// Samples all stage arcs (and an arbiter bias of sigma equal to the
+  /// mismatch) from `rng`.
+  ArbiterPuf(const ArbiterSpec& spec, Rng& rng);
+
+  std::size_t stage_count() const { return stages_.size(); }
+
+  /// Noiseless arrival-time difference (top minus bottom) for a challenge.
+  double delay_difference_ps(const BitVec& challenge) const;
+
+  /// One evaluation: sign of the noisy delay difference (true = top late).
+  bool respond(const BitVec& challenge, Rng& rng) const;
+
+  /// The parity feature vector of the linear model, length stages + 1.
+  static std::vector<double> features(const BitVec& challenge);
+
+  /// The exact linear-model weights of this instance: for every challenge,
+  /// delay_difference == dot(weights, features). Exposed for the white-box
+  /// property test; an attacker has to *learn* these from CRPs.
+  std::vector<double> linear_weights() const;
+
+  /// PDL-style tuning [13]: adds a constant offset to the comparison to
+  /// cancel the arbiter bias (call with -measured mean difference).
+  void set_tuning_offset_ps(double offset);
+  double tuning_offset_ps() const { return tuning_offset_ps_; }
+
+ private:
+  std::vector<SwitchStage> stages_;
+  double arbiter_bias_ps_;
+  double noise_sigma_ps_;
+  double tuning_offset_ps_ = 0.0;
+};
+
+/// XOR arbiter PUF: k parallel chains answering the same challenge, their
+/// responses XORed — the classic hardening against linear modeling (the
+/// XOR breaks the single-chain linearity; plain logistic regression drops
+/// back to the coin flip, as bench_modeling_attack shows).
+class XorArbiterPuf {
+ public:
+  /// Fabricates `chains` independent arbiter chains from one spec.
+  XorArbiterPuf(const ArbiterSpec& spec, std::size_t chains, Rng& rng);
+
+  std::size_t chain_count() const { return chains_.size(); }
+  std::size_t stage_count() const { return chains_.front().stage_count(); }
+
+  /// XOR of all chains' (noisy) responses.
+  bool respond(const BitVec& challenge, Rng& rng) const;
+
+  /// Noiseless response, for stability analysis.
+  bool noiseless_response(const BitVec& challenge) const;
+
+ private:
+  std::vector<ArbiterPuf> chains_;
+};
+
+}  // namespace ropuf::arb

@@ -1,0 +1,72 @@
+#include "attack/logistic.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::attack {
+namespace {
+
+double sigmoid(double x) {
+  // Guard the exp against overflow; the result saturates anyway.
+  if (x > 35.0) return 1.0;
+  if (x < -35.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+void LogisticModel::fit(const Dataset& data, const FitOptions& options, Rng& rng) {
+  ROPUF_REQUIRE(!data.features.empty(), "empty training set");
+  ROPUF_REQUIRE(data.features.size() == data.labels.size(), "features/labels mismatch");
+  const std::size_t dim = data.features.front().size();
+  ROPUF_REQUIRE(dim > 0, "empty feature vectors");
+  for (const auto& x : data.features) {
+    ROPUF_REQUIRE(x.size() == dim, "ragged feature vectors");
+  }
+  ROPUF_REQUIRE(options.epochs > 0 && options.learning_rate > 0.0, "bad fit options");
+
+  weights_.assign(dim + 1, 0.0);
+  std::vector<std::size_t> order(data.features.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(order);
+    const double step =
+        options.learning_rate / (1.0 + 0.1 * static_cast<double>(epoch));
+    for (const std::size_t idx : order) {
+      const auto& x = data.features[idx];
+      const double y = data.labels[idx] ? 1.0 : 0.0;
+      double z = weights_[dim];
+      for (std::size_t d = 0; d < dim; ++d) z += weights_[d] * x[d];
+      const double error = sigmoid(z) - y;
+      for (std::size_t d = 0; d < dim; ++d) {
+        weights_[d] -= step * (error * x[d] + options.l2 * weights_[d]);
+      }
+      weights_[dim] -= step * error;
+    }
+  }
+}
+
+double LogisticModel::probability(const std::vector<double>& features) const {
+  ROPUF_REQUIRE(!weights_.empty(), "model not fitted");
+  ROPUF_REQUIRE(features.size() + 1 == weights_.size(), "feature arity mismatch");
+  double z = weights_.back();
+  for (std::size_t d = 0; d < features.size(); ++d) z += weights_[d] * features[d];
+  return sigmoid(z);
+}
+
+bool LogisticModel::predict(const std::vector<double>& features) const {
+  return probability(features) >= 0.5;
+}
+
+double LogisticModel::accuracy(const Dataset& data) const {
+  ROPUF_REQUIRE(!data.features.empty(), "empty evaluation set");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.features.size(); ++i) {
+    if (predict(data.features[i]) == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.features.size());
+}
+
+}  // namespace ropuf::attack

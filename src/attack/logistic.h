@@ -1,0 +1,52 @@
+// Logistic-regression learner for delay-PUF modeling attacks.
+//
+// The classic result this library reproduces (paper Section II): a plain
+// linear learner on the arbiter PUF's parity features clones the device
+// from a few thousand CRPs, because the response is the sign of a linear
+// function of those features. The same learner applied to the configurable
+// RO PUF's challenge bits stays at coin-flip accuracy, since its challenge
+// only permutes which *independent* enrolled pairs are read.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ropuf::attack {
+
+/// A labelled training/evaluation set: one feature vector per example.
+struct Dataset {
+  std::vector<std::vector<double>> features;
+  std::vector<bool> labels;
+};
+
+/// Binary logistic regression trained by mini-batch-free SGD.
+class LogisticModel {
+ public:
+  struct FitOptions {
+    int epochs = 50;
+    double learning_rate = 0.05;
+    double l2 = 1e-4;
+  };
+
+  /// Trains on `data` (all features must share one length). Weights start
+  /// at zero; examples are revisited in epochs with a decaying step.
+  void fit(const Dataset& data, const FitOptions& options, Rng& rng);
+
+  /// P(label = true) for one feature vector.
+  double probability(const std::vector<double>& features) const;
+
+  /// Hard decision at 0.5.
+  bool predict(const std::vector<double>& features) const;
+
+  /// Fraction of correctly predicted labels.
+  double accuracy(const Dataset& data) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;  ///< last entry is the bias term
+};
+
+}  // namespace ropuf::attack

@@ -1,0 +1,48 @@
+#include "attack/predictors.h"
+
+#include "common/error.h"
+
+namespace ropuf::attack {
+
+PredictionStats popcount_predictor(const std::vector<puf::Selection>& selections,
+                                   Rng& rng) {
+  PredictionStats stats;
+  for (const puf::Selection& sel : selections) {
+    const std::size_t top = sel.top_config.popcount();
+    const std::size_t bottom = sel.bottom_config.popcount();
+    // More inverters in the loop -> more delay -> guess "top slower" (bit 1).
+    const bool guess = top == bottom ? rng.flip() : top > bottom;
+    if (guess == sel.bit) ++stats.correct;
+    ++stats.total;
+  }
+  return stats;
+}
+
+PredictionStats majority_vote_predictor(const std::vector<BitVec>& other_chips,
+                                        const BitVec& target, Rng& rng) {
+  ROPUF_REQUIRE(!other_chips.empty(), "attacker needs at least one reference chip");
+  PredictionStats stats;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    std::size_t ones = 0;
+    for (const BitVec& chip : other_chips) {
+      ROPUF_REQUIRE(chip.size() == target.size(), "response length mismatch");
+      if (chip.get(i)) ++ones;
+    }
+    const std::size_t zeros = other_chips.size() - ones;
+    const bool guess = ones == zeros ? rng.flip() : ones > zeros;
+    if (guess == target.get(i)) ++stats.correct;
+    ++stats.total;
+  }
+  return stats;
+}
+
+PredictionStats random_predictor(const BitVec& target, Rng& rng) {
+  PredictionStats stats;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    if (rng.flip() == target.get(i)) ++stats.correct;
+    ++stats.total;
+  }
+  return stats;
+}
+
+}  // namespace ropuf::attack

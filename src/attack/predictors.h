@@ -1,0 +1,53 @@
+// Bit-prediction attacks against the configurable RO PUF.
+//
+// Two of the paper's design decisions are justified by attacker arguments,
+// and this module turns both into measurable experiments:
+//
+//  * Section III.D requires equal popcount in Case-2 "because the one that
+//    uses fewer inverters will most likely be faster, making it easier for
+//    an attacker to guess the bit" — popcount_predictor quantifies exactly
+//    that guessing advantage when the constraint is dropped.
+//  * Section IV.A's distillation requirement exists because systematic
+//    variation correlates nominally identical chips — majority_vote_predictor
+//    measures how well an attacker holding other chips of the same design
+//    predicts a target chip's response.
+//
+// All predictors use only information the respective threat model grants
+// (public configurations / other chips' responses), never the target's
+// measurements.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "puf/selection.h"
+
+namespace ropuf::attack {
+
+/// Outcome of a prediction campaign.
+struct PredictionStats {
+  std::size_t correct = 0;
+  std::size_t total = 0;
+
+  double accuracy() const {
+    return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+  }
+};
+
+/// Guesses each bit from the *public* configuration pair alone: "the RO
+/// with more selected inverters is slower". Ties guess at random.
+PredictionStats popcount_predictor(const std::vector<puf::Selection>& selections,
+                                   Rng& rng);
+
+/// Guesses each target bit by majority vote over the same bit position of
+/// other chips of the same design — the systematic-correlation attack.
+/// Ties guess at random.
+PredictionStats majority_vote_predictor(const std::vector<BitVec>& other_chips,
+                                        const BitVec& target, Rng& rng);
+
+/// Ideal-attacker bound for calibration: guesses every bit with a coin.
+PredictionStats random_predictor(const BitVec& target, Rng& rng);
+
+}  // namespace ropuf::attack

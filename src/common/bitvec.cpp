@@ -1,0 +1,100 @@
+#include "common/bitvec.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace ropuf {
+
+BitVec::BitVec(std::size_t n) : words_((n + kWordBits - 1) / kWordBits, 0), size_(n) {}
+
+BitVec BitVec::from_string(const std::string& bits) {
+  BitVec v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    ROPUF_REQUIRE(bits[i] == '0' || bits[i] == '1', "BitVec string must be 0/1");
+    v.set(i, bits[i] == '1');
+  }
+  return v;
+}
+
+BitVec BitVec::from_bits(const std::vector<int>& bits) {
+  BitVec v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    ROPUF_REQUIRE(bits[i] == 0 || bits[i] == 1, "bit values must be 0/1");
+    v.set(i, bits[i] != 0);
+  }
+  return v;
+}
+
+bool BitVec::get(std::size_t i) const {
+  ROPUF_REQUIRE(i < size_, "BitVec index out of range");
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void BitVec::set(std::size_t i, bool value) {
+  ROPUF_REQUIRE(i < size_, "BitVec index out of range");
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  if (value) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitVec::push_back(bool value) {
+  ++size_;
+  if (word_count() > words_.size()) words_.push_back(0);
+  set(size_ - 1, value);
+}
+
+void BitVec::append(const BitVec& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) push_back(other.get(i));
+}
+
+std::size_t BitVec::popcount() const {
+  std::size_t total = 0;
+  for (const auto word : words_) total += static_cast<std::size_t>(std::popcount(word));
+  return total;
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& other) const {
+  ROPUF_REQUIRE(size_ == other.size_, "Hamming distance requires equal sizes");
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    total += static_cast<std::size_t>(std::popcount(words_[w] ^ other.words_[w]));
+  }
+  return total;
+}
+
+std::string BitVec::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (get(i)) s[i] = '1';
+  }
+  return s;
+}
+
+BitVec BitVec::operator^(const BitVec& other) const {
+  ROPUF_REQUIRE(size_ == other.size_, "XOR requires equal sizes");
+  BitVec out(size_);
+  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] = words_[w] ^ other.words_[w];
+  return out;
+}
+
+bool BitVec::operator==(const BitVec& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+bool BitVec::operator<(const BitVec& other) const {
+  if (size_ != other.size_) return size_ < other.size_;
+  return words_ < other.words_;
+}
+
+std::vector<int> BitVec::to_bits() const {
+  std::vector<int> bits(size_);
+  for (std::size_t i = 0; i < size_; ++i) bits[i] = get(i) ? 1 : 0;
+  return bits;
+}
+
+
+}  // namespace ropuf

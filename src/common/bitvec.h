@@ -1,0 +1,71 @@
+// Dynamic bit vector used for PUF responses and configuration vectors.
+//
+// Responses in this library are short (tens to a few hundred bits) but are
+// compared pairwise in large batches (Fig. 3, Tables III/IV need ~4.8M
+// Hamming distances), so the representation packs bits into 64-bit words and
+// computes Hamming distance with popcount.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ropuf {
+
+/// Packed vector of bits with word-parallel Hamming distance.
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Constructs an all-zero vector of `n` bits.
+  explicit BitVec(std::size_t n);
+
+  /// Parses a string of '0'/'1' characters, most significant first.
+  static BitVec from_string(const std::string& bits);
+
+  /// Builds from a vector<bool>-style container of bit values.
+  static BitVec from_bits(const std::vector<int>& bits);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool value);
+
+  /// Appends one bit at the end.
+  void push_back(bool value);
+
+  /// Appends all bits of `other` at the end.
+  void append(const BitVec& other);
+
+  /// Number of set bits.
+  std::size_t popcount() const;
+
+  /// Hamming distance; both vectors must have equal size.
+  std::size_t hamming_distance(const BitVec& other) const;
+
+  /// String of '0'/'1', index 0 first.
+  std::string to_string() const;
+
+  /// Bitwise XOR; sizes must match.
+  BitVec operator^(const BitVec& other) const;
+
+  bool operator==(const BitVec& other) const;
+  bool operator!=(const BitVec& other) const { return !(*this == other); }
+
+  /// Lexicographic order so BitVec can key std::map / sort for dedup.
+  bool operator<(const BitVec& other) const;
+
+  /// Bit values as ints (handy for tests and report code).
+  std::vector<int> to_bits() const;
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  std::size_t word_count() const { return (size_ + kWordBits - 1) / kWordBits; }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ropuf

@@ -1,0 +1,37 @@
+// Error handling primitives shared by every ropuf module.
+//
+// The library reports contract violations (bad arguments, impossible states)
+// by throwing ropuf::Error. Benches and examples let the exception escape to
+// a top-level handler; tests assert on it with EXPECT_THROW.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ropuf {
+
+/// Exception type for all ropuf library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  std::string full = std::string(file) + ":" + std::to_string(line) +
+                     ": requirement failed: " + expr;
+  if (!msg.empty()) full += " (" + msg + ")";
+  throw Error(full);
+}
+
+}  // namespace detail
+}  // namespace ropuf
+
+/// Precondition / invariant check that is always on (cheap checks only).
+/// Usage: ROPUF_REQUIRE(n > 0, "stage count must be positive");
+#define ROPUF_REQUIRE(expr, msg)                                    \
+  do {                                                              \
+    if (!(expr)) ::ropuf::detail::raise(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,67 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in the library (process variation, measurement
+// noise, workload generation) flows through ropuf::Rng so that every
+// experiment is exactly reproducible from a 64-bit seed. The generator is
+// xoshiro256** seeded via SplitMix64; Gaussian variates use the polar
+// (Marsaglia) method. We deliberately avoid std::normal_distribution and
+// friends because their output is not specified across standard-library
+// implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ropuf {
+
+/// SplitMix64 step; used for seed expansion and as a cheap stand-alone mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic pseudo-random generator (xoshiro256**).
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from a single seed via SplitMix64.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n); n must be positive.
+  std::uint64_t uniform_below(std::uint64_t n);
+
+  /// Standard normal variate (mean 0, variance 1), polar method.
+  double gaussian();
+
+  /// Normal variate with the given mean and standard deviation.
+  double gaussian(double mean, double sigma);
+
+  /// Fair coin flip.
+  bool flip();
+
+  /// Derives an independent child generator; used to give each board /
+  /// experiment its own stream without coupling their consumption patterns.
+  Rng fork();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace ropuf

@@ -1,0 +1,31 @@
+// Minimal fixed-width text-table renderer.
+//
+// Benches print the paper's tables with this; keeping the formatting in one
+// place makes every reproduction table visually uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ropuf {
+
+/// Accumulates rows of cells and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double with fixed precision.
+  static std::string num(double value, int precision = 2);
+
+  /// Renders with a header rule and two-space column gaps.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ropuf

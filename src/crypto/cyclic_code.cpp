@@ -1,0 +1,113 @@
+#include "crypto/cyclic_code.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace ropuf::crypto {
+namespace {
+
+/// Packs a BitVec (bit i = coefficient of x^i) into an integer.
+std::uint64_t pack(const BitVec& bits) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits.get(i)) value |= std::uint64_t{1} << i;
+  }
+  return value;
+}
+
+BitVec unpack(std::uint64_t value, std::size_t size) {
+  BitVec bits(size);
+  for (std::size_t i = 0; i < size; ++i) bits.set(i, (value >> i) & 1u);
+  return bits;
+}
+
+}  // namespace
+
+CyclicCode::CyclicCode(std::size_t n, std::uint32_t generator, std::size_t correctable)
+    : n_(n), t_(correctable), generator_(generator) {
+  ROPUF_REQUIRE(n >= 3 && n <= 63, "code length out of supported range");
+  ROPUF_REQUIRE(generator != 0, "zero generator polynomial");
+  generator_degree_ = static_cast<std::size_t>(std::bit_width(generator) - 1);
+  ROPUF_REQUIRE(generator_degree_ > 0 && generator_degree_ < n, "degenerate generator degree");
+  k_ = n_ - generator_degree_;
+
+  // Build the syndrome table over all error patterns of weight <= t,
+  // verifying syndrome uniqueness (this certifies the claimed t).
+  syndrome_to_error_[0] = 0;
+  std::vector<std::uint64_t> current{0};
+  for (std::size_t weight = 1; weight <= t_; ++weight) {
+    std::vector<std::uint64_t> next;
+    for (const std::uint64_t base : current) {
+      const std::size_t highest =
+          base == 0 ? 0 : static_cast<std::size_t>(std::bit_width(base));
+      for (std::size_t pos = highest; pos < n_; ++pos) {
+        const std::uint64_t error = base | (std::uint64_t{1} << pos);
+        const std::uint32_t syndrome = polynomial_remainder(error);
+        const auto [it, inserted] = syndrome_to_error_.emplace(syndrome, error);
+        ROPUF_REQUIRE(inserted,
+                      "syndrome collision: code cannot correct the claimed t errors");
+        next.push_back(error);
+      }
+    }
+    current = std::move(next);
+  }
+}
+
+CyclicCode CyclicCode::repetition(std::size_t n) {
+  // Above n = 15 the syndrome table (all error patterns of weight <= t)
+  // gets large for no practical gain in PUF use.
+  ROPUF_REQUIRE(n >= 3 && n % 2 == 1 && n <= 15, "repetition length must be odd, 3..15");
+  // g(x) = 1 + x + ... + x^(n-1).
+  std::uint32_t generator = 0;
+  for (std::size_t i = 0; i < n; ++i) generator |= std::uint32_t{1} << i;
+  return CyclicCode(n, generator, (n - 1) / 2);
+}
+
+CyclicCode CyclicCode::hamming_7_4() { return CyclicCode(7, 0b1011, 1); }
+
+CyclicCode CyclicCode::bch_15_7() { return CyclicCode(15, 0b111010001, 2); }
+
+CyclicCode CyclicCode::golay_23_12() {
+  // g(x) = x^11 + x^10 + x^6 + x^5 + x^4 + x^2 + 1.
+  return CyclicCode(23, 0b110001110101, 3);
+}
+
+std::uint32_t CyclicCode::polynomial_remainder(std::uint64_t value_bits) const {
+  // Long division of value(x) by g(x) over GF(2).
+  std::uint64_t rem = value_bits;
+  for (std::size_t pos = n_; pos-- > generator_degree_;) {
+    if (rem & (std::uint64_t{1} << pos)) {
+      rem ^= static_cast<std::uint64_t>(generator_) << (pos - generator_degree_);
+    }
+  }
+  return static_cast<std::uint32_t>(rem);
+}
+
+BitVec CyclicCode::encode(const BitVec& message) const {
+  ROPUF_REQUIRE(message.size() == k_, "message must have k bits");
+  // Systematic: codeword(x) = x^(n-k) m(x) + (x^(n-k) m(x) mod g(x)).
+  const std::uint64_t shifted = pack(message) << generator_degree_;
+  const std::uint32_t parity = polynomial_remainder(shifted);
+  return unpack(shifted | parity, n_);
+}
+
+CyclicCode::DecodeResult CyclicCode::decode(const BitVec& received) const {
+  ROPUF_REQUIRE(received.size() == n_, "received word must have n bits");
+  DecodeResult result;
+  const std::uint64_t word = pack(received);
+  const std::uint32_t syndrome = polynomial_remainder(word);
+  const auto it = syndrome_to_error_.find(syndrome);
+  if (it == syndrome_to_error_.end()) {
+    result.ok = false;
+    return result;
+  }
+  const std::uint64_t corrected = word ^ it->second;
+  result.ok = true;
+  result.corrected = static_cast<std::size_t>(std::popcount(it->second));
+  result.codeword = unpack(corrected, n_);
+  result.message = unpack(corrected >> generator_degree_, k_);
+  return result;
+}
+
+}  // namespace ropuf::crypto

@@ -1,0 +1,71 @@
+// Binary cyclic block codes with syndrome-table decoding.
+//
+// The error-correction substrate behind PUF key generation [10-12], which
+// the paper's configurable selection claims to make unnecessary ("this can
+// eliminate the cost of ECC circuitry", Section III.C). One class covers
+// the standard small codes used with RO PUFs, each defined by its length n
+// and generator polynomial:
+//
+//   repetition(n)    g(x) = 1 + x + ... + x^(n-1)      t = (n-1)/2
+//   Hamming(7,4)     g(x) = 1 + x + x^3                t = 1
+//   BCH(15,7)        g(x) = 1 + x^4 + x^6 + x^7 + x^8  t = 2
+//
+// Encoding is systematic (message bits first, then parity = remainder of
+// x^(n-k) m(x) mod g(x)); decoding builds the full syndrome -> minimum-
+// weight-error table at construction, so decode is a table lookup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bitvec.h"
+
+namespace ropuf::crypto {
+
+/// A binary cyclic [n, k] code with bounded-distance decoding up to t errors.
+class CyclicCode {
+ public:
+  /// `generator` holds g(x) coefficients as bits (bit i = coefficient of
+  /// x^i); its degree determines n - k. `correctable` is the code's t; the
+  /// constructor verifies that all error patterns of weight <= t have
+  /// distinct syndromes (i.e. t is actually achievable) and throws if not.
+  CyclicCode(std::size_t n, std::uint32_t generator, std::size_t correctable);
+
+  /// Standard instances.
+  static CyclicCode repetition(std::size_t n);  ///< odd n, rate 1/n
+  static CyclicCode hamming_7_4();
+  static CyclicCode bch_15_7();
+  /// The binary Golay code: [23,12], t = 3, *perfect* (every 11-bit
+  /// syndrome corresponds to exactly one weight <= 3 error pattern).
+  static CyclicCode golay_23_12();
+
+  std::size_t n() const { return n_; }
+  std::size_t k() const { return k_; }
+  std::size_t t() const { return t_; }
+
+  /// Systematic encode of a k-bit message.
+  BitVec encode(const BitVec& message) const;
+
+  struct DecodeResult {
+    BitVec message;           ///< recovered k-bit message
+    BitVec codeword;          ///< corrected n-bit codeword
+    std::size_t corrected = 0;  ///< number of bit errors removed
+    bool ok = false;          ///< false when the syndrome is outside the table
+  };
+
+  /// Bounded-distance decode of an n-bit word.
+  DecodeResult decode(const BitVec& received) const;
+
+ private:
+  std::uint32_t polynomial_remainder(std::uint64_t value_bits) const;
+
+  std::size_t n_;
+  std::size_t k_;
+  std::size_t t_;
+  std::uint32_t generator_;
+  std::size_t generator_degree_;
+  std::unordered_map<std::uint32_t, std::uint64_t> syndrome_to_error_;
+};
+
+}  // namespace ropuf::crypto

@@ -1,0 +1,83 @@
+#include "crypto/fuzzy_extractor.h"
+
+#include "common/error.h"
+
+namespace ropuf::crypto {
+namespace {
+
+/// Packs a bit string into bytes (bit i -> byte i/8, LSB first) for hashing.
+std::vector<std::uint8_t> to_bytes(const BitVec& bits) {
+  std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits.get(i)) bytes[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return bytes;
+}
+
+BitVec slice(const BitVec& bits, std::size_t start, std::size_t len) {
+  BitVec out(len);
+  for (std::size_t i = 0; i < len; ++i) out.set(i, bits.get(start + i));
+  return out;
+}
+
+}  // namespace
+
+FuzzyExtractor::FuzzyExtractor(const CyclicCode* code) : code_(code) {
+  ROPUF_REQUIRE(code_ != nullptr, "null code");
+}
+
+std::size_t FuzzyExtractor::block_bits() const { return code_->n(); }
+
+double FuzzyExtractor::rate() const {
+  return static_cast<double>(code_->k()) / static_cast<double>(code_->n());
+}
+
+double FuzzyExtractor::entropy_loss_bits_per_block() const {
+  return static_cast<double>(code_->n() - code_->k());
+}
+
+double FuzzyExtractor::residual_key_entropy_bits(double response_min_entropy_per_bit,
+                                                 std::size_t blocks) const {
+  ROPUF_REQUIRE(response_min_entropy_per_bit >= 0.0 &&
+                    response_min_entropy_per_bit <= 1.0,
+                "per-bit min-entropy must be in [0, 1]");
+  const double per_block =
+      response_min_entropy_per_bit * static_cast<double>(code_->n()) -
+      entropy_loss_bits_per_block();
+  return static_cast<double>(blocks) * (per_block > 0.0 ? per_block : 0.0);
+}
+
+FuzzyEnrollment FuzzyExtractor::generate(const BitVec& response, Rng& rng) const {
+  const std::size_t blocks = response.size() / code_->n();
+  ROPUF_REQUIRE(blocks >= 1, "response shorter than one code block");
+
+  FuzzyEnrollment enrollment;
+  BitVec all_messages;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    BitVec message(code_->k());
+    for (std::size_t i = 0; i < message.size(); ++i) message.set(i, rng.flip());
+    const BitVec codeword = code_->encode(message);
+    enrollment.helper.push_back(slice(response, b * code_->n(), code_->n()) ^ codeword);
+    all_messages.append(message);
+  }
+  enrollment.key = sha256(to_bytes(all_messages));
+  return enrollment;
+}
+
+std::optional<Sha256Digest> FuzzyExtractor::reproduce(
+    const BitVec& response, const std::vector<BitVec>& helper) const {
+  ROPUF_REQUIRE(!helper.empty(), "empty helper data");
+  ROPUF_REQUIRE(response.size() >= helper.size() * code_->n(),
+                "response shorter than the enrolled block count");
+
+  BitVec all_messages;
+  for (std::size_t b = 0; b < helper.size(); ++b) {
+    const BitVec noisy_codeword = slice(response, b * code_->n(), code_->n()) ^ helper[b];
+    const CyclicCode::DecodeResult decoded = code_->decode(noisy_codeword);
+    if (!decoded.ok) return std::nullopt;
+    all_messages.append(decoded.message);
+  }
+  return sha256(to_bytes(all_messages));
+}
+
+}  // namespace ropuf::crypto

@@ -1,0 +1,70 @@
+// Code-offset fuzzy extractor (Dodis-Reyzin-Smith [11] as cited by the
+// paper), turning a noisy PUF response into a stable key.
+//
+// Enrollment draws a random message per n-bit response block, encodes it,
+// and publishes helper_i = response_i XOR codeword_i; the key is
+// SHA-256(all messages). Reproduction XORs the helper with the re-measured
+// response and decodes: as long as every block flipped at most t bits, the
+// original messages — hence the same key — come back.
+//
+// This module exists as the paper's comparator: the traditional RO PUF
+// needs this machinery (plus its helper-data storage and decoder hardware)
+// to reach the reliability the configurable RO PUF achieves bare
+// (bench_ablation_ecc).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "crypto/cyclic_code.h"
+#include "crypto/sha256.h"
+
+namespace ropuf::crypto {
+
+/// Public helper data plus the derived secret.
+struct FuzzyEnrollment {
+  std::vector<BitVec> helper;  ///< one n-bit offset per response block
+  Sha256Digest key{};
+};
+
+/// Block-wise code-offset construction over a fixed code.
+class FuzzyExtractor {
+ public:
+  /// `code` must outlive the extractor.
+  explicit FuzzyExtractor(const CyclicCode* code);
+
+  /// Number of response bits consumed per key (full blocks only).
+  std::size_t block_bits() const;
+
+  /// Enrolls a response of >= 1 full block (extra tail bits are ignored).
+  FuzzyEnrollment generate(const BitVec& response, Rng& rng) const;
+
+  /// Reproduces the key from a noisy response and the public helper data;
+  /// nullopt when any block's syndrome falls outside the decoding sphere.
+  /// (A wrong-but-decodable block yields a *different* key, which the
+  /// verifier detects by comparison — the usual PUF-key failure model.)
+  std::optional<Sha256Digest> reproduce(const BitVec& response,
+                                        const std::vector<BitVec>& helper) const;
+
+  /// Key bits derivable per response bit (the code rate), for cost tables.
+  double rate() const;
+
+  /// Worst-case min-entropy loss of the secure sketch, in bits per block:
+  /// publishing helper = response XOR codeword leaks at most n - k bits of
+  /// the response (Dodis-Reyzin-Smith bound). What remains per block is
+  /// max(0, H_min(response block) - (n - k)).
+  double entropy_loss_bits_per_block() const;
+
+  /// Residual min-entropy of the derived key material given the helper,
+  /// assuming `response_min_entropy_per_bit` bits of min-entropy per
+  /// response bit and `blocks` enrolled blocks.
+  double residual_key_entropy_bits(double response_min_entropy_per_bit,
+                                   std::size_t blocks) const;
+
+ private:
+  const CyclicCode* code_;
+};
+
+}  // namespace ropuf::crypto

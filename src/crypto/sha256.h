@@ -1,0 +1,27 @@
+// SHA-256 (FIPS 180-4), self-contained.
+//
+// Used by the fuzzy extractor's key-derivation step. PUF responses are
+// noisy and mildly biased, so the secret passed to the application is the
+// hash of the error-corrected witness, never the raw response.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ropuf::crypto {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// One-shot SHA-256 of a byte buffer.
+Sha256Digest sha256(const std::uint8_t* data, std::size_t size);
+
+/// Convenience overloads.
+Sha256Digest sha256(const std::vector<std::uint8_t>& data);
+Sha256Digest sha256(const std::string& data);
+
+/// Lowercase hex rendering of a digest (tests, logs).
+std::string to_hex(const Sha256Digest& digest);
+
+}  // namespace ropuf::crypto

@@ -1,0 +1,193 @@
+#include "nist/basic_tests.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.h"
+#include "numeric/special_functions.h"
+
+namespace ropuf::nist {
+
+TestResult inapplicable(const std::string& name, const std::string& why) {
+  TestResult r;
+  r.name = name;
+  r.applicable = false;
+  r.note = why;
+  return r;
+}
+
+TestResult frequency_test(const BitVec& bits) {
+  TestResult r;
+  r.name = "Frequency";
+  const std::size_t n = bits.size();
+  if (n == 0) return inapplicable(r.name, "empty sequence");
+
+  // S_n = sum of +/-1; s_obs = |S_n| / sqrt(n); p = erfc(s_obs / sqrt(2)).
+  const double s_n =
+      2.0 * static_cast<double>(bits.popcount()) - static_cast<double>(n);
+  const double s_obs = std::fabs(s_n) / std::sqrt(static_cast<double>(n));
+  r.p_values.push_back(num::erfc(s_obs / std::sqrt(2.0)));
+  return r;
+}
+
+TestResult block_frequency_test(const BitVec& bits, std::size_t block_len) {
+  TestResult r;
+  r.name = "BlockFrequency";
+  ROPUF_REQUIRE(block_len > 0, "block length must be positive");
+  const std::size_t n = bits.size();
+  const std::size_t blocks = n / block_len;
+  if (blocks == 0) return inapplicable(r.name, "sequence shorter than one block");
+
+  double chi2 = 0.0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < block_len; ++i) {
+      if (bits.get(b * block_len + i)) ++ones;
+    }
+    const double pi = static_cast<double>(ones) / static_cast<double>(block_len);
+    chi2 += (pi - 0.5) * (pi - 0.5);
+  }
+  chi2 *= 4.0 * static_cast<double>(block_len);
+  r.p_values.push_back(num::igamc(static_cast<double>(blocks) / 2.0, chi2 / 2.0));
+  r.note = "M=" + std::to_string(block_len);
+  return r;
+}
+
+TestResult runs_test(const BitVec& bits) {
+  TestResult r;
+  r.name = "Runs";
+  const std::size_t n = bits.size();
+  if (n < 2) return inapplicable(r.name, "need at least 2 bits");
+
+  const double pi = static_cast<double>(bits.popcount()) / static_cast<double>(n);
+  // Prerequisite frequency check (SP 800-22 step 2): tau = 2 / sqrt(n).
+  if (std::fabs(pi - 0.5) >= 2.0 / std::sqrt(static_cast<double>(n))) {
+    r.p_values.push_back(0.0);
+    r.note = "monobit precondition failed";
+    return r;
+  }
+
+  std::size_t v_obs = 1;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    if (bits.get(k) != bits.get(k + 1)) ++v_obs;
+  }
+  const double num =
+      std::fabs(static_cast<double>(v_obs) - 2.0 * static_cast<double>(n) * pi * (1.0 - pi));
+  const double den =
+      2.0 * std::sqrt(2.0 * static_cast<double>(n)) * pi * (1.0 - pi);
+  r.p_values.push_back(num::erfc(num / den));
+  return r;
+}
+
+TestResult longest_run_test(const BitVec& bits) {
+  TestResult r;
+  r.name = "LongestRun";
+  const std::size_t n = bits.size();
+
+  // Parameter sets from SP 800-22 section 2.4.2/2.4.4.
+  std::size_t block_len, categories;
+  std::vector<double> pi;
+  std::vector<std::size_t> category_upper;  // longest-run value of each bucket top
+  if (n >= 750000) {
+    block_len = 10000;
+    categories = 7;
+    pi = {0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727};
+    category_upper = {10, 11, 12, 13, 14, 15};  // <=10, 11..15, >=16
+  } else if (n >= 6272) {
+    block_len = 128;
+    categories = 6;
+    pi = {0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124};
+    category_upper = {4, 5, 6, 7, 8};  // <=4, 5, 6, 7, 8, >=9
+  } else if (n >= 128) {
+    block_len = 8;
+    categories = 4;
+    pi = {0.2148, 0.3672, 0.2305, 0.1875};
+    category_upper = {1, 2, 3};  // <=1, 2, 3, >=4
+  } else {
+    return inapplicable(r.name, "needs n >= 128");
+  }
+
+  const std::size_t blocks = n / block_len;
+  std::vector<double> nu(categories, 0.0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t longest = 0, current = 0;
+    for (std::size_t i = 0; i < block_len; ++i) {
+      if (bits.get(b * block_len + i)) {
+        ++current;
+        longest = std::max(longest, current);
+      } else {
+        current = 0;
+      }
+    }
+    std::size_t bucket = categories - 1;
+    for (std::size_t c = 0; c < category_upper.size(); ++c) {
+      if (longest <= category_upper[c]) {
+        bucket = c;
+        break;
+      }
+    }
+    nu[bucket] += 1.0;
+  }
+
+  double chi2 = 0.0;
+  const double nb = static_cast<double>(blocks);
+  for (std::size_t c = 0; c < categories; ++c) {
+    const double expected = nb * pi[c];
+    chi2 += (nu[c] - expected) * (nu[c] - expected) / expected;
+  }
+  r.p_values.push_back(
+      num::igamc(static_cast<double>(categories - 1) / 2.0, chi2 / 2.0));
+  r.note = "M=" + std::to_string(block_len);
+  return r;
+}
+
+namespace {
+
+/// One direction of the cumulative-sums statistic.
+double cusum_p_value(const BitVec& bits, bool forward) {
+  const std::size_t n = bits.size();
+  long long sum = 0;
+  long long z = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t idx = forward ? k : n - 1 - k;
+    sum += bits.get(idx) ? 1 : -1;
+    z = std::max<long long>(z, std::llabs(sum));
+  }
+  if (z == 0) return 0.0;  // constant alternation worst case: max excursion 0 impossible for n>=1
+
+  const double zn = static_cast<double>(z);
+  const double dn = static_cast<double>(n);
+  const double sqrt_n = std::sqrt(dn);
+
+  double p = 1.0;
+  const long long k_lo1 = (-static_cast<long long>(n) / static_cast<long long>(z) + 1) / 4;
+  const long long k_hi1 = (static_cast<long long>(n) / static_cast<long long>(z) - 1) / 4;
+  for (long long k = k_lo1; k <= k_hi1; ++k) {
+    const double kk = static_cast<double>(k);
+    p -= num::normal_cdf((4.0 * kk + 1.0) * zn / sqrt_n) -
+         num::normal_cdf((4.0 * kk - 1.0) * zn / sqrt_n);
+  }
+  const long long k_lo2 = (-static_cast<long long>(n) / static_cast<long long>(z) - 3) / 4;
+  const long long k_hi2 = (static_cast<long long>(n) / static_cast<long long>(z) - 1) / 4;
+  for (long long k = k_lo2; k <= k_hi2; ++k) {
+    const double kk = static_cast<double>(k);
+    p += num::normal_cdf((4.0 * kk + 3.0) * zn / sqrt_n) -
+         num::normal_cdf((4.0 * kk + 1.0) * zn / sqrt_n);
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace
+
+TestResult cumulative_sums_test(const BitVec& bits) {
+  TestResult r;
+  r.name = "CumulativeSums";
+  if (bits.size() < 2) return inapplicable(r.name, "need at least 2 bits");
+  r.p_values.push_back(cusum_p_value(bits, /*forward=*/true));
+  r.p_values.push_back(cusum_p_value(bits, /*forward=*/false));
+  r.note = "forward, backward";
+  return r;
+}
+
+}  // namespace ropuf::nist

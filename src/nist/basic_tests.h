@@ -1,0 +1,32 @@
+// NIST SP 800-22 rev. 1a, sections 2.1-2.4 and 2.13.
+//
+// The five "basic" tests: monobit frequency, frequency within a block, runs,
+// longest run of ones in a block, and cumulative sums. These (plus serial
+// and approximate entropy from pattern_tests.h) are the tests applicable to
+// the paper's 96-bit response streams.
+#pragma once
+
+#include "common/bitvec.h"
+#include "nist/test_result.h"
+
+namespace ropuf::nist {
+
+/// 2.1 Frequency (monobit). Applicable for n >= 1 (NIST recommends >= 100).
+TestResult frequency_test(const BitVec& bits);
+
+/// 2.2 Frequency within a block. Requires n >= block_len and at least one
+/// full block; NIST recommends block_len >= 20 and > 0.01 n.
+TestResult block_frequency_test(const BitVec& bits, std::size_t block_len = 128);
+
+/// 2.3 Runs.
+TestResult runs_test(const BitVec& bits);
+
+/// 2.4 Longest run of ones in a block. NIST defines parameter sets for
+/// n >= 128 (M=8), n >= 6272 (M=128) and n >= 750000 (M=10^4); shorter
+/// sequences are inapplicable.
+TestResult longest_run_test(const BitVec& bits);
+
+/// 2.13 Cumulative sums, forward and backward (two p-values).
+TestResult cumulative_sums_test(const BitVec& bits);
+
+}  // namespace ropuf::nist

@@ -1,0 +1,66 @@
+#include "nist/complexity_tests.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "numeric/berlekamp_massey.h"
+#include "numeric/special_functions.h"
+
+namespace ropuf::nist {
+
+TestResult linear_complexity_test(const BitVec& bits, std::size_t block_len) {
+  TestResult r;
+  r.name = "LinearComplexity";
+  ROPUF_REQUIRE(block_len >= 4, "block length too small");
+  const std::size_t blocks = bits.size() / block_len;
+  if (blocks == 0) return inapplicable(r.name, "sequence shorter than one block");
+
+  constexpr std::size_t kCategories = 7;  // K = 6
+  static const double kPi[kCategories] = {0.010417, 0.03125, 0.12500, 0.50000,
+                                          0.25000,  0.06250, 0.020833};
+
+  const double dM = static_cast<double>(block_len);
+  const double sign = (block_len % 2 == 0) ? 1.0 : -1.0;  // (-1)^M
+  const double mu = dM / 2.0 + (9.0 - sign) / 36.0 -
+                    (dM / 3.0 + 2.0 / 9.0) / std::pow(2.0, dM);
+
+  std::vector<double> nu(kCategories, 0.0);
+  std::vector<int> block(block_len);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t i = 0; i < block_len; ++i) {
+      block[i] = bits.get(b * block_len + i) ? 1 : 0;
+    }
+    const double l = static_cast<double>(num::linear_complexity(block));
+    const double t = sign * (l - mu) + 2.0 / 9.0;
+    std::size_t bucket;
+    if (t <= -2.5) {
+      bucket = 0;
+    } else if (t <= -1.5) {
+      bucket = 1;
+    } else if (t <= -0.5) {
+      bucket = 2;
+    } else if (t <= 0.5) {
+      bucket = 3;
+    } else if (t <= 1.5) {
+      bucket = 4;
+    } else if (t <= 2.5) {
+      bucket = 5;
+    } else {
+      bucket = 6;
+    }
+    nu[bucket] += 1.0;
+  }
+
+  double chi2 = 0.0;
+  const double nb = static_cast<double>(blocks);
+  for (std::size_t c = 0; c < kCategories; ++c) {
+    const double expected = nb * kPi[c];
+    chi2 += (nu[c] - expected) * (nu[c] - expected) / expected;
+  }
+  r.p_values.push_back(num::igamc(3.0, chi2 / 2.0));  // K/2 with K = 6
+  r.note = "M=" + std::to_string(block_len) + ", N=" + std::to_string(blocks);
+  return r;
+}
+
+}  // namespace ropuf::nist

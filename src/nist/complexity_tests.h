@@ -1,0 +1,15 @@
+// NIST SP 800-22 rev. 1a, section 2.10: linear complexity.
+#pragma once
+
+#include "common/bitvec.h"
+#include "nist/test_result.h"
+
+namespace ropuf::nist {
+
+/// 2.10 Linear complexity over blocks of `block_len` bits (Berlekamp-Massey
+/// per block, chi-square over the K = 6 deviation classes). NIST recommends
+/// 500 <= block_len <= 5000 and at least 200 blocks; at minimum one full
+/// block is required.
+TestResult linear_complexity_test(const BitVec& bits, std::size_t block_len = 500);
+
+}  // namespace ropuf::nist

@@ -1,0 +1,112 @@
+#include "nist/excursion_tests.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "numeric/special_functions.h"
+
+namespace ropuf::nist {
+namespace {
+
+/// The +/-1 random walk S_1..S_n.
+std::vector<long long> partial_sums(const BitVec& bits) {
+  std::vector<long long> s(bits.size());
+  long long acc = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    acc += bits.get(i) ? 1 : -1;
+    s[i] = acc;
+  }
+  return s;
+}
+
+/// Number of zero-crossing cycles of the augmented walk 0, S_1..S_n, 0.
+std::size_t cycle_count(const std::vector<long long>& walk) {
+  std::size_t zeros = 0;
+  for (const long long v : walk) {
+    if (v == 0) ++zeros;
+  }
+  // Cycles = zeros within the walk + the final return appended by the test.
+  return zeros + ((walk.empty() || walk.back() == 0) ? 0 : 1);
+}
+
+}  // namespace
+
+TestResult random_excursions_test(const BitVec& bits) {
+  TestResult r;
+  r.name = "RandomExcursions";
+  if (bits.size() < 128) return inapplicable(r.name, "sequence too short");
+  const auto walk = partial_sums(bits);
+  const std::size_t j = cycle_count(walk);
+  if (j < 500) {
+    return inapplicable(r.name, "fewer than 500 cycles (J=" + std::to_string(j) + ")");
+  }
+
+  // Visits-per-cycle histogram nu[k][state] for k = 0..5 (5 means ">= 5").
+  static const int kStates[8] = {-4, -3, -2, -1, 1, 2, 3, 4};
+  double nu[6][8] = {};
+  std::size_t visits[8] = {};
+  auto flush_cycle = [&]() {
+    for (std::size_t s = 0; s < 8; ++s) {
+      nu[std::min<std::size_t>(visits[s], 5)][s] += 1.0;
+      visits[s] = 0;
+    }
+  };
+  for (const long long v : walk) {
+    if (v == 0) {
+      flush_cycle();
+    } else if (v >= -4 && v <= 4) {
+      const std::size_t idx = static_cast<std::size_t>(v < 0 ? v + 4 : v + 3);
+      ++visits[idx];
+    }
+  }
+  if (walk.back() != 0) flush_cycle();  // the appended final return closes a cycle
+
+  const double dj = static_cast<double>(j);
+  for (std::size_t s = 0; s < 8; ++s) {
+    const double x = std::abs(kStates[s]);
+    // pi_k(x) from section 3.14.
+    double pi[6];
+    pi[0] = 1.0 - 1.0 / (2.0 * x);
+    for (int k = 1; k <= 4; ++k) {
+      pi[k] = (1.0 / (4.0 * x * x)) * std::pow(1.0 - 1.0 / (2.0 * x), k - 1);
+    }
+    pi[5] = (1.0 / (2.0 * x)) * std::pow(1.0 - 1.0 / (2.0 * x), 4.0);
+
+    double chi2 = 0.0;
+    for (std::size_t k = 0; k < 6; ++k) {
+      const double expected = dj * pi[k];
+      chi2 += (nu[k][s] - expected) * (nu[k][s] - expected) / expected;
+    }
+    r.p_values.push_back(num::igamc(2.5, chi2 / 2.0));
+  }
+  r.note = "J=" + std::to_string(j);
+  return r;
+}
+
+TestResult random_excursions_variant_test(const BitVec& bits) {
+  TestResult r;
+  r.name = "RandomExcursionsVariant";
+  if (bits.size() < 128) return inapplicable(r.name, "sequence too short");
+  const auto walk = partial_sums(bits);
+  const std::size_t j = cycle_count(walk);
+  if (j < 500) {
+    return inapplicable(r.name, "fewer than 500 cycles (J=" + std::to_string(j) + ")");
+  }
+
+  // Total visit counts xi(x) for x in -9..9 excluding 0.
+  double xi[19] = {};
+  for (const long long v : walk) {
+    if (v >= -9 && v <= 9) xi[v + 9] += 1.0;
+  }
+  const double dj = static_cast<double>(j);
+  for (int x = -9; x <= 9; ++x) {
+    if (x == 0) continue;
+    const double denom = std::sqrt(2.0 * dj * (4.0 * std::abs(x) - 2.0));
+    r.p_values.push_back(num::erfc(std::fabs(xi[x + 9] - dj) / denom));
+  }
+  r.note = "J=" + std::to_string(j);
+  return r;
+}
+
+}  // namespace ropuf::nist

@@ -1,0 +1,18 @@
+// NIST SP 800-22 rev. 1a, sections 2.14 and 2.15: random excursions.
+#pragma once
+
+#include "common/bitvec.h"
+#include "nist/test_result.h"
+
+namespace ropuf::nist {
+
+/// 2.14 Random excursions: 8 p-values, one per state x in {-4..-1, 1..4}.
+/// Inapplicable when the random walk has fewer than 500 zero-crossing
+/// cycles (the NIST abort rule).
+TestResult random_excursions_test(const BitVec& bits);
+
+/// 2.15 Random excursions variant: 18 p-values, one per state x in
+/// {-9..-1, 1..9}; same cycle-count applicability rule.
+TestResult random_excursions_variant_test(const BitVec& bits);
+
+}  // namespace ropuf::nist

@@ -1,0 +1,211 @@
+#include "nist/pattern_tests.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "numeric/special_functions.h"
+
+namespace ropuf::nist {
+namespace {
+
+/// Counts of every overlapping m-bit pattern, with circular wraparound
+/// (the serial / approximate-entropy convention).
+std::vector<double> circular_pattern_counts(const BitVec& bits, std::size_t m) {
+  const std::size_t n = bits.size();
+  std::vector<double> counts(std::size_t{1} << m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t v = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      v = (v << 1) | (bits.get((i + j) % n) ? 1u : 0u);
+    }
+    counts[v] += 1.0;
+  }
+  return counts;
+}
+
+/// psi-squared statistic of section 2.11.4.
+double psi_squared(const BitVec& bits, std::size_t m) {
+  if (m == 0) return 0.0;
+  const double n = static_cast<double>(bits.size());
+  const auto counts = circular_pattern_counts(bits, m);
+  double sum = 0.0;
+  for (const double c : counts) sum += c * c;
+  return sum * static_cast<double>(std::size_t{1} << m) / n - n;
+}
+
+/// phi statistic of section 2.12.4.
+double phi(const BitVec& bits, std::size_t m) {
+  if (m == 0) return 0.0;
+  const double n = static_cast<double>(bits.size());
+  const auto counts = circular_pattern_counts(bits, m);
+  double sum = 0.0;
+  for (const double c : counts) {
+    if (c > 0.0) sum += (c / n) * std::log(c / n);
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::vector<BitVec> aperiodic_templates(std::size_t m) {
+  ROPUF_REQUIRE(m >= 2 && m <= 16, "template length out of supported range");
+  std::vector<BitVec> templates;
+  for (std::size_t pattern = 0; pattern < (std::size_t{1} << m); ++pattern) {
+    bool aperiodic = true;
+    // Shift-overlap check: suffix of length m-k must differ from the prefix.
+    for (std::size_t k = 1; k < m && aperiodic; ++k) {
+      bool overlap = true;
+      for (std::size_t i = 0; i < m - k; ++i) {
+        const bool prefix_bit = (pattern >> (m - 1 - i)) & 1u;
+        const bool suffix_bit = (pattern >> (m - 1 - (i + k))) & 1u;
+        if (prefix_bit != suffix_bit) {
+          overlap = false;
+          break;
+        }
+      }
+      if (overlap) aperiodic = false;
+    }
+    if (!aperiodic) continue;
+    BitVec t(m);
+    for (std::size_t i = 0; i < m; ++i) t.set(i, (pattern >> (m - 1 - i)) & 1u);
+    templates.push_back(t);
+  }
+  return templates;
+}
+
+TestResult non_overlapping_template_test(const BitVec& bits, std::size_t m) {
+  TestResult r;
+  r.name = "NonOverlappingTemplate";
+  constexpr std::size_t kBlocks = 8;
+  const std::size_t n = bits.size();
+  const std::size_t block_len = n / kBlocks;
+  if (block_len < 2 * m) {
+    return inapplicable(r.name, "blocks too short for template length");
+  }
+
+  const double dm = static_cast<double>(m);
+  const double dM = static_cast<double>(block_len);
+  const double mean = (dM - dm + 1.0) / std::pow(2.0, dm);
+  const double variance =
+      dM * (1.0 / std::pow(2.0, dm) - (2.0 * dm - 1.0) / std::pow(2.0, 2.0 * dm));
+  if (mean <= 0.0 || variance <= 0.0) {
+    return inapplicable(r.name, "degenerate statistics for these parameters");
+  }
+
+  for (const BitVec& tmpl : aperiodic_templates(m)) {
+    double chi2 = 0.0;
+    for (std::size_t b = 0; b < kBlocks; ++b) {
+      std::size_t count = 0;
+      std::size_t i = 0;
+      while (i + m <= block_len) {
+        bool match = true;
+        for (std::size_t j = 0; j < m; ++j) {
+          if (bits.get(b * block_len + i + j) != tmpl.get(j)) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          ++count;
+          i += m;  // non-overlapping scan restarts after a hit
+        } else {
+          ++i;
+        }
+      }
+      const double w = static_cast<double>(count);
+      chi2 += (w - mean) * (w - mean) / variance;
+    }
+    r.p_values.push_back(num::igamc(static_cast<double>(kBlocks) / 2.0, chi2 / 2.0));
+  }
+  r.note = "m=" + std::to_string(m) + ", one p-value per template";
+  return r;
+}
+
+TestResult overlapping_template_test(const BitVec& bits, std::size_t m) {
+  TestResult r;
+  r.name = "OverlappingTemplate";
+  constexpr std::size_t kBlockLen = 1032;
+  constexpr std::size_t kCategories = 6;
+  // Class probabilities for M = 1032, m = 9 (section 2.8.4 / rev. 1a).
+  static const double kPi[kCategories] = {0.364091, 0.185659, 0.139381,
+                                          0.100571, 0.070432, 0.139865};
+  if (m != 9) return inapplicable(r.name, "class probabilities defined for m = 9");
+  const std::size_t blocks = bits.size() / kBlockLen;
+  if (blocks < 5) return inapplicable(r.name, "needs at least 5 blocks of 1032 bits");
+
+  std::vector<double> nu(kCategories, 0.0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i + m <= kBlockLen; ++i) {
+      bool all_ones = true;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (!bits.get(b * kBlockLen + i + j)) {
+          all_ones = false;
+          break;
+        }
+      }
+      if (all_ones) ++count;
+    }
+    nu[std::min(count, kCategories - 1)] += 1.0;
+  }
+
+  double chi2 = 0.0;
+  const double nb = static_cast<double>(blocks);
+  for (std::size_t c = 0; c < kCategories; ++c) {
+    const double expected = nb * kPi[c];
+    chi2 += (nu[c] - expected) * (nu[c] - expected) / expected;
+  }
+  r.p_values.push_back(num::igamc(static_cast<double>(kCategories - 1) / 2.0, chi2 / 2.0));
+  r.note = "N=" + std::to_string(blocks);
+  return r;
+}
+
+TestResult serial_test(const BitVec& bits, std::size_t m) {
+  TestResult r;
+  r.name = "Serial";
+  const std::size_t n = bits.size();
+  if (m < 2 || m > n || m > 20) {
+    return inapplicable(r.name, "requires 2 <= m <= min(n, 20)");
+  }
+  // NIST recommends m < log2(n) - 2; the worked examples (and the paper's
+  // 96-bit streams) run outside it, so it is advisory here.
+  if (static_cast<double>(m) >= std::log2(static_cast<double>(n)) - 2.0) {
+    r.note = "m exceeds recommended bound; ";
+  }
+
+  const double psi_m = psi_squared(bits, m);
+  const double psi_m1 = psi_squared(bits, m - 1);
+  const double psi_m2 = psi_squared(bits, m - 2);
+  // Both deltas are non-negative by construction; clamp float round-off.
+  const double del1 = std::max(0.0, psi_m - psi_m1);
+  const double del2 = std::max(0.0, psi_m - 2.0 * psi_m1 + psi_m2);
+
+  r.p_values.push_back(num::igamc(std::pow(2.0, static_cast<double>(m) - 2.0), del1 / 2.0));
+  r.p_values.push_back(num::igamc(std::pow(2.0, static_cast<double>(m) - 3.0), del2 / 2.0));
+  r.note += "m=" + std::to_string(m);
+  return r;
+}
+
+TestResult approximate_entropy_test(const BitVec& bits, std::size_t m) {
+  TestResult r;
+  r.name = "ApproximateEntropy";
+  const std::size_t n = bits.size();
+  if (m < 1 || m + 1 > n || m > 20) {
+    return inapplicable(r.name, "requires 1 <= m, m + 1 <= n, m <= 20");
+  }
+  // NIST recommends m < log2(n) - 5; advisory (see serial_test).
+  if (static_cast<double>(m) >= std::log2(static_cast<double>(n)) - 5.0) {
+    r.note = "m exceeds recommended bound; ";
+  }
+
+  const double apen = phi(bits, m) - phi(bits, m + 1);
+  const double chi2 =
+      std::max(0.0, 2.0 * static_cast<double>(n) * (std::log(2.0) - apen));
+  r.p_values.push_back(
+      num::igamc(std::pow(2.0, static_cast<double>(m) - 1.0), chi2 / 2.0));
+  r.note += "m=" + std::to_string(m);
+  return r;
+}
+
+}  // namespace ropuf::nist

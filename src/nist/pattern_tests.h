@@ -1,0 +1,36 @@
+// NIST SP 800-22 rev. 1a, sections 2.7, 2.8, 2.11, 2.12.
+//
+// Pattern-frequency tests: non-overlapping and overlapping template
+// matching, serial, and approximate entropy. Serial and approximate entropy
+// run on the paper's 96-bit streams (with small m); the template tests need
+// longer inputs and gate themselves.
+#pragma once
+
+#include <vector>
+
+#include "common/bitvec.h"
+#include "nist/test_result.h"
+
+namespace ropuf::nist {
+
+/// All aperiodic templates of length m (a template is aperiodic when no
+/// proper shift of it overlaps itself). NIST ships these as data files; this
+/// generates them. Counts match NIST's: 2, 4, 6, 12, 20, 40, 74, 148 for
+/// m = 2..9.
+std::vector<BitVec> aperiodic_templates(std::size_t m);
+
+/// 2.7 Non-overlapping template matching: one p-value per aperiodic
+/// template of length m, over N = 8 independent blocks.
+TestResult non_overlapping_template_test(const BitVec& bits, std::size_t m = 9);
+
+/// 2.8 Overlapping template matching (template of m ones, M = 1032).
+TestResult overlapping_template_test(const BitVec& bits, std::size_t m = 9);
+
+/// 2.11 Serial test with overlapping m-patterns (two p-values). Requires
+/// 2 <= m < log2(n) - 2 per the NIST guidance.
+TestResult serial_test(const BitVec& bits, std::size_t m = 16);
+
+/// 2.12 Approximate entropy. Requires m < log2(n) - 5 per the guidance.
+TestResult approximate_entropy_test(const BitVec& bits, std::size_t m = 10);
+
+}  // namespace ropuf::nist

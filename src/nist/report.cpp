@@ -1,0 +1,110 @@
+#include "nist/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "numeric/special_functions.h"
+
+namespace ropuf::nist {
+
+void FinalAnalysisReport::add_sequence(const std::vector<TestResult>& results) {
+  for (const TestResult& result : results) {
+    if (!result.applicable) continue;
+    for (std::size_t k = 0; k < result.p_values.size(); ++k) {
+      std::string name = result.name;
+      if (result.p_values.size() > 1) name += "-" + std::to_string(k + 1);
+      stream(name).p_values.push_back(result.p_values[k]);
+    }
+  }
+}
+
+FinalAnalysisReport::Stream& FinalAnalysisReport::stream(const std::string& name) {
+  for (Stream& s : streams_) {
+    if (s.name == name) return s;
+  }
+  streams_.push_back(Stream{name, {}});
+  return streams_.back();
+}
+
+std::size_t FinalAnalysisReport::min_pass_count(std::size_t total) {
+  ROPUF_REQUIRE(total > 0, "empty sample");
+  const double p_hat = 1.0 - kAlpha;
+  const double bound =
+      p_hat - 3.0 * std::sqrt(p_hat * kAlpha / static_cast<double>(total));
+  // NIST's report prints the truncated bound ("approximately 93 for 97
+  // sequences"); we adopt the same convention for both display and check.
+  return static_cast<std::size_t>(bound * static_cast<double>(total));
+}
+
+std::vector<FinalAnalysisReport::Row> FinalAnalysisReport::rows() const {
+  std::vector<Row> rows;
+  rows.reserve(streams_.size());
+  for (const Stream& s : streams_) {
+    Row row;
+    row.name = s.name;
+    row.total = s.p_values.size();
+    for (const double p : s.p_values) {
+      // Bucket k covers [k/10, (k+1)/10); p = 1.0 lands in the last bucket.
+      const std::size_t bucket =
+          std::min<std::size_t>(9, static_cast<std::size_t>(p * 10.0));
+      ++row.buckets[bucket];
+      if (p >= kAlpha) ++row.passed;
+    }
+    if (row.total > 0) {
+      // Uniformity: chi-square of the 10 bins against the uniform law.
+      const double expected = static_cast<double>(row.total) / 10.0;
+      double chi2 = 0.0;
+      for (const std::size_t count : row.buckets) {
+        const double diff = static_cast<double>(count) - expected;
+        chi2 += diff * diff / expected;
+      }
+      row.uniformity_p = num::igamc(4.5, chi2 / 2.0);  // 9 dof
+      row.proportion_ok = row.passed >= min_pass_count(row.total);
+      row.uniformity_ok = row.uniformity_p >= 0.0001;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+bool FinalAnalysisReport::all_pass() const {
+  const auto all = rows();
+  if (all.empty()) return false;
+  for (const Row& row : all) {
+    if (!row.proportion_ok || !row.uniformity_ok) return false;
+  }
+  return true;
+}
+
+std::string FinalAnalysisReport::render() const {
+  std::ostringstream os;
+  os << "------------------------------------------------------------------------------\n";
+  os << " C1  C2  C3  C4  C5  C6  C7  C8  C9 C10  P-VALUE  PROPORTION  STATISTICAL TEST\n";
+  os << "------------------------------------------------------------------------------\n";
+  for (const Row& row : rows()) {
+    for (const std::size_t count : row.buckets) {
+      os.width(3);
+      os << count << " ";
+    }
+    os.setf(std::ios::fixed);
+    os.precision(6);
+    os.width(8);
+    os << row.uniformity_p << (row.uniformity_ok ? "  " : " *");
+    os << " ";
+    os.width(4);
+    os << row.passed << "/" << row.total << (row.proportion_ok ? "    " : " *  ");
+    os << "  " << row.name << "\n";
+  }
+  const auto all = rows();
+  if (!all.empty()) {
+    os << "------------------------------------------------------------------------------\n";
+    os << "The minimum pass rate for each statistical test is approximately "
+       << min_pass_count(all.front().total) << " for a sample size of "
+       << all.front().total << " binary sequences.\n";
+  }
+  return os.str();
+}
+
+}  // namespace ropuf::nist

@@ -1,0 +1,61 @@
+// The NIST multi-sequence "final analysis report".
+//
+// Tables I and II of the paper are exactly this artifact: per statistical
+// test, the histogram of p-values over all tested sequences in ten bins
+// (C1..C10), the uniformity p-value of that histogram (chi-square, 9 dof),
+// and the proportion of sequences that passed at alpha = 0.01 together with
+// the minimum acceptable proportion p_hat - 3 sqrt(p_hat (1-p_hat) / s).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nist/test_result.h"
+
+namespace ropuf::nist {
+
+/// Aggregates per-sequence results into the NIST report.
+class FinalAnalysisReport {
+ public:
+  /// Feeds one sequence's results. Tests with multiple p-values contribute
+  /// one report row per sub-statistic (the NIST tool does the same, e.g.
+  /// two CumulativeSums rows). Inapplicable results are skipped.
+  void add_sequence(const std::vector<TestResult>& results);
+
+  struct Row {
+    std::string name;                 ///< test name (+ sub-index if several)
+    std::array<std::size_t, 10> buckets{};  ///< C1..C10 p-value histogram
+    double uniformity_p = 0.0;        ///< chi-square uniformity of p-values
+    std::size_t passed = 0;           ///< sequences with p >= 0.01
+    std::size_t total = 0;            ///< sequences scored
+    bool proportion_ok = false;       ///< passed >= minimum pass count
+    bool uniformity_ok = false;       ///< uniformity_p >= 0.0001 (NIST rule)
+  };
+
+  /// Finalized rows (uniformity recomputed on every call).
+  std::vector<Row> rows() const;
+
+  /// NIST minimum passing count for a sample of `total` sequences.
+  static std::size_t min_pass_count(std::size_t total);
+
+  /// True when every row satisfies both the proportion and the uniformity
+  /// criteria — "passes the NIST test" in the paper's sense.
+  bool all_pass() const;
+
+  /// Renders the classic fixed-width report table.
+  std::string render() const;
+
+ private:
+  struct Stream {
+    std::string name;
+    std::vector<double> p_values;
+  };
+  /// Finds or creates the accumulation stream for a named sub-statistic.
+  Stream& stream(const std::string& name);
+
+  std::vector<Stream> streams_;
+};
+
+}  // namespace ropuf::nist

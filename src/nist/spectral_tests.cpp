@@ -1,0 +1,144 @@
+#include "nist/spectral_tests.h"
+
+#include <cmath>
+#include <vector>
+
+#include "numeric/fft.h"
+#include "numeric/gf2.h"
+#include "numeric/special_functions.h"
+
+namespace ropuf::nist {
+
+TestResult matrix_rank_test(const BitVec& bits) {
+  TestResult r;
+  r.name = "Rank";
+  constexpr std::size_t kDim = 32;
+  constexpr std::size_t kBlockBits = kDim * kDim;
+  const std::size_t blocks = bits.size() / kBlockBits;
+  if (blocks < 38) return inapplicable(r.name, "needs at least 38 32x32 blocks (38912 bits)");
+
+  // Asymptotic probabilities of rank 32 / 31 / <=30 (SP 800-22 section 3.5).
+  constexpr double kPFull = 0.2888;
+  constexpr double kPMinus1 = 0.5776;
+  constexpr double kPRest = 0.1336;
+
+  double f_full = 0.0, f_minus1 = 0.0, f_rest = 0.0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    num::Gf2Matrix m(kDim, kDim);
+    for (std::size_t row = 0; row < kDim; ++row) {
+      for (std::size_t col = 0; col < kDim; ++col) {
+        m.set(row, col, bits.get(b * kBlockBits + row * kDim + col));
+      }
+    }
+    const std::size_t rank = m.rank();
+    if (rank == kDim) {
+      f_full += 1.0;
+    } else if (rank == kDim - 1) {
+      f_minus1 += 1.0;
+    } else {
+      f_rest += 1.0;
+    }
+  }
+
+  const double nb = static_cast<double>(blocks);
+  const double chi2 = (f_full - kPFull * nb) * (f_full - kPFull * nb) / (kPFull * nb) +
+                      (f_minus1 - kPMinus1 * nb) * (f_minus1 - kPMinus1 * nb) /
+                          (kPMinus1 * nb) +
+                      (f_rest - kPRest * nb) * (f_rest - kPRest * nb) / (kPRest * nb);
+  r.p_values.push_back(std::exp(-chi2 / 2.0));  // igamc(1, x/2) = exp(-x/2)
+  r.note = "N=" + std::to_string(blocks);
+  return r;
+}
+
+TestResult dft_test(const BitVec& bits) {
+  TestResult r;
+  r.name = "FFT";
+  const std::size_t n = bits.size();
+  // NIST recommends n >= 1000; below that the sub-threshold count N1 takes
+  // so few distinct values that the p-value histogram cannot be uniform.
+  if (n < 1000) return inapplicable(r.name, "needs n >= 1000");
+
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = bits.get(i) ? 1.0 : -1.0;
+  const std::vector<double> mags = num::dft_magnitudes(x);
+
+  // Peak threshold T and expected sub-threshold count (rev. 1a constants).
+  const double dn = static_cast<double>(n);
+  const double threshold = std::sqrt(std::log(1.0 / 0.05) * dn);
+  const double n0 = 0.95 * dn / 2.0;
+  double n1 = 0.0;
+  for (std::size_t j = 0; j < n / 2; ++j) {
+    if (mags[j] < threshold) n1 += 1.0;
+  }
+  const double d = (n1 - n0) / std::sqrt(dn * 0.95 * 0.05 / 4.0);
+  r.p_values.push_back(num::erfc(std::fabs(d) / std::sqrt(2.0)));
+  return r;
+}
+
+TestResult universal_test(const BitVec& bits) {
+  TestResult r;
+  r.name = "Universal";
+  const std::size_t n = bits.size();
+
+  // Block length selection and distribution constants (section 2.9.4 /
+  // reference implementation tables).
+  struct Params {
+    std::size_t min_n;
+    std::size_t block_len;
+    double expected;
+    double variance;
+  };
+  static const Params kTable[] = {
+      {1059061760, 16, 15.167379, 3.421}, {496435200, 15, 14.167488, 3.419},
+      {231669760, 14, 13.167693, 3.416},  {107560960, 13, 12.168070, 3.410},
+      {49643520, 12, 11.168765, 3.401},   {22753280, 11, 10.170032, 3.384},
+      {10342400, 10, 9.1723243, 3.356},   {4654080, 9, 8.1764248, 3.311},
+      {2068480, 8, 7.1836656, 3.238},     {904960, 7, 6.1962507, 3.125},
+      {387840, 6, 5.2177052, 2.954},
+  };
+
+  std::size_t block_len = 0;
+  double expected = 0.0, variance = 0.0;
+  for (const Params& p : kTable) {
+    if (n >= p.min_n) {
+      block_len = p.block_len;
+      expected = p.expected;
+      variance = p.variance;
+      break;
+    }
+  }
+  if (block_len == 0) return inapplicable(r.name, "needs n >= 387840");
+
+  const std::size_t q = 10u * (std::size_t{1} << block_len);  // init blocks
+  const std::size_t total_blocks = n / block_len;
+  const std::size_t k = total_blocks - q;  // test blocks
+
+  std::vector<std::size_t> last_seen(std::size_t{1} << block_len, 0);
+  auto block_value = [&](std::size_t blk) {
+    std::size_t v = 0;
+    for (std::size_t i = 0; i < block_len; ++i) {
+      v = (v << 1) | (bits.get(blk * block_len + i) ? 1u : 0u);
+    }
+    return v;
+  };
+
+  for (std::size_t blk = 0; blk < q; ++blk) last_seen[block_value(blk)] = blk + 1;
+
+  double sum = 0.0;
+  for (std::size_t blk = q; blk < total_blocks; ++blk) {
+    const std::size_t v = block_value(blk);
+    sum += std::log2(static_cast<double>(blk + 1 - last_seen[v]));
+    last_seen[v] = blk + 1;
+  }
+  const double fn = sum / static_cast<double>(k);
+
+  const double dl = static_cast<double>(block_len);
+  const double dk = static_cast<double>(k);
+  const double c = 0.7 - 0.8 / dl + (4.0 + 32.0 / dl) * std::pow(dk, -3.0 / dl) / 15.0;
+  const double sigma = c * std::sqrt(variance / dk);
+  r.p_values.push_back(num::erfc(std::fabs(fn - expected) / (std::sqrt(2.0) * sigma)));
+  r.note = "L=" + std::to_string(block_len);
+  return r;
+}
+
+}  // namespace ropuf::nist

@@ -1,0 +1,25 @@
+// NIST SP 800-22 rev. 1a, sections 2.5, 2.6 and 2.9.
+//
+// Binary matrix rank, discrete Fourier transform (spectral), and Maurer's
+// universal statistical test. All three need sequences far longer than the
+// paper's 96-bit streams and report themselves inapplicable there; they are
+// implemented in full because the suite is a reusable substrate (and the
+// library's own RNG is validated against it in the tests).
+#pragma once
+
+#include "common/bitvec.h"
+#include "nist/test_result.h"
+
+namespace ropuf::nist {
+
+/// 2.5 Binary matrix rank (32x32 blocks). Needs n >= 38 * 1024.
+TestResult matrix_rank_test(const BitVec& bits);
+
+/// 2.6 Discrete Fourier transform (spectral). Requires n >= 1000 (the NIST
+/// recommendation; below it the discretized statistic breaks uniformity).
+TestResult dft_test(const BitVec& bits);
+
+/// 2.9 Maurer's universal statistical test. Needs n >= 387840 (L = 6).
+TestResult universal_test(const BitVec& bits);
+
+}  // namespace ropuf::nist

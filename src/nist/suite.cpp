@@ -1,0 +1,46 @@
+#include "nist/suite.h"
+
+#include "nist/basic_tests.h"
+#include "nist/complexity_tests.h"
+#include "nist/excursion_tests.h"
+#include "nist/pattern_tests.h"
+#include "nist/spectral_tests.h"
+
+namespace ropuf::nist {
+
+SuiteConfig paper_config() {
+  SuiteConfig config;
+  config.block_frequency_block = 8;   // 12 blocks in a 96-bit stream
+  config.serial_m = 3;
+  config.approximate_entropy_m = 2;
+  config.include_template_tests = false;
+  config.include_excursion_tests = false;
+  config.include_cusum = false;  // discretized at 96 bits; see SuiteConfig
+  return config;
+}
+
+std::vector<TestResult> run_suite(const BitVec& bits, const SuiteConfig& config) {
+  std::vector<TestResult> results;
+  results.push_back(frequency_test(bits));
+  results.push_back(block_frequency_test(bits, config.block_frequency_block));
+  if (config.include_cusum) results.push_back(cumulative_sums_test(bits));
+  results.push_back(runs_test(bits));
+  results.push_back(longest_run_test(bits));
+  results.push_back(matrix_rank_test(bits));
+  results.push_back(dft_test(bits));
+  if (config.include_template_tests) {
+    results.push_back(non_overlapping_template_test(bits, config.non_overlapping_m));
+    results.push_back(overlapping_template_test(bits));
+  }
+  results.push_back(universal_test(bits));
+  results.push_back(linear_complexity_test(bits, config.linear_complexity_block));
+  results.push_back(serial_test(bits, config.serial_m));
+  results.push_back(approximate_entropy_test(bits, config.approximate_entropy_m));
+  if (config.include_excursion_tests) {
+    results.push_back(random_excursions_test(bits));
+    results.push_back(random_excursions_variant_test(bits));
+  }
+  return results;
+}
+
+}  // namespace ropuf::nist

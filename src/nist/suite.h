@@ -1,0 +1,39 @@
+// Driver that runs a configured battery of SP 800-22 tests on one sequence.
+#pragma once
+
+#include <vector>
+
+#include "common/bitvec.h"
+#include "nist/test_result.h"
+
+namespace ropuf::nist {
+
+/// Per-test parameters of a suite run. Defaults follow the NIST reference
+/// configuration for long streams.
+struct SuiteConfig {
+  std::size_t block_frequency_block = 128;
+  std::size_t serial_m = 16;
+  std::size_t approximate_entropy_m = 10;
+  std::size_t non_overlapping_m = 9;
+  std::size_t linear_complexity_block = 500;
+  /// Template/excursion tests are expensive and pointless on short streams;
+  /// switching them off removes them from the run entirely (rather than
+  /// reporting them inapplicable).
+  bool include_template_tests = true;
+  bool include_excursion_tests = true;
+  /// Cumulative sums is sound per-sequence at any length, but on very short
+  /// streams its max-excursion statistic takes so few distinct values that
+  /// the multi-sequence uniformity meta-test fails even for ideal
+  /// randomness. paper_config() therefore drops it (see EXPERIMENTS.md).
+  bool include_cusum = true;
+};
+
+/// Parameters suitable for the paper's 96-bit response streams: small block
+/// and pattern lengths, long-stream-only tests disabled. This mirrors what
+/// the NIST tool effectively runs at such lengths.
+SuiteConfig paper_config();
+
+/// Runs every configured test; inapplicable tests are reported as such.
+std::vector<TestResult> run_suite(const BitVec& bits, const SuiteConfig& config);
+
+}  // namespace ropuf::nist

@@ -1,0 +1,40 @@
+// Common result type of the NIST SP 800-22 statistical tests.
+//
+// Each test maps a bit sequence to one or more p-values (some tests, e.g.
+// cumulative sums or serial, are defined with two; random excursions with
+// eight). A test may also declare itself inapplicable when the sequence is
+// shorter than the test's validity requirements — the paper's 96-bit
+// streams support only a subset of the suite, exactly as the NIST guidance
+// prescribes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ropuf::nist {
+
+/// NIST's per-sequence significance level: a sequence passes a test when
+/// p >= 0.01.
+inline constexpr double kAlpha = 0.01;
+
+/// Outcome of one statistical test on one sequence.
+struct TestResult {
+  std::string name;               ///< e.g. "Frequency", "Serial"
+  std::vector<double> p_values;   ///< one entry per sub-statistic
+  bool applicable = true;         ///< false when n violates test preconditions
+  std::string note;               ///< applicability detail / parameters
+
+  /// Pass/fail at the NIST significance level (all sub-p-values must pass).
+  bool passed() const {
+    if (!applicable) return false;
+    for (const double p : p_values) {
+      if (p < kAlpha) return false;
+    }
+    return !p_values.empty();
+  }
+};
+
+/// Convenience constructor for an inapplicable outcome.
+TestResult inapplicable(const std::string& name, const std::string& why);
+
+}  // namespace ropuf::nist

@@ -1,0 +1,41 @@
+#include "numeric/berlekamp_massey.h"
+
+#include "common/error.h"
+
+namespace ropuf::num {
+
+std::size_t linear_complexity(const std::vector<int>& bits) {
+  const std::size_t n = bits.size();
+  for (const int b : bits) ROPUF_REQUIRE(b == 0 || b == 1, "bits must be 0/1");
+
+  // Classic Berlekamp-Massey (Massey 1969) with connection polynomial c and
+  // previous polynomial bpoly.
+  std::vector<int> c(n + 1, 0), bpoly(n + 1, 0), t;
+  c[0] = 1;
+  bpoly[0] = 1;
+  std::size_t l = 0;  // current linear complexity
+  std::size_t m = 0;  // steps since last length change, minus one
+  // NIST's convention: m starts at -1; we track m_offset = m + 1 to keep it unsigned.
+
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    // Discrepancy d = s[idx] + sum_{i=1..l} c[i] * s[idx - i] (mod 2).
+    int d = bits[idx];
+    for (std::size_t i = 1; i <= l && i <= idx; ++i) d ^= c[i] & bits[idx - i];
+    ++m;
+    if (d == 0) continue;
+
+    t = c;
+    // c(x) ^= x^m * bpoly(x)
+    for (std::size_t i = 0; i + m <= n; ++i) {
+      if (bpoly[i]) c[i + m] ^= 1;
+    }
+    if (2 * l <= idx) {
+      l = idx + 1 - l;
+      bpoly = t;
+      m = 0;
+    }
+  }
+  return l;
+}
+
+}  // namespace ropuf::num

@@ -1,0 +1,12 @@
+// Berlekamp-Massey over GF(2), for the NIST linear-complexity test.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ropuf::num {
+
+/// Length of the shortest LFSR generating the bit sequence (values 0/1).
+std::size_t linear_complexity(const std::vector<int>& bits);
+
+}  // namespace ropuf::num

@@ -1,0 +1,104 @@
+#include "numeric/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace ropuf::num {
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void fft_radix2(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  ROPUF_REQUIRE(is_power_of_two(n), "fft_radix2 requires a power-of-two length");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<Complex> dft(const std::vector<Complex>& input) {
+  const std::size_t n = input.size();
+  if (n == 0) return {};
+  if (is_power_of_two(n)) {
+    std::vector<Complex> data = input;
+    fft_radix2(data, /*inverse=*/false);
+    return data;
+  }
+
+  // Bluestein: X_k = conj(w_k) * sum_j (x_j w_j) * w*_{k-j}
+  // with w_m = exp(-i pi m^2 / n); the sum is a convolution of length 2n-1
+  // evaluated via a power-of-two FFT.
+  const std::size_t m = next_power_of_two(2 * n - 1);
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // m^2 mod 2n keeps the phase argument bounded (phases repeat mod 2n).
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double angle = std::numbers::pi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), -std::sin(angle));
+  }
+
+  std::vector<Complex> a(m, Complex(0.0, 0.0));
+  std::vector<Complex> b(m, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = std::conj(chirp[k]);
+    b[m - k] = b[k];  // circular symmetry places w*_{-j} at the tail
+  }
+
+  fft_radix2(a, false);
+  fft_radix2(b, false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_radix2(a, true);
+
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
+  return out;
+}
+
+std::vector<double> dft_magnitudes(const std::vector<double>& input) {
+  std::vector<Complex> c(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) c[i] = Complex(input[i], 0.0);
+  const auto spectrum = dft(c);
+  std::vector<double> mags(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) mags[i] = std::abs(spectrum[i]);
+  return mags;
+}
+
+}  // namespace ropuf::num

@@ -1,0 +1,27 @@
+// Fast Fourier transforms for the NIST discrete-Fourier-transform test.
+//
+// Power-of-two lengths use an iterative radix-2 Cooley-Tukey transform;
+// arbitrary lengths (NIST streams are rarely powers of two — the paper's
+// are 96 bits) go through Bluestein's chirp-z algorithm, which reduces any
+// length-n DFT to a power-of-two convolution.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace ropuf::num {
+
+using Complex = std::complex<double>;
+
+/// In-place radix-2 FFT; data.size() must be a power of two.
+/// `inverse` applies the conjugate transform and the 1/n scale.
+void fft_radix2(std::vector<Complex>& data, bool inverse);
+
+/// DFT of arbitrary length (Bluestein). Returns the transformed sequence.
+std::vector<Complex> dft(const std::vector<Complex>& input);
+
+/// Convenience for the NIST test: DFT of a real-valued sequence, returning
+/// the modulus of each output bin.
+std::vector<double> dft_magnitudes(const std::vector<double>& input);
+
+}  // namespace ropuf::num

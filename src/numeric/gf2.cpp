@@ -1,0 +1,45 @@
+#include "numeric/gf2.h"
+
+#include "common/error.h"
+
+namespace ropuf::num {
+
+Gf2Matrix::Gf2Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), row_bits_(rows, 0) {
+  ROPUF_REQUIRE(cols <= 64, "Gf2Matrix supports at most 64 columns");
+}
+
+bool Gf2Matrix::get(std::size_t r, std::size_t c) const {
+  ROPUF_REQUIRE(r < rows_ && c < cols_, "Gf2Matrix index out of range");
+  return (row_bits_[r] >> c) & 1u;
+}
+
+void Gf2Matrix::set(std::size_t r, std::size_t c, bool value) {
+  ROPUF_REQUIRE(r < rows_ && c < cols_, "Gf2Matrix index out of range");
+  const std::uint64_t mask = std::uint64_t{1} << c;
+  if (value) {
+    row_bits_[r] |= mask;
+  } else {
+    row_bits_[r] &= ~mask;
+  }
+}
+
+std::size_t Gf2Matrix::rank() const {
+  std::vector<std::uint64_t> rows = row_bits_;
+  std::size_t rank = 0;
+  for (std::size_t c = 0; c < cols_ && rank < rows.size(); ++c) {
+    const std::uint64_t mask = std::uint64_t{1} << c;
+    // Find a pivot row with bit c set at or below `rank`.
+    std::size_t pivot = rank;
+    while (pivot < rows.size() && !(rows[pivot] & mask)) ++pivot;
+    if (pivot == rows.size()) continue;
+    std::swap(rows[rank], rows[pivot]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r != rank && (rows[r] & mask)) rows[r] ^= rows[rank];
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace ropuf::num

@@ -1,0 +1,31 @@
+// Rank of binary matrices over GF(2), for the NIST binary matrix rank test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ropuf::num {
+
+/// Binary matrix stored as one 64-bit-packed row per entry (up to 64 cols,
+/// which covers NIST's 32x32 blocks with headroom).
+class Gf2Matrix {
+ public:
+  Gf2Matrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  bool get(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, bool value);
+
+  /// Rank over GF(2) by row-reduction (destructive on a copy).
+  std::size_t rank() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::uint64_t> row_bits_;
+};
+
+}  // namespace ropuf::num

@@ -1,0 +1,138 @@
+#include "numeric/linear_solver.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::num {
+namespace {
+
+constexpr double kSingularTol = 1e-12;
+
+/// In-place LU factorization with partial pivoting.
+/// Returns the permutation sign; `lu` holds L (unit diagonal, below) and U.
+double lu_factor(Matrix& lu, std::vector<std::size_t>& perm) {
+  const std::size_t n = lu.rows();
+  perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  double sign = 1.0;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    double best = std::fabs(lu.at(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::fabs(lu.at(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    ROPUF_REQUIRE(best > kSingularTol, "singular matrix in LU factorization");
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu.at(k, c), lu.at(pivot, c));
+      std::swap(perm[k], perm[pivot]);
+      sign = -sign;
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu.at(r, k) / lu.at(k, k);
+      lu.at(r, k) = factor;
+      for (std::size_t c = k + 1; c < n; ++c) lu.at(r, c) -= factor * lu.at(k, c);
+    }
+  }
+  return sign;
+}
+
+}  // namespace
+
+std::vector<double> solve_lu(const Matrix& a, const std::vector<double>& b) {
+  ROPUF_REQUIRE(a.rows() == a.cols(), "solve_lu needs a square matrix");
+  ROPUF_REQUIRE(b.size() == a.rows(), "rhs size mismatch");
+  const std::size_t n = a.rows();
+
+  Matrix lu = a;
+  std::vector<std::size_t> perm;
+  lu_factor(lu, perm);
+
+  // Forward substitution with permuted rhs (L has unit diagonal).
+  std::vector<double> y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[perm[r]];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu.at(r, c) * y[c];
+    y[r] = acc;
+  }
+  // Back substitution with U.
+  std::vector<double> x(n);
+  for (std::size_t ri = n; ri > 0; --ri) {
+    const std::size_t r = ri - 1;
+    double acc = y[r];
+    for (std::size_t c = r + 1; c < n; ++c) acc -= lu.at(r, c) * x[c];
+    x[r] = acc / lu.at(r, r);
+  }
+  return x;
+}
+
+std::vector<double> solve_least_squares(const Matrix& a, const std::vector<double>& b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  ROPUF_REQUIRE(m >= n && n > 0, "least squares needs rows >= cols >= 1");
+  ROPUF_REQUIRE(b.size() == m, "rhs size mismatch");
+
+  // Householder QR applied to [A | b] in place.
+  Matrix r = a;
+  std::vector<double> rhs = b;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build Householder vector for column k below (and including) row k.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r.at(i, k) * r.at(i, k);
+    norm = std::sqrt(norm);
+    ROPUF_REQUIRE(norm > kSingularTol, "rank-deficient matrix in least squares");
+
+    const double alpha = (r.at(k, k) >= 0.0) ? -norm : norm;
+    std::vector<double> v(m - k);
+    v[0] = r.at(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r.at(i, k);
+    double vnorm2 = 0.0;
+    for (const double vi : v) vnorm2 += vi * vi;
+    if (vnorm2 <= kSingularTol * kSingularTol) continue;  // column already triangular
+
+    // Apply H = I - 2 v v^T / (v^T v) to the trailing block and to rhs.
+    for (std::size_t c = k; c < n; ++c) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * r.at(i, c);
+      const double scale = 2.0 * dot / vnorm2;
+      for (std::size_t i = k; i < m; ++i) r.at(i, c) -= scale * v[i - k];
+    }
+    double dot = 0.0;
+    for (std::size_t i = k; i < m; ++i) dot += v[i - k] * rhs[i];
+    const double scale = 2.0 * dot / vnorm2;
+    for (std::size_t i = k; i < m; ++i) rhs[i] -= scale * v[i - k];
+  }
+
+  // Back substitution on the upper-triangular n x n block.
+  std::vector<double> x(n);
+  for (std::size_t ki = n; ki > 0; --ki) {
+    const std::size_t k = ki - 1;
+    ROPUF_REQUIRE(std::fabs(r.at(k, k)) > kSingularTol, "rank-deficient matrix in least squares");
+    double acc = rhs[k];
+    for (std::size_t c = k + 1; c < n; ++c) acc -= r.at(k, c) * x[c];
+    x[k] = acc / r.at(k, k);
+  }
+  return x;
+}
+
+double determinant(const Matrix& a) {
+  ROPUF_REQUIRE(a.rows() == a.cols(), "determinant needs a square matrix");
+  Matrix lu = a;
+  std::vector<std::size_t> perm;
+  double det;
+  try {
+    det = lu_factor(lu, perm);
+  } catch (const Error&) {
+    return 0.0;  // singular to working precision
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) det *= lu.at(i, i);
+  return det;
+}
+
+}  // namespace ropuf::num

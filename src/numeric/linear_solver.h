@@ -1,0 +1,28 @@
+// Linear system and least-squares solvers.
+//
+// Used by the delay extractor (recovering per-unit delay differences from
+// whole-RO measurements, Section III.B of the paper) and by the regression
+// distiller [18] (polynomial fit of systematic variation). Square systems go
+// through LU with partial pivoting; rectangular least-squares problems go
+// through Householder QR, which is numerically safer than normal equations
+// for the near-collinear design matrices polynomial bases produce.
+#pragma once
+
+#include <vector>
+
+#include "numeric/matrix.h"
+
+namespace ropuf::num {
+
+/// Solves A x = b for square non-singular A (LU, partial pivoting).
+/// Throws ropuf::Error if A is singular to working precision.
+std::vector<double> solve_lu(const Matrix& a, const std::vector<double>& b);
+
+/// Minimizes ||A x - b||_2 for A with rows() >= cols() and full column rank
+/// (Householder QR). Throws ropuf::Error on rank deficiency.
+std::vector<double> solve_least_squares(const Matrix& a, const std::vector<double>& b);
+
+/// Determinant via LU; exposed for tests and diagnostics.
+double determinant(const Matrix& a);
+
+}  // namespace ropuf::num

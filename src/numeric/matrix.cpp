@@ -1,0 +1,91 @@
+#include "numeric/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::num {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  ROPUF_REQUIRE(!rows.empty(), "from_rows needs at least one row");
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    ROPUF_REQUIRE(rows[r].size() == m.cols_, "ragged rows in from_rows");
+    for (std::size_t c = 0; c < m.cols_; ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  ROPUF_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  ROPUF_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  ROPUF_REQUIRE(cols_ == rhs.rows_, "matrix product shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = at(r, k);
+      if (v == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out.at(r, c) += v * rhs.at(k, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  ROPUF_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix sum shape mismatch");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  ROPUF_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix diff shape mismatch");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - rhs.data_[i];
+  return out;
+}
+
+std::vector<double> Matrix::apply(const std::vector<double>& v) const {
+  ROPUF_REQUIRE(v.size() == cols_, "matrix-vector shape mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += at(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (const double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+}  // namespace ropuf::num

@@ -1,0 +1,50 @@
+// Small dense row-major matrix of doubles.
+//
+// Sized for the library's needs: design matrices for polynomial regression
+// (distiller), the delay-extraction linear systems (tens of unknowns), and
+// the NIST rank test work on GF(2) (see gf2.h). Not a general BLAS.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ropuf::num {
+
+/// Dense row-major matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from nested initializer-style data; all rows must be equal length.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+
+  /// Matrix-vector product; v.size() must equal cols().
+  std::vector<double> apply(const std::vector<double>& v) const;
+
+  /// Max-abs-element norm; used by tests for approximate equality.
+  double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ropuf::num

@@ -1,0 +1,69 @@
+#include "numeric/polyfit.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "numeric/linear_solver.h"
+#include "numeric/matrix.h"
+
+namespace ropuf::num {
+
+double Poly1D::eval(double x) const {
+  // Horner evaluation, highest degree first.
+  double acc = 0.0;
+  for (std::size_t ki = coeff.size(); ki > 0; --ki) acc = acc * x + coeff[ki - 1];
+  return acc;
+}
+
+Poly1D polyfit_1d(const std::vector<double>& x, const std::vector<double>& y,
+                  std::size_t degree) {
+  ROPUF_REQUIRE(x.size() == y.size(), "x/y size mismatch");
+  ROPUF_REQUIRE(x.size() >= degree + 1, "not enough samples for requested degree");
+
+  Matrix design(x.size(), degree + 1);
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    double p = 1.0;
+    for (std::size_t c = 0; c <= degree; ++c) {
+      design.at(r, c) = p;
+      p *= x[r];
+    }
+  }
+  return Poly1D{solve_least_squares(design, y)};
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> monomials_2d(std::size_t degree) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t total = 0; total <= degree; ++total) {
+    for (std::size_t i = 0; i <= total; ++i) out.emplace_back(i, total - i);
+  }
+  return out;
+}
+
+double Poly2D::eval(double x, double y) const {
+  const auto monos = monomials_2d(degree);
+  ROPUF_REQUIRE(monos.size() == coeff.size(), "Poly2D coefficient count mismatch");
+  double acc = 0.0;
+  for (std::size_t k = 0; k < monos.size(); ++k) {
+    acc += coeff[k] * std::pow(x, static_cast<double>(monos[k].first)) *
+           std::pow(y, static_cast<double>(monos[k].second));
+  }
+  return acc;
+}
+
+Poly2D polyfit_2d(const std::vector<double>& x, const std::vector<double>& y,
+                  const std::vector<double>& z, std::size_t degree) {
+  ROPUF_REQUIRE(x.size() == y.size() && y.size() == z.size(), "x/y/z size mismatch");
+  const auto monos = monomials_2d(degree);
+  ROPUF_REQUIRE(x.size() >= monos.size(), "not enough samples for requested degree");
+
+  Matrix design(x.size(), monos.size());
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    for (std::size_t c = 0; c < monos.size(); ++c) {
+      design.at(r, c) = std::pow(x[r], static_cast<double>(monos[c].first)) *
+                        std::pow(y[r], static_cast<double>(monos[c].second));
+    }
+  }
+  return Poly2D{degree, solve_least_squares(design, z)};
+}
+
+}  // namespace ropuf::num

@@ -1,0 +1,44 @@
+// Polynomial regression in one and two variables.
+//
+// The regression-based distiller [18] models the systematic (spatially
+// smooth) component of RO frequency as a low-degree polynomial of the RO's
+// die coordinates and keeps only the residual, which is what makes the raw
+// PUF bit-streams pass NIST (paper Section IV.A).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ropuf::num {
+
+/// Coefficients c[k] of sum_k c[k] * x^k, lowest degree first.
+struct Poly1D {
+  std::vector<double> coeff;
+
+  double eval(double x) const;
+};
+
+/// Fits a degree-`degree` polynomial to (x, y) samples by least squares.
+/// Requires at least degree+1 samples.
+Poly1D polyfit_1d(const std::vector<double>& x, const std::vector<double>& y,
+                  std::size_t degree);
+
+/// Bivariate polynomial: sum over all monomials x^i y^j with i + j <= degree.
+struct Poly2D {
+  std::size_t degree = 0;
+  /// Coefficients in the order produced by monomials_2d(degree).
+  std::vector<double> coeff;
+
+  double eval(double x, double y) const;
+};
+
+/// Exponent pairs (i, j) with i + j <= degree, in a fixed deterministic order.
+std::vector<std::pair<std::size_t, std::size_t>> monomials_2d(std::size_t degree);
+
+/// Fits a total-degree-`degree` bivariate polynomial to (x, y) -> z samples.
+/// Requires at least as many samples as monomials.
+Poly2D polyfit_2d(const std::vector<double>& x, const std::vector<double>& y,
+                  const std::vector<double>& z, std::size_t degree);
+
+}  // namespace ropuf::num

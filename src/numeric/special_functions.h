@@ -1,0 +1,32 @@
+// Special functions required by the NIST SP 800-22 statistical tests.
+//
+// Every NIST test reduces its statistic to a p-value through erfc or the
+// regularized incomplete gamma function Q(a, x) = Gamma(a, x) / Gamma(a)
+// (called `igamc` in the NIST reference code). The implementations follow
+// the classical series / continued-fraction split at x = a + 1.
+#pragma once
+
+namespace ropuf::num {
+
+/// Complementary error function (thin wrapper so all callers share one
+/// definition point; forwards to the C library implementation).
+double erfc(double x);
+
+/// Regularized lower incomplete gamma P(a, x); a > 0, x >= 0.
+double igam(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x); a > 0, x >= 0.
+/// This is NIST's `igamc`.
+double igamc(double a, double x);
+
+/// Standard normal cumulative distribution function.
+double normal_cdf(double x);
+
+/// Natural log of the gamma function (wrapper over the C library lgamma,
+/// which is thread-unsafe only for its sign output we do not use).
+double log_gamma(double x);
+
+/// Chi-square survival function: P(X >= stat) for `dof` degrees of freedom.
+double chi_square_sf(double stat, double dof);
+
+}  // namespace ropuf::num

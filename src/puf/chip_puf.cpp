@@ -1,0 +1,225 @@
+#include "puf/chip_puf.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "numeric/polyfit.h"
+#include "puf/distiller.h"
+#include "puf/majority.h"
+
+namespace ropuf::puf {
+
+ConfigurableRoPufDevice::ConfigurableRoPufDevice(const sil::Chip* chip, DeviceSpec spec,
+                                                 Rng& rng)
+    : chip_(chip),
+      spec_(spec),
+      pairs_(ro::make_ro_pairs(*chip, spec.stages, spec.pair_count, spec.placement)),
+      counter_(spec.counter, rng) {
+  ROPUF_REQUIRE(spec_.measurement_repetitions >= 1, "repetitions must be >= 1");
+}
+
+std::vector<ConfigurableRoPufDevice::PairMeasurement>
+ConfigurableRoPufDevice::measure_all_pairs(const sil::OperatingPoint& op, Rng& rng) const {
+  const ro::DelayExtractor extractor(&counter_);
+  std::vector<PairMeasurement> measurements;
+  measurements.reserve(pairs_.size());
+  for (const auto& [top, bottom] : pairs_) {
+    const ro::ExtractionResult top_result =
+        extractor.extract_leave_one_out_with_base(top, op, rng,
+                                                  spec_.measurement_repetitions);
+    const ro::ExtractionResult bottom_result =
+        extractor.extract_leave_one_out_with_base(bottom, op, rng,
+                                                  spec_.measurement_repetitions);
+    PairMeasurement m;
+    m.top_ddiff = top_result.ddiff_ps;
+    m.bottom_ddiff = bottom_result.ddiff_ps;
+    m.top_selection = m.top_ddiff;
+    m.bottom_selection = m.bottom_ddiff;
+    m.top_base_ps = top_result.base_delay_ps;
+    m.bottom_base_ps = bottom_result.base_delay_ps;
+    m.base_delta_ps = m.top_base_ps - m.bottom_base_ps;
+    measurements.push_back(std::move(m));
+  }
+
+  if (spec_.distill) {
+    // Detrend across the whole device: gather every measured unit into one
+    // array, fit/subtract the spatial surface, and scatter the residuals
+    // back as the values the selection algorithm sees. Raw ddiffs are kept
+    // for the stored (physical) margins.
+    std::vector<double> values;
+    std::vector<sil::DieLocation> locations;
+    for (std::size_t p = 0; p < pairs_.size(); ++p) {
+      const auto& [top, bottom] = pairs_[p];
+      for (std::size_t s = 0; s < spec_.stages; ++s) {
+        values.push_back(measurements[p].top_ddiff[s]);
+        locations.push_back(chip_->location(top.unit_indices()[s]));
+      }
+      for (std::size_t s = 0; s < spec_.stages; ++s) {
+        values.push_back(measurements[p].bottom_ddiff[s]);
+        locations.push_back(chip_->location(bottom.unit_indices()[s]));
+      }
+    }
+    const RegressionDistiller distiller(spec_.distiller_degree);
+    const std::vector<double> residual = distiller.distill(values, locations);
+    std::size_t cursor = 0;
+    for (auto& m : measurements) {
+      for (auto& v : m.top_selection) v = residual[cursor++];
+      for (auto& v : m.bottom_selection) v = residual[cursor++];
+    }
+
+    // The base delays carry the same spatial trend, and it is *shared across
+    // chips*, so an un-detrended base delta would correlate the response
+    // bits of nominally identical chips (breaking uniqueness). Fit a surface
+    // over the per-RO base estimates at the RO centroids and recompute each
+    // pair's delta from the residuals.
+    std::vector<double> bases;
+    std::vector<sil::DieLocation> centroids;
+    auto centroid = [&](const ro::ConfigurableRo& ring) {
+      sil::DieLocation c{0.0, 0.0};
+      for (const std::size_t u : ring.unit_indices()) {
+        c.x += chip_->location(u).x;
+        c.y += chip_->location(u).y;
+      }
+      c.x /= static_cast<double>(ring.stage_count());
+      c.y /= static_cast<double>(ring.stage_count());
+      return c;
+    };
+    for (std::size_t p = 0; p < pairs_.size(); ++p) {
+      bases.push_back(measurements[p].top_base_ps);
+      centroids.push_back(centroid(pairs_[p].first));
+      bases.push_back(measurements[p].bottom_base_ps);
+      centroids.push_back(centroid(pairs_[p].second));
+    }
+    // A surface fit needs more samples than monomials; fall back to mean
+    // removal (degree 0) on tiny devices.
+    const std::size_t monomials = num::monomials_2d(spec_.distiller_degree).size();
+    const std::size_t base_degree = bases.size() > monomials ? spec_.distiller_degree : 0;
+    const RegressionDistiller base_distiller(base_degree);
+    const std::vector<double> base_residual = base_distiller.distill(bases, centroids);
+    for (std::size_t p = 0; p < pairs_.size(); ++p) {
+      measurements[p].base_delta_ps = base_residual[2 * p] - base_residual[2 * p + 1];
+    }
+  }
+  return measurements;
+}
+
+void ConfigurableRoPufDevice::enroll(const sil::OperatingPoint& op, Rng& rng) {
+  const auto measurements = measure_all_pairs(op, rng);
+  selections_.clear();
+  selections_.reserve(pairs_.size());
+  helper_data_.clear();
+  helper_data_.reserve(pairs_.size());
+  for (const PairMeasurement& m : measurements) {
+    // Effective margin of a candidate selection in the *decision domain*:
+    // detrended values and detrended base delta when distilling, the raw
+    // physical quantities otherwise. m.base_delta_ps is already the right
+    // domain (measure_all_pairs detrends it together with the values).
+    auto effective = [&](const Selection& sel) {
+      return m.base_delta_ps + configured_margin(sel.top_config, sel.bottom_config,
+                                                 m.top_selection, m.bottom_selection);
+    };
+
+    Selection chosen;
+    double margin;
+    if (spec_.base_aware) {
+      // The comparison realizes dB + margin; evaluate both forced directions
+      // and keep the one with the larger effective magnitude.
+      const Selection pos =
+          select_directed(spec_.mode, m.top_selection, m.bottom_selection, true);
+      const Selection neg =
+          select_directed(spec_.mode, m.top_selection, m.bottom_selection, false);
+      const double eff_pos = effective(pos);
+      const double eff_neg = effective(neg);
+      chosen = (std::fabs(eff_pos) >= std::fabs(eff_neg)) ? pos : neg;
+      margin = (std::fabs(eff_pos) >= std::fabs(eff_neg)) ? eff_pos : eff_neg;
+    } else {
+      chosen = select(spec_.mode, m.top_selection, m.bottom_selection);
+      margin = effective(chosen);
+    }
+    chosen.margin = margin;
+    chosen.bit = margin > 0.0;
+
+    // Helper data: what the raw hardware comparison reads at the enrollment
+    // corner, minus the decision-domain margin. The field readout subtracts
+    // this before deciding the bit, removing the fleet-correlated
+    // systematic component. Zero when not distilling (domains coincide).
+    PairHelperData helper;
+    const double raw_margin =
+        (m.top_base_ps - m.bottom_base_ps) +
+        configured_margin(chosen.top_config, chosen.bottom_config, m.top_ddiff,
+                          m.bottom_ddiff);
+    helper.offset_ps = raw_margin - margin;
+    selections_.push_back(std::move(chosen));
+    helper_data_.push_back(helper);
+  }
+}
+
+const std::vector<PairHelperData>& ConfigurableRoPufDevice::helper_data() const {
+  ROPUF_REQUIRE(enrolled(), "device not enrolled");
+  return helper_data_;
+}
+
+const std::vector<Selection>& ConfigurableRoPufDevice::selections() const {
+  ROPUF_REQUIRE(enrolled(), "device not enrolled");
+  return selections_;
+}
+
+BitVec ConfigurableRoPufDevice::enrolled_response() const {
+  ROPUF_REQUIRE(enrolled(), "device not enrolled");
+  BitVec response(selections_.size());
+  for (std::size_t p = 0; p < selections_.size(); ++p) response.set(p, selections_[p].bit);
+  return response;
+}
+
+BitVec ConfigurableRoPufDevice::respond(const sil::OperatingPoint& op, Rng& rng) const {
+  ROPUF_REQUIRE(enrolled(), "device not enrolled");
+  BitVec response(selections_.size());
+  for (std::size_t p = 0; p < selections_.size(); ++p) {
+    const auto& [top, bottom] = pairs_[p];
+    const Selection& sel = selections_[p];
+    const double top_delay = counter_.measure_path_delay_ps(top, sel.top_config, op, rng);
+    const double bottom_delay =
+        counter_.measure_path_delay_ps(bottom, sel.bottom_config, op, rng);
+    response.set(p, top_delay - bottom_delay - helper_data_[p].offset_ps > 0.0);
+  }
+  return response;
+}
+
+BitVec ConfigurableRoPufDevice::respond_voted(const sil::OperatingPoint& op, Rng& rng,
+                                              int votes) const {
+  ROPUF_REQUIRE(votes >= 1 && votes % 2 == 1, "vote count must be odd and positive");
+  std::vector<BitVec> samples;
+  samples.reserve(static_cast<std::size_t>(votes));
+  for (int v = 0; v < votes; ++v) samples.push_back(respond(op, rng));
+  return majority_vote(samples);
+}
+
+std::vector<bool> ConfigurableRoPufDevice::reliable_mask(double rth_ps) const {
+  ROPUF_REQUIRE(enrolled(), "device not enrolled");
+  ROPUF_REQUIRE(rth_ps >= 0.0, "negative reliability threshold");
+  std::vector<bool> mask(selections_.size());
+  for (std::size_t p = 0; p < selections_.size(); ++p) {
+    mask[p] = std::fabs(selections_[p].margin) >= rth_ps;
+  }
+  return mask;
+}
+
+ConfigurableRoPufDevice::TraditionalResponse
+ConfigurableRoPufDevice::traditional_response(const sil::OperatingPoint& op,
+                                              Rng& rng) const {
+  TraditionalResponse out;
+  out.response = BitVec(pairs_.size());
+  out.margins_ps.resize(pairs_.size());
+  for (std::size_t p = 0; p < pairs_.size(); ++p) {
+    const auto& [top, bottom] = pairs_[p];
+    const double top_delay =
+        counter_.measure_path_delay_ps(top, top.all_selected(), op, rng);
+    const double bottom_delay =
+        counter_.measure_path_delay_ps(bottom, bottom.all_selected(), op, rng);
+    out.margins_ps[p] = top_delay - bottom_delay;
+    out.response.set(p, out.margins_ps[p] > 0.0);
+  }
+  return out;
+}
+
+}  // namespace ropuf::puf

@@ -1,0 +1,129 @@
+// The full-circuit configurable RO PUF device.
+//
+// This class ties the whole stack together the way a silicon deployment
+// would (paper Section III.C): RO pairs are laid out on a chip; during the
+// chip-test phase `enroll` measures every unit's ddiff through the
+// frequency counter (Section III.B), optionally distills the systematic
+// component, solves the inverter-selection problem, and burns the resulting
+// configuration vectors; in the field, `respond` regenerates the bits by
+// measuring the two configured ROs of each pair and comparing.
+//
+// A practical note the implementation exploits: because both cases of the
+// selection problem produce equal-popcount (hence equal-parity)
+// configurations for the two ROs of a pair, any auxiliary-stage calibration
+// residual in the measurement harness cancels in the comparison.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "puf/selection.h"
+#include "ro/configurable_ro.h"
+#include "ro/delay_extractor.h"
+#include "ro/frequency_counter.h"
+#include "silicon/chip.h"
+
+namespace ropuf::puf {
+
+/// Construction-time parameters of a device instance.
+struct DeviceSpec {
+  std::size_t stages = 13;        ///< inverters per RO
+  std::size_t pair_count = 32;    ///< RO pairs on the chip
+  SelectionCase mode = SelectionCase::kSameConfig;
+  ro::FrequencyCounterSpec counter;
+  int measurement_repetitions = 1;  ///< averaging during enrollment
+  bool distill = false;             ///< detrend ddiffs before selection
+  std::size_t distiller_degree = 2;
+  /// When true (default), enrollment measures each pair's bypass-path
+  /// mismatch dB (base-delay difference) and picks the selection direction
+  /// that reinforces it, because the fielded comparison of the two
+  /// configured ROs includes dB whether we like it or not. The paper's
+  /// dataset-level formulation has no dB; this is the circuit-level
+  /// refinement required for honest margins (ablated in
+  /// bench_ablation_selection).
+  bool base_aware = true;
+  /// Interleaved by default: the two ROs of a pair alternate cells, so the
+  /// spatial systematic trend cancels in the comparison (matched layout;
+  /// ablated in bench_ablation_selection).
+  ro::PairPlacement placement = ro::PairPlacement::kInterleaved;
+};
+
+/// Public per-pair helper data stored next to the configuration vectors.
+/// When distillation is on, the systematic (fleet-correlated) component of
+/// each pair's comparison is exported as an offset that the field readout
+/// subtracts before deciding the bit — otherwise nominally identical chips
+/// would produce correlated responses (see DESIGN.md). Without distillation
+/// the offset is zero and the comparison is the raw hardware one.
+struct PairHelperData {
+  double offset_ps = 0.0;
+};
+
+/// One chip's worth of configurable RO PUF.
+class ConfigurableRoPufDevice {
+ public:
+  /// `chip` must outlive the device; `rng` seeds the harness calibration.
+  ConfigurableRoPufDevice(const sil::Chip* chip, DeviceSpec spec, Rng& rng);
+
+  const DeviceSpec& spec() const { return spec_; }
+  std::size_t bit_count() const { return spec_.pair_count; }
+
+  /// Chip-test phase: measure, (optionally) distill, select, store configs.
+  void enroll(const sil::OperatingPoint& op, Rng& rng);
+  bool enrolled() const { return !selections_.empty(); }
+
+  /// Stored per-pair selections; requires enrolled().
+  const std::vector<Selection>& selections() const;
+
+  /// Stored per-pair helper data (comparison offsets); requires enrolled().
+  const std::vector<PairHelperData>& helper_data() const;
+
+  /// Enrollment-time response (the reference the field response is compared
+  /// against); requires enrolled().
+  BitVec enrolled_response() const;
+
+  /// Field response: per pair, measure both configured ROs through the
+  /// counter at `op` and compare. Requires enrolled().
+  BitVec respond(const sil::OperatingPoint& op, Rng& rng) const;
+
+  /// Field response with temporal majority voting over `votes` (odd)
+  /// independent readouts — suppresses counter-jitter flips on
+  /// near-threshold pairs at `votes`x the readout cost.
+  BitVec respond_voted(const sil::OperatingPoint& op, Rng& rng, int votes) const;
+
+  /// Reliability mask at a margin threshold (ps); requires enrolled().
+  std::vector<bool> reliable_mask(double rth_ps) const;
+
+  /// Traditional-PUF view of the same silicon: all inverters selected.
+  /// Returns the response and per-pair measured margins at `op`.
+  struct TraditionalResponse {
+    BitVec response;
+    std::vector<double> margins_ps;
+  };
+  TraditionalResponse traditional_response(const sil::OperatingPoint& op, Rng& rng) const;
+
+ private:
+  /// One pair's enrollment measurements.
+  struct PairMeasurement {
+    std::vector<double> top_ddiff;       ///< raw measured ddiffs, top RO
+    std::vector<double> bottom_ddiff;    ///< raw measured ddiffs, bottom RO
+    std::vector<double> top_selection;   ///< values fed to selection (maybe distilled)
+    std::vector<double> bottom_selection;
+    double top_base_ps = 0.0;            ///< measured base delay, top RO
+    double bottom_base_ps = 0.0;         ///< measured base delay, bottom RO
+    double base_delta_ps = 0.0;          ///< dB (detrended when distilling)
+  };
+
+  std::vector<PairMeasurement> measure_all_pairs(const sil::OperatingPoint& op,
+                                                 Rng& rng) const;
+
+  const sil::Chip* chip_;
+  DeviceSpec spec_;
+  std::vector<std::pair<ro::ConfigurableRo, ro::ConfigurableRo>> pairs_;
+  ro::FrequencyCounter counter_;
+  std::vector<Selection> selections_;
+  std::vector<PairHelperData> helper_data_;
+};
+
+}  // namespace ropuf::puf

@@ -1,0 +1,92 @@
+#include "puf/cooperative.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace ropuf::puf {
+namespace {
+
+/// Max-spread disjoint pairing of one group's ROs in one region: sort by
+/// value, pair rank k with rank k + half; keep pairs clearing the gap.
+CooperativePairing pair_group(const std::vector<double>& totals,
+                              std::size_t group_base, std::size_t group_size,
+                              double gap_threshold) {
+  std::vector<std::size_t> ranks(group_size);
+  std::iota(ranks.begin(), ranks.end(), 0);
+  std::sort(ranks.begin(), ranks.end(), [&](std::size_t a, std::size_t b) {
+    return totals[group_base + a] < totals[group_base + b];
+  });
+
+  CooperativePairing pairing;
+  const std::size_t half = group_size / 2;
+  for (std::size_t k = 0; k < half; ++k) {
+    const std::size_t fast = group_base + ranks[k];
+    const std::size_t slow = group_base + ranks[k + half];
+    if (std::fabs(totals[slow] - totals[fast]) >= gap_threshold) {
+      CooperativePairing::Pair pair;
+      pair.first_ro = std::min(fast, slow);
+      pair.second_ro = std::max(fast, slow);
+      pairing.pairs.push_back(pair);
+    }
+  }
+  return pairing;
+}
+
+}  // namespace
+
+CooperativeEnrollment cooperative_enroll(
+    const std::vector<std::vector<double>>& region_values, const BoardLayout& layout,
+    std::size_t group_size, double gap_threshold) {
+  ROPUF_REQUIRE(!region_values.empty(), "need at least one temperature region");
+  ROPUF_REQUIRE(group_size >= 2 && group_size % 2 == 0, "group size must be even, >= 2");
+  ROPUF_REQUIRE(layout.ro_count() >= group_size, "layout smaller than one group");
+  ROPUF_REQUIRE(gap_threshold >= 0.0, "negative gap threshold");
+
+  CooperativeEnrollment enrollment;
+  enrollment.layout = layout;
+  enrollment.group_size = group_size;
+  enrollment.gap_threshold = gap_threshold;
+
+  const std::size_t groups = layout.ro_count() / group_size;
+  for (const auto& values : region_values) {
+    const std::vector<double> totals = ro_totals(values, layout);
+    std::vector<CooperativePairing> pairings;
+    pairings.reserve(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+      pairings.push_back(pair_group(totals, g * group_size, group_size, gap_threshold));
+    }
+    enrollment.regions.push_back(std::move(pairings));
+  }
+  return enrollment;
+}
+
+BitVec cooperative_respond(const std::vector<double>& unit_values,
+                           const CooperativeEnrollment& enrollment, std::size_t region) {
+  ROPUF_REQUIRE(region < enrollment.regions.size(), "unknown temperature region");
+  const std::vector<double> totals = ro_totals(unit_values, enrollment.layout);
+  BitVec response;
+  for (const CooperativePairing& pairing : enrollment.regions[region]) {
+    for (const auto& pair : pairing.pairs) {
+      response.push_back(totals[pair.first_ro] > totals[pair.second_ro]);
+    }
+  }
+  return response;
+}
+
+double cooperative_bits_per_group(const CooperativeEnrollment& enrollment) {
+  double total_bits = 0.0;
+  std::size_t groups = 0;
+  for (const auto& pairings : enrollment.regions) {
+    for (const CooperativePairing& pairing : pairings) {
+      total_bits += static_cast<double>(pairing.pairs.size());
+      ++groups;
+    }
+  }
+  ROPUF_REQUIRE(groups > 0, "empty enrollment");
+  return total_bits / static_cast<double>(groups);
+}
+
+}  // namespace ropuf::puf

@@ -1,0 +1,60 @@
+// Temperature-aware cooperative RO PUF (Yin & Qu [2]), as a baseline.
+//
+// Reference [2] improves the 1-out-of-8 scheme's hardware utilization by
+// letting ROs in a group *cooperate*: instead of extracting one bit from
+// the single most-spread pair, every disjoint pair whose frequency gap is
+// safe in the current temperature region yields a bit. The price is a
+// temperature sensor: the pairing is chosen per temperature region at
+// enrollment and the right pairing is looked up at runtime. The paper's
+// Related Work credits the scheme with ~80% higher utilization than
+// 1-out-of-8, at the cost of the sensor — this module reproduces that
+// trade-off (bench_hardware_efficiency prints the utilization row).
+//
+// Implementation: per region, sort the group's ROs by measured value and
+// greedily pick disjoint pairs in decreasing-gap order (rank k paired with
+// rank k + G/2, the max-spread matching), keeping a pair only if its gap
+// clears the threshold in that region's measurements.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "puf/schemes.h"
+
+namespace ropuf::puf {
+
+/// Enrollment of one cooperative group for one temperature region: the
+/// disjoint RO index pairs that are safe to compare there.
+struct CooperativePairing {
+  struct Pair {
+    std::size_t first_ro = 0;   ///< lower index of the pair
+    std::size_t second_ro = 0;  ///< higher index
+  };
+  std::vector<Pair> pairs;
+};
+
+/// Enrollment across regions: pairing[r] applies when the sensor reports
+/// region r.
+struct CooperativeEnrollment {
+  BoardLayout layout;
+  std::size_t group_size = 8;
+  double gap_threshold = 0.0;
+  std::vector<std::vector<CooperativePairing>> regions;  ///< [region][group]
+};
+
+/// Enrolls from one measurement snapshot per temperature region.
+/// `region_values[r]` holds the board's unit values in region r.
+CooperativeEnrollment cooperative_enroll(
+    const std::vector<std::vector<double>>& region_values, const BoardLayout& layout,
+    std::size_t group_size, double gap_threshold);
+
+/// Response in a known region (the sensor reading), from fresh values.
+BitVec cooperative_respond(const std::vector<double>& unit_values,
+                           const CooperativeEnrollment& enrollment, std::size_t region);
+
+/// Bits per group averaged over regions — the utilization figure compared
+/// against 1-out-of-8's single bit per group.
+double cooperative_bits_per_group(const CooperativeEnrollment& enrollment);
+
+}  // namespace ropuf::puf

@@ -1,0 +1,37 @@
+#include "puf/distiller.h"
+
+#include "common/error.h"
+#include "numeric/polyfit.h"
+
+namespace ropuf::puf {
+
+RegressionDistiller::RegressionDistiller(std::size_t degree) : degree_(degree) {}
+
+std::vector<double> RegressionDistiller::distill(
+    const std::vector<double>& values, const std::vector<sil::DieLocation>& locations) const {
+  ROPUF_REQUIRE(values.size() == locations.size(), "values/locations size mismatch");
+  ROPUF_REQUIRE(!values.empty(), "nothing to distill");
+
+  std::vector<double> x(values.size()), y(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    x[i] = locations[i].x;
+    y[i] = locations[i].y;
+  }
+  const num::Poly2D surface = num::polyfit_2d(x, y, values, degree_);
+
+  std::vector<double> residual(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    residual[i] = values[i] - surface.eval(x[i], y[i]);
+  }
+  return residual;
+}
+
+std::vector<double> RegressionDistiller::distill_chip(const sil::Chip& chip,
+                                                      const std::vector<double>& values) const {
+  ROPUF_REQUIRE(values.size() == chip.unit_count(), "one value per chip unit expected");
+  std::vector<sil::DieLocation> locations(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) locations[i] = chip.location(i);
+  return distill(values, locations);
+}
+
+}  // namespace ropuf::puf

@@ -1,0 +1,43 @@
+// Regression-based distiller (Yin & Qu, DAC 2013 — reference [18]).
+//
+// Raw RO delays carry a smooth systematic spatial component that is
+// correlated from chip to chip, so raw PUF bits fail the NIST randomness
+// tests (paper Section IV.A). The distiller fits a low-degree bivariate
+// polynomial of the die coordinates to each chip's own measurements and
+// keeps only the residual — the random mismatch that is the true entropy
+// source. All of the paper's randomness/uniqueness results are produced
+// from distilled values.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "silicon/chip.h"
+
+namespace ropuf::puf {
+
+/// Per-chip polynomial detrending of unit measurements.
+class RegressionDistiller {
+ public:
+  /// `degree` is the total degree of the fitted surface; the reference uses
+  /// low degrees (2-3). Degree 0 subtracts the chip mean only.
+  explicit RegressionDistiller(std::size_t degree = 2);
+
+  std::size_t degree() const { return degree_; }
+
+  /// Residuals of `values` after removing the surface fitted over
+  /// `locations`. Requires values.size() == locations.size() and enough
+  /// samples for the degree.
+  std::vector<double> distill(const std::vector<double>& values,
+                              const std::vector<sil::DieLocation>& locations) const;
+
+  /// Convenience: distills per-unit values of a chip using its own layout.
+  /// values[i] must correspond to chip unit i.
+  std::vector<double> distill_chip(const sil::Chip& chip,
+                                   const std::vector<double>& values) const;
+
+ private:
+  std::size_t degree_;
+};
+
+}  // namespace ropuf::puf

@@ -1,0 +1,91 @@
+#include "puf/kary_configurable.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::puf {
+namespace {
+
+void check_pair(const KaryPair& pair) {
+  ROPUF_REQUIRE(!pair.top.empty(), "K-ary pair needs at least one stage");
+  ROPUF_REQUIRE(pair.top.size() == pair.bottom.size(), "stage count mismatch");
+  for (std::size_t s = 0; s < pair.top.size(); ++s) {
+    ROPUF_REQUIRE(!pair.top[s].empty() && pair.top[s].size() == pair.bottom[s].size(),
+                  "option count mismatch at a stage");
+  }
+}
+
+}  // namespace
+
+double kary_margin(const KaryPair& pair, const std::vector<std::size_t>& option) {
+  check_pair(pair);
+  ROPUF_REQUIRE(option.size() == pair.top.size(), "option vector arity mismatch");
+  double margin = 0.0;
+  for (std::size_t s = 0; s < pair.top.size(); ++s) {
+    ROPUF_REQUIRE(option[s] < pair.top[s].size(), "option index out of range");
+    margin += pair.top[s][option[s]] - pair.bottom[s][option[s]];
+  }
+  return margin;
+}
+
+KarySelection kary_select(const KaryPair& pair) {
+  check_pair(pair);
+  const std::size_t stages = pair.top.size();
+
+  KarySelection best;
+  double best_abs = -1.0;
+  for (const bool positive : {true, false}) {
+    KarySelection candidate;
+    candidate.option.resize(stages);
+    for (std::size_t s = 0; s < stages; ++s) {
+      std::size_t chosen = 0;
+      double chosen_delta = pair.top[s][0] - pair.bottom[s][0];
+      for (std::size_t k = 1; k < pair.top[s].size(); ++k) {
+        const double delta = pair.top[s][k] - pair.bottom[s][k];
+        if (positive ? delta > chosen_delta : delta < chosen_delta) {
+          chosen = k;
+          chosen_delta = delta;
+        }
+      }
+      candidate.option[s] = chosen;
+      candidate.margin += chosen_delta;
+    }
+    if (std::fabs(candidate.margin) > best_abs) {
+      best_abs = std::fabs(candidate.margin);
+      best = candidate;
+    }
+  }
+  best.bit = best.margin > 0.0;
+  return best;
+}
+
+std::vector<KaryPair> kary_pairs_from_units(const std::vector<double>& unit_values,
+                                            std::size_t stages, std::size_t options,
+                                            std::size_t pair_count) {
+  ROPUF_REQUIRE(stages > 0 && options > 0 && pair_count > 0, "degenerate K-ary layout");
+  ROPUF_REQUIRE(unit_values.size() >= 2 * stages * options * pair_count,
+                "not enough unit values for the K-ary layout");
+  std::vector<KaryPair> pairs;
+  pairs.reserve(pair_count);
+  std::size_t next = 0;
+  for (std::size_t p = 0; p < pair_count; ++p) {
+    KaryPair pair;
+    pair.top.resize(stages);
+    pair.bottom.resize(stages);
+    for (std::size_t s = 0; s < stages; ++s) {
+      pair.top[s].assign(unit_values.begin() + static_cast<long>(next),
+                         unit_values.begin() + static_cast<long>(next + options));
+      next += options;
+    }
+    for (std::size_t s = 0; s < stages; ++s) {
+      pair.bottom[s].assign(unit_values.begin() + static_cast<long>(next),
+                            unit_values.begin() + static_cast<long>(next + options));
+      next += options;
+    }
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+}  // namespace ropuf::puf

@@ -1,0 +1,48 @@
+// K-ary stage-configurable RO PUF — the Xin-Kaps-Gaj design [15].
+//
+// Reference [15] improves on Maiti-Schaumont [14] by exposing more
+// configurations per CLB (256 instead of 8): conceptually each stage offers
+// K alternative delay paths instead of 2, still always in the loop, with a
+// shared per-stage selection across the RO pair. Because stage
+// contributions remain independent, the optimal configuration is found per
+// stage in O(n K).
+//
+// Comparing this against the paper's delay-unit design isolates what the
+// extra freedom of *removing* a stage (rather than only swapping its path)
+// is worth (bench_baseline_maiti_schaumont).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ropuf::puf {
+
+/// One RO pair where every stage of each RO has K delay options and the
+/// pair shares one option index per stage.
+struct KaryPair {
+  /// top[s][k] / bottom[s][k]: delay of stage s under option k.
+  std::vector<std::vector<double>> top;
+  std::vector<std::vector<double>> bottom;
+};
+
+/// Result of the per-stage search.
+struct KarySelection {
+  std::vector<std::size_t> option;  ///< chosen option index per stage
+  double margin = 0.0;              ///< top minus bottom under the choice
+  bool bit = false;
+};
+
+/// Margin of a specific option assignment.
+double kary_margin(const KaryPair& pair, const std::vector<std::size_t>& option);
+
+/// Optimal shared-option selection maximizing |margin| (per-stage greedy,
+/// optimal by independence; both directions tried).
+KarySelection kary_select(const KaryPair& pair);
+
+/// Builds K-ary pairs from a flat unit-value array: stage s of each RO
+/// consumes K consecutive values. Uses 2*stages*k values per pair.
+std::vector<KaryPair> kary_pairs_from_units(const std::vector<double>& unit_values,
+                                            std::size_t stages, std::size_t options,
+                                            std::size_t pair_count);
+
+}  // namespace ropuf::puf

@@ -1,0 +1,106 @@
+#include "puf/maiti_schaumont.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::puf {
+namespace {
+
+void check_pair(const MsPair& pair) {
+  ROPUF_REQUIRE(!pair.top.empty(), "MS pair needs at least one stage");
+  ROPUF_REQUIRE(pair.top.size() == pair.bottom.size(), "MS pair stage count mismatch");
+}
+
+}  // namespace
+
+double ms_margin(const MsPair& pair, const BitVec& config) {
+  check_pair(pair);
+  ROPUF_REQUIRE(config.size() == pair.top.size(), "configuration arity mismatch");
+  double margin = 0.0;
+  for (std::size_t i = 0; i < pair.top.size(); ++i) {
+    const bool use_b = config.get(i);
+    const double top = use_b ? pair.top[i].option_b_ps : pair.top[i].option_a_ps;
+    const double bottom = use_b ? pair.bottom[i].option_b_ps : pair.bottom[i].option_a_ps;
+    margin += top - bottom;
+  }
+  return margin;
+}
+
+MsSelection ms_select(const MsPair& pair) {
+  check_pair(pair);
+  const std::size_t n = pair.top.size();
+  ROPUF_REQUIRE(n <= 20, "exhaustive MS search limited to 20 stages");
+
+  MsSelection best;
+  double best_abs = -1.0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    BitVec config(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::uint64_t{1} << i)) config.set(i, true);
+    }
+    const double margin = ms_margin(pair, config);
+    if (std::fabs(margin) > best_abs) {
+      best_abs = std::fabs(margin);
+      best.config = config;
+      best.margin = margin;
+    }
+  }
+  best.bit = best.margin > 0.0;
+  return best;
+}
+
+MsSelection ms_select_greedy(const MsPair& pair) {
+  check_pair(pair);
+  const std::size_t n = pair.top.size();
+
+  // Try both target signs; per stage pick the option that pushes furthest
+  // toward the target, then keep the better direction.
+  MsSelection best;
+  double best_abs = -1.0;
+  for (const bool positive : {true, false}) {
+    BitVec config(n);
+    double margin = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delta_a = pair.top[i].option_a_ps - pair.bottom[i].option_a_ps;
+      const double delta_b = pair.top[i].option_b_ps - pair.bottom[i].option_b_ps;
+      const bool use_b = positive ? delta_b > delta_a : delta_b < delta_a;
+      config.set(i, use_b);
+      margin += use_b ? delta_b : delta_a;
+    }
+    if (std::fabs(margin) > best_abs) {
+      best_abs = std::fabs(margin);
+      best.config = config;
+      best.margin = margin;
+    }
+  }
+  best.bit = best.margin > 0.0;
+  return best;
+}
+
+std::vector<MsPair> ms_pairs_from_units(const std::vector<double>& unit_values,
+                                        std::size_t stages, std::size_t pair_count) {
+  ROPUF_REQUIRE(stages > 0 && pair_count > 0, "degenerate MS layout");
+  ROPUF_REQUIRE(unit_values.size() >= 4 * stages * pair_count,
+                "not enough unit values for the MS layout");
+  std::vector<MsPair> pairs;
+  pairs.reserve(pair_count);
+  std::size_t next = 0;
+  for (std::size_t p = 0; p < pair_count; ++p) {
+    MsPair pair;
+    pair.top.resize(stages);
+    pair.bottom.resize(stages);
+    for (std::size_t s = 0; s < stages; ++s) {
+      pair.top[s] = MsStage{unit_values[next], unit_values[next + 1]};
+      next += 2;
+    }
+    for (std::size_t s = 0; s < stages; ++s) {
+      pair.bottom[s] = MsStage{unit_values[next], unit_values[next + 1]};
+      next += 2;
+    }
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+}  // namespace ropuf::puf

@@ -1,0 +1,64 @@
+// The Maiti-Schaumont configurable RO PUF (reference [14] of the paper),
+// implemented as a comparison baseline.
+//
+// In their design every RO stage holds TWO alternative inverters and a
+// multiplexer picks one of them, so a 3-stage RO has 2^3 = 8 configurations
+// (one CLB per RO on a Xilinx FPGA). For a pair of ROs the configuration
+// (applied to both ROs, one select vector) with the maximum frequency
+// difference is chosen. The paper's Related Work credits this scheme with
+// introducing configurability; the key difference to the paper's proposal
+// is granularity: Maiti-Schaumont picks one of 2 inverters per stage (the
+// stage is always in the loop), while the paper decides per stage whether
+// the inverter is in the loop at all.
+//
+// Model: each stage of each RO has two delay alternatives; the pair margin
+// under select vector c is sum_i (topA/B_i - bottomA/B_i) following c.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace ropuf::puf {
+
+/// Per-stage alternatives of one RO.
+struct MsStage {
+  double option_a_ps = 0.0;  ///< delay through inverter A
+  double option_b_ps = 0.0;  ///< delay through inverter B
+};
+
+/// One RO pair of the Maiti-Schaumont design.
+struct MsPair {
+  std::vector<MsStage> top;
+  std::vector<MsStage> bottom;
+};
+
+/// Result of the configuration search.
+struct MsSelection {
+  BitVec config;        ///< stage i uses option B iff bit i is set
+  double margin = 0.0;  ///< top minus bottom under that configuration
+  bool bit = false;     ///< margin > 0
+};
+
+/// Margin of a specific configuration (applied to both ROs).
+double ms_margin(const MsPair& pair, const BitVec& config);
+
+/// Exhaustive search over all 2^stages shared configurations for the
+/// maximum |margin| — exactly the published scheme (stages <= 20).
+MsSelection ms_select(const MsPair& pair);
+
+/// Linear-time per-stage search. Because each stage's contribution to the
+/// margin is independent of the others, this is provably equivalent to the
+/// exhaustive search (property-tested) — [14] enumerates because its 3-stage
+/// instance only has 8 configurations anyway.
+MsSelection ms_select_greedy(const MsPair& pair);
+
+/// Builds MS pairs from a board's unit values: stage i of each RO takes two
+/// consecutive units as its two inverter options. Consumes 4*stages values
+/// per pair (2 ROs x 2 options), letting cost comparisons against the
+/// paper's scheme use identical silicon budgets.
+std::vector<MsPair> ms_pairs_from_units(const std::vector<double>& unit_values,
+                                        std::size_t stages, std::size_t pair_count);
+
+}  // namespace ropuf::puf

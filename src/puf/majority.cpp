@@ -1,0 +1,25 @@
+#include "puf/majority.h"
+
+#include "common/error.h"
+
+namespace ropuf::puf {
+
+BitVec majority_vote(const std::vector<BitVec>& samples) {
+  ROPUF_REQUIRE(!samples.empty(), "no samples to vote over");
+  ROPUF_REQUIRE(samples.size() % 2 == 1, "majority voting needs an odd sample count");
+  const std::size_t width = samples.front().size();
+  ROPUF_REQUIRE(width > 0, "empty samples");
+
+  BitVec result(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    std::size_t ones = 0;
+    for (const BitVec& sample : samples) {
+      ROPUF_REQUIRE(sample.size() == width, "sample length mismatch");
+      if (sample.get(i)) ++ones;
+    }
+    result.set(i, 2 * ones > samples.size());
+  }
+  return result;
+}
+
+}  // namespace ropuf::puf

@@ -1,0 +1,18 @@
+// Temporal majority voting over repeated response evaluations.
+//
+// Counter jitter makes single-shot readouts of near-threshold pairs
+// occasionally flip; re-evaluating an odd number of times and voting per
+// bit position is the standard cheap stabilizer (orthogonal to the paper's
+// margin maximization, which attacks the environmental component instead).
+#pragma once
+
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace ropuf::puf {
+
+/// Per-position majority over an odd number of equal-length samples.
+BitVec majority_vote(const std::vector<BitVec>& samples);
+
+}  // namespace ropuf::puf

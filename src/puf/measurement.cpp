@@ -1,0 +1,18 @@
+#include "puf/measurement.h"
+
+#include "common/error.h"
+
+namespace ropuf::puf {
+
+std::vector<double> measure_unit_ddiffs(const sil::Chip& chip,
+                                        const sil::OperatingPoint& op,
+                                        const UnitMeasurementSpec& spec, Rng& rng) {
+  ROPUF_REQUIRE(spec.noise_sigma_ps >= 0.0, "negative measurement noise");
+  std::vector<double> values(chip.unit_count());
+  for (std::size_t i = 0; i < chip.unit_count(); ++i) {
+    values[i] = chip.unit_ddiff_ps(i, op) + rng.gaussian(0.0, spec.noise_sigma_ps);
+  }
+  return values;
+}
+
+}  // namespace ropuf::puf

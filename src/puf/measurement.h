@@ -1,0 +1,30 @@
+// Board-level measurement snapshots for the dataset-style experiments.
+//
+// The paper's Section IV experiments start from a table of per-unit values
+// per board per operating corner (in the VT dataset those are RO
+// frequencies; here they are per-unit ddiff values read out through the
+// measurement model). This header produces those snapshots from a simulated
+// chip so the PUF schemes can operate on plain value arrays, exactly as the
+// paper operates on the dataset.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "silicon/chip.h"
+
+namespace ropuf::puf {
+
+/// Measurement-error model for a unit-level readout campaign: one additive
+/// Gaussian error per unit (the net effect of counter quantization and
+/// jitter after the per-unit extraction of Section III.B).
+struct UnitMeasurementSpec {
+  double noise_sigma_ps = 0.5;
+};
+
+/// One measured value (ddiff, ps) per chip unit at the given corner.
+std::vector<double> measure_unit_ddiffs(const sil::Chip& chip,
+                                        const sil::OperatingPoint& op,
+                                        const UnitMeasurementSpec& spec, Rng& rng);
+
+}  // namespace ropuf::puf

@@ -1,0 +1,170 @@
+#include "puf/schemes.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::puf {
+
+std::size_t BoardLayout::top_unit(std::size_t pair, std::size_t stage) const {
+  ROPUF_REQUIRE(pair < pair_count && stage < stages, "layout index out of range");
+  return pair * 2 * stages + stage;
+}
+
+std::size_t BoardLayout::bottom_unit(std::size_t pair, std::size_t stage) const {
+  ROPUF_REQUIRE(pair < pair_count && stage < stages, "layout index out of range");
+  return pair * 2 * stages + stages + stage;
+}
+
+BoardLayout paper_layout(std::size_t stages, std::size_t board_units) {
+  ROPUF_REQUIRE(stages > 0, "layout needs at least one stage");
+  const std::size_t bits = 8 * (board_units / (16 * stages));
+  ROPUF_REQUIRE(bits > 0, "board too small for this stage count");
+  return BoardLayout{stages, bits};
+}
+
+PairValues pair_values(const std::vector<double>& unit_values, const BoardLayout& layout,
+                       std::size_t pair) {
+  ROPUF_REQUIRE(unit_values.size() >= layout.units_required(),
+                "board has fewer unit values than the layout requires");
+  ROPUF_REQUIRE(pair < layout.pair_count, "pair index out of range");
+  PairValues pv;
+  pv.top.resize(layout.stages);
+  pv.bottom.resize(layout.stages);
+  for (std::size_t s = 0; s < layout.stages; ++s) {
+    pv.top[s] = unit_values[layout.top_unit(pair, s)];
+    pv.bottom[s] = unit_values[layout.bottom_unit(pair, s)];
+  }
+  return pv;
+}
+
+TraditionalResult traditional_respond(const std::vector<double>& unit_values,
+                                      const BoardLayout& layout) {
+  TraditionalResult result;
+  result.response = BitVec(layout.pair_count);
+  result.margins.resize(layout.pair_count);
+  for (std::size_t p = 0; p < layout.pair_count; ++p) {
+    const PairValues pv = pair_values(unit_values, layout, p);
+    double margin = 0.0;
+    for (std::size_t s = 0; s < layout.stages; ++s) margin += pv.top[s] - pv.bottom[s];
+    result.margins[p] = margin;
+    result.response.set(p, margin > 0.0);
+  }
+  return result;
+}
+
+ThresholdResult threshold_respond(const std::vector<double>& unit_values,
+                                  const BoardLayout& layout, double rth) {
+  ROPUF_REQUIRE(rth >= 0.0, "negative reliability threshold");
+  const TraditionalResult trad = traditional_respond(unit_values, layout);
+  ThresholdResult result;
+  result.response = trad.response;
+  result.reliable.resize(layout.pair_count);
+  for (std::size_t p = 0; p < layout.pair_count; ++p) {
+    result.reliable[p] = std::fabs(trad.margins[p]) >= rth;
+    if (result.reliable[p]) ++result.reliable_count;
+  }
+  return result;
+}
+
+std::size_t one_of_eight_bits(const BoardLayout& layout) { return layout.ro_count() / 8; }
+
+std::vector<double> ro_totals(const std::vector<double>& unit_values,
+                              const BoardLayout& layout) {
+  ROPUF_REQUIRE(unit_values.size() >= layout.units_required(),
+                "board has fewer unit values than the layout requires");
+  std::vector<double> totals(layout.ro_count(), 0.0);
+  for (std::size_t p = 0; p < layout.pair_count; ++p) {
+    for (std::size_t s = 0; s < layout.stages; ++s) {
+      totals[2 * p] += unit_values[layout.top_unit(p, s)];
+      totals[2 * p + 1] += unit_values[layout.bottom_unit(p, s)];
+    }
+  }
+  return totals;
+}
+
+OneOutOfEightEnrollment one_of_eight_enroll(const std::vector<double>& unit_values,
+                                            const BoardLayout& layout) {
+  const std::vector<double> totals = ro_totals(unit_values, layout);
+  const std::size_t groups = one_of_eight_bits(layout);
+  ROPUF_REQUIRE(groups > 0, "layout too small for the 1-out-of-8 scheme");
+
+  OneOutOfEightEnrollment enrollment;
+  enrollment.layout = layout;
+  enrollment.picks.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::size_t slowest = 8 * g, fastest = 8 * g;
+    for (std::size_t r = 8 * g; r < 8 * (g + 1); ++r) {
+      if (totals[r] > totals[slowest]) slowest = r;
+      if (totals[r] < totals[fastest]) fastest = r;
+    }
+    // Store in index order so the bit value carries which of the two
+    // positions won, i.e. actual chip entropy.
+    OneOutOfEightEnrollment::Pick pick;
+    pick.first_ro = std::min(slowest, fastest);
+    pick.second_ro = std::max(slowest, fastest);
+    enrollment.picks.push_back(pick);
+  }
+  return enrollment;
+}
+
+BitVec one_of_eight_respond(const std::vector<double>& unit_values,
+                            const OneOutOfEightEnrollment& enrollment) {
+  const std::vector<double> totals = ro_totals(unit_values, enrollment.layout);
+  BitVec response(enrollment.picks.size());
+  for (std::size_t g = 0; g < enrollment.picks.size(); ++g) {
+    const auto& pick = enrollment.picks[g];
+    response.set(g, totals[pick.first_ro] > totals[pick.second_ro]);
+  }
+  return response;
+}
+
+BitVec ConfigurableEnrollment::response() const {
+  BitVec r(selections.size());
+  for (std::size_t p = 0; p < selections.size(); ++p) r.set(p, selections[p].bit);
+  return r;
+}
+
+std::vector<double> ConfigurableEnrollment::margins() const {
+  std::vector<double> m(selections.size());
+  for (std::size_t p = 0; p < selections.size(); ++p) m[p] = selections[p].margin;
+  return m;
+}
+
+ConfigurableEnrollment configurable_enroll(const std::vector<double>& unit_values,
+                                           const BoardLayout& layout, SelectionCase mode) {
+  ConfigurableEnrollment enrollment;
+  enrollment.mode = mode;
+  enrollment.layout = layout;
+  enrollment.selections.reserve(layout.pair_count);
+  for (std::size_t p = 0; p < layout.pair_count; ++p) {
+    const PairValues pv = pair_values(unit_values, layout, p);
+    enrollment.selections.push_back(select(mode, pv.top, pv.bottom));
+  }
+  return enrollment;
+}
+
+BitVec configurable_respond(const std::vector<double>& unit_values,
+                            const ConfigurableEnrollment& enrollment) {
+  BitVec response(enrollment.selections.size());
+  for (std::size_t p = 0; p < enrollment.selections.size(); ++p) {
+    const PairValues pv = pair_values(unit_values, enrollment.layout, p);
+    const Selection& sel = enrollment.selections[p];
+    const double margin = configured_margin(sel.top_config, sel.bottom_config,
+                                            pv.top, pv.bottom);
+    response.set(p, margin > 0.0);
+  }
+  return response;
+}
+
+std::vector<bool> configurable_reliable_mask(const ConfigurableEnrollment& enrollment,
+                                             double rth) {
+  ROPUF_REQUIRE(rth >= 0.0, "negative reliability threshold");
+  std::vector<bool> mask(enrollment.selections.size());
+  for (std::size_t p = 0; p < enrollment.selections.size(); ++p) {
+    mask[p] = std::fabs(enrollment.selections[p].margin) >= rth;
+  }
+  return mask;
+}
+
+}  // namespace ropuf::puf

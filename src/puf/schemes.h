@@ -1,0 +1,135 @@
+// The PUF constructions the paper evaluates, over plain measurement arrays.
+//
+// All four schemes consume one board's per-unit values (ddiffs in ps from
+// the simulator, or any monotone speed proxy — the logic only compares and
+// sums) grouped into RO pairs by a BoardLayout:
+//
+//  * traditional RO PUF      — every inverter in the loop; bit = sign of the
+//                              pair's total delay difference.
+//  * threshold (Rth) RO PUF  — traditional, but pairs whose |difference| is
+//                              below Rth yield no bit (Section IV.E).
+//  * 1-out-of-8 RO PUF       — Suh & Devadas [1]: per 8 ROs, compare the
+//                              fastest and slowest; 1/4 the bit yield.
+//  * configurable RO PUF     — the paper's contribution: per pair, solve the
+//                              inverter-selection problem, store the
+//                              configuration, and generate the bit from the
+//                              configured margin.
+//
+// Enrollment-time artifacts (configurations, 1-of-8 picks) are explicit
+// values that can be re-evaluated against measurements taken at any other
+// operating corner — that is exactly the paper's reliability experiment.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "puf/selection.h"
+
+namespace ropuf::puf {
+
+/// How a board's units are grouped into RO pairs. Units are assigned in
+/// index order: pair p's top RO takes stages [2p*n, 2p*n + n), its bottom RO
+/// the next n units — the adjacent-deployment of Section III.C.
+struct BoardLayout {
+  std::size_t stages = 5;       ///< n, inverters per RO
+  std::size_t pair_count = 48;  ///< RO pairs (= bits for trad/configurable)
+
+  std::size_t units_required() const { return stages * pair_count * 2; }
+  std::size_t ro_count() const { return pair_count * 2; }
+  std::size_t top_unit(std::size_t pair, std::size_t stage) const;
+  std::size_t bottom_unit(std::size_t pair, std::size_t stage) const;
+};
+
+/// The paper's bit-yield rule (reverse-engineered from Table V with a
+/// 512-unit board): bits per board = 8 * floor(units / (16 n)), giving
+/// 80/48/32/24 bits for n = 3/5/7/9.
+BoardLayout paper_layout(std::size_t stages, std::size_t board_units = 512);
+
+/// Per-unit value vectors for one RO pair, extracted via the layout.
+struct PairValues {
+  std::vector<double> top;
+  std::vector<double> bottom;
+};
+PairValues pair_values(const std::vector<double>& unit_values, const BoardLayout& layout,
+                       std::size_t pair);
+
+// ---------------------------------------------------------------- traditional
+
+/// Traditional RO PUF response; margins[p] is pair p's signed delay
+/// difference (top minus bottom, all inverters selected).
+struct TraditionalResult {
+  BitVec response;
+  std::vector<double> margins;
+};
+TraditionalResult traditional_respond(const std::vector<double>& unit_values,
+                                      const BoardLayout& layout);
+
+// ----------------------------------------------------------------- threshold
+
+/// Threshold scheme output: `reliable[p]` marks pairs whose margin magnitude
+/// met Rth; `response` still contains one bit per pair (callers mask it).
+struct ThresholdResult {
+  BitVec response;
+  std::vector<bool> reliable;
+  std::size_t reliable_count = 0;
+};
+ThresholdResult threshold_respond(const std::vector<double>& unit_values,
+                                  const BoardLayout& layout, double rth);
+
+// ---------------------------------------------------------------- 1-out-of-8
+
+/// Enrollment record of the 1-out-of-8 scheme: per 8-RO group, the index
+/// pair (within the board's RO numbering) picked for maximal spread.
+struct OneOutOfEightEnrollment {
+  struct Pick {
+    std::size_t first_ro = 0;   ///< lower RO index of the chosen pair
+    std::size_t second_ro = 0;  ///< higher RO index of the chosen pair
+  };
+  BoardLayout layout;
+  std::vector<Pick> picks;
+};
+
+/// Number of bits the scheme yields under a layout (ro_count / 8).
+std::size_t one_of_eight_bits(const BoardLayout& layout);
+
+/// Sum-of-stage-values per RO, the RO-level speed figure used by the scheme.
+std::vector<double> ro_totals(const std::vector<double>& unit_values,
+                              const BoardLayout& layout);
+
+OneOutOfEightEnrollment one_of_eight_enroll(const std::vector<double>& unit_values,
+                                            const BoardLayout& layout);
+
+/// Re-evaluates the enrolled picks against fresh measurements; bit g is
+/// (value of first_ro > value of second_ro).
+BitVec one_of_eight_respond(const std::vector<double>& unit_values,
+                            const OneOutOfEightEnrollment& enrollment);
+
+// -------------------------------------------------------------- configurable
+
+/// Enrollment record of the paper's configurable RO PUF: one Selection per
+/// pair, computed from enrollment-corner measurements.
+struct ConfigurableEnrollment {
+  SelectionCase mode = SelectionCase::kSameConfig;
+  BoardLayout layout;
+  std::vector<Selection> selections;
+
+  /// The enrollment-time response (bit p = selections[p].bit).
+  BitVec response() const;
+  /// Enrollment margins, for threshold screening.
+  std::vector<double> margins() const;
+};
+
+ConfigurableEnrollment configurable_enroll(const std::vector<double>& unit_values,
+                                           const BoardLayout& layout, SelectionCase mode);
+
+/// Re-evaluates the stored configurations against fresh measurements.
+BitVec configurable_respond(const std::vector<double>& unit_values,
+                            const ConfigurableEnrollment& enrollment);
+
+/// Reliability mask under a margin threshold (Section IV.E, configurable
+/// column): pair p is reliable iff |enrollment margin| >= rth.
+std::vector<bool> configurable_reliable_mask(const ConfigurableEnrollment& enrollment,
+                                             double rth);
+
+}  // namespace ropuf::puf

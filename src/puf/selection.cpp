@@ -1,0 +1,287 @@
+#include "puf/selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace ropuf::puf {
+namespace {
+
+void check_pair(const std::vector<double>& top, const std::vector<double>& bottom) {
+  ROPUF_REQUIRE(!top.empty(), "selection needs at least one unit");
+  ROPUF_REQUIRE(top.size() == bottom.size(), "top/bottom unit counts differ");
+  ROPUF_REQUIRE(top.size() <= 63, "selection supports up to 63 units");
+}
+
+/// Indices of `v` sorted by value, descending or ascending.
+std::vector<std::size_t> argsort(const std::vector<double>& v, bool descending) {
+  std::vector<std::size_t> idx(v.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return descending ? v[a] > v[b] : v[a] < v[b];
+  });
+  return idx;
+}
+
+/// Best k >= 1 prefix of the pairing (slowest-available top unit vs
+/// fastest-available bottom unit): returns (best sum, best k). Because the
+/// pairing terms are non-increasing, the prefix maximum is the optimum over
+/// every feasible k (see selection.h).
+std::pair<double, std::size_t> best_prefix(const std::vector<double>& top,
+                                           const std::vector<std::size_t>& top_order,
+                                           const std::vector<double>& bottom,
+                                           const std::vector<std::size_t>& bottom_order) {
+  double sum = 0.0;
+  double best = -1e300;
+  std::size_t best_k = 1;
+  for (std::size_t k = 0; k < top_order.size(); ++k) {
+    sum += top[top_order[k]] - bottom[bottom_order[k]];
+    if (sum > best) {
+      best = sum;
+      best_k = k + 1;
+    }
+  }
+  return {best, best_k};
+}
+
+BitVec config_from_order(std::size_t n, const std::vector<std::size_t>& order,
+                         std::size_t count) {
+  BitVec cfg(n);
+  for (std::size_t k = 0; k < count; ++k) cfg.set(order[k], true);
+  return cfg;
+}
+
+BitVec config_from_mask(std::size_t n, std::uint64_t mask) {
+  BitVec cfg(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask & (std::uint64_t{1} << i)) cfg.set(i, true);
+  }
+  return cfg;
+}
+
+double mask_sum(const std::vector<double>& v, std::uint64_t mask) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (mask & (std::uint64_t{1} << i)) s += v[i];
+  }
+  return s;
+}
+
+}  // namespace
+
+double configured_margin(const BitVec& top_config, const BitVec& bottom_config,
+                         const std::vector<double>& top_values,
+                         const std::vector<double>& bottom_values) {
+  check_pair(top_values, bottom_values);
+  ROPUF_REQUIRE(top_config.size() == top_values.size() &&
+                    bottom_config.size() == bottom_values.size(),
+                "configuration arity mismatch");
+  double margin = 0.0;
+  for (std::size_t i = 0; i < top_values.size(); ++i) {
+    if (top_config.get(i)) margin += top_values[i];
+    if (bottom_config.get(i)) margin -= bottom_values[i];
+  }
+  return margin;
+}
+
+Selection select_case1(const std::vector<double>& top_values,
+                       const std::vector<double>& bottom_values) {
+  check_pair(top_values, bottom_values);
+  const std::size_t n = top_values.size();
+
+  double positive_sum = 0.0, negative_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = top_values[i] - bottom_values[i];
+    if (d > 0.0) {
+      positive_sum += d;
+    } else {
+      negative_sum += d;
+    }
+  }
+
+  const bool pick_positive = positive_sum >= -negative_sum;
+  Selection s;
+  s.top_config = BitVec(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = top_values[i] - bottom_values[i];
+    if ((pick_positive && d > 0.0) || (!pick_positive && d < 0.0)) {
+      s.top_config.set(i, true);
+      s.margin += d;
+    }
+  }
+  s.bottom_config = s.top_config;
+  s.bit = s.margin > 0.0;
+  return s;
+}
+
+Selection select_case2(const std::vector<double>& top_values,
+                       const std::vector<double>& bottom_values) {
+  check_pair(top_values, bottom_values);
+  const std::size_t n = top_values.size();
+
+  const auto top_desc = argsort(top_values, /*descending=*/true);
+  const auto top_asc = argsort(top_values, /*descending=*/false);
+  const auto bottom_desc = argsort(bottom_values, /*descending=*/true);
+  const auto bottom_asc = argsort(bottom_values, /*descending=*/false);
+
+  // Direction "top slower": pick the k slowest top units and the k fastest
+  // bottom units. Direction "bottom slower" is symmetric.
+  const auto [top_slower_sum, top_slower_k] =
+      best_prefix(top_values, top_desc, bottom_values, bottom_asc);
+  const auto [bottom_slower_sum, bottom_slower_k] =
+      best_prefix(bottom_values, bottom_desc, top_values, top_asc);
+
+  Selection s;
+  if (top_slower_sum >= bottom_slower_sum) {
+    s.top_config = config_from_order(n, top_desc, top_slower_k);
+    s.bottom_config = config_from_order(n, bottom_asc, top_slower_k);
+    s.margin = top_slower_sum;
+  } else {
+    s.top_config = config_from_order(n, top_asc, bottom_slower_k);
+    s.bottom_config = config_from_order(n, bottom_desc, bottom_slower_k);
+    s.margin = -bottom_slower_sum;
+  }
+  s.bit = s.margin > 0.0;
+  return s;
+}
+
+Selection select(SelectionCase mode, const std::vector<double>& top_values,
+                 const std::vector<double>& bottom_values) {
+  return mode == SelectionCase::kSameConfig ? select_case1(top_values, bottom_values)
+                                            : select_case2(top_values, bottom_values);
+}
+
+namespace {
+
+/// Case-1 with a forced sign: select every unit whose delta has the wanted
+/// sign; if none exists, select the single unit closest to the wanted sign
+/// so the configuration stays non-empty.
+Selection case1_directed(const std::vector<double>& top, const std::vector<double>& bottom,
+                         bool top_slower) {
+  const std::size_t n = top.size();
+  Selection s;
+  s.top_config = BitVec(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = top[i] - bottom[i];
+    if ((top_slower && d > 0.0) || (!top_slower && d < 0.0)) {
+      s.top_config.set(i, true);
+      s.margin += d;
+    }
+  }
+  if (s.top_config.popcount() == 0) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      const double d = top[i] - bottom[i];
+      const double db = top[best] - bottom[best];
+      if (top_slower ? d > db : d < db) best = i;
+    }
+    s.top_config.set(best, true);
+    s.margin = top[best] - bottom[best];
+  }
+  s.bottom_config = s.top_config;
+  s.bit = s.margin > 0.0;
+  return s;
+}
+
+/// Case-2 with a forced sign: the sorted prefix pairing of the wanted
+/// direction only.
+Selection case2_directed(const std::vector<double>& top, const std::vector<double>& bottom,
+                         bool top_slower) {
+  const std::size_t n = top.size();
+  Selection s;
+  if (top_slower) {
+    const auto top_desc = argsort(top, true);
+    const auto bottom_asc = argsort(bottom, false);
+    const auto [sum, k] = best_prefix(top, top_desc, bottom, bottom_asc);
+    s.top_config = config_from_order(n, top_desc, k);
+    s.bottom_config = config_from_order(n, bottom_asc, k);
+    s.margin = sum;
+  } else {
+    const auto bottom_desc = argsort(bottom, true);
+    const auto top_asc = argsort(top, false);
+    const auto [sum, k] = best_prefix(bottom, bottom_desc, top, top_asc);
+    s.top_config = config_from_order(n, top_asc, k);
+    s.bottom_config = config_from_order(n, bottom_desc, k);
+    s.margin = -sum;
+  }
+  s.bit = s.margin > 0.0;
+  return s;
+}
+
+}  // namespace
+
+Selection select_directed(SelectionCase mode, const std::vector<double>& top_values,
+                          const std::vector<double>& bottom_values, bool top_slower) {
+  check_pair(top_values, bottom_values);
+  return mode == SelectionCase::kSameConfig
+             ? case1_directed(top_values, bottom_values, top_slower)
+             : case2_directed(top_values, bottom_values, top_slower);
+}
+
+Selection select_exhaustive_case1(const std::vector<double>& top_values,
+                                  const std::vector<double>& bottom_values) {
+  check_pair(top_values, bottom_values);
+  const std::size_t n = top_values.size();
+  ROPUF_REQUIRE(n <= 20, "exhaustive case-1 limited to 20 units");
+
+  Selection best;
+  double best_abs = -1.0;
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
+    const double margin = mask_sum(top_values, mask) - mask_sum(bottom_values, mask);
+    if (std::fabs(margin) > best_abs) {
+      best_abs = std::fabs(margin);
+      best.top_config = config_from_mask(n, mask);
+      best.bottom_config = best.top_config;
+      best.margin = margin;
+    }
+  }
+  best.bit = best.margin > 0.0;
+  return best;
+}
+
+namespace {
+
+Selection exhaustive_pairs(const std::vector<double>& top_values,
+                           const std::vector<double>& bottom_values,
+                           bool require_equal_popcount) {
+  const std::size_t n = top_values.size();
+  ROPUF_REQUIRE(n <= 12, "exhaustive pair search limited to 12 units");
+
+  Selection best;
+  double best_abs = -1.0;
+  for (std::uint64_t x = 1; x < (std::uint64_t{1} << n); ++x) {
+    for (std::uint64_t y = 1; y < (std::uint64_t{1} << n); ++y) {
+      if (require_equal_popcount &&
+          __builtin_popcountll(x) != __builtin_popcountll(y)) {
+        continue;
+      }
+      const double margin = mask_sum(top_values, x) - mask_sum(bottom_values, y);
+      if (std::fabs(margin) > best_abs) {
+        best_abs = std::fabs(margin);
+        best.top_config = config_from_mask(n, x);
+        best.bottom_config = config_from_mask(n, y);
+        best.margin = margin;
+      }
+    }
+  }
+  best.bit = best.margin > 0.0;
+  return best;
+}
+
+}  // namespace
+
+Selection select_exhaustive_case2(const std::vector<double>& top_values,
+                                  const std::vector<double>& bottom_values) {
+  check_pair(top_values, bottom_values);
+  return exhaustive_pairs(top_values, bottom_values, /*require_equal_popcount=*/true);
+}
+
+Selection select_exhaustive_unconstrained(const std::vector<double>& top_values,
+                                          const std::vector<double>& bottom_values) {
+  check_pair(top_values, bottom_values);
+  return exhaustive_pairs(top_values, bottom_values, /*require_equal_popcount=*/false);
+}
+
+}  // namespace ropuf::puf

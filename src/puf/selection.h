@@ -1,0 +1,79 @@
+// The inverter selection problem (paper Section III.D).
+//
+// Given the per-unit delay differences of a top RO (alpha) and a bottom RO
+// (beta), choose configuration vectors that maximize the magnitude of the
+// configured delay difference
+//
+//   margin = sum_i alpha_i x_i  -  sum_i beta_i y_i .
+//
+// Case-1 constrains both ROs to one shared configuration (x = y); Case-2
+// lets them differ but requires equal popcount (the paper's security
+// argument: with unequal inverter counts the faster RO is guessable).
+//
+// Both paper algorithms are exactly optimal for their constraint sets;
+// `select_exhaustive_*` provides the brute-force oracle the tests verify
+// that claim against.
+#pragma once
+
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace ropuf::puf {
+
+/// Which of the paper's two configuration regimes to use.
+enum class SelectionCase {
+  kSameConfig,       ///< Case-1: x = y
+  kIndependent,      ///< Case-2: x, y free with equal popcount
+};
+
+/// Outcome of solving the selection problem for one RO pair.
+struct Selection {
+  BitVec top_config;     ///< x: which top-RO inverters are in the loop
+  BitVec bottom_config;  ///< y: which bottom-RO inverters are in the loop
+  double margin = 0.0;   ///< configured delay difference (top minus bottom)
+  bool bit = false;      ///< the PUF bit: true iff the top RO is slower
+};
+
+/// Margin realized by arbitrary configurations under given unit values;
+/// used to re-evaluate a stored configuration at another operating point.
+double configured_margin(const BitVec& top_config, const BitVec& bottom_config,
+                         const std::vector<double>& top_values,
+                         const std::vector<double>& bottom_values);
+
+/// Case-1 optimal selection (sign partition, eq. (1) of the paper).
+Selection select_case1(const std::vector<double>& top_values,
+                       const std::vector<double>& bottom_values);
+
+/// Case-2 optimal selection (sorted prefix pairing, eqs. (2)-(3)).
+Selection select_case2(const std::vector<double>& top_values,
+                       const std::vector<double>& bottom_values);
+
+/// Dispatch on the case tag.
+Selection select(SelectionCase mode, const std::vector<double>& top_values,
+                 const std::vector<double>& bottom_values);
+
+/// Best selection with a *forced* sign: maximizes the signed margin when
+/// `top_slower`, minimizes it otherwise. Always selects at least one unit.
+/// Building block for base-aware enrollment (see chip_puf.h): when the
+/// configured comparison includes a fixed pair offset (the bypass-path
+/// mismatch dB), the best direction is the one whose margin reinforces dB,
+/// which is not necessarily the direction of the larger ddiff sum.
+Selection select_directed(SelectionCase mode, const std::vector<double>& top_values,
+                          const std::vector<double>& bottom_values, bool top_slower);
+
+/// Brute-force oracle over all shared configurations (non-empty). Exponential;
+/// intended for tests and ablation benches with small n.
+Selection select_exhaustive_case1(const std::vector<double>& top_values,
+                                  const std::vector<double>& bottom_values);
+
+/// Brute-force oracle over all equal-popcount configuration pairs.
+Selection select_exhaustive_case2(const std::vector<double>& top_values,
+                                  const std::vector<double>& bottom_values);
+
+/// Brute-force oracle with the equal-popcount constraint dropped — quantifies
+/// what the security constraint costs in margin (ablation).
+Selection select_exhaustive_unconstrained(const std::vector<double>& top_values,
+                                          const std::vector<double>& bottom_values);
+
+}  // namespace ropuf::puf

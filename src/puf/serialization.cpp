@@ -1,0 +1,99 @@
+#include "puf/serialization.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ropuf::puf {
+
+std::string serialize_enrollment(const ConfigurableEnrollment& enrollment) {
+  std::ostringstream os;
+  os << "ropuf-enrollment v1\n";
+  os << "mode " << (enrollment.mode == SelectionCase::kSameConfig ? "case1" : "case2")
+     << "\n";
+  os << "layout " << enrollment.layout.stages << " " << enrollment.layout.pair_count
+     << "\n";
+  os.precision(17);
+  for (std::size_t p = 0; p < enrollment.selections.size(); ++p) {
+    const Selection& sel = enrollment.selections[p];
+    os << "pair " << p << " " << sel.top_config.to_string() << " "
+       << sel.bottom_config.to_string() << " " << sel.margin << " " << (sel.bit ? 1 : 0)
+       << "\n";
+  }
+  return os.str();
+}
+
+ConfigurableEnrollment parse_enrollment(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+
+  auto next_line = [&](std::string& out) {
+    while (std::getline(is, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      out = line;
+      return true;
+    }
+    return false;
+  };
+
+  std::string current;
+  ROPUF_REQUIRE(next_line(current) && current == "ropuf-enrollment v1",
+                "missing or wrong enrollment header");
+
+  ConfigurableEnrollment enrollment;
+  ROPUF_REQUIRE(next_line(current), "truncated enrollment: no mode line");
+  {
+    std::istringstream ls(current);
+    std::string keyword, value;
+    ls >> keyword >> value;
+    ROPUF_REQUIRE(keyword == "mode" && (value == "case1" || value == "case2"),
+                  "malformed mode line");
+    enrollment.mode =
+        value == "case1" ? SelectionCase::kSameConfig : SelectionCase::kIndependent;
+  }
+  ROPUF_REQUIRE(next_line(current), "truncated enrollment: no layout line");
+  {
+    std::istringstream ls(current);
+    std::string keyword;
+    long long stages = 0, pairs = 0;
+    ls >> keyword >> stages >> pairs;
+    ROPUF_REQUIRE(keyword == "layout" && !ls.fail() && stages > 0 && pairs > 0,
+                  "malformed layout line");
+    enrollment.layout.stages = static_cast<std::size_t>(stages);
+    enrollment.layout.pair_count = static_cast<std::size_t>(pairs);
+  }
+
+  enrollment.selections.resize(enrollment.layout.pair_count);
+  std::vector<bool> seen(enrollment.layout.pair_count, false);
+  while (next_line(current)) {
+    std::istringstream ls(current);
+    std::string keyword, top, bottom;
+    long long index = -1;
+    double margin = 0.0;
+    int bit = 0;
+    ls >> keyword >> index >> top >> bottom >> margin >> bit;
+    ROPUF_REQUIRE(keyword == "pair" && !ls.fail(), "malformed pair line");
+    ROPUF_REQUIRE(index >= 0 &&
+                      static_cast<std::size_t>(index) < enrollment.layout.pair_count,
+                  "pair index out of range");
+    ROPUF_REQUIRE(!seen[static_cast<std::size_t>(index)], "duplicate pair index");
+    ROPUF_REQUIRE(bit == 0 || bit == 1, "pair bit must be 0/1");
+
+    Selection sel;
+    sel.top_config = BitVec::from_string(top);
+    sel.bottom_config = BitVec::from_string(bottom);
+    ROPUF_REQUIRE(sel.top_config.size() == enrollment.layout.stages &&
+                      sel.bottom_config.size() == enrollment.layout.stages,
+                  "configuration arity does not match the layout");
+    sel.margin = margin;
+    sel.bit = bit == 1;
+    enrollment.selections[static_cast<std::size_t>(index)] = std::move(sel);
+    seen[static_cast<std::size_t>(index)] = true;
+  }
+  for (std::size_t p = 0; p < seen.size(); ++p) {
+    ROPUF_REQUIRE(seen[p], "missing pair " + std::to_string(p));
+  }
+  return enrollment;
+}
+
+}  // namespace ropuf::puf

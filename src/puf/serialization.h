@@ -1,0 +1,29 @@
+// Text serialization of enrollment artifacts.
+//
+// A deployment stores, per device, the burned configuration vectors (and,
+// for the distilled circuit device, the public comparison offsets). This
+// module provides a stable line-oriented format for those records so
+// enrollment can happen at the test house and verification elsewhere.
+//
+// Format (one record per line, '#' comments ignored):
+//   ropuf-enrollment v1
+//   mode <case1|case2>
+//   layout <stages> <pair_count>
+//   pair <index> <top_config> <bottom_config> <margin> <bit>
+//   ...
+#pragma once
+
+#include <string>
+
+#include "puf/schemes.h"
+
+namespace ropuf::puf {
+
+/// Renders an enrollment to the text format above.
+std::string serialize_enrollment(const ConfigurableEnrollment& enrollment);
+
+/// Parses the text format; throws ropuf::Error on any malformed content
+/// (wrong header, inconsistent arity, missing pairs, bad numbers).
+ConfigurableEnrollment parse_enrollment(const std::string& text);
+
+}  // namespace ropuf::puf

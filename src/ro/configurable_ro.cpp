@@ -1,0 +1,83 @@
+#include "ro/configurable_ro.h"
+
+#include "common/error.h"
+
+namespace ropuf::ro {
+
+ConfigurableRo::ConfigurableRo(const sil::Chip* chip, std::vector<std::size_t> unit_indices)
+    : chip_(chip), units_(std::move(unit_indices)) {
+  ROPUF_REQUIRE(chip_ != nullptr, "null chip");
+  ROPUF_REQUIRE(!units_.empty(), "RO needs at least one stage");
+  for (const std::size_t u : units_) {
+    ROPUF_REQUIRE(u < chip_->unit_count(), "unit index beyond chip");
+  }
+}
+
+BitVec ConfigurableRo::all_selected() const {
+  BitVec config(units_.size());
+  for (std::size_t i = 0; i < units_.size(); ++i) config.set(i, true);
+  return config;
+}
+
+bool ConfigurableRo::oscillates(const BitVec& config) const {
+  ROPUF_REQUIRE(config.size() == units_.size(), "configuration arity mismatch");
+  return config.popcount() % 2 == 1;
+}
+
+double ConfigurableRo::path_delay_ps(const BitVec& config,
+                                     const sil::OperatingPoint& op) const {
+  ROPUF_REQUIRE(config.size() == units_.size(), "configuration arity mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    total += config.get(i) ? chip_->selected_path_delay_ps(units_[i], op)
+                           : chip_->skip_path_delay_ps(units_[i], op);
+  }
+  return total;
+}
+
+double ConfigurableRo::oscillation_period_ps(const BitVec& config,
+                                             const sil::OperatingPoint& op) const {
+  ROPUF_REQUIRE(oscillates(config), "even-parity configuration does not oscillate");
+  return 2.0 * path_delay_ps(config, op);
+}
+
+double ConfigurableRo::frequency_hz(const BitVec& config,
+                                    const sil::OperatingPoint& op) const {
+  return 1e12 / oscillation_period_ps(config, op);
+}
+
+std::vector<double> ConfigurableRo::true_ddiffs_ps(const sil::OperatingPoint& op) const {
+  std::vector<double> dd(units_.size());
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    dd[i] = chip_->unit_ddiff_ps(units_[i], op);
+  }
+  return dd;
+}
+
+std::vector<std::pair<ConfigurableRo, ConfigurableRo>> make_ro_pairs(
+    const sil::Chip& chip, std::size_t stages, std::size_t pair_count,
+    PairPlacement placement) {
+  ROPUF_REQUIRE(stages > 0, "RO needs at least one stage");
+  ROPUF_REQUIRE(pair_count * 2 * stages <= chip.unit_count(),
+                "chip has too few units for the requested RO pairs");
+  std::vector<std::pair<ConfigurableRo, ConfigurableRo>> pairs;
+  pairs.reserve(pair_count);
+  for (std::size_t p = 0; p < pair_count; ++p) {
+    const std::size_t base = p * 2 * stages;
+    std::vector<std::size_t> top(stages), bottom(stages);
+    for (std::size_t s = 0; s < stages; ++s) {
+      if (placement == PairPlacement::kAdjacentBlocks) {
+        top[s] = base + s;
+        bottom[s] = base + stages + s;
+      } else {
+        top[s] = base + 2 * s;
+        bottom[s] = base + 2 * s + 1;
+      }
+    }
+    pairs.emplace_back(ConfigurableRo(&chip, std::move(top)),
+                       ConfigurableRo(&chip, std::move(bottom)));
+  }
+  return pairs;
+}
+
+}  // namespace ropuf::ro

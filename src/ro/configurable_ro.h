@@ -1,0 +1,72 @@
+// The configurable ring oscillator of the paper's Fig. 1.
+//
+// A ConfigurableRo is a chain of delay units on one chip. A configuration
+// vector (one bit per stage) decides, per stage, whether the signal passes
+// through the inverter (1) or bypasses it (0). The RO oscillates only when
+// an odd number of inverters is in the loop; arbitrary configurations still
+// have a well-defined combinational path delay, which the measurement
+// harness reads out with an auxiliary completion stage (frequency_counter.h).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "silicon/chip.h"
+
+namespace ropuf::ro {
+
+/// A chain of delay units on a chip, identified by unit indices.
+class ConfigurableRo {
+ public:
+  /// `unit_indices` selects which of the chip's delay units form the chain,
+  /// in stage order. The chip must outlive the RO.
+  ConfigurableRo(const sil::Chip* chip, std::vector<std::size_t> unit_indices);
+
+  std::size_t stage_count() const { return units_.size(); }
+  const sil::Chip& chip() const { return *chip_; }
+  const std::vector<std::size_t>& unit_indices() const { return units_; }
+
+  /// All-ones configuration (the traditional RO uses every inverter).
+  BitVec all_selected() const;
+
+  /// True iff the loop inverts, i.e. an odd number of stages is selected.
+  bool oscillates(const BitVec& config) const;
+
+  /// Combinational delay of one traversal of the chain under `config`.
+  double path_delay_ps(const BitVec& config, const sil::OperatingPoint& op) const;
+
+  /// Oscillation period (two traversals per period for an inverting loop).
+  /// Requires an oscillating (odd-parity) configuration.
+  double oscillation_period_ps(const BitVec& config, const sil::OperatingPoint& op) const;
+
+  /// Oscillation frequency in Hz; requires an oscillating configuration.
+  double frequency_hz(const BitVec& config, const sil::OperatingPoint& op) const;
+
+  /// True per-unit ddiff values (d + d1 - d0) for every stage; the oracle
+  /// the measured extraction is tested against.
+  std::vector<double> true_ddiffs_ps(const sil::OperatingPoint& op) const;
+
+ private:
+  const sil::Chip* chip_;
+  std::vector<std::size_t> units_;
+};
+
+/// How the two ROs of a pair share their silicon.
+enum class PairPlacement {
+  /// Top RO takes `stages` consecutive units, bottom RO the next block.
+  /// Simple but exposes the pair to the spatial systematic gradient.
+  kAdjacentBlocks,
+  /// Top and bottom stages alternate cell by cell, so both ROs sample the
+  /// same neighbourhood and the systematic trend cancels in the pair
+  /// comparison — the standard matched-layout practice for RO PUF pairs.
+  kInterleaved,
+};
+
+/// Splits the first pair_count*2*stages units of a chip into (top, bottom)
+/// RO pairs of `stages` stages each — the deployment of Section III.C.
+std::vector<std::pair<ConfigurableRo, ConfigurableRo>> make_ro_pairs(
+    const sil::Chip& chip, std::size_t stages, std::size_t pair_count,
+    PairPlacement placement = PairPlacement::kAdjacentBlocks);
+
+}  // namespace ropuf::ro

@@ -1,0 +1,112 @@
+#include "ro/delay_extractor.h"
+
+#include "common/error.h"
+#include "numeric/linear_solver.h"
+#include "numeric/matrix.h"
+
+namespace ropuf::ro {
+namespace {
+
+BitVec all_ones(std::size_t n) {
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, true);
+  return v;
+}
+
+BitVec ones_except(std::size_t n, std::size_t skip) {
+  BitVec v = all_ones(n);
+  v.set(skip, false);
+  return v;
+}
+
+}  // namespace
+
+DelayExtractor::DelayExtractor(const FrequencyCounter* counter) : counter_(counter) {
+  ROPUF_REQUIRE(counter_ != nullptr, "null counter");
+}
+
+std::vector<double> DelayExtractor::extract_leave_one_out(const ConfigurableRo& ro,
+                                                          const sil::OperatingPoint& op,
+                                                          Rng& rng, int repetitions) const {
+  return extract_leave_one_out_with_base(ro, op, rng, repetitions).ddiff_ps;
+}
+
+ExtractionResult DelayExtractor::extract_leave_one_out_with_base(
+    const ConfigurableRo& ro, const sil::OperatingPoint& op, Rng& rng,
+    int repetitions) const {
+  ROPUF_REQUIRE(repetitions >= 1, "repetitions must be >= 1");
+  const std::size_t n = ro.stage_count();
+  std::vector<double> ddiff(n, 0.0);
+  double d_all_total = 0.0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const double d_all = counter_->measure_path_delay_ps(ro, all_ones(n), op, rng);
+    d_all_total += d_all;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d_minus_i =
+          counter_->measure_path_delay_ps(ro, ones_except(n, i), op, rng);
+      ddiff[i] += d_all - d_minus_i;
+    }
+  }
+  ExtractionResult result;
+  result.ddiff_ps = std::move(ddiff);
+  double ddiff_sum = 0.0;
+  for (auto& d : result.ddiff_ps) {
+    d /= repetitions;
+    ddiff_sum += d;
+  }
+  result.base_delay_ps = d_all_total / repetitions - ddiff_sum;
+  return result;
+}
+
+std::array<double, 3> DelayExtractor::extract_paper_three_stage(
+    const ConfigurableRo& ro, const sil::OperatingPoint& op, Rng& rng) const {
+  ROPUF_REQUIRE(ro.stage_count() == 3, "paper scheme is defined for 3 stages");
+  const double x = counter_->measure_path_delay_ps(ro, BitVec::from_string("110"), op, rng);
+  const double y = counter_->measure_path_delay_ps(ro, BitVec::from_string("101"), op, rng);
+  const double z = counter_->measure_path_delay_ps(ro, BitVec::from_string("011"), op, rng);
+  return {(x + y - z) / 2.0, (x + z - y) / 2.0, (y + z - x) / 2.0};
+}
+
+ExtractionResult DelayExtractor::extract_least_squares(const ConfigurableRo& ro,
+                                                       const std::vector<BitVec>& configs,
+                                                       const sil::OperatingPoint& op,
+                                                       Rng& rng) const {
+  const std::size_t n = ro.stage_count();
+  ROPUF_REQUIRE(configs.size() >= n + 1,
+                "least-squares extraction needs at least stages+1 configurations");
+
+  num::Matrix design(configs.size(), n + 1);
+  std::vector<double> measured(configs.size());
+  for (std::size_t r = 0; r < configs.size(); ++r) {
+    ROPUF_REQUIRE(configs[r].size() == n, "configuration arity mismatch");
+    design.at(r, 0) = 1.0;  // base delay B
+    for (std::size_t i = 0; i < n; ++i) design.at(r, i + 1) = configs[r].get(i) ? 1.0 : 0.0;
+    measured[r] = counter_->measure_path_delay_ps(ro, configs[r], op, rng);
+  }
+
+  const std::vector<double> solution = num::solve_least_squares(design, measured);
+  ExtractionResult result;
+  result.base_delay_ps = solution[0];
+  result.ddiff_ps.assign(solution.begin() + 1, solution.end());
+  return result;
+}
+
+std::vector<BitVec> DelayExtractor::design_configs(std::size_t stages,
+                                                   std::size_t extra_random,
+                                                   Rng& rng) const {
+  ROPUF_REQUIRE(stages > 0, "design needs at least one stage");
+  std::vector<BitVec> configs;
+  configs.push_back(all_ones(stages));
+  for (std::size_t i = 0; i < stages; ++i) configs.push_back(ones_except(stages, i));
+  for (std::size_t k = 0; k < extra_random; ++k) {
+    BitVec c(stages);
+    // Random configuration with odd parity so the loop self-oscillates.
+    do {
+      for (std::size_t i = 0; i < stages; ++i) c.set(i, rng.flip());
+    } while (c.popcount() % 2 == 0 || c.popcount() == 0);
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+}  // namespace ropuf::ro

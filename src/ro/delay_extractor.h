@@ -1,0 +1,83 @@
+// Recovery of per-unit delay differences from whole-RO measurements.
+//
+// Section III.B of the paper: a single delay unit cannot be measured
+// directly, but measuring the RO under several configurations and solving a
+// small linear system recovers each unit's ddiff_i = d_i + d1_i - d0_i.
+// With base delay B = sum of all d0_i, the path delay under configuration c
+// is
+//
+//   D(c) = B + sum_i c_i * ddiff_i ,
+//
+// a linear model in (B, ddiff_1..ddiff_n). Three extraction strategies are
+// provided:
+//
+//  * leave-one-out  — measure the all-ones configuration and each
+//    configuration with exactly one unit skipped; ddiff_i = D(all) - D(-i).
+//    n+1 measurements, exact up to measurement noise.
+//  * paper 3-stage  — the paper's worked example ("110", "101", "011" with
+//    ddiff_1 = (X+Y-Z)/2 etc.). Uses only n measurements but neglects B, so
+//    each estimate carries a +B/2 bias. The bias is common to all units and
+//    to both ROs of a pair, hence harmless for the selection problem — this
+//    implementation exists to validate exactly that claim.
+//  * least squares  — any set of >= n+1 distinct configurations; solves for
+//    (B, ddiff) by QR least squares. Redundant configurations average down
+//    the counter noise (ablation bench).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "ro/configurable_ro.h"
+#include "ro/frequency_counter.h"
+
+namespace ropuf::ro {
+
+/// Result of a full linear-model extraction.
+struct ExtractionResult {
+  double base_delay_ps = 0.0;        ///< estimated B (sum of bypass delays)
+  std::vector<double> ddiff_ps;      ///< estimated per-unit delay differences
+};
+
+/// Stateless extraction algorithms over a measurement channel.
+class DelayExtractor {
+ public:
+  explicit DelayExtractor(const FrequencyCounter* counter);
+
+  /// Leave-one-out scheme; returns ddiff estimates for every stage.
+  /// `repetitions` > 1 averages that many independent measurement rounds.
+  std::vector<double> extract_leave_one_out(const ConfigurableRo& ro,
+                                            const sil::OperatingPoint& op, Rng& rng,
+                                            int repetitions = 1) const;
+
+  /// Leave-one-out scheme that also estimates the base delay B (sum of
+  /// bypass-path delays): B = D(all-ones) - sum of ddiff estimates. The base
+  /// estimate is what base-aware enrollment uses to account for the
+  /// bypass-path mismatch between the two ROs of a pair.
+  ExtractionResult extract_leave_one_out_with_base(const ConfigurableRo& ro,
+                                                   const sil::OperatingPoint& op, Rng& rng,
+                                                   int repetitions = 1) const;
+
+  /// The paper's minimal 3-stage scheme; `ro` must have exactly 3 stages.
+  /// Estimates carry a common +B/2 bias by construction.
+  std::array<double, 3> extract_paper_three_stage(const ConfigurableRo& ro,
+                                                  const sil::OperatingPoint& op,
+                                                  Rng& rng) const;
+
+  /// General least-squares extraction over caller-chosen configurations.
+  /// Requires at least stage_count()+1 configurations spanning the model.
+  ExtractionResult extract_least_squares(const ConfigurableRo& ro,
+                                         const std::vector<BitVec>& configs,
+                                         const sil::OperatingPoint& op, Rng& rng) const;
+
+  /// The standard redundant design: all-ones, all leave-one-out, plus
+  /// `extra_random` random odd-parity configurations.
+  std::vector<BitVec> design_configs(std::size_t stages, std::size_t extra_random,
+                                     Rng& rng) const;
+
+ private:
+  const FrequencyCounter* counter_;
+};
+
+}  // namespace ropuf::ro

@@ -1,0 +1,45 @@
+#include "ro/frequency_counter.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::ro {
+
+FrequencyCounter::FrequencyCounter(FrequencyCounterSpec spec, Rng& rng) : spec_(spec) {
+  ROPUF_REQUIRE(spec_.gate_time_s > 0.0, "gate time must be positive");
+  ROPUF_REQUIRE(spec_.jitter_sigma_rel >= 0.0, "negative jitter sigma");
+  ROPUF_REQUIRE(spec_.aux_inverter_delay_ps > 0.0, "aux stage delay must be positive");
+  aux_true_delay_ps_ =
+      spec_.aux_inverter_delay_ps * (1.0 + rng.gaussian(0.0, spec_.aux_calibration_error_rel));
+}
+
+double FrequencyCounter::measure_frequency_hz(double true_frequency_hz, Rng& rng) const {
+  ROPUF_REQUIRE(true_frequency_hz > 0.0, "non-positive frequency");
+  const double jittered =
+      true_frequency_hz * (1.0 + rng.gaussian(0.0, spec_.jitter_sigma_rel));
+  // Edge count over the gate window with a random start phase.
+  const double expected_edges = jittered * spec_.gate_time_s + rng.uniform();
+  const double count = std::floor(expected_edges);
+  ROPUF_REQUIRE(count >= 1.0, "gate time too short: zero edges counted");
+  return count / spec_.gate_time_s;
+}
+
+double FrequencyCounter::measure_path_delay_ps(const ConfigurableRo& ro, const BitVec& config,
+                                               const sil::OperatingPoint& op,
+                                               Rng& rng) const {
+  const bool needs_aux = !ro.oscillates(config);
+  const double loop_delay_ps =
+      ro.path_delay_ps(config, op) + (needs_aux ? aux_true_delay_ps_ : 0.0);
+  const double true_freq_hz = 1e12 / (2.0 * loop_delay_ps);
+  const double measured_freq_hz = measure_frequency_hz(true_freq_hz, rng);
+  double delay_ps = 1e12 / (2.0 * measured_freq_hz);
+  if (needs_aux) {
+    // Subtract the *calibrated* (nominal) aux delay; the residual between
+    // nominal and true stays in the estimate, shared by all measurements.
+    delay_ps -= spec_.aux_inverter_delay_ps;
+  }
+  return delay_ps;
+}
+
+}  // namespace ropuf::ro

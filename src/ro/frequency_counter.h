@@ -1,0 +1,63 @@
+// Measurement harness: a gated frequency counter.
+//
+// On the paper's FPGA platform, RO frequency is read by counting rising
+// edges over a fixed gate time. That gives two realistic error sources this
+// model reproduces:
+//
+//  * quantization — the count is an integer, so the measured frequency has
+//    resolution 1/gate_time (with a random fractional phase at gate start);
+//  * jitter — accumulated cycle-to-cycle noise, modeled as a relative
+//    Gaussian error on the true frequency.
+//
+// Configurations with an even number of selected inverters do not oscillate
+// on their own; the harness closes the loop through an auxiliary completion
+// inverter of known (calibrated) delay and subtracts it afterwards. The
+// calibration is imperfect; its residual error is a per-harness constant,
+// which is exactly why the paper's relative-comparison scheme tolerates it
+// (a bias common to top and bottom RO measurements cancels in Δd_i).
+#pragma once
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "ro/configurable_ro.h"
+#include "silicon/environment.h"
+
+namespace ropuf::ro {
+
+/// Counter characteristics.
+struct FrequencyCounterSpec {
+  double gate_time_s = 100e-6;          ///< counting window
+  double jitter_sigma_rel = 5e-5;       ///< relative frequency noise (1 sigma)
+  double aux_inverter_delay_ps = 500.0; ///< completion stage nominal delay
+  double aux_calibration_error_rel = 0.01;  ///< residual calibration error (1 sigma)
+};
+
+/// A measurement channel with its own (fixed) auxiliary-stage calibration
+/// residual. One counter instance per test harness.
+class FrequencyCounter {
+ public:
+  /// Draws the harness's calibration residual from `rng` once; afterwards
+  /// every measurement through this counter shares the same residual.
+  FrequencyCounter(FrequencyCounterSpec spec, Rng& rng);
+
+  const FrequencyCounterSpec& spec() const { return spec_; }
+
+  /// One gated count of a true frequency: jitter, then integer quantization.
+  double measure_frequency_hz(double true_frequency_hz, Rng& rng) const;
+
+  /// Measures the combinational path delay of `ro` under `config`:
+  /// odd-parity configurations are measured directly as a ring; even-parity
+  /// ones are closed through the auxiliary inverter whose calibrated delay
+  /// is subtracted (leaving the calibration residual in the estimate).
+  double measure_path_delay_ps(const ConfigurableRo& ro, const BitVec& config,
+                               const sil::OperatingPoint& op, Rng& rng) const;
+
+  /// True auxiliary-stage delay of this harness (exposed for tests).
+  double aux_true_delay_ps() const { return aux_true_delay_ps_; }
+
+ private:
+  FrequencyCounterSpec spec_;
+  double aux_true_delay_ps_;
+};
+
+}  // namespace ropuf::ro

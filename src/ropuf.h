@@ -1,0 +1,66 @@
+// Umbrella header: the library's full public API.
+//
+// Fine-grained includes are preferred inside the repository; this header
+// exists for downstream consumers who want everything with one include.
+#pragma once
+
+#include "common/bitvec.h"           // packed bit vectors
+#include "common/error.h"            // ropuf::Error / ROPUF_REQUIRE
+#include "common/rng.h"              // deterministic RNG
+#include "common/table.h"            // text tables
+
+#include "numeric/berlekamp_massey.h"
+#include "numeric/fft.h"
+#include "numeric/gf2.h"
+#include "numeric/linear_solver.h"
+#include "numeric/matrix.h"
+#include "numeric/polyfit.h"
+#include "numeric/special_functions.h"
+
+#include "silicon/chip.h"            // fabricated chips
+#include "silicon/dataset_io.h"      // CSV measurement-table interchange
+#include "silicon/environment.h"     // V/T model
+#include "silicon/fabrication.h"     // process variation
+#include "silicon/fleet.h"           // dataset-substitute fleets
+
+#include "ro/configurable_ro.h"      // the paper's Fig. 1 structure
+#include "ro/delay_extractor.h"      // Section III.B
+#include "ro/frequency_counter.h"    // measurement harness
+
+#include "puf/chip_puf.h"            // the full-circuit device
+#include "puf/cooperative.h"         // baseline [2]
+#include "puf/crp.h"                 // challenge-response oracle
+#include "puf/distiller.h"           // reference [18]
+#include "puf/kary_configurable.h"   // baseline [15]
+#include "puf/maiti_schaumont.h"     // baseline [14]
+#include "puf/majority.h"            // temporal voting
+#include "puf/measurement.h"         // dataset-mode snapshots
+#include "puf/schemes.h"             // traditional / 1-of-8 / threshold / configurable
+#include "puf/selection.h"           // Section III.D
+#include "puf/serialization.h"       // enrollment records
+
+#include "nist/basic_tests.h"
+#include "nist/complexity_tests.h"
+#include "nist/excursion_tests.h"
+#include "nist/pattern_tests.h"
+#include "nist/report.h"
+#include "nist/spectral_tests.h"
+#include "nist/suite.h"
+
+#include "crypto/cyclic_code.h"      // ECC comparator
+#include "crypto/fuzzy_extractor.h"  // code-offset construction [11]
+#include "crypto/sha256.h"
+
+#include "arbiter/arbiter_puf.h"     // strong-PUF contrast [1]/[13]
+#include "sram/sram_puf.h"           // memory-family context [3]
+
+#include "attack/logistic.h"         // modeling attacks
+#include "attack/predictors.h"
+
+#include "analysis/entropy.h"
+#include "analysis/experiments.h"
+#include "analysis/flip_model.h"
+#include "analysis/hamming_stats.h"
+#include "analysis/hardware_cost.h"
+#include "analysis/metrics.h"
+#include "analysis/reliability.h"

@@ -1,0 +1,35 @@
+#include "silicon/chip.h"
+
+#include "common/error.h"
+
+namespace ropuf::sil {
+
+Chip::Chip(std::vector<DelayUnitCell> cells, std::size_t grid_cols, std::size_t grid_rows,
+           EnvModel env)
+    : cells_(std::move(cells)), grid_cols_(grid_cols), grid_rows_(grid_rows), env_(env) {
+  ROPUF_REQUIRE(!cells_.empty(), "chip needs at least one delay unit");
+  ROPUF_REQUIRE(cells_.size() == grid_cols_ * grid_rows_,
+                "cell count must match grid dimensions");
+}
+
+const DelayUnitCell& Chip::unit(std::size_t i) const {
+  ROPUF_REQUIRE(i < cells_.size(), "unit index out of range");
+  return cells_[i];
+}
+
+DieLocation Chip::location(std::size_t i) const { return unit(i).loc; }
+
+double Chip::selected_path_delay_ps(std::size_t i, const OperatingPoint& op) const {
+  const DelayUnitCell& cell = unit(i);
+  return device_delay_ps(cell.inverter, env_, op) + device_delay_ps(cell.mux_sel, env_, op);
+}
+
+double Chip::skip_path_delay_ps(std::size_t i, const OperatingPoint& op) const {
+  return device_delay_ps(unit(i).mux_skip, env_, op);
+}
+
+double Chip::unit_ddiff_ps(std::size_t i, const OperatingPoint& op) const {
+  return selected_path_delay_ps(i, op) - skip_path_delay_ps(i, op);
+}
+
+}  // namespace ropuf::sil

@@ -1,0 +1,67 @@
+// A fabricated chip: a grid of configurable delay-unit cells.
+//
+// One delay unit is the paper's Fig. 2 structure — an inverter followed by a
+// 2-to-1 MUX. Each of the three timing arcs (through the inverter, the MUX
+// "1" path it feeds, and the bypass "0" path) is an independently fabricated
+// device with its own process-variation draw, so the quantity the paper
+// works with,
+//
+//   ddiff = d + d1 - d0,
+//
+// carries the variation of all three, exactly as Section III.B argues.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "silicon/environment.h"
+
+namespace ropuf::sil {
+
+/// Normalized die coordinates in [0, 1] x [0, 1].
+struct DieLocation {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// One configurable delay unit (inverter + 2-to-1 MUX) as fabricated.
+struct DelayUnitCell {
+  DeviceParams inverter;  ///< the inverter arc ("d" in the paper)
+  DeviceParams mux_sel;   ///< MUX arc when the select bit is 1 ("d1")
+  DeviceParams mux_skip;  ///< bypass arc when the select bit is 0 ("d0")
+  DieLocation loc;
+};
+
+/// Immutable fabricated chip.
+class Chip {
+ public:
+  /// `cells.size()` must equal `grid_cols * grid_rows`; cells are row-major.
+  Chip(std::vector<DelayUnitCell> cells, std::size_t grid_cols, std::size_t grid_rows,
+       EnvModel env);
+
+  std::size_t unit_count() const { return cells_.size(); }
+  std::size_t grid_cols() const { return grid_cols_; }
+  std::size_t grid_rows() const { return grid_rows_; }
+  const EnvModel& env_model() const { return env_; }
+
+  const DelayUnitCell& unit(std::size_t i) const;
+  DieLocation location(std::size_t i) const;
+
+  /// Delay through unit i with the select bit at 1: d + d1.
+  double selected_path_delay_ps(std::size_t i, const OperatingPoint& op) const;
+
+  /// Delay through unit i with the select bit at 0: d0.
+  double skip_path_delay_ps(std::size_t i, const OperatingPoint& op) const;
+
+  /// The paper's ddiff_i = d + d1 - d0 at the given corner. This is the
+  /// *true* value; measured estimates come from ro::DelayExtractor.
+  double unit_ddiff_ps(std::size_t i, const OperatingPoint& op) const;
+
+ private:
+  std::vector<DelayUnitCell> cells_;
+  std::size_t grid_cols_;
+  std::size_t grid_rows_;
+  EnvModel env_;
+};
+
+}  // namespace ropuf::sil

@@ -1,0 +1,101 @@
+#include "silicon/dataset_io.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ropuf::sil {
+
+DieLocation MeasurementTable::location(std::size_t unit) const {
+  ROPUF_REQUIRE(unit < units_per_board(), "unit index out of range");
+  DieLocation loc;
+  const std::size_t col = unit % grid_cols;
+  const std::size_t row = unit / grid_cols;
+  loc.x = grid_cols == 1 ? 0.5
+                         : static_cast<double>(col) / static_cast<double>(grid_cols - 1);
+  loc.y = grid_rows == 1 ? 0.5
+                         : static_cast<double>(row) / static_cast<double>(grid_rows - 1);
+  return loc;
+}
+
+std::string to_csv(const MeasurementTable& table) {
+  ROPUF_REQUIRE(table.grid_cols > 0 && table.grid_rows > 0, "empty grid");
+  std::ostringstream os;
+  os.precision(17);
+  os << "ropuf-dataset," << table.grid_cols << "," << table.grid_rows << "\n";
+  for (const auto& board : table.boards) {
+    ROPUF_REQUIRE(board.size() == table.units_per_board(),
+                  "board value count does not match the grid");
+    for (std::size_t i = 0; i < board.size(); ++i) {
+      if (i > 0) os << ",";
+      os << board[i];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+MeasurementTable from_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  std::string line;
+  ROPUF_REQUIRE(std::getline(is, line), "empty dataset");
+
+  MeasurementTable table;
+  {
+    std::istringstream header(line);
+    std::string magic, cols, rows;
+    ROPUF_REQUIRE(std::getline(header, magic, ',') && magic == "ropuf-dataset",
+                  "missing dataset header");
+    ROPUF_REQUIRE(std::getline(header, cols, ',') && std::getline(header, rows, ','),
+                  "malformed dataset header");
+    table.grid_cols = static_cast<std::size_t>(std::stoul(cols));
+    table.grid_rows = static_cast<std::size_t>(std::stoul(rows));
+    ROPUF_REQUIRE(table.grid_cols > 0 && table.grid_rows > 0, "empty grid in header");
+  }
+
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<double> board;
+    board.reserve(table.units_per_board());
+    std::istringstream ls(line);
+    std::string cell;
+    while (std::getline(ls, cell, ',')) {
+      std::size_t consumed = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(cell, &consumed);
+      } catch (const std::exception&) {
+        ROPUF_REQUIRE(false, "non-numeric cell '" + cell + "'");
+      }
+      ROPUF_REQUIRE(consumed == cell.size(), "trailing junk in cell '" + cell + "'");
+      board.push_back(value);
+    }
+    ROPUF_REQUIRE(board.size() == table.units_per_board(),
+                  "board row has wrong value count");
+    table.boards.push_back(std::move(board));
+  }
+  ROPUF_REQUIRE(!table.boards.empty(), "dataset contains no boards");
+  return table;
+}
+
+MeasurementTable snapshot_fleet(const std::vector<Chip>& boards, const OperatingPoint& op,
+                                double noise_sigma_ps, Rng& rng) {
+  ROPUF_REQUIRE(!boards.empty(), "empty fleet");
+  ROPUF_REQUIRE(noise_sigma_ps >= 0.0, "negative noise sigma");
+  MeasurementTable table;
+  table.grid_cols = boards.front().grid_cols();
+  table.grid_rows = boards.front().grid_rows();
+  for (const Chip& chip : boards) {
+    ROPUF_REQUIRE(chip.grid_cols() == table.grid_cols &&
+                      chip.grid_rows() == table.grid_rows,
+                  "fleet boards have mixed grids");
+    std::vector<double> values(chip.unit_count());
+    for (std::size_t i = 0; i < chip.unit_count(); ++i) {
+      values[i] = chip.unit_ddiff_ps(i, op) + rng.gaussian(0.0, noise_sigma_ps);
+    }
+    table.boards.push_back(std::move(values));
+  }
+  return table;
+}
+
+}  // namespace ropuf::sil

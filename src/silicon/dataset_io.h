@@ -1,0 +1,45 @@
+// Measurement-table interchange (CSV).
+//
+// The evaluation pipeline consumes per-board tables of unit values — the
+// shape of the public Virginia Tech RO PUF dataset the paper uses. This
+// module serializes such tables so that (a) the synthetic fleets can be
+// exported for external analysis, and (b) anyone holding the *real*
+// dataset can feed it to the same pipeline (analysis::table_responses)
+// instead of the simulator.
+//
+// Format: a header line `ropuf-dataset,<cols>,<rows>`, then one line per
+// board with cols*rows comma-separated values in row-major unit order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "silicon/chip.h"
+
+namespace ropuf::sil {
+
+/// Per-board, per-unit measurement values at one operating corner.
+struct MeasurementTable {
+  std::size_t grid_cols = 0;
+  std::size_t grid_rows = 0;
+  std::vector<std::vector<double>> boards;  ///< [board][unit], row-major
+
+  std::size_t units_per_board() const { return grid_cols * grid_rows; }
+
+  /// Die location of a unit index (same convention as Chip).
+  DieLocation location(std::size_t unit) const;
+};
+
+/// Renders a table to CSV.
+std::string to_csv(const MeasurementTable& table);
+
+/// Parses the CSV format; throws ropuf::Error on malformed content.
+MeasurementTable from_csv(const std::string& csv);
+
+/// Snapshots a fleet at one corner into a table (per-unit ddiff values plus
+/// Gaussian measurement noise), e.g. for export.
+MeasurementTable snapshot_fleet(const std::vector<Chip>& boards, const OperatingPoint& op,
+                                double noise_sigma_ps, Rng& rng);
+
+}  // namespace ropuf::sil

@@ -1,0 +1,32 @@
+#include "silicon/environment.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::sil {
+
+OperatingPoint nominal_op() { return OperatingPoint{1.20, 25.0}; }
+
+const std::vector<double>& vt_voltages() {
+  static const std::vector<double> v{0.98, 1.08, 1.20, 1.32, 1.44};
+  return v;
+}
+
+const std::vector<double>& vt_temperatures() {
+  static const std::vector<double> t{25.0, 35.0, 45.0, 55.0, 65.0};
+  return t;
+}
+
+double device_delay_ps(const DeviceParams& dev, const EnvModel& env,
+                       const OperatingPoint& op) {
+  ROPUF_REQUIRE(op.voltage_v > dev.vth_v + 1e-3,
+                "supply voltage at or below device threshold");
+  ROPUF_REQUIRE(dev.delay_ref_ps > 0.0, "device has non-positive reference delay");
+  const double voltage_scale =
+      std::pow((env.vref_v - dev.vth_v) / (op.voltage_v - dev.vth_v), env.alpha);
+  const double temp_scale = 1.0 + dev.tempco_per_c * (op.temperature_c - env.tref_c);
+  return dev.delay_ref_ps * voltage_scale * temp_scale;
+}
+
+}  // namespace ropuf::sil

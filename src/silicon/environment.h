@@ -1,0 +1,59 @@
+// Operating environment and the electrical delay model.
+//
+// Every device delay in the simulator is derived from three per-device
+// parameters (reference delay, threshold voltage, temperature coefficient)
+// and the chip-wide electrical model:
+//
+//   d(V, T) = d_ref * ((Vref - Vth) / (V - Vth))^alpha * (1 + k_T (T - Tref))
+//
+// The alpha-power law is the standard first-order model of CMOS gate delay
+// vs. supply voltage (Sakurai-Newton); the linear temperature term models
+// mobility degradation. Crucially, Vth and k_T carry *per-device mismatch*:
+// two devices that are equally fast at the reference corner drift apart as
+// V/T move, which is the physical mechanism behind RO PUF bit flips that
+// the paper's configurable selection defends against.
+#pragma once
+
+#include <vector>
+
+namespace ropuf::sil {
+
+/// A supply-voltage / temperature corner.
+struct OperatingPoint {
+  double voltage_v = 1.20;
+  double temperature_c = 25.0;
+
+  bool operator==(const OperatingPoint&) const = default;
+};
+
+/// The reference corner used for enrollment throughout the paper's
+/// experiments (Virginia Tech dataset nominal conditions).
+OperatingPoint nominal_op();
+
+/// The five supply voltages of the VT environment sweep (Section IV).
+const std::vector<double>& vt_voltages();
+
+/// The five temperatures of the VT environment sweep (25 is the baseline;
+/// 35..65 are the "varying temperature" measurements).
+const std::vector<double>& vt_temperatures();
+
+/// Static per-device electrical parameters fixed at fabrication.
+struct DeviceParams {
+  double delay_ref_ps = 0.0;   ///< delay at the reference corner
+  double vth_v = 0.4;          ///< effective threshold voltage
+  double tempco_per_c = 6e-4;  ///< linear temperature coefficient
+};
+
+/// Chip-wide electrical model constants.
+struct EnvModel {
+  double vref_v = 1.20;
+  double tref_c = 25.0;
+  double alpha = 1.3;  ///< velocity-saturation exponent
+};
+
+/// Delay of one device at an operating point (alpha-power law, see above).
+/// Throws if the supply is at or below the device threshold.
+double device_delay_ps(const DeviceParams& dev, const EnvModel& env,
+                       const OperatingPoint& op);
+
+}  // namespace ropuf::sil

@@ -1,0 +1,83 @@
+#include "silicon/fabrication.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::sil {
+
+SpatialTrend SpatialTrend::sample(std::size_t degree, double amplitude, Rng& rng) {
+  SpatialTrend t;
+  const auto monos = num::monomials_2d(degree);
+  t.poly_.degree = degree;
+  t.poly_.coeff.assign(monos.size(), 0.0);
+  if (amplitude <= 0.0 || monos.size() <= 1) return t;
+
+  // Draw coefficients for the non-constant monomials; the constant term
+  // stays zero so trends shift shape, not global mean. Monomials over the
+  // unit square have O(1) range, so dividing the target amplitude by the
+  // number of active terms keeps the realized sd near `amplitude`.
+  const double per_term = amplitude / std::sqrt(static_cast<double>(monos.size() - 1));
+  for (std::size_t k = 1; k < monos.size(); ++k) {
+    t.poly_.coeff[k] = rng.gaussian(0.0, 2.0 * per_term);
+  }
+  return t;
+}
+
+SpatialTrend SpatialTrend::zero() {
+  SpatialTrend t;
+  t.poly_.degree = 0;
+  t.poly_.coeff = {0.0};
+  return t;
+}
+
+double SpatialTrend::eval(const DieLocation& loc) const {
+  return poly_.eval(loc.x, loc.y);
+}
+
+Fab::Fab(ProcessParams params, std::uint64_t seed)
+    : params_(params), rng_(seed),
+      common_trend_(SpatialTrend::sample(params.systematic_degree,
+                                         params.common_systematic_amp, rng_)) {
+  ROPUF_REQUIRE(params_.inverter_delay_ps > 0.0 && params_.mux_sel_delay_ps > 0.0 &&
+                    params_.mux_skip_delay_ps > 0.0,
+                "nominal delays must be positive");
+  ROPUF_REQUIRE(params_.random_sigma_rel >= 0.0, "negative mismatch sigma");
+}
+
+Chip Fab::fabricate(std::size_t grid_cols, std::size_t grid_rows) {
+  ROPUF_REQUIRE(grid_cols > 0 && grid_rows > 0, "empty chip grid");
+  Rng chip_rng = rng_.fork();
+  const SpatialTrend chip_trend =
+      SpatialTrend::sample(params_.systematic_degree, params_.chip_systematic_amp, chip_rng);
+
+  auto sample_device = [&](double nominal_ps, double systematic_rel) {
+    DeviceParams dev;
+    const double random_rel = chip_rng.gaussian(0.0, params_.random_sigma_rel);
+    dev.delay_ref_ps = nominal_ps * (1.0 + systematic_rel + random_rel);
+    ROPUF_REQUIRE(dev.delay_ref_ps > 0.0, "variation drove delay non-positive");
+    dev.vth_v = chip_rng.gaussian(params_.vth_v, params_.vth_sigma_v);
+    dev.tempco_per_c = chip_rng.gaussian(params_.tempco_per_c, params_.tempco_sigma_per_c);
+    return dev;
+  };
+
+  std::vector<DelayUnitCell> cells;
+  cells.reserve(grid_cols * grid_rows);
+  for (std::size_t r = 0; r < grid_rows; ++r) {
+    for (std::size_t c = 0; c < grid_cols; ++c) {
+      DelayUnitCell cell;
+      cell.loc.x = (grid_cols == 1) ? 0.5
+                                    : static_cast<double>(c) / static_cast<double>(grid_cols - 1);
+      cell.loc.y = (grid_rows == 1) ? 0.5
+                                    : static_cast<double>(r) / static_cast<double>(grid_rows - 1);
+      const double systematic = common_trend_.eval(cell.loc) + chip_trend.eval(cell.loc);
+      cell.inverter = sample_device(params_.inverter_delay_ps, systematic);
+      cell.mux_sel = sample_device(params_.mux_sel_delay_ps, systematic);
+      cell.mux_skip = sample_device(params_.mux_skip_delay_ps, systematic);
+      cells.push_back(cell);
+    }
+  }
+  return Chip(std::move(cells), grid_cols, grid_rows, params_.env);
+}
+
+}  // namespace ropuf::sil

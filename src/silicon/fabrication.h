@@ -1,0 +1,87 @@
+// Fabrication: sampling process variation to mint chips.
+//
+// The variation model has three layers, matching what the paper's data
+// embodies and what the distiller reference [18] assumes:
+//
+//  1. A *common systematic* spatial trend shared by every chip of a fleet
+//     (layout- and tooling-induced). This is what correlates nominally
+//     identical chips, biases raw PUF bits, and makes them fail the NIST
+//     tests until the distiller removes it (paper Section IV.A).
+//  2. A *per-chip systematic* spatial trend (wafer-position gradient),
+//     smooth over the die, random across chips.
+//  3. *Random mismatch*: i.i.d. Gaussian per device, the actual entropy
+//     source of the PUF.
+//
+// Environment-sensitivity mismatch is sampled per device as threshold-
+// voltage and temperature-coefficient spread (see environment.h).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "numeric/polyfit.h"
+#include "silicon/chip.h"
+
+namespace ropuf::sil {
+
+/// Knobs of the process-variation model. Defaults are calibrated so the
+/// reproduction benches land in the paper's regime (see DESIGN.md).
+struct ProcessParams {
+  // Nominal timing arcs of a delay unit (Fig. 2 of the paper).
+  double inverter_delay_ps = 1000.0;
+  double mux_sel_delay_ps = 350.0;
+  double mux_skip_delay_ps = 300.0;
+
+  // Relative process variation.
+  double random_sigma_rel = 0.010;        ///< per-device i.i.d. mismatch
+  double common_systematic_amp = 0.015;   ///< fleet-shared spatial trend
+  double chip_systematic_amp = 0.010;     ///< per-chip spatial trend
+  std::size_t systematic_degree = 2;      ///< polynomial degree of the trends
+
+  // Environment-sensitivity mismatch.
+  double vth_v = 0.40;
+  double vth_sigma_v = 0.008;
+  double tempco_per_c = 6.0e-4;
+  double tempco_sigma_per_c = 2.0e-5;
+
+  EnvModel env;
+};
+
+/// A smooth random spatial trend: a zero-constant-term 2-D polynomial whose
+/// coefficients are drawn once and evaluated on normalized die coordinates.
+class SpatialTrend {
+ public:
+  /// Draws a trend of the given total degree whose values over the unit
+  /// square have roughly the requested amplitude (standard deviation).
+  static SpatialTrend sample(std::size_t degree, double amplitude, Rng& rng);
+
+  /// Zero trend (useful to switch systematic variation off in ablations).
+  static SpatialTrend zero();
+
+  double eval(const DieLocation& loc) const;
+
+ private:
+  num::Poly2D poly_;
+};
+
+/// Mints chips from a shared process description.
+class Fab {
+ public:
+  /// `seed` fixes both the fleet-common trend and the per-chip streams, so
+  /// a Fab constructed twice with equal arguments mints identical fleets.
+  Fab(ProcessParams params, std::uint64_t seed);
+
+  const ProcessParams& params() const { return params_; }
+
+  /// Fabricates the next chip with a grid_cols x grid_rows array of delay
+  /// units. Successive calls yield distinct chips of the same process.
+  Chip fabricate(std::size_t grid_cols, std::size_t grid_rows);
+
+ private:
+  ProcessParams params_;
+  Rng rng_;
+  SpatialTrend common_trend_;
+};
+
+}  // namespace ropuf::sil

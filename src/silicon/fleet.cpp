@@ -1,0 +1,33 @@
+#include "silicon/fleet.h"
+
+#include "common/error.h"
+
+namespace ropuf::sil {
+
+VtFleet make_vt_fleet(const VtFleetSpec& spec) {
+  ROPUF_REQUIRE(spec.nominal_boards > 0, "fleet needs at least one nominal board");
+  Fab fab(spec.process, spec.seed);
+  VtFleet fleet;
+  fleet.nominal.reserve(spec.nominal_boards);
+  fleet.env.reserve(spec.env_boards);
+  for (std::size_t i = 0; i < spec.nominal_boards; ++i) {
+    fleet.nominal.push_back(fab.fabricate(spec.grid_cols, spec.grid_rows));
+  }
+  for (std::size_t i = 0; i < spec.env_boards; ++i) {
+    fleet.env.push_back(fab.fabricate(spec.grid_cols, spec.grid_rows));
+  }
+  return fleet;
+}
+
+std::vector<Chip> make_inhouse_fleet(const InHouseFleetSpec& spec) {
+  ROPUF_REQUIRE(spec.boards > 0, "fleet needs at least one board");
+  Fab fab(spec.process, spec.seed);
+  std::vector<Chip> boards;
+  boards.reserve(spec.boards);
+  for (std::size_t i = 0; i < spec.boards; ++i) {
+    boards.push_back(fab.fabricate(spec.grid_cols, spec.grid_rows));
+  }
+  return boards;
+}
+
+}  // namespace ropuf::sil

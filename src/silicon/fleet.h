@@ -1,0 +1,50 @@
+// Synthetic stand-ins for the paper's two measurement datasets.
+//
+// The paper evaluates on (a) the public Virginia Tech RO PUF dataset — 194
+// Spartan-3E boards measured at the nominal corner plus 5 boards swept over
+// five voltages and five temperatures — and (b) in-house inverter-level
+// measurements of 9 Virtex-5 boards with 1024 inverters each. Neither is
+// shipped here; these generators mint statistically equivalent fleets from
+// the process model (see DESIGN.md section 3 for the substitution argument).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "silicon/fabrication.h"
+
+namespace ropuf::sil {
+
+/// Parameters of the VT-dataset substitute.
+struct VtFleetSpec {
+  std::size_t nominal_boards = 194;  ///< boards measured only at 1.20 V / 25 C
+  std::size_t env_boards = 5;        ///< boards swept over V and T
+  std::size_t grid_cols = 16;        ///< 16 x 32 = 512 units per board,
+  std::size_t grid_rows = 32;        ///< matching the VT dataset's 512 ROs
+  ProcessParams process;
+  std::uint64_t seed = 0x20140601;   ///< default fixes the published numbers
+};
+
+/// The minted fleet. Chips are full physical models, so "nominal" boards can
+/// in principle be measured anywhere; the split only mirrors which boards
+/// the paper's experiments may touch at which corners.
+struct VtFleet {
+  std::vector<Chip> nominal;
+  std::vector<Chip> env;
+};
+
+VtFleet make_vt_fleet(const VtFleetSpec& spec);
+
+/// Parameters of the in-house Virtex-5 substitute (Section IV.E): 9 boards,
+/// 1024 inverters each, measured at inverter level.
+struct InHouseFleetSpec {
+  std::size_t boards = 9;
+  std::size_t grid_cols = 32;  ///< 32 x 32 = 1024 units
+  std::size_t grid_rows = 32;
+  ProcessParams process;
+  std::uint64_t seed = 0x20140602;
+};
+
+std::vector<Chip> make_inhouse_fleet(const InHouseFleetSpec& spec);
+
+}  // namespace ropuf::sil

@@ -1,0 +1,41 @@
+#include "sram/sram_puf.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::sram {
+
+SramPuf::SramPuf(const SramSpec& spec, Rng& rng) : noise_sigma_(spec.noise_sigma) {
+  ROPUF_REQUIRE(spec.cells >= 1, "SRAM PUF needs at least one cell");
+  ROPUF_REQUIRE(spec.noise_sigma >= 0.0, "negative noise sigma");
+  skew_.reserve(spec.cells);
+  for (std::size_t i = 0; i < spec.cells; ++i) {
+    skew_.push_back(rng.gaussian(spec.skew_bias, 1.0));
+  }
+}
+
+BitVec SramPuf::power_up(Rng& rng) const {
+  BitVec state(skew_.size());
+  for (std::size_t i = 0; i < skew_.size(); ++i) {
+    state.set(i, skew_[i] + rng.gaussian(0.0, noise_sigma_) > 0.0);
+  }
+  return state;
+}
+
+BitVec SramPuf::reference() const {
+  BitVec state(skew_.size());
+  for (std::size_t i = 0; i < skew_.size(); ++i) state.set(i, skew_[i] > 0.0);
+  return state;
+}
+
+std::vector<bool> SramPuf::stable_mask(double threshold) const {
+  ROPUF_REQUIRE(threshold >= 0.0, "negative threshold");
+  std::vector<bool> mask(skew_.size());
+  for (std::size_t i = 0; i < skew_.size(); ++i) {
+    mask[i] = std::fabs(skew_[i]) >= threshold;
+  }
+  return mask;
+}
+
+}  // namespace ropuf::sram

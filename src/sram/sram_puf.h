@@ -1,0 +1,55 @@
+// SRAM power-up PUF (Holcomb et al. — reference [3] of the paper).
+//
+// The paper's introduction lists the memory-based PUF family alongside the
+// delay-based one; this model provides the family's canonical member so the
+// metric scoreboard (bench_puf_metrics) can compare across families.
+//
+// Each cell is a cross-coupled inverter pair whose power-up state is decided
+// by the threshold mismatch of its two sides: a strongly skewed cell always
+// wakes up the same way; a balanced cell is metastable and resolves by
+// thermal noise. The standard model: cell i has a fixed skew s_i ~ N(0, 1)
+// and each power-up draws noise e ~ N(0, sigma_noise); the cell reads
+// (s_i + e > 0). Reliability is governed by sigma_noise, uniqueness by the
+// independence of the s_i across chips — there is no enrollment-time
+// intelligence to apply, which is exactly the contrast with the paper's
+// configurable approach.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+
+namespace ropuf::sram {
+
+/// Fabrication/noise parameters of an SRAM array used as a PUF.
+struct SramSpec {
+  std::size_t cells = 256;
+  double noise_sigma = 0.06;  ///< power-up noise relative to unit skew sd
+  double skew_bias = 0.0;     ///< systematic preference toward 1 (layout bias)
+};
+
+/// One fabricated SRAM array.
+class SramPuf {
+ public:
+  SramPuf(const SramSpec& spec, Rng& rng);
+
+  std::size_t cell_count() const { return skew_.size(); }
+
+  /// One power-up: every cell resolves with fresh noise.
+  BitVec power_up(Rng& rng) const;
+
+  /// The noise-free (majority) state — the enrollment reference.
+  BitVec reference() const;
+
+  /// Cells whose |skew| is below `threshold` are metastability-prone; a
+  /// deployment masks them (the memory-family analogue of the paper's Rth).
+  std::vector<bool> stable_mask(double threshold) const;
+
+ private:
+  std::vector<double> skew_;
+  double noise_sigma_;
+};
+
+}  // namespace ropuf::sram

@@ -1,0 +1,84 @@
+#include "analysis/entropy.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf::analysis {
+namespace {
+
+TEST(BinaryEntropy, KnownValues) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.5), 1.0);
+  EXPECT_NEAR(binary_entropy(0.11), 0.499916, 1e-6);  // famous ~1/2 point
+  EXPECT_THROW(binary_entropy(-0.1), ropuf::Error);
+  EXPECT_THROW(binary_entropy(1.1), ropuf::Error);
+}
+
+TEST(BinaryEntropy, SymmetricInP) {
+  for (double p = 0.05; p < 0.5; p += 0.05) {
+    EXPECT_NEAR(binary_entropy(p), binary_entropy(1.0 - p), 1e-12);
+  }
+}
+
+TEST(BitPositionStats, HandComputedPopulation) {
+  const std::vector<BitVec> population{
+      BitVec::from_string("110"),
+      BitVec::from_string("100"),
+      BitVec::from_string("101"),
+      BitVec::from_string("111"),
+  };
+  const BitPositionStats stats = bit_position_stats(population);
+  ASSERT_EQ(stats.ones_fraction.size(), 3u);
+  EXPECT_DOUBLE_EQ(stats.ones_fraction[0], 1.0);
+  EXPECT_DOUBLE_EQ(stats.ones_fraction[1], 0.5);
+  EXPECT_DOUBLE_EQ(stats.ones_fraction[2], 0.5);
+  EXPECT_DOUBLE_EQ(stats.worst_bias, 0.5);
+  EXPECT_NEAR(stats.mean_bias, 0.5 / 3.0, 1e-12);
+}
+
+TEST(BitPositionStats, RejectsDegenerateInput) {
+  EXPECT_THROW(bit_position_stats({}), ropuf::Error);
+  EXPECT_THROW(bit_position_stats({BitVec(4), BitVec(5)}), ropuf::Error);
+}
+
+TEST(Entropy, ConstantPopulationHasZeroEntropy) {
+  const std::vector<BitVec> population(5, BitVec::from_string("1010"));
+  EXPECT_DOUBLE_EQ(mean_shannon_entropy(population), 0.0);
+  EXPECT_DOUBLE_EQ(mean_min_entropy(population), 0.0);
+}
+
+TEST(Entropy, UniformRandomPopulationIsNearOneBit) {
+  Rng rng(1);
+  std::vector<BitVec> population;
+  for (int c = 0; c < 400; ++c) {
+    BitVec v(64);
+    for (std::size_t i = 0; i < 64; ++i) v.set(i, rng.flip());
+    population.push_back(v);
+  }
+  EXPECT_GT(mean_shannon_entropy(population), 0.99);
+  // Min-entropy of an empirical Bernoulli(~0.5) is below Shannon but high.
+  EXPECT_GT(mean_min_entropy(population), 0.90);
+  EXPECT_LE(mean_min_entropy(population), mean_shannon_entropy(population));
+}
+
+TEST(Entropy, BiasReducesMinEntropyFasterThanShannon) {
+  Rng rng(2);
+  std::vector<BitVec> population;
+  for (int c = 0; c < 600; ++c) {
+    BitVec v(64);
+    for (std::size_t i = 0; i < 64; ++i) v.set(i, rng.uniform() < 0.75);
+    population.push_back(v);
+  }
+  const double shannon = mean_shannon_entropy(population);
+  const double min_ent = mean_min_entropy(population);
+  EXPECT_NEAR(shannon, binary_entropy(0.75), 0.03);     // ~0.811
+  EXPECT_NEAR(min_ent, -std::log2(0.75), 0.05);         // ~0.415
+  EXPECT_LT(min_ent, shannon);
+}
+
+}  // namespace
+}  // namespace ropuf::analysis

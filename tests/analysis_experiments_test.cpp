@@ -1,0 +1,139 @@
+#include "analysis/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/hamming_stats.h"
+#include "common/error.h"
+#include "silicon/fleet.h"
+
+namespace ropuf::analysis {
+namespace {
+
+/// A small fleet so the tests stay fast; the benches run the full 194.
+sil::VtFleet small_fleet(std::size_t boards = 12, std::size_t env_boards = 2) {
+  sil::VtFleetSpec spec;
+  spec.nominal_boards = boards;
+  spec.env_boards = env_boards;
+  return sil::make_vt_fleet(spec);
+}
+
+TEST(BoardResponses, YieldMatchesPaperLayout) {
+  const auto fleet = small_fleet();
+  DatasetOptions opts;
+  opts.stages = 5;
+  const auto responses = board_responses(fleet.nominal, opts);
+  ASSERT_EQ(responses.size(), 12u);
+  for (const auto& r : responses) EXPECT_EQ(r.size(), 48u);
+}
+
+TEST(BoardResponses, DeterministicForFixedSeeds) {
+  const auto fleet = small_fleet();
+  DatasetOptions opts;
+  const auto a = board_responses(fleet.nominal, opts);
+  const auto b = board_responses(fleet.nominal, opts);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BoardResponses, DistinctAcrossBoards) {
+  const auto fleet = small_fleet();
+  DatasetOptions opts;
+  const auto responses = board_responses(fleet.nominal, opts);
+  const HdStats stats = pairwise_hd(responses);
+  EXPECT_EQ(stats.duplicates, 0u);
+  // Distilled responses should hover near 50% HD.
+  EXPECT_NEAR(stats.mean, 24.0, 5.0);
+}
+
+TEST(CombineBoardPairs, HalvesTheCountAndDoublesTheLength) {
+  const std::vector<BitVec> responses{
+      BitVec::from_string("10"), BitVec::from_string("01"),
+      BitVec::from_string("11"), BitVec::from_string("00"),
+      BitVec::from_string("10"),  // odd one out is dropped
+  };
+  const auto streams = combine_board_pairs(responses);
+  ASSERT_EQ(streams.size(), 2u);
+  EXPECT_EQ(streams[0].to_string(), "1001");
+  EXPECT_EQ(streams[1].to_string(), "1100");
+}
+
+TEST(ConfigurationStreams, SixteenPairsPerBoardWithPaperWidths) {
+  const auto fleet = small_fleet();
+  DatasetOptions opts;
+  opts.mode = puf::SelectionCase::kSameConfig;
+  const auto case1 = configuration_streams(fleet.nominal, opts);
+  ASSERT_EQ(case1.size(), 12u * 16u);
+  for (const auto& s : case1) EXPECT_EQ(s.size(), 15u);
+
+  opts.mode = puf::SelectionCase::kIndependent;
+  const auto case2 = configuration_streams(fleet.nominal, opts);
+  ASSERT_EQ(case2.size(), 12u * 16u);
+  for (const auto& s : case2) EXPECT_EQ(s.size(), 30u);
+}
+
+TEST(EnvironmentReliability, CellShapeMatchesFigure4) {
+  const auto fleet = small_fleet(2, 2);
+  DatasetOptions opts;
+  opts.distill = false;  // reliability experiments use raw measurements
+  std::vector<sil::OperatingPoint> corners;
+  for (const double v : sil::vt_voltages()) corners.push_back({v, 25.0});
+  const auto cells =
+      environment_reliability(fleet.env, {3, 5}, corners, /*baseline=*/2, opts);
+  ASSERT_EQ(cells.size(), 2u * 2u);  // boards x stage counts
+  for (const auto& cell : cells) {
+    EXPECT_EQ(cell.configurable_flip_pct.size(), corners.size());
+    EXPECT_GE(cell.traditional_flip_pct, 0.0);
+    EXPECT_LE(cell.traditional_flip_pct, 100.0);
+    EXPECT_EQ(cell.bits, cell.stages == 3 ? 80u : 48u);
+    EXPECT_EQ(cell.one8_bits, cell.bits / 4);
+  }
+}
+
+TEST(EnvironmentReliability, PaperOrderingHoldsInAggregate) {
+  // Configurable (enrolled mid-corner) <= traditional, and 1-of-8 ~ 0:
+  // the paper's observations 1 and 2, on a small env fleet.
+  const auto fleet = small_fleet(2, 4);
+  DatasetOptions opts;
+  opts.distill = false;
+  std::vector<sil::OperatingPoint> corners;
+  for (const double v : sil::vt_voltages()) corners.push_back({v, 25.0});
+  const auto cells = environment_reliability(fleet.env, {5, 7}, corners, 2, opts);
+
+  double conf_mid = 0.0, trad = 0.0, one8 = 0.0;
+  for (const auto& cell : cells) {
+    conf_mid += cell.configurable_flip_pct[2];  // enrolled at nominal corner
+    trad += cell.traditional_flip_pct;
+    one8 += cell.one_of_eight_flip_pct;
+  }
+  EXPECT_LT(conf_mid, trad);
+  EXPECT_LE(one8, conf_mid + 1e-9);
+}
+
+TEST(ThresholdSweep, MonotoneAndConfigurableDominates) {
+  sil::InHouseFleetSpec spec;
+  spec.boards = 3;
+  const auto boards = sil::make_inhouse_fleet(spec);
+  puf::DeviceSpec device;
+  device.stages = 13;
+  device.pair_count = 32;
+  const std::vector<double> rths{0.0, 20.0, 40.0, 60.0};
+  const auto sweep = threshold_sweep(boards, device, rths, 99);
+  ASSERT_EQ(sweep.size(), 4u);
+  EXPECT_NEAR(sweep[0].traditional_reliable_bits, 32.0, 1e-9);
+  EXPECT_NEAR(sweep[0].configurable_reliable_bits, 32.0, 1e-9);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].traditional_reliable_bits, sweep[i - 1].traditional_reliable_bits);
+    EXPECT_LE(sweep[i].configurable_reliable_bits,
+              sweep[i - 1].configurable_reliable_bits);
+    EXPECT_GE(sweep[i].configurable_reliable_bits, sweep[i].traditional_reliable_bits);
+  }
+}
+
+TEST(Experiments, EmptyInputsThrow) {
+  DatasetOptions opts;
+  EXPECT_THROW(board_responses({}, opts), ropuf::Error);
+  EXPECT_THROW(configuration_streams({}, opts), ropuf::Error);
+  EXPECT_THROW(threshold_sweep({}, puf::DeviceSpec{}, {0.0}, 1), ropuf::Error);
+}
+
+}  // namespace
+}  // namespace ropuf::analysis

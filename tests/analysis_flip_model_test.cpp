@@ -1,0 +1,74 @@
+#include "analysis/flip_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf::analysis {
+namespace {
+
+TEST(FlipModel, PerturbationFitRecoversScaleAndSigma) {
+  Rng rng(1);
+  std::vector<double> enroll(5000), stress(5000);
+  for (std::size_t i = 0; i < enroll.size(); ++i) {
+    enroll[i] = rng.gaussian(0.0, 40.0);
+    stress[i] = 1.5 * enroll[i] + rng.gaussian(0.0, 8.0);
+  }
+  const EnvPerturbation env = estimate_perturbation(enroll, stress);
+  EXPECT_NEAR(env.scale, 1.5, 0.02);
+  EXPECT_NEAR(env.sigma, 8.0, 0.3);
+}
+
+TEST(FlipModel, PairProbabilityMatchesNormalTail) {
+  const EnvPerturbation env{1.0, 10.0};
+  EXPECT_NEAR(pair_flip_probability(0.0, env), 0.5, 1e-12);
+  EXPECT_NEAR(pair_flip_probability(10.0, env), 0.158655, 1e-5);
+  EXPECT_NEAR(pair_flip_probability(-10.0, env), 0.158655, 1e-5);  // sign-free
+  EXPECT_LT(pair_flip_probability(50.0, env), 1e-6);
+}
+
+TEST(FlipModel, ScaleReinforcesMargins) {
+  // A larger common scale pushes margins further from the flip boundary.
+  const EnvPerturbation weak{1.0, 10.0};
+  const EnvPerturbation strong{2.0, 10.0};
+  EXPECT_LT(pair_flip_probability(10.0, strong), pair_flip_probability(10.0, weak));
+}
+
+TEST(FlipModel, PredictionMatchesMonteCarlo) {
+  // Simulate the model's own generative process and check the closed form.
+  Rng rng(2);
+  const EnvPerturbation env{1.3, 12.0};
+  std::vector<double> margins(400);
+  for (auto& m : margins) m = rng.gaussian(0.0, 30.0);
+
+  int flips = 0, total = 0;
+  for (const double m : margins) {
+    for (int rep = 0; rep < 200; ++rep) {
+      const double stressed = env.scale * m + rng.gaussian(0.0, env.sigma);
+      if ((stressed > 0.0) != (m > 0.0)) ++flips;
+      ++total;
+    }
+  }
+  const double simulated = 100.0 * flips / total;
+  EXPECT_NEAR(predicted_flip_percent(margins, env), simulated, 0.5);
+}
+
+TEST(FlipModel, BiggerMarginsPredictFewerFlips) {
+  const EnvPerturbation env{1.0, 10.0};
+  const std::vector<double> small{5.0, -6.0, 4.0};
+  const std::vector<double> large{50.0, -60.0, 40.0};
+  EXPECT_GT(predicted_flip_percent(small, env), predicted_flip_percent(large, env));
+}
+
+TEST(FlipModel, RejectsDegenerateInputs) {
+  EXPECT_THROW(estimate_perturbation({1.0}, {1.0}), ropuf::Error);
+  EXPECT_THROW(estimate_perturbation({0.0, 0.0}, {1.0, 2.0}), ropuf::Error);
+  EXPECT_THROW(pair_flip_probability(1.0, EnvPerturbation{1.0, 0.0}), ropuf::Error);
+  EXPECT_THROW(predicted_flip_percent({}, EnvPerturbation{1.0, 1.0}), ropuf::Error);
+}
+
+}  // namespace
+}  // namespace ropuf::analysis

@@ -1,0 +1,65 @@
+#include "analysis/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf::analysis {
+namespace {
+
+TEST(Uniqueness, HandComputed) {
+  const std::vector<BitVec> responses{
+      BitVec::from_string("0000"),
+      BitVec::from_string("1111"),
+      BitVec::from_string("0011"),
+  };
+  // Pairwise HDs: 4, 2, 2 -> mean 8/3 of 4 bits = 66.67%.
+  EXPECT_NEAR(uniqueness_percent(responses), 100.0 * (8.0 / 3.0) / 4.0, 1e-9);
+}
+
+TEST(Uniqueness, IdealRandomPopulationNearFifty) {
+  Rng rng(1);
+  std::vector<BitVec> responses;
+  for (int c = 0; c < 50; ++c) {
+    BitVec v(128);
+    for (std::size_t i = 0; i < 128; ++i) v.set(i, rng.flip());
+    responses.push_back(v);
+  }
+  EXPECT_NEAR(uniqueness_percent(responses), 50.0, 2.0);
+}
+
+TEST(IntraDistance, HandComputed) {
+  const BitVec reference = BitVec::from_string("10101010");
+  const std::vector<BitVec> samples{
+      BitVec::from_string("10101010"),  // 0 flips
+      BitVec::from_string("00101010"),  // 1 flip
+      BitVec::from_string("10101001"),  // 2 flips
+  };
+  EXPECT_NEAR(intra_distance_percent(reference, samples), 100.0 * 3.0 / 24.0, 1e-9);
+  EXPECT_NEAR(reliability_percent(reference, samples), 100.0 - 12.5, 1e-9);
+}
+
+TEST(IntraDistance, PerfectlyStableDeviceScoresHundred) {
+  const BitVec reference = BitVec::from_string("110010");
+  const std::vector<BitVec> samples(7, reference);
+  EXPECT_DOUBLE_EQ(reliability_percent(reference, samples), 100.0);
+}
+
+TEST(Uniformity, HandComputed) {
+  const std::vector<BitVec> responses{
+      BitVec::from_string("1100"),
+      BitVec::from_string("1110"),
+  };
+  EXPECT_NEAR(uniformity_percent(responses), 100.0 * 5.0 / 8.0, 1e-9);
+}
+
+TEST(Metrics, DegenerateInputsThrow) {
+  EXPECT_THROW(uniqueness_percent({BitVec(4)}), ropuf::Error);
+  EXPECT_THROW(intra_distance_percent(BitVec(), {BitVec()}), ropuf::Error);
+  EXPECT_THROW(intra_distance_percent(BitVec(4), {}), ropuf::Error);
+  EXPECT_THROW(uniformity_percent({}), ropuf::Error);
+}
+
+}  // namespace
+}  // namespace ropuf::analysis

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "analysis/hamming_stats.h"
+#include "analysis/hardware_cost.h"
+#include "analysis/reliability.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf::analysis {
+namespace {
+
+TEST(PairwiseHd, HandComputedPopulation) {
+  const std::vector<BitVec> population{
+      BitVec::from_string("0000"),
+      BitVec::from_string("0011"),
+      BitVec::from_string("0000"),
+  };
+  const HdStats stats = pairwise_hd(population);
+  EXPECT_EQ(stats.pair_count, 3u);
+  EXPECT_EQ(stats.duplicates, 1u);  // members 0 and 2
+  EXPECT_EQ(stats.histogram.at(0), 1u);
+  EXPECT_EQ(stats.histogram.at(2), 2u);
+  EXPECT_NEAR(stats.mean, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.percent_at(2), 200.0 / 3.0, 1e-9);
+  EXPECT_EQ(stats.percent_at(7), 0.0);
+}
+
+TEST(PairwiseHd, RandomPopulationIsBellShapedAroundHalf) {
+  Rng rng(1);
+  std::vector<BitVec> population;
+  const std::size_t bits = 96;
+  for (int i = 0; i < 97; ++i) {
+    BitVec v(bits);
+    for (std::size_t b = 0; b < bits; ++b) v.set(b, rng.flip());
+    population.push_back(v);
+  }
+  const HdStats stats = pairwise_hd(population);
+  EXPECT_EQ(stats.pair_count, 97u * 96u / 2u);
+  EXPECT_EQ(stats.duplicates, 0u);
+  // The paper's Fig. 3 reference values: mean ~ 46.9, sd ~ 4.9.
+  EXPECT_NEAR(stats.mean, 48.0, 1.5);
+  EXPECT_NEAR(stats.stddev, 4.9, 0.8);
+}
+
+TEST(PairwiseHd, RejectsSingletons) {
+  EXPECT_THROW(pairwise_hd({BitVec(8)}), ropuf::Error);
+}
+
+TEST(FlippedPositions, CountsPositionsNotEvents) {
+  const BitVec baseline = BitVec::from_string("0000");
+  // Position 1 flips in both stress responses -> still counted once.
+  const std::vector<BitVec> stress{BitVec::from_string("0100"),
+                                   BitVec::from_string("0110")};
+  EXPECT_EQ(flipped_positions(baseline, stress), 2u);
+  EXPECT_NEAR(flip_percentage(baseline, stress), 50.0, 1e-12);
+}
+
+TEST(FlippedPositions, NoStressMeansNoFlips) {
+  EXPECT_EQ(flipped_positions(BitVec::from_string("1010"), {}), 0u);
+}
+
+TEST(FlippedPositions, LengthMismatchThrows) {
+  EXPECT_THROW(flipped_positions(BitVec(4), {BitVec(5)}), ropuf::Error);
+  EXPECT_THROW(flipped_positions(BitVec(), {}), ropuf::Error);
+}
+
+TEST(HardwareCost, FourTimesMoreEfficientThanOneOutOfEight) {
+  // The abstract's headline claim, for every paper stage count.
+  for (const std::size_t n : {3u, 5u, 7u, 9u}) {
+    const auto table = hardware_cost_table(n);
+    ASSERT_EQ(table.size(), 3u);
+    EXPECT_EQ(table[0].scheme, "configurable (this paper)");
+    EXPECT_NEAR(table[0].efficiency_vs_one8, 4.0, 1e-12) << "n=" << n;
+    EXPECT_NEAR(table[2].efficiency_vs_one8, 1.0, 1e-12);
+  }
+}
+
+TEST(HardwareCost, RoCountsMatchSchemes) {
+  const auto table = hardware_cost_table(5);
+  EXPECT_EQ(table[0].ros_per_bit, 2.0);   // configurable
+  EXPECT_EQ(table[1].ros_per_bit, 2.0);   // traditional
+  EXPECT_EQ(table[2].ros_per_bit, 8.0);   // 1-out-of-8
+  EXPECT_EQ(table[0].muxes_per_bit, 10.0);
+  EXPECT_EQ(table[1].muxes_per_bit, 0.0);
+}
+
+TEST(HardwareCost, BitYieldsMatchTableV) {
+  const auto table = hardware_cost_table(5);
+  EXPECT_EQ(table[0].bits_per_512_units, 48.0);
+  EXPECT_EQ(table[2].bits_per_512_units, 12.0);
+}
+
+}  // namespace
+}  // namespace ropuf::analysis

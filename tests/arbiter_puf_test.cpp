@@ -1,0 +1,231 @@
+#include "arbiter/arbiter_puf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::arb {
+namespace {
+
+BitVec random_challenge(Rng& rng, std::size_t n) {
+  BitVec c(n);
+  for (std::size_t i = 0; i < n; ++i) c.set(i, rng.flip());
+  return c;
+}
+
+TEST(ArbiterPuf, RejectsDegenerateSpecs) {
+  Rng rng(1);
+  ArbiterSpec spec;
+  spec.stages = 0;
+  EXPECT_THROW(ArbiterPuf(spec, rng), ropuf::Error);
+  spec = ArbiterSpec{};
+  spec.noise_sigma_ps = -1.0;
+  EXPECT_THROW(ArbiterPuf(spec, rng), ropuf::Error);
+}
+
+TEST(ArbiterPuf, ChallengeArityIsChecked) {
+  Rng rng(2);
+  ArbiterSpec spec;
+  spec.stages = 8;
+  const ArbiterPuf puf(spec, rng);
+  EXPECT_THROW(puf.delay_difference_ps(BitVec(7)), ropuf::Error);
+}
+
+TEST(ArbiterPuf, NoiselessResponsesAreDeterministic) {
+  Rng rng(3);
+  ArbiterSpec spec;
+  spec.stages = 16;
+  spec.noise_sigma_ps = 0.0;
+  const ArbiterPuf puf(spec, rng);
+  const BitVec c = random_challenge(rng, 16);
+  const bool first = puf.respond(c, rng);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(puf.respond(c, rng), first);
+}
+
+TEST(ArbiterPuf, StraightChallengeMatchesArcSums) {
+  // All-zero challenge: both signals go straight; difference is the sum of
+  // per-stage straight-arc skews plus the arbiter bias.
+  Rng rng(4);
+  ArbiterSpec spec;
+  spec.stages = 6;
+  const ArbiterPuf puf(spec, rng);
+  const auto w = puf.linear_weights();
+  double expected = 0.0;
+  for (const double wi : w) expected += wi;  // phi_i = 1 for all i at C = 0
+  EXPECT_NEAR(puf.delay_difference_ps(BitVec(6)), expected, 1e-9);
+}
+
+TEST(ArbiterPuf, DelayDifferenceIsExactlyLinearInParityFeatures) {
+  // The white-box property behind the modeling attack: for every challenge,
+  // the physical race equals dot(weights, features).
+  Rng rng(5);
+  ArbiterSpec spec;
+  spec.stages = 24;
+  const ArbiterPuf puf(spec, rng);
+  const auto w = puf.linear_weights();
+  for (int trial = 0; trial < 300; ++trial) {
+    const BitVec c = random_challenge(rng, 24);
+    const auto phi = ArbiterPuf::features(c);
+    ASSERT_EQ(phi.size(), w.size());
+    double model = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) model += w[i] * phi[i];
+    EXPECT_NEAR(puf.delay_difference_ps(c), model, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(ArbiterPuf, FeaturesAreSuffixParities) {
+  const BitVec c = BitVec::from_string("0110");
+  const auto phi = ArbiterPuf::features(c);
+  // phi_i = prod_{j>=i} (1-2c_j): suffixes 0110, 110, 10, 0 -> +1, -1... :
+  // c = (0,1,1,0): phi_4 (i=3, suffix "0") = +1; suffix "10" = -1;
+  // suffix "110" = +1; suffix "0110" = +1; plus the constant 1.
+  EXPECT_EQ(phi, (std::vector<double>{1.0, 1.0, -1.0, 1.0, 1.0}));
+}
+
+TEST(ArbiterPuf, ResponsesAreRoughlyBalancedAcrossChallenges) {
+  Rng rng(6);
+  ArbiterSpec spec;
+  spec.stages = 32;
+  const ArbiterPuf puf(spec, rng);
+  int ones = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    if (puf.respond(random_challenge(rng, 32), rng)) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / trials, 0.5, 0.12);
+}
+
+TEST(ArbiterPuf, DifferentInstancesDisagree) {
+  Rng rng(7);
+  ArbiterSpec spec;
+  spec.stages = 32;
+  spec.noise_sigma_ps = 0.0;
+  const ArbiterPuf a(spec, rng);
+  const ArbiterPuf b(spec, rng);
+  std::size_t differing = 0;
+  const int trials = 1000;
+  for (int t = 0; t < trials; ++t) {
+    const BitVec c = random_challenge(rng, 32);
+    if (a.respond(c, rng) != b.respond(c, rng)) ++differing;
+  }
+  EXPECT_GT(differing, trials / 3);
+  EXPECT_LT(differing, 2 * trials / 3);
+}
+
+TEST(ArbiterPuf, TuningOffsetCancelsInjectedBias) {
+  // A heavily skewed arbiter answers one-sidedly; PDL tuning re-centers it.
+  Rng rng(8);
+  ArbiterSpec spec;
+  spec.stages = 32;
+  spec.arbiter_bias_ps = 25.0;  // >> path skew sigma
+  ArbiterPuf puf(spec, rng);
+
+  auto ones_fraction = [&]() {
+    int ones = 0;
+    const int trials = 2000;
+    for (int t = 0; t < trials; ++t) {
+      if (puf.respond(random_challenge(rng, 32), rng)) ++ones;
+    }
+    return static_cast<double>(ones) / trials;
+  };
+
+  EXPECT_GT(ones_fraction(), 0.95);
+  // Measure the mean difference and tune it out, as [13] does with PDLs.
+  double mean = 0.0;
+  const int samples = 500;
+  for (int t = 0; t < samples; ++t) {
+    mean += puf.delay_difference_ps(random_challenge(rng, 32));
+  }
+  puf.set_tuning_offset_ps(-mean / samples);
+  EXPECT_NEAR(ones_fraction(), 0.5, 0.1);
+}
+
+TEST(XorArbiter, SingleChainMatchesPlainArbiter) {
+  Rng rng_a(20), rng_b(20);
+  ArbiterSpec spec;
+  spec.stages = 16;
+  spec.noise_sigma_ps = 0.0;
+  const ArbiterPuf plain(spec, rng_a);
+  const XorArbiterPuf xored(spec, 1, rng_b);
+  for (int t = 0; t < 100; ++t) {
+    const BitVec c = random_challenge(rng_a, 16);
+    EXPECT_EQ(xored.noiseless_response(c),
+              plain.delay_difference_ps(c) > 0.0);
+  }
+}
+
+TEST(XorArbiter, ResponsesStayBalanced) {
+  Rng rng(21);
+  ArbiterSpec spec;
+  spec.stages = 32;
+  const XorArbiterPuf puf(spec, 4, rng);
+  int ones = 0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    if (puf.respond(random_challenge(rng, 32), rng)) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / trials, 0.5, 0.06);
+}
+
+TEST(XorArbiter, NoiseSensitivityGrowsWithChainCount) {
+  // Each chain's flip probability compounds under XOR — the classic
+  // reliability cost of the hardening.
+  Rng rng(22);
+  ArbiterSpec spec;
+  spec.stages = 32;
+  spec.noise_sigma_ps = 0.5;
+  const XorArbiterPuf one(spec, 1, rng);
+  const XorArbiterPuf four(spec, 4, rng);
+
+  auto instability = [&](const XorArbiterPuf& puf) {
+    int unstable = 0;
+    const int challenges = 400;
+    for (int t = 0; t < challenges; ++t) {
+      const BitVec c = random_challenge(rng, 32);
+      const bool reference = puf.noiseless_response(c);
+      for (int rep = 0; rep < 3; ++rep) {
+        if (puf.respond(c, rng) != reference) {
+          ++unstable;
+          break;
+        }
+      }
+    }
+    return unstable;
+  };
+
+  EXPECT_GT(instability(four), instability(one));
+}
+
+TEST(XorArbiter, RejectsZeroChains) {
+  Rng rng(23);
+  EXPECT_THROW(XorArbiterPuf(ArbiterSpec{}, 0, rng), ropuf::Error);
+}
+
+TEST(ArbiterPuf, NoiseFlipsOnlyNearThresholdChallenges) {
+  Rng rng(9);
+  ArbiterSpec spec;
+  spec.stages = 32;
+  spec.noise_sigma_ps = 0.05;
+  const ArbiterPuf puf(spec, rng);
+  int unstable = 0;
+  const int challenges = 300;
+  for (int t = 0; t < challenges; ++t) {
+    const BitVec c = random_challenge(rng, 32);
+    const bool first = puf.respond(c, rng);
+    bool flipped = false;
+    for (int rep = 0; rep < 10; ++rep) {
+      if (puf.respond(c, rng) != first) flipped = true;
+    }
+    if (flipped) {
+      ++unstable;
+      // Instability implies the noiseless margin is small.
+      EXPECT_LT(std::fabs(puf.delay_difference_ps(c)), 0.5);
+    }
+  }
+  EXPECT_LT(unstable, challenges / 10);
+}
+
+}  // namespace
+}  // namespace ropuf::arb

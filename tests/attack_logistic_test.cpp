@@ -1,0 +1,114 @@
+#include "attack/logistic.h"
+
+#include <gtest/gtest.h>
+
+#include "arbiter/arbiter_puf.h"
+#include "common/error.h"
+#include "puf/crp.h"
+
+namespace ropuf::attack {
+namespace {
+
+TEST(Logistic, LearnsLinearlySeparableData) {
+  Rng rng(1);
+  Dataset data;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.gaussian(), y = rng.gaussian();
+    data.features.push_back({x, y});
+    data.labels.push_back(2.0 * x - y + 0.3 > 0.0);
+  }
+  LogisticModel model;
+  model.fit(data, {}, rng);
+  EXPECT_GT(model.accuracy(data), 0.97);
+}
+
+TEST(Logistic, CannotLearnXor) {
+  // Sanity check that the learner is honest: XOR is not linearly separable.
+  Rng rng(2);
+  Dataset data;
+  for (int i = 0; i < 400; ++i) {
+    const bool a = rng.flip(), b = rng.flip();
+    data.features.push_back({a ? 1.0 : -1.0, b ? 1.0 : -1.0});
+    data.labels.push_back(a != b);
+  }
+  LogisticModel model;
+  model.fit(data, {}, rng);
+  EXPECT_LT(model.accuracy(data), 0.65);
+}
+
+TEST(Logistic, RejectsMalformedInputs) {
+  Rng rng(3);
+  LogisticModel model;
+  EXPECT_THROW(model.fit(Dataset{}, {}, rng), ropuf::Error);
+  Dataset ragged;
+  ragged.features = {{1.0}, {1.0, 2.0}};
+  ragged.labels = {true, false};
+  EXPECT_THROW(model.fit(ragged, {}, rng), ropuf::Error);
+  EXPECT_THROW(model.probability({1.0}), ropuf::Error);  // unfitted
+}
+
+TEST(ModelingAttack, ArbiterPufIsClonedFromCrps) {
+  // The Section II claim, demonstrated: a few thousand CRPs suffice to
+  // clone a 32-stage arbiter PUF with a linear learner.
+  Rng rng(4);
+  arb::ArbiterSpec spec;
+  spec.stages = 32;
+  spec.noise_sigma_ps = 0.0;
+  const arb::ArbiterPuf puf(spec, rng);
+
+  auto collect = [&](std::size_t count) {
+    Dataset data;
+    for (std::size_t i = 0; i < count; ++i) {
+      BitVec challenge(32);
+      for (std::size_t b = 0; b < 32; ++b) challenge.set(b, rng.flip());
+      data.features.push_back(arb::ArbiterPuf::features(challenge));
+      data.labels.push_back(puf.respond(challenge, rng));
+    }
+    return data;
+  };
+
+  const Dataset train = collect(3000);
+  const Dataset test = collect(1000);
+  LogisticModel model;
+  LogisticModel::FitOptions options;
+  options.epochs = 80;
+  model.fit(train, options, rng);
+  EXPECT_GT(model.accuracy(test), 0.93);
+}
+
+TEST(ModelingAttack, ConfigurableRoCrpOracleResists) {
+  // Same learner, same budget, against the paper's PUF exposed through the
+  // CRP interface: the challenge only permutes independent enrolled pairs,
+  // so challenge-derived features carry no decision structure.
+  Rng rng(5);
+  const puf::BoardLayout layout{7, 32};
+  std::vector<double> values(layout.units_required());
+  for (auto& v : values) v = rng.gaussian(0.0, 10.0);
+  const auto enrollment =
+      puf::configurable_enroll(values, layout, puf::SelectionCase::kIndependent);
+  const puf::CrpOracle oracle(&enrollment, 1);  // single-bit responses
+
+  auto collect = [&](std::size_t count, std::uint64_t base) {
+    Dataset data;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t challenge = base + i;
+      // Same feature map the arbiter attack used, over the challenge bits.
+      BitVec bits(32);
+      for (std::size_t b = 0; b < 32; ++b) bits.set(b, (challenge >> b) & 1u);
+      data.features.push_back(arb::ArbiterPuf::features(bits));
+      data.labels.push_back(oracle.reference(challenge).get(0));
+    }
+    return data;
+  };
+
+  const Dataset train = collect(3000, 0);
+  const Dataset test = collect(1000, 10000);
+  LogisticModel model;
+  LogisticModel::FitOptions options;
+  options.epochs = 80;
+  model.fit(train, options, rng);
+  EXPECT_LT(model.accuracy(test), 0.62);
+}
+
+}  // namespace
+}  // namespace ropuf::attack

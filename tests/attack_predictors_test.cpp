@@ -1,0 +1,121 @@
+#include "attack/predictors.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "puf/distiller.h"
+#include "puf/measurement.h"
+#include "puf/schemes.h"
+#include "silicon/fleet.h"
+
+namespace ropuf::attack {
+namespace {
+
+std::vector<double> random_values(Rng& rng, std::size_t n) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.gaussian(0.0, 10.0);
+  return v;
+}
+
+TEST(PopcountPredictor, EqualPopcountConstraintNeutralizesTheAttack) {
+  // The paper's Section III.D rationale, quantified: Case-2 selections
+  // (equal popcount) leak nothing through configuration sizes.
+  Rng rng(1);
+  std::vector<puf::Selection> selections;
+  for (int t = 0; t < 4000; ++t) {
+    selections.push_back(puf::select_case2(random_values(rng, 9), random_values(rng, 9)));
+  }
+  const PredictionStats stats = popcount_predictor(selections, rng);
+  EXPECT_NEAR(stats.accuracy(), 0.5, 0.03);
+}
+
+TEST(PopcountPredictor, UnconstrainedSelectionLeaks) {
+  // Dropping the constraint (the exhaustive unconstrained oracle) makes the
+  // bit guessable from public configuration sizes alone. Physical delays
+  // are positive, so the unconstrained optimum loads one RO with many slow
+  // units and the other with few fast ones — "the one that uses fewer
+  // inverters will most likely be faster" (Section III.D).
+  Rng rng(2);
+  std::vector<puf::Selection> selections;
+  for (int t = 0; t < 300; ++t) {
+    std::vector<double> top(6), bottom(6);
+    for (auto& v : top) v = rng.gaussian(1050.0, 15.0);
+    for (auto& v : bottom) v = rng.gaussian(1050.0, 15.0);
+    selections.push_back(puf::select_exhaustive_unconstrained(top, bottom));
+  }
+  const PredictionStats stats = popcount_predictor(selections, rng);
+  EXPECT_GT(stats.accuracy(), 0.95);
+
+  // The paper's Case-2 on the same physical values stays opaque.
+  Rng rng2(3);
+  std::vector<puf::Selection> constrained;
+  for (int t = 0; t < 2000; ++t) {
+    std::vector<double> top(6), bottom(6);
+    for (auto& v : top) v = rng2.gaussian(1050.0, 15.0);
+    for (auto& v : bottom) v = rng2.gaussian(1050.0, 15.0);
+    constrained.push_back(puf::select_case2(top, bottom));
+  }
+  EXPECT_NEAR(popcount_predictor(constrained, rng2).accuracy(), 0.5, 0.04);
+}
+
+TEST(MajorityVotePredictor, RawResponsesAreGuessableDistilledAreNot) {
+  // Systematic variation correlates chips; the distiller removes it. A
+  // strong-trend process makes the mechanism unambiguous (at the default
+  // calibration the per-position leak is present but weak — the NIST
+  // within-stream failures of bench_table1 are the calibrated-scale view).
+  sil::VtFleetSpec spec;
+  spec.nominal_boards = 13;
+  spec.env_boards = 0;
+  spec.process.common_systematic_amp = 0.05;
+  spec.process.chip_systematic_amp = 0.004;
+  spec.process.random_sigma_rel = 0.004;
+  const sil::VtFleet fleet = sil::make_vt_fleet(spec);
+  Rng rng(3);
+
+  auto responses = [&](bool distill) {
+    std::vector<BitVec> result;
+    Rng master(7);
+    for (const sil::Chip& board : fleet.nominal) {
+      Rng board_rng = master.fork();
+      auto values = puf::measure_unit_ddiffs(board, sil::nominal_op(),
+                                             puf::UnitMeasurementSpec{}, board_rng);
+      if (distill) {
+        values = puf::RegressionDistiller(2).distill_chip(board, values);
+      }
+      result.push_back(
+          puf::configurable_enroll(values, puf::paper_layout(5),
+                                   puf::SelectionCase::kSameConfig)
+              .response());
+    }
+    return result;
+  };
+
+  const auto raw = responses(false);
+  const auto distilled = responses(true);
+  const std::vector<BitVec> raw_refs(raw.begin() + 1, raw.end());
+  const std::vector<BitVec> distilled_refs(distilled.begin() + 1, distilled.end());
+
+  const double raw_acc = majority_vote_predictor(raw_refs, raw[0], rng).accuracy();
+  const double distilled_acc =
+      majority_vote_predictor(distilled_refs, distilled[0], rng).accuracy();
+  EXPECT_GT(raw_acc, 0.75);
+  EXPECT_LT(distilled_acc, 0.70);
+  EXPECT_LT(distilled_acc, raw_acc);
+}
+
+TEST(RandomPredictor, SitsAtCoinFlipAccuracy) {
+  Rng rng(4);
+  BitVec target(4000);
+  for (std::size_t i = 0; i < target.size(); ++i) target.set(i, rng.flip());
+  const PredictionStats stats = random_predictor(target, rng);
+  EXPECT_NEAR(stats.accuracy(), 0.5, 0.03);
+}
+
+TEST(Predictors, MalformedInputsThrow) {
+  Rng rng(5);
+  EXPECT_THROW(majority_vote_predictor({}, BitVec(8), rng), ropuf::Error);
+  EXPECT_THROW(majority_vote_predictor({BitVec(4)}, BitVec(8), rng), ropuf::Error);
+}
+
+}  // namespace
+}  // namespace ropuf::attack

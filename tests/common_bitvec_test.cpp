@@ -1,0 +1,153 @@
+#include "common/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(BitVec, SizedConstructorZeroInitializes) {
+  BitVec v(130);  // spans three words
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.popcount(), 0u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, SetAndGetRoundTrip) {
+  BitVec v(100);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(99, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.set(63, false);
+  EXPECT_FALSE(v.get(63));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVec, OutOfRangeAccessThrows) {
+  BitVec v(8);
+  EXPECT_THROW(v.get(8), Error);
+  EXPECT_THROW(v.set(8, true), Error);
+}
+
+TEST(BitVec, FromStringParsesAndRoundTrips) {
+  const std::string s = "1011001110001111";
+  const BitVec v = BitVec::from_string(s);
+  EXPECT_EQ(v.size(), s.size());
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.popcount(), 10u);
+}
+
+TEST(BitVec, FromStringRejectsNonBinary) {
+  EXPECT_THROW(BitVec::from_string("10x1"), Error);
+}
+
+TEST(BitVec, FromBitsMatchesFromString) {
+  const BitVec a = BitVec::from_bits({1, 0, 1, 1, 0});
+  const BitVec b = BitVec::from_string("10110");
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVec, FromBitsRejectsNonBinaryValues) {
+  EXPECT_THROW(BitVec::from_bits({0, 2}), Error);
+}
+
+TEST(BitVec, PushBackGrowsAcrossWordBoundary) {
+  BitVec v;
+  for (int i = 0; i < 200; ++i) v.push_back(i % 3 == 0);
+  EXPECT_EQ(v.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(v.get(static_cast<std::size_t>(i)), i % 3 == 0) << "bit " << i;
+  }
+}
+
+TEST(BitVec, AppendConcatenates) {
+  BitVec a = BitVec::from_string("101");
+  const BitVec b = BitVec::from_string("0110");
+  a.append(b);
+  EXPECT_EQ(a.to_string(), "1010110");
+}
+
+TEST(BitVec, HammingDistanceCountsDifferences) {
+  const BitVec a = BitVec::from_string("10110010");
+  const BitVec b = BitVec::from_string("10011011");
+  EXPECT_EQ(a.hamming_distance(b), 3u);
+  EXPECT_EQ(b.hamming_distance(a), 3u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+}
+
+TEST(BitVec, HammingDistanceRequiresEqualSizes) {
+  const BitVec a(8), b(9);
+  EXPECT_THROW(a.hamming_distance(b), Error);
+}
+
+TEST(BitVec, HammingDistanceMatchesNaiveOnRandomVectors) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.uniform_below(300);
+    BitVec a(n), b(n);
+    std::size_t naive = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool ba = rng.flip();
+      const bool bb = rng.flip();
+      a.set(i, ba);
+      b.set(i, bb);
+      if (ba != bb) ++naive;
+    }
+    EXPECT_EQ(a.hamming_distance(b), naive);
+  }
+}
+
+TEST(BitVec, XorMatchesHammingDistance) {
+  Rng rng(7);
+  BitVec a(150), b(150);
+  for (std::size_t i = 0; i < 150; ++i) {
+    a.set(i, rng.flip());
+    b.set(i, rng.flip());
+  }
+  EXPECT_EQ((a ^ b).popcount(), a.hamming_distance(b));
+}
+
+TEST(BitVec, EqualityComparesContentAndSize) {
+  const BitVec a = BitVec::from_string("1010");
+  const BitVec b = BitVec::from_string("1010");
+  const BitVec c = BitVec::from_string("1011");
+  const BitVec d = BitVec::from_string("10100");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(BitVec, OrderingIsUsableAsMapKey) {
+  std::map<BitVec, int> m;
+  m[BitVec::from_string("101")] = 1;
+  m[BitVec::from_string("011")] = 2;
+  m[BitVec::from_string("101")] = 3;  // overwrite, not new key
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[BitVec::from_string("101")], 3);
+}
+
+TEST(BitVec, ToBitsRoundTrips) {
+  const std::vector<int> bits{1, 1, 0, 1, 0, 0, 1};
+  EXPECT_EQ(BitVec::from_bits(bits).to_bits(), bits);
+}
+
+}  // namespace
+}  // namespace ropuf

@@ -1,0 +1,184 @@
+#include "crypto/cyclic_code.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf::crypto {
+namespace {
+
+BitVec random_message(Rng& rng, std::size_t k) {
+  BitVec m(k);
+  for (std::size_t i = 0; i < k; ++i) m.set(i, rng.flip());
+  return m;
+}
+
+class CyclicCodeParamTest : public ::testing::TestWithParam<int> {
+ protected:
+  CyclicCode code() const {
+    switch (GetParam()) {
+      case 0: return CyclicCode::repetition(3);
+      case 1: return CyclicCode::repetition(5);
+      case 2: return CyclicCode::repetition(7);
+      case 3: return CyclicCode::hamming_7_4();
+      case 4: return CyclicCode::bch_15_7();
+      default: return CyclicCode::golay_23_12();
+    }
+  }
+};
+
+TEST_P(CyclicCodeParamTest, DimensionsAreConsistent) {
+  const CyclicCode c = code();
+  EXPECT_EQ(c.n(), c.k() + (c.n() - c.k()));
+  EXPECT_GE(c.t(), 1u);
+  EXPECT_LT(c.k(), c.n());
+}
+
+TEST_P(CyclicCodeParamTest, EncodeDecodeRoundTripsCleanWords) {
+  const CyclicCode c = code();
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BitVec message = random_message(rng, c.k());
+    const BitVec codeword = c.encode(message);
+    EXPECT_EQ(codeword.size(), c.n());
+    const auto decoded = c.decode(codeword);
+    ASSERT_TRUE(decoded.ok);
+    EXPECT_EQ(decoded.message, message);
+    EXPECT_EQ(decoded.corrected, 0u);
+  }
+}
+
+TEST_P(CyclicCodeParamTest, CorrectsEveryErrorPatternUpToT) {
+  const CyclicCode c = code();
+  Rng rng(2);
+  const BitVec message = random_message(rng, c.k());
+  const BitVec codeword = c.encode(message);
+
+  // All weight-1 and (when t >= 2) a sweep of weight-t patterns.
+  for (std::size_t i = 0; i < c.n(); ++i) {
+    BitVec corrupted = codeword;
+    corrupted.set(i, !corrupted.get(i));
+    if (c.t() >= 2) {
+      const std::size_t j = (i + 3) % c.n();
+      if (j != i) corrupted.set(j, !corrupted.get(j));
+    }
+    const auto decoded = c.decode(corrupted);
+    ASSERT_TRUE(decoded.ok) << "position " << i;
+    EXPECT_EQ(decoded.message, message) << "position " << i;
+  }
+}
+
+TEST_P(CyclicCodeParamTest, SystematicEncodingKeepsMessageBits) {
+  const CyclicCode c = code();
+  Rng rng(3);
+  const BitVec message = random_message(rng, c.k());
+  const BitVec codeword = c.encode(message);
+  // Message occupies the high-degree end: codeword bit (n-k)+i == message i.
+  for (std::size_t i = 0; i < c.k(); ++i) {
+    EXPECT_EQ(codeword.get(c.n() - c.k() + i), message.get(i));
+  }
+}
+
+TEST_P(CyclicCodeParamTest, CodewordsAreClosedUnderXor) {
+  // Linearity: the XOR of two codewords is a codeword (decodes with 0
+  // corrections).
+  const CyclicCode c = code();
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVec cw1 = c.encode(random_message(rng, c.k()));
+    const BitVec cw2 = c.encode(random_message(rng, c.k()));
+    const auto decoded = c.decode(cw1 ^ cw2);
+    ASSERT_TRUE(decoded.ok);
+    EXPECT_EQ(decoded.corrected, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodes, CyclicCodeParamTest, ::testing::Range(0, 6));
+
+TEST(CyclicCode, GolayIsPerfect) {
+  // [23,12,7]: the weight <= 3 spheres tile the space exactly, so every
+  // one of the 2^11 syndromes decodes — no received word is rejected.
+  const CyclicCode golay = CyclicCode::golay_23_12();
+  EXPECT_EQ(golay.n(), 23u);
+  EXPECT_EQ(golay.k(), 12u);
+  EXPECT_EQ(golay.t(), 3u);
+  Rng rng(50);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVec word(23);
+    for (std::size_t i = 0; i < 23; ++i) word.set(i, rng.flip());
+    const auto decoded = golay.decode(word);
+    EXPECT_TRUE(decoded.ok);        // perfect code: always in some sphere
+    EXPECT_LE(decoded.corrected, 3u);
+  }
+}
+
+TEST(CyclicCode, GolayCorrectsTripleErrors) {
+  const CyclicCode golay = CyclicCode::golay_23_12();
+  Rng rng(51);
+  const BitVec message = random_message(rng, 12);
+  const BitVec codeword = golay.encode(message);
+  for (int trial = 0; trial < 100; ++trial) {
+    BitVec corrupted = codeword;
+    // Three distinct random positions.
+    std::vector<std::size_t> pos(23);
+    for (std::size_t i = 0; i < 23; ++i) pos[i] = i;
+    rng.shuffle(pos);
+    for (int e = 0; e < 3; ++e) corrupted.set(pos[e], !corrupted.get(pos[e]));
+    const auto decoded = golay.decode(corrupted);
+    ASSERT_TRUE(decoded.ok);
+    EXPECT_EQ(decoded.message, message);
+    EXPECT_EQ(decoded.corrected, 3u);
+  }
+}
+
+TEST(CyclicCode, RepetitionMajorityBehaviour) {
+  const CyclicCode rep = CyclicCode::repetition(5);
+  EXPECT_EQ(rep.k(), 1u);
+  EXPECT_EQ(rep.t(), 2u);
+  const BitVec one = rep.encode(BitVec::from_string("1"));
+  EXPECT_EQ(one.popcount(), 5u);
+  // Two flips still decode to 1; three flips decode to 0.
+  BitVec two_flips = one;
+  two_flips.set(0, false);
+  two_flips.set(3, false);
+  EXPECT_EQ(rep.decode(two_flips).message.to_string(), "1");
+  BitVec three_flips = two_flips;
+  three_flips.set(1, false);
+  EXPECT_EQ(rep.decode(three_flips).message.to_string(), "0");
+}
+
+TEST(CyclicCode, Bch15_7HasDistanceFive) {
+  // Every pair of distinct codewords differs in >= 5 positions (d = 2t+1).
+  const CyclicCode bch = CyclicCode::bch_15_7();
+  std::vector<BitVec> codewords;
+  for (std::uint32_t m = 0; m < (1u << 7); ++m) {
+    BitVec message(7);
+    for (std::size_t i = 0; i < 7; ++i) message.set(i, (m >> i) & 1u);
+    codewords.push_back(bch.encode(message));
+  }
+  std::size_t min_distance = 15;
+  for (std::size_t i = 0; i < codewords.size(); ++i) {
+    for (std::size_t j = i + 1; j < codewords.size(); ++j) {
+      min_distance = std::min(min_distance, codewords[i].hamming_distance(codewords[j]));
+    }
+  }
+  EXPECT_EQ(min_distance, 5u);
+}
+
+TEST(CyclicCode, OverclaimedCorrectionCapacityThrows) {
+  // Hamming(7,4) has t = 1; claiming t = 2 must trip the syndrome-collision
+  // check in the constructor.
+  EXPECT_THROW(CyclicCode(7, 0b1011, 2), ropuf::Error);
+}
+
+TEST(CyclicCode, MalformedArgumentsThrow) {
+  EXPECT_THROW(CyclicCode(7, 0, 1), ropuf::Error);
+  EXPECT_THROW(CyclicCode::repetition(4), ropuf::Error);
+  const CyclicCode c = CyclicCode::hamming_7_4();
+  EXPECT_THROW(c.encode(BitVec(3)), ropuf::Error);
+  EXPECT_THROW(c.decode(BitVec(6)), ropuf::Error);
+}
+
+}  // namespace
+}  // namespace ropuf::crypto

@@ -1,0 +1,148 @@
+#include "crypto/fuzzy_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf::crypto {
+namespace {
+
+BitVec random_bits(Rng& rng, std::size_t n) {
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.flip());
+  return v;
+}
+
+TEST(FuzzyExtractor, CleanResponseReproducesTheKey) {
+  const CyclicCode code = CyclicCode::bch_15_7();
+  const FuzzyExtractor extractor(&code);
+  Rng rng(1);
+  const BitVec response = random_bits(rng, 60);  // 4 blocks of 15
+  const FuzzyEnrollment enrollment = extractor.generate(response, rng);
+  EXPECT_EQ(enrollment.helper.size(), 4u);
+  const auto reproduced = extractor.reproduce(response, enrollment.helper);
+  ASSERT_TRUE(reproduced.has_value());
+  EXPECT_EQ(*reproduced, enrollment.key);
+}
+
+TEST(FuzzyExtractor, ToleratesUpToTErrorsPerBlock) {
+  const CyclicCode code = CyclicCode::bch_15_7();  // t = 2
+  const FuzzyExtractor extractor(&code);
+  Rng rng(2);
+  const BitVec response = random_bits(rng, 45);  // 3 blocks
+  const FuzzyEnrollment enrollment = extractor.generate(response, rng);
+
+  BitVec noisy = response;
+  // Two flips in each block — the code's exact limit.
+  for (const std::size_t pos : {0u, 7u, 16u, 20u, 31u, 40u}) {
+    noisy.set(pos, !noisy.get(pos));
+  }
+  const auto reproduced = extractor.reproduce(noisy, enrollment.helper);
+  ASSERT_TRUE(reproduced.has_value());
+  EXPECT_EQ(*reproduced, enrollment.key);
+}
+
+TEST(FuzzyExtractor, TooManyErrorsChangeTheKey) {
+  const CyclicCode code = CyclicCode::bch_15_7();
+  const FuzzyExtractor extractor(&code);
+  Rng rng(3);
+  const BitVec response = random_bits(rng, 15);
+  const FuzzyEnrollment enrollment = extractor.generate(response, rng);
+
+  BitVec noisy = response;
+  for (const std::size_t pos : {1u, 4u, 9u}) noisy.set(pos, !noisy.get(pos));  // 3 > t
+  const auto reproduced = extractor.reproduce(noisy, enrollment.helper);
+  // Either detected (nullopt) or silently mis-corrected to a different key;
+  // both count as key failure for the verifier.
+  if (reproduced.has_value()) {
+    EXPECT_NE(*reproduced, enrollment.key);
+  }
+}
+
+TEST(FuzzyExtractor, DifferentChipsGetDifferentKeys) {
+  const CyclicCode code = CyclicCode::hamming_7_4();
+  const FuzzyExtractor extractor(&code);
+  Rng rng(4);
+  const BitVec chip_a = random_bits(rng, 28);
+  const BitVec chip_b = random_bits(rng, 28);
+  const FuzzyEnrollment enrollment = extractor.generate(chip_a, rng);
+  const auto impostor = extractor.reproduce(chip_b, enrollment.helper);
+  if (impostor.has_value()) {
+    EXPECT_NE(*impostor, enrollment.key);
+  }
+}
+
+TEST(FuzzyExtractor, HelperDataAloneDoesNotDetermineTheKey) {
+  // Two enrollments of the same response draw different random messages, so
+  // helper data differs and keys differ: helper is not a key commitment.
+  const CyclicCode code = CyclicCode::hamming_7_4();
+  const FuzzyExtractor extractor(&code);
+  Rng rng(5);
+  const BitVec response = random_bits(rng, 21);
+  const FuzzyEnrollment first = extractor.generate(response, rng);
+  const FuzzyEnrollment second = extractor.generate(response, rng);
+  EXPECT_NE(first.key, second.key);
+}
+
+TEST(FuzzyExtractor, RateMatchesCode) {
+  const CyclicCode bch = CyclicCode::bch_15_7();
+  EXPECT_NEAR(FuzzyExtractor(&bch).rate(), 7.0 / 15.0, 1e-12);
+  const CyclicCode rep = CyclicCode::repetition(5);
+  EXPECT_NEAR(FuzzyExtractor(&rep).rate(), 1.0 / 5.0, 1e-12);
+}
+
+TEST(FuzzyExtractor, RepetitionSurvivesHeavyNoiseAtLowRate) {
+  // End-to-end: 10% bit-flip noise, repetition(7) (t = 3) key survives with
+  // high probability; count failures over many trials.
+  const CyclicCode code = CyclicCode::repetition(7);
+  const FuzzyExtractor extractor(&code);
+  Rng rng(6);
+  int failures = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const BitVec response = random_bits(rng, 70);  // 10 blocks -> 10 key bits
+    const FuzzyEnrollment enrollment = extractor.generate(response, rng);
+    BitVec noisy = response;
+    for (std::size_t i = 0; i < noisy.size(); ++i) {
+      if (rng.uniform() < 0.10) noisy.set(i, !noisy.get(i));
+    }
+    const auto reproduced = extractor.reproduce(noisy, enrollment.helper);
+    if (!reproduced.has_value() || *reproduced != enrollment.key) ++failures;
+  }
+  // P(block fails) = P(Binomial(7, 0.1) >= 4) ~ 0.27%; 10 blocks ~ 2.7%.
+  EXPECT_LT(failures, trials / 10);
+}
+
+TEST(FuzzyExtractor, EntropyAccountingMatchesCodeDimensions) {
+  const CyclicCode bch = CyclicCode::bch_15_7();
+  const FuzzyExtractor extractor(&bch);
+  EXPECT_DOUBLE_EQ(extractor.entropy_loss_bits_per_block(), 8.0);  // n - k
+  // Full-entropy response: 15 - 8 = 7 bits per block remain.
+  EXPECT_DOUBLE_EQ(extractor.residual_key_entropy_bits(1.0, 4), 28.0);
+  // Heavily biased response: the sketch can eat everything.
+  EXPECT_DOUBLE_EQ(extractor.residual_key_entropy_bits(0.4, 4), 0.0);
+  EXPECT_THROW(extractor.residual_key_entropy_bits(1.5, 1), ropuf::Error);
+}
+
+TEST(FuzzyExtractor, RepetitionCodeKeepsAlmostNoEntropy) {
+  // The textbook caveat: repetition(n) leaks n - 1 bits per block, so even
+  // full-entropy responses keep only 1 bit per block (and any bias kills
+  // it) — the library makes the trade-off visible.
+  const CyclicCode rep = CyclicCode::repetition(7);
+  const FuzzyExtractor extractor(&rep);
+  EXPECT_DOUBLE_EQ(extractor.residual_key_entropy_bits(1.0, 10), 10.0);
+  EXPECT_DOUBLE_EQ(extractor.residual_key_entropy_bits(0.8, 10), 0.0);
+}
+
+TEST(FuzzyExtractor, MalformedInputsThrow) {
+  const CyclicCode code = CyclicCode::hamming_7_4();
+  const FuzzyExtractor extractor(&code);
+  Rng rng(7);
+  EXPECT_THROW(extractor.generate(BitVec(3), rng), ropuf::Error);
+  EXPECT_THROW(extractor.reproduce(BitVec(7), {}), ropuf::Error);
+  EXPECT_THROW(FuzzyExtractor(nullptr), ropuf::Error);
+}
+
+}  // namespace
+}  // namespace ropuf::crypto

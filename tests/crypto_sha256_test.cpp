@@ -1,0 +1,63 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace ropuf::crypto {
+namespace {
+
+TEST(Sha256, EmptyInputVector) {
+  EXPECT_EQ(to_hex(sha256(std::string())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector) {
+  EXPECT_EQ(to_hex(sha256(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockVector) {
+  // FIPS 180-4 test vector: 448-bit message spanning the padding boundary.
+  EXPECT_EQ(to_hex(sha256(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, QuickBrownFox) {
+  EXPECT_EQ(to_hex(sha256(std::string("The quick brown fox jumps over the lazy dog"))),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592");
+}
+
+TEST(Sha256, MillionAs) {
+  // FIPS 180-4 long-message vector.
+  EXPECT_EQ(to_hex(sha256(std::string(1000000, 'a'))),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, PaddingBoundaryLengths) {
+  // 55/56/63/64/65 bytes cross every padding branch; results must be stable
+  // and distinct.
+  std::vector<std::string> hashes;
+  for (const std::size_t len : {55u, 56u, 63u, 64u, 65u}) {
+    hashes.push_back(to_hex(sha256(std::string(len, 'x'))));
+  }
+  for (std::size_t i = 0; i < hashes.size(); ++i) {
+    for (std::size_t j = i + 1; j < hashes.size(); ++j) EXPECT_NE(hashes[i], hashes[j]);
+  }
+}
+
+TEST(Sha256, SingleBitChangeAvalanches) {
+  std::vector<std::uint8_t> a(32, 0);
+  std::vector<std::uint8_t> b = a;
+  b[7] ^= 0x01;
+  const auto da = sha256(a);
+  const auto db = sha256(b);
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    differing_bits += __builtin_popcount(static_cast<unsigned>(da[i] ^ db[i]));
+  }
+  EXPECT_GT(differing_bits, 90);   // ~128 expected of 256
+  EXPECT_LT(differing_bits, 166);
+}
+
+}  // namespace
+}  // namespace ropuf::crypto

@@ -1,0 +1,208 @@
+// Cross-module integration tests: the full paper pipeline on small fleets,
+// plus failure injection at the module seams.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/entropy.h"
+#include "analysis/experiments.h"
+#include "analysis/hamming_stats.h"
+#include "common/error.h"
+#include "crypto/fuzzy_extractor.h"
+#include "nist/report.h"
+#include "nist/suite.h"
+#include "puf/chip_puf.h"
+#include "puf/serialization.h"
+#include "silicon/fleet.h"
+
+namespace ropuf {
+namespace {
+
+sil::VtFleet small_fleet(std::size_t boards) {
+  sil::VtFleetSpec spec;
+  spec.nominal_boards = boards;
+  spec.env_boards = 0;
+  return sil::make_vt_fleet(spec);
+}
+
+TEST(Integration, DistilledPipelinePassesMiniNist) {
+  // 40 boards -> 20 streams of 96 bits; the small-sample report must pass.
+  const auto fleet = small_fleet(40);
+  analysis::DatasetOptions opts;
+  opts.mode = puf::SelectionCase::kIndependent;
+  opts.distill = true;
+  const auto responses = analysis::board_responses(fleet.nominal, opts);
+  const auto streams = analysis::combine_board_pairs(responses);
+  ASSERT_EQ(streams.size(), 20u);
+
+  nist::FinalAnalysisReport report;
+  for (const auto& s : streams) {
+    report.add_sequence(nist::run_suite(s, nist::paper_config()));
+  }
+  EXPECT_TRUE(report.all_pass()) << report.render();
+}
+
+TEST(Integration, DistilledResponsesHaveHighEntropy) {
+  const auto fleet = small_fleet(60);
+  analysis::DatasetOptions opts;
+  opts.distill = true;
+  const auto responses = analysis::board_responses(fleet.nominal, opts);
+  EXPECT_GT(analysis::mean_shannon_entropy(responses), 0.9);
+  EXPECT_GT(analysis::mean_min_entropy(responses), 0.6);
+  const auto stats = analysis::bit_position_stats(responses);
+  EXPECT_LT(stats.mean_bias, 0.12);
+}
+
+TEST(Integration, RawResponsesHaveVisiblyLessEntropy) {
+  const auto fleet = small_fleet(60);
+  analysis::DatasetOptions raw;
+  raw.distill = false;
+  analysis::DatasetOptions distilled;
+  distilled.distill = true;
+  const double raw_entropy =
+      analysis::mean_min_entropy(analysis::board_responses(fleet.nominal, raw));
+  const double distilled_entropy =
+      analysis::mean_min_entropy(analysis::board_responses(fleet.nominal, distilled));
+  EXPECT_LT(raw_entropy, distilled_entropy);
+}
+
+TEST(Integration, DeviceEnrollmentSurvivesSerializationForDatasetEvaluation) {
+  // Dataset-layer enrollment -> text -> parse -> evaluate elsewhere.
+  const auto fleet = small_fleet(2);
+  Rng rng(1);
+  analysis::DatasetOptions opts;
+  const auto values =
+      analysis::board_unit_values(fleet.nominal[0], sil::nominal_op(), opts, rng);
+  const puf::BoardLayout layout = puf::paper_layout(5);
+  const auto enrollment =
+      puf::configurable_enroll(values, layout, puf::SelectionCase::kIndependent);
+
+  const auto parsed = puf::parse_enrollment(puf::serialize_enrollment(enrollment));
+  const auto stress =
+      analysis::board_unit_values(fleet.nominal[0], {0.98, 25.0}, opts, rng);
+  EXPECT_EQ(puf::configurable_respond(stress, parsed),
+            puf::configurable_respond(stress, enrollment));
+}
+
+TEST(Integration, FullCircuitKeyPipeline) {
+  // chip -> device -> response -> fuzzy extractor -> stable key at corners.
+  sil::Fab fab(sil::ProcessParams{}, 77);
+  const sil::Chip chip = fab.fabricate(16, 16);
+  puf::DeviceSpec spec;
+  spec.stages = 7;
+  spec.pair_count = 15;  // one BCH(15,7) block
+  spec.distill = true;
+  Rng rng(2);
+  puf::ConfigurableRoPufDevice device(&chip, spec, rng);
+  device.enroll(sil::nominal_op(), rng);
+
+  const crypto::CyclicCode code = crypto::CyclicCode::bch_15_7();
+  const crypto::FuzzyExtractor extractor(&code);
+  const auto enrollment = extractor.generate(device.enrolled_response(), rng);
+
+  for (const double v : sil::vt_voltages()) {
+    const auto key = extractor.reproduce(device.respond({v, 45.0}, rng), enrollment.helper);
+    ASSERT_TRUE(key.has_value()) << v;
+    EXPECT_EQ(*key, enrollment.key) << v;
+  }
+}
+
+// ------------------------------------------------------- failure injection
+
+TEST(FailureInjection, ZeroVariationProcessStillProducesValidEnrollments) {
+  // Pathological silicon: no mismatch at all. Margins collapse to ~0 but
+  // every API contract must hold (no throws, valid configs, zero-threshold
+  // masks all-true, any positive threshold masks all-false).
+  sil::ProcessParams process;
+  process.random_sigma_rel = 0.0;
+  process.common_systematic_amp = 0.0;
+  process.chip_systematic_amp = 0.0;
+  process.vth_sigma_v = 0.0;
+  process.tempco_sigma_per_c = 0.0;
+  sil::Fab fab(process, 1);
+  const sil::Chip chip = fab.fabricate(8, 8);
+
+  puf::DeviceSpec spec;
+  spec.stages = 5;
+  spec.pair_count = 6;
+  spec.counter.jitter_sigma_rel = 0.0;
+  spec.counter.aux_calibration_error_rel = 0.0;
+  spec.counter.gate_time_s = 1.0;
+  Rng rng(3);
+  puf::ConfigurableRoPufDevice device(&chip, spec, rng);
+  device.enroll(sil::nominal_op(), rng);
+  for (const puf::Selection& sel : device.selections()) {
+    EXPECT_EQ(sel.top_config.size(), 5u);
+    EXPECT_LT(std::fabs(sel.margin), 1.0);  // quantization floor only
+  }
+  const auto mask = device.reliable_mask(5.0);
+  for (const bool ok : mask) EXPECT_FALSE(ok);
+}
+
+TEST(FailureInjection, ExtremeCounterNoiseDegradesButDoesNotBreak) {
+  sil::Fab fab(sil::ProcessParams{}, 5);
+  const sil::Chip chip = fab.fabricate(8, 8);
+  puf::DeviceSpec spec;
+  spec.stages = 5;
+  spec.pair_count = 6;
+  spec.counter.jitter_sigma_rel = 0.05;  // 5% frequency noise, absurd
+  Rng rng(4);
+  puf::ConfigurableRoPufDevice device(&chip, spec, rng);
+  device.enroll(sil::nominal_op(), rng);
+  EXPECT_EQ(device.enrolled_response().size(), 6u);
+  const BitVec field = device.respond(sil::nominal_op(), rng);
+  EXPECT_EQ(field.size(), 6u);  // bits may be garbage; the API must not be
+}
+
+TEST(FailureInjection, HelperCorruptionWithinRadiusSelfHeals) {
+  // helper XOR response = noisy codeword, so helper-bit corruption is
+  // indistinguishable from response noise: up to t flips per block are
+  // absorbed by the decoder and the key survives.
+  const crypto::CyclicCode code = crypto::CyclicCode::bch_15_7();
+  const crypto::FuzzyExtractor extractor(&code);
+  Rng rng(6);
+  BitVec response(30);
+  for (std::size_t i = 0; i < 30; ++i) response.set(i, rng.flip());
+  auto enrollment = extractor.generate(response, rng);
+
+  enrollment.helper[0].set(3, !enrollment.helper[0].get(3));
+  enrollment.helper[1].set(9, !enrollment.helper[1].get(9));
+  enrollment.helper[1].set(10, !enrollment.helper[1].get(10));
+  const auto key = extractor.reproduce(response, enrollment.helper);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, enrollment.key);
+}
+
+TEST(FailureInjection, HelperCorruptionBeyondRadiusFailsVerification) {
+  const crypto::CyclicCode code = crypto::CyclicCode::bch_15_7();
+  const crypto::FuzzyExtractor extractor(&code);
+  Rng rng(8);
+  BitVec response(15);
+  for (std::size_t i = 0; i < 15; ++i) response.set(i, rng.flip());
+  auto enrollment = extractor.generate(response, rng);
+
+  // Five flips in one block, far outside the t = 2 radius.
+  for (const std::size_t pos : {0u, 3u, 6u, 9u, 12u}) {
+    enrollment.helper[0].set(pos, !enrollment.helper[0].get(pos));
+  }
+  const auto key = extractor.reproduce(response, enrollment.helper);
+  // Either the syndrome escapes the table (nullopt) or the decoder lands on
+  // a different codeword; both fail verification by key comparison.
+  if (key.has_value()) {
+    EXPECT_NE(*key, enrollment.key);
+  }
+}
+
+TEST(FailureInjection, MismatchedEvaluationDataThrows) {
+  Rng rng(7);
+  const puf::BoardLayout layout{5, 8};
+  std::vector<double> values(layout.units_required());
+  for (auto& v : values) v = rng.gaussian(0.0, 10.0);
+  const auto enrollment = puf::configurable_enroll(values, layout,
+                                                   puf::SelectionCase::kSameConfig);
+  const std::vector<double> short_values(10, 0.0);
+  EXPECT_THROW(puf::configurable_respond(short_values, enrollment), ropuf::Error);
+}
+
+}  // namespace
+}  // namespace ropuf

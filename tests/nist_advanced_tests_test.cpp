@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nist/complexity_tests.h"
+#include "nist/excursion_tests.h"
+#include "nist/pattern_tests.h"
+#include "nist/spectral_tests.h"
+
+namespace ropuf::nist {
+namespace {
+
+BitVec random_bits(Rng& rng, std::size_t n) {
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.flip());
+  return v;
+}
+
+// --- serial / approximate entropy: NIST worked examples ---------------------
+
+TEST(Serial, NistWorkedExample) {
+  // Section 2.11.8: ε = 0011011101, m = 3: p1 = 0.808792, p2 = 0.670320.
+  const auto r = serial_test(BitVec::from_string("0011011101"), 3);
+  ASSERT_TRUE(r.applicable);
+  ASSERT_EQ(r.p_values.size(), 2u);
+  EXPECT_NEAR(r.p_values[0], 0.808792, 1e-6);
+  EXPECT_NEAR(r.p_values[1], 0.670320, 1e-6);
+}
+
+TEST(ApproximateEntropy, NistWorkedExample) {
+  // Section 2.12.8: ε = 0100110101, m = 3: p = 0.261961.
+  const auto r = approximate_entropy_test(BitVec::from_string("0100110101"), 3);
+  ASSERT_TRUE(r.applicable);
+  EXPECT_NEAR(r.p_values[0], 0.261961, 1e-6);
+}
+
+TEST(Serial, PeriodicSequenceFails) {
+  std::string s;
+  for (int i = 0; i < 32; ++i) s += "011";
+  const auto r = serial_test(BitVec::from_string(s), 3);
+  ASSERT_TRUE(r.applicable);
+  EXPECT_LT(r.p_values[0], 1e-6);
+}
+
+TEST(Serial, DegenerateParametersInapplicable) {
+  EXPECT_FALSE(serial_test(BitVec(100), 1).applicable);
+  EXPECT_FALSE(serial_test(BitVec(4), 5).applicable);
+}
+
+TEST(ApproximateEntropy, PeriodicSequenceFails) {
+  std::string s;
+  for (int i = 0; i < 50; ++i) s += "01";
+  const auto r = approximate_entropy_test(BitVec::from_string(s), 2);
+  ASSERT_TRUE(r.applicable);
+  EXPECT_LT(r.p_values[0], 1e-6);
+}
+
+// --- templates ---------------------------------------------------------------
+
+TEST(AperiodicTemplates, CountsMatchNistTables) {
+  EXPECT_EQ(aperiodic_templates(2).size(), 2u);
+  EXPECT_EQ(aperiodic_templates(3).size(), 4u);
+  EXPECT_EQ(aperiodic_templates(4).size(), 6u);
+  EXPECT_EQ(aperiodic_templates(5).size(), 12u);
+  EXPECT_EQ(aperiodic_templates(6).size(), 20u);
+  EXPECT_EQ(aperiodic_templates(7).size(), 40u);
+  EXPECT_EQ(aperiodic_templates(8).size(), 74u);
+  EXPECT_EQ(aperiodic_templates(9).size(), 148u);
+}
+
+TEST(AperiodicTemplates, KnownMembersForM3) {
+  const auto templates = aperiodic_templates(3);
+  std::vector<std::string> strings;
+  for (const auto& t : templates) strings.push_back(t.to_string());
+  std::sort(strings.begin(), strings.end());
+  EXPECT_EQ(strings, (std::vector<std::string>{"001", "011", "100", "110"}));
+}
+
+TEST(NonOverlappingTemplate, RandomDataPassesMostTemplates) {
+  Rng rng(7);
+  const auto r = non_overlapping_template_test(random_bits(rng, 100000), 4);
+  ASSERT_TRUE(r.applicable);
+  ASSERT_EQ(r.p_values.size(), 6u);  // 6 aperiodic templates of length 4
+  int passed = 0;
+  for (const double p : r.p_values) {
+    if (p >= kAlpha) ++passed;
+  }
+  EXPECT_GE(passed, 5);
+}
+
+TEST(NonOverlappingTemplate, PlantedPatternFails) {
+  // Saturate the stream with one template; its p-value must collapse.
+  std::string s;
+  while (s.size() < 8000) s += "0001";
+  const auto r = non_overlapping_template_test(BitVec::from_string(s), 4);
+  ASSERT_TRUE(r.applicable);
+  double min_p = 1.0;
+  for (const double p : r.p_values) min_p = std::min(min_p, p);
+  EXPECT_LT(min_p, 1e-10);
+}
+
+TEST(NonOverlappingTemplate, ShortSequenceInapplicable) {
+  EXPECT_FALSE(non_overlapping_template_test(BitVec(50), 9).applicable);
+}
+
+TEST(OverlappingTemplate, RandomDataPasses) {
+  Rng rng(8);
+  const auto r = overlapping_template_test(random_bits(rng, 200000));
+  ASSERT_TRUE(r.applicable);
+  EXPECT_GE(r.p_values[0], 1e-4);
+}
+
+TEST(OverlappingTemplate, AllOnesFails) {
+  const auto r = overlapping_template_test(BitVec::from_string(std::string(10320, '1')));
+  ASSERT_TRUE(r.applicable);
+  EXPECT_LT(r.p_values[0], 1e-10);
+}
+
+TEST(OverlappingTemplate, RequiresStandardTemplateLength) {
+  Rng rng(9);
+  EXPECT_FALSE(overlapping_template_test(random_bits(rng, 20000), 5).applicable);
+}
+
+// --- spectral ---------------------------------------------------------------
+
+TEST(Dft, RandomDataPasses) {
+  Rng rng(10);
+  int passed = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    if (dft_test(random_bits(rng, 1024)).passed()) ++passed;
+  }
+  EXPECT_GT(passed, 90);
+}
+
+TEST(Dft, StrongPeriodicityFails) {
+  std::string s;
+  for (int i = 0; i < 256; ++i) s += "0011";  // period 4 -> huge peak at n/4
+  const auto r = dft_test(BitVec::from_string(s));
+  ASSERT_TRUE(r.applicable);
+  EXPECT_LT(r.p_values[0], 1e-6);
+}
+
+TEST(Dft, TinySequenceInapplicable) {
+  EXPECT_FALSE(dft_test(BitVec(8)).applicable);
+  EXPECT_FALSE(dft_test(BitVec(96)).applicable);
+}
+
+TEST(Rank, NeedsThirtyEightBlocks) {
+  EXPECT_FALSE(matrix_rank_test(BitVec(1024 * 37)).applicable);
+}
+
+TEST(Rank, RandomDataPasses) {
+  Rng rng(11);
+  const auto r = matrix_rank_test(random_bits(rng, 1024 * 40));
+  ASSERT_TRUE(r.applicable);
+  EXPECT_GE(r.p_values[0], 1e-4);
+}
+
+TEST(Rank, StructuredDataFails) {
+  // All-zero matrices have rank 0, wildly off the expected distribution.
+  const auto r = matrix_rank_test(BitVec(1024 * 40));
+  ASSERT_TRUE(r.applicable);
+  EXPECT_LT(r.p_values[0], 1e-10);
+}
+
+TEST(Universal, NeedsVeryLongSequences) {
+  EXPECT_FALSE(universal_test(BitVec(100000)).applicable);
+}
+
+TEST(Universal, RandomDataPasses) {
+  Rng rng(12);
+  const auto r = universal_test(random_bits(rng, 400000));
+  ASSERT_TRUE(r.applicable);
+  EXPECT_EQ(r.note, "L=6");
+  EXPECT_GE(r.p_values[0], 1e-4);
+}
+
+TEST(Universal, RepetitiveDataFails) {
+  std::string s;
+  while (s.size() < 400000) s += "000001";
+  const auto r = universal_test(BitVec::from_string(s));
+  ASSERT_TRUE(r.applicable);
+  EXPECT_LT(r.p_values[0], 1e-10);
+}
+
+// --- linear complexity --------------------------------------------------------
+
+TEST(LinearComplexity, RandomDataPasses) {
+  Rng rng(13);
+  const auto r = linear_complexity_test(random_bits(rng, 200000), 500);
+  ASSERT_TRUE(r.applicable);
+  EXPECT_GE(r.p_values[0], 1e-4);
+}
+
+TEST(LinearComplexity, LfsrStreamFails) {
+  // A short LFSR has constant low complexity in every block.
+  std::vector<int> s{1, 0, 0, 1, 1};
+  while (s.size() < 100000) {
+    const std::size_t n = s.size();
+    s.push_back(s[n - 5] ^ s[n - 3]);
+  }
+  BitVec bits(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) bits.set(i, s[i] != 0);
+  const auto r = linear_complexity_test(bits, 500);
+  ASSERT_TRUE(r.applicable);
+  EXPECT_LT(r.p_values[0], 1e-10);
+}
+
+TEST(LinearComplexity, ShortSequenceInapplicable) {
+  EXPECT_FALSE(linear_complexity_test(BitVec(100), 500).applicable);
+}
+
+// --- excursions ---------------------------------------------------------------
+
+TEST(RandomExcursions, ShortWalkInapplicable) {
+  Rng rng(14);
+  const auto r = random_excursions_test(random_bits(rng, 10000));
+  EXPECT_FALSE(r.applicable);  // far fewer than 500 cycles
+}
+
+TEST(RandomExcursions, LongRandomWalkProducesEightPValues) {
+  Rng rng(15);
+  const auto r = random_excursions_test(random_bits(rng, 1 << 20));
+  if (!r.applicable) GTEST_SKIP() << "walk happened to have < 500 cycles";
+  ASSERT_EQ(r.p_values.size(), 8u);
+  int passed = 0;
+  for (const double p : r.p_values) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    if (p >= kAlpha) ++passed;
+  }
+  EXPECT_GE(passed, 7);
+}
+
+TEST(RandomExcursionsVariant, LongRandomWalkProducesEighteenPValues) {
+  Rng rng(16);
+  const auto r = random_excursions_variant_test(random_bits(rng, 1 << 20));
+  if (!r.applicable) GTEST_SKIP() << "walk happened to have < 500 cycles";
+  ASSERT_EQ(r.p_values.size(), 18u);
+  int passed = 0;
+  for (const double p : r.p_values) {
+    if (p >= kAlpha) ++passed;
+  }
+  EXPECT_GE(passed, 16);
+}
+
+}  // namespace
+}  // namespace ropuf::nist

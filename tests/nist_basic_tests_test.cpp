@@ -1,0 +1,163 @@
+#include "nist/basic_tests.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ropuf::nist {
+namespace {
+
+BitVec random_bits(Rng& rng, std::size_t n) {
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.flip());
+  return v;
+}
+
+// --- worked examples from SP 800-22 rev. 1a ---------------------------------
+
+TEST(Frequency, NistWorkedExample) {
+  const auto r = frequency_test(BitVec::from_string("1011010101"));
+  ASSERT_TRUE(r.applicable);
+  ASSERT_EQ(r.p_values.size(), 1u);
+  EXPECT_NEAR(r.p_values[0], 0.527089, 1e-6);
+}
+
+TEST(BlockFrequency, NistWorkedExample) {
+  const auto r = block_frequency_test(BitVec::from_string("0110011010"), 3);
+  ASSERT_TRUE(r.applicable);
+  EXPECT_NEAR(r.p_values[0], 0.801252, 1e-6);
+}
+
+TEST(Runs, NistWorkedExample) {
+  const auto r = runs_test(BitVec::from_string("1001101011"));
+  ASSERT_TRUE(r.applicable);
+  EXPECT_NEAR(r.p_values[0], 0.147232, 1e-6);
+}
+
+TEST(LongestRun, NistWorkedExample) {
+  // The 128-bit example of section 2.4.8 (M = 8): p = 0.180598.
+  const std::string eps =
+      "11001100000101010110110001001100111000000000001001"
+      "00110101010001000100111101011010000000110101111100"
+      "1100111001101101100010110010";
+  const auto r = longest_run_test(BitVec::from_string(eps));
+  ASSERT_TRUE(r.applicable);
+  EXPECT_NEAR(r.p_values[0], 0.180598, 1e-6);
+}
+
+TEST(CumulativeSums, NistWorkedExample) {
+  // Section 2.13.8: ε = 1011010111, forward mode p = 0.4116588.
+  const auto r = cumulative_sums_test(BitVec::from_string("1011010111"));
+  ASSERT_TRUE(r.applicable);
+  ASSERT_EQ(r.p_values.size(), 2u);
+  EXPECT_NEAR(r.p_values[0], 0.4116588, 1e-6);
+}
+
+// --- structural properties ---------------------------------------------------
+
+TEST(Frequency, AllOnesFailsHard) {
+  const auto r = frequency_test(BitVec::from_string(std::string(100, '1')));
+  EXPECT_LT(r.p_values[0], 1e-10);
+  EXPECT_FALSE(r.passed());
+}
+
+TEST(Frequency, BalancedSequencePassesTrivially) {
+  std::string s;
+  for (int i = 0; i < 50; ++i) s += "10";
+  const auto r = frequency_test(BitVec::from_string(s));
+  EXPECT_NEAR(r.p_values[0], 1.0, 1e-12);
+}
+
+TEST(Frequency, EmptySequenceInapplicable) {
+  EXPECT_FALSE(frequency_test(BitVec()).applicable);
+  EXPECT_FALSE(frequency_test(BitVec()).passed());
+}
+
+TEST(BlockFrequency, LocallyBiasedSequenceFails) {
+  // Globally balanced but each half is constant: block test must fail.
+  std::string s = std::string(512, '1') + std::string(512, '0');
+  const auto r = block_frequency_test(BitVec::from_string(s), 128);
+  EXPECT_LT(r.p_values[0], 1e-10);
+  // ... while the plain frequency test is fooled.
+  EXPECT_GT(frequency_test(BitVec::from_string(s)).p_values[0], 0.9);
+}
+
+TEST(BlockFrequency, ShortSequenceInapplicable) {
+  EXPECT_FALSE(block_frequency_test(BitVec(10), 16).applicable);
+}
+
+TEST(Runs, PerfectAlternationFails) {
+  std::string s;
+  for (int i = 0; i < 64; ++i) s += "01";
+  const auto r = runs_test(BitVec::from_string(s));
+  EXPECT_LT(r.p_values[0], 1e-10);
+}
+
+TEST(Runs, MonobitPreconditionShortCircuitsToZero) {
+  const auto r = runs_test(BitVec::from_string(std::string(100, '1')));
+  ASSERT_TRUE(r.applicable);
+  EXPECT_EQ(r.p_values[0], 0.0);
+}
+
+TEST(LongestRun, ShortSequenceInapplicable) {
+  EXPECT_FALSE(longest_run_test(BitVec(100)).applicable);
+}
+
+TEST(LongestRun, PicksLargerParameterSetsForLongInputs) {
+  Rng rng(1);
+  EXPECT_EQ(longest_run_test(random_bits(rng, 7000)).note, "M=128");
+  EXPECT_EQ(longest_run_test(random_bits(rng, 800000)).note, "M=10000");
+}
+
+TEST(CumulativeSums, BothDirectionsReported) {
+  Rng rng(2);
+  const auto r = cumulative_sums_test(random_bits(rng, 200));
+  ASSERT_EQ(r.p_values.size(), 2u);
+  for (const double p : r.p_values) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(CumulativeSums, DriftingSequenceFails) {
+  // 70% ones drifts the walk far from zero.
+  Rng rng(3);
+  BitVec v(500);
+  for (std::size_t i = 0; i < 500; ++i) v.set(i, rng.uniform() < 0.7);
+  const auto r = cumulative_sums_test(v);
+  EXPECT_LT(r.p_values[0], 1e-6);
+}
+
+// --- distributional behaviour on the library RNG ----------------------------
+
+TEST(BasicTests, RandomSequencesPassAtExpectedRate) {
+  Rng rng(42);
+  const int trials = 300;
+  int freq_pass = 0, block_pass = 0, runs_pass = 0, cusum_pass = 0;
+  for (int t = 0; t < trials; ++t) {
+    const BitVec bits = random_bits(rng, 512);
+    if (frequency_test(bits).passed()) ++freq_pass;
+    if (block_frequency_test(bits, 64).passed()) ++block_pass;
+    if (runs_test(bits).passed()) ++runs_pass;
+    if (cumulative_sums_test(bits).passed()) ++cusum_pass;
+  }
+  // Expected pass rate is 99%; allow a generous band.
+  EXPECT_GT(freq_pass, trials * 95 / 100);
+  EXPECT_GT(block_pass, trials * 95 / 100);
+  EXPECT_GT(runs_pass, trials * 95 / 100);
+  EXPECT_GT(cusum_pass, trials * 95 / 100);
+}
+
+TEST(BasicTests, PValuesAreRoughlyUniform) {
+  // Mean of a uniform p-value population is 0.5.
+  Rng rng(43);
+  double sum = 0.0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    sum += frequency_test(random_bits(rng, 256)).p_values[0];
+  }
+  EXPECT_NEAR(sum / trials, 0.5, 0.06);
+}
+
+}  // namespace
+}  // namespace ropuf::nist

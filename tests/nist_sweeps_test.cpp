@@ -1,0 +1,84 @@
+// Parameterized NIST sweeps: every applicable test must hold its false-
+// positive rate on the library RNG at every stream length, and the suite's
+// applicability gating must be monotone in n.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nist/report.h"
+#include "nist/suite.h"
+
+namespace ropuf::nist {
+namespace {
+
+BitVec random_bits(Rng& rng, std::size_t n) {
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.flip());
+  return v;
+}
+
+class LengthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LengthSweep, RandomDataPassRateIsNearNominal) {
+  const std::size_t n = GetParam();
+  Rng rng(6000 + n);
+  SuiteConfig config;
+  if (n <= 256) config = paper_config();
+
+  std::size_t evaluations = 0, passes = 0;
+  const int streams = 120;
+  for (int s = 0; s < streams; ++s) {
+    const auto results = run_suite(random_bits(rng, n), config);
+    for (const auto& r : results) {
+      if (!r.applicable) continue;
+      for (const double p : r.p_values) {
+        ++evaluations;
+        if (p >= kAlpha) ++passes;
+      }
+    }
+  }
+  ASSERT_GT(evaluations, 0u);
+  // Expected pass rate 99%; tolerate down to 96% over ~10^3 evaluations.
+  const double rate = static_cast<double>(passes) / static_cast<double>(evaluations);
+  EXPECT_GT(rate, 0.96) << "n=" << n;
+}
+
+TEST_P(LengthSweep, ApplicabilityGrowsWithLength) {
+  const std::size_t n = GetParam();
+  Rng rng(7000 + n);
+  const auto here = run_suite(random_bits(rng, n), SuiteConfig{});
+  const auto longer = run_suite(random_bits(rng, 2 * n), SuiteConfig{});
+  std::size_t applicable_here = 0, applicable_longer = 0;
+  for (const auto& r : here) {
+    if (r.applicable) ++applicable_here;
+  }
+  for (const auto& r : longer) {
+    if (r.applicable) ++applicable_longer;
+  }
+  EXPECT_GE(applicable_longer, applicable_here);
+}
+
+INSTANTIATE_TEST_SUITE_P(StreamLengths, LengthSweep,
+                         ::testing::Values(96, 128, 256, 1024, 4096),
+                         [](const ::testing::TestParamInfo<std::size_t>& param_info) {
+                           return "n" + std::to_string(param_info.param);
+                         });
+
+TEST(LengthSweep, BiasedDataFailsAtEveryLength) {
+  for (const std::size_t n : {96u, 512u, 2048u}) {
+    Rng rng(42 + n);
+    SuiteConfig config = n <= 256 ? paper_config() : SuiteConfig{};
+    std::size_t failures = 0;
+    const int streams = 30;
+    for (int s = 0; s < streams; ++s) {
+      BitVec bits(n);
+      for (std::size_t i = 0; i < n; ++i) bits.set(i, rng.uniform() < 0.68);
+      for (const auto& r : run_suite(bits, config)) {
+        if (r.applicable && !r.passed()) ++failures;
+      }
+    }
+    EXPECT_GT(failures, static_cast<std::size_t>(streams)) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace ropuf::nist

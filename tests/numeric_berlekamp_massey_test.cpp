@@ -1,0 +1,84 @@
+#include "numeric/berlekamp_massey.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf::num {
+namespace {
+
+TEST(LinearComplexity, EmptySequenceIsZero) {
+  EXPECT_EQ(linear_complexity({}), 0u);
+}
+
+TEST(LinearComplexity, AllZerosIsZero) {
+  EXPECT_EQ(linear_complexity(std::vector<int>(50, 0)), 0u);
+}
+
+TEST(LinearComplexity, SingleOneAtEndIsFullLength) {
+  // 000...01 requires an LFSR as long as the sequence.
+  std::vector<int> s(10, 0);
+  s[9] = 1;
+  EXPECT_EQ(linear_complexity(s), 10u);
+}
+
+TEST(LinearComplexity, AlternatingSequenceIsTwo) {
+  std::vector<int> s;
+  for (int i = 0; i < 40; ++i) s.push_back(i % 2);
+  EXPECT_EQ(linear_complexity(s), 2u);
+}
+
+TEST(LinearComplexity, ConstantOnesIsOne) {
+  EXPECT_EQ(linear_complexity(std::vector<int>(25, 1)), 1u);
+}
+
+TEST(LinearComplexity, NistExampleSequence) {
+  // NIST SP 800-22 section 2.10.8 example: s = 1101011110001 has L = 4.
+  const std::vector<int> s{1, 1, 0, 1, 0, 1, 1, 1, 1, 0, 0, 0, 1};
+  EXPECT_EQ(linear_complexity(s), 4u);
+}
+
+TEST(LinearComplexity, MaximalLfsrSequenceHasDegreeComplexity) {
+  // x^4 + x + 1 generates an m-sequence of period 15 with complexity 4.
+  std::vector<int> s{1, 0, 0, 0};
+  while (s.size() < 60) {
+    const std::size_t n = s.size();
+    s.push_back(s[n - 4] ^ s[n - 3]);  // taps at degrees 4 and 3 offsets
+  }
+  EXPECT_EQ(linear_complexity(s), 4u);
+}
+
+TEST(LinearComplexity, RejectsNonBinaryValues) {
+  EXPECT_THROW(linear_complexity({0, 1, 2}), ropuf::Error);
+}
+
+TEST(LinearComplexity, RandomSequencesAreNearHalfLength) {
+  // Expected complexity of an n-bit random sequence is ~ n/2 + O(1).
+  ropuf::Rng rng(11);
+  const std::size_t n = 500;
+  double total = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> s(n);
+    for (auto& b : s) b = rng.flip() ? 1 : 0;
+    total += static_cast<double>(linear_complexity(s));
+  }
+  EXPECT_NEAR(total / trials, n / 2.0, 3.0);
+}
+
+TEST(LinearComplexity, PrefixComplexityIsMonotone) {
+  ropuf::Rng rng(13);
+  std::vector<int> s(100);
+  for (auto& b : s) b = rng.flip() ? 1 : 0;
+  std::size_t prev = 0;
+  for (std::size_t len = 1; len <= s.size(); ++len) {
+    const std::vector<int> prefix(s.begin(), s.begin() + static_cast<long>(len));
+    const std::size_t l = linear_complexity(prefix);
+    EXPECT_GE(l, prev);
+    prev = l;
+  }
+}
+
+}  // namespace
+}  // namespace ropuf::num

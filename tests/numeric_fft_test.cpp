@@ -1,0 +1,127 @@
+#include "numeric/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf::num {
+namespace {
+
+/// Naive O(n^2) reference DFT.
+std::vector<Complex> naive_dft(const std::vector<Complex>& in) {
+  const std::size_t n = in.size();
+  std::vector<Complex> out(n, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      out[k] += in[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  return out;
+}
+
+std::vector<Complex> random_signal(ropuf::Rng& rng, std::size_t n) {
+  std::vector<Complex> v(n);
+  for (auto& x : v) x = Complex(rng.gaussian(), rng.gaussian());
+  return v;
+}
+
+TEST(FftRadix2, RejectsNonPowerOfTwo) {
+  std::vector<Complex> v(6);
+  EXPECT_THROW(fft_radix2(v, false), ropuf::Error);
+}
+
+TEST(FftRadix2, MatchesNaiveDftOnPowerOfTwoSizes) {
+  ropuf::Rng rng(1);
+  for (const std::size_t n : {1u, 2u, 4u, 8u, 32u, 128u}) {
+    auto v = random_signal(rng, n);
+    const auto expected = naive_dft(v);
+    fft_radix2(v, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(v[i] - expected[i]), 0.0, 1e-9) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(FftRadix2, ForwardInverseRoundTrips) {
+  ropuf::Rng rng(2);
+  auto v = random_signal(rng, 64);
+  const auto original = v;
+  fft_radix2(v, false);
+  fft_radix2(v, true);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(std::abs(v[i] - original[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Dft, BluesteinMatchesNaiveOnAwkwardLengths) {
+  ropuf::Rng rng(3);
+  for (const std::size_t n : {3u, 5u, 7u, 12u, 96u, 97u, 100u}) {
+    const auto v = random_signal(rng, n);
+    const auto fast = dft(v);
+    const auto slow = naive_dft(v);
+    ASSERT_EQ(fast.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(fast[i] - slow[i]), 0.0, 1e-8) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Dft, EmptyInputGivesEmptyOutput) {
+  EXPECT_TRUE(dft({}).empty());
+}
+
+TEST(Dft, ConstantSignalConcentratesInDcBin) {
+  const std::vector<Complex> v(10, Complex(1.0, 0.0));
+  const auto out = dft(v);
+  EXPECT_NEAR(out[0].real(), 10.0, 1e-10);
+  for (std::size_t i = 1; i < out.size(); ++i) EXPECT_NEAR(std::abs(out[i]), 0.0, 1e-10);
+}
+
+TEST(Dft, PureToneLandsInSingleBin) {
+  const std::size_t n = 96;  // the paper's NIST stream length
+  std::vector<Complex> v(n);
+  const std::size_t tone = 7;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double angle = 2.0 * std::numbers::pi * static_cast<double>(tone * j) /
+                         static_cast<double>(n);
+    v[j] = Complex(std::cos(angle), std::sin(angle));
+  }
+  const auto out = dft(v);
+  EXPECT_NEAR(std::abs(out[tone]), static_cast<double>(n), 1e-8);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != tone) {
+      EXPECT_NEAR(std::abs(out[i]), 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Dft, ParsevalHolds) {
+  ropuf::Rng rng(4);
+  const auto v = random_signal(rng, 50);
+  const auto out = dft(v);
+  double time_energy = 0.0, freq_energy = 0.0;
+  for (const auto& x : v) time_energy += std::norm(x);
+  for (const auto& x : out) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy, time_energy * 50.0, 1e-7);
+}
+
+TEST(DftMagnitudes, MatchesComplexPath) {
+  ropuf::Rng rng(5);
+  std::vector<double> v(31);
+  for (auto& x : v) x = rng.gaussian();
+  std::vector<Complex> cv(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) cv[i] = Complex(v[i], 0.0);
+  const auto mags = dft_magnitudes(v);
+  const auto ref = dft(cv);
+  ASSERT_EQ(mags.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(mags[i], std::abs(ref[i]), 1e-10);
+}
+
+}  // namespace
+}  // namespace ropuf::num

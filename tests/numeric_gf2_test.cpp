@@ -1,0 +1,90 @@
+#include "numeric/gf2.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf::num {
+namespace {
+
+TEST(Gf2Matrix, RejectsTooManyColumns) {
+  EXPECT_THROW(Gf2Matrix(2, 65), ropuf::Error);
+}
+
+TEST(Gf2Matrix, GetSetRoundTrip) {
+  Gf2Matrix m(3, 5);
+  m.set(0, 0, true);
+  m.set(2, 4, true);
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_TRUE(m.get(2, 4));
+  EXPECT_FALSE(m.get(1, 1));
+  m.set(0, 0, false);
+  EXPECT_FALSE(m.get(0, 0));
+  EXPECT_THROW(m.get(3, 0), ropuf::Error);
+}
+
+TEST(Gf2Matrix, ZeroMatrixHasRankZero) {
+  EXPECT_EQ(Gf2Matrix(4, 4).rank(), 0u);
+}
+
+TEST(Gf2Matrix, IdentityHasFullRank) {
+  Gf2Matrix m(6, 6);
+  for (std::size_t i = 0; i < 6; ++i) m.set(i, i, true);
+  EXPECT_EQ(m.rank(), 6u);
+}
+
+TEST(Gf2Matrix, DuplicateRowsReduceRank) {
+  Gf2Matrix m(3, 4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    m.set(0, c, c % 2 == 0);
+    m.set(1, c, c % 2 == 0);  // duplicate of row 0
+    m.set(2, c, c == 3);
+  }
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(Gf2Matrix, XorDependentRowTriplet) {
+  // row2 = row0 XOR row1 -> rank 2.
+  Gf2Matrix m(3, 6);
+  const int r0[] = {1, 0, 1, 1, 0, 0};
+  const int r1[] = {0, 1, 1, 0, 1, 0};
+  for (std::size_t c = 0; c < 6; ++c) {
+    m.set(0, c, r0[c] != 0);
+    m.set(1, c, r1[c] != 0);
+    m.set(2, c, (r0[c] ^ r1[c]) != 0);
+  }
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(Gf2Matrix, RankBoundedByMinDimension) {
+  ropuf::Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t rows = 1 + rng.uniform_below(10);
+    const std::size_t cols = 1 + rng.uniform_below(32);
+    Gf2Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) m.set(r, c, rng.flip());
+    }
+    EXPECT_LE(m.rank(), std::min(rows, cols));
+  }
+}
+
+TEST(Gf2Matrix, RandomFullRankProbabilityIsHighFor32x32) {
+  // NIST rank test expects P(rank == 32) ~ 0.2888 for random 32x32 matrices;
+  // sanity check that the distribution is in the right ballpark.
+  ropuf::Rng rng(7);
+  int full = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    Gf2Matrix m(32, 32);
+    for (std::size_t r = 0; r < 32; ++r) {
+      for (std::size_t c = 0; c < 32; ++c) m.set(r, c, rng.flip());
+    }
+    if (m.rank() == 32) ++full;
+  }
+  EXPECT_NEAR(static_cast<double>(full) / trials, 0.2888, 0.04);
+}
+
+}  // namespace
+}  // namespace ropuf::num

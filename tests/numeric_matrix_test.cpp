@@ -1,0 +1,94 @@
+#include "numeric/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ropuf::num {
+namespace {
+
+TEST(Matrix, ConstructorZeroInitializes) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m.at(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, FromRowsBuildsExpectedLayout) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.at(0, 0), 1.0);
+  EXPECT_EQ(m.at(1, 2), 6.0);
+}
+
+TEST(Matrix, FromRowsRejectsRaggedInput) {
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), Error);
+}
+
+TEST(Matrix, IndexOutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 2), Error);
+}
+
+TEST(Matrix, IdentityActsAsMultiplicativeNeutral) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix i = Matrix::identity(2);
+  EXPECT_EQ(((a * i) - a).max_abs(), 0.0);
+  EXPECT_EQ(((i * a) - a).max_abs(), 0.0);
+}
+
+TEST(Matrix, TransposeSwapsIndices) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m.at(r, c), t.at(c, r));
+  }
+}
+
+TEST(Matrix, ProductMatchesHandComputedValues) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix p = a * b;
+  EXPECT_EQ(p.at(0, 0), 19.0);
+  EXPECT_EQ(p.at(0, 1), 22.0);
+  EXPECT_EQ(p.at(1, 0), 43.0);
+  EXPECT_EQ(p.at(1, 1), 50.0);
+}
+
+TEST(Matrix, ProductShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, Error);
+}
+
+TEST(Matrix, AdditionAndSubtractionAreElementwise) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{10, 20}, {30, 40}});
+  EXPECT_EQ((a + b).at(1, 1), 44.0);
+  EXPECT_EQ((b - a).at(0, 1), 18.0);
+  EXPECT_THROW(a + Matrix(3, 2), Error);
+}
+
+TEST(Matrix, ApplyComputesMatrixVectorProduct) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const std::vector<double> v{1, 0, -1};
+  const auto out = a.apply(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], -2.0);
+  EXPECT_EQ(out[1], -2.0);
+  EXPECT_THROW(a.apply({1, 2}), Error);
+}
+
+TEST(Matrix, MaxAbsFindsLargestMagnitude) {
+  const Matrix m = Matrix::from_rows({{1, -7.5}, {3, 4}});
+  EXPECT_EQ(m.max_abs(), 7.5);
+}
+
+}  // namespace
+}  // namespace ropuf::num

@@ -1,0 +1,109 @@
+#include "numeric/polyfit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf::num {
+namespace {
+
+TEST(Poly1D, EvalUsesHornerCorrectly) {
+  const Poly1D p{{1.0, -2.0, 3.0}};  // 1 - 2x + 3x^2
+  EXPECT_NEAR(p.eval(0.0), 1.0, 1e-15);
+  EXPECT_NEAR(p.eval(1.0), 2.0, 1e-15);
+  EXPECT_NEAR(p.eval(2.0), 9.0, 1e-15);
+}
+
+TEST(Polyfit1D, RecoversExactQuadratic) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 10; ++i) {
+    const double xi = static_cast<double>(i) * 0.3;
+    x.push_back(xi);
+    y.push_back(2.0 - 1.5 * xi + 0.25 * xi * xi);
+  }
+  const Poly1D p = polyfit_1d(x, y, 2);
+  ASSERT_EQ(p.coeff.size(), 3u);
+  EXPECT_NEAR(p.coeff[0], 2.0, 1e-10);
+  EXPECT_NEAR(p.coeff[1], -1.5, 1e-10);
+  EXPECT_NEAR(p.coeff[2], 0.25, 1e-10);
+}
+
+TEST(Polyfit1D, AveragesOutZeroMeanNoise) {
+  Rng rng(77);
+  std::vector<double> x, y;
+  for (int i = 0; i < 400; ++i) {
+    const double xi = rng.uniform(-1.0, 1.0);
+    x.push_back(xi);
+    y.push_back(5.0 + 3.0 * xi + rng.gaussian(0.0, 0.05));
+  }
+  const Poly1D p = polyfit_1d(x, y, 1);
+  EXPECT_NEAR(p.coeff[0], 5.0, 0.02);
+  EXPECT_NEAR(p.coeff[1], 3.0, 0.03);
+}
+
+TEST(Polyfit1D, DegreeTooHighForSampleCountThrows) {
+  EXPECT_THROW(polyfit_1d({1, 2}, {1, 2}, 2), ropuf::Error);
+}
+
+TEST(Polyfit1D, SizeMismatchThrows) {
+  EXPECT_THROW(polyfit_1d({1, 2, 3}, {1, 2}, 1), ropuf::Error);
+}
+
+TEST(Monomials2D, CountIsTriangularNumber) {
+  EXPECT_EQ(monomials_2d(0).size(), 1u);
+  EXPECT_EQ(monomials_2d(1).size(), 3u);
+  EXPECT_EQ(monomials_2d(2).size(), 6u);
+  EXPECT_EQ(monomials_2d(3).size(), 10u);
+}
+
+TEST(Monomials2D, AllDegreesBounded) {
+  for (const auto& [i, j] : monomials_2d(4)) EXPECT_LE(i + j, 4u);
+}
+
+TEST(Polyfit2D, RecoversExactBilinearSurface) {
+  // z = 1 + 2x - y + 0.5 x y
+  std::vector<double> x, y, z;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      const double xi = i, yj = j;
+      x.push_back(xi);
+      y.push_back(yj);
+      z.push_back(1.0 + 2.0 * xi - yj + 0.5 * xi * yj);
+    }
+  }
+  const Poly2D p = polyfit_2d(x, y, z, 2);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    EXPECT_NEAR(p.eval(x[k], y[k]), z[k], 1e-9);
+  }
+}
+
+TEST(Polyfit2D, ResidualsOfSmoothSurfaceAreSmall) {
+  // The distiller use case: a smooth systematic trend plus small noise;
+  // after the fit the residual should be the noise, not the trend.
+  Rng rng(31);
+  std::vector<double> x, y, z;
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      const double xi = i / 15.0, yj = j / 15.0;
+      x.push_back(xi);
+      y.push_back(yj);
+      z.push_back(10.0 + 4.0 * xi - 3.0 * yj + 2.0 * xi * xi + rng.gaussian(0.0, 0.01));
+    }
+  }
+  const Poly2D p = polyfit_2d(x, y, z, 2);
+  double max_resid = 0.0;
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    max_resid = std::max(max_resid, std::fabs(p.eval(x[k], y[k]) - z[k]));
+  }
+  EXPECT_LT(max_resid, 0.05);
+}
+
+TEST(Polyfit2D, TooFewSamplesThrows) {
+  EXPECT_THROW(polyfit_2d({0, 1}, {0, 1}, {1, 2}, 1), ropuf::Error);
+}
+
+}  // namespace
+}  // namespace ropuf::num

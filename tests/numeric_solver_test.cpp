@@ -1,0 +1,126 @@
+#include "numeric/linear_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "numeric/matrix.h"
+
+namespace ropuf::num {
+namespace {
+
+TEST(SolveLu, SolvesHandCheckedSystem) {
+  const Matrix a = Matrix::from_rows({{2, 1}, {1, 3}});
+  const auto x = solve_lu(a, {5, 10});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLu, HandlesPivotingOnZeroDiagonal) {
+  const Matrix a = Matrix::from_rows({{0, 1}, {1, 0}});
+  const auto x = solve_lu(a, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLu, SingularMatrixThrows) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {2, 4}});
+  EXPECT_THROW(solve_lu(a, {1, 2}), ropuf::Error);
+}
+
+TEST(SolveLu, NonSquareThrows) {
+  EXPECT_THROW(solve_lu(Matrix(2, 3), {1, 2}), ropuf::Error);
+}
+
+TEST(SolveLu, RandomSystemsRoundTrip) {
+  Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.uniform_below(12);
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      x_true[r] = rng.uniform(-5, 5);
+      for (std::size_t c = 0; c < n; ++c) a.at(r, c) = rng.gaussian();
+      a.at(r, r) += 5.0;  // diagonally dominant => well conditioned
+    }
+    const auto b = a.apply(x_true);
+    const auto x = solve_lu(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(LeastSquares, ExactSystemIsRecovered) {
+  // Square, consistent system: least squares must reproduce the solution.
+  const Matrix a = Matrix::from_rows({{1, 1}, {1, -1}});
+  const auto x = solve_least_squares(a, {3, 1});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(LeastSquares, OverdeterminedLineFit) {
+  // Fit y = 2x + 1 through noiseless samples.
+  const Matrix a = Matrix::from_rows({{1, 0}, {1, 1}, {1, 2}, {1, 3}});
+  const auto x = solve_least_squares(a, {1, 3, 5, 7});
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+TEST(LeastSquares, MinimizesResidualNormOnInconsistentSystem) {
+  // Classic example: mean minimizes sum of squares.
+  const Matrix a = Matrix::from_rows({{1.0}, {1.0}, {1.0}});
+  const auto x = solve_least_squares(a, {1, 2, 6});
+  ASSERT_EQ(x.size(), 1u);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+}
+
+TEST(LeastSquares, ResidualIsOrthogonalToColumnSpace) {
+  Rng rng(9);
+  const std::size_t m = 20, n = 4;
+  Matrix a(m, n);
+  std::vector<double> b(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    b[r] = rng.gaussian();
+    for (std::size_t c = 0; c < n; ++c) a.at(r, c) = rng.gaussian();
+  }
+  const auto x = solve_least_squares(a, b);
+  const auto ax = a.apply(x);
+  // r = b - Ax must satisfy A^T r = 0.
+  std::vector<double> resid(m);
+  for (std::size_t i = 0; i < m; ++i) resid[i] = b[i] - ax[i];
+  const auto atr = a.transpose().apply(resid);
+  for (const double v : atr) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(LeastSquares, RankDeficiencyThrows) {
+  // Second column is a multiple of the first.
+  const Matrix a = Matrix::from_rows({{1, 2}, {2, 4}, {3, 6}});
+  EXPECT_THROW(solve_least_squares(a, {1, 2, 3}), ropuf::Error);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  EXPECT_THROW(solve_least_squares(Matrix(2, 3), {1, 2}), ropuf::Error);
+}
+
+TEST(Determinant, MatchesHandComputedValues) {
+  EXPECT_NEAR(determinant(Matrix::from_rows({{2, 0}, {0, 3}})), 6.0, 1e-12);
+  EXPECT_NEAR(determinant(Matrix::from_rows({{0, 1}, {1, 0}})), -1.0, 1e-12);
+  EXPECT_NEAR(determinant(Matrix::from_rows({{1, 2}, {2, 4}})), 0.0, 1e-12);
+}
+
+TEST(Determinant, ProductRule) {
+  Rng rng(5);
+  Matrix a(3, 3), b(3, 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      a.at(r, c) = rng.gaussian();
+      b.at(r, c) = rng.gaussian();
+    }
+  }
+  EXPECT_NEAR(determinant(a * b), determinant(a) * determinant(b), 1e-9);
+}
+
+}  // namespace
+}  // namespace ropuf::num

@@ -1,0 +1,90 @@
+#include "numeric/special_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::num {
+namespace {
+
+TEST(Erfc, MatchesKnownValues) {
+  EXPECT_NEAR(erfc(0.0), 1.0, 1e-15);
+  EXPECT_NEAR(erfc(1.0), 0.157299207050285, 1e-12);
+  EXPECT_NEAR(erfc(-1.0), 1.842700792949715, 1e-12);
+}
+
+TEST(LogGamma, MatchesFactorials) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-14);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+}
+
+TEST(Igam, ComplementarityHolds) {
+  for (const double a : {0.5, 1.0, 2.5, 10.0, 48.0}) {
+    for (const double x : {0.0, 0.1, 1.0, 5.0, 50.0}) {
+      EXPECT_NEAR(igam(a, x) + igamc(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(Igam, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (const double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(igam(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(Igamc, HalfIntegerCaseMatchesErfc) {
+  // Q(1/2, x) = erfc(sqrt(x)).
+  for (const double x : {0.01, 0.25, 1.0, 4.0, 9.0}) {
+    EXPECT_NEAR(igamc(0.5, x), std::erfc(std::sqrt(x)), 1e-12);
+  }
+}
+
+TEST(Igamc, MonotonicallyDecreasingInX) {
+  double prev = igamc(3.0, 0.0);
+  EXPECT_NEAR(prev, 1.0, 1e-15);
+  for (double x = 0.5; x < 20.0; x += 0.5) {
+    const double cur = igamc(3.0, x);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Igamc, NistReferenceValues) {
+  // Values NIST SP 800-22 documents in its worked examples (section 2.x).
+  // Frequency-within-block example: igamc(3/2, 1/2) ~ 0.801252.
+  EXPECT_NEAR(igamc(1.5, 0.5), 0.801252, 1e-5);
+  // Longest-run example: igamc(3/2, 4.882605/2) ~ 0.180598.
+  EXPECT_NEAR(igamc(1.5, 4.882605 / 2.0), 0.180598, 1e-5);
+}
+
+TEST(Igam, DomainChecks) {
+  EXPECT_THROW(igam(0.0, 1.0), ropuf::Error);
+  EXPECT_THROW(igam(1.0, -0.1), ropuf::Error);
+  EXPECT_THROW(igamc(-1.0, 1.0), ropuf::Error);
+}
+
+TEST(NormalCdf, MatchesTabulatedValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.158655253931457, 1e-12);
+}
+
+TEST(ChiSquareSf, MatchesKnownQuantiles) {
+  // P(chi2_1 >= 3.841459) = 0.05
+  EXPECT_NEAR(chi_square_sf(3.841459, 1), 0.05, 1e-6);
+  // P(chi2_9 >= 16.918978) = 0.05 (used by the NIST uniformity check, dof 9)
+  EXPECT_NEAR(chi_square_sf(16.918978, 9), 0.05, 1e-6);
+  EXPECT_NEAR(chi_square_sf(0.0, 5), 1.0, 1e-15);
+}
+
+TEST(ChiSquareSf, RejectsNonPositiveDof) {
+  EXPECT_THROW(chi_square_sf(1.0, 0.0), ropuf::Error);
+}
+
+}  // namespace
+}  // namespace ropuf::num

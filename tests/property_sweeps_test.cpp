@@ -1,0 +1,218 @@
+// Parameterized property sweeps across the stage-count / distribution grid.
+//
+// These are the "for all n" counterparts of the example-based unit tests:
+// the paper's structural claims must hold at every RO length and for both
+// selection cases, not just the sampled configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "puf/schemes.h"
+#include "puf/selection.h"
+
+namespace ropuf::puf {
+namespace {
+
+// ---------------------------------------------------------------- selection
+
+using SelectionParams = std::tuple<std::size_t /*n*/, SelectionCase, double /*sigma*/>;
+
+class SelectionSweep : public ::testing::TestWithParam<SelectionParams> {};
+
+TEST_P(SelectionSweep, StructuralInvariantsHold) {
+  const auto [n, mode, sigma] = GetParam();
+  Rng rng(1000 + n * 7 + static_cast<std::size_t>(sigma));
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> top(n), bottom(n);
+    for (auto& v : top) v = rng.gaussian(0.0, sigma);
+    for (auto& v : bottom) v = rng.gaussian(0.0, sigma);
+
+    const Selection sel = select(mode, top, bottom);
+    // 1. Configurations are well-formed with equal popcount.
+    EXPECT_EQ(sel.top_config.size(), n);
+    EXPECT_EQ(sel.bottom_config.size(), n);
+    EXPECT_EQ(sel.top_config.popcount(), sel.bottom_config.popcount());
+    // 2. Margin is the margin of the returned configurations.
+    EXPECT_NEAR(sel.margin,
+                configured_margin(sel.top_config, sel.bottom_config, top, bottom), 1e-9);
+    // 3. Bit is the margin sign.
+    EXPECT_EQ(sel.bit, sel.margin > 0.0);
+    // 4. Margin dominates the traditional (all-selected) comparison.
+    double traditional = 0.0;
+    for (std::size_t i = 0; i < n; ++i) traditional += top[i] - bottom[i];
+    EXPECT_GE(std::fabs(sel.margin) + 1e-9, std::fabs(traditional));
+    // 5. Bounds. Any margin is at most the total mass of both sides; the
+    //    same-index bound sum|top_i - bottom_i| applies to Case-1 only
+    //    (Case-2 may pair different indices and exceed it).
+    double mass = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mass += std::fabs(top[i]) + std::fabs(bottom[i]);
+    EXPECT_LE(std::fabs(sel.margin), mass + 1e-9);
+    if (mode == SelectionCase::kSameConfig) {
+      double total_abs = 0.0;
+      for (std::size_t i = 0; i < n; ++i) total_abs += std::fabs(top[i] - bottom[i]);
+      EXPECT_LE(std::fabs(sel.margin), total_abs + 1e-9);
+      EXPECT_GE(std::fabs(sel.margin) + 1e-9, total_abs / 2.0);
+      EXPECT_EQ(sel.top_config, sel.bottom_config);
+    }
+  }
+}
+
+TEST_P(SelectionSweep, ScaleInvariance) {
+  // Scaling every value by a positive constant scales the margin and keeps
+  // the configurations (delay units are arbitrary).
+  const auto [n, mode, sigma] = GetParam();
+  Rng rng(2000 + n);
+  std::vector<double> top(n), bottom(n);
+  for (auto& v : top) v = rng.gaussian(0.0, sigma);
+  for (auto& v : bottom) v = rng.gaussian(0.0, sigma);
+  const Selection base = select(mode, top, bottom);
+
+  std::vector<double> top_scaled = top, bottom_scaled = bottom;
+  for (auto& v : top_scaled) v *= 3.5;
+  for (auto& v : bottom_scaled) v *= 3.5;
+  const Selection scaled = select(mode, top_scaled, bottom_scaled);
+  EXPECT_EQ(scaled.top_config, base.top_config);
+  EXPECT_EQ(scaled.bottom_config, base.bottom_config);
+  EXPECT_NEAR(scaled.margin, base.margin * 3.5, 1e-9);
+}
+
+TEST_P(SelectionSweep, SwapAntisymmetry) {
+  // Swapping the two ROs negates the margin and flips the bit (and swaps
+  // the configurations).
+  const auto [n, mode, sigma] = GetParam();
+  Rng rng(3000 + n);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> top(n), bottom(n);
+    for (auto& v : top) v = rng.gaussian(0.0, sigma);
+    for (auto& v : bottom) v = rng.gaussian(0.0, sigma);
+    const Selection forward = select(mode, top, bottom);
+    const Selection swapped = select(mode, bottom, top);
+    EXPECT_NEAR(swapped.margin, -forward.margin, 1e-9);
+    EXPECT_EQ(swapped.top_config, forward.bottom_config);
+    EXPECT_EQ(swapped.bottom_config, forward.top_config);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLengthsAndCases, SelectionSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 7, 9, 13, 15, 31),
+                       ::testing::Values(SelectionCase::kSameConfig,
+                                         SelectionCase::kIndependent),
+                       ::testing::Values(1.0, 10.0)),
+    [](const ::testing::TestParamInfo<SelectionParams>& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) +
+             (std::get<1>(param_info.param) == SelectionCase::kSameConfig ? "_case1" : "_case2") +
+             "_sigma" + std::to_string(static_cast<int>(std::get<2>(param_info.param)));
+    });
+
+// Physical-delay regime: positive-mean values (raw ddiffs, the IV.E
+// setting) must preserve the optimality of both greedy algorithms.
+class PhysicalSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PhysicalSweep, GreedyMatchesOracleOnPositiveDelays) {
+  const std::size_t n = GetParam();
+  Rng rng(9000 + n);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<double> top(n), bottom(n);
+    for (auto& v : top) v = rng.gaussian(1050.0, 12.0);
+    for (auto& v : bottom) v = rng.gaussian(1050.0, 12.0);
+
+    const Selection c1 = select_case1(top, bottom);
+    const Selection c1_oracle = select_exhaustive_case1(top, bottom);
+    EXPECT_NEAR(std::fabs(c1.margin), std::fabs(c1_oracle.margin), 1e-9);
+
+    if (n <= 8) {
+      const Selection c2 = select_case2(top, bottom);
+      const Selection c2_oracle = select_exhaustive_case2(top, bottom);
+      EXPECT_NEAR(std::fabs(c2.margin), std::fabs(c2_oracle.margin), 1e-9);
+    }
+  }
+}
+
+TEST_P(PhysicalSweep, ShiftEquivarianceOfCase2) {
+  // Adding the same constant to every unit of both ROs leaves Case-2's
+  // margin unchanged (equal popcount makes the shifts cancel).
+  const std::size_t n = GetParam();
+  Rng rng(9100 + n);
+  std::vector<double> top(n), bottom(n);
+  for (auto& v : top) v = rng.gaussian(0.0, 10.0);
+  for (auto& v : bottom) v = rng.gaussian(0.0, 10.0);
+  const Selection base = select_case2(top, bottom);
+  for (auto& v : top) v += 1050.0;
+  for (auto& v : bottom) v += 1050.0;
+  const Selection shifted = select_case2(top, bottom);
+  EXPECT_NEAR(std::fabs(shifted.margin), std::fabs(base.margin), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PositiveDelays, PhysicalSweep,
+                         ::testing::Values(3, 5, 7, 8, 13),
+                         [](const ::testing::TestParamInfo<std::size_t>& param_info) {
+                           return "n" + std::to_string(param_info.param);
+                         });
+
+// ------------------------------------------------------------------- layout
+
+class LayoutSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LayoutSweep, PaperYieldRuleAndSchemeConsistency) {
+  const std::size_t n = GetParam();
+  const BoardLayout layout = paper_layout(n);
+  // Yield rule from DESIGN.md: 8 * floor(512 / 16n).
+  EXPECT_EQ(layout.pair_count, 8 * (512 / (16 * n)));
+  EXPECT_LE(layout.units_required(), 512u);
+  EXPECT_EQ(one_of_eight_bits(layout), layout.pair_count / 4);
+
+  // Generate and cross-check all schemes on one random board.
+  Rng rng(4000 + n);
+  std::vector<double> values(512);
+  for (auto& v : values) v = rng.gaussian(1050.0, 12.0);
+
+  const TraditionalResult trad = traditional_respond(values, layout);
+  EXPECT_EQ(trad.response.size(), layout.pair_count);
+  const auto conf = configurable_enroll(values, layout, SelectionCase::kIndependent);
+  EXPECT_EQ(conf.response().size(), layout.pair_count);
+  for (std::size_t p = 0; p < layout.pair_count; ++p) {
+    EXPECT_GE(std::fabs(conf.selections[p].margin) + 1e-9, std::fabs(trad.margins[p]));
+  }
+  const auto one8 = one_of_eight_enroll(values, layout);
+  EXPECT_EQ(one_of_eight_respond(values, one8).size(), layout.pair_count / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperStageCounts, LayoutSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 16, 32),
+                         [](const ::testing::TestParamInfo<std::size_t>& param_info) {
+                           return "n" + std::to_string(param_info.param);
+                         });
+
+// ------------------------------------------------------- threshold monotone
+
+class ThresholdSweepProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThresholdSweepProperty, ConfigurableYieldDominatesAtEveryThreshold) {
+  const std::size_t n = GetParam();
+  Rng rng(5000 + n);
+  const BoardLayout layout{n, 24};
+  std::vector<double> values(layout.units_required());
+  for (auto& v : values) v = rng.gaussian(0.0, 10.0);
+  const auto conf = configurable_enroll(values, layout, SelectionCase::kSameConfig);
+
+  for (double rth = 0.0; rth <= 80.0; rth += 4.0) {
+    const ThresholdResult trad = threshold_respond(values, layout, rth);
+    std::size_t conf_reliable = 0;
+    for (const bool ok : configurable_reliable_mask(conf, rth)) {
+      if (ok) ++conf_reliable;
+    }
+    EXPECT_GE(conf_reliable, trad.reliable_count) << "n=" << n << " rth=" << rth;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StageCounts, ThresholdSweepProperty,
+                         ::testing::Values(3, 5, 7, 9, 13),
+                         [](const ::testing::TestParamInfo<std::size_t>& param_info) {
+                           return "n" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace ropuf::puf

@@ -1,0 +1,266 @@
+#include "puf/chip_puf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "silicon/fabrication.h"
+
+namespace ropuf::puf {
+namespace {
+
+sil::Chip test_chip(std::uint64_t seed = 50) {
+  sil::Fab fab(sil::ProcessParams{}, seed);
+  return fab.fabricate(16, 16);  // 256 units
+}
+
+DeviceSpec small_spec() {
+  DeviceSpec spec;
+  spec.stages = 5;
+  spec.pair_count = 16;  // 160 of 256 units
+  return spec;
+}
+
+TEST(Device, RequiresEnrollmentBeforeUse) {
+  Rng rng(1);
+  const sil::Chip chip = test_chip();
+  ConfigurableRoPufDevice device(&chip, small_spec(), rng);
+  EXPECT_FALSE(device.enrolled());
+  EXPECT_THROW(device.enrolled_response(), ropuf::Error);
+  EXPECT_THROW(device.respond(sil::nominal_op(), rng), ropuf::Error);
+  EXPECT_THROW(device.selections(), ropuf::Error);
+  EXPECT_THROW(device.reliable_mask(1.0), ropuf::Error);
+}
+
+TEST(Device, RejectsOversubscribedChip) {
+  Rng rng(2);
+  const sil::Chip chip = test_chip();
+  DeviceSpec spec = small_spec();
+  spec.pair_count = 30;  // needs 300 > 256 units
+  EXPECT_THROW(ConfigurableRoPufDevice(&chip, spec, rng), ropuf::Error);
+}
+
+TEST(Device, FieldResponseAtEnrollmentCornerIsStable) {
+  Rng rng(3);
+  const sil::Chip chip = test_chip();
+  ConfigurableRoPufDevice device(&chip, small_spec(), rng);
+  device.enroll(sil::nominal_op(), rng);
+  const BitVec reference = device.enrolled_response();
+  ASSERT_EQ(reference.size(), 16u);
+  for (int trial = 0; trial < 5; ++trial) {
+    const BitVec field = device.respond(sil::nominal_op(), rng);
+    EXPECT_LE(field.hamming_distance(reference), 1u) << "trial " << trial;
+  }
+}
+
+TEST(Device, SelectionsRespectModeInvariants) {
+  Rng rng(4);
+  const sil::Chip chip = test_chip();
+  for (const auto mode : {SelectionCase::kSameConfig, SelectionCase::kIndependent}) {
+    DeviceSpec spec = small_spec();
+    spec.mode = mode;
+    ConfigurableRoPufDevice device(&chip, spec, rng);
+    device.enroll(sil::nominal_op(), rng);
+    for (const Selection& sel : device.selections()) {
+      EXPECT_EQ(sel.top_config.popcount(), sel.bottom_config.popcount());
+      if (mode == SelectionCase::kSameConfig) {
+        EXPECT_EQ(sel.top_config, sel.bottom_config);
+      }
+    }
+  }
+}
+
+TEST(Device, TraditionalResponseUsesAllInverters) {
+  Rng rng(5);
+  const sil::Chip chip = test_chip();
+  ConfigurableRoPufDevice device(&chip, small_spec(), rng);
+  const auto trad = device.traditional_response(sil::nominal_op(), rng);
+  ASSERT_EQ(trad.response.size(), 16u);
+  ASSERT_EQ(trad.margins_ps.size(), 16u);
+  for (std::size_t p = 0; p < 16; ++p) {
+    EXPECT_EQ(trad.response.get(p), trad.margins_ps[p] > 0.0);
+  }
+}
+
+TEST(Device, ConfigurableMarginsBeatTraditional) {
+  Rng rng(6);
+  const sil::Chip chip = test_chip();
+  ConfigurableRoPufDevice device(&chip, small_spec(), rng);
+  device.enroll(sil::nominal_op(), rng);
+  const auto trad = device.traditional_response(sil::nominal_op(), rng);
+  double conf_total = 0.0, trad_total = 0.0;
+  for (std::size_t p = 0; p < 16; ++p) {
+    conf_total += std::fabs(device.selections()[p].margin);
+    trad_total += std::fabs(trad.margins_ps[p]);
+  }
+  EXPECT_GT(conf_total, trad_total);
+}
+
+TEST(Device, MoreReliableThanTraditionalAcrossVoltage) {
+  // Enroll at nominal; flip-count both schemes across every non-nominal VT
+  // voltage and several chips, and require the configurable PUF to win in
+  // aggregate (the paper's Fig. 4 ordering).
+  std::size_t trad_flips = 0, conf_flips = 0;
+  for (const std::uint64_t seed : {99u, 100u, 101u}) {
+    Rng rng(7 + seed);
+    const sil::Chip chip = test_chip(seed);
+    DeviceSpec spec = small_spec();
+    spec.pair_count = 25;  // 250 of 256 units
+    ConfigurableRoPufDevice device(&chip, spec, rng);
+    device.enroll(sil::nominal_op(), rng);
+
+    const auto trad_base = device.traditional_response(sil::nominal_op(), rng);
+    const BitVec conf_base = device.enrolled_response();
+    for (const double v : sil::vt_voltages()) {
+      if (v == sil::nominal_op().voltage_v) continue;
+      const sil::OperatingPoint stress{v, 25.0};
+      trad_flips += trad_base.response.hamming_distance(
+          device.traditional_response(stress, rng).response);
+      conf_flips += conf_base.hamming_distance(device.respond(stress, rng));
+    }
+  }
+  EXPECT_LT(conf_flips, trad_flips);
+}
+
+TEST(Device, ReliableMaskThresholdsEnrollmentMargin) {
+  Rng rng(8);
+  const sil::Chip chip = test_chip();
+  ConfigurableRoPufDevice device(&chip, small_spec(), rng);
+  device.enroll(sil::nominal_op(), rng);
+  const auto mask0 = device.reliable_mask(0.0);
+  for (const bool b : mask0) EXPECT_TRUE(b);
+  const auto mask_huge = device.reliable_mask(1e9);
+  for (const bool b : mask_huge) EXPECT_FALSE(b);
+}
+
+TEST(Device, DistillationPathProducesValidEnrollment) {
+  Rng rng(9);
+  const sil::Chip chip = test_chip();
+  DeviceSpec spec = small_spec();
+  spec.distill = true;
+  spec.distiller_degree = 2;
+  ConfigurableRoPufDevice device(&chip, spec, rng);
+  device.enroll(sil::nominal_op(), rng);
+  EXPECT_TRUE(device.enrolled());
+  EXPECT_EQ(device.enrolled_response().size(), 16u);
+  // Field evaluation still works (configs are valid BitVecs of stage arity).
+  const BitVec field = device.respond(sil::nominal_op(), rng);
+  EXPECT_EQ(field.size(), 16u);
+}
+
+TEST(Device, DistilledResponsesAreUniqueAcrossChips) {
+  // Without distillation the fleet-shared systematic trend correlates the
+  // bits of different chips; with it, inter-chip HD must sit near 50%.
+  sil::Fab fab(sil::ProcessParams{}, 7);
+  DeviceSpec spec = small_spec();
+  spec.pair_count = 25;
+  spec.distill = true;
+  Rng rng(42);
+
+  std::vector<BitVec> responses;
+  std::vector<sil::Chip> chips;
+  for (int c = 0; c < 6; ++c) chips.push_back(fab.fabricate(16, 16));
+  for (const sil::Chip& chip : chips) {
+    ConfigurableRoPufDevice device(&chip, spec, rng);
+    device.enroll(sil::nominal_op(), rng);
+    responses.push_back(device.enrolled_response());
+  }
+  double total_hd = 0.0;
+  int pairs = 0;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    for (std::size_t j = i + 1; j < responses.size(); ++j) {
+      total_hd += static_cast<double>(responses[i].hamming_distance(responses[j]));
+      ++pairs;
+    }
+  }
+  const double mean_hd = total_hd / pairs;
+  EXPECT_GT(mean_hd, 0.35 * 25.0);
+  EXPECT_LT(mean_hd, 0.65 * 25.0);
+}
+
+TEST(Device, HelperOffsetsAreZeroWithoutDistillation) {
+  Rng rng(43);
+  const sil::Chip chip = test_chip();
+  ConfigurableRoPufDevice device(&chip, small_spec(), rng);
+  device.enroll(sil::nominal_op(), rng);
+  for (const PairHelperData& h : device.helper_data()) {
+    EXPECT_DOUBLE_EQ(h.offset_ps, 0.0);
+  }
+}
+
+TEST(Device, DistilledFieldResponseStillStableAtEnrollmentCorner) {
+  Rng rng(44);
+  const sil::Chip chip = test_chip(321);
+  DeviceSpec spec = small_spec();
+  spec.distill = true;
+  ConfigurableRoPufDevice device(&chip, spec, rng);
+  device.enroll(sil::nominal_op(), rng);
+  const BitVec reference = device.enrolled_response();
+  for (int trial = 0; trial < 5; ++trial) {
+    EXPECT_LE(device.respond(sil::nominal_op(), rng).hamming_distance(reference), 1u);
+  }
+}
+
+TEST(Device, VotedResponseAtLeastAsStableAsSingleShot) {
+  // With a deliberately noisy counter, 5-way voting must not increase the
+  // distance to the enrolled reference across repeated readouts.
+  Rng rng(55);
+  const sil::Chip chip = test_chip(777);
+  DeviceSpec spec = small_spec();
+  spec.counter.jitter_sigma_rel = 3e-4;
+  spec.counter.gate_time_s = 1e-4;
+  ConfigurableRoPufDevice device(&chip, spec, rng);
+  device.enroll(sil::nominal_op(), rng);
+  const BitVec reference = device.enrolled_response();
+
+  std::size_t single = 0, voted = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    single += device.respond(sil::nominal_op(), rng).hamming_distance(reference);
+    voted += device.respond_voted(sil::nominal_op(), rng, 5).hamming_distance(reference);
+  }
+  EXPECT_LE(voted, single);
+}
+
+TEST(Device, VotedResponseRejectsEvenVoteCounts) {
+  Rng rng(56);
+  const sil::Chip chip = test_chip();
+  ConfigurableRoPufDevice device(&chip, small_spec(), rng);
+  device.enroll(sil::nominal_op(), rng);
+  EXPECT_THROW(device.respond_voted(sil::nominal_op(), rng, 4), ropuf::Error);
+  EXPECT_THROW(device.respond_voted(sil::nominal_op(), rng, 0), ropuf::Error);
+}
+
+TEST(Device, AveragedEnrollmentImprovesMarginEstimate) {
+  // With a noisy counter, 8x measurement averaging should not make the
+  // realized (true-value) margins worse on average.
+  const sil::Chip chip = test_chip(123);
+  DeviceSpec noisy = small_spec();
+  noisy.counter.jitter_sigma_rel = 5e-4;
+  noisy.counter.gate_time_s = 1e-4;
+
+  auto total_true_margin = [&](int reps, std::uint64_t seed) {
+    DeviceSpec spec = noisy;
+    spec.measurement_repetitions = reps;
+    Rng rng(seed);
+    ConfigurableRoPufDevice device(&chip, spec, rng);
+    device.enroll(sil::nominal_op(), rng);
+    // Evaluate each stored config against *true* ddiffs (no noise).
+    double total = 0.0;
+    const auto& sels = device.selections();
+    const auto pairs =
+        ro::make_ro_pairs(chip, spec.stages, spec.pair_count, spec.placement);
+    for (std::size_t p = 0; p < sels.size(); ++p) {
+      const auto true_top = pairs[p].first.true_ddiffs_ps(sil::nominal_op());
+      const auto true_bottom = pairs[p].second.true_ddiffs_ps(sil::nominal_op());
+      total += std::fabs(configured_margin(sels[p].top_config, sels[p].bottom_config,
+                                           true_top, true_bottom));
+    }
+    return total;
+  };
+
+  EXPECT_GE(total_true_margin(8, 1000) * 1.05, total_true_margin(1, 2000));
+}
+
+}  // namespace
+}  // namespace ropuf::puf

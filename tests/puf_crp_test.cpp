@@ -1,0 +1,114 @@
+#include "puf/crp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf::puf {
+namespace {
+
+ConfigurableEnrollment sample_enrollment(std::uint64_t seed, std::size_t pairs = 16) {
+  Rng rng(seed);
+  const BoardLayout layout{5, pairs};
+  std::vector<double> values(layout.units_required());
+  for (auto& v : values) v = rng.gaussian(0.0, 10.0);
+  return configurable_enroll(values, layout, SelectionCase::kIndependent);
+}
+
+TEST(ChallengeToPairs, DeterministicAndWithoutReplacement) {
+  const auto a = challenge_to_pairs(0xdeadbeef, 32, 16);
+  const auto b = challenge_to_pairs(0xdeadbeef, 32, 16);
+  EXPECT_EQ(a, b);
+  const std::set<std::size_t> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), a.size());
+  for (const std::size_t p : a) EXPECT_LT(p, 32u);
+}
+
+TEST(ChallengeToPairs, DifferentChallengesDiverge) {
+  const auto a = challenge_to_pairs(1, 32, 16);
+  const auto b = challenge_to_pairs(2, 32, 16);
+  EXPECT_NE(a, b);
+}
+
+TEST(ChallengeToPairs, CoversAllPairsAcrossChallenges) {
+  std::set<std::size_t> seen;
+  for (std::uint64_t c = 0; c < 64; ++c) {
+    for (const std::size_t p : challenge_to_pairs(c, 16, 4)) seen.insert(p);
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(ChallengeToPairs, RejectsBadLengths) {
+  EXPECT_THROW(challenge_to_pairs(1, 0, 1), ropuf::Error);
+  EXPECT_THROW(challenge_to_pairs(1, 8, 0), ropuf::Error);
+  EXPECT_THROW(challenge_to_pairs(1, 8, 9), ropuf::Error);
+}
+
+TEST(CrpOracle, ReferenceMatchesEnrollmentBits) {
+  const auto enrollment = sample_enrollment(1);
+  const CrpOracle oracle(&enrollment, 8);
+  const BitVec reference = oracle.reference(42);
+  const auto pairs = challenge_to_pairs(42, enrollment.selections.size(), 8);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(reference.get(i), enrollment.selections[pairs[i]].bit);
+  }
+}
+
+TEST(CrpOracle, RespondMatchesReferenceOnEnrollmentData) {
+  // Re-measuring the exact enrollment values must reproduce the reference.
+  Rng rng(2);
+  const BoardLayout layout{5, 16};
+  std::vector<double> values(layout.units_required());
+  for (auto& v : values) v = rng.gaussian(0.0, 10.0);
+  const auto enrollment = configurable_enroll(values, layout, SelectionCase::kIndependent);
+  const CrpOracle oracle(&enrollment, 12);
+  for (std::uint64_t challenge = 0; challenge < 20; ++challenge) {
+    EXPECT_EQ(oracle.respond(challenge, values), oracle.reference(challenge));
+  }
+}
+
+TEST(CrpOracle, SmallPerturbationKeepsResponsesStable) {
+  Rng rng(3);
+  const BoardLayout layout{7, 16};
+  std::vector<double> values(layout.units_required());
+  for (auto& v : values) v = rng.gaussian(0.0, 10.0);
+  const auto enrollment = configurable_enroll(values, layout, SelectionCase::kIndependent);
+  const CrpOracle oracle(&enrollment, 16);
+
+  auto perturbed = values;
+  for (auto& v : perturbed) v += rng.gaussian(0.0, 1.0);
+  std::size_t flips = 0;
+  for (std::uint64_t challenge = 0; challenge < 16; ++challenge) {
+    flips += oracle.respond(challenge, perturbed)
+                 .hamming_distance(oracle.reference(challenge));
+  }
+  EXPECT_LE(flips, 8u);  // 256 bits total; margins dwarf the noise
+}
+
+TEST(CrpOracle, DifferentChipsDisagreeOnChallenges) {
+  const auto chip_a = sample_enrollment(10);
+  const auto chip_b = sample_enrollment(11);
+  const CrpOracle oracle_a(&chip_a, 16);
+  const CrpOracle oracle_b(&chip_b, 16);
+  std::size_t total_hd = 0;
+  for (std::uint64_t challenge = 0; challenge < 32; ++challenge) {
+    total_hd += oracle_a.reference(challenge).hamming_distance(
+        oracle_b.reference(challenge));
+  }
+  // 512 compared bits, expect ~50%.
+  EXPECT_GT(total_hd, 180u);
+  EXPECT_LT(total_hd, 330u);
+}
+
+TEST(CrpOracle, RejectsDegenerateConstruction) {
+  const auto enrollment = sample_enrollment(4);
+  EXPECT_THROW(CrpOracle(nullptr, 4), ropuf::Error);
+  EXPECT_THROW(CrpOracle(&enrollment, 0), ropuf::Error);
+  EXPECT_THROW(CrpOracle(&enrollment, 17), ropuf::Error);
+}
+
+}  // namespace
+}  // namespace ropuf::puf

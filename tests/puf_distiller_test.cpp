@@ -1,0 +1,136 @@
+#include "puf/distiller.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "puf/measurement.h"
+#include "silicon/fabrication.h"
+
+namespace ropuf::puf {
+namespace {
+
+TEST(Distiller, RemovesExactPolynomialTrend) {
+  // Values that are *purely* a smooth surface must distill to ~zero.
+  RegressionDistiller distiller(2);
+  std::vector<double> values;
+  std::vector<sil::DieLocation> locations;
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      const double x = i / 11.0, y = j / 11.0;
+      locations.push_back({x, y});
+      values.push_back(3.0 + 2.0 * x - y + 0.5 * x * x - 0.25 * x * y);
+    }
+  }
+  const auto residual = distiller.distill(values, locations);
+  for (const double r : residual) EXPECT_NEAR(r, 0.0, 1e-9);
+}
+
+TEST(Distiller, PreservesZeroMeanNoise) {
+  // Trend + noise must distill to ~noise: the residual correlates with the
+  // injected noise, not with the trend.
+  Rng rng(1);
+  RegressionDistiller distiller(2);
+  std::vector<double> values, noise;
+  std::vector<sil::DieLocation> locations;
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      const double x = i / 19.0, y = j / 19.0;
+      const double eps = rng.gaussian(0.0, 1.0);
+      locations.push_back({x, y});
+      noise.push_back(eps);
+      values.push_back(100.0 + 30.0 * x - 20.0 * y + 10.0 * x * y + eps);
+    }
+  }
+  const auto residual = distiller.distill(values, locations);
+  double err = 0.0;
+  for (std::size_t k = 0; k < residual.size(); ++k) {
+    err += (residual[k] - noise[k]) * (residual[k] - noise[k]);
+  }
+  // Average squared deviation from the true noise is far below noise power.
+  EXPECT_LT(err / static_cast<double>(residual.size()), 0.1);
+}
+
+TEST(Distiller, DegreeZeroSubtractsMean) {
+  RegressionDistiller distiller(0);
+  const std::vector<double> values{1.0, 2.0, 3.0, 6.0};
+  const std::vector<sil::DieLocation> locations{{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const auto residual = distiller.distill(values, locations);
+  EXPECT_NEAR(residual[0], -2.0, 1e-12);
+  EXPECT_NEAR(residual[3], 3.0, 1e-12);
+}
+
+TEST(Distiller, ResidualsSumToApproxZero) {
+  Rng rng(2);
+  RegressionDistiller distiller(3);
+  std::vector<double> values;
+  std::vector<sil::DieLocation> locations;
+  for (int k = 0; k < 200; ++k) {
+    locations.push_back({rng.uniform(), rng.uniform()});
+    values.push_back(rng.gaussian(50.0, 5.0));
+  }
+  const auto residual = distiller.distill(values, locations);
+  double sum = 0.0;
+  for (const double r : residual) sum += r;
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+}
+
+TEST(Distiller, SizeMismatchThrows) {
+  RegressionDistiller distiller(1);
+  EXPECT_THROW(distiller.distill({1.0, 2.0}, {{0, 0}}), ropuf::Error);
+  EXPECT_THROW(distiller.distill({}, {}), ropuf::Error);
+}
+
+TEST(Distiller, DistillChipShrinksCrossChipCorrelation) {
+  // The headline property: with a strong common systematic trend, raw unit
+  // values of two chips correlate; distilled values do not.
+  sil::ProcessParams process;
+  process.common_systematic_amp = 0.04;
+  process.chip_systematic_amp = 0.0;
+  process.random_sigma_rel = 0.004;
+  sil::Fab fab(process, 33);
+  const sil::Chip a = fab.fabricate(16, 16);
+  const sil::Chip b = fab.fabricate(16, 16);
+
+  Rng rng(4);
+  const UnitMeasurementSpec meas{0.0};
+  const auto raw_a = measure_unit_ddiffs(a, sil::nominal_op(), meas, rng);
+  const auto raw_b = measure_unit_ddiffs(b, sil::nominal_op(), meas, rng);
+
+  auto correlation = [](const std::vector<double>& u, const std::vector<double>& v) {
+    const double n = static_cast<double>(u.size());
+    double mu = 0.0, mv = 0.0;
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      mu += u[i];
+      mv += v[i];
+    }
+    mu /= n;
+    mv /= n;
+    double suv = 0.0, suu = 0.0, svv = 0.0;
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      suv += (u[i] - mu) * (v[i] - mv);
+      suu += (u[i] - mu) * (u[i] - mu);
+      svv += (v[i] - mv) * (v[i] - mv);
+    }
+    return suv / std::sqrt(suu * svv);
+  };
+
+  RegressionDistiller distiller(2);
+  const auto distilled_a = distiller.distill_chip(a, raw_a);
+  const auto distilled_b = distiller.distill_chip(b, raw_b);
+
+  EXPECT_GT(correlation(raw_a, raw_b), 0.3);
+  EXPECT_LT(std::fabs(correlation(distilled_a, distilled_b)), 0.15);
+}
+
+TEST(Distiller, DistillChipRequiresOneValuePerUnit) {
+  sil::Fab fab(sil::ProcessParams{}, 1);
+  const sil::Chip chip = fab.fabricate(4, 4);
+  RegressionDistiller distiller(1);
+  EXPECT_THROW(distiller.distill_chip(chip, std::vector<double>(5, 0.0)), ropuf::Error);
+}
+
+}  // namespace
+}  // namespace ropuf::puf

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "puf/kary_configurable.h"
+#include "puf/majority.h"
+#include "puf/maiti_schaumont.h"
+
+namespace ropuf::puf {
+namespace {
+
+// ----------------------------------------------------------- majority vote
+
+TEST(MajorityVote, PerPositionMajorityWins) {
+  const std::vector<BitVec> samples{
+      BitVec::from_string("1100"),
+      BitVec::from_string("1010"),
+      BitVec::from_string("1001"),
+  };
+  EXPECT_EQ(majority_vote(samples).to_string(), "1000");
+}
+
+TEST(MajorityVote, SingleSampleIsIdentity) {
+  const BitVec sample = BitVec::from_string("01101");
+  EXPECT_EQ(majority_vote({sample}), sample);
+}
+
+TEST(MajorityVote, SuppressesSparseNoise) {
+  Rng rng(1);
+  BitVec truth(200);
+  for (std::size_t i = 0; i < 200; ++i) truth.set(i, rng.flip());
+  std::vector<BitVec> samples;
+  for (int s = 0; s < 9; ++s) {
+    BitVec noisy = truth;
+    for (std::size_t i = 0; i < noisy.size(); ++i) {
+      if (rng.uniform() < 0.08) noisy.set(i, !noisy.get(i));
+    }
+    samples.push_back(noisy);
+  }
+  // P(>=5 of 9 flips at 8%) ~ 2e-5 per bit; expect an exact match here.
+  EXPECT_LE(majority_vote(samples).hamming_distance(truth), 1u);
+}
+
+TEST(MajorityVote, RejectsDegenerateInputs) {
+  EXPECT_THROW(majority_vote({}), ropuf::Error);
+  EXPECT_THROW(majority_vote({BitVec(4), BitVec(4)}), ropuf::Error);  // even count
+  EXPECT_THROW(majority_vote({BitVec(4), BitVec(5), BitVec(4)}), ropuf::Error);
+  EXPECT_THROW(majority_vote({BitVec()}), ropuf::Error);
+}
+
+// ------------------------------------------------------------------ K-ary
+
+KaryPair random_kary(Rng& rng, std::size_t stages, std::size_t options) {
+  KaryPair pair;
+  pair.top.resize(stages);
+  pair.bottom.resize(stages);
+  for (std::size_t s = 0; s < stages; ++s) {
+    for (std::size_t k = 0; k < options; ++k) {
+      pair.top[s].push_back(rng.gaussian(0.0, 10.0));
+      pair.bottom[s].push_back(rng.gaussian(0.0, 10.0));
+    }
+  }
+  return pair;
+}
+
+TEST(KarySelect, HandComputedTwoStage) {
+  KaryPair pair;
+  pair.top = {{1, 5, 3}, {2, 0, 4}};
+  pair.bottom = {{0, 1, 0}, {1, 1, 1}};
+  // Deltas: stage0 {1, 4, 3}, stage1 {1, -1, 3}: positive best 4+3 = 7.
+  const KarySelection sel = kary_select(pair);
+  EXPECT_EQ(sel.option, (std::vector<std::size_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(sel.margin, 7.0);
+  EXPECT_TRUE(sel.bit);
+}
+
+TEST(KarySelect, MatchesExhaustiveEnumeration) {
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t stages = 1 + rng.uniform_below(4);
+    const std::size_t options = 2 + rng.uniform_below(3);
+    const KaryPair pair = random_kary(rng, stages, options);
+    const KarySelection greedy = kary_select(pair);
+
+    // Exhaustive over options^stages assignments.
+    double best = -1.0;
+    std::vector<std::size_t> assignment(stages, 0);
+    while (true) {
+      best = std::max(best, std::fabs(kary_margin(pair, assignment)));
+      std::size_t s = 0;
+      while (s < stages && ++assignment[s] == options) {
+        assignment[s] = 0;
+        ++s;
+      }
+      if (s == stages) break;
+    }
+    EXPECT_NEAR(std::fabs(greedy.margin), best, 1e-9);
+  }
+}
+
+TEST(KarySelect, BinaryCaseAgreesWithMaitiSchaumont) {
+  // K = 2 reduces exactly to the MS scheme.
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const KaryPair kary = random_kary(rng, 5, 2);
+    MsPair ms;
+    ms.top.resize(5);
+    ms.bottom.resize(5);
+    for (std::size_t s = 0; s < 5; ++s) {
+      ms.top[s] = MsStage{kary.top[s][0], kary.top[s][1]};
+      ms.bottom[s] = MsStage{kary.bottom[s][0], kary.bottom[s][1]};
+    }
+    EXPECT_NEAR(std::fabs(kary_select(kary).margin),
+                std::fabs(ms_select_greedy(ms).margin), 1e-9);
+  }
+}
+
+TEST(KarySelect, MoreOptionsNeverHurt) {
+  // Adding options per stage can only grow the achievable margin.
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const KaryPair big = random_kary(rng, 4, 6);
+    KaryPair small = big;
+    for (auto& stage : small.top) stage.resize(3);
+    for (auto& stage : small.bottom) stage.resize(3);
+    EXPECT_GE(std::fabs(kary_select(big).margin) + 1e-9,
+              std::fabs(kary_select(small).margin));
+  }
+}
+
+TEST(KaryPairsFromUnits, LayoutAndValidation) {
+  std::vector<double> units(24);
+  for (std::size_t i = 0; i < units.size(); ++i) units[i] = static_cast<double>(i);
+  const auto pairs = kary_pairs_from_units(units, 2, 3, 2);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].top[0], (std::vector<double>{0, 1, 2}));
+  EXPECT_EQ(pairs[0].bottom[1], (std::vector<double>{9, 10, 11}));
+  EXPECT_EQ(pairs[1].top[0], (std::vector<double>{12, 13, 14}));
+  EXPECT_THROW(kary_pairs_from_units(units, 3, 3, 2), ropuf::Error);
+}
+
+TEST(KaryMargin, RejectsMalformedInputs) {
+  Rng rng(5);
+  const KaryPair pair = random_kary(rng, 3, 2);
+  EXPECT_THROW(kary_margin(pair, {0, 1}), ropuf::Error);       // arity
+  EXPECT_THROW(kary_margin(pair, {0, 1, 5}), ropuf::Error);    // option range
+}
+
+}  // namespace
+}  // namespace ropuf::puf

@@ -1,0 +1,210 @@
+#include "puf/schemes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf::puf {
+namespace {
+
+std::vector<double> random_board(Rng& rng, const BoardLayout& layout, double sigma = 10.0) {
+  std::vector<double> v(layout.units_required());
+  for (auto& x : v) x = rng.gaussian(0.0, sigma);
+  return v;
+}
+
+TEST(BoardLayout, UnitIndexingIsAdjacentAndDisjoint) {
+  const BoardLayout layout{3, 4};
+  EXPECT_EQ(layout.units_required(), 24u);
+  EXPECT_EQ(layout.ro_count(), 8u);
+  EXPECT_EQ(layout.top_unit(0, 0), 0u);
+  EXPECT_EQ(layout.top_unit(0, 2), 2u);
+  EXPECT_EQ(layout.bottom_unit(0, 0), 3u);
+  EXPECT_EQ(layout.top_unit(1, 0), 6u);
+  EXPECT_EQ(layout.bottom_unit(3, 2), 23u);
+  EXPECT_THROW(layout.top_unit(4, 0), ropuf::Error);
+  EXPECT_THROW(layout.bottom_unit(0, 3), ropuf::Error);
+}
+
+TEST(PaperLayout, ReproducesTableVBitCounts) {
+  // Table V: configurable/traditional bits per board for n = 3/5/7/9.
+  EXPECT_EQ(paper_layout(3).pair_count, 80u);
+  EXPECT_EQ(paper_layout(5).pair_count, 48u);
+  EXPECT_EQ(paper_layout(7).pair_count, 32u);
+  EXPECT_EQ(paper_layout(9).pair_count, 24u);
+  // 1-out-of-8 row: exactly one quarter.
+  EXPECT_EQ(one_of_eight_bits(paper_layout(3)), 20u);
+  EXPECT_EQ(one_of_eight_bits(paper_layout(5)), 12u);
+  EXPECT_EQ(one_of_eight_bits(paper_layout(7)), 8u);
+  EXPECT_EQ(one_of_eight_bits(paper_layout(9)), 6u);
+}
+
+TEST(PaperLayout, SectionIVCUses16PairsOf15) {
+  const BoardLayout layout = paper_layout(15);
+  EXPECT_EQ(layout.pair_count, 16u);
+  EXPECT_EQ(layout.units_required(), 480u);
+}
+
+TEST(PaperLayout, RejectsImpossibleStageCounts) {
+  EXPECT_THROW(paper_layout(0), ropuf::Error);
+  EXPECT_THROW(paper_layout(40, 512), ropuf::Error);  // 16*40 > 512
+}
+
+TEST(PairValues, ExtractsTheRightSlices) {
+  const BoardLayout layout{2, 2};
+  const std::vector<double> values{0, 1, 2, 3, 4, 5, 6, 7};
+  const PairValues pv = pair_values(values, layout, 1);
+  EXPECT_EQ(pv.top, (std::vector<double>{4, 5}));
+  EXPECT_EQ(pv.bottom, (std::vector<double>{6, 7}));
+  EXPECT_THROW(pair_values(values, layout, 2), ropuf::Error);
+  EXPECT_THROW(pair_values({0, 1}, layout, 0), ropuf::Error);
+}
+
+TEST(Traditional, BitIsSignOfPairSumDifference) {
+  const BoardLayout layout{2, 2};
+  //            pair0 top  pair0 bot  pair1 top  pair1 bot
+  const std::vector<double> values{5, 5, 1, 1, 1, 1, 5, 5};
+  const TraditionalResult r = traditional_respond(values, layout);
+  EXPECT_TRUE(r.response.get(0));   // top slower by 8
+  EXPECT_FALSE(r.response.get(1));  // bottom slower by 8
+  EXPECT_DOUBLE_EQ(r.margins[0], 8.0);
+  EXPECT_DOUBLE_EQ(r.margins[1], -8.0);
+}
+
+TEST(Threshold, MasksSmallMargins) {
+  const BoardLayout layout{1, 3};
+  const std::vector<double> values{10, 0, 1, 0, 0, 7};  // margins +10, +1, -7
+  const ThresholdResult r = threshold_respond(values, layout, 5.0);
+  EXPECT_EQ(r.reliable_count, 2u);
+  EXPECT_TRUE(r.reliable[0]);
+  EXPECT_FALSE(r.reliable[1]);
+  EXPECT_TRUE(r.reliable[2]);
+}
+
+TEST(Threshold, ZeroThresholdKeepsEverything) {
+  Rng rng(1);
+  const BoardLayout layout{5, 8};
+  const auto values = random_board(rng, layout);
+  EXPECT_EQ(threshold_respond(values, layout, 0.0).reliable_count, 8u);
+}
+
+TEST(Threshold, MonotoneInRth) {
+  Rng rng(2);
+  const BoardLayout layout{5, 32};
+  const auto values = random_board(rng, layout);
+  std::size_t prev = layout.pair_count;
+  for (double rth = 0.0; rth <= 60.0; rth += 5.0) {
+    const std::size_t count = threshold_respond(values, layout, rth).reliable_count;
+    EXPECT_LE(count, prev);
+    prev = count;
+  }
+  EXPECT_LT(prev, layout.pair_count);  // a 60 ps threshold must bite
+}
+
+TEST(RoTotals, SumsStageValuesPerRo) {
+  const BoardLayout layout{2, 2};
+  const std::vector<double> values{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto totals = ro_totals(values, layout);
+  EXPECT_EQ(totals, (std::vector<double>{3, 7, 11, 15}));
+}
+
+TEST(OneOutOfEight, PicksExtremesOfEachGroup) {
+  // 4 pairs => 8 ROs => 1 group. Make RO 2 clearly slowest, RO 5 fastest.
+  const BoardLayout layout{1, 4};
+  std::vector<double> values{10, 11, 90, 12, 13, 1, 14, 15};
+  const auto enrollment = one_of_eight_enroll(values, layout);
+  ASSERT_EQ(enrollment.picks.size(), 1u);
+  EXPECT_EQ(enrollment.picks[0].first_ro, 2u);
+  EXPECT_EQ(enrollment.picks[0].second_ro, 5u);
+  const BitVec response = one_of_eight_respond(values, enrollment);
+  EXPECT_TRUE(response.get(0));  // RO2 (slow) value > RO5 (fast) value
+}
+
+TEST(OneOutOfEight, ResponseStableUnderSmallPerturbation) {
+  Rng rng(3);
+  const BoardLayout layout{5, 16};  // 32 ROs -> 4 bits
+  const auto values = random_board(rng, layout);
+  const auto enrollment = one_of_eight_enroll(values, layout);
+  const BitVec baseline = one_of_eight_respond(values, enrollment);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto perturbed = values;
+    for (auto& v : perturbed) v += rng.gaussian(0.0, 1.0);  // << max spread
+    EXPECT_EQ(one_of_eight_respond(perturbed, enrollment), baseline);
+  }
+}
+
+TEST(OneOutOfEight, YieldIsQuarterOfTraditional) {
+  const BoardLayout layout = paper_layout(5);
+  EXPECT_EQ(one_of_eight_bits(layout) * 4, layout.pair_count);
+}
+
+TEST(Configurable, EnrollmentResponseMatchesSelections) {
+  Rng rng(4);
+  const BoardLayout layout{7, 12};
+  const auto values = random_board(rng, layout);
+  for (const auto mode : {SelectionCase::kSameConfig, SelectionCase::kIndependent}) {
+    const auto enrollment = configurable_enroll(values, layout, mode);
+    ASSERT_EQ(enrollment.selections.size(), 12u);
+    const BitVec enrolled = enrollment.response();
+    // Re-evaluating against the same measurements must reproduce the bits.
+    EXPECT_EQ(configurable_respond(values, enrollment), enrolled);
+    // Margins accessor agrees with stored selections.
+    const auto margins = enrollment.margins();
+    for (std::size_t p = 0; p < 12; ++p) {
+      EXPECT_DOUBLE_EQ(margins[p], enrollment.selections[p].margin);
+    }
+  }
+}
+
+TEST(Configurable, MarginsDominateTraditional) {
+  Rng rng(5);
+  const BoardLayout layout{9, 20};
+  const auto values = random_board(rng, layout);
+  const TraditionalResult trad = traditional_respond(values, layout);
+  const auto enrollment = configurable_enroll(values, layout, SelectionCase::kSameConfig);
+  for (std::size_t p = 0; p < layout.pair_count; ++p) {
+    EXPECT_GE(std::fabs(enrollment.selections[p].margin) + 1e-9,
+              std::fabs(trad.margins[p]));
+  }
+}
+
+TEST(Configurable, ReliableMaskUsesEnrollmentMargins) {
+  Rng rng(6);
+  const BoardLayout layout{5, 10};
+  const auto values = random_board(rng, layout);
+  const auto enrollment = configurable_enroll(values, layout, SelectionCase::kIndependent);
+  const auto mask = configurable_reliable_mask(enrollment, 15.0);
+  for (std::size_t p = 0; p < layout.pair_count; ++p) {
+    EXPECT_EQ(mask[p], std::fabs(enrollment.selections[p].margin) >= 15.0);
+  }
+  EXPECT_THROW(configurable_reliable_mask(enrollment, -1.0), ropuf::Error);
+}
+
+TEST(Configurable, MoreRobustThanTraditionalUnderPerturbation) {
+  // The paper's central reliability claim, in miniature: perturb all units
+  // with noise comparable to the traditional margins and count bit flips.
+  Rng rng(7);
+  const BoardLayout layout{7, 64};
+  const auto values = random_board(rng, layout, 10.0);
+  const auto enrollment = configurable_enroll(values, layout, SelectionCase::kSameConfig);
+  const TraditionalResult trad = traditional_respond(values, layout);
+  const BitVec configurable_base = enrollment.response();
+
+  std::size_t trad_flips = 0, conf_flips = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    auto perturbed = values;
+    for (auto& v : perturbed) v += rng.gaussian(0.0, 4.0);
+    trad_flips +=
+        traditional_respond(perturbed, layout).response.hamming_distance(trad.response);
+    conf_flips += configurable_respond(perturbed, enrollment)
+                      .hamming_distance(configurable_base);
+  }
+  EXPECT_LT(conf_flips * 3, trad_flips);  // at least 3x fewer flips
+}
+
+}  // namespace
+}  // namespace ropuf::puf

@@ -1,0 +1,258 @@
+#include "puf/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf::puf {
+namespace {
+
+std::vector<double> random_values(Rng& rng, std::size_t n, double sigma = 10.0) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.gaussian(0.0, sigma);
+  return v;
+}
+
+TEST(ConfiguredMargin, SumsSelectedTopMinusSelectedBottom) {
+  const std::vector<double> top{1, 2, 3};
+  const std::vector<double> bottom{10, 20, 30};
+  const double m = configured_margin(BitVec::from_string("101"),
+                                     BitVec::from_string("010"), top, bottom);
+  EXPECT_DOUBLE_EQ(m, 1.0 + 3.0 - 20.0);
+}
+
+TEST(ConfiguredMargin, RejectsArityMismatch) {
+  EXPECT_THROW(configured_margin(BitVec(2), BitVec(3), {1, 2, 3}, {1, 2, 3}),
+               ropuf::Error);
+}
+
+TEST(Case1, PicksPositiveSideWhenItDominates) {
+  // Deltas: +5, -1, +3, -2 -> positive sum 8 beats negative sum 3.
+  const std::vector<double> top{5, 0, 3, 0};
+  const std::vector<double> bottom{0, 1, 0, 2};
+  const Selection s = select_case1(top, bottom);
+  EXPECT_EQ(s.top_config.to_string(), "1010");
+  EXPECT_EQ(s.bottom_config, s.top_config);
+  EXPECT_DOUBLE_EQ(s.margin, 8.0);
+  EXPECT_TRUE(s.bit);
+}
+
+TEST(Case1, PicksNegativeSideWhenItDominates) {
+  const std::vector<double> top{1, 0, 0};
+  const std::vector<double> bottom{0, 6, 4};
+  const Selection s = select_case1(top, bottom);
+  EXPECT_EQ(s.top_config.to_string(), "011");
+  EXPECT_DOUBLE_EQ(s.margin, -10.0);
+  EXPECT_FALSE(s.bit);
+}
+
+TEST(Case1, SharedConfigInvariantAlwaysHolds) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.uniform_below(15);
+    const auto top = random_values(rng, n);
+    const auto bottom = random_values(rng, n);
+    const Selection s = select_case1(top, bottom);
+    EXPECT_EQ(s.top_config, s.bottom_config);
+    EXPECT_NEAR(s.margin,
+                configured_margin(s.top_config, s.bottom_config, top, bottom), 1e-9);
+    EXPECT_EQ(s.bit, s.margin > 0.0);
+  }
+}
+
+TEST(Case1, MatchesExhaustiveOracle) {
+  Rng rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = 1 + rng.uniform_below(10);
+    const auto top = random_values(rng, n);
+    const auto bottom = random_values(rng, n);
+    const Selection greedy = select_case1(top, bottom);
+    const Selection oracle = select_exhaustive_case1(top, bottom);
+    EXPECT_NEAR(std::fabs(greedy.margin), std::fabs(oracle.margin), 1e-9)
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(Case1, MarginAtLeastHalfTotalAbsoluteDelta) {
+  // max(|pos|, |neg|) >= (|pos| + |neg|) / 2 — the mechanism that bounds the
+  // configurable PUF's margin away from zero.
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto top = random_values(rng, 9);
+    const auto bottom = random_values(rng, 9);
+    const Selection s = select_case1(top, bottom);
+    double total_abs = 0.0;
+    for (std::size_t i = 0; i < top.size(); ++i) total_abs += std::fabs(top[i] - bottom[i]);
+    EXPECT_GE(std::fabs(s.margin) + 1e-9, total_abs / 2.0);
+  }
+}
+
+TEST(Case2, HandComputedExample) {
+  // top sorted desc: 9, 5, 1; bottom sorted asc: 2, 4, 8.
+  // top-slower prefix sums: 7, 8, 1 -> best 8 at k=2.
+  // bottom-slower prefix sums: (8-1)=7, (4-5)=6, (2-9)=-1 -> best 7 at k=1.
+  const std::vector<double> top{5, 9, 1};
+  const std::vector<double> bottom{4, 8, 2};
+  const Selection s = select_case2(top, bottom);
+  EXPECT_DOUBLE_EQ(s.margin, 8.0);
+  EXPECT_TRUE(s.bit);
+  EXPECT_EQ(s.top_config.to_string(), "110");     // units 5 and 9
+  EXPECT_EQ(s.bottom_config.to_string(), "101");  // units 4 and 2
+}
+
+TEST(Case2, EqualPopcountInvariantAlwaysHolds) {
+  Rng rng(4);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = 1 + rng.uniform_below(15);
+    const auto top = random_values(rng, n);
+    const auto bottom = random_values(rng, n);
+    const Selection s = select_case2(top, bottom);
+    EXPECT_EQ(s.top_config.popcount(), s.bottom_config.popcount());
+    EXPECT_GE(s.top_config.popcount(), 1u);
+    EXPECT_NEAR(s.margin,
+                configured_margin(s.top_config, s.bottom_config, top, bottom), 1e-9);
+  }
+}
+
+TEST(Case2, MatchesExhaustiveOracle) {
+  Rng rng(5);
+  for (int trial = 0; trial < 150; ++trial) {
+    const std::size_t n = 1 + rng.uniform_below(8);
+    const auto top = random_values(rng, n);
+    const auto bottom = random_values(rng, n);
+    const Selection greedy = select_case2(top, bottom);
+    const Selection oracle = select_exhaustive_case2(top, bottom);
+    EXPECT_NEAR(std::fabs(greedy.margin), std::fabs(oracle.margin), 1e-9)
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(Case2, NeverWorseThanCase1) {
+  // Case-1's feasible set (x = y) is a subset of Case-2's (equal popcount),
+  // so the Case-2 margin must dominate.
+  Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.uniform_below(12);
+    const auto top = random_values(rng, n);
+    const auto bottom = random_values(rng, n);
+    EXPECT_GE(std::fabs(select_case2(top, bottom).margin) + 1e-9,
+              std::fabs(select_case1(top, bottom).margin));
+  }
+}
+
+TEST(Case2, UnconstrainedOracleNeverWorseThanCase2) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 1 + rng.uniform_below(8);
+    const auto top = random_values(rng, n);
+    const auto bottom = random_values(rng, n);
+    EXPECT_GE(std::fabs(select_exhaustive_unconstrained(top, bottom).margin) + 1e-9,
+              std::fabs(select_case2(top, bottom).margin));
+  }
+}
+
+TEST(Case2, SingleUnitPairReducesToDirectComparison) {
+  const Selection s = select_case2({3.0}, {5.0});
+  EXPECT_DOUBLE_EQ(s.margin, -2.0);
+  EXPECT_FALSE(s.bit);
+  EXPECT_EQ(s.top_config.popcount(), 1u);
+}
+
+TEST(Selection, DispatchMatchesDirectCalls) {
+  Rng rng(8);
+  const auto top = random_values(rng, 7);
+  const auto bottom = random_values(rng, 7);
+  EXPECT_DOUBLE_EQ(select(SelectionCase::kSameConfig, top, bottom).margin,
+                   select_case1(top, bottom).margin);
+  EXPECT_DOUBLE_EQ(select(SelectionCase::kIndependent, top, bottom).margin,
+                   select_case2(top, bottom).margin);
+}
+
+TEST(Directed, ForcedSignIsRespectedWhenAchievable) {
+  Rng rng(10);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 2 + rng.uniform_below(10);
+    const auto top = random_values(rng, n);
+    const auto bottom = random_values(rng, n);
+    for (const auto mode : {SelectionCase::kSameConfig, SelectionCase::kIndependent}) {
+      const Selection pos = select_directed(mode, top, bottom, true);
+      const Selection neg = select_directed(mode, top, bottom, false);
+      // Margins are ordered and consistent with the realized configurations.
+      EXPECT_GE(pos.margin, neg.margin);
+      EXPECT_NEAR(pos.margin,
+                  configured_margin(pos.top_config, pos.bottom_config, top, bottom),
+                  1e-9);
+      EXPECT_NEAR(neg.margin,
+                  configured_margin(neg.top_config, neg.bottom_config, top, bottom),
+                  1e-9);
+      EXPECT_GE(pos.top_config.popcount(), 1u);
+      EXPECT_GE(neg.top_config.popcount(), 1u);
+      EXPECT_EQ(pos.top_config.popcount(), pos.bottom_config.popcount());
+      EXPECT_EQ(neg.top_config.popcount(), neg.bottom_config.popcount());
+    }
+  }
+}
+
+TEST(Directed, BestDirectionReproducesUndirectedSelection) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.uniform_below(12);
+    const auto top = random_values(rng, n);
+    const auto bottom = random_values(rng, n);
+    for (const auto mode : {SelectionCase::kSameConfig, SelectionCase::kIndependent}) {
+      const Selection undirected = select(mode, top, bottom);
+      const Selection pos = select_directed(mode, top, bottom, true);
+      const Selection neg = select_directed(mode, top, bottom, false);
+      const double best_abs = std::max(std::fabs(pos.margin), std::fabs(neg.margin));
+      EXPECT_NEAR(std::fabs(undirected.margin), best_abs, 1e-9);
+    }
+  }
+}
+
+TEST(Directed, SingleUnitAllSameSign) {
+  // All deltas positive: the forced-negative direction must still return a
+  // non-empty configuration (the least-positive unit).
+  const std::vector<double> top{5, 8, 6};
+  const std::vector<double> bottom{1, 2, 3};  // deltas 4, 6, 3
+  const Selection neg = select_directed(SelectionCase::kSameConfig, top, bottom, false);
+  EXPECT_EQ(neg.top_config.to_string(), "001");
+  EXPECT_DOUBLE_EQ(neg.margin, 3.0);
+}
+
+TEST(Selection, RejectsDegenerateInputs) {
+  EXPECT_THROW(select_case1({}, {}), ropuf::Error);
+  EXPECT_THROW(select_case1({1.0}, {1.0, 2.0}), ropuf::Error);
+  EXPECT_THROW(select_case2({}, {}), ropuf::Error);
+}
+
+TEST(Selection, ExhaustiveGuardsAgainstBlowup) {
+  const std::vector<double> big(21, 1.0);
+  EXPECT_THROW(select_exhaustive_case1(big, big), ropuf::Error);
+  const std::vector<double> big2(13, 1.0);
+  EXPECT_THROW(select_exhaustive_case2(big2, big2), ropuf::Error);
+}
+
+TEST(Selection, PaperConjectureAboutHalfSelected) {
+  // Section III.D conjectures the optimal configuration selects about n/2
+  // inverters when variation is purely random. Empirically the winning sign
+  // class is slightly larger than n/2 (it wins partly *because* it has more
+  // members), so "about half" lands near 0.55-0.60 n; assert that band.
+  Rng rng(9);
+  const std::size_t n = 15;
+  double total_selected = 0.0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    const auto top = random_values(rng, n);
+    const auto bottom = random_values(rng, n);
+    total_selected += static_cast<double>(select_case1(top, bottom).top_config.popcount());
+  }
+  const double average = total_selected / trials;
+  EXPECT_GT(average, 0.45 * static_cast<double>(n));
+  EXPECT_LT(average, 0.65 * static_cast<double>(n));
+}
+
+}  // namespace
+}  // namespace ropuf::puf

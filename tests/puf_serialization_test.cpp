@@ -1,0 +1,117 @@
+#include "puf/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf::puf {
+namespace {
+
+ConfigurableEnrollment sample_enrollment(SelectionCase mode, std::uint64_t seed) {
+  Rng rng(seed);
+  const BoardLayout layout{5, 8};
+  std::vector<double> values(layout.units_required());
+  for (auto& v : values) v = rng.gaussian(0.0, 10.0);
+  return configurable_enroll(values, layout, mode);
+}
+
+TEST(Serialization, RoundTripsCase1) {
+  const auto original = sample_enrollment(SelectionCase::kSameConfig, 1);
+  const auto parsed = parse_enrollment(serialize_enrollment(original));
+  EXPECT_EQ(parsed.mode, original.mode);
+  EXPECT_EQ(parsed.layout.stages, original.layout.stages);
+  EXPECT_EQ(parsed.layout.pair_count, original.layout.pair_count);
+  ASSERT_EQ(parsed.selections.size(), original.selections.size());
+  for (std::size_t p = 0; p < parsed.selections.size(); ++p) {
+    EXPECT_EQ(parsed.selections[p].top_config, original.selections[p].top_config);
+    EXPECT_EQ(parsed.selections[p].bottom_config, original.selections[p].bottom_config);
+    EXPECT_DOUBLE_EQ(parsed.selections[p].margin, original.selections[p].margin);
+    EXPECT_EQ(parsed.selections[p].bit, original.selections[p].bit);
+  }
+}
+
+TEST(Serialization, RoundTripsCase2) {
+  const auto original = sample_enrollment(SelectionCase::kIndependent, 2);
+  const auto parsed = parse_enrollment(serialize_enrollment(original));
+  EXPECT_EQ(parsed.mode, SelectionCase::kIndependent);
+  EXPECT_EQ(parsed.response(), original.response());
+}
+
+TEST(Serialization, ParsedEnrollmentEvaluatesIdentically) {
+  // The deployment property: a parsed record must re-evaluate fresh
+  // measurements exactly like the in-memory one.
+  Rng rng(3);
+  const auto original = sample_enrollment(SelectionCase::kIndependent, 3);
+  const auto parsed = parse_enrollment(serialize_enrollment(original));
+  std::vector<double> fresh(original.layout.units_required());
+  for (auto& v : fresh) v = rng.gaussian(0.0, 10.0);
+  EXPECT_EQ(configurable_respond(fresh, parsed), configurable_respond(fresh, original));
+}
+
+TEST(Serialization, CommentsAndBlankLinesAreIgnored) {
+  const auto original = sample_enrollment(SelectionCase::kSameConfig, 4);
+  std::string text = serialize_enrollment(original);
+  text.insert(text.find('\n') + 1, "# a comment\n\n");
+  const auto parsed = parse_enrollment(text);
+  EXPECT_EQ(parsed.response(), original.response());
+}
+
+TEST(Serialization, RejectsWrongHeader) {
+  EXPECT_THROW(parse_enrollment("something else\n"), ropuf::Error);
+  EXPECT_THROW(parse_enrollment(""), ropuf::Error);
+}
+
+TEST(Serialization, RejectsMalformedMode) {
+  EXPECT_THROW(parse_enrollment("ropuf-enrollment v1\nmode case9\n"), ropuf::Error);
+}
+
+TEST(Serialization, RejectsMissingPairs) {
+  const std::string text =
+      "ropuf-enrollment v1\nmode case1\nlayout 3 2\n"
+      "pair 0 101 101 1.5 1\n";  // pair 1 missing
+  EXPECT_THROW(parse_enrollment(text), ropuf::Error);
+}
+
+TEST(Serialization, RejectsDuplicateAndOutOfRangePairs) {
+  const std::string duplicate =
+      "ropuf-enrollment v1\nmode case1\nlayout 3 1\n"
+      "pair 0 101 101 1.5 1\npair 0 110 110 1.0 0\n";
+  EXPECT_THROW(parse_enrollment(duplicate), ropuf::Error);
+  const std::string out_of_range =
+      "ropuf-enrollment v1\nmode case1\nlayout 3 1\n"
+      "pair 5 101 101 1.5 1\n";
+  EXPECT_THROW(parse_enrollment(out_of_range), ropuf::Error);
+}
+
+TEST(Serialization, FuzzedMutationsNeverCrash) {
+  // Robustness: any single-character corruption of a valid record must
+  // either still parse (semantically benign, e.g. whitespace) or throw
+  // ropuf::Error — never crash or hang.
+  const auto original = sample_enrollment(SelectionCase::kIndependent, 9);
+  const std::string text = serialize_enrollment(original);
+  Rng rng(99);
+  static const char kChars[] = "01 xq-.\n#";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = text;
+    const std::size_t pos = rng.uniform_below(mutated.size());
+    mutated[pos] = kChars[rng.uniform_below(sizeof(kChars) - 1)];
+    try {
+      const auto parsed = parse_enrollment(mutated);
+      // If it parsed, it must be internally consistent.
+      EXPECT_EQ(parsed.selections.size(), parsed.layout.pair_count);
+    } catch (const ropuf::Error&) {
+      // rejected: fine
+    }
+  }
+}
+
+TEST(Serialization, RejectsArityMismatch) {
+  const std::string text =
+      "ropuf-enrollment v1\nmode case1\nlayout 3 1\n"
+      "pair 0 10101 10101 1.5 1\n";  // 5 bits against stages=3
+  EXPECT_THROW(parse_enrollment(text), ropuf::Error);
+}
+
+}  // namespace
+}  // namespace ropuf::puf

@@ -1,0 +1,163 @@
+#include "ro/configurable_ro.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "silicon/fabrication.h"
+
+namespace ropuf::ro {
+namespace {
+
+sil::Chip test_chip() {
+  sil::Fab fab(sil::ProcessParams{}, 42);
+  return fab.fabricate(8, 8);
+}
+
+TEST(ConfigurableRo, RejectsNullChipAndEmptyChain) {
+  const sil::Chip chip = test_chip();
+  EXPECT_THROW(ConfigurableRo(nullptr, {0, 1, 2}), ropuf::Error);
+  EXPECT_THROW(ConfigurableRo(&chip, {}), ropuf::Error);
+  EXPECT_THROW(ConfigurableRo(&chip, {0, 999}), ropuf::Error);
+}
+
+TEST(ConfigurableRo, AllSelectedHasFullPopcount) {
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  EXPECT_EQ(ro.all_selected().popcount(), 5u);
+}
+
+TEST(ConfigurableRo, OscillationRequiresOddParity) {
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2});
+  EXPECT_TRUE(ro.oscillates(BitVec::from_string("111")));
+  EXPECT_TRUE(ro.oscillates(BitVec::from_string("100")));
+  EXPECT_FALSE(ro.oscillates(BitVec::from_string("110")));
+  EXPECT_FALSE(ro.oscillates(BitVec::from_string("000")));
+}
+
+TEST(ConfigurableRo, PathDelayDecomposesPerStage) {
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2});
+  const auto op = sil::nominal_op();
+  const double expected = chip.selected_path_delay_ps(0, op) +
+                          chip.skip_path_delay_ps(1, op) +
+                          chip.selected_path_delay_ps(2, op);
+  EXPECT_NEAR(ro.path_delay_ps(BitVec::from_string("101"), op), expected, 1e-9);
+}
+
+TEST(ConfigurableRo, PathDelayLinearInDdiff) {
+  // D(c) - D(zero) must equal the sum of selected ddiffs.
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {3, 4, 5, 6, 7});
+  const auto op = sil::nominal_op();
+  const BitVec config = BitVec::from_string("10110");
+  const double base = ro.path_delay_ps(BitVec(5), op);
+  const auto dd = ro.true_ddiffs_ps(op);
+  double expected = base;
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (config.get(i)) expected += dd[i];
+  }
+  EXPECT_NEAR(ro.path_delay_ps(config, op), expected, 1e-9);
+}
+
+TEST(ConfigurableRo, PeriodIsTwicePathDelay) {
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  const auto op = sil::nominal_op();
+  const BitVec config = ro.all_selected();
+  EXPECT_NEAR(ro.oscillation_period_ps(config, op), 2.0 * ro.path_delay_ps(config, op),
+              1e-9);
+}
+
+TEST(ConfigurableRo, EvenParityPeriodThrows) {
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2});
+  EXPECT_THROW(ro.oscillation_period_ps(BitVec::from_string("110"), sil::nominal_op()),
+               ropuf::Error);
+}
+
+TEST(ConfigurableRo, FrequencyMatchesPeriod) {
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  const auto op = sil::nominal_op();
+  const BitVec config = ro.all_selected();
+  const double f = ro.frequency_hz(config, op);
+  const double period_s = ro.oscillation_period_ps(config, op) * 1e-12;
+  EXPECT_NEAR(f * period_s, 1.0, 1e-12);
+}
+
+TEST(ConfigurableRo, ConfigArityMismatchThrows) {
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2});
+  EXPECT_THROW(ro.path_delay_ps(BitVec(4), sil::nominal_op()), ropuf::Error);
+}
+
+TEST(ConfigurableRo, SlowsDownAtLowVoltage) {
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  const BitVec config = ro.all_selected();
+  EXPECT_GT(ro.path_delay_ps(config, {0.98, 25.0}),
+            ro.path_delay_ps(config, {1.44, 25.0}));
+}
+
+TEST(MakeRoPairs, ProducesDisjointAdjacentChains) {
+  const sil::Chip chip = test_chip();
+  const auto pairs = make_ro_pairs(chip, 5, 6);  // 6*2*5 = 60 <= 64 units
+  ASSERT_EQ(pairs.size(), 6u);
+  std::vector<bool> used(chip.unit_count(), false);
+  for (const auto& [top, bottom] : pairs) {
+    EXPECT_EQ(top.stage_count(), 5u);
+    EXPECT_EQ(bottom.stage_count(), 5u);
+    for (const std::size_t u : top.unit_indices()) {
+      EXPECT_FALSE(used[u]);
+      used[u] = true;
+    }
+    for (const std::size_t u : bottom.unit_indices()) {
+      EXPECT_FALSE(used[u]);
+      used[u] = true;
+    }
+  }
+}
+
+TEST(MakeRoPairs, InterleavedAlternatesCells) {
+  const sil::Chip chip = test_chip();
+  const auto pairs = make_ro_pairs(chip, 3, 2, PairPlacement::kInterleaved);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].first.unit_indices(), (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(pairs[0].second.unit_indices(), (std::vector<std::size_t>{1, 3, 5}));
+  EXPECT_EQ(pairs[1].first.unit_indices(), (std::vector<std::size_t>{6, 8, 10}));
+  EXPECT_EQ(pairs[1].second.unit_indices(), (std::vector<std::size_t>{7, 9, 11}));
+}
+
+TEST(MakeRoPairs, InterleavedCancelsSystematicTrend) {
+  // With a strong systematic trend and little random mismatch, block
+  // placement leaves a large pair base-delta; interleaving cancels it.
+  sil::ProcessParams process;
+  process.common_systematic_amp = 0.04;
+  process.chip_systematic_amp = 0.02;
+  process.random_sigma_rel = 0.0005;
+  sil::Fab fab(process, 9);
+  const sil::Chip chip = fab.fabricate(32, 32);
+  const auto op = sil::nominal_op();
+
+  auto mean_abs_pair_delta = [&](PairPlacement placement) {
+    const auto pairs = make_ro_pairs(chip, 13, 32, placement);
+    double total = 0.0;
+    for (const auto& [top, bottom] : pairs) {
+      total += std::abs(top.path_delay_ps(top.all_selected(), op) -
+                        bottom.path_delay_ps(bottom.all_selected(), op));
+    }
+    return total / static_cast<double>(pairs.size());
+  };
+
+  EXPECT_LT(mean_abs_pair_delta(PairPlacement::kInterleaved) * 3.0,
+            mean_abs_pair_delta(PairPlacement::kAdjacentBlocks));
+}
+
+TEST(MakeRoPairs, RejectsOversubscription) {
+  const sil::Chip chip = test_chip();  // 64 units
+  EXPECT_THROW(make_ro_pairs(chip, 5, 7), ropuf::Error);  // needs 70
+}
+
+}  // namespace
+}  // namespace ropuf::ro

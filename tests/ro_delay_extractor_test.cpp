@@ -1,0 +1,192 @@
+#include "ro/delay_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "silicon/fabrication.h"
+
+namespace ropuf::ro {
+namespace {
+
+sil::Chip test_chip(std::uint64_t seed = 21) {
+  sil::Fab fab(sil::ProcessParams{}, seed);
+  return fab.fabricate(8, 8);
+}
+
+FrequencyCounterSpec precise_spec() {
+  FrequencyCounterSpec spec;
+  spec.jitter_sigma_rel = 0.0;
+  spec.aux_calibration_error_rel = 0.0;
+  spec.gate_time_s = 1.0;
+  return spec;
+}
+
+TEST(DelayExtractor, RejectsNullCounter) {
+  EXPECT_THROW(DelayExtractor(nullptr), ropuf::Error);
+}
+
+TEST(DelayExtractor, LeaveOneOutRecoversTrueDdiffs) {
+  Rng rng(1);
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2, 3, 4, 5, 6});
+  const FrequencyCounter counter(precise_spec(), rng);
+  const DelayExtractor extractor(&counter);
+  const auto op = sil::nominal_op();
+
+  const auto estimated = extractor.extract_leave_one_out(ro, op, rng);
+  const auto truth = ro.true_ddiffs_ps(op);
+  ASSERT_EQ(estimated.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(estimated[i], truth[i], 0.1) << "unit " << i;
+  }
+}
+
+TEST(DelayExtractor, LeaveOneOutToleratesAuxMiscalibration) {
+  // The aux residual appears in every even-parity measurement; since D(all)
+  // is odd-parity and D(-i) even-parity, each ddiff estimate carries the
+  // *same* constant offset. Check the offset is common, as documented.
+  Rng rng(2);
+  FrequencyCounterSpec spec = precise_spec();
+  spec.aux_calibration_error_rel = 0.04;
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  const FrequencyCounter counter(spec, rng);
+  const DelayExtractor extractor(&counter);
+  const auto op = sil::nominal_op();
+
+  const auto estimated = extractor.extract_leave_one_out(ro, op, rng);
+  const auto truth = ro.true_ddiffs_ps(op);
+  const double offset0 = estimated[0] - truth[0];
+  EXPECT_GT(std::fabs(offset0), 1.0);
+  for (std::size_t i = 1; i < truth.size(); ++i) {
+    EXPECT_NEAR(estimated[i] - truth[i], offset0, 0.2);
+  }
+}
+
+TEST(DelayExtractor, AveragingReducesNoise) {
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  FrequencyCounterSpec noisy = precise_spec();
+  noisy.jitter_sigma_rel = 2e-4;
+  noisy.gate_time_s = 1e-3;
+  const auto op = sil::nominal_op();
+  const auto truth = ro.true_ddiffs_ps(op);
+
+  auto rms_error = [&](int reps, std::uint64_t seed) {
+    Rng rng(seed);
+    const FrequencyCounter counter(noisy, rng);
+    const DelayExtractor extractor(&counter);
+    double total = 0.0;
+    const int trials = 30;
+    for (int t = 0; t < trials; ++t) {
+      const auto est = extractor.extract_leave_one_out(ro, op, rng, reps);
+      for (std::size_t i = 0; i < truth.size(); ++i) {
+        total += (est[i] - truth[i]) * (est[i] - truth[i]);
+      }
+    }
+    return std::sqrt(total / (trials * static_cast<double>(truth.size())));
+  };
+
+  const double single = rms_error(1, 3);
+  const double averaged = rms_error(16, 4);
+  EXPECT_LT(averaged, single * 0.5);  // ~4x expected from 16x averaging
+}
+
+TEST(DelayExtractor, PaperThreeStageMatchesUpToCommonBias) {
+  Rng rng(5);
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {10, 11, 12});
+  const FrequencyCounter counter(precise_spec(), rng);
+  const DelayExtractor extractor(&counter);
+  const auto op = sil::nominal_op();
+
+  const auto est = extractor.extract_paper_three_stage(ro, op, rng);
+  const auto truth = ro.true_ddiffs_ps(op);
+  // Expected bias is B/2 where B is the sum of bypass delays.
+  const double base = ro.path_delay_ps(BitVec(3), op);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(est[i], truth[i] + base / 2.0, 0.5) << "unit " << i;
+  }
+}
+
+TEST(DelayExtractor, PaperThreeStageRequiresThreeStages) {
+  Rng rng(6);
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  const FrequencyCounter counter(precise_spec(), rng);
+  const DelayExtractor extractor(&counter);
+  EXPECT_THROW(extractor.extract_paper_three_stage(ro, sil::nominal_op(), rng),
+               ropuf::Error);
+}
+
+TEST(DelayExtractor, LeastSquaresRecoversBaseAndDdiffs) {
+  Rng rng(7);
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  const FrequencyCounter counter(precise_spec(), rng);
+  const DelayExtractor extractor(&counter);
+  const auto op = sil::nominal_op();
+
+  const auto configs = extractor.design_configs(5, 6, rng);
+  const ExtractionResult result = extractor.extract_least_squares(ro, configs, op, rng);
+  const auto truth = ro.true_ddiffs_ps(op);
+  EXPECT_NEAR(result.base_delay_ps, ro.path_delay_ps(BitVec(5), op), 0.5);
+  ASSERT_EQ(result.ddiff_ps.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(result.ddiff_ps[i], truth[i], 0.5);
+  }
+}
+
+TEST(DelayExtractor, LeastSquaresNeedsEnoughConfigs) {
+  Rng rng(8);
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2});
+  const FrequencyCounter counter(precise_spec(), rng);
+  const DelayExtractor extractor(&counter);
+  const std::vector<BitVec> too_few{BitVec::from_string("111"),
+                                    BitVec::from_string("110")};
+  EXPECT_THROW(extractor.extract_least_squares(ro, too_few, sil::nominal_op(), rng),
+               ropuf::Error);
+}
+
+TEST(DelayExtractor, DesignConfigsAreWellFormed) {
+  Rng rng(9);
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  const FrequencyCounter counter(precise_spec(), rng);
+  const DelayExtractor extractor(&counter);
+  const auto configs = extractor.design_configs(5, 4, rng);
+  EXPECT_EQ(configs.size(), 1u + 5u + 4u);
+  EXPECT_EQ(configs[0].popcount(), 5u);  // all ones
+  for (std::size_t i = 1; i <= 5; ++i) EXPECT_EQ(configs[i].popcount(), 4u);
+  for (std::size_t i = 6; i < configs.size(); ++i) {
+    EXPECT_EQ(configs[i].popcount() % 2, 1u);  // extras oscillate
+  }
+}
+
+TEST(DelayExtractor, ExtractionErrorSmallerThanMismatchSpread) {
+  // End-to-end sanity: with the default counter, extraction error must be
+  // well under the process-mismatch signal it is trying to resolve
+  // (otherwise the configurable PUF could not work, and the paper says
+  // measurement accuracy need not be high).
+  Rng rng(10);
+  const sil::Chip chip = test_chip(77);
+  const ConfigurableRo ro(&chip, {0, 1, 2, 3, 4, 5, 6});
+  const FrequencyCounter counter(FrequencyCounterSpec{}, rng);
+  const DelayExtractor extractor(&counter);
+  const auto op = sil::nominal_op();
+  const auto est = extractor.extract_leave_one_out(ro, op, rng);
+  const auto truth = ro.true_ddiffs_ps(op);
+  // Remove the common aux-calibration offset before comparing.
+  double offset = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) offset += est[i] - truth[i];
+  offset /= static_cast<double>(truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_LT(std::fabs(est[i] - offset - truth[i]), 3.0);  // ps; mismatch sd ~ 10 ps
+  }
+}
+
+}  // namespace
+}  // namespace ropuf::ro

@@ -1,0 +1,134 @@
+#include "ro/frequency_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "silicon/fabrication.h"
+
+namespace ropuf::ro {
+namespace {
+
+sil::Chip test_chip() {
+  sil::Fab fab(sil::ProcessParams{}, 5);
+  return fab.fabricate(8, 8);
+}
+
+FrequencyCounterSpec noiseless_spec() {
+  FrequencyCounterSpec spec;
+  spec.jitter_sigma_rel = 0.0;
+  spec.aux_calibration_error_rel = 0.0;
+  spec.gate_time_s = 1.0;  // 1 s gate -> sub-ppm quantization at ~100 MHz
+  return spec;
+}
+
+TEST(FrequencyCounter, RejectsBadSpec) {
+  Rng rng(1);
+  FrequencyCounterSpec spec;
+  spec.gate_time_s = 0.0;
+  EXPECT_THROW(FrequencyCounter(spec, rng), ropuf::Error);
+  spec = FrequencyCounterSpec{};
+  spec.aux_inverter_delay_ps = -1.0;
+  EXPECT_THROW(FrequencyCounter(spec, rng), ropuf::Error);
+}
+
+TEST(FrequencyCounter, NoiselessMeasurementIsAccurate) {
+  Rng rng(2);
+  const FrequencyCounter counter(noiseless_spec(), rng);
+  const double f = 123456789.0;
+  const double measured = counter.measure_frequency_hz(f, rng);
+  EXPECT_NEAR(measured, f, 1.0);  // quantization floor only
+}
+
+TEST(FrequencyCounter, QuantizationScalesWithGateTime) {
+  Rng rng(3);
+  FrequencyCounterSpec coarse = noiseless_spec();
+  coarse.gate_time_s = 1e-5;
+  const FrequencyCounter counter(coarse, rng);
+  const double f = 1.000000049e8;
+  // With a 10 us gate the resolution is 100 kHz; repeated measurements of a
+  // fixed frequency land within one LSB of the truth.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NEAR(counter.measure_frequency_hz(f, rng), f, 1e5);
+  }
+}
+
+TEST(FrequencyCounter, JitterSpreadsMeasurements) {
+  Rng rng(4);
+  FrequencyCounterSpec spec = noiseless_spec();
+  spec.jitter_sigma_rel = 1e-3;
+  const FrequencyCounter counter(spec, rng);
+  const double f = 1e8;
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double m = counter.measure_frequency_hz(f, rng);
+    sum += m;
+    sum2 += m * m;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sum2 / n - mean * mean);
+  EXPECT_NEAR(mean, f, f * 1e-4);
+  EXPECT_NEAR(sd, f * 1e-3, f * 2e-4);
+}
+
+TEST(FrequencyCounter, ZeroEdgeCountThrows) {
+  Rng rng(5);
+  FrequencyCounterSpec spec = noiseless_spec();
+  spec.gate_time_s = 1e-12;  // far too short for any realistic frequency
+  const FrequencyCounter counter(spec, rng);
+  EXPECT_THROW(counter.measure_frequency_hz(10.0, rng), ropuf::Error);
+}
+
+TEST(FrequencyCounter, OddParityPathDelayIsAccurate) {
+  Rng rng(6);
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  const FrequencyCounter counter(noiseless_spec(), rng);
+  const BitVec config = ro.all_selected();
+  const auto op = sil::nominal_op();
+  const double truth = ro.path_delay_ps(config, op);
+  EXPECT_NEAR(counter.measure_path_delay_ps(ro, config, op, rng), truth, truth * 1e-5);
+}
+
+TEST(FrequencyCounter, EvenParityUsesAuxStageAndStaysUnbiasedWhenCalibrated) {
+  Rng rng(7);
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  const FrequencyCounter counter(noiseless_spec(), rng);
+  const BitVec config = BitVec::from_string("11011");  // even parity (popcount 4)
+  const auto op = sil::nominal_op();
+  const double truth = ro.path_delay_ps(config, op);
+  EXPECT_NEAR(counter.measure_path_delay_ps(ro, config, op, rng), truth, truth * 1e-4);
+}
+
+TEST(FrequencyCounter, AuxCalibrationResidualIsConstantPerHarness) {
+  Rng rng(8);
+  FrequencyCounterSpec spec = noiseless_spec();
+  spec.aux_calibration_error_rel = 0.05;
+  const FrequencyCounter counter(spec, rng);
+  const sil::Chip chip = test_chip();
+  const ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  const BitVec config = BitVec::from_string("11011");  // even parity
+  const auto op = sil::nominal_op();
+  const double truth = ro.path_delay_ps(config, op);
+  // The harness-wide residual is exactly (true aux delay - nominal); every
+  // measurement must carry it, up to the quantization floor.
+  const double bias = counter.aux_true_delay_ps() - spec.aux_inverter_delay_ps;
+  for (int i = 0; i < 10; ++i) {
+    const double measured = counter.measure_path_delay_ps(ro, config, op, rng);
+    EXPECT_NEAR(measured - truth, bias, 0.5);
+  }
+}
+
+TEST(FrequencyCounter, SameSeedSameCalibration) {
+  FrequencyCounterSpec spec = noiseless_spec();
+  spec.aux_calibration_error_rel = 0.05;
+  Rng rng_a(9), rng_b(9);
+  const FrequencyCounter a(spec, rng_a), b(spec, rng_b);
+  EXPECT_DOUBLE_EQ(a.aux_true_delay_ps(), b.aux_true_delay_ps());
+}
+
+}  // namespace
+}  // namespace ropuf::ro

@@ -1,0 +1,92 @@
+#include "silicon/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.h"
+#include "common/error.h"
+#include "silicon/fleet.h"
+
+namespace ropuf::sil {
+namespace {
+
+MeasurementTable sample_table() {
+  MeasurementTable table;
+  table.grid_cols = 2;
+  table.grid_rows = 3;
+  table.boards = {{1, 2, 3, 4, 5, 6}, {6.5, 5.5, 4.5, 3.5, 2.5, 1.5}};
+  return table;
+}
+
+TEST(DatasetIo, CsvRoundTripPreservesEverything) {
+  const MeasurementTable original = sample_table();
+  const MeasurementTable parsed = from_csv(to_csv(original));
+  EXPECT_EQ(parsed.grid_cols, 2u);
+  EXPECT_EQ(parsed.grid_rows, 3u);
+  ASSERT_EQ(parsed.boards.size(), 2u);
+  for (std::size_t b = 0; b < 2; ++b) {
+    ASSERT_EQ(parsed.boards[b].size(), 6u);
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_DOUBLE_EQ(parsed.boards[b][i], original.boards[b][i]);
+    }
+  }
+}
+
+TEST(DatasetIo, LocationsSpanTheUnitSquare) {
+  const MeasurementTable table = sample_table();
+  EXPECT_DOUBLE_EQ(table.location(0).x, 0.0);
+  EXPECT_DOUBLE_EQ(table.location(0).y, 0.0);
+  EXPECT_DOUBLE_EQ(table.location(5).x, 1.0);
+  EXPECT_DOUBLE_EQ(table.location(5).y, 1.0);
+  EXPECT_DOUBLE_EQ(table.location(1).x, 1.0);  // row-major
+  EXPECT_THROW(table.location(6), ropuf::Error);
+}
+
+TEST(DatasetIo, CommentsAndBlankLinesIgnored) {
+  std::string csv = to_csv(sample_table());
+  csv.insert(csv.find('\n') + 1, "# exported by test\n\n");
+  EXPECT_EQ(from_csv(csv).boards.size(), 2u);
+}
+
+TEST(DatasetIo, MalformedContentThrows) {
+  EXPECT_THROW(from_csv(""), ropuf::Error);
+  EXPECT_THROW(from_csv("not-a-dataset,2,3\n1,2,3,4,5,6\n"), ropuf::Error);
+  EXPECT_THROW(from_csv("ropuf-dataset,2,3\n1,2,3\n"), ropuf::Error);  // short row
+  EXPECT_THROW(from_csv("ropuf-dataset,2,3\n1,2,3,x,5,6\n"), ropuf::Error);
+  EXPECT_THROW(from_csv("ropuf-dataset,2,3\n"), ropuf::Error);  // no boards
+}
+
+TEST(DatasetIo, SnapshotMatchesChipValuesAtZeroNoise) {
+  VtFleetSpec spec;
+  spec.nominal_boards = 3;
+  spec.env_boards = 0;
+  const VtFleet fleet = make_vt_fleet(spec);
+  Rng rng(1);
+  const MeasurementTable table = snapshot_fleet(fleet.nominal, nominal_op(), 0.0, rng);
+  ASSERT_EQ(table.boards.size(), 3u);
+  EXPECT_EQ(table.units_per_board(), 512u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(table.boards[1][i], fleet.nominal[1].unit_ddiff_ps(i, nominal_op()));
+  }
+}
+
+TEST(DatasetIo, TablePipelineMatchesChipPipeline) {
+  // Exporting a noiseless snapshot and running the table pipeline must give
+  // the same responses as the chip pipeline at zero measurement noise.
+  VtFleetSpec spec;
+  spec.nominal_boards = 6;
+  spec.env_boards = 0;
+  const VtFleet fleet = make_vt_fleet(spec);
+  Rng rng(2);
+  const MeasurementTable table = snapshot_fleet(fleet.nominal, nominal_op(), 0.0, rng);
+  const MeasurementTable reparsed = from_csv(to_csv(table));
+
+  analysis::DatasetOptions opts;
+  opts.distill = true;
+  opts.measurement.noise_sigma_ps = 0.0;
+  const auto from_chips = analysis::board_responses(fleet.nominal, opts);
+  const auto from_table = analysis::table_responses(reparsed, opts);
+  EXPECT_EQ(from_table, from_chips);
+}
+
+}  // namespace
+}  // namespace ropuf::sil

@@ -1,0 +1,87 @@
+#include "silicon/environment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::sil {
+namespace {
+
+DeviceParams reference_device() {
+  DeviceParams d;
+  d.delay_ref_ps = 1000.0;
+  d.vth_v = 0.40;
+  d.tempco_per_c = 6e-4;
+  return d;
+}
+
+TEST(Environment, NominalOpIsVtBaseline) {
+  const OperatingPoint op = nominal_op();
+  EXPECT_DOUBLE_EQ(op.voltage_v, 1.20);
+  EXPECT_DOUBLE_EQ(op.temperature_c, 25.0);
+}
+
+TEST(Environment, VtSweepGridsMatchThePaper) {
+  EXPECT_EQ(vt_voltages(), (std::vector<double>{0.98, 1.08, 1.20, 1.32, 1.44}));
+  EXPECT_EQ(vt_temperatures(), (std::vector<double>{25.0, 35.0, 45.0, 55.0, 65.0}));
+}
+
+TEST(DeviceDelay, ReferenceCornerReturnsReferenceDelay) {
+  EXPECT_NEAR(device_delay_ps(reference_device(), EnvModel{}, nominal_op()), 1000.0, 1e-9);
+}
+
+TEST(DeviceDelay, LowerVoltageIsSlower) {
+  const EnvModel env;
+  const auto dev = reference_device();
+  const double at_low = device_delay_ps(dev, env, {0.98, 25.0});
+  const double at_high = device_delay_ps(dev, env, {1.44, 25.0});
+  EXPECT_GT(at_low, 1000.0);
+  EXPECT_LT(at_high, 1000.0);
+}
+
+TEST(DeviceDelay, HigherTemperatureIsSlower) {
+  const EnvModel env;
+  const auto dev = reference_device();
+  EXPECT_GT(device_delay_ps(dev, env, {1.20, 65.0}), 1000.0);
+  // With the default tempco, 40 C should add ~2.4%.
+  EXPECT_NEAR(device_delay_ps(dev, env, {1.20, 65.0}), 1000.0 * (1.0 + 6e-4 * 40.0), 1e-9);
+}
+
+TEST(DeviceDelay, VoltageScalingFollowsAlphaPowerLaw) {
+  const EnvModel env;  // alpha = 1.3, vref = 1.2
+  const auto dev = reference_device();
+  const double expected = 1000.0 * std::pow(0.8 / 0.58, 1.3);
+  EXPECT_NEAR(device_delay_ps(dev, env, {0.98, 25.0}), expected, 1e-9);
+}
+
+TEST(DeviceDelay, HigherVthIsMoreVoltageSensitive) {
+  // The mismatch mechanism: at reduced supply, the higher-Vth device slows
+  // down more than the lower-Vth one even with equal reference delay.
+  const EnvModel env;
+  DeviceParams fast = reference_device();
+  DeviceParams slow = reference_device();
+  fast.vth_v = 0.38;
+  slow.vth_v = 0.42;
+  EXPECT_NEAR(device_delay_ps(fast, env, nominal_op()),
+              device_delay_ps(slow, env, nominal_op()), 1e-9);
+  EXPECT_GT(device_delay_ps(slow, env, {0.98, 25.0}),
+            device_delay_ps(fast, env, {0.98, 25.0}));
+}
+
+TEST(DeviceDelay, SupplyBelowThresholdThrows) {
+  EXPECT_THROW(device_delay_ps(reference_device(), EnvModel{}, {0.40, 25.0}),
+               ropuf::Error);
+  EXPECT_THROW(device_delay_ps(reference_device(), EnvModel{}, {0.35, 25.0}),
+               ropuf::Error);
+}
+
+TEST(DeviceDelay, NonPositiveReferenceDelayThrows) {
+  DeviceParams dev = reference_device();
+  dev.delay_ref_ps = 0.0;
+  EXPECT_THROW(device_delay_ps(dev, EnvModel{}, nominal_op()), ropuf::Error);
+}
+
+}  // namespace
+}  // namespace ropuf::sil

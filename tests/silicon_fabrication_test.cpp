@@ -1,0 +1,219 @@
+#include "silicon/fabrication.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "silicon/fleet.h"
+
+namespace ropuf::sil {
+namespace {
+
+TEST(SpatialTrend, ZeroTrendEvaluatesToZero) {
+  const SpatialTrend t = SpatialTrend::zero();
+  EXPECT_EQ(t.eval({0.0, 0.0}), 0.0);
+  EXPECT_EQ(t.eval({0.7, 0.3}), 0.0);
+}
+
+TEST(SpatialTrend, AmplitudeZeroIsFlat) {
+  Rng rng(1);
+  const SpatialTrend t = SpatialTrend::sample(2, 0.0, rng);
+  EXPECT_EQ(t.eval({0.25, 0.75}), 0.0);
+}
+
+TEST(SpatialTrend, RealizedSpreadTracksRequestedAmplitude) {
+  Rng rng(2);
+  const double amp = 0.02;
+  double total_sd = 0.0;
+  const int trials = 200;
+  for (int trial = 0; trial < trials; ++trial) {
+    const SpatialTrend t = SpatialTrend::sample(2, amp, rng);
+    double sum = 0.0, sum2 = 0.0;
+    int count = 0;
+    for (int i = 0; i < 16; ++i) {
+      for (int j = 0; j < 16; ++j) {
+        const double v = t.eval({i / 15.0, j / 15.0});
+        sum += v;
+        sum2 += v * v;
+        ++count;
+      }
+    }
+    const double mean = sum / count;
+    total_sd += std::sqrt(sum2 / count - mean * mean);
+  }
+  const double avg_sd = total_sd / trials;
+  EXPECT_GT(avg_sd, amp * 0.4);
+  EXPECT_LT(avg_sd, amp * 3.0);
+}
+
+TEST(SpatialTrend, IsSmoothAcrossNeighbours) {
+  Rng rng(3);
+  const SpatialTrend t = SpatialTrend::sample(2, 0.02, rng);
+  // Neighbouring grid points of a degree-2 surface differ by far less than
+  // the overall amplitude.
+  double max_step = 0.0;
+  for (int i = 0; i + 1 < 32; ++i) {
+    const double a = t.eval({i / 31.0, 0.5});
+    const double b = t.eval({(i + 1) / 31.0, 0.5});
+    max_step = std::max(max_step, std::fabs(a - b));
+  }
+  EXPECT_LT(max_step, 0.01);
+}
+
+TEST(Fab, MintsRequestedGrid) {
+  Fab fab(ProcessParams{}, 99);
+  const Chip chip = fab.fabricate(16, 32);
+  EXPECT_EQ(chip.unit_count(), 512u);
+  EXPECT_EQ(chip.grid_cols(), 16u);
+  EXPECT_EQ(chip.grid_rows(), 32u);
+}
+
+TEST(Fab, IsDeterministicPerSeed) {
+  Fab fab_a(ProcessParams{}, 7);
+  Fab fab_b(ProcessParams{}, 7);
+  const Chip a = fab_a.fabricate(8, 8);
+  const Chip b = fab_b.fabricate(8, 8);
+  for (std::size_t i = 0; i < a.unit_count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.unit(i).inverter.delay_ref_ps, b.unit(i).inverter.delay_ref_ps);
+    EXPECT_DOUBLE_EQ(a.unit(i).mux_sel.vth_v, b.unit(i).mux_sel.vth_v);
+  }
+}
+
+TEST(Fab, SuccessiveChipsDiffer) {
+  Fab fab(ProcessParams{}, 7);
+  const Chip a = fab.fabricate(8, 8);
+  const Chip b = fab.fabricate(8, 8);
+  int identical = 0;
+  for (std::size_t i = 0; i < a.unit_count(); ++i) {
+    if (a.unit(i).inverter.delay_ref_ps == b.unit(i).inverter.delay_ref_ps) ++identical;
+  }
+  EXPECT_EQ(identical, 0);
+}
+
+TEST(Fab, DelaysClusterAroundNominal) {
+  ProcessParams p;
+  Fab fab(p, 11);
+  const Chip chip = fab.fabricate(16, 16);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < chip.unit_count(); ++i) {
+    sum += chip.unit(i).inverter.delay_ref_ps;
+  }
+  const double mean = sum / static_cast<double>(chip.unit_count());
+  EXPECT_NEAR(mean, p.inverter_delay_ps, p.inverter_delay_ps * 0.03);
+}
+
+TEST(Fab, RandomMismatchSpreadIsNearSigma) {
+  ProcessParams p;
+  p.common_systematic_amp = 0.0;
+  p.chip_systematic_amp = 0.0;  // isolate random mismatch
+  Fab fab(p, 13);
+  const Chip chip = fab.fabricate(32, 32);
+  double sum = 0.0, sum2 = 0.0;
+  const double n = static_cast<double>(chip.unit_count());
+  for (std::size_t i = 0; i < chip.unit_count(); ++i) {
+    const double rel = chip.unit(i).inverter.delay_ref_ps / p.inverter_delay_ps - 1.0;
+    sum += rel;
+    sum2 += rel * rel;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sum2 / n - mean * mean);
+  EXPECT_NEAR(sd, p.random_sigma_rel, p.random_sigma_rel * 0.15);
+}
+
+TEST(Fab, ChipLevelSystematicVariationCorrelatesNeighbours) {
+  // With systematic variation on, physically adjacent units share a trend;
+  // the correlation of adjacent-unit delays must exceed the no-trend case.
+  ProcessParams with_trend;
+  with_trend.random_sigma_rel = 0.002;  // make the trend dominate
+  Fab fab(with_trend, 17);
+  const Chip chip = fab.fabricate(32, 32);
+  double corr_sum = 0.0;
+  int count = 0;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < chip.unit_count(); ++i) {
+    mean += chip.unit(i).inverter.delay_ref_ps;
+  }
+  mean /= static_cast<double>(chip.unit_count());
+  for (std::size_t i = 0; i + 1 < chip.unit_count(); ++i) {
+    corr_sum += (chip.unit(i).inverter.delay_ref_ps - mean) *
+                (chip.unit(i + 1).inverter.delay_ref_ps - mean);
+    ++count;
+  }
+  EXPECT_GT(corr_sum / count, 0.0);
+}
+
+TEST(Fab, RejectsEmptyGrid) {
+  Fab fab(ProcessParams{}, 1);
+  EXPECT_THROW(fab.fabricate(0, 4), ropuf::Error);
+}
+
+TEST(Fab, RejectsNonPositiveNominalDelays) {
+  ProcessParams p;
+  p.inverter_delay_ps = -1.0;
+  EXPECT_THROW(Fab(p, 1), ropuf::Error);
+}
+
+TEST(Fleet, VtFleetHasPaperShape) {
+  VtFleetSpec spec;
+  spec.nominal_boards = 10;  // keep the test fast; shape is what matters
+  spec.env_boards = 2;
+  const VtFleet fleet = make_vt_fleet(spec);
+  EXPECT_EQ(fleet.nominal.size(), 10u);
+  EXPECT_EQ(fleet.env.size(), 2u);
+  EXPECT_EQ(fleet.nominal[0].unit_count(), 512u);
+}
+
+TEST(Fleet, DefaultSpecsMatchPaperCounts) {
+  EXPECT_EQ(VtFleetSpec{}.nominal_boards, 194u);
+  EXPECT_EQ(VtFleetSpec{}.env_boards, 5u);
+  EXPECT_EQ(VtFleetSpec{}.grid_cols * VtFleetSpec{}.grid_rows, 512u);
+  EXPECT_EQ(InHouseFleetSpec{}.boards, 9u);
+  EXPECT_EQ(InHouseFleetSpec{}.grid_cols * InHouseFleetSpec{}.grid_rows, 1024u);
+}
+
+TEST(Fleet, InHouseFleetIsDeterministic) {
+  InHouseFleetSpec spec;
+  spec.boards = 2;
+  const auto a = make_inhouse_fleet(spec);
+  const auto b = make_inhouse_fleet(spec);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a[1].unit(100).inverter.delay_ref_ps,
+                   b[1].unit(100).inverter.delay_ref_ps);
+}
+
+TEST(Fleet, BoardsShareCommonSystematicTrend) {
+  // The fleet-common trend must induce positive cross-chip correlation of
+  // the per-location delay deviations (this is what breaks raw-bit NIST
+  // randomness in the paper until the distiller removes it).
+  VtFleetSpec spec;
+  spec.nominal_boards = 30;
+  spec.env_boards = 0;
+  spec.process.random_sigma_rel = 0.004;
+  spec.process.chip_systematic_amp = 0.004;
+  spec.process.common_systematic_amp = 0.03;
+  const VtFleet fleet = make_vt_fleet(spec);
+
+  // Average delay per location across chips; its spatial spread should be
+  // dominated by the common trend rather than averaged-out noise.
+  const std::size_t units = fleet.nominal[0].unit_count();
+  std::vector<double> avg(units, 0.0);
+  for (const Chip& chip : fleet.nominal) {
+    for (std::size_t i = 0; i < units; ++i) avg[i] += chip.unit(i).inverter.delay_ref_ps;
+  }
+  double mean = 0.0;
+  for (auto& v : avg) {
+    v /= static_cast<double>(fleet.nominal.size());
+    mean += v;
+  }
+  mean /= static_cast<double>(units);
+  double sd = 0.0;
+  for (const double v : avg) sd += (v - mean) * (v - mean);
+  sd = std::sqrt(sd / static_cast<double>(units));
+  // Pure noise would leave sd ~ sigma/sqrt(30) ~ 0.07% of nominal; the
+  // common trend keeps it at the percent level.
+  EXPECT_GT(sd, 0.005 * 1000.0);
+}
+
+}  // namespace
+}  // namespace ropuf::sil

@@ -1,0 +1,87 @@
+// Parameterized silicon sweeps: the electrical model's monotonicity and
+// scaling laws must hold at every corner of the VT grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "silicon/fabrication.h"
+
+namespace ropuf::sil {
+namespace {
+
+class CornerSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CornerSweep, AllDeviceDelaysPositiveAndFinite) {
+  const auto [voltage, temperature] = GetParam();
+  Fab fab(ProcessParams{}, 11);
+  const Chip chip = fab.fabricate(8, 8);
+  const OperatingPoint op{voltage, temperature};
+  for (std::size_t i = 0; i < chip.unit_count(); ++i) {
+    const double sel = chip.selected_path_delay_ps(i, op);
+    const double skip = chip.skip_path_delay_ps(i, op);
+    EXPECT_TRUE(std::isfinite(sel) && sel > 0.0);
+    EXPECT_TRUE(std::isfinite(skip) && skip > 0.0);
+    EXPECT_GT(sel, skip);  // inverter + mux path dominates the bypass wire
+  }
+}
+
+TEST_P(CornerSweep, CommonScalingDominatesMismatch) {
+  // Between any corner and nominal, the *ratio* of two devices' delays
+  // moves by far less than the delays themselves: the common environmental
+  // factor dwarfs the sensitivity mismatch. This is the precondition for
+  // enrollment-time configurations staying valid in the field.
+  const auto [voltage, temperature] = GetParam();
+  Fab fab(ProcessParams{}, 12);
+  const Chip chip = fab.fabricate(8, 8);
+  const OperatingPoint corner{voltage, temperature};
+  const OperatingPoint nominal = nominal_op();
+
+  const double scale =
+      chip.selected_path_delay_ps(0, corner) / chip.selected_path_delay_ps(0, nominal);
+  for (std::size_t i = 1; i < 32; ++i) {
+    const double scale_i =
+        chip.selected_path_delay_ps(i, corner) / chip.selected_path_delay_ps(i, nominal);
+    EXPECT_NEAR(scale_i / scale, 1.0, 0.02) << "unit " << i;
+  }
+  // The common factor itself is large when far from nominal voltage.
+  if (voltage <= 1.0) {
+    EXPECT_GT(scale, 1.2);
+  }
+  if (voltage >= 1.4) {
+    EXPECT_LT(scale, 0.9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VtGrid, CornerSweep,
+    ::testing::Combine(::testing::Values(0.98, 1.08, 1.20, 1.32, 1.44),
+                       ::testing::Values(25.0, 45.0, 65.0)),
+    [](const ::testing::TestParamInfo<std::tuple<double, double>>& param_info) {
+      const int mv = static_cast<int>(std::get<0>(param_info.param) * 100);
+      const int tc = static_cast<int>(std::get<1>(param_info.param));
+      return "v" + std::to_string(mv) + "_t" + std::to_string(tc);
+    });
+
+TEST(DelayMonotonicity, StrictInVoltageAndTemperature) {
+  Fab fab(ProcessParams{}, 13);
+  const Chip chip = fab.fabricate(4, 4);
+  for (std::size_t i = 0; i < chip.unit_count(); ++i) {
+    double prev = 1e300;
+    for (double v = 0.98; v <= 1.45; v += 0.02) {
+      const double d = chip.selected_path_delay_ps(i, {v, 25.0});
+      EXPECT_LT(d, prev);
+      prev = d;
+    }
+    prev = 0.0;
+    for (double t = 25.0; t <= 65.0; t += 5.0) {
+      const double d = chip.selected_path_delay_ps(i, {1.20, t});
+      EXPECT_GT(d, prev);
+      prev = d;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ropuf::sil

@@ -1,0 +1,105 @@
+#include "sram/sram_puf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::sram {
+namespace {
+
+TEST(SramPuf, RejectsDegenerateSpecs) {
+  Rng rng(1);
+  SramSpec spec;
+  spec.cells = 0;
+  EXPECT_THROW(SramPuf(spec, rng), ropuf::Error);
+  spec = SramSpec{};
+  spec.noise_sigma = -0.1;
+  EXPECT_THROW(SramPuf(spec, rng), ropuf::Error);
+}
+
+TEST(SramPuf, ReferenceIsTheNoiseFreeState) {
+  Rng rng(2);
+  SramSpec spec;
+  spec.noise_sigma = 0.0;
+  const SramPuf puf(spec, rng);
+  EXPECT_EQ(puf.power_up(rng), puf.reference());
+}
+
+TEST(SramPuf, PowerUpStatesAreBalanced) {
+  Rng rng(3);
+  SramSpec spec;
+  spec.cells = 4096;
+  const SramPuf puf(spec, rng);
+  const BitVec state = puf.power_up(rng);
+  const double ones = static_cast<double>(state.popcount()) / 4096.0;
+  EXPECT_NEAR(ones, 0.5, 0.03);
+}
+
+TEST(SramPuf, LayoutBiasSkewsTheStates) {
+  Rng rng(4);
+  SramSpec spec;
+  spec.cells = 4096;
+  spec.skew_bias = 0.5;
+  const SramPuf puf(spec, rng);
+  const double ones =
+      static_cast<double>(puf.power_up(rng).popcount()) / 4096.0;
+  EXPECT_GT(ones, 0.62);  // Phi(0.5) ~ 0.69
+}
+
+TEST(SramPuf, RepowerFlipsOnlyNearBalancedCells) {
+  Rng rng(5);
+  SramSpec spec;
+  spec.cells = 2048;
+  spec.noise_sigma = 0.08;
+  const SramPuf puf(spec, rng);
+  const BitVec reference = puf.reference();
+  // Flip fraction per power-up ~ E[Phi(-|s|/sigma)] which for sigma=0.08 is
+  // ~ sigma/sqrt(2*pi) ~ 3%; check the ballpark and that masking the
+  // near-balanced cells removes (nearly) all flips.
+  const BitVec sample = puf.power_up(rng);
+  const double flip_rate =
+      static_cast<double>(sample.hamming_distance(reference)) / 2048.0;
+  EXPECT_GT(flip_rate, 0.005);
+  EXPECT_LT(flip_rate, 0.08);
+
+  const auto mask = puf.stable_mask(0.4);  // 5 sigma of noise
+  std::size_t masked_flips = 0, kept = 0;
+  for (std::size_t i = 0; i < 2048; ++i) {
+    if (!mask[i]) continue;
+    ++kept;
+    if (sample.get(i) != reference.get(i)) ++masked_flips;
+  }
+  EXPECT_GT(kept, 1000u);
+  EXPECT_EQ(masked_flips, 0u);
+}
+
+TEST(SramPuf, DifferentChipsAreIndependent) {
+  Rng rng(6);
+  SramSpec spec;
+  spec.cells = 2048;
+  const SramPuf a(spec, rng);
+  const SramPuf b(spec, rng);
+  const std::size_t hd = a.reference().hamming_distance(b.reference());
+  EXPECT_NEAR(static_cast<double>(hd) / 2048.0, 0.5, 0.05);
+}
+
+TEST(SramPuf, StableMaskMonotoneInThreshold) {
+  Rng rng(7);
+  const SramPuf puf(SramSpec{}, rng);
+  std::size_t prev = puf.cell_count();
+  for (const double th : {0.0, 0.2, 0.5, 1.0, 2.0}) {
+    const auto mask = puf.stable_mask(th);
+    std::size_t kept = 0;
+    for (const bool b : mask) {
+      if (b) ++kept;
+    }
+    EXPECT_LE(kept, prev);
+    prev = kept;
+  }
+  EXPECT_THROW(puf.stable_mask(-1.0), ropuf::Error);
+}
+
+}  // namespace
+}  // namespace ropuf::sram

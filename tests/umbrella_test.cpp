@@ -1,0 +1,50 @@
+// Compile-and-link check of the umbrella header plus a cross-namespace
+// smoke scenario touching every top-level module through it.
+#include "ropuf.h"
+
+#include <gtest/gtest.h>
+
+namespace ropuf {
+namespace {
+
+TEST(Umbrella, EveryModuleReachable) {
+  Rng rng(1);
+
+  // silicon + ro + puf
+  sil::Fab fab(sil::ProcessParams{}, 3);
+  const sil::Chip chip = fab.fabricate(8, 8);
+  puf::DeviceSpec spec;
+  spec.stages = 3;
+  spec.pair_count = 4;
+  puf::ConfigurableRoPufDevice device(&chip, spec, rng);
+  device.enroll(sil::nominal_op(), rng);
+  const BitVec response = device.enrolled_response();
+  EXPECT_EQ(response.size(), 4u);
+
+  // numeric
+  EXPECT_NEAR(num::igamc(1.0, 0.0), 1.0, 1e-12);
+
+  // nist
+  BitVec stream(128);
+  for (std::size_t i = 0; i < 128; ++i) stream.set(i, rng.flip());
+  EXPECT_TRUE(nist::frequency_test(stream).applicable);
+
+  // crypto
+  const crypto::CyclicCode code = crypto::CyclicCode::hamming_7_4();
+  EXPECT_EQ(code.n(), 7u);
+
+  // arbiter + attack
+  arb::ArbiterSpec aspec;
+  aspec.stages = 8;
+  const arb::ArbiterPuf arbiter(aspec, rng);
+  BitVec challenge(8);
+  EXPECT_EQ(arb::ArbiterPuf::features(challenge).size(), 9u);
+  attack::PredictionStats stats = attack::random_predictor(response, rng);
+  EXPECT_EQ(stats.total, 4u);
+
+  // analysis
+  EXPECT_NEAR(analysis::binary_entropy(0.5), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ropuf

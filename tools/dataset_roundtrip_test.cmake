@@ -1,0 +1,16 @@
+# Export a synthetic dataset, then run the dataset-stats pipeline on it; the
+# distilled 40-board snapshot must pass NIST.
+set(csv ${CMAKE_CURRENT_BINARY_DIR}/cli_test_dataset.csv)
+execute_process(COMMAND ${CLI} export-dataset --boards 40 --out ${csv}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "export-dataset failed: ${out}")
+endif()
+execute_process(COMMAND ${CLI} dataset-stats --dataset ${csv}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dataset-stats failed: ${out}")
+endif()
+if(NOT out MATCHES "NIST verdict: PASS")
+  message(FATAL_ERROR "expected NIST PASS on distilled snapshot: ${out}")
+endif()

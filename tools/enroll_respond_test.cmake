@@ -1,0 +1,17 @@
+# Round-trip smoke test: enroll writes a record, respond reads it back and
+# must report zero flips at the enrollment corner.
+set(record ${CMAKE_CURRENT_BINARY_DIR}/cli_test_enrollment.ropuf)
+execute_process(COMMAND ${CLI} enroll --seed 42 --stages 5 --pairs 16 --out ${record}
+                RESULT_VARIABLE enroll_rc OUTPUT_VARIABLE enroll_out)
+if(NOT enroll_rc EQUAL 0)
+  message(FATAL_ERROR "enroll failed: ${enroll_out}")
+endif()
+
+execute_process(COMMAND ${CLI} respond --seed 42 --enrollment ${record}
+                RESULT_VARIABLE respond_rc OUTPUT_VARIABLE respond_out)
+if(NOT respond_rc EQUAL 0)
+  message(FATAL_ERROR "respond failed: ${respond_out}")
+endif()
+if(NOT respond_out MATCHES "flips: 0 of 16")
+  message(FATAL_ERROR "expected zero flips at the enrollment corner: ${respond_out}")
+endif()

@@ -1,0 +1,240 @@
+// ropuf_cli — command-line front end for the library's main workflows.
+//
+// Chips are simulated, so a (seed, grid) pair fully identifies a chip; the
+// enroll/respond pair below demonstrates the deployment split: enrollment
+// writes a portable record, response evaluation needs only that record plus
+// access to the (same) chip.
+//
+//   ropuf_cli fleet-stats --boards N [--seed S]
+//   ropuf_cli enroll --seed S [--stages N] [--pairs P] [--mode case1|case2]
+//                    [--out FILE]
+//   ropuf_cli respond --seed S --enrollment FILE [--voltage V] [--temp T]
+//   ropuf_cli nist --streams N --bits B [--bias P]
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.h"
+#include "analysis/metrics.h"
+#include "common/error.h"
+#include "nist/report.h"
+#include "nist/suite.h"
+#include "puf/serialization.h"
+#include "silicon/dataset_io.h"
+#include "silicon/fleet.h"
+
+namespace {
+
+using namespace ropuf;
+
+/// Minimal --key value argument map.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      ROPUF_REQUIRE(key.rfind("--", 0) == 0, "expected --option, got '" + key + "'");
+      ROPUF_REQUIRE(i + 1 < argc, "missing value for " + key);
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double number(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    std::istringstream is(it->second);
+    double value = 0.0;
+    is >> value;
+    ROPUF_REQUIRE(!is.fail(), "non-numeric value for --" + key);
+    return value;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+sil::Chip chip_for_seed(std::uint64_t seed) {
+  sil::Fab fab(sil::ProcessParams{}, seed);
+  return fab.fabricate(16, 32);  // 512 units, the paper's board size
+}
+
+int cmd_fleet_stats(const Args& args) {
+  const std::size_t boards = static_cast<std::size_t>(args.number("boards", 20));
+  sil::VtFleetSpec spec;
+  spec.nominal_boards = boards;
+  spec.env_boards = 0;
+  spec.seed = static_cast<std::uint64_t>(args.number("seed", 0x20140601));
+  const sil::VtFleet fleet = sil::make_vt_fleet(spec);
+
+  analysis::DatasetOptions opts;
+  opts.distill = true;
+  const auto responses = analysis::board_responses(fleet.nominal, opts);
+  std::printf("boards: %zu   bits/board: %zu\n", boards, responses[0].size());
+  std::printf("uniqueness: %.2f%% (ideal 50)\n", analysis::uniqueness_percent(responses));
+  std::printf("uniformity: %.2f%% (ideal 50)\n", analysis::uniformity_percent(responses));
+  return 0;
+}
+
+int cmd_enroll(const Args& args) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  const std::size_t stages = static_cast<std::size_t>(args.number("stages", 7));
+  const std::size_t pairs = static_cast<std::size_t>(args.number("pairs", 32));
+  const std::string mode_name = args.get("mode", "case2");
+  ROPUF_REQUIRE(mode_name == "case1" || mode_name == "case2", "mode must be case1|case2");
+  const puf::SelectionCase mode = mode_name == "case1" ? puf::SelectionCase::kSameConfig
+                                                       : puf::SelectionCase::kIndependent;
+
+  const sil::Chip chip = chip_for_seed(seed);
+  Rng rng(seed ^ 0xe40011);
+  analysis::DatasetOptions opts;
+  opts.distill = true;
+  const auto values = analysis::board_unit_values(chip, sil::nominal_op(), opts, rng);
+  const puf::BoardLayout layout{stages, pairs};
+  const auto enrollment = puf::configurable_enroll(values, layout, mode);
+
+  const std::string out = args.get("out", "enrollment.ropuf");
+  std::ofstream file(out);
+  ROPUF_REQUIRE(file.good(), "cannot open output file " + out);
+  file << puf::serialize_enrollment(enrollment);
+  std::printf("enrolled chip seed=%llu: %zu bits -> %s\n",
+              static_cast<unsigned long long>(seed), pairs, out.c_str());
+  std::printf("response: %s\n", enrollment.response().to_string().c_str());
+  return 0;
+}
+
+int cmd_respond(const Args& args) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  const std::string path = args.get("enrollment", "enrollment.ropuf");
+  std::ifstream file(path);
+  ROPUF_REQUIRE(file.good(), "cannot open enrollment file " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const auto enrollment = puf::parse_enrollment(buffer.str());
+
+  const sil::OperatingPoint op{args.number("voltage", 1.20), args.number("temp", 25.0)};
+  const sil::Chip chip = chip_for_seed(seed);
+  Rng rng(seed ^ 0x4e590);
+  analysis::DatasetOptions opts;
+  opts.distill = true;
+  const auto values = analysis::board_unit_values(chip, op, opts, rng);
+  const BitVec response = puf::configurable_respond(values, enrollment);
+  std::printf("corner %.2fV / %.1fC\n", op.voltage_v, op.temperature_c);
+  std::printf("response:  %s\n", response.to_string().c_str());
+  std::printf("reference: %s\n", enrollment.response().to_string().c_str());
+  std::printf("flips: %zu of %zu\n", response.hamming_distance(enrollment.response()),
+              response.size());
+  return 0;
+}
+
+int cmd_nist(const Args& args) {
+  const std::size_t streams = static_cast<std::size_t>(args.number("streams", 97));
+  const std::size_t bits = static_cast<std::size_t>(args.number("bits", 96));
+  const double bias = args.number("bias", 0.5);
+  ROPUF_REQUIRE(bias > 0.0 && bias < 1.0, "bias must be in (0, 1)");
+
+  Rng rng(static_cast<std::uint64_t>(args.number("seed", 7)));
+  nist::FinalAnalysisReport report;
+  const nist::SuiteConfig config =
+      bits <= 256 ? nist::paper_config() : nist::SuiteConfig{};
+  for (std::size_t s = 0; s < streams; ++s) {
+    BitVec stream(bits);
+    for (std::size_t i = 0; i < bits; ++i) stream.set(i, rng.uniform() < bias);
+    report.add_sequence(nist::run_suite(stream, config));
+  }
+  std::printf("%s\nverdict: %s\n", report.render().c_str(),
+              report.all_pass() ? "PASS" : "FAIL");
+  return report.all_pass() ? 0 : 2;
+}
+
+int cmd_export_dataset(const Args& args) {
+  const std::size_t boards = static_cast<std::size_t>(args.number("boards", 20));
+  sil::VtFleetSpec spec;
+  spec.nominal_boards = boards;
+  spec.env_boards = 0;
+  spec.seed = static_cast<std::uint64_t>(args.number("seed", 0x20140601));
+  const sil::VtFleet fleet = sil::make_vt_fleet(spec);
+  Rng rng(spec.seed ^ 0xdada);
+  const sil::MeasurementTable table =
+      sil::snapshot_fleet(fleet.nominal, sil::nominal_op(), args.number("noise", 0.5), rng);
+
+  const std::string out = args.get("out", "dataset.csv");
+  std::ofstream file(out);
+  ROPUF_REQUIRE(file.good(), "cannot open output file " + out);
+  file << sil::to_csv(table);
+  std::printf("exported %zu boards x %zu units -> %s\n", boards,
+              table.units_per_board(), out.c_str());
+  return 0;
+}
+
+int cmd_dataset_stats(const Args& args) {
+  // Works on any table in the CSV format — including the real VT dataset
+  // converted to it — so the paper's IV.A pipeline can run on real data.
+  const std::string path = args.get("dataset", "dataset.csv");
+  std::ifstream file(path);
+  ROPUF_REQUIRE(file.good(), "cannot open dataset file " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const sil::MeasurementTable table = sil::from_csv(buffer.str());
+
+  analysis::DatasetOptions opts;
+  opts.distill = args.get("distill", "on") != "off";
+  opts.stages = static_cast<std::size_t>(args.number("stages", 5));
+  const auto responses = analysis::table_responses(table, opts);
+  std::printf("boards: %zu   bits/board: %zu   distiller: %s\n", responses.size(),
+              responses[0].size(), opts.distill ? "on" : "off");
+  if (responses.size() >= 2) {
+    std::printf("uniqueness: %.2f%%   uniformity: %.2f%%\n",
+                analysis::uniqueness_percent(responses),
+                analysis::uniformity_percent(responses));
+  }
+  nist::FinalAnalysisReport report;
+  for (const auto& stream : analysis::combine_board_pairs(responses)) {
+    report.add_sequence(nist::run_suite(stream, nist::paper_config()));
+  }
+  std::printf("%sNIST verdict: %s\n", report.render().c_str(),
+              report.all_pass() ? "PASS" : "FAIL");
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ropuf_cli <command> [--option value ...]\n"
+               "commands:\n"
+               "  fleet-stats --boards N [--seed S]\n"
+               "  enroll  --seed S [--stages N] [--pairs P] [--mode case1|case2] [--out F]\n"
+               "  respond --seed S --enrollment F [--voltage V] [--temp T]\n"
+               "  nist    [--streams N] [--bits B] [--bias P] [--seed S]\n"
+               "  export-dataset [--boards N] [--seed S] [--noise PS] [--out F]\n"
+               "  dataset-stats --dataset F [--stages N] [--distill on|off]\n");
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "fleet-stats") return cmd_fleet_stats(args);
+    if (command == "enroll") return cmd_enroll(args);
+    if (command == "respond") return cmd_respond(args);
+    if (command == "nist") return cmd_nist(args);
+    if (command == "export-dataset") return cmd_export_dataset(args);
+    if (command == "dataset-stats") return cmd_dataset_stats(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
