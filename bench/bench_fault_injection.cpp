@@ -1,0 +1,119 @@
+// Robustness extension: key recovery under injected hardware faults.
+//
+// Sweeps the per-read fault rate (stuck counters, dropped reads, glitches,
+// aging drift, brown-outs — silicon/faults.h) and measures end-to-end key
+// recovery through the BCH(15,7) code-offset fuzzy extractor, with the
+// readout pipeline hardened (median-of-k + MAD rejection + retries + dark-
+// bit masking) and naive. The hardened pipeline must recover at least as
+// often at every rate and strictly more often once faults are common
+// (>= 1% per read), at the price of masked (dark) response bits.
+#include "bench_common.h"
+
+#include "common/table.h"
+#include "crypto/cyclic_code.h"
+#include "crypto/fuzzy_extractor.h"
+#include "puf/chip_puf.h"
+#include "silicon/faults.h"
+
+namespace {
+
+using namespace ropuf;
+
+constexpr std::size_t kPairs = 30;  // 2 BCH(15,7) blocks
+constexpr int kTrials = 5;
+
+puf::DeviceSpec device_spec(bool hardened) {
+  puf::DeviceSpec spec;
+  spec.stages = 7;
+  spec.pair_count = kPairs;
+  spec.mode = puf::SelectionCase::kIndependent;
+  spec.hardened = hardened;
+  return spec;
+}
+
+struct SweepCell {
+  int recovered = 0;   ///< trials whose reproduced key matched
+  double masked = 0.0; ///< mean dark-bit-masked pairs per trial
+};
+
+SweepCell run_cell(double rate, bool hardened) {
+  const crypto::CyclicCode code = crypto::CyclicCode::bch_15_7();
+  const crypto::FuzzyExtractor extractor(&code);
+  SweepCell cell;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const sil::Chip& board = bench::inhouse_fleet()[static_cast<std::size_t>(trial)];
+    sil::FaultInjector injector(sil::FaultPlan::uniform(rate),
+                                0xfa017 + static_cast<std::uint64_t>(trial));
+    Rng rng(0xb0175 + static_cast<std::uint64_t>(trial));
+    bool ok = false;
+    try {
+      puf::ConfigurableRoPufDevice device(&board, device_spec(hardened), rng);
+      device.set_fault_injector(&injector);
+      device.enroll(sil::nominal_op(), rng);
+      const auto enrollment = extractor.generate(device.enrolled_response(), rng);
+      const BitVec response = device.respond(sil::nominal_op(), rng);
+      const auto key = extractor.reproduce(response, enrollment.helper);
+      ok = key.has_value() && *key == enrollment.key;
+      cell.masked += static_cast<double>(device.masked_count());
+    } catch (const Error&) {
+      ok = false;  // the naive pipeline dies on the first unhandled fault
+    }
+    if (ok) ++cell.recovered;
+  }
+  cell.masked /= kTrials;
+  return cell;
+}
+
+void run() {
+  bench::banner("bench_fault_injection",
+                "robustness extension - key recovery vs per-read fault rate");
+
+  const std::vector<double> rates = {0.0, 0.005, 0.01, 0.02, 0.05};
+  TextTable table({"fault rate", "naive keys", "hardened keys", "masked pairs"});
+  bool monotone_ok = true, strict_ok = true;
+  for (const double rate : rates) {
+    const SweepCell naive = run_cell(rate, false);
+    const SweepCell hardened = run_cell(rate, true);
+    table.add_row({TextTable::num(rate, 3),
+                   std::to_string(naive.recovered) + "/" + std::to_string(kTrials),
+                   std::to_string(hardened.recovered) + "/" + std::to_string(kTrials),
+                   TextTable::num(hardened.masked, 1)});
+    if (hardened.recovered < naive.recovered) monotone_ok = false;
+    if (rate >= 0.01 && hardened.recovered <= naive.recovered) strict_ok = false;
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape check (hardened >= naive at every rate): %s\n",
+              monotone_ok ? "HOLDS" : "VIOLATED");
+  std::printf("shape check (hardened strictly better at rates >= 1%%): %s\n",
+              strict_ok ? "HOLDS" : "VIOLATED");
+}
+
+void bm_respond(benchmark::State& state) {
+  const sil::Chip& board = bench::inhouse_fleet()[0];
+  Rng rng(9);
+  puf::ConfigurableRoPufDevice device(&board, device_spec(false), rng);
+  device.enroll(sil::nominal_op(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.respond(sil::nominal_op(), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kPairs));
+}
+BENCHMARK(bm_respond)->Unit(benchmark::kMillisecond);
+
+void bm_hardened_respond(benchmark::State& state) {
+  const sil::Chip& board = bench::inhouse_fleet()[0];
+  Rng rng(9);
+  puf::ConfigurableRoPufDevice device(&board, device_spec(true), rng);
+  sil::FaultInjector injector(sil::FaultPlan::uniform(0.02), 0xfa017);
+  device.set_fault_injector(&injector);
+  device.enroll(sil::nominal_op(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.respond(sil::nominal_op(), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kPairs));
+}
+BENCHMARK(bm_hardened_respond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) { return ropuf::bench::bench_main(argc, argv, run); }

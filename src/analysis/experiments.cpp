@@ -11,7 +11,14 @@ namespace ropuf::analysis {
 std::vector<double> board_unit_values(const sil::Chip& board,
                                       const sil::OperatingPoint& op,
                                       const DatasetOptions& opts, Rng& rng) {
-  std::vector<double> values = puf::measure_unit_ddiffs(board, op, opts.measurement, rng);
+  std::vector<double> values;
+  if (opts.injector != nullptr && opts.hardened) {
+    values = puf::robust_unit_ddiffs(board, op, opts.measurement, rng, *opts.injector,
+                                     opts.retry)
+                 .values;
+  } else {
+    values = puf::measure_unit_ddiffs(board, op, opts.measurement, rng, opts.injector);
+  }
   if (opts.distill) {
     const puf::RegressionDistiller distiller(opts.distiller_degree);
     values = distiller.distill_chip(board, values);

@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "puf/chip_puf.h"
 #include "puf/measurement.h"
+#include "puf/robust_measure.h"
 #include "puf/schemes.h"
 #include "puf/selection.h"
 #include "silicon/chip.h"
@@ -30,6 +31,14 @@ struct DatasetOptions {
   std::size_t distiller_degree = 2;
   puf::UnitMeasurementSpec measurement;  ///< unit-level readout noise
   std::uint64_t noise_seed = 0x5eed;
+  /// Optional fault source for the unit readout campaign (non-owning;
+  /// nullptr = fault-free, the default). With `hardened` the campaign runs
+  /// through the robust readout and units that exhaust the retry budget
+  /// read back as dark (0.0) units; without it faults corrupt values
+  /// silently and a dropped read throws MeasurementFault.
+  sil::FaultInjector* injector = nullptr;
+  bool hardened = false;
+  puf::RetryPolicy retry;
 };
 
 /// Measured (and, if configured, distilled) per-unit values of one board.

@@ -3,6 +3,12 @@
 // The library reports contract violations (bad arguments, impossible states)
 // by throwing ropuf::Error. Benches and examples let the exception escape to
 // a top-level handler; tests assert on it with EXPECT_THROW.
+//
+// Transient hardware faults (a glitched or dropped counter read, a stuck
+// measurement channel) are a different condition: they are *recoverable* by
+// retrying or masking, so they carry their own subclass, MeasurementFault,
+// tagged with the fault kind. Callers that want graceful degradation catch
+// MeasurementFault specifically and let contract violations propagate.
 #pragma once
 
 #include <stdexcept>
@@ -14,6 +20,48 @@ namespace ropuf {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Taxonomy of hardware-fault conditions a measurement campaign can hit
+/// (see docs/fault_model.md). kRetryExhausted is the terminal condition a
+/// robust readout reports after its retry budget is spent.
+enum class FaultKind {
+  kNone,
+  kStuckChannel,     ///< counter latched at a constant count
+  kDroppedRead,      ///< gate closed with no count captured
+  kTransientGlitch,  ///< heavy-tailed outlier on one read
+  kAgingDrift,       ///< slow monotone delay drift over the campaign
+  kBrownout,         ///< supply droop slowing a run of consecutive reads
+  kRetryExhausted,   ///< robust readout gave up after its retry budget
+};
+
+/// Stable human-readable name for a fault kind.
+inline const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kStuckChannel: return "stuck-channel";
+    case FaultKind::kDroppedRead: return "dropped-read";
+    case FaultKind::kTransientGlitch: return "transient-glitch";
+    case FaultKind::kAgingDrift: return "aging-drift";
+    case FaultKind::kBrownout: return "brownout";
+    case FaultKind::kRetryExhausted: return "retry-exhausted";
+  }
+  return "unknown";
+}
+
+/// Recoverable measurement-path failure. Distinct from plain Error so that
+/// hardened readout code can retry/mask hardware faults while still letting
+/// genuine contract violations terminate the caller.
+class MeasurementFault : public Error {
+ public:
+  MeasurementFault(FaultKind kind, const std::string& what)
+      : Error(std::string("measurement fault [") + fault_kind_name(kind) + "]: " + what),
+        kind_(kind) {}
+
+  FaultKind kind() const { return kind_; }
+
+ private:
+  FaultKind kind_;
 };
 
 namespace detail {

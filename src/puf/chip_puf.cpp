@@ -18,86 +18,114 @@ ConfigurableRoPufDevice::ConfigurableRoPufDevice(const sil::Chip* chip, DeviceSp
   ROPUF_REQUIRE(spec_.measurement_repetitions >= 1, "repetitions must be >= 1");
 }
 
-std::vector<ConfigurableRoPufDevice::PairMeasurement>
+std::vector<std::optional<ConfigurableRoPufDevice::PairMeasurement>>
 ConfigurableRoPufDevice::measure_all_pairs(const sil::OperatingPoint& op, Rng& rng) const {
   const ro::DelayExtractor extractor(&counter_);
-  std::vector<PairMeasurement> measurements;
+  std::vector<std::optional<PairMeasurement>> measurements;
   measurements.reserve(pairs_.size());
   for (const auto& [top, bottom] : pairs_) {
-    const ro::ExtractionResult top_result =
-        extractor.extract_leave_one_out_with_base(top, op, rng,
-                                                  spec_.measurement_repetitions);
-    const ro::ExtractionResult bottom_result =
-        extractor.extract_leave_one_out_with_base(bottom, op, rng,
-                                                  spec_.measurement_repetitions);
-    PairMeasurement m;
-    m.top_ddiff = top_result.ddiff_ps;
-    m.bottom_ddiff = bottom_result.ddiff_ps;
-    m.top_selection = m.top_ddiff;
-    m.bottom_selection = m.bottom_ddiff;
-    m.top_base_ps = top_result.base_delay_ps;
-    m.bottom_base_ps = bottom_result.base_delay_ps;
-    m.base_delta_ps = m.top_base_ps - m.bottom_base_ps;
-    measurements.push_back(std::move(m));
+    auto extract_pair = [&] {
+      ro::ExtractionResult top_result, bottom_result;
+      if (spec_.hardened) {
+        top_result = robust_extract_leave_one_out_with_base(counter_, top, op, rng,
+                                                            spec_.retry, &read_stats_);
+        bottom_result = robust_extract_leave_one_out_with_base(counter_, bottom, op, rng,
+                                                               spec_.retry, &read_stats_);
+      } else {
+        top_result = extractor.extract_leave_one_out_with_base(
+            top, op, rng, spec_.measurement_repetitions);
+        bottom_result = extractor.extract_leave_one_out_with_base(
+            bottom, op, rng, spec_.measurement_repetitions);
+      }
+      PairMeasurement m;
+      m.top_ddiff = top_result.ddiff_ps;
+      m.bottom_ddiff = bottom_result.ddiff_ps;
+      m.top_selection = m.top_ddiff;
+      m.bottom_selection = m.bottom_ddiff;
+      m.top_base_ps = top_result.base_delay_ps;
+      m.bottom_base_ps = bottom_result.base_delay_ps;
+      m.base_delta_ps = m.top_base_ps - m.bottom_base_ps;
+      return m;
+    };
+    if (spec_.hardened) {
+      // Retry-exhausted pairs degrade to dark bits; any other error is a
+      // genuine contract violation and propagates.
+      try {
+        measurements.push_back(extract_pair());
+      } catch (const MeasurementFault&) {
+        measurements.push_back(std::nullopt);
+      }
+    } else {
+      measurements.push_back(extract_pair());
+    }
   }
 
   if (spec_.distill) {
     // Detrend across the whole device: gather every measured unit into one
     // array, fit/subtract the spatial surface, and scatter the residuals
     // back as the values the selection algorithm sees. Raw ddiffs are kept
-    // for the stored (physical) margins.
+    // for the stored (physical) margins. Dark (masked) pairs contribute no
+    // samples, so they cannot pollute the fit.
     std::vector<double> values;
     std::vector<sil::DieLocation> locations;
     for (std::size_t p = 0; p < pairs_.size(); ++p) {
+      if (!measurements[p].has_value()) continue;
       const auto& [top, bottom] = pairs_[p];
       for (std::size_t s = 0; s < spec_.stages; ++s) {
-        values.push_back(measurements[p].top_ddiff[s]);
+        values.push_back(measurements[p]->top_ddiff[s]);
         locations.push_back(chip_->location(top.unit_indices()[s]));
       }
       for (std::size_t s = 0; s < spec_.stages; ++s) {
-        values.push_back(measurements[p].bottom_ddiff[s]);
+        values.push_back(measurements[p]->bottom_ddiff[s]);
         locations.push_back(chip_->location(bottom.unit_indices()[s]));
       }
     }
-    const RegressionDistiller distiller(spec_.distiller_degree);
-    const std::vector<double> residual = distiller.distill(values, locations);
-    std::size_t cursor = 0;
-    for (auto& m : measurements) {
-      for (auto& v : m.top_selection) v = residual[cursor++];
-      for (auto& v : m.bottom_selection) v = residual[cursor++];
-    }
-
-    // The base delays carry the same spatial trend, and it is *shared across
-    // chips*, so an un-detrended base delta would correlate the response
-    // bits of nominally identical chips (breaking uniqueness). Fit a surface
-    // over the per-RO base estimates at the RO centroids and recompute each
-    // pair's delta from the residuals.
-    std::vector<double> bases;
-    std::vector<sil::DieLocation> centroids;
-    auto centroid = [&](const ro::ConfigurableRo& ring) {
-      sil::DieLocation c{0.0, 0.0};
-      for (const std::size_t u : ring.unit_indices()) {
-        c.x += chip_->location(u).x;
-        c.y += chip_->location(u).y;
+    if (!values.empty()) {
+      const RegressionDistiller distiller(spec_.distiller_degree);
+      const std::vector<double> residual = distiller.distill(values, locations);
+      std::size_t cursor = 0;
+      for (auto& m : measurements) {
+        if (!m.has_value()) continue;
+        for (auto& v : m->top_selection) v = residual[cursor++];
+        for (auto& v : m->bottom_selection) v = residual[cursor++];
       }
-      c.x /= static_cast<double>(ring.stage_count());
-      c.y /= static_cast<double>(ring.stage_count());
-      return c;
-    };
-    for (std::size_t p = 0; p < pairs_.size(); ++p) {
-      bases.push_back(measurements[p].top_base_ps);
-      centroids.push_back(centroid(pairs_[p].first));
-      bases.push_back(measurements[p].bottom_base_ps);
-      centroids.push_back(centroid(pairs_[p].second));
-    }
-    // A surface fit needs more samples than monomials; fall back to mean
-    // removal (degree 0) on tiny devices.
-    const std::size_t monomials = num::monomials_2d(spec_.distiller_degree).size();
-    const std::size_t base_degree = bases.size() > monomials ? spec_.distiller_degree : 0;
-    const RegressionDistiller base_distiller(base_degree);
-    const std::vector<double> base_residual = base_distiller.distill(bases, centroids);
-    for (std::size_t p = 0; p < pairs_.size(); ++p) {
-      measurements[p].base_delta_ps = base_residual[2 * p] - base_residual[2 * p + 1];
+
+      // The base delays carry the same spatial trend, and it is *shared across
+      // chips*, so an un-detrended base delta would correlate the response
+      // bits of nominally identical chips (breaking uniqueness). Fit a surface
+      // over the per-RO base estimates at the RO centroids and recompute each
+      // pair's delta from the residuals.
+      std::vector<double> bases;
+      std::vector<sil::DieLocation> centroids;
+      auto centroid = [&](const ro::ConfigurableRo& ring) {
+        sil::DieLocation c{0.0, 0.0};
+        for (const std::size_t u : ring.unit_indices()) {
+          c.x += chip_->location(u).x;
+          c.y += chip_->location(u).y;
+        }
+        c.x /= static_cast<double>(ring.stage_count());
+        c.y /= static_cast<double>(ring.stage_count());
+        return c;
+      };
+      for (std::size_t p = 0; p < pairs_.size(); ++p) {
+        if (!measurements[p].has_value()) continue;
+        bases.push_back(measurements[p]->top_base_ps);
+        centroids.push_back(centroid(pairs_[p].first));
+        bases.push_back(measurements[p]->bottom_base_ps);
+        centroids.push_back(centroid(pairs_[p].second));
+      }
+      // A surface fit needs more samples than monomials; fall back to mean
+      // removal (degree 0) on tiny devices.
+      const std::size_t monomials = num::monomials_2d(spec_.distiller_degree).size();
+      const std::size_t base_degree = bases.size() > monomials ? spec_.distiller_degree : 0;
+      const RegressionDistiller base_distiller(base_degree);
+      const std::vector<double> base_residual = base_distiller.distill(bases, centroids);
+      std::size_t base_cursor = 0;
+      for (auto& m : measurements) {
+        if (!m.has_value()) continue;
+        m->base_delta_ps = base_residual[base_cursor] - base_residual[base_cursor + 1];
+        base_cursor += 2;
+      }
     }
   }
   return measurements;
@@ -109,7 +137,21 @@ void ConfigurableRoPufDevice::enroll(const sil::OperatingPoint& op, Rng& rng) {
   selections_.reserve(pairs_.size());
   helper_data_.clear();
   helper_data_.reserve(pairs_.size());
-  for (const PairMeasurement& m : measurements) {
+  for (std::size_t p = 0; p < measurements.size(); ++p) {
+    if (!measurements[p].has_value()) {
+      // Dark bit: the pair's units stayed faulty past the retry budget.
+      // Store a well-formed placeholder (all inverters selected on both
+      // ROs keeps the popcount/arity invariants) and mask it out.
+      Selection placeholder;
+      placeholder.top_config = pairs_[p].first.all_selected();
+      placeholder.bottom_config = pairs_[p].second.all_selected();
+      PairHelperData masked;
+      masked.masked = true;
+      selections_.push_back(std::move(placeholder));
+      helper_data_.push_back(masked);
+      continue;
+    }
+    const PairMeasurement& m = *measurements[p];
     // Effective margin of a candidate selection in the *decision domain*:
     // detrended values and detrended base delta when distilling, the raw
     // physical quantities otherwise. m.base_delta_ps is already the right
@@ -175,8 +217,22 @@ BitVec ConfigurableRoPufDevice::respond(const sil::OperatingPoint& op, Rng& rng)
   ROPUF_REQUIRE(enrolled(), "device not enrolled");
   BitVec response(selections_.size());
   for (std::size_t p = 0; p < selections_.size(); ++p) {
+    if (helper_data_[p].masked) continue;  // dark bit: fixed 0, no measurement
     const auto& [top, bottom] = pairs_[p];
     const Selection& sel = selections_[p];
+    if (spec_.hardened) {
+      try {
+        const double top_delay = robust_path_delay_ps(counter_, top, sel.top_config, op,
+                                                      rng, spec_.retry, &read_stats_);
+        const double bottom_delay = robust_path_delay_ps(
+            counter_, bottom, sel.bottom_config, op, rng, spec_.retry, &read_stats_);
+        response.set(p, top_delay - bottom_delay - helper_data_[p].offset_ps > 0.0);
+      } catch (const MeasurementFault&) {
+        // Retry budget exhausted in the field: degrade this bit to 0 (a
+        // flip the fuzzy extractor absorbs) rather than fail the readout.
+      }
+      continue;
+    }
     const double top_delay = counter_.measure_path_delay_ps(top, sel.top_config, op, rng);
     const double bottom_delay =
         counter_.measure_path_delay_ps(bottom, sel.bottom_config, op, rng);
@@ -187,11 +243,38 @@ BitVec ConfigurableRoPufDevice::respond(const sil::OperatingPoint& op, Rng& rng)
 
 BitVec ConfigurableRoPufDevice::respond_voted(const sil::OperatingPoint& op, Rng& rng,
                                               int votes) const {
-  ROPUF_REQUIRE(votes >= 1 && votes % 2 == 1, "vote count must be odd and positive");
+  ROPUF_REQUIRE(votes >= 1, "vote count must be positive");
+  ROPUF_REQUIRE(votes % 2 == 1, "vote count must be odd (a tie is undecidable)");
   std::vector<BitVec> samples;
   samples.reserve(static_cast<std::size_t>(votes));
   for (int v = 0; v < votes; ++v) samples.push_back(respond(op, rng));
   return majority_vote(samples);
+}
+
+void ConfigurableRoPufDevice::set_fault_injector(sil::FaultInjector* injector) {
+  counter_.set_fault_injector(injector);
+}
+
+std::size_t ConfigurableRoPufDevice::masked_count() const {
+  ROPUF_REQUIRE(enrolled(), "device not enrolled");
+  std::size_t masked = 0;
+  for (const PairHelperData& h : helper_data_) masked += h.masked ? 1 : 0;
+  return masked;
+}
+
+std::size_t ConfigurableRoPufDevice::effective_bit_count() const {
+  return selections_.size() - masked_count();
+}
+
+ConfigurableEnrollment ConfigurableRoPufDevice::export_enrollment() const {
+  ROPUF_REQUIRE(enrolled(), "device not enrolled");
+  ConfigurableEnrollment enrollment;
+  enrollment.mode = spec_.mode;
+  enrollment.layout.stages = spec_.stages;
+  enrollment.layout.pair_count = spec_.pair_count;
+  enrollment.selections = selections_;
+  enrollment.helper = helper_data_;
+  return enrollment;
 }
 
 std::vector<bool> ConfigurableRoPufDevice::reliable_mask(double rth_ps) const {

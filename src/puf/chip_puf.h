@@ -19,11 +19,15 @@
 
 #include "common/bitvec.h"
 #include "common/rng.h"
+#include "puf/helper_data.h"
+#include "puf/robust_measure.h"
+#include "puf/schemes.h"
 #include "puf/selection.h"
 #include "ro/configurable_ro.h"
 #include "ro/delay_extractor.h"
 #include "ro/frequency_counter.h"
 #include "silicon/chip.h"
+#include "silicon/faults.h"
 
 namespace ropuf::puf {
 
@@ -48,16 +52,14 @@ struct DeviceSpec {
   /// spatial systematic trend cancels in the comparison (matched layout;
   /// ablated in bench_ablation_selection).
   ro::PairPlacement placement = ro::PairPlacement::kInterleaved;
-};
-
-/// Public per-pair helper data stored next to the configuration vectors.
-/// When distillation is on, the systematic (fleet-correlated) component of
-/// each pair's comparison is exported as an offset that the field readout
-/// subtracts before deciding the bit — otherwise nominally identical chips
-/// would produce correlated responses (see DESIGN.md). Without distillation
-/// the offset is zero and the comparison is the raw hardware one.
-struct PairHelperData {
-  double offset_ps = 0.0;
+  /// Hardened readout: every measurement goes through the robust path
+  /// (median-of-k, MAD outlier rejection, bounded retries per `retry`), and
+  /// pairs that stay faulty past the retry budget are dark-bit-masked at
+  /// enrollment / degraded to a fixed 0 bit in the field instead of
+  /// throwing. Off by default: the plain path is bit-identical to the
+  /// fault-free library. See docs/fault_model.md.
+  bool hardened = false;
+  RetryPolicy retry;
 };
 
 /// One chip's worth of configurable RO PUF.
@@ -69,9 +71,31 @@ class ConfigurableRoPufDevice {
   const DeviceSpec& spec() const { return spec_; }
   std::size_t bit_count() const { return spec_.pair_count; }
 
+  /// Attaches the chip's fault source (nullptr detaches). Non-owning; the
+  /// injector must outlive the device's measurement calls. All counter
+  /// reads of this device then pass through the fault model.
+  void set_fault_injector(sil::FaultInjector* injector);
+  sil::FaultInjector* fault_injector() const { return counter_.fault_injector(); }
+
   /// Chip-test phase: measure, (optionally) distill, select, store configs.
+  /// With spec().hardened, pairs whose units stay faulty past the retry
+  /// budget are dark-bit-masked instead of failing the enrollment.
   void enroll(const sil::OperatingPoint& op, Rng& rng);
   bool enrolled() const { return !selections_.empty(); }
+
+  /// Dark-bit accounting; requires enrolled(). Masked pairs read as a fixed
+  /// 0 bit in both the enrolled reference and every field response, so the
+  /// device degrades to `effective_bit_count()` useful bits.
+  std::size_t masked_count() const;
+  std::size_t effective_bit_count() const;
+
+  /// Robust-readout campaign counters accumulated by hardened enroll and
+  /// respond calls on this device.
+  const ReadStats& read_stats() const { return read_stats_; }
+
+  /// The portable enrollment record (configs, margins, helper data with the
+  /// dark-bit mask) for serialization; requires enrolled().
+  ConfigurableEnrollment export_enrollment() const;
 
   /// Stored per-pair selections; requires enrolled().
   const std::vector<Selection>& selections() const;
@@ -84,7 +108,11 @@ class ConfigurableRoPufDevice {
   BitVec enrolled_response() const;
 
   /// Field response: per pair, measure both configured ROs through the
-  /// counter at `op` and compare. Requires enrolled().
+  /// counter at `op` and compare. Requires enrolled(). Masked pairs are
+  /// skipped (fixed 0 bit, no measurement). With spec().hardened, readouts
+  /// go through the robust path and a pair whose retry budget is exhausted
+  /// degrades to a 0 bit — hardened respond never throws on hardware
+  /// faults.
   BitVec respond(const sil::OperatingPoint& op, Rng& rng) const;
 
   /// Field response with temporal majority voting over `votes` (odd)
@@ -115,8 +143,10 @@ class ConfigurableRoPufDevice {
     double base_delta_ps = 0.0;          ///< dB (detrended when distilling)
   };
 
-  std::vector<PairMeasurement> measure_all_pairs(const sil::OperatingPoint& op,
-                                                 Rng& rng) const;
+  /// Per-pair measurements; nullopt marks a pair whose readout exhausted
+  /// the hardened retry budget (only possible when spec_.hardened).
+  std::vector<std::optional<PairMeasurement>> measure_all_pairs(
+      const sil::OperatingPoint& op, Rng& rng) const;
 
   const sil::Chip* chip_;
   DeviceSpec spec_;
@@ -124,6 +154,7 @@ class ConfigurableRoPufDevice {
   ro::FrequencyCounter counter_;
   std::vector<Selection> selections_;
   std::vector<PairHelperData> helper_data_;
+  mutable ReadStats read_stats_;
 };
 
 }  // namespace ropuf::puf

@@ -1,0 +1,23 @@
+// Public per-pair helper data stored next to the configuration vectors.
+//
+// Two fields, both public by construction (they leak no more than the
+// configuration vectors themselves):
+//
+//  * offset_ps — when distillation is on, the systematic (fleet-correlated)
+//    component of the pair's comparison, which the field readout subtracts
+//    before deciding the bit (see DESIGN.md);
+//  * masked — the dark-bit mask: pairs whose units stayed faulty after the
+//    hardened readout's retry budget are masked out at enrollment. Masked
+//    pairs contribute a fixed 0 bit on every readout (enrollment reference
+//    and field response agree by construction), so a faulty pair degrades
+//    capacity instead of corrupting the key (docs/fault_model.md).
+#pragma once
+
+namespace ropuf::puf {
+
+struct PairHelperData {
+  double offset_ps = 0.0;
+  bool masked = false;
+};
+
+}  // namespace ropuf::puf

@@ -6,11 +6,20 @@ namespace ropuf::puf {
 
 std::vector<double> measure_unit_ddiffs(const sil::Chip& chip,
                                         const sil::OperatingPoint& op,
-                                        const UnitMeasurementSpec& spec, Rng& rng) {
+                                        const UnitMeasurementSpec& spec, Rng& rng,
+                                        sil::FaultInjector* injector) {
   ROPUF_REQUIRE(spec.noise_sigma_ps >= 0.0, "negative measurement noise");
   std::vector<double> values(chip.unit_count());
   for (std::size_t i = 0; i < chip.unit_count(); ++i) {
     values[i] = chip.unit_ddiff_ps(i, op) + rng.gaussian(0.0, spec.noise_sigma_ps);
+    if (injector != nullptr) {
+      const auto outcome = injector->apply(i, values[i]);
+      if (outcome.dropped) {
+        throw MeasurementFault(FaultKind::kDroppedRead,
+                               "no count captured for unit " + std::to_string(i));
+      }
+      values[i] = outcome.value_ps;
+    }
   }
   return values;
 }

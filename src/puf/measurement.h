@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "silicon/chip.h"
+#include "silicon/faults.h"
 
 namespace ropuf::puf {
 
@@ -23,8 +24,13 @@ struct UnitMeasurementSpec {
 };
 
 /// One measured value (ddiff, ps) per chip unit at the given corner.
+/// With `injector` attached each unit read goes through the fault model
+/// (channel = unit index): glitches/stuck channels corrupt the value
+/// silently and a dropped read throws MeasurementFault(kDroppedRead) — the
+/// unhardened behavior the robust readout (robust_measure.h) exists to fix.
 std::vector<double> measure_unit_ddiffs(const sil::Chip& chip,
                                         const sil::OperatingPoint& op,
-                                        const UnitMeasurementSpec& spec, Rng& rng);
+                                        const UnitMeasurementSpec& spec, Rng& rng,
+                                        sil::FaultInjector* injector = nullptr);
 
 }  // namespace ropuf::puf

@@ -1,0 +1,194 @@
+#include "puf/robust_measure.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropuf::puf {
+namespace {
+
+constexpr double kMadToSigma = 1.4826;  // MAD -> sigma for Gaussian cores
+
+void validate(const RetryPolicy& policy) {
+  ROPUF_REQUIRE(policy.samples_per_read >= 1, "samples per read must be >= 1");
+  ROPUF_REQUIRE(policy.mad_sigma > 0.0, "MAD threshold must be positive");
+  ROPUF_REQUIRE(policy.min_valid >= 1, "min valid samples must be >= 1");
+  ROPUF_REQUIRE(policy.min_valid <= static_cast<std::size_t>(policy.samples_per_read),
+                "min valid samples cannot exceed the batch size");
+  ROPUF_REQUIRE(policy.max_attempts >= 1, "retry budget must be >= 1");
+  ROPUF_REQUIRE(policy.gate_escalation >= 1.0, "gate escalation must be >= 1");
+}
+
+/// The latched-counter signature: >= 3 samples, all bit-identical. Real
+/// reads carry jitter and a random quantization phase, so this only happens
+/// when the channel noise is genuinely zero — which `noisy` rules out.
+bool stuck_signature(const std::vector<double>& samples, bool noisy) {
+  if (!noisy || samples.size() < 3) return false;
+  for (const double s : samples) {
+    if (s != samples.front()) return false;
+  }
+  return true;
+}
+
+/// One median-of-k batch over a sampling callback. The callback returns
+/// true and fills `out` on a captured count, false on a dropped read.
+template <typename Sample>
+double robust_batch(Sample&& sample, bool noisy, const RetryPolicy& policy,
+                    ReadStats* stats) {
+  ReadStats local;
+  ReadStats& s = stats != nullptr ? *stats : local;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    const double gate_scale = std::pow(policy.gate_escalation, attempt);
+    ++s.batches;
+    if (attempt > 0) ++s.retries;
+
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(policy.samples_per_read));
+    for (int k = 0; k < policy.samples_per_read; ++k) {
+      ++s.samples;
+      double value = 0.0;
+      if (sample(gate_scale, value)) {
+        samples.push_back(value);
+      } else {
+        ++s.dropped;
+      }
+    }
+    if (samples.size() < policy.min_valid) continue;
+    if (stuck_signature(samples, noisy)) {
+      ++s.stuck_batches;
+      continue;
+    }
+
+    const double med = median(samples);
+    const double mad = median_abs_deviation(samples, med);
+    std::vector<double> kept;
+    kept.reserve(samples.size());
+    if (mad > 0.0) {
+      const double cutoff = policy.mad_sigma * kMadToSigma * mad;
+      for (const double v : samples) {
+        if (std::fabs(v - med) <= cutoff) {
+          kept.push_back(v);
+        } else {
+          ++s.rejected_outliers;
+        }
+      }
+    } else {
+      // Zero dispersion among a majority of samples: the median is already
+      // the consensus; anything away from it is an outlier.
+      for (const double v : samples) {
+        if (v == med) {
+          kept.push_back(v);
+        } else {
+          ++s.rejected_outliers;
+        }
+      }
+    }
+    if (kept.size() >= policy.min_valid) return median(std::move(kept));
+  }
+  ++s.failures;
+  throw MeasurementFault(FaultKind::kRetryExhausted,
+                         "robust readout failed after " +
+                             std::to_string(policy.max_attempts) + " attempts");
+}
+
+BitVec all_ones(std::size_t n) {
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, true);
+  return v;
+}
+
+}  // namespace
+
+double median(std::vector<double> values) {
+  ROPUF_REQUIRE(!values.empty(), "median of an empty sample set");
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  const double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lower + upper);
+}
+
+double median_abs_deviation(const std::vector<double>& values, double center) {
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (const double v : values) deviations.push_back(std::fabs(v - center));
+  return median(std::move(deviations));
+}
+
+double robust_path_delay_ps(const ro::FrequencyCounter& counter,
+                            const ro::ConfigurableRo& ro, const BitVec& config,
+                            const sil::OperatingPoint& op, Rng& rng,
+                            const RetryPolicy& policy, ReadStats* stats) {
+  validate(policy);
+  const bool noisy = counter.spec().jitter_sigma_rel > 0.0;
+  return robust_batch(
+      [&](double gate_scale, double& out) {
+        try {
+          out = counter.measure_path_delay_ps(ro, config, op, rng, gate_scale);
+          return true;
+        } catch (const MeasurementFault&) {
+          return false;  // dropped read: the sample goes missing
+        }
+      },
+      noisy, policy, stats);
+}
+
+ro::ExtractionResult robust_extract_leave_one_out_with_base(
+    const ro::FrequencyCounter& counter, const ro::ConfigurableRo& ro,
+    const sil::OperatingPoint& op, Rng& rng, const RetryPolicy& policy,
+    ReadStats* stats) {
+  const std::size_t n = ro.stage_count();
+  const double d_all =
+      robust_path_delay_ps(counter, ro, all_ones(n), op, rng, policy, stats);
+  ro::ExtractionResult result;
+  result.ddiff_ps.resize(n);
+  double ddiff_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    BitVec config = all_ones(n);
+    config.set(i, false);
+    const double d_minus_i =
+        robust_path_delay_ps(counter, ro, config, op, rng, policy, stats);
+    result.ddiff_ps[i] = d_all - d_minus_i;
+    ddiff_sum += result.ddiff_ps[i];
+  }
+  result.base_delay_ps = d_all - ddiff_sum;
+  return result;
+}
+
+RobustUnitReadout robust_unit_ddiffs(const sil::Chip& chip, const sil::OperatingPoint& op,
+                                     const UnitMeasurementSpec& spec, Rng& rng,
+                                     sil::FaultInjector& injector,
+                                     const RetryPolicy& policy) {
+  validate(policy);
+  ROPUF_REQUIRE(spec.noise_sigma_ps >= 0.0, "negative measurement noise");
+  const bool noisy = spec.noise_sigma_ps > 0.0;
+  RobustUnitReadout readout;
+  readout.values.resize(chip.unit_count(), 0.0);
+  readout.failed.resize(chip.unit_count(), false);
+  for (std::size_t i = 0; i < chip.unit_count(); ++i) {
+    const double truth = chip.unit_ddiff_ps(i, op);
+    try {
+      readout.values[i] = robust_batch(
+          [&](double /*gate_scale*/, double& out) {
+            const double raw = truth + rng.gaussian(0.0, spec.noise_sigma_ps);
+            const auto outcome = injector.apply(i, raw);
+            if (outcome.dropped) return false;
+            out = outcome.value_ps;
+            return true;
+          },
+          noisy, policy, &readout.stats);
+    } catch (const MeasurementFault&) {
+      // Dark unit: read back as zero so downstream selection sees a
+      // zero-contribution stage instead of garbage.
+      readout.failed[i] = true;
+      ++readout.failed_count;
+    }
+  }
+  return readout;
+}
+
+}  // namespace ropuf::puf

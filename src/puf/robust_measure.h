@@ -1,0 +1,98 @@
+// Hardened readout: median-of-k with MAD outlier rejection plus bounded
+// retries with escalating gate time.
+//
+// The plain measurement path (ro::FrequencyCounter, puf::measure_unit_ddiffs)
+// assumes every gated count succeeds and every error is Gaussian. Under the
+// fault model of silicon/faults.h that assumption breaks four ways, and each
+// gets a specific counter-measure here:
+//
+//  * dropped reads     — the sample simply goes missing; the k-sample batch
+//                        tolerates up to k - min_valid losses, and a whole
+//                        lost batch is retried with a longer gate;
+//  * transient glitches — heavy-tailed outliers; rejected when farther than
+//                        `mad_sigma` robust sigmas from the batch median
+//                        (median/MAD stay finite under Cauchy noise, where
+//                        mean/stddev do not);
+//  * stuck channels    — a latched counter returns the identical value every
+//                        time. Real reads always carry jitter + a random
+//                        quantization phase, so an all-identical batch is a
+//                        fault signature, not a plausible measurement;
+//  * brown-out runs    — a slowdown common to consecutive reads; survives
+//                        the batch median but cancels in the pair comparison
+//                        exactly like the calibration residual does.
+//
+// When the retry budget is exhausted the functions throw
+// MeasurementFault(kRetryExhausted); callers translate that into dark-bit
+// masking (chip_puf) or a zeroed unit (dataset path), never a crash.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "puf/measurement.h"
+#include "ro/delay_extractor.h"
+#include "ro/frequency_counter.h"
+
+namespace ropuf::puf {
+
+/// Knobs of the hardened readout.
+struct RetryPolicy {
+  int samples_per_read = 5;     ///< k of the median-of-k batch
+  double mad_sigma = 6.0;       ///< rejection threshold in robust sigmas
+  std::size_t min_valid = 3;    ///< surviving samples needed to accept a batch
+  int max_attempts = 3;         ///< read attempts before giving up
+  double gate_escalation = 2.0; ///< gate-time multiplier added per attempt
+};
+
+/// Campaign counters accumulated by the robust readout (for reporting).
+struct ReadStats {
+  std::uint64_t batches = 0;            ///< robust reads attempted
+  std::uint64_t samples = 0;            ///< raw gated counts taken
+  std::uint64_t dropped = 0;            ///< samples lost to dropped reads
+  std::uint64_t rejected_outliers = 0;  ///< samples rejected by the MAD screen
+  std::uint64_t stuck_batches = 0;      ///< batches with the stuck signature
+  std::uint64_t retries = 0;            ///< batches that needed another attempt
+  std::uint64_t failures = 0;           ///< reads that exhausted the budget
+};
+
+/// Median of a sample set (by copy; the argument order is not preserved).
+double median(std::vector<double> values);
+
+/// Median absolute deviation about `center`.
+double median_abs_deviation(const std::vector<double>& values, double center);
+
+/// One hardened path-delay readout of `ro` under `config`: k samples, MAD
+/// rejection, retry with escalated gate time. Throws
+/// MeasurementFault(kRetryExhausted) when the budget is spent; any other
+/// ropuf::Error (contract violation) propagates untouched.
+double robust_path_delay_ps(const ro::FrequencyCounter& counter,
+                            const ro::ConfigurableRo& ro, const BitVec& config,
+                            const sil::OperatingPoint& op, Rng& rng,
+                            const RetryPolicy& policy, ReadStats* stats = nullptr);
+
+/// Leave-one-out extraction (ro::DelayExtractor semantics) with every
+/// configuration read hardened. Throws MeasurementFault(kRetryExhausted)
+/// when any configuration's read budget is spent.
+ro::ExtractionResult robust_extract_leave_one_out_with_base(
+    const ro::FrequencyCounter& counter, const ro::ConfigurableRo& ro,
+    const sil::OperatingPoint& op, Rng& rng, const RetryPolicy& policy,
+    ReadStats* stats = nullptr);
+
+/// Hardened unit-level readout campaign (the dataset path): per unit,
+/// median-of-k with MAD rejection over measure_unit fault-injected reads.
+/// Units whose retry budget is exhausted are reported in `failed_units` and
+/// read back as 0.0 (a dark unit) instead of throwing.
+struct RobustUnitReadout {
+  std::vector<double> values;
+  std::vector<bool> failed;  ///< per unit: retry budget exhausted
+  std::size_t failed_count = 0;
+  ReadStats stats;
+};
+RobustUnitReadout robust_unit_ddiffs(const sil::Chip& chip, const sil::OperatingPoint& op,
+                                     const UnitMeasurementSpec& spec, Rng& rng,
+                                     sil::FaultInjector& injector,
+                                     const RetryPolicy& policy);
+
+}  // namespace ropuf::puf

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/bitvec.h"
+#include "puf/helper_data.h"
 #include "puf/selection.h"
 
 namespace ropuf::puf {
@@ -113,6 +114,10 @@ struct ConfigurableEnrollment {
   SelectionCase mode = SelectionCase::kSameConfig;
   BoardLayout layout;
   std::vector<Selection> selections;
+  /// Per-pair helper data (comparison offsets + dark-bit mask) from the
+  /// full-circuit device path. Empty for dataset-level enrollments that
+  /// carry no helper record; when non-empty its size equals pair_count.
+  std::vector<PairHelperData> helper;
 
   /// The enrollment-time response (bit p = selections[p].bit).
   BitVec response() const;

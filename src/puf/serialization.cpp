@@ -20,6 +20,12 @@ std::string serialize_enrollment(const ConfigurableEnrollment& enrollment) {
        << sel.bottom_config.to_string() << " " << sel.margin << " " << (sel.bit ? 1 : 0)
        << "\n";
   }
+  // Helper records (comparison offset + dark-bit mask) are emitted only when
+  // present, so dataset-level enrollments keep the original v1 byte layout.
+  for (std::size_t p = 0; p < enrollment.helper.size(); ++p) {
+    const PairHelperData& h = enrollment.helper[p];
+    os << "helper " << p << " " << h.offset_ps << " " << (h.masked ? 1 : 0) << "\n";
+  }
   return os.str();
 }
 
@@ -65,13 +71,36 @@ ConfigurableEnrollment parse_enrollment(const std::string& text) {
 
   enrollment.selections.resize(enrollment.layout.pair_count);
   std::vector<bool> seen(enrollment.layout.pair_count, false);
+  std::vector<bool> helper_seen(enrollment.layout.pair_count, false);
   while (next_line(current)) {
     std::istringstream ls(current);
-    std::string keyword, top, bottom;
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "helper") {
+      long long index = -1;
+      double offset = 0.0;
+      int masked = 0;
+      ls >> index >> offset >> masked;
+      ROPUF_REQUIRE(!ls.fail(), "malformed helper line");
+      ROPUF_REQUIRE(index >= 0 &&
+                        static_cast<std::size_t>(index) < enrollment.layout.pair_count,
+                    "helper index out of range");
+      ROPUF_REQUIRE(!helper_seen[static_cast<std::size_t>(index)],
+                    "duplicate helper index");
+      ROPUF_REQUIRE(masked == 0 || masked == 1, "helper mask must be 0/1");
+      if (enrollment.helper.empty()) {
+        enrollment.helper.resize(enrollment.layout.pair_count);
+      }
+      enrollment.helper[static_cast<std::size_t>(index)] =
+          PairHelperData{offset, masked == 1};
+      helper_seen[static_cast<std::size_t>(index)] = true;
+      continue;
+    }
+    std::string top, bottom;
     long long index = -1;
     double margin = 0.0;
     int bit = 0;
-    ls >> keyword >> index >> top >> bottom >> margin >> bit;
+    ls >> index >> top >> bottom >> margin >> bit;
     ROPUF_REQUIRE(keyword == "pair" && !ls.fail(), "malformed pair line");
     ROPUF_REQUIRE(index >= 0 &&
                       static_cast<std::size_t>(index) < enrollment.layout.pair_count,
@@ -92,6 +121,13 @@ ConfigurableEnrollment parse_enrollment(const std::string& text) {
   }
   for (std::size_t p = 0; p < seen.size(); ++p) {
     ROPUF_REQUIRE(seen[p], "missing pair " + std::to_string(p));
+  }
+  if (!enrollment.helper.empty()) {
+    // Helper records are all-or-nothing: a record with any helper line must
+    // cover every pair, otherwise masks could silently default to unmasked.
+    for (std::size_t p = 0; p < helper_seen.size(); ++p) {
+      ROPUF_REQUIRE(helper_seen[p], "missing helper " + std::to_string(p));
+    }
   }
   return enrollment;
 }

@@ -14,30 +14,43 @@ FrequencyCounter::FrequencyCounter(FrequencyCounterSpec spec, Rng& rng) : spec_(
       spec_.aux_inverter_delay_ps * (1.0 + rng.gaussian(0.0, spec_.aux_calibration_error_rel));
 }
 
-double FrequencyCounter::measure_frequency_hz(double true_frequency_hz, Rng& rng) const {
+double FrequencyCounter::measure_frequency_hz(double true_frequency_hz, Rng& rng,
+                                              double gate_scale) const {
   ROPUF_REQUIRE(true_frequency_hz > 0.0, "non-positive frequency");
+  ROPUF_REQUIRE(gate_scale > 0.0, "gate scale must be positive");
+  const double gate_s = spec_.gate_time_s * gate_scale;
   const double jittered =
       true_frequency_hz * (1.0 + rng.gaussian(0.0, spec_.jitter_sigma_rel));
   // Edge count over the gate window with a random start phase.
-  const double expected_edges = jittered * spec_.gate_time_s + rng.uniform();
+  const double expected_edges = jittered * gate_s + rng.uniform();
   const double count = std::floor(expected_edges);
   ROPUF_REQUIRE(count >= 1.0, "gate time too short: zero edges counted");
-  return count / spec_.gate_time_s;
+  return count / gate_s;
 }
 
 double FrequencyCounter::measure_path_delay_ps(const ConfigurableRo& ro, const BitVec& config,
-                                               const sil::OperatingPoint& op,
-                                               Rng& rng) const {
+                                               const sil::OperatingPoint& op, Rng& rng,
+                                               double gate_scale) const {
   const bool needs_aux = !ro.oscillates(config);
   const double loop_delay_ps =
       ro.path_delay_ps(config, op) + (needs_aux ? aux_true_delay_ps_ : 0.0);
   const double true_freq_hz = 1e12 / (2.0 * loop_delay_ps);
-  const double measured_freq_hz = measure_frequency_hz(true_freq_hz, rng);
+  const double measured_freq_hz = measure_frequency_hz(true_freq_hz, rng, gate_scale);
   double delay_ps = 1e12 / (2.0 * measured_freq_hz);
   if (needs_aux) {
     // Subtract the *calibrated* (nominal) aux delay; the residual between
     // nominal and true stays in the estimate, shared by all measurements.
     delay_ps -= spec_.aux_inverter_delay_ps;
+  }
+  if (injector_ != nullptr) {
+    // The fault model acts on the whole gated read; the RO's first unit
+    // stands in as the channel identity (one counter channel per RO).
+    const auto outcome = injector_->apply(ro.unit_indices().front(), delay_ps);
+    if (outcome.dropped) {
+      throw MeasurementFault(FaultKind::kDroppedRead,
+                             "gate closed with no count captured");
+    }
+    delay_ps = outcome.value_ps;
   }
   return delay_ps;
 }

@@ -21,6 +21,7 @@
 #include "common/rng.h"
 #include "ro/configurable_ro.h"
 #include "silicon/environment.h"
+#include "silicon/faults.h"
 
 namespace ropuf::ro {
 
@@ -42,15 +43,31 @@ class FrequencyCounter {
 
   const FrequencyCounterSpec& spec() const { return spec_; }
 
+  /// Attaches a fault injector to this measurement channel (nullptr
+  /// detaches). Non-owning; the injector must outlive the counter's use.
+  /// Every path-delay read is then pushed through the injector's fault
+  /// model; a dropped read surfaces as MeasurementFault(kDroppedRead).
+  /// Without an injector (the default) behavior is bit-identical to the
+  /// fault-free library.
+  void set_fault_injector(sil::FaultInjector* injector) { injector_ = injector; }
+  sil::FaultInjector* fault_injector() const { return injector_; }
+
   /// One gated count of a true frequency: jitter, then integer quantization.
-  double measure_frequency_hz(double true_frequency_hz, Rng& rng) const;
+  /// `gate_scale` stretches the counting window (robust readout escalates it
+  /// on retries to buy quantization resolution).
+  double measure_frequency_hz(double true_frequency_hz, Rng& rng,
+                              double gate_scale = 1.0) const;
 
   /// Measures the combinational path delay of `ro` under `config`:
   /// odd-parity configurations are measured directly as a ring; even-parity
   /// ones are closed through the auxiliary inverter whose calibrated delay
   /// is subtracted (leaving the calibration residual in the estimate).
+  /// With a fault injector attached the read is pushed through the fault
+  /// model (channel = the RO's first unit index); throws
+  /// MeasurementFault(kDroppedRead) when the injected fault drops the read.
   double measure_path_delay_ps(const ConfigurableRo& ro, const BitVec& config,
-                               const sil::OperatingPoint& op, Rng& rng) const;
+                               const sil::OperatingPoint& op, Rng& rng,
+                               double gate_scale = 1.0) const;
 
   /// True auxiliary-stage delay of this harness (exposed for tests).
   double aux_true_delay_ps() const { return aux_true_delay_ps_; }
@@ -58,6 +75,7 @@ class FrequencyCounter {
  private:
   FrequencyCounterSpec spec_;
   double aux_true_delay_ps_;
+  sil::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace ropuf::ro

@@ -1,5 +1,6 @@
 #include "silicon/dataset_io.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "common/error.h"
@@ -38,6 +39,8 @@ std::string to_csv(const MeasurementTable& table) {
 MeasurementTable from_csv(const std::string& csv) {
   std::istringstream is(csv);
   std::string line;
+  std::size_t line_number = 1;  // the header is line 1
+  const auto at_line = [&] { return " at line " + std::to_string(line_number); };
   ROPUF_REQUIRE(std::getline(is, line), "empty dataset");
 
   MeasurementTable table;
@@ -45,15 +48,17 @@ MeasurementTable from_csv(const std::string& csv) {
     std::istringstream header(line);
     std::string magic, cols, rows;
     ROPUF_REQUIRE(std::getline(header, magic, ',') && magic == "ropuf-dataset",
-                  "missing dataset header");
+                  "missing dataset header" + at_line());
     ROPUF_REQUIRE(std::getline(header, cols, ',') && std::getline(header, rows, ','),
-                  "malformed dataset header");
+                  "malformed dataset header" + at_line());
     table.grid_cols = static_cast<std::size_t>(std::stoul(cols));
     table.grid_rows = static_cast<std::size_t>(std::stoul(rows));
-    ROPUF_REQUIRE(table.grid_cols > 0 && table.grid_rows > 0, "empty grid in header");
+    ROPUF_REQUIRE(table.grid_cols > 0 && table.grid_rows > 0,
+                  "empty grid in header" + at_line());
   }
 
   while (std::getline(is, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '#') continue;
     std::vector<double> board;
     board.reserve(table.units_per_board());
@@ -65,13 +70,19 @@ MeasurementTable from_csv(const std::string& csv) {
       try {
         value = std::stod(cell, &consumed);
       } catch (const std::exception&) {
-        ROPUF_REQUIRE(false, "non-numeric cell '" + cell + "'");
+        ROPUF_REQUIRE(false, "non-numeric cell '" + cell + "'" + at_line());
       }
-      ROPUF_REQUIRE(consumed == cell.size(), "trailing junk in cell '" + cell + "'");
+      ROPUF_REQUIRE(consumed == cell.size(),
+                    "trailing junk in cell '" + cell + "'" + at_line());
+      // NaN/inf parse as valid doubles but poison every downstream
+      // statistic (distiller fits, margins, NIST counts) — reject at the
+      // boundary, where the line number is still known.
+      ROPUF_REQUIRE(std::isfinite(value),
+                    "non-finite value '" + cell + "'" + at_line());
       board.push_back(value);
     }
     ROPUF_REQUIRE(board.size() == table.units_per_board(),
-                  "board row has wrong value count");
+                  "board row has wrong value count" + at_line());
     table.boards.push_back(std::move(board));
   }
   ROPUF_REQUIRE(!table.boards.empty(), "dataset contains no boards");

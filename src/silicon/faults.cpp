@@ -1,0 +1,111 @@
+#include "silicon/faults.h"
+
+#include <cmath>
+
+namespace ropuf::sil {
+namespace {
+
+/// Stateless per-channel hash stream: lets stuck-channel membership and the
+/// latched value be a static property of (seed, channel), independent of
+/// when or how often the channel is read.
+std::uint64_t channel_hash(std::uint64_t seed, std::size_t channel, std::uint64_t salt) {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ull * (channel + 1)) ^ salt;
+  return splitmix64(state);
+}
+
+double hash_uniform(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::uniform(double per_read_rate) {
+  ROPUF_REQUIRE(per_read_rate >= 0.0 && per_read_rate < 1.0,
+                "per-read fault rate must be in [0, 1)");
+  FaultPlan plan;
+  plan.stuck_channel_fraction = per_read_rate;
+  plan.dropped_read_rate = 0.4 * per_read_rate;
+  plan.glitch_rate = 0.4 * per_read_rate;
+  plan.brownout_rate = 0.2 * per_read_rate;
+  plan.brownout_duration_reads = 4;
+  plan.brownout_slowdown_rel = 0.02;
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(plan), seed_(seed), rng_(seed ^ 0xfa017ull) {
+  ROPUF_REQUIRE(plan_.stuck_channel_fraction >= 0.0 && plan_.stuck_channel_fraction <= 1.0,
+                "stuck-channel fraction must be in [0, 1]");
+  ROPUF_REQUIRE(plan_.dropped_read_rate >= 0.0 && plan_.dropped_read_rate <= 1.0,
+                "dropped-read rate must be in [0, 1]");
+  ROPUF_REQUIRE(plan_.glitch_rate >= 0.0 && plan_.glitch_rate <= 1.0,
+                "glitch rate must be in [0, 1]");
+  ROPUF_REQUIRE(plan_.glitch_scale_ps > 0.0, "glitch scale must be positive");
+  ROPUF_REQUIRE(plan_.aging_drift_ps_per_read >= 0.0, "negative aging drift");
+  ROPUF_REQUIRE(plan_.brownout_rate >= 0.0 && plan_.brownout_rate <= 1.0,
+                "brown-out rate must be in [0, 1]");
+  ROPUF_REQUIRE(plan_.brownout_slowdown_rel >= 0.0, "negative brown-out slowdown");
+}
+
+bool FaultInjector::channel_stuck(std::size_t channel) const {
+  if (plan_.stuck_channel_fraction <= 0.0) return false;
+  return hash_uniform(channel_hash(seed_, channel, 0x57ac)) < plan_.stuck_channel_fraction;
+}
+
+FaultInjector::ReadOutcome FaultInjector::apply(std::size_t channel, double value_ps) {
+  ReadOutcome outcome;
+  outcome.value_ps = value_ps;
+  const std::uint64_t read = read_index_++;
+  ++counts_.reads;
+  if (!plan_.enabled()) return outcome;
+
+  // Campaign-level environment first: aging accumulates over the whole read
+  // history; a brown-out slows every read while the supply recovers.
+  if (plan_.aging_drift_ps_per_read > 0.0) {
+    outcome.value_ps += plan_.aging_drift_ps_per_read * static_cast<double>(read);
+    outcome.kind = FaultKind::kAgingDrift;
+  }
+  if (plan_.brownout_rate > 0.0) {
+    if (read >= brownout_until_ && rng_.uniform() < plan_.brownout_rate) {
+      brownout_until_ = read + plan_.brownout_duration_reads;
+    }
+    if (read < brownout_until_) {
+      outcome.value_ps *= 1.0 + plan_.brownout_slowdown_rel;
+      outcome.kind = FaultKind::kBrownout;
+      ++counts_.browned_out;
+    }
+  }
+
+  // Per-read transients on top of the environment.
+  if (plan_.glitch_rate > 0.0 && rng_.uniform() < plan_.glitch_rate) {
+    // Heavy-tailed (Cauchy) outlier: most glitches are moderate, a few are
+    // enormous — exactly the shape mean-based averaging fails on.
+    outcome.value_ps += plan_.glitch_scale_ps * std::tan(3.14159265358979323846 *
+                                                         (rng_.uniform() - 0.5));
+    outcome.kind = FaultKind::kTransientGlitch;
+    ++counts_.glitched;
+  }
+
+  // Channel-level and read-level hard failures override the value entirely.
+  if (channel_stuck(channel)) {
+    // The latched count maps to a constant bogus delay for this channel.
+    outcome.value_ps = 200.0 + 1800.0 * hash_uniform(channel_hash(seed_, channel, 0x1a7c));
+    outcome.kind = FaultKind::kStuckChannel;
+    ++counts_.stuck;
+  }
+  if (plan_.dropped_read_rate > 0.0 && rng_.uniform() < plan_.dropped_read_rate) {
+    outcome.dropped = true;
+    outcome.kind = FaultKind::kDroppedRead;
+    ++counts_.dropped;
+  }
+  return outcome;
+}
+
+void FaultInjector::reset() {
+  rng_ = Rng(seed_ ^ 0xfa017ull);
+  counts_ = FaultCounts{};
+  read_index_ = 0;
+  brownout_until_ = 0;
+}
+
+}  // namespace ropuf::sil

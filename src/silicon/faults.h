@@ -1,0 +1,109 @@
+// Deterministic fault injection for measurement campaigns.
+//
+// The measurement model elsewhere in the library is well-behaved: Gaussian
+// jitter plus integer quantization. Real FPGA/silicon readout campaigns are
+// not: counters latch (stuck-at), gates close without a count (dropped
+// read), single reads land far outside the jitter envelope (transient
+// glitch), delays creep over a long campaign (aging), and supply droops slow
+// whole runs of consecutive reads (brown-out). This module injects exactly
+// those non-idealities, seeded and reproducible, so the hardened readout
+// path (puf/robust_measure.h) and the dark-bit masking logic
+// (puf::ConfigurableRoPufDevice) can be exercised and benchmarked.
+//
+// A FaultInjector is attached to a measurement channel (ro::FrequencyCounter
+// or puf::measure_unit_ddiffs). With a default (all-zero) FaultPlan nothing
+// is perturbed and no randomness is consumed, so every existing call site is
+// bit-identical to the fault-free library. The injector owns its own RNG
+// stream: attaching one never changes how the measurement RNG is consumed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf::sil {
+
+/// Per-read fault probabilities and magnitudes. All rates default to zero:
+/// a default FaultPlan is a no-op.
+struct FaultPlan {
+  /// Fraction of measurement channels whose counter is latched at a constant
+  /// count. Stuck channels return the same bogus delay on every read, which
+  /// is the zero-dispersion signature robust readout detects.
+  double stuck_channel_fraction = 0.0;
+  /// Per-read probability that the gate closes without capturing a count.
+  double dropped_read_rate = 0.0;
+  /// Per-read probability of a heavy-tailed (Cauchy) outlier on the value.
+  double glitch_rate = 0.0;
+  double glitch_scale_ps = 50.0;  ///< Cauchy scale of a glitch
+  /// Monotone delay drift accumulated per read (aging over the campaign).
+  double aging_drift_ps_per_read = 0.0;
+  /// Per-read probability that a brown-out event starts; while one is
+  /// active every read is slowed by `brownout_slowdown_rel`.
+  double brownout_rate = 0.0;
+  std::uint64_t brownout_duration_reads = 8;
+  double brownout_slowdown_rel = 0.05;
+
+  /// True when any fault mechanism can fire.
+  bool enabled() const {
+    return stuck_channel_fraction > 0.0 || dropped_read_rate > 0.0 ||
+           glitch_rate > 0.0 || aging_drift_ps_per_read > 0.0 || brownout_rate > 0.0;
+  }
+
+  /// A mixed campaign profile with roughly `per_read_rate` probability of a
+  /// transient fault per read (split between dropped reads, glitches and
+  /// brown-out starts) plus the same fraction of stuck channels. This is the
+  /// single-knob plan the CLI's --fault-rate and the fault-injection bench
+  /// sweep use.
+  static FaultPlan uniform(double per_read_rate);
+};
+
+/// Counters of what the injector actually did; exposed for reporting.
+struct FaultCounts {
+  std::uint64_t reads = 0;
+  std::uint64_t stuck = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t glitched = 0;
+  std::uint64_t browned_out = 0;
+};
+
+/// Seeded, deterministic fault source. One injector models one chip's
+/// measurement infrastructure; the same (plan, seed) pair always produces
+/// the same fault sequence for the same sequence of reads.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultCounts& counts() const { return counts_; }
+
+  /// Whether `channel`'s counter is latched. Stuck channels are a static
+  /// property of (seed, channel), independent of the read sequence.
+  bool channel_stuck(std::size_t channel) const;
+
+  /// Outcome of pushing one read through the fault model.
+  struct ReadOutcome {
+    FaultKind kind = FaultKind::kNone;  ///< dominant fault on this read
+    bool dropped = false;               ///< no count captured
+    double value_ps = 0.0;              ///< possibly corrupted value
+  };
+
+  /// Applies the fault model to one read of `channel` that measured
+  /// `value_ps`. Advances the injector's deterministic state.
+  ReadOutcome apply(std::size_t channel, double value_ps);
+
+  /// Restarts the deterministic stream (same seed, zeroed counters), as if
+  /// the campaign began again.
+  void reset();
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t seed_;
+  Rng rng_;
+  FaultCounts counts_;
+  std::uint64_t read_index_ = 0;
+  std::uint64_t brownout_until_ = 0;  ///< first read index past the event
+};
+
+}  // namespace ropuf::sil

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "puf/serialization.h"
 #include "silicon/fabrication.h"
 
 namespace ropuf::puf {
@@ -229,6 +230,163 @@ TEST(Device, VotedResponseRejectsEvenVoteCounts) {
   device.enroll(sil::nominal_op(), rng);
   EXPECT_THROW(device.respond_voted(sil::nominal_op(), rng, 4), ropuf::Error);
   EXPECT_THROW(device.respond_voted(sil::nominal_op(), rng, 0), ropuf::Error);
+  EXPECT_THROW(device.respond_voted(sil::nominal_op(), rng, -3), ropuf::Error);
+}
+
+TEST(Device, VotedResponseAcceptsOddVoteCountBoundaries) {
+  Rng rng(57);
+  const sil::Chip chip = test_chip();
+  ConfigurableRoPufDevice device(&chip, small_spec(), rng);
+  device.enroll(sil::nominal_op(), rng);
+  const BitVec reference = device.enrolled_response();
+  // votes = 1 degenerates to a single-shot readout; a large odd count works.
+  EXPECT_LE(device.respond_voted(sil::nominal_op(), rng, 1).hamming_distance(reference),
+            1u);
+  EXPECT_LE(device.respond_voted(sil::nominal_op(), rng, 9).hamming_distance(reference),
+            1u);
+}
+
+TEST(Device, DarkBitAccessorsRequireEnrollment) {
+  Rng rng(58);
+  const sil::Chip chip = test_chip();
+  ConfigurableRoPufDevice device(&chip, small_spec(), rng);
+  EXPECT_THROW(device.masked_count(), ropuf::Error);
+  EXPECT_THROW(device.effective_bit_count(), ropuf::Error);
+  EXPECT_THROW(device.export_enrollment(), ropuf::Error);
+}
+
+TEST(Device, FaultFreeHardenedEnrollmentMasksNothing) {
+  Rng rng(59);
+  const sil::Chip chip = test_chip();
+  DeviceSpec spec = small_spec();
+  spec.hardened = true;
+  ConfigurableRoPufDevice device(&chip, spec, rng);
+  device.enroll(sil::nominal_op(), rng);
+  EXPECT_EQ(device.masked_count(), 0u);
+  EXPECT_EQ(device.effective_bit_count(), 16u);
+  EXPECT_GT(device.read_stats().batches, 0u);
+  EXPECT_EQ(device.read_stats().failures, 0u);
+}
+
+TEST(Device, HardenedPipelineSurvivesTwoPercentFaultRate) {
+  // The acceptance scenario: at a 2% per-read fault rate the hardened
+  // pipeline must never throw — enrollment dark-bit-masks what it cannot
+  // stabilise and respond degrades masked/unrecoverable pairs to 0 bits.
+  for (const std::uint64_t seed : {201u, 202u, 203u}) {
+    Rng rng(seed);
+    const sil::Chip chip = test_chip(seed);
+    DeviceSpec spec = small_spec();
+    spec.hardened = true;
+    sil::FaultInjector injector(sil::FaultPlan::uniform(0.02), seed);
+    ConfigurableRoPufDevice device(&chip, spec, rng);
+    device.set_fault_injector(&injector);
+    ASSERT_NO_THROW(device.enroll(sil::nominal_op(), rng));
+    EXPECT_EQ(device.effective_bit_count() + device.masked_count(), 16u);
+
+    const BitVec reference = device.enrolled_response();
+    BitVec field;
+    ASSERT_NO_THROW(field = device.respond(sil::nominal_op(), rng));
+    ASSERT_EQ(field.size(), 16u);
+    // Masked pairs read 0 in both reference and field: they never disagree.
+    const auto& helper = device.helper_data();
+    for (std::size_t p = 0; p < helper.size(); ++p) {
+      if (helper[p].masked) {
+        EXPECT_FALSE(reference.get(p)) << "pair " << p;
+        EXPECT_FALSE(field.get(p)) << "pair " << p;
+      }
+    }
+    EXPECT_LE(field.hamming_distance(reference), 2u);
+  }
+}
+
+TEST(Device, StuckPairsAreMaskedAndCapacityDegrades) {
+  // Latch a quarter of all channels: the pairs built on them cannot pass
+  // the stuck-signature screen, so enrollment must mask them rather than
+  // fail, and the device reports the degraded capacity.
+  Rng rng(60);
+  const sil::Chip chip = test_chip(999);
+  DeviceSpec spec = small_spec();
+  spec.hardened = true;
+  sil::FaultPlan plan;
+  plan.stuck_channel_fraction = 0.25;
+  sil::FaultInjector injector(plan, 61);
+  ConfigurableRoPufDevice device(&chip, spec, rng);
+  device.set_fault_injector(&injector);
+  device.enroll(sil::nominal_op(), rng);
+
+  EXPECT_GT(device.masked_count(), 0u);
+  EXPECT_LT(device.masked_count(), 16u);
+  EXPECT_EQ(device.effective_bit_count(), 16u - device.masked_count());
+  EXPECT_GT(device.read_stats().stuck_batches, 0u);
+
+  // Masked pairs carry valid placeholder configurations (arity and
+  // equal-popcount invariants hold) so serialization and respond work.
+  const auto& helper = device.helper_data();
+  const auto& selections = device.selections();
+  for (std::size_t p = 0; p < helper.size(); ++p) {
+    if (!helper[p].masked) continue;
+    EXPECT_EQ(selections[p].top_config.size(), 5u);
+    EXPECT_EQ(selections[p].top_config.popcount(),
+              selections[p].bottom_config.popcount());
+  }
+  const BitVec reference = device.enrolled_response();
+  const BitVec field = device.respond(sil::nominal_op(), rng);
+  for (std::size_t p = 0; p < helper.size(); ++p) {
+    if (helper[p].masked) {
+      EXPECT_FALSE(field.get(p)) << "pair " << p;
+    }
+  }
+  EXPECT_LE(field.hamming_distance(reference), 3u);
+}
+
+TEST(Device, ExportedEnrollmentRoundTripsTheDarkBitMask) {
+  // A degraded device's record must survive serialization: the parsed
+  // record carries the same mask and offsets the device holds in memory.
+  Rng rng(62);
+  const sil::Chip chip = test_chip(555);
+  DeviceSpec spec = small_spec();
+  spec.hardened = true;
+  sil::FaultPlan plan;
+  plan.stuck_channel_fraction = 0.25;
+  sil::FaultInjector injector(plan, 63);
+  ConfigurableRoPufDevice device(&chip, spec, rng);
+  device.set_fault_injector(&injector);
+  device.enroll(sil::nominal_op(), rng);
+  ASSERT_GT(device.masked_count(), 0u);
+
+  const ConfigurableEnrollment exported = device.export_enrollment();
+  ASSERT_EQ(exported.helper.size(), 16u);
+  const auto parsed = parse_enrollment(serialize_enrollment(exported));
+  ASSERT_EQ(parsed.helper.size(), 16u);
+  std::size_t masked = 0;
+  for (std::size_t p = 0; p < 16; ++p) {
+    EXPECT_EQ(parsed.helper[p].masked, device.helper_data()[p].masked) << p;
+    EXPECT_DOUBLE_EQ(parsed.helper[p].offset_ps, device.helper_data()[p].offset_ps) << p;
+    EXPECT_EQ(parsed.selections[p].top_config, device.selections()[p].top_config) << p;
+    if (parsed.helper[p].masked) ++masked;
+  }
+  EXPECT_EQ(masked, device.masked_count());
+}
+
+TEST(Device, DetachingTheInjectorRestoresFaultFreeBehavior) {
+  // Same seed, one device measured clean and one whose injector is
+  // detached before use: enrollments must be identical (attaching and
+  // detaching never perturbs the measurement RNG stream).
+  const sil::Chip chip = test_chip(404);
+  DeviceSpec spec = small_spec();
+
+  Rng rng_a(70);
+  ConfigurableRoPufDevice clean(&chip, spec, rng_a);
+  clean.enroll(sil::nominal_op(), rng_a);
+
+  Rng rng_b(70);
+  sil::FaultInjector injector(sil::FaultPlan::uniform(0.05), 71);
+  ConfigurableRoPufDevice detached(&chip, spec, rng_b);
+  detached.set_fault_injector(&injector);
+  detached.set_fault_injector(nullptr);
+  detached.enroll(sil::nominal_op(), rng_b);
+
+  EXPECT_EQ(clean.enrolled_response(), detached.enrolled_response());
 }
 
 TEST(Device, AveragedEnrollmentImprovesMarginEstimate) {

@@ -1,0 +1,230 @@
+#include "puf/robust_measure.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "silicon/fabrication.h"
+#include "silicon/faults.h"
+
+namespace ropuf::puf {
+namespace {
+
+sil::Chip test_chip(std::uint64_t seed = 33) {
+  sil::Fab fab(sil::ProcessParams{}, seed);
+  return fab.fabricate(8, 8);
+}
+
+ro::FrequencyCounterSpec precise_spec() {
+  ro::FrequencyCounterSpec spec;
+  spec.jitter_sigma_rel = 0.0;
+  spec.aux_calibration_error_rel = 0.0;
+  spec.gate_time_s = 1.0;
+  return spec;
+}
+
+TEST(RobustStats, MedianOfOddAndEvenSets) {
+  EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_THROW(median({}), Error);
+}
+
+TEST(RobustStats, MedianIsImmuneToOneHugeOutlier) {
+  EXPECT_DOUBLE_EQ(median({10.0, 11.0, 1e9, 9.0, 10.5}), 10.5);
+}
+
+TEST(RobustStats, MadMeasuresDispersionAboutTheCenter) {
+  const std::vector<double> tight = {10.0, 10.1, 9.9, 10.05, 9.95};
+  EXPECT_NEAR(median_abs_deviation(tight, 10.0), 0.05, 1e-12);
+  const std::vector<double> constant = {7.0, 7.0, 7.0};
+  EXPECT_DOUBLE_EQ(median_abs_deviation(constant, 7.0), 0.0);
+}
+
+TEST(RobustPathDelay, ValidatesThePolicy) {
+  Rng rng(1);
+  const sil::Chip chip = test_chip();
+  const ro::ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  const ro::FrequencyCounter counter(precise_spec(), rng);
+  BitVec all(5);
+  for (std::size_t i = 0; i < 5; ++i) all.set(i, true);
+
+  RetryPolicy bad;
+  bad.samples_per_read = 0;
+  EXPECT_THROW(robust_path_delay_ps(counter, ro, all, sil::nominal_op(), rng, bad),
+               Error);
+  bad = RetryPolicy{};
+  bad.min_valid = 9;  // > samples_per_read
+  EXPECT_THROW(robust_path_delay_ps(counter, ro, all, sil::nominal_op(), rng, bad),
+               Error);
+  bad = RetryPolicy{};
+  bad.gate_escalation = 0.5;
+  EXPECT_THROW(robust_path_delay_ps(counter, ro, all, sil::nominal_op(), rng, bad),
+               Error);
+}
+
+TEST(RobustPathDelay, FaultFreeMatchesThePlainRead) {
+  Rng rng(2);
+  const sil::Chip chip = test_chip();
+  const ro::ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  const ro::FrequencyCounter counter(precise_spec(), rng);
+  BitVec all(5);
+  for (std::size_t i = 0; i < 5; ++i) all.set(i, true);
+  const auto op = sil::nominal_op();
+
+  const double truth = ro.path_delay_ps(all, op);
+  const double robust = robust_path_delay_ps(counter, ro, all, op, rng, RetryPolicy{});
+  EXPECT_NEAR(robust, truth, 0.1);  // only quantization error remains
+}
+
+TEST(RobustPathDelay, RejectsInjectedGlitches) {
+  // A third of the reads carry a Cauchy outlier; the MAD screen must keep
+  // the robust estimate at the true delay anyway.
+  Rng rng(3);
+  const sil::Chip chip = test_chip();
+  const ro::ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  ro::FrequencyCounter counter(precise_spec(), rng);
+  sil::FaultPlan plan;
+  plan.glitch_rate = 0.3;
+  plan.glitch_scale_ps = 200.0;
+  sil::FaultInjector injector(plan, 77);
+  counter.set_fault_injector(&injector);
+  BitVec all(5);
+  for (std::size_t i = 0; i < 5; ++i) all.set(i, true);
+  const auto op = sil::nominal_op();
+  const double truth = ro.path_delay_ps(all, op);
+
+  // A batch where glitches outnumber clean samples can still return a
+  // corrupted median (no screen can fix a corrupted majority), so require
+  // near-truth on the vast majority of reads, not every single one.
+  ReadStats stats;
+  int close = 0;
+  const int trials = 50;
+  for (int trial = 0; trial < trials; ++trial) {
+    const double robust =
+        robust_path_delay_ps(counter, ro, all, op, rng, RetryPolicy{}, &stats);
+    if (std::fabs(robust - truth) < 2.0) ++close;
+  }
+  EXPECT_GE(close, trials - 5);
+  EXPECT_GT(stats.rejected_outliers, 0u);
+}
+
+TEST(RobustPathDelay, SurvivesDroppedReadsByRetrying) {
+  Rng rng(4);
+  const sil::Chip chip = test_chip();
+  const ro::ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  ro::FrequencyCounter counter(precise_spec(), rng);
+  sil::FaultPlan plan;
+  plan.dropped_read_rate = 0.4;
+  sil::FaultInjector injector(plan, 78);
+  counter.set_fault_injector(&injector);
+  BitVec all(5);
+  for (std::size_t i = 0; i < 5; ++i) all.set(i, true);
+  const auto op = sil::nominal_op();
+  const double truth = ro.path_delay_ps(all, op);
+
+  ReadStats stats;
+  RetryPolicy policy;
+  policy.max_attempts = 8;  // generous budget: the test is about recovery
+  for (int trial = 0; trial < 20; ++trial) {
+    const double robust = robust_path_delay_ps(counter, ro, all, op, rng, policy, &stats);
+    EXPECT_NEAR(robust, truth, 0.5) << "trial " << trial;
+  }
+  EXPECT_GT(stats.dropped, 0u);
+}
+
+TEST(RobustPathDelay, StuckChannelExhaustsTheRetryBudget) {
+  Rng rng(5);
+  const sil::Chip chip = test_chip();
+  const ro::ConfigurableRo ro(&chip, {0, 1, 2, 3, 4});
+  ro::FrequencyCounterSpec noisy = precise_spec();
+  noisy.jitter_sigma_rel = 5e-5;  // stuck detection requires a noisy channel
+  ro::FrequencyCounter counter(noisy, rng);
+  sil::FaultPlan plan;
+  plan.stuck_channel_fraction = 1.0;
+  sil::FaultInjector injector(plan, 79);
+  counter.set_fault_injector(&injector);
+  BitVec all(5);
+  for (std::size_t i = 0; i < 5; ++i) all.set(i, true);
+
+  ReadStats stats;
+  try {
+    robust_path_delay_ps(counter, ro, all, sil::nominal_op(), rng, RetryPolicy{},
+                         &stats);
+    FAIL() << "a fully stuck channel must exhaust the retry budget";
+  } catch (const MeasurementFault& fault) {
+    EXPECT_EQ(fault.kind(), FaultKind::kRetryExhausted);
+  }
+  EXPECT_GT(stats.stuck_batches, 0u);
+  EXPECT_EQ(stats.failures, 1u);
+}
+
+TEST(RobustExtraction, LeaveOneOutMatchesTruthUnderGlitches) {
+  Rng rng(6);
+  const sil::Chip chip = test_chip();
+  const ro::ConfigurableRo ro(&chip, {0, 1, 2, 3, 4, 5, 6});
+  ro::FrequencyCounter counter(precise_spec(), rng);
+  sil::FaultPlan plan;
+  plan.glitch_rate = 0.1;
+  plan.glitch_scale_ps = 100.0;
+  sil::FaultInjector injector(plan, 80);
+  counter.set_fault_injector(&injector);
+  const auto op = sil::nominal_op();
+
+  RetryPolicy policy;
+  policy.samples_per_read = 9;  // keep a corrupted majority per batch unlikely
+  const auto result =
+      robust_extract_leave_one_out_with_base(counter, ro, op, rng, policy);
+  const auto truth = ro.true_ddiffs_ps(op);
+  ASSERT_EQ(result.ddiff_ps.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(result.ddiff_ps[i], truth[i], 2.0) << "unit " << i;
+  }
+}
+
+TEST(RobustUnitReadout, DarkUnitsAreMaskedNotFatal) {
+  Rng rng(7);
+  const sil::Chip chip = test_chip();
+  sil::FaultPlan plan;
+  plan.stuck_channel_fraction = 0.25;
+  sil::FaultInjector injector(plan, 81);
+  const UnitMeasurementSpec spec;  // noise_sigma_ps = 0.5: noisy channel
+
+  const auto readout =
+      robust_unit_ddiffs(chip, sil::nominal_op(), spec, rng, injector, RetryPolicy{});
+  ASSERT_EQ(readout.values.size(), chip.unit_count());
+  ASSERT_EQ(readout.failed.size(), chip.unit_count());
+  EXPECT_GT(readout.failed_count, 0u);
+  EXPECT_LT(readout.failed_count, chip.unit_count());
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < chip.unit_count(); ++i) {
+    if (readout.failed[i]) {
+      EXPECT_TRUE(injector.channel_stuck(i)) << "unit " << i;
+      EXPECT_DOUBLE_EQ(readout.values[i], 0.0);
+      ++failed;
+    } else {
+      EXPECT_NEAR(readout.values[i], chip.unit_ddiff_ps(i, sil::nominal_op()), 2.0);
+    }
+  }
+  EXPECT_EQ(failed, readout.failed_count);
+  EXPECT_GT(readout.stats.stuck_batches, 0u);
+}
+
+TEST(RobustUnitReadout, FaultFreeCampaignReportsNoFailures) {
+  Rng rng(8);
+  const sil::Chip chip = test_chip();
+  sil::FaultInjector injector(sil::FaultPlan{}, 82);
+  const auto readout = robust_unit_ddiffs(chip, sil::nominal_op(), UnitMeasurementSpec{},
+                                          rng, injector, RetryPolicy{});
+  EXPECT_EQ(readout.failed_count, 0u);
+  EXPECT_EQ(readout.stats.failures, 0u);
+  EXPECT_EQ(readout.stats.retries, 0u);
+  for (std::size_t i = 0; i < chip.unit_count(); ++i) {
+    EXPECT_NEAR(readout.values[i], chip.unit_ddiff_ps(i, sil::nominal_op()), 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace ropuf::puf

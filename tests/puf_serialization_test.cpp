@@ -113,5 +113,48 @@ TEST(Serialization, RejectsArityMismatch) {
   EXPECT_THROW(parse_enrollment(text), ropuf::Error);
 }
 
+TEST(Serialization, RecordsWithoutHelperParseWithEmptyHelper) {
+  const auto original = sample_enrollment(SelectionCase::kSameConfig, 10);
+  ASSERT_TRUE(original.helper.empty());
+  const auto parsed = parse_enrollment(serialize_enrollment(original));
+  EXPECT_TRUE(parsed.helper.empty());
+}
+
+TEST(Serialization, HelperDataRoundTripsIncludingTheMask) {
+  auto original = sample_enrollment(SelectionCase::kIndependent, 11);
+  original.helper.resize(original.layout.pair_count);
+  original.helper[1] = PairHelperData{-3.25, false};
+  original.helper[4] = PairHelperData{0.5, true};
+  original.helper[7] = PairHelperData{0.0, true};
+
+  const auto parsed = parse_enrollment(serialize_enrollment(original));
+  ASSERT_EQ(parsed.helper.size(), original.helper.size());
+  for (std::size_t p = 0; p < original.helper.size(); ++p) {
+    EXPECT_DOUBLE_EQ(parsed.helper[p].offset_ps, original.helper[p].offset_ps) << p;
+    EXPECT_EQ(parsed.helper[p].masked, original.helper[p].masked) << p;
+  }
+}
+
+TEST(Serialization, RejectsMalformedHelperLines) {
+  const std::string base =
+      "ropuf-enrollment v1\nmode case1\nlayout 3 2\n"
+      "pair 0 101 101 1.5 1\npair 1 110 110 1.0 0\n";
+  // Incomplete helper set: pair 1 has no helper record.
+  EXPECT_THROW(parse_enrollment(base + "helper 0 0.5 1\n"), ropuf::Error);
+  // Out-of-range index.
+  EXPECT_THROW(parse_enrollment(base + "helper 5 0.5 1\nhelper 0 0 0\n"), ropuf::Error);
+  // Duplicate index.
+  EXPECT_THROW(parse_enrollment(base + "helper 0 0.5 1\nhelper 0 0 0\n"), ropuf::Error);
+  // Mask flag outside 0/1.
+  EXPECT_THROW(parse_enrollment(base + "helper 0 0.5 2\nhelper 1 0 0\n"), ropuf::Error);
+  // Truncated fields.
+  EXPECT_THROW(parse_enrollment(base + "helper 0 0.5\nhelper 1 0 0\n"), ropuf::Error);
+  // The full set parses.
+  const auto parsed = parse_enrollment(base + "helper 0 0.5 1\nhelper 1 -2 0\n");
+  ASSERT_EQ(parsed.helper.size(), 2u);
+  EXPECT_TRUE(parsed.helper[0].masked);
+  EXPECT_DOUBLE_EQ(parsed.helper[1].offset_ps, -2.0);
+}
+
 }  // namespace
 }  // namespace ropuf::puf

@@ -55,6 +55,37 @@ TEST(DatasetIo, MalformedContentThrows) {
   EXPECT_THROW(from_csv("ropuf-dataset,2,3\n"), ropuf::Error);  // no boards
 }
 
+TEST(DatasetIo, RejectsNonFiniteValues) {
+  // NaN and inf parse as valid doubles but poison every downstream
+  // statistic; the importer must reject them at the boundary.
+  EXPECT_THROW(from_csv("ropuf-dataset,2,3\n1,2,nan,4,5,6\n"), ropuf::Error);
+  EXPECT_THROW(from_csv("ropuf-dataset,2,3\n1,2,3,inf,5,6\n"), ropuf::Error);
+  EXPECT_THROW(from_csv("ropuf-dataset,2,3\n-inf,2,3,4,5,6\n"), ropuf::Error);
+  EXPECT_THROW(from_csv("ropuf-dataset,2,3\n1,2,3,4,5,1e999\n"), ropuf::Error);
+}
+
+TEST(DatasetIo, ErrorsReportTheOffendingLineNumber) {
+  const auto message_of = [](const std::string& csv) {
+    try {
+      from_csv(csv);
+    } catch (const ropuf::Error& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  // Bad cell on data line 3 (header is line 1).
+  EXPECT_NE(message_of("ropuf-dataset,2,3\n1,2,3,4,5,6\n1,2,x,4,5,6\n")
+                .find("at line 3"),
+            std::string::npos);
+  // NaN on data line 2.
+  EXPECT_NE(message_of("ropuf-dataset,2,3\nnan,2,3,4,5,6\n").find("at line 2"),
+            std::string::npos);
+  // Short row on data line 4 (a comment line still advances the count).
+  EXPECT_NE(message_of("ropuf-dataset,2,3\n1,2,3,4,5,6\n# note\n1,2\n")
+                .find("at line 4"),
+            std::string::npos);
+}
+
 TEST(DatasetIo, SnapshotMatchesChipValuesAtZeroNoise) {
   VtFleetSpec spec;
   spec.nominal_boards = 3;

@@ -1,0 +1,185 @@
+#include "silicon/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ropuf::sil {
+namespace {
+
+TEST(FaultPlanTest, DefaultPlanIsDisabled) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+}
+
+TEST(FaultPlanTest, UniformPlanScalesWithRate) {
+  const FaultPlan plan = FaultPlan::uniform(0.02);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_DOUBLE_EQ(plan.stuck_channel_fraction, 0.02);
+  EXPECT_DOUBLE_EQ(plan.dropped_read_rate, 0.008);
+  EXPECT_DOUBLE_EQ(plan.glitch_rate, 0.008);
+  EXPECT_DOUBLE_EQ(plan.brownout_rate, 0.004);
+  EXPECT_FALSE(FaultPlan::uniform(0.0).enabled());
+}
+
+TEST(FaultPlanTest, UniformPlanRejectsOutOfRangeRates) {
+  EXPECT_THROW(FaultPlan::uniform(-0.1), Error);
+  EXPECT_THROW(FaultPlan::uniform(1.0), Error);
+}
+
+TEST(FaultInjectorTest, RejectsInvalidPlan) {
+  FaultPlan plan;
+  plan.dropped_read_rate = 1.5;
+  EXPECT_THROW(FaultInjector(plan, 1), Error);
+  FaultPlan negative;
+  negative.aging_drift_ps_per_read = -1.0;
+  EXPECT_THROW(FaultInjector(negative, 1), Error);
+}
+
+TEST(FaultInjectorTest, DisabledPlanIsExactPassthrough) {
+  FaultInjector injector(FaultPlan{}, 42);
+  for (std::size_t read = 0; read < 100; ++read) {
+    const auto outcome = injector.apply(read % 7, 1234.5);
+    EXPECT_EQ(outcome.kind, FaultKind::kNone);
+    EXPECT_FALSE(outcome.dropped);
+    EXPECT_DOUBLE_EQ(outcome.value_ps, 1234.5);
+  }
+  EXPECT_EQ(injector.counts().reads, 100u);
+  EXPECT_EQ(injector.counts().dropped, 0u);
+  EXPECT_EQ(injector.counts().glitched, 0u);
+  EXPECT_EQ(injector.counts().stuck, 0u);
+}
+
+TEST(FaultInjectorTest, DeterministicUnderFixedSeed) {
+  const FaultPlan plan = FaultPlan::uniform(0.1);
+  FaultInjector a(plan, 7);
+  FaultInjector b(plan, 7);
+  for (std::size_t read = 0; read < 2000; ++read) {
+    const auto oa = a.apply(read % 13, 1000.0 + static_cast<double>(read % 5));
+    const auto ob = b.apply(read % 13, 1000.0 + static_cast<double>(read % 5));
+    ASSERT_EQ(oa.kind, ob.kind);
+    ASSERT_EQ(oa.dropped, ob.dropped);
+    ASSERT_DOUBLE_EQ(oa.value_ps, ob.value_ps);
+  }
+  EXPECT_EQ(a.counts().dropped, b.counts().dropped);
+  EXPECT_EQ(a.counts().glitched, b.counts().glitched);
+}
+
+TEST(FaultInjectorTest, ResetReplaysTheCampaign) {
+  const FaultPlan plan = FaultPlan::uniform(0.1);
+  FaultInjector injector(plan, 9);
+  std::vector<FaultInjector::ReadOutcome> first;
+  for (std::size_t read = 0; read < 500; ++read) {
+    first.push_back(injector.apply(read % 11, 900.0));
+  }
+  injector.reset();
+  EXPECT_EQ(injector.counts().reads, 0u);
+  for (std::size_t read = 0; read < 500; ++read) {
+    const auto replay = injector.apply(read % 11, 900.0);
+    ASSERT_EQ(replay.kind, first[read].kind);
+    ASSERT_EQ(replay.dropped, first[read].dropped);
+    ASSERT_DOUBLE_EQ(replay.value_ps, first[read].value_ps);
+  }
+}
+
+TEST(FaultInjectorTest, StuckChannelReturnsTheSameBogusValueEveryRead) {
+  FaultPlan plan;
+  plan.stuck_channel_fraction = 1.0;  // every channel latched
+  FaultInjector injector(plan, 3);
+  ASSERT_TRUE(injector.channel_stuck(0));
+  const auto first = injector.apply(0, 500.0);
+  EXPECT_EQ(first.kind, FaultKind::kStuckChannel);
+  for (int read = 0; read < 20; ++read) {
+    const auto again = injector.apply(0, 500.0 + read);  // input ignored
+    EXPECT_DOUBLE_EQ(again.value_ps, first.value_ps);
+  }
+  // A different channel latches at a different constant.
+  const auto other = injector.apply(1, 500.0);
+  EXPECT_NE(other.value_ps, first.value_ps);
+}
+
+TEST(FaultInjectorTest, StuckMembershipIsAStaticChannelProperty) {
+  FaultPlan plan;
+  plan.stuck_channel_fraction = 0.3;
+  const FaultInjector injector(plan, 11);
+  std::size_t stuck = 0;
+  for (std::size_t channel = 0; channel < 5000; ++channel) {
+    const bool s = injector.channel_stuck(channel);
+    EXPECT_EQ(s, injector.channel_stuck(channel));  // stable under re-query
+    if (s) ++stuck;
+  }
+  EXPECT_NEAR(static_cast<double>(stuck) / 5000.0, 0.3, 0.03);
+}
+
+TEST(FaultInjectorTest, DroppedReadsMatchTheConfiguredRate) {
+  FaultPlan plan;
+  plan.dropped_read_rate = 0.25;
+  FaultInjector injector(plan, 5);
+  std::size_t dropped = 0;
+  for (int read = 0; read < 20000; ++read) {
+    const auto outcome = injector.apply(0, 100.0);
+    if (outcome.dropped) {
+      EXPECT_EQ(outcome.kind, FaultKind::kDroppedRead);
+      ++dropped;
+    }
+  }
+  EXPECT_EQ(injector.counts().dropped, dropped);
+  EXPECT_NEAR(static_cast<double>(dropped) / 20000.0, 0.25, 0.02);
+}
+
+TEST(FaultInjectorTest, GlitchesAreHeavyTailedOutliers) {
+  FaultPlan plan;
+  plan.glitch_rate = 1.0;
+  plan.glitch_scale_ps = 50.0;
+  FaultInjector injector(plan, 13);
+  std::size_t far = 0;
+  for (int read = 0; read < 2000; ++read) {
+    const auto outcome = injector.apply(0, 100.0);
+    EXPECT_EQ(outcome.kind, FaultKind::kTransientGlitch);
+    // Cauchy tail: |excursion| > 10 scales happens with prob ~ 2/(10*pi).
+    if (std::fabs(outcome.value_ps - 100.0) > 500.0) ++far;
+  }
+  EXPECT_GT(far, 20u);  // a Gaussian at any sigma<=50 would give ~0
+  EXPECT_EQ(injector.counts().glitched, 2000u);
+}
+
+TEST(FaultInjectorTest, AgingDriftIsMonotoneOverTheCampaign) {
+  FaultPlan plan;
+  plan.aging_drift_ps_per_read = 0.25;
+  FaultInjector injector(plan, 17);
+  double previous = -1.0;
+  for (int read = 0; read < 100; ++read) {
+    const auto outcome = injector.apply(0, 100.0);
+    EXPECT_EQ(outcome.kind, FaultKind::kAgingDrift);
+    EXPECT_GT(outcome.value_ps, previous);
+    EXPECT_DOUBLE_EQ(outcome.value_ps, 100.0 + 0.25 * read);
+    previous = outcome.value_ps;
+  }
+}
+
+TEST(FaultInjectorTest, BrownoutSlowsARunOfConsecutiveReads) {
+  FaultPlan plan;
+  plan.brownout_rate = 1.0;  // an event starts as soon as none is active
+  plan.brownout_duration_reads = 4;
+  plan.brownout_slowdown_rel = 0.05;
+  FaultInjector injector(plan, 19);
+  for (int read = 0; read < 50; ++read) {
+    const auto outcome = injector.apply(0, 1000.0);
+    EXPECT_EQ(outcome.kind, FaultKind::kBrownout);
+    EXPECT_DOUBLE_EQ(outcome.value_ps, 1050.0);
+  }
+  EXPECT_EQ(injector.counts().browned_out, 50u);
+}
+
+TEST(MeasurementFaultTest, CarriesKindAndReadableMessage) {
+  const MeasurementFault fault(FaultKind::kRetryExhausted, "unit 7");
+  EXPECT_EQ(fault.kind(), FaultKind::kRetryExhausted);
+  EXPECT_NE(std::string(fault.what()).find("retry-exhausted"), std::string::npos);
+  EXPECT_NE(std::string(fault.what()).find("unit 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ropuf::sil

@@ -1,0 +1,28 @@
+# Regression test for option parsing: numeric options with trailing junk
+# must be rejected loudly, not silently truncated (e.g. "1.2abc" -> 1.2).
+execute_process(COMMAND ${CLI} fleet-stats --boards 8abc
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "fleet-stats accepted '--boards 8abc': ${out}")
+endif()
+if(NOT err MATCHES "trailing junk in value '8abc' for --boards")
+  message(FATAL_ERROR "missing trailing-junk diagnostic: ${err}")
+endif()
+
+execute_process(COMMAND ${CLI} enroll --seed 42 --pairs 1.2abc
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "enroll accepted '--pairs 1.2abc': ${out}")
+endif()
+if(NOT err MATCHES "trailing junk in value '1.2abc' for --pairs")
+  message(FATAL_ERROR "missing trailing-junk diagnostic: ${err}")
+endif()
+
+execute_process(COMMAND ${CLI} nist --streams nope
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "nist accepted '--streams nope': ${out}")
+endif()
+if(NOT err MATCHES "non-numeric value 'nope' for --streams")
+  message(FATAL_ERROR "missing non-numeric diagnostic: ${err}")
+endif()

@@ -1,0 +1,22 @@
+# Hardened-pipeline smoke test: enroll and respond under a 2% per-read
+# fault campaign must complete (exit 0) and report the fault campaign.
+set(record ${CMAKE_CURRENT_BINARY_DIR}/cli_fault_enrollment.ropuf)
+execute_process(COMMAND ${CLI} enroll --seed 42 --stages 5 --pairs 16
+                        --fault-rate 0.02 --out ${record}
+                RESULT_VARIABLE enroll_rc OUTPUT_VARIABLE enroll_out)
+if(NOT enroll_rc EQUAL 0)
+  message(FATAL_ERROR "faulted enroll failed: ${enroll_out}")
+endif()
+if(NOT enroll_out MATCHES "fault report:")
+  message(FATAL_ERROR "missing fault report: ${enroll_out}")
+endif()
+
+execute_process(COMMAND ${CLI} respond --seed 42 --enrollment ${record}
+                        --fault-rate 0.02
+                RESULT_VARIABLE respond_rc OUTPUT_VARIABLE respond_out)
+if(NOT respond_rc EQUAL 0)
+  message(FATAL_ERROR "faulted respond failed: ${respond_out}")
+endif()
+if(NOT respond_out MATCHES "fault report:")
+  message(FATAL_ERROR "missing fault report: ${respond_out}")
+endif()

@@ -10,11 +10,13 @@
 //                    [--out FILE]
 //   ropuf_cli respond --seed S --enrollment FILE [--voltage V] [--temp T]
 //   ropuf_cli nist --streams N --bits B [--bias P]
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -22,10 +24,14 @@
 #include "analysis/experiments.h"
 #include "analysis/metrics.h"
 #include "common/error.h"
+#include "crypto/cyclic_code.h"
+#include "crypto/fuzzy_extractor.h"
 #include "nist/report.h"
 #include "nist/suite.h"
+#include "puf/chip_puf.h"
 #include "puf/serialization.h"
 #include "silicon/dataset_io.h"
+#include "silicon/faults.h"
 #include "silicon/fleet.h"
 
 namespace {
@@ -52,10 +58,17 @@ class Args {
   double number(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
     if (it == values_.end()) return fallback;
-    std::istringstream is(it->second);
+    // Require the whole token to parse: "1.2abc" must be rejected, not
+    // silently read as 1.2.
+    std::size_t consumed = 0;
     double value = 0.0;
-    is >> value;
-    ROPUF_REQUIRE(!is.fail(), "non-numeric value for --" + key);
+    try {
+      value = std::stod(it->second, &consumed);
+    } catch (const std::exception&) {
+      ROPUF_REQUIRE(false, "non-numeric value '" + it->second + "' for --" + key);
+    }
+    ROPUF_REQUIRE(consumed == it->second.size(),
+                  "trailing junk in value '" + it->second + "' for --" + key);
     return value;
   }
 
@@ -66,6 +79,27 @@ class Args {
 sil::Chip chip_for_seed(std::uint64_t seed) {
   sil::Fab fab(sil::ProcessParams{}, seed);
   return fab.fabricate(16, 32);  // 512 units, the paper's board size
+}
+
+/// Shared --fault-rate / --fault-seed handling: an engaged injector when a
+/// positive rate was requested. The caller keeps the returned optional
+/// alive and wires its address into the readout options.
+std::optional<sil::FaultInjector> fault_injector_from_args(const Args& args) {
+  const double rate = args.number("fault-rate", 0.0);
+  if (rate <= 0.0) return std::nullopt;
+  const auto seed = static_cast<std::uint64_t>(args.number("fault-seed", 0xfa017));
+  return sil::FaultInjector(sil::FaultPlan::uniform(rate), seed);
+}
+
+void print_fault_report(const sil::FaultInjector& injector) {
+  const sil::FaultCounts& c = injector.counts();
+  std::printf("fault report: %llu reads (%llu dropped, %llu glitched, %llu stuck, "
+              "%llu browned-out)\n",
+              static_cast<unsigned long long>(c.reads),
+              static_cast<unsigned long long>(c.dropped),
+              static_cast<unsigned long long>(c.glitched),
+              static_cast<unsigned long long>(c.stuck),
+              static_cast<unsigned long long>(c.browned_out));
 }
 
 int cmd_fleet_stats(const Args& args) {
@@ -98,6 +132,11 @@ int cmd_enroll(const Args& args) {
   Rng rng(seed ^ 0xe40011);
   analysis::DatasetOptions opts;
   opts.distill = true;
+  auto injector = fault_injector_from_args(args);
+  if (injector.has_value()) {
+    opts.injector = &*injector;
+    opts.hardened = true;
+  }
   const auto values = analysis::board_unit_values(chip, sil::nominal_op(), opts, rng);
   const puf::BoardLayout layout{stages, pairs};
   const auto enrollment = puf::configurable_enroll(values, layout, mode);
@@ -109,6 +148,7 @@ int cmd_enroll(const Args& args) {
   std::printf("enrolled chip seed=%llu: %zu bits -> %s\n",
               static_cast<unsigned long long>(seed), pairs, out.c_str());
   std::printf("response: %s\n", enrollment.response().to_string().c_str());
+  if (injector.has_value()) print_fault_report(*injector);
   return 0;
 }
 
@@ -126,6 +166,11 @@ int cmd_respond(const Args& args) {
   Rng rng(seed ^ 0x4e590);
   analysis::DatasetOptions opts;
   opts.distill = true;
+  auto injector = fault_injector_from_args(args);
+  if (injector.has_value()) {
+    opts.injector = &*injector;
+    opts.hardened = true;
+  }
   const auto values = analysis::board_unit_values(chip, op, opts, rng);
   const BitVec response = puf::configurable_respond(values, enrollment);
   std::printf("corner %.2fV / %.1fC\n", op.voltage_v, op.temperature_c);
@@ -133,6 +178,62 @@ int cmd_respond(const Args& args) {
   std::printf("reference: %s\n", enrollment.response().to_string().c_str());
   std::printf("flips: %zu of %zu\n", response.hamming_distance(enrollment.response()),
               response.size());
+  if (injector.has_value()) print_fault_report(*injector);
+  return 0;
+}
+
+int cmd_fault_sweep(const Args& args) {
+  // End-to-end key-recovery sweep over the full-circuit device: enroll at
+  // nominal under an injected fault campaign, derive a key through the
+  // code-offset fuzzy extractor, re-measure under the same campaign, and
+  // check the key reproduces — hardened pipeline vs. the naive one.
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  const std::uint64_t fault_seed =
+      static_cast<std::uint64_t>(args.number("fault-seed", 0xfa017));
+  const int trials = static_cast<int>(args.number("trials", 5));
+  ROPUF_REQUIRE(trials >= 1, "trials must be >= 1");
+  const double max_rate = args.number("max-rate", 0.02);
+  ROPUF_REQUIRE(max_rate >= 0.0 && max_rate < 1.0, "max-rate must be in [0, 1)");
+
+  const crypto::CyclicCode code = crypto::CyclicCode::bch_15_7();
+  const crypto::FuzzyExtractor extractor(&code);
+
+  const std::vector<double> rates = {0.0, 0.25 * max_rate, 0.5 * max_rate, max_rate};
+  std::printf("%-12s %-14s %-14s %-12s\n", "fault rate", "naive keys", "hardened keys",
+              "masked/30");
+  for (const double rate : rates) {
+    int naive_ok = 0, hardened_ok = 0;
+    double masked_total = 0.0;
+    for (int trial = 0; trial < trials; ++trial) {
+      const sil::Chip chip = chip_for_seed(seed + static_cast<std::uint64_t>(trial));
+      for (const bool hardened : {false, true}) {
+        puf::DeviceSpec spec;
+        spec.stages = 7;
+        spec.pair_count = 30;  // 2 BCH(15,7) blocks
+        spec.mode = puf::SelectionCase::kIndependent;
+        spec.hardened = hardened;
+        sil::FaultInjector injector(sil::FaultPlan::uniform(rate),
+                                    fault_seed + static_cast<std::uint64_t>(trial));
+        Rng rng(seed ^ (0x6e75ull + static_cast<std::uint64_t>(trial)));
+        bool ok = false;
+        try {
+          puf::ConfigurableRoPufDevice device(&chip, spec, rng);
+          device.set_fault_injector(&injector);
+          device.enroll(sil::nominal_op(), rng);
+          const auto enrollment = extractor.generate(device.enrolled_response(), rng);
+          const BitVec response = device.respond(sil::nominal_op(), rng);
+          const auto key = extractor.reproduce(response, enrollment.helper);
+          ok = key.has_value() && *key == enrollment.key;
+          if (hardened) masked_total += static_cast<double>(device.masked_count());
+        } catch (const ropuf::Error&) {
+          ok = false;  // naive pipeline: an unhandled fault kills the trial
+        }
+        (hardened ? hardened_ok : naive_ok) += ok ? 1 : 0;
+      }
+    }
+    std::printf("%-12.4f %3d/%-10d %3d/%-10d %-12.1f\n", rate, naive_ok, trials,
+                hardened_ok, trials, masked_total / trials);
+  }
   return 0;
 }
 
@@ -212,10 +313,15 @@ int usage() {
                "commands:\n"
                "  fleet-stats --boards N [--seed S]\n"
                "  enroll  --seed S [--stages N] [--pairs P] [--mode case1|case2] [--out F]\n"
+               "          [--fault-rate R] [--fault-seed S]\n"
                "  respond --seed S --enrollment F [--voltage V] [--temp T]\n"
+               "          [--fault-rate R] [--fault-seed S]\n"
+               "  fault-sweep [--seed S] [--trials N] [--max-rate R] [--fault-seed S]\n"
                "  nist    [--streams N] [--bits B] [--bias P] [--seed S]\n"
                "  export-dataset [--boards N] [--seed S] [--noise PS] [--out F]\n"
-               "  dataset-stats --dataset F [--stages N] [--distill on|off]\n");
+               "  dataset-stats --dataset F [--stages N] [--distill on|off]\n"
+               "a positive --fault-rate attaches the fault injector and switches the\n"
+               "readout to the hardened (retrying, outlier-rejecting) pipeline.\n");
   return 64;
 }
 
@@ -229,6 +335,7 @@ int main(int argc, char** argv) {
     if (command == "fleet-stats") return cmd_fleet_stats(args);
     if (command == "enroll") return cmd_enroll(args);
     if (command == "respond") return cmd_respond(args);
+    if (command == "fault-sweep") return cmd_fault_sweep(args);
     if (command == "nist") return cmd_nist(args);
     if (command == "export-dataset") return cmd_export_dataset(args);
     if (command == "dataset-stats") return cmd_dataset_stats(args);
