@@ -1,43 +1,94 @@
 #include "analysis/experiments.h"
 
 #include <cmath>
+#include <optional>
 
 #include "analysis/reliability.h"
 #include "common/error.h"
+#include "common/parallel.h"
 #include "puf/distiller.h"
 
 namespace ropuf::analysis {
+namespace {
+
+/// Measured (and optionally distilled) per-unit values of one board. The
+/// distiller is passed in so loops construct it once per experiment instead
+/// of once per board.
+std::vector<double> unit_values(const sil::Chip& board, const sil::OperatingPoint& op,
+                                const DatasetOptions& opts, Rng& rng,
+                                sil::FaultInjector* injector,
+                                const puf::RegressionDistiller* distiller) {
+  std::vector<double> values;
+  if (injector != nullptr && opts.hardened) {
+    values = puf::robust_unit_ddiffs(board, op, opts.measurement, rng, *injector,
+                                     opts.retry)
+                 .values;
+  } else {
+    values = puf::measure_unit_ddiffs(board, op, opts.measurement, rng, injector);
+  }
+  if (distiller != nullptr) values = distiller->distill_chip(board, values);
+  return values;
+}
+
+/// Per-board streams for a fleet campaign, forked serially up front so that
+/// parallel dispatch order cannot perturb them. With a campaign injector
+/// attached, every board gets its own forked fault stream (salt = board
+/// index); the children's counters are merged back after the run.
+struct BoardStreams {
+  std::vector<Rng> rngs;
+  std::vector<sil::FaultInjector> injectors;  ///< empty when no injector
+
+  BoardStreams(std::size_t boards, std::uint64_t seed, sil::FaultInjector* campaign) {
+    Rng master(seed);
+    rngs.reserve(boards);
+    for (std::size_t b = 0; b < boards; ++b) rngs.push_back(master.fork());
+    if (campaign != nullptr) {
+      injectors.reserve(boards);
+      for (std::size_t b = 0; b < boards; ++b) injectors.push_back(campaign->fork(b));
+    }
+  }
+
+  sil::FaultInjector* injector(std::size_t b) {
+    return injectors.empty() ? nullptr : &injectors[b];
+  }
+
+  void merge_into(sil::FaultInjector* campaign) const {
+    if (campaign == nullptr) return;
+    for (const auto& child : injectors) campaign->merge_counts(child.counts());
+  }
+};
+
+/// The hoisted per-experiment distiller, or nullptr when distillation is off.
+std::optional<puf::RegressionDistiller> make_distiller(const DatasetOptions& opts) {
+  if (!opts.distill) return std::nullopt;
+  return puf::RegressionDistiller(opts.distiller_degree);
+}
+
+}  // namespace
 
 std::vector<double> board_unit_values(const sil::Chip& board,
                                       const sil::OperatingPoint& op,
                                       const DatasetOptions& opts, Rng& rng) {
-  std::vector<double> values;
-  if (opts.injector != nullptr && opts.hardened) {
-    values = puf::robust_unit_ddiffs(board, op, opts.measurement, rng, *opts.injector,
-                                     opts.retry)
-                 .values;
-  } else {
-    values = puf::measure_unit_ddiffs(board, op, opts.measurement, rng, opts.injector);
-  }
-  if (opts.distill) {
-    const puf::RegressionDistiller distiller(opts.distiller_degree);
-    values = distiller.distill_chip(board, values);
-  }
-  return values;
+  const auto distiller = make_distiller(opts);
+  return unit_values(board, op, opts, rng, opts.injector,
+                     distiller ? &*distiller : nullptr);
 }
 
 std::vector<BitVec> board_responses(const std::vector<sil::Chip>& boards,
                                     const DatasetOptions& opts) {
   ROPUF_REQUIRE(!boards.empty(), "empty fleet");
-  Rng master(opts.noise_seed);
-  std::vector<BitVec> responses;
-  responses.reserve(boards.size());
-  for (const sil::Chip& board : boards) {
-    Rng rng = master.fork();
-    const auto values = board_unit_values(board, sil::nominal_op(), opts, rng);
-    const puf::BoardLayout layout = puf::paper_layout(opts.stages, board.unit_count());
-    responses.push_back(puf::configurable_enroll(values, layout, opts.mode).response());
-  }
+  BoardStreams streams(boards.size(), opts.noise_seed, opts.injector);
+  const auto distiller = make_distiller(opts);
+  auto responses = parallel_transform<BitVec>(
+      boards.size(), opts.threads, [&](std::size_t b) {
+        const auto values = unit_values(boards[b], sil::nominal_op(), opts,
+                                        streams.rngs[b], streams.injector(b),
+                                        distiller ? &*distiller : nullptr);
+        const puf::BoardLayout layout =
+            puf::paper_layout(opts.stages, boards[b].unit_count());
+        return puf::configurable_enroll(values, layout, opts.mode).response();
+      });
+  streams.merge_into(opts.injector);
   return responses;
 }
 
@@ -47,18 +98,14 @@ std::vector<BitVec> table_responses(const sil::MeasurementTable& table,
   std::vector<sil::DieLocation> locations(table.units_per_board());
   for (std::size_t i = 0; i < locations.size(); ++i) locations[i] = table.location(i);
 
-  std::vector<BitVec> responses;
-  responses.reserve(table.boards.size());
+  const auto distiller = make_distiller(opts);
   const puf::BoardLayout layout = puf::paper_layout(opts.stages, table.units_per_board());
-  for (const auto& board : table.boards) {
-    std::vector<double> values = board;
-    if (opts.distill) {
-      const puf::RegressionDistiller distiller(opts.distiller_degree);
-      values = distiller.distill(values, locations);
-    }
-    responses.push_back(puf::configurable_enroll(values, layout, opts.mode).response());
-  }
-  return responses;
+  return parallel_transform<BitVec>(
+      table.boards.size(), opts.threads, [&](std::size_t b) {
+        std::vector<double> values = table.boards[b];
+        if (distiller) values = distiller->distill(values, locations);
+        return puf::configurable_enroll(values, layout, opts.mode).response();
+      });
 }
 
 std::vector<BitVec> combine_board_pairs(const std::vector<BitVec>& responses) {
@@ -76,24 +123,37 @@ std::vector<BitVec> configuration_streams(const std::vector<sil::Chip>& boards,
                                           const DatasetOptions& opts) {
   ROPUF_REQUIRE(!boards.empty(), "empty fleet");
   constexpr std::size_t kStages = 15;  // Section IV.C setup
-  Rng master(opts.noise_seed);
-  std::vector<BitVec> streams;
-  for (const sil::Chip& board : boards) {
-    Rng rng = master.fork();
-    const auto values = board_unit_values(board, sil::nominal_op(), opts, rng);
-    const puf::BoardLayout layout = puf::paper_layout(kStages, board.unit_count());
-    const auto enrollment = puf::configurable_enroll(values, layout, opts.mode);
-    for (const puf::Selection& sel : enrollment.selections) {
-      if (opts.mode == puf::SelectionCase::kSameConfig) {
-        streams.push_back(sel.top_config);
-      } else {
-        BitVec combined = sel.top_config;
-        combined.append(sel.bottom_config);
-        streams.push_back(std::move(combined));
-      }
-    }
+  BoardStreams streams(boards.size(), opts.noise_seed, opts.injector);
+  const auto distiller = make_distiller(opts);
+  // Per-board stream bundles computed in parallel, flattened in board order.
+  const auto per_board = parallel_transform<std::vector<BitVec>>(
+      boards.size(), opts.threads, [&](std::size_t b) {
+        const auto values = unit_values(boards[b], sil::nominal_op(), opts,
+                                        streams.rngs[b], streams.injector(b),
+                                        distiller ? &*distiller : nullptr);
+        const puf::BoardLayout layout =
+            puf::paper_layout(kStages, boards[b].unit_count());
+        const auto enrollment = puf::configurable_enroll(values, layout, opts.mode);
+        std::vector<BitVec> board_streams;
+        board_streams.reserve(enrollment.selections.size());
+        for (const puf::Selection& sel : enrollment.selections) {
+          if (opts.mode == puf::SelectionCase::kSameConfig) {
+            board_streams.push_back(sel.top_config);
+          } else {
+            BitVec combined = sel.top_config;
+            combined.append(sel.bottom_config);
+            board_streams.push_back(std::move(combined));
+          }
+        }
+        return board_streams;
+      });
+  streams.merge_into(opts.injector);
+
+  std::vector<BitVec> flat;
+  for (const auto& bundle : per_board) {
+    for (const auto& s : bundle) flat.push_back(s);
   }
-  return streams;
+  return flat;
 }
 
 std::vector<EnvReliabilityCell> environment_reliability(
@@ -103,99 +163,121 @@ std::vector<EnvReliabilityCell> environment_reliability(
   ROPUF_REQUIRE(!boards.empty() && !corners.empty(), "empty boards or corners");
   ROPUF_REQUIRE(baseline_corner < corners.size(), "baseline corner out of range");
 
-  Rng master(opts.noise_seed);
-  std::vector<EnvReliabilityCell> cells;
-  for (std::size_t b = 0; b < boards.size(); ++b) {
-    Rng rng = master.fork();
-    // One measurement snapshot per corner, shared by all schemes.
-    std::vector<std::vector<double>> values;
-    values.reserve(corners.size());
-    for (const auto& corner : corners) {
-      values.push_back(board_unit_values(boards[b], corner, opts, rng));
-    }
-
-    for (const std::size_t stages : stage_counts) {
-      const puf::BoardLayout layout = puf::paper_layout(stages, boards[b].unit_count());
-      EnvReliabilityCell cell;
-      cell.board_index = b;
-      cell.stages = stages;
-      cell.bits = layout.pair_count;
-      cell.one8_bits = puf::one_of_eight_bits(layout);
-
-      // Configurable PUF: enroll at each corner, stress against the others.
-      for (std::size_t e = 0; e < corners.size(); ++e) {
-        const auto enrollment = puf::configurable_enroll(values[e], layout, opts.mode);
-        const BitVec baseline = enrollment.response();
-        std::vector<BitVec> stress;
-        for (std::size_t c = 0; c < corners.size(); ++c) {
-          if (c == e) continue;
-          stress.push_back(puf::configurable_respond(values[c], enrollment));
+  BoardStreams streams(boards.size(), opts.noise_seed, opts.injector);
+  const auto distiller = make_distiller(opts);
+  const auto per_board = parallel_transform<std::vector<EnvReliabilityCell>>(
+      boards.size(), opts.threads, [&](std::size_t b) {
+        Rng& rng = streams.rngs[b];
+        // One measurement snapshot per corner, shared by all schemes.
+        std::vector<std::vector<double>> values;
+        values.reserve(corners.size());
+        for (const auto& corner : corners) {
+          values.push_back(unit_values(boards[b], corner, opts, rng,
+                                       streams.injector(b),
+                                       distiller ? &*distiller : nullptr));
         }
-        cell.configurable_flip_pct.push_back(flip_percentage(baseline, stress));
-      }
 
-      // Traditional PUF: baseline at the designated corner.
-      {
-        const BitVec baseline =
-            puf::traditional_respond(values[baseline_corner], layout).response;
-        std::vector<BitVec> stress;
-        for (std::size_t c = 0; c < corners.size(); ++c) {
-          if (c == baseline_corner) continue;
-          stress.push_back(puf::traditional_respond(values[c], layout).response);
+        std::vector<EnvReliabilityCell> cells;
+        cells.reserve(stage_counts.size());
+        for (const std::size_t stages : stage_counts) {
+          const puf::BoardLayout layout =
+              puf::paper_layout(stages, boards[b].unit_count());
+          EnvReliabilityCell cell;
+          cell.board_index = b;
+          cell.stages = stages;
+          cell.bits = layout.pair_count;
+          cell.one8_bits = puf::one_of_eight_bits(layout);
+
+          // Configurable PUF: enroll at each corner, stress against the others.
+          for (std::size_t e = 0; e < corners.size(); ++e) {
+            const auto enrollment = puf::configurable_enroll(values[e], layout, opts.mode);
+            const BitVec baseline = enrollment.response();
+            std::vector<BitVec> stress;
+            for (std::size_t c = 0; c < corners.size(); ++c) {
+              if (c == e) continue;
+              stress.push_back(puf::configurable_respond(values[c], enrollment));
+            }
+            cell.configurable_flip_pct.push_back(flip_percentage(baseline, stress));
+          }
+
+          // Traditional PUF: baseline at the designated corner.
+          {
+            const BitVec baseline =
+                puf::traditional_respond(values[baseline_corner], layout).response;
+            std::vector<BitVec> stress;
+            for (std::size_t c = 0; c < corners.size(); ++c) {
+              if (c == baseline_corner) continue;
+              stress.push_back(puf::traditional_respond(values[c], layout).response);
+            }
+            cell.traditional_flip_pct = flip_percentage(baseline, stress);
+          }
+
+          // 1-out-of-8: enrollment picks at the designated corner.
+          {
+            const auto enrollment =
+                puf::one_of_eight_enroll(values[baseline_corner], layout);
+            const BitVec baseline =
+                puf::one_of_eight_respond(values[baseline_corner], enrollment);
+            std::vector<BitVec> stress;
+            for (std::size_t c = 0; c < corners.size(); ++c) {
+              if (c == baseline_corner) continue;
+              stress.push_back(puf::one_of_eight_respond(values[c], enrollment));
+            }
+            cell.one_of_eight_flip_pct = flip_percentage(baseline, stress);
+          }
+
+          cells.push_back(std::move(cell));
         }
-        cell.traditional_flip_pct = flip_percentage(baseline, stress);
-      }
+        return cells;
+      });
+  streams.merge_into(opts.injector);
 
-      // 1-out-of-8: enrollment picks at the designated corner.
-      {
-        const auto enrollment = puf::one_of_eight_enroll(values[baseline_corner], layout);
-        const BitVec baseline = puf::one_of_eight_respond(values[baseline_corner], enrollment);
-        std::vector<BitVec> stress;
-        for (std::size_t c = 0; c < corners.size(); ++c) {
-          if (c == baseline_corner) continue;
-          stress.push_back(puf::one_of_eight_respond(values[c], enrollment));
-        }
-        cell.one_of_eight_flip_pct = flip_percentage(baseline, stress);
-      }
-
-      cells.push_back(std::move(cell));
-    }
+  std::vector<EnvReliabilityCell> flat;
+  flat.reserve(boards.size() * stage_counts.size());
+  for (const auto& bundle : per_board) {
+    for (const auto& cell : bundle) flat.push_back(cell);
   }
-  return cells;
+  return flat;
 }
 
 std::vector<ThresholdSweepPoint> threshold_sweep(const std::vector<sil::Chip>& boards,
                                                  const puf::DeviceSpec& device_spec,
                                                  const std::vector<double>& rth_values_ps,
-                                                 std::uint64_t seed) {
+                                                 std::uint64_t seed,
+                                                 ThreadBudget threads) {
   ROPUF_REQUIRE(!boards.empty(), "empty fleet");
-  Rng master(seed);
+  BoardStreams streams(boards.size(), seed, nullptr);
 
-  // Collect per-board margins once; the sweep is pure counting.
-  std::vector<std::vector<double>> traditional_margins, configurable_margins;
-  for (const sil::Chip& board : boards) {
-    Rng rng = master.fork();
-    puf::ConfigurableRoPufDevice device(&board, device_spec, rng);
-    device.enroll(sil::nominal_op(), rng);
-    std::vector<double> conf;
-    conf.reserve(device.selections().size());
-    for (const puf::Selection& sel : device.selections()) conf.push_back(sel.margin);
-    configurable_margins.push_back(std::move(conf));
-    traditional_margins.push_back(
-        device.traditional_response(sil::nominal_op(), rng).margins_ps);
-  }
+  // Collect per-board margins in parallel; the sweep is pure counting.
+  struct BoardMargins {
+    std::vector<double> traditional;
+    std::vector<double> configurable;
+  };
+  const auto margins = parallel_transform<BoardMargins>(
+      boards.size(), threads, [&](std::size_t b) {
+        Rng& rng = streams.rngs[b];
+        puf::ConfigurableRoPufDevice device(&boards[b], device_spec, rng);
+        device.enroll(sil::nominal_op(), rng);
+        BoardMargins m;
+        m.configurable.reserve(device.selections().size());
+        for (const puf::Selection& sel : device.selections()) {
+          m.configurable.push_back(sel.margin);
+        }
+        m.traditional = device.traditional_response(sil::nominal_op(), rng).margins_ps;
+        return m;
+      });
 
   std::vector<ThresholdSweepPoint> sweep;
   sweep.reserve(rth_values_ps.size());
   for (const double rth : rth_values_ps) {
     ThresholdSweepPoint point;
     point.rth_ps = rth;
-    for (std::size_t b = 0; b < boards.size(); ++b) {
-      for (const double m : traditional_margins[b]) {
-        if (std::fabs(m) >= rth) point.traditional_reliable_bits += 1.0;
+    for (const BoardMargins& m : margins) {
+      for (const double v : m.traditional) {
+        if (std::fabs(v) >= rth) point.traditional_reliable_bits += 1.0;
       }
-      for (const double m : configurable_margins[b]) {
-        if (std::fabs(m) >= rth) point.configurable_reliable_bits += 1.0;
+      for (const double v : m.configurable) {
+        if (std::fabs(v) >= rth) point.configurable_reliable_bits += 1.0;
       }
     }
     point.traditional_reliable_bits /= static_cast<double>(boards.size());

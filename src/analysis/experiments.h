@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/bitvec.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "puf/chip_puf.h"
 #include "puf/measurement.h"
@@ -36,9 +37,18 @@ struct DatasetOptions {
   /// through the robust readout and units that exhaust the retry budget
   /// read back as dark (0.0) units; without it faults corrupt values
   /// silently and a dropped read throws MeasurementFault.
+  ///
+  /// In the fleet-scale experiments every board measures through its own
+  /// deterministically forked child injector (salt = board index), so the
+  /// campaign is bit-identical at any thread count; the children's fault
+  /// counters are merged back into this injector when the experiment
+  /// returns. board_unit_values (single board) uses the injector directly.
   sil::FaultInjector* injector = nullptr;
   bool hardened = false;
   puf::RetryPolicy retry;
+  /// Parallelism of the fleet loop (default: ROPUF_THREADS / hardware).
+  /// Outputs are bit-identical for every value; see docs/parallelism.md.
+  ThreadBudget threads;
 };
 
 /// Measured (and, if configured, distilled) per-unit values of one board.
@@ -103,6 +113,7 @@ struct ThresholdSweepPoint {
 std::vector<ThresholdSweepPoint> threshold_sweep(const std::vector<sil::Chip>& boards,
                                                  const puf::DeviceSpec& device_spec,
                                                  const std::vector<double>& rth_values_ps,
-                                                 std::uint64_t seed);
+                                                 std::uint64_t seed,
+                                                 ThreadBudget threads = ThreadBudget());
 
 }  // namespace ropuf::analysis

@@ -1,10 +1,39 @@
 #include "analysis/hamming_stats.h"
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace ropuf::analysis {
+namespace {
+
+// The kernel accumulates into integers (HD sums of ~4.8M pairs of <=2^16-bit
+// vectors stay far below 2^63), so partial results merge exactly and the
+// statistics are bit-identical at any thread count — and identical to the
+// previous all-double serial accumulation, which never left the exact-integer
+// range of IEEE doubles.
+struct Partial {
+  std::vector<std::uint64_t> histogram;  ///< indexed by HD, 0..bits
+  std::uint64_t sum = 0;
+  std::uint64_t sum2 = 0;
+  std::uint64_t pairs = 0;
+};
+
+#if defined(__GNUC__) || defined(__clang__)
+inline std::size_t popcount64(std::uint64_t w) {
+  return static_cast<std::size_t>(__builtin_popcountll(w));
+}
+#else
+inline std::size_t popcount64(std::uint64_t w) {
+  std::size_t c = 0;
+  for (; w != 0; w &= w - 1) ++c;
+  return c;
+}
+#endif
+
+}  // namespace
 
 double HdStats::percent_at(std::size_t hd) const {
   if (pair_count == 0) return 0.0;
@@ -13,23 +42,69 @@ double HdStats::percent_at(std::size_t hd) const {
   return 100.0 * static_cast<double>(it->second) / static_cast<double>(pair_count);
 }
 
-HdStats pairwise_hd(const std::vector<BitVec>& population) {
+HdStats pairwise_hd(const std::vector<BitVec>& population, ThreadBudget threads) {
   ROPUF_REQUIRE(population.size() >= 2, "need at least two members");
-  HdStats stats;
-  double sum = 0.0, sum2 = 0.0;
-  for (std::size_t i = 0; i < population.size(); ++i) {
-    for (std::size_t j = i + 1; j < population.size(); ++j) {
-      const std::size_t hd = population[i].hamming_distance(population[j]);
-      ++stats.histogram[hd];
-      ++stats.pair_count;
-      if (hd == 0) ++stats.duplicates;
-      sum += static_cast<double>(hd);
-      sum2 += static_cast<double>(hd) * static_cast<double>(hd);
+  const std::size_t n = population.size();
+  const std::size_t bits = population.front().size();
+  for (const BitVec& v : population) {
+    ROPUF_REQUIRE(v.size() == bits, "bitvec size mismatch");
+  }
+
+  // Pack the population into one contiguous word matrix so the all-pairs
+  // kernel runs over flat rows (popcount of XORed words) instead of chasing
+  // per-BitVec heap allocations.
+  const std::size_t words = (bits + 63) / 64;
+  std::vector<std::uint64_t> packed(n * words, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<int> row = population[i].to_bits();
+    for (std::size_t b = 0; b < bits; ++b) {
+      if (row[b] != 0) packed[i * words + b / 64] |= std::uint64_t{1} << (b % 64);
     }
   }
-  const double n = static_cast<double>(stats.pair_count);
-  stats.mean = sum / n;
-  stats.stddev = std::sqrt(std::max(0.0, sum2 / n - stats.mean * stats.mean));
+
+  // Row-blocked kernel: block r owns rows [r*kRowBlock, ...) against all
+  // later rows. The block size is fixed (independent of the thread count) and
+  // every block writes its own Partial, so scheduling cannot affect results.
+  constexpr std::size_t kRowBlock = 64;
+  const std::size_t blocks = (n + kRowBlock - 1) / kRowBlock;
+  std::vector<Partial> partials(blocks);
+  parallel_for(blocks, threads, [&](std::size_t r) {
+    Partial& p = partials[r];
+    p.histogram.assign(bits + 1, 0);
+    const std::size_t row_begin = r * kRowBlock;
+    const std::size_t row_end = std::min(n, row_begin + kRowBlock);
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      const std::uint64_t* row_i = packed.data() + i * words;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const std::uint64_t* row_j = packed.data() + j * words;
+        std::size_t hd = 0;
+        for (std::size_t w = 0; w < words; ++w) hd += popcount64(row_i[w] ^ row_j[w]);
+        ++p.histogram[hd];
+        ++p.pairs;
+        p.sum += hd;
+        p.sum2 += static_cast<std::uint64_t>(hd) * static_cast<std::uint64_t>(hd);
+      }
+    }
+  });
+
+  // Exact merge in block order.
+  std::uint64_t sum = 0, sum2 = 0;
+  HdStats stats;
+  for (const Partial& p : partials) {
+    for (std::size_t hd = 0; hd <= bits; ++hd) {
+      if (p.histogram[hd] != 0) stats.histogram[hd] += p.histogram[hd];
+    }
+    stats.pair_count += p.pairs;
+    sum += p.sum;
+    sum2 += p.sum2;
+  }
+  const auto zero = stats.histogram.find(0);
+  stats.duplicates = zero == stats.histogram.end() ? 0 : zero->second;
+
+  const double count = static_cast<double>(stats.pair_count);
+  stats.mean = static_cast<double>(sum) / count;
+  stats.stddev = std::sqrt(
+      std::max(0.0, static_cast<double>(sum2) / count - stats.mean * stats.mean));
   return stats;
 }
 

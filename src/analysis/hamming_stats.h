@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/bitvec.h"
+#include "common/parallel.h"
 
 namespace ropuf::analysis {
 
@@ -27,7 +28,11 @@ struct HdStats {
 };
 
 /// Computes the statistics; all vectors must have equal bit length and the
-/// population must have at least two members.
-HdStats pairwise_hd(const std::vector<BitVec>& population);
+/// population must have at least two members. The all-pairs kernel packs the
+/// population into a flat word matrix and runs row-blocked over the thread
+/// budget; accumulation is exact (integer), so the result is bit-identical
+/// at any thread count.
+HdStats pairwise_hd(const std::vector<BitVec>& population,
+                    ThreadBudget threads = ThreadBudget());
 
 }  // namespace ropuf::analysis

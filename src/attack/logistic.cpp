@@ -1,5 +1,6 @@
 #include "attack/logistic.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -25,25 +26,62 @@ void LogisticModel::fit(const Dataset& data, const FitOptions& options, Rng& rng
     ROPUF_REQUIRE(x.size() == dim, "ragged feature vectors");
   }
   ROPUF_REQUIRE(options.epochs > 0 && options.learning_rate > 0.0, "bad fit options");
+  ROPUF_REQUIRE(options.batch_size >= 1, "batch size must be >= 1");
 
   weights_.assign(dim + 1, 0.0);
   std::vector<std::size_t> order(data.features.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  std::vector<double> errors(options.batch_size, 0.0);
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     rng.shuffle(order);
     const double step =
         options.learning_rate / (1.0 + 0.1 * static_cast<double>(epoch));
-    for (const std::size_t idx : order) {
-      const auto& x = data.features[idx];
-      const double y = data.labels[idx] ? 1.0 : 0.0;
-      double z = weights_[dim];
-      for (std::size_t d = 0; d < dim; ++d) z += weights_[d] * x[d];
-      const double error = sigmoid(z) - y;
-      for (std::size_t d = 0; d < dim; ++d) {
-        weights_[d] -= step * (error * x[d] + options.l2 * weights_[d]);
+
+    if (options.batch_size == 1) {
+      // Per-sample SGD, unchanged from the original sequential trainer.
+      for (const std::size_t idx : order) {
+        const auto& x = data.features[idx];
+        const double y = data.labels[idx] ? 1.0 : 0.0;
+        double z = weights_[dim];
+        for (std::size_t d = 0; d < dim; ++d) z += weights_[d] * x[d];
+        const double error = sigmoid(z) - y;
+        for (std::size_t d = 0; d < dim; ++d) {
+          weights_[d] -= step * (error * x[d] + options.l2 * weights_[d]);
+        }
+        weights_[dim] -= step * error;
       }
-      weights_[dim] -= step * error;
+      continue;
+    }
+
+    // Mini-batch steps. The forward pass parallelizes over samples (weights
+    // are fixed within a batch) and the gradient over dimensions; both write
+    // index-addressed slots and reduce over samples in batch order, so the
+    // result is independent of the thread count.
+    for (std::size_t start = 0; start < order.size(); start += options.batch_size) {
+      const std::size_t batch = std::min(options.batch_size, order.size() - start);
+      parallel_for(batch, options.threads, [&](std::size_t k) {
+        const auto& x = data.features[order[start + k]];
+        const double y = data.labels[order[start + k]] ? 1.0 : 0.0;
+        double z = weights_[dim];
+        for (std::size_t d = 0; d < dim; ++d) z += weights_[d] * x[d];
+        errors[k] = sigmoid(z) - y;
+      });
+      const double scale = step / static_cast<double>(batch);
+      parallel_for_chunked(
+          dim, /*grain=*/256, options.threads,
+          [&](std::size_t d_begin, std::size_t d_end) {
+            for (std::size_t d = d_begin; d < d_end; ++d) {
+              double grad = 0.0;
+              for (std::size_t k = 0; k < batch; ++k) {
+                grad += errors[k] * data.features[order[start + k]][d];
+              }
+              weights_[d] -= scale * grad + step * options.l2 * weights_[d];
+            }
+          });
+      double bias_grad = 0.0;
+      for (std::size_t k = 0; k < batch; ++k) bias_grad += errors[k];
+      weights_[dim] -= scale * bias_grad;
     }
   }
 }

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace ropuf::attack {
@@ -28,6 +29,14 @@ class LogisticModel {
     int epochs = 50;
     double learning_rate = 0.05;
     double l2 = 1e-4;
+    /// Examples per gradient step. 1 (the default) is plain per-sample SGD,
+    /// bit-identical to the historical behavior. Larger batches average the
+    /// per-sample gradients of a batch before stepping; the forward pass and
+    /// the per-dimension accumulation then run across the thread budget with
+    /// fixed reduction order, so a batched fit is bit-identical at any
+    /// thread count (but is a different — mini-batch — optimizer).
+    std::size_t batch_size = 1;
+    ThreadBudget threads;  ///< used only when batch_size > 1
   };
 
   /// Trains on `data` (all features must share one length). Weights start

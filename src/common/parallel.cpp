@@ -1,0 +1,232 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+
+namespace ropuf {
+namespace {
+
+std::atomic<std::size_t> g_budget_override{0};
+
+// True on any thread currently executing chunks of a parallel region;
+// nested parallel regions detect it and run inline.
+thread_local bool tl_in_region = false;
+
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t env_threads() {
+  const char* raw = std::getenv("ROPUF_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  // Strict parse: the whole token must be a positive integer, mirroring the
+  // CLI's numeric-option policy. stoull alone is not enough — it silently
+  // wraps negative input — so the digits-only check comes first.
+  const std::string text(raw);
+  unsigned long long value = 0;
+  try {
+    ROPUF_REQUIRE(text.find_first_not_of("0123456789") == std::string::npos,
+                  "ROPUF_THREADS is not a positive integer: '" + text + "'");
+    value = std::stoull(text);
+  } catch (const ropuf::Error&) {
+    throw;
+  } catch (const std::exception&) {
+    ROPUF_REQUIRE(false, "ROPUF_THREADS is not a positive integer: '" + text + "'");
+  }
+  ROPUF_REQUIRE(value > 0, "ROPUF_THREADS is not a positive integer: '" + text + "'");
+  return static_cast<std::size_t>(value);
+}
+
+/// One parallel region in flight. Chunks are claimed from an atomic cursor;
+/// the claiming order is scheduling-dependent but harmless, because every
+/// chunk writes only its own [begin, end) slice of caller-owned storage.
+struct Job {
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::size_t chunk_count = 0;
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> done_chunks{0};
+  std::atomic<bool> failed{false};
+  // Guarded by the pool's post mutex:
+  int extra_slots = 0;     ///< pool workers still allowed to join (budget cap)
+  int active_workers = 0;  ///< pool workers currently inside run_chunks()
+  std::mutex error_mutex;
+  std::exception_ptr error;  ///< first chunk exception; written under error_mutex
+
+  void run_chunks() {
+    tl_in_region = true;
+    std::size_t c;
+    while ((c = next_chunk.fetch_add(1, std::memory_order_relaxed)) < chunk_count) {
+      if (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t begin = c * grain;
+        const std::size_t end = std::min(n, begin + grain);
+        try {
+          (*body)(begin, end);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (error == nullptr) error = std::current_exception();
+          failed.store(true, std::memory_order_release);
+        }
+      }
+      done_chunks.fetch_add(1, std::memory_order_acq_rel);
+    }
+    tl_in_region = false;
+  }
+
+  bool finished() const {
+    return done_chunks.load(std::memory_order_acquire) >= chunk_count;
+  }
+};
+
+/// Lazily-started shared pool. Workers sleep until a region is posted, help
+/// drain its chunks, then sleep again. One region runs at a time (nested
+/// regions never reach the pool — they run inline), so there is no queueing
+/// and no deadlock.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Runs the region with at most `extra_workers` pool workers helping the
+  /// caller, blocks until every chunk completed and every helper left the
+  /// job, then rethrows the first chunk exception, if any.
+  void run(Job& job, std::size_t extra_workers) {
+    const std::lock_guard<std::mutex> job_lock(job_mutex_);
+    {
+      const std::lock_guard<std::mutex> post(post_mutex_);
+      job.extra_slots = static_cast<int>(std::min(extra_workers, workers_.size()));
+      current_ = &job;
+      ++generation_;
+    }
+    wake_.notify_all();
+
+    job.run_chunks();  // the caller always participates
+
+    {
+      std::unique_lock<std::mutex> post(post_mutex_);
+      done_.wait(post, [&job] { return job.finished() && job.active_workers == 0; });
+      current_ = nullptr;
+    }
+    if (job.error != nullptr) std::rethrow_exception(job.error);
+  }
+
+ private:
+  ThreadPool() {
+    // At least one worker even on a single-core host: an explicit budget > 1
+    // must exercise the real cross-thread dispatch path everywhere (the
+    // default budget resolves to the core count and stays inline there).
+    const std::size_t workers = hardware_threads() > 1 ? hardware_threads() - 1 : 1;
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> post(post_mutex_);
+      stopping_ = true;
+      ++generation_;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> post(post_mutex_);
+        wake_.wait(post, [&] { return stopping_ || generation_ != seen; });
+        seen = generation_;
+        if (stopping_) return;
+        job = current_;
+        // Joining is recorded under the post mutex so the caller in run()
+        // observes either a joined worker (active_workers > 0) or a job
+        // this worker will never touch — the Job can't be destroyed while
+        // a worker is inside it.
+        if (job == nullptr || job->finished() || job->extra_slots <= 0) continue;
+        --job->extra_slots;
+        ++job->active_workers;
+      }
+      job->run_chunks();
+      {
+        const std::lock_guard<std::mutex> post(post_mutex_);
+        --job->active_workers;
+      }
+      done_.notify_all();
+    }
+  }
+
+  std::mutex job_mutex_;   ///< serializes whole regions (one at a time)
+  std::mutex post_mutex_;  ///< guards current_/generation_/stopping_/slots
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Job* current_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+std::size_t ThreadBudget::resolve() const {
+  if (threads > 0) return threads;
+  const std::size_t override_threads = g_budget_override.load(std::memory_order_relaxed);
+  if (override_threads > 0) return override_threads;
+  const std::size_t env = env_threads();
+  if (env > 0) return env;
+  return hardware_threads();
+}
+
+void set_thread_budget_override(std::size_t threads) {
+  g_budget_override.store(threads, std::memory_order_relaxed);
+}
+
+bool in_parallel_region() { return tl_in_region; }
+
+void parallel_for_chunked(std::size_t n, std::size_t grain, ThreadBudget budget,
+                          const std::function<void(std::size_t, std::size_t)>& body) {
+  ROPUF_REQUIRE(grain > 0, "parallel grain must be positive");
+  if (n == 0) return;
+  const std::size_t threads = budget.resolve();
+  // Inline path: explicit single-thread budgets, single-chunk ranges, nested
+  // regions, and single-core hosts all bypass the pool entirely.
+  if (threads == 1 || n <= grain || tl_in_region ||
+      ThreadPool::instance().worker_count() == 0) {
+    // The body still observes in_parallel_region() == true, so code probing
+    // it behaves identically whether the region was dispatched or inlined.
+    struct RegionGuard {
+      bool saved = tl_in_region;
+      RegionGuard() { tl_in_region = true; }
+      ~RegionGuard() { tl_in_region = saved; }
+    } guard;
+    for (std::size_t begin = 0; begin < n; begin += grain) {
+      body(begin, std::min(n, begin + grain));
+    }
+    return;
+  }
+
+  Job job;
+  job.body = &body;
+  job.n = n;
+  job.grain = grain;
+  job.chunk_count = (n + grain - 1) / grain;
+  ThreadPool::instance().run(job, threads - 1);
+}
+
+}  // namespace ropuf

@@ -1,0 +1,89 @@
+// Deterministic parallel execution over a shared lazily-started thread pool.
+//
+// Every fleet-scale experiment in this library (enrollment over 194 boards,
+// ~4.8M pairwise Hamming distances, corner x stage reliability sweeps, the
+// NIST batteries) is embarrassingly parallel over independent work items.
+// This header provides the one execution primitive they all share, with a
+// hard determinism contract:
+//
+//   The result of a parallel region is bit-identical to serial execution at
+//   any thread count.
+//
+// The contract holds because (a) each work item writes only its own
+// index-addressed slot, (b) anything order-sensitive — RNG forking, fault
+// injector forking, floating-point reductions — is done serially by the
+// caller before dispatch or after completion, and (c) a budget of 1 runs
+// inline without touching the pool at all. See docs/parallelism.md.
+//
+// The pool is created on first use with one worker per hardware thread
+// (minus the caller, which always participates) and is shared process-wide.
+// Nested parallel regions execute inline on the calling thread, so library
+// layers can parallelize independently without deadlock or oversubscription.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace ropuf {
+
+/// How many threads a parallel region may use. The default (0) resolves, in
+/// order, to: the process-wide override (set_thread_budget_override, used by
+/// the CLI's --threads), the ROPUF_THREADS environment variable, and finally
+/// the hardware concurrency.
+struct ThreadBudget {
+  std::size_t threads = 0;  ///< 0 = resolve from override / env / hardware
+
+  constexpr ThreadBudget() = default;
+  constexpr explicit ThreadBudget(std::size_t n) : threads(n) {}
+
+  /// The effective thread count, always >= 1. Throws ropuf::Error if
+  /// ROPUF_THREADS is set but is not a positive integer.
+  std::size_t resolve() const;
+};
+
+/// Process-wide budget override; 0 clears it. Takes precedence over
+/// ROPUF_THREADS. Not thread-safe against concurrent parallel regions —
+/// call it from startup code (the CLI does).
+void set_thread_budget_override(std::size_t threads);
+
+/// True while the calling thread is executing inside a parallel region
+/// (worker or participating caller). Nested regions run inline.
+bool in_parallel_region();
+
+/// Calls body(begin, end) over disjoint chunks covering [0, n), each at most
+/// `grain` long, distributed over the budget's threads. Blocks until every
+/// chunk completed. The first exception thrown by any chunk is rethrown on
+/// the caller; remaining chunks are skipped (their slots are untouched).
+void parallel_for_chunked(std::size_t n, std::size_t grain, ThreadBudget budget,
+                          const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Per-index form: calls fn(i) for every i in [0, n).
+inline void parallel_for(std::size_t n, ThreadBudget budget,
+                         const std::function<void(std::size_t)>& fn,
+                         std::size_t grain = 1) {
+  parallel_for_chunked(n, grain, budget, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+/// Maps fn over [0, n) into a vector whose slot i holds fn(i) — results land
+/// in index order regardless of scheduling, so the output is identical to
+/// the serial loop. T only needs to be movable: results are staged in
+/// optional slots and unwrapped in order once every chunk completed.
+template <typename T, typename Fn>
+std::vector<T> parallel_transform(std::size_t n, ThreadBudget budget, Fn&& fn,
+                                  std::size_t grain = 1) {
+  std::vector<std::optional<T>> staged(n);
+  parallel_for_chunked(n, grain, budget,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) staged[i] = fn(i);
+                       });
+  std::vector<T> out;
+  out.reserve(n);
+  for (std::optional<T>& slot : staged) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace ropuf

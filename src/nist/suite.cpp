@@ -1,5 +1,7 @@
 #include "nist/suite.h"
 
+#include <functional>
+
 #include "nist/basic_tests.h"
 #include "nist/complexity_tests.h"
 #include "nist/excursion_tests.h"
@@ -19,28 +21,37 @@ SuiteConfig paper_config() {
   return config;
 }
 
-std::vector<TestResult> run_suite(const BitVec& bits, const SuiteConfig& config) {
-  std::vector<TestResult> results;
-  results.push_back(frequency_test(bits));
-  results.push_back(block_frequency_test(bits, config.block_frequency_block));
-  if (config.include_cusum) results.push_back(cumulative_sums_test(bits));
-  results.push_back(runs_test(bits));
-  results.push_back(longest_run_test(bits));
-  results.push_back(matrix_rank_test(bits));
-  results.push_back(dft_test(bits));
+std::vector<TestResult> run_suite(const BitVec& bits, const SuiteConfig& config,
+                                  ThreadBudget threads) {
+  // The battery in canonical order, as independent closures over `bits`;
+  // each writes only its own slot, so the report order never depends on the
+  // thread count.
+  using Test = std::function<TestResult()>;
+  std::vector<Test> battery;
+  battery.push_back([&] { return frequency_test(bits); });
+  battery.push_back([&] { return block_frequency_test(bits, config.block_frequency_block); });
+  if (config.include_cusum) battery.push_back([&] { return cumulative_sums_test(bits); });
+  battery.push_back([&] { return runs_test(bits); });
+  battery.push_back([&] { return longest_run_test(bits); });
+  battery.push_back([&] { return matrix_rank_test(bits); });
+  battery.push_back([&] { return dft_test(bits); });
   if (config.include_template_tests) {
-    results.push_back(non_overlapping_template_test(bits, config.non_overlapping_m));
-    results.push_back(overlapping_template_test(bits));
+    battery.push_back(
+        [&] { return non_overlapping_template_test(bits, config.non_overlapping_m); });
+    battery.push_back([&] { return overlapping_template_test(bits); });
   }
-  results.push_back(universal_test(bits));
-  results.push_back(linear_complexity_test(bits, config.linear_complexity_block));
-  results.push_back(serial_test(bits, config.serial_m));
-  results.push_back(approximate_entropy_test(bits, config.approximate_entropy_m));
+  battery.push_back([&] { return universal_test(bits); });
+  battery.push_back(
+      [&] { return linear_complexity_test(bits, config.linear_complexity_block); });
+  battery.push_back([&] { return serial_test(bits, config.serial_m); });
+  battery.push_back(
+      [&] { return approximate_entropy_test(bits, config.approximate_entropy_m); });
   if (config.include_excursion_tests) {
-    results.push_back(random_excursions_test(bits));
-    results.push_back(random_excursions_variant_test(bits));
+    battery.push_back([&] { return random_excursions_test(bits); });
+    battery.push_back([&] { return random_excursions_variant_test(bits); });
   }
-  return results;
+  return parallel_transform<TestResult>(battery.size(), threads,
+                                        [&](std::size_t t) { return battery[t](); });
 }
 
 }  // namespace ropuf::nist

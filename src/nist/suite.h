@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/bitvec.h"
+#include "common/parallel.h"
 #include "nist/test_result.h"
 
 namespace ropuf::nist {
@@ -34,6 +35,11 @@ struct SuiteConfig {
 SuiteConfig paper_config();
 
 /// Runs every configured test; inapplicable tests are reported as such.
-std::vector<TestResult> run_suite(const BitVec& bits, const SuiteConfig& config);
+/// The tests are independent pure functions of `bits`, so they run across
+/// the thread budget with results in the battery's canonical order —
+/// identical output at any thread count. Callers already inside a parallel
+/// region (e.g. a per-stream fleet loop) fall back to inline execution.
+std::vector<TestResult> run_suite(const BitVec& bits, const SuiteConfig& config,
+                                  ThreadBudget threads = ThreadBudget());
 
 }  // namespace ropuf::nist

@@ -52,7 +52,17 @@ double igamc_continued_fraction(double a, double x) {
 
 double erfc(double x) { return std::erfc(x); }
 
-double log_gamma(double x) { return std::lgamma(x); }
+double log_gamma(double x) {
+#if defined(__unix__) || defined(__APPLE__)
+  // std::lgamma writes the process-global `signgam`, which is a data race
+  // when tests run across the thread pool; the POSIX reentrant variant
+  // computes the same value without touching it.
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 double igam(double a, double x) {
   ROPUF_REQUIRE(a > 0.0 && x >= 0.0, "igam domain: a > 0, x >= 0");

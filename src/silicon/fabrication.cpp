@@ -46,8 +46,15 @@ Fab::Fab(ProcessParams params, std::uint64_t seed)
 }
 
 Chip Fab::fabricate(std::size_t grid_cols, std::size_t grid_rows) {
+  Rng chip_rng = fork_chip_stream();
+  return fabricate_with(chip_rng, grid_cols, grid_rows);
+}
+
+Rng Fab::fork_chip_stream() { return rng_.fork(); }
+
+Chip Fab::fabricate_with(Rng& chip_rng, std::size_t grid_cols,
+                         std::size_t grid_rows) const {
   ROPUF_REQUIRE(grid_cols > 0 && grid_rows > 0, "empty chip grid");
-  Rng chip_rng = rng_.fork();
   const SpatialTrend chip_trend =
       SpatialTrend::sample(params_.systematic_degree, params_.chip_systematic_amp, chip_rng);
 

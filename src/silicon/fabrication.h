@@ -78,6 +78,18 @@ class Fab {
   /// units. Successive calls yield distinct chips of the same process.
   Chip fabricate(std::size_t grid_cols, std::size_t grid_rows);
 
+  /// Advances the fab's stream by one chip and returns that chip's private
+  /// generator. Forking is the only order-sensitive part of fabrication, so
+  /// a fleet builder forks all chip streams serially up front and then mints
+  /// the chips in parallel via fabricate_with — yielding exactly the chips
+  /// that sequential fabricate() calls would.
+  Rng fork_chip_stream();
+
+  /// Mints one chip from an already-forked stream. Const (reads only the
+  /// process params and the fleet-common trend), hence safe to call
+  /// concurrently with distinct generators.
+  Chip fabricate_with(Rng& chip_rng, std::size_t grid_cols, std::size_t grid_rows) const;
+
  private:
   ProcessParams params_;
   Rng rng_;

@@ -101,6 +101,21 @@ FaultInjector::ReadOutcome FaultInjector::apply(std::size_t channel, double valu
   return outcome;
 }
 
+FaultInjector FaultInjector::fork(std::uint64_t salt) const {
+  // SplitMix64 over (seed, salt) decorrelates children from the parent and
+  // from each other, matching how Rng::fork derives child streams.
+  std::uint64_t state = seed_ ^ (0x9e3779b97f4a7c15ull * (salt + 1));
+  return FaultInjector(plan_, splitmix64(state));
+}
+
+void FaultInjector::merge_counts(const FaultCounts& other) {
+  counts_.reads += other.reads;
+  counts_.stuck += other.stuck;
+  counts_.dropped += other.dropped;
+  counts_.glitched += other.glitched;
+  counts_.browned_out += other.browned_out;
+}
+
 void FaultInjector::reset() {
   rng_ = Rng(seed_ ^ 0xfa017ull);
   counts_ = FaultCounts{};

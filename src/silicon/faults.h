@@ -97,6 +97,18 @@ class FaultInjector {
   /// the campaign began again.
   void reset();
 
+  /// Derives an independent child injector with the same plan and a seed
+  /// mixed from (seed, salt). Used by the fleet-scale experiments to give
+  /// every board its own deterministic fault stream (salt = board index), so
+  /// a parallel campaign is bit-identical at any thread count. Forking is
+  /// const: the parent's stream is not advanced.
+  FaultInjector fork(std::uint64_t salt) const;
+
+  /// Accumulates another injector's counters into this one (campaign
+  /// reporting after a forked per-board run). Sums commute, so the merge
+  /// order does not matter.
+  void merge_counts(const FaultCounts& other);
+
  private:
   FaultPlan plan_;
   std::uint64_t seed_;

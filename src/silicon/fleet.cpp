@@ -1,33 +1,40 @@
 #include "silicon/fleet.h"
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace ropuf::sil {
+namespace {
+
+/// Forks one stream per chip serially (the only order-sensitive step), then
+/// mints the chips in parallel. Identical to sequential fabricate() calls at
+/// any thread count.
+std::vector<Chip> mint(Fab& fab, std::size_t count, std::size_t grid_cols,
+                       std::size_t grid_rows, ThreadBudget threads) {
+  std::vector<Rng> streams;
+  streams.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) streams.push_back(fab.fork_chip_stream());
+  return parallel_transform<Chip>(count, threads, [&](std::size_t i) {
+    return fab.fabricate_with(streams[i], grid_cols, grid_rows);
+  });
+}
+
+}  // namespace
 
 VtFleet make_vt_fleet(const VtFleetSpec& spec) {
   ROPUF_REQUIRE(spec.nominal_boards > 0, "fleet needs at least one nominal board");
   Fab fab(spec.process, spec.seed);
   VtFleet fleet;
-  fleet.nominal.reserve(spec.nominal_boards);
-  fleet.env.reserve(spec.env_boards);
-  for (std::size_t i = 0; i < spec.nominal_boards; ++i) {
-    fleet.nominal.push_back(fab.fabricate(spec.grid_cols, spec.grid_rows));
-  }
-  for (std::size_t i = 0; i < spec.env_boards; ++i) {
-    fleet.env.push_back(fab.fabricate(spec.grid_cols, spec.grid_rows));
-  }
+  fleet.nominal = mint(fab, spec.nominal_boards, spec.grid_cols, spec.grid_rows,
+                       spec.threads);
+  fleet.env = mint(fab, spec.env_boards, spec.grid_cols, spec.grid_rows, spec.threads);
   return fleet;
 }
 
 std::vector<Chip> make_inhouse_fleet(const InHouseFleetSpec& spec) {
   ROPUF_REQUIRE(spec.boards > 0, "fleet needs at least one board");
   Fab fab(spec.process, spec.seed);
-  std::vector<Chip> boards;
-  boards.reserve(spec.boards);
-  for (std::size_t i = 0; i < spec.boards; ++i) {
-    boards.push_back(fab.fabricate(spec.grid_cols, spec.grid_rows));
-  }
-  return boards;
+  return mint(fab, spec.boards, spec.grid_cols, spec.grid_rows, spec.threads);
 }
 
 }  // namespace ropuf::sil

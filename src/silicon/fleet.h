@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "silicon/fabrication.h"
 
 namespace ropuf::sil {
@@ -23,6 +24,7 @@ struct VtFleetSpec {
   std::size_t grid_rows = 32;        ///< matching the VT dataset's 512 ROs
   ProcessParams process;
   std::uint64_t seed = 0x20140601;   ///< default fixes the published numbers
+  ThreadBudget threads;              ///< minting parallelism (default: auto)
 };
 
 /// The minted fleet. Chips are full physical models, so "nominal" boards can
@@ -43,6 +45,7 @@ struct InHouseFleetSpec {
   std::size_t grid_rows = 32;
   ProcessParams process;
   std::uint64_t seed = 0x20140602;
+  ThreadBudget threads;  ///< minting parallelism (default: auto)
 };
 
 std::vector<Chip> make_inhouse_fleet(const InHouseFleetSpec& spec);

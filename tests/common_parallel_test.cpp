@@ -1,0 +1,179 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropuf {
+namespace {
+
+/// RAII guard for ROPUF_THREADS so tests can't leak env state.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* value) {
+    const char* old = std::getenv("ROPUF_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value == nullptr) {
+      unsetenv("ROPUF_THREADS");
+    } else {
+      setenv("ROPUF_THREADS", value, 1);
+    }
+  }
+  ~EnvGuard() {
+    if (had_old_) {
+      setenv("ROPUF_THREADS", old_.c_str(), 1);
+    } else {
+      unsetenv("ROPUF_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(ThreadBudget, ExplicitValueWins) {
+  const EnvGuard env("3");
+  EXPECT_EQ(ThreadBudget(7).resolve(), 7u);
+  EXPECT_EQ(ThreadBudget(1).resolve(), 1u);
+}
+
+TEST(ThreadBudget, EnvVariableIsReadWhenUnspecified) {
+  const EnvGuard env("5");
+  EXPECT_EQ(ThreadBudget().resolve(), 5u);
+}
+
+TEST(ThreadBudget, OverrideBeatsEnv) {
+  const EnvGuard env("5");
+  set_thread_budget_override(2);
+  EXPECT_EQ(ThreadBudget().resolve(), 2u);
+  set_thread_budget_override(0);
+  EXPECT_EQ(ThreadBudget().resolve(), 5u);
+}
+
+TEST(ThreadBudget, DefaultIsAtLeastOne) {
+  const EnvGuard env(nullptr);
+  EXPECT_GE(ThreadBudget().resolve(), 1u);
+}
+
+TEST(ThreadBudget, MalformedEnvThrows) {
+  for (const char* bad : {"0", "-2", "2x", "abc", "1.5"}) {
+    const EnvGuard env(bad);
+    EXPECT_THROW(ThreadBudget().resolve(), ropuf::Error) << bad;
+  }
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    std::vector<int> hits(1000, 0);
+    parallel_for(hits.size(), ThreadBudget(threads),
+                 [&](std::size_t i) { hits[i] += 1; });
+    for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+  }
+}
+
+TEST(ParallelFor, ChunkedCoversDisjointRanges) {
+  std::vector<int> hits(777, 0);
+  parallel_for_chunked(hits.size(), 32, ThreadBudget(4),
+                       [&](std::size_t begin, std::size_t end) {
+                         EXPECT_LE(end, hits.size());
+                         for (std::size_t i = begin; i < end; ++i) hits[i] += 1;
+                       });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 777);
+}
+
+TEST(ParallelFor, ZeroItemsIsANoop) {
+  parallel_for(0, ThreadBudget(4), [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, ZeroGrainThrows) {
+  EXPECT_THROW(
+      parallel_for_chunked(4, 0, ThreadBudget(2), [](std::size_t, std::size_t) {}),
+      ropuf::Error);
+}
+
+TEST(ParallelTransform, ResultsLandInIndexOrder) {
+  for (const std::size_t threads : {1u, 3u, 8u}) {
+    const auto out = parallel_transform<std::size_t>(
+        500, ThreadBudget(threads), [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 500u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ParallelTransform, WorksForMoveOnlyResults) {
+  // Chips and similar results are not default-constructible; the transform
+  // must only need movability.
+  struct NoDefault {
+    explicit NoDefault(std::size_t v) : value(v) {}
+    std::size_t value;
+  };
+  const auto out = parallel_transform<NoDefault>(
+      64, ThreadBudget(4), [](std::size_t i) { return NoDefault(i + 1); });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].value, i + 1);
+}
+
+TEST(ParallelFor, FirstExceptionPropagates) {
+  for (const std::size_t threads : {1u, 4u}) {
+    EXPECT_THROW(parallel_for(100, ThreadBudget(threads),
+                              [](std::size_t i) {
+                                if (i == 37) {
+                                  ROPUF_REQUIRE(false, "poisoned item");
+                                }
+                              }),
+                 ropuf::Error);
+  }
+}
+
+TEST(ParallelFor, PoolSurvivesAnException) {
+  EXPECT_THROW(parallel_for(64, ThreadBudget(4),
+                            [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  // The pool must still schedule work correctly afterwards.
+  std::atomic<int> count{0};
+  parallel_for(64, ThreadBudget(4), [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ParallelFor, NestedRegionsRunInline) {
+  std::vector<int> hits(8 * 16, 0);
+  parallel_for(8, ThreadBudget(4), [&](std::size_t outer) {
+    EXPECT_TRUE(in_parallel_region());
+    // A nested region must not deadlock and must still cover its range.
+    parallel_for(16, ThreadBudget(4),
+                 [&](std::size_t inner) { hits[outer * 16 + inner] += 1; });
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(ParallelFor, DeterministicWithPerItemRngStreams) {
+  // The canonical usage pattern: fork per-item streams serially, consume in
+  // parallel. Results must be identical at every thread count.
+  auto run = [](std::size_t threads) {
+    Rng master(0x5eed);
+    std::vector<Rng> streams;
+    for (int i = 0; i < 200; ++i) streams.push_back(master.fork());
+    return parallel_transform<double>(streams.size(), ThreadBudget(threads),
+                                      [&](std::size_t i) {
+                                        double acc = 0.0;
+                                        for (int k = 0; k < 10; ++k) {
+                                          acc += streams[i].gaussian();
+                                        }
+                                        return acc;
+                                      });
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+}  // namespace
+}  // namespace ropuf

@@ -1,0 +1,262 @@
+// The parallel execution layer's core contract: every experiment is
+// bit-identical to its serial execution at any thread count, with or
+// without a fault campaign attached. These tests run each driver at
+// ThreadBudget {1, 2, 8} and require exact equality — not tolerance-based
+// closeness — of every output field.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/experiments.h"
+#include "analysis/hamming_stats.h"
+#include "attack/logistic.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "nist/suite.h"
+#include "silicon/faults.h"
+#include "silicon/fleet.h"
+
+namespace ropuf::analysis {
+namespace {
+
+constexpr std::size_t kBudgets[] = {1, 2, 8};
+
+sil::VtFleet small_fleet(std::size_t boards = 8, std::size_t env_boards = 2) {
+  sil::VtFleetSpec spec;
+  spec.nominal_boards = boards;
+  spec.env_boards = env_boards;
+  return sil::make_vt_fleet(spec);
+}
+
+TEST(ParallelDeterminism, FleetMintingIsThreadCountInvariant) {
+  auto mint = [](std::size_t threads) {
+    sil::VtFleetSpec spec;
+    spec.nominal_boards = 6;
+    spec.env_boards = 2;
+    spec.threads = ThreadBudget(threads);
+    return sil::make_vt_fleet(spec);
+  };
+  // Chips have no operator==; the enrolled responses are a full-depth probe
+  // of the minted process values.
+  DatasetOptions opts;
+  const auto serial = mint(1);
+  const auto serial_resp = board_responses(serial.nominal, opts);
+  for (const std::size_t threads : kBudgets) {
+    const auto fleet = mint(threads);
+    EXPECT_EQ(board_responses(fleet.nominal, opts), serial_resp) << threads;
+  }
+}
+
+TEST(ParallelDeterminism, BoardResponses) {
+  const auto fleet = small_fleet();
+  DatasetOptions opts;
+  opts.threads = ThreadBudget(1);
+  const auto serial = board_responses(fleet.nominal, opts);
+  for (const std::size_t threads : kBudgets) {
+    opts.threads = ThreadBudget(threads);
+    EXPECT_EQ(board_responses(fleet.nominal, opts), serial) << threads;
+  }
+}
+
+TEST(ParallelDeterminism, TableResponses) {
+  const auto fleet = small_fleet();
+  sil::MeasurementTable table;
+  {
+    Rng noise(77);
+    table = sil::snapshot_fleet(fleet.nominal, sil::nominal_op(), 2.0, noise);
+  }
+  DatasetOptions opts;
+  opts.threads = ThreadBudget(1);
+  const auto serial = table_responses(table, opts);
+  for (const std::size_t threads : kBudgets) {
+    opts.threads = ThreadBudget(threads);
+    EXPECT_EQ(table_responses(table, opts), serial) << threads;
+  }
+}
+
+TEST(ParallelDeterminism, ConfigurationStreams) {
+  const auto fleet = small_fleet();
+  for (const auto mode :
+       {puf::SelectionCase::kSameConfig, puf::SelectionCase::kIndependent}) {
+    DatasetOptions opts;
+    opts.mode = mode;
+    opts.threads = ThreadBudget(1);
+    const auto serial = configuration_streams(fleet.nominal, opts);
+    for (const std::size_t threads : kBudgets) {
+      opts.threads = ThreadBudget(threads);
+      EXPECT_EQ(configuration_streams(fleet.nominal, opts), serial);
+    }
+  }
+}
+
+void expect_cells_identical(const std::vector<EnvReliabilityCell>& got,
+                            const std::vector<EnvReliabilityCell>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].board_index, want[i].board_index) << i;
+    EXPECT_EQ(got[i].stages, want[i].stages) << i;
+    EXPECT_EQ(got[i].bits, want[i].bits) << i;
+    EXPECT_EQ(got[i].one8_bits, want[i].one8_bits) << i;
+    EXPECT_EQ(got[i].configurable_flip_pct, want[i].configurable_flip_pct) << i;
+    EXPECT_EQ(got[i].traditional_flip_pct, want[i].traditional_flip_pct) << i;
+    EXPECT_EQ(got[i].one_of_eight_flip_pct, want[i].one_of_eight_flip_pct) << i;
+  }
+}
+
+TEST(ParallelDeterminism, EnvironmentReliability) {
+  const auto fleet = small_fleet(2, 3);
+  std::vector<sil::OperatingPoint> corners;
+  for (const double v : sil::vt_voltages()) corners.push_back({v, 25.0});
+  DatasetOptions opts;
+  opts.distill = false;
+  opts.threads = ThreadBudget(1);
+  const auto serial = environment_reliability(fleet.env, {3, 5}, corners, 2, opts);
+  for (const std::size_t threads : kBudgets) {
+    opts.threads = ThreadBudget(threads);
+    expect_cells_identical(environment_reliability(fleet.env, {3, 5}, corners, 2, opts),
+                           serial);
+  }
+}
+
+TEST(ParallelDeterminism, ThresholdSweep) {
+  sil::InHouseFleetSpec spec;
+  spec.boards = 3;
+  const auto boards = sil::make_inhouse_fleet(spec);
+  puf::DeviceSpec device;
+  device.stages = 13;
+  device.pair_count = 32;
+  const std::vector<double> rths{0.0, 15.0, 30.0, 45.0, 60.0};
+  const auto serial = threshold_sweep(boards, device, rths, 99, ThreadBudget(1));
+  for (const std::size_t threads : kBudgets) {
+    const auto sweep = threshold_sweep(boards, device, rths, 99, ThreadBudget(threads));
+    ASSERT_EQ(sweep.size(), serial.size());
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      EXPECT_EQ(sweep[i].rth_ps, serial[i].rth_ps);
+      EXPECT_EQ(sweep[i].traditional_reliable_bits, serial[i].traditional_reliable_bits);
+      EXPECT_EQ(sweep[i].configurable_reliable_bits, serial[i].configurable_reliable_bits);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, PairwiseHammingStats) {
+  // A population large enough to span several row blocks of the kernel.
+  Rng rng(0xdead);
+  std::vector<BitVec> population;
+  for (int i = 0; i < 300; ++i) {
+    BitVec v(96);
+    for (std::size_t b = 0; b < v.size(); ++b) v.set(b, rng.flip());
+    population.push_back(v);
+  }
+  const HdStats serial = pairwise_hd(population, ThreadBudget(1));
+  for (const std::size_t threads : kBudgets) {
+    const HdStats stats = pairwise_hd(population, ThreadBudget(threads));
+    EXPECT_EQ(stats.histogram, serial.histogram);
+    EXPECT_EQ(stats.mean, serial.mean);
+    EXPECT_EQ(stats.stddev, serial.stddev);
+    EXPECT_EQ(stats.pair_count, serial.pair_count);
+    EXPECT_EQ(stats.duplicates, serial.duplicates);
+  }
+}
+
+TEST(ParallelDeterminism, FaultCampaignResponsesAndCounts) {
+  const auto fleet = small_fleet();
+  const sil::FaultPlan plan = sil::FaultPlan::uniform(0.02);
+
+  // The campaign injector accumulates counters, so every run gets a fresh
+  // one; the merged totals themselves must also be thread-count invariant.
+  auto run = [&](std::size_t threads) {
+    sil::FaultInjector injector(plan, 0xfa17);
+    DatasetOptions opts;
+    opts.injector = &injector;
+    opts.hardened = true;
+    opts.threads = ThreadBudget(threads);
+    auto responses = board_responses(fleet.nominal, opts);
+    return std::make_pair(std::move(responses), injector.counts());
+  };
+
+  const auto [serial, serial_counts] = run(1);
+  EXPECT_GT(serial_counts.reads, 0u);
+  for (const std::size_t threads : kBudgets) {
+    const auto [responses, counts] = run(threads);
+    EXPECT_EQ(responses, serial) << threads;
+    EXPECT_EQ(counts.reads, serial_counts.reads) << threads;
+    EXPECT_EQ(counts.stuck, serial_counts.stuck) << threads;
+    EXPECT_EQ(counts.dropped, serial_counts.dropped) << threads;
+    EXPECT_EQ(counts.glitched, serial_counts.glitched) << threads;
+    EXPECT_EQ(counts.browned_out, serial_counts.browned_out) << threads;
+  }
+}
+
+TEST(ParallelDeterminism, FaultCampaignEnvironmentReliability) {
+  const auto fleet = small_fleet(2, 2);
+  const sil::FaultPlan plan = sil::FaultPlan::uniform(0.01);
+  std::vector<sil::OperatingPoint> corners;
+  for (const double v : sil::vt_voltages()) corners.push_back({v, 25.0});
+
+  auto run = [&](std::size_t threads) {
+    sil::FaultInjector injector(plan, 0xbead);
+    DatasetOptions opts;
+    opts.distill = false;
+    opts.injector = &injector;
+    opts.hardened = true;
+    opts.threads = ThreadBudget(threads);
+    return environment_reliability(fleet.env, {5}, corners, 2, opts);
+  };
+
+  const auto serial = run(1);
+  for (const std::size_t threads : kBudgets) {
+    expect_cells_identical(run(threads), serial);
+  }
+}
+
+TEST(ParallelDeterminism, NistSuite) {
+  Rng rng(31337);
+  BitVec bits(4096);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits.set(i, rng.flip());
+  const auto serial = nist::run_suite(bits, nist::SuiteConfig{}, ThreadBudget(1));
+  for (const std::size_t threads : kBudgets) {
+    const auto results = nist::run_suite(bits, nist::SuiteConfig{}, ThreadBudget(threads));
+    ASSERT_EQ(results.size(), serial.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].name, serial[i].name);
+      EXPECT_EQ(results[i].applicable, serial[i].applicable);
+      EXPECT_EQ(results[i].p_values, serial[i].p_values);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, BatchedLogisticFit) {
+  // A small synthetic linearly separable problem.
+  Rng data_rng(4242);
+  attack::Dataset data;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> x(24);
+    double z = 0.0;
+    for (std::size_t d = 0; d < x.size(); ++d) {
+      x[d] = data_rng.gaussian();
+      z += (d % 2 == 0 ? 1.0 : -0.5) * x[d];
+    }
+    data.features.push_back(std::move(x));
+    data.labels.push_back(z > 0.0);
+  }
+
+  auto fit = [&](std::size_t threads) {
+    attack::LogisticModel model;
+    attack::LogisticModel::FitOptions options;
+    options.epochs = 5;
+    options.batch_size = 32;
+    options.threads = ThreadBudget(threads);
+    Rng rng(7);
+    model.fit(data, options, rng);
+    return model.weights();
+  };
+
+  const auto serial = fit(1);
+  for (const std::size_t threads : kBudgets) {
+    EXPECT_EQ(fit(threads), serial) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace ropuf::analysis

@@ -1,0 +1,63 @@
+# --threads regression test: every thread count must produce bit-identical
+# output, and malformed values must be rejected before any work runs.
+
+# fleet-stats stdout must match exactly between --threads 1 and --threads 2.
+execute_process(COMMAND ${CLI} fleet-stats --boards 8 --threads 1
+                RESULT_VARIABLE rc1 OUTPUT_VARIABLE out1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "fleet-stats --threads 1 failed: ${out1}")
+endif()
+execute_process(COMMAND ${CLI} fleet-stats --boards 8 --threads 2
+                RESULT_VARIABLE rc2 OUTPUT_VARIABLE out2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "fleet-stats --threads 2 failed: ${out2}")
+endif()
+if(NOT out1 STREQUAL out2)
+  message(FATAL_ERROR "fleet-stats output differs between --threads 1 and 2:\n"
+                      "--- threads 1 ---\n${out1}\n--- threads 2 ---\n${out2}")
+endif()
+
+# Enrollment records (with a fault campaign attached) must also be identical.
+set(record1 ${CMAKE_CURRENT_BINARY_DIR}/cli_threads_t1.ropuf)
+set(record2 ${CMAKE_CURRENT_BINARY_DIR}/cli_threads_t2.ropuf)
+execute_process(COMMAND ${CLI} enroll --seed 42 --fault-rate 0.01 --threads 1 --out ${record1}
+                RESULT_VARIABLE rc1)
+execute_process(COMMAND ${CLI} enroll --seed 42 --fault-rate 0.01 --threads 2 --out ${record2}
+                RESULT_VARIABLE rc2)
+if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "enroll --threads failed (rc ${rc1} / ${rc2})")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${record1} ${record2}
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "enrollment records differ between --threads 1 and 2")
+endif()
+
+# Strict parsing: non-positive and non-numeric values must fail.
+foreach(bad 0 -3 2x 1.5 "")
+  execute_process(COMMAND ${CLI} fleet-stats --boards 8 --threads ${bad}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "--threads '${bad}' was accepted; expected an error")
+  endif()
+  if(NOT "${out}${err}" MATCHES "threads")
+    message(FATAL_ERROR "--threads '${bad}' error does not mention threads: ${out}${err}")
+  endif()
+endforeach()
+
+# The ROPUF_THREADS environment variable follows the same rules.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env ROPUF_THREADS=2
+                ${CLI} fleet-stats --boards 8
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out_env)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ROPUF_THREADS=2 failed: ${out_env}")
+endif()
+if(NOT out_env STREQUAL out1)
+  message(FATAL_ERROR "ROPUF_THREADS=2 output differs from --threads 1")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E env ROPUF_THREADS=banana
+                ${CLI} fleet-stats --boards 8
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "ROPUF_THREADS=banana was accepted; expected an error")
+endif()

@@ -10,6 +10,7 @@
 //                    [--out FILE]
 //   ropuf_cli respond --seed S --enrollment FILE [--voltage V] [--temp T]
 //   ropuf_cli nist --streams N --bits B [--bias P]
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +25,7 @@
 #include "analysis/experiments.h"
 #include "analysis/metrics.h"
 #include "common/error.h"
+#include "common/parallel.h"
 #include "crypto/cyclic_code.h"
 #include "crypto/fuzzy_extractor.h"
 #include "nist/report.h"
@@ -50,6 +52,8 @@ class Args {
     }
   }
 
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
   std::string get(const std::string& key, const std::string& fallback) const {
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
@@ -75,6 +79,18 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Shared --threads handling: a positive integer sets the process-wide
+/// thread budget (overriding ROPUF_THREADS); outputs are bit-identical for
+/// every value. Parsed with the same strict numeric policy as every other
+/// option.
+void apply_thread_budget(const Args& args) {
+  if (!args.has("threads")) return;
+  const double threads = args.number("threads", 0.0);
+  ROPUF_REQUIRE(threads >= 1.0 && threads == std::floor(threads),
+                "--threads must be a positive integer");
+  set_thread_budget_override(static_cast<std::size_t>(threads));
+}
 
 sil::Chip chip_for_seed(std::uint64_t seed) {
   sil::Fab fab(sil::ProcessParams{}, seed);
@@ -202,34 +218,51 @@ int cmd_fault_sweep(const Args& args) {
   std::printf("%-12s %-14s %-14s %-12s\n", "fault rate", "naive keys", "hardened keys",
               "masked/30");
   for (const double rate : rates) {
+    // Trials are fully independent (per-trial chip, injector and RNG seeds),
+    // so they run across the thread budget; per-trial outcomes land in
+    // index-addressed slots and are reduced in trial order.
+    struct TrialOutcome {
+      bool naive_ok = false;
+      bool hardened_ok = false;
+      double masked = 0.0;
+    };
+    const auto outcomes = parallel_transform<TrialOutcome>(
+        static_cast<std::size_t>(trials), ThreadBudget(), [&](std::size_t t) {
+          const auto trial = static_cast<std::uint64_t>(t);
+          const sil::Chip chip = chip_for_seed(seed + trial);
+          TrialOutcome outcome;
+          for (const bool hardened : {false, true}) {
+            puf::DeviceSpec spec;
+            spec.stages = 7;
+            spec.pair_count = 30;  // 2 BCH(15,7) blocks
+            spec.mode = puf::SelectionCase::kIndependent;
+            spec.hardened = hardened;
+            sil::FaultInjector injector(sil::FaultPlan::uniform(rate),
+                                        fault_seed + trial);
+            Rng rng(seed ^ (0x6e75ull + trial));
+            bool ok = false;
+            try {
+              puf::ConfigurableRoPufDevice device(&chip, spec, rng);
+              device.set_fault_injector(&injector);
+              device.enroll(sil::nominal_op(), rng);
+              const auto enrollment = extractor.generate(device.enrolled_response(), rng);
+              const BitVec response = device.respond(sil::nominal_op(), rng);
+              const auto key = extractor.reproduce(response, enrollment.helper);
+              ok = key.has_value() && *key == enrollment.key;
+              if (hardened) outcome.masked = static_cast<double>(device.masked_count());
+            } catch (const ropuf::Error&) {
+              ok = false;  // naive pipeline: an unhandled fault kills the trial
+            }
+            (hardened ? outcome.hardened_ok : outcome.naive_ok) = ok;
+          }
+          return outcome;
+        });
     int naive_ok = 0, hardened_ok = 0;
     double masked_total = 0.0;
-    for (int trial = 0; trial < trials; ++trial) {
-      const sil::Chip chip = chip_for_seed(seed + static_cast<std::uint64_t>(trial));
-      for (const bool hardened : {false, true}) {
-        puf::DeviceSpec spec;
-        spec.stages = 7;
-        spec.pair_count = 30;  // 2 BCH(15,7) blocks
-        spec.mode = puf::SelectionCase::kIndependent;
-        spec.hardened = hardened;
-        sil::FaultInjector injector(sil::FaultPlan::uniform(rate),
-                                    fault_seed + static_cast<std::uint64_t>(trial));
-        Rng rng(seed ^ (0x6e75ull + static_cast<std::uint64_t>(trial)));
-        bool ok = false;
-        try {
-          puf::ConfigurableRoPufDevice device(&chip, spec, rng);
-          device.set_fault_injector(&injector);
-          device.enroll(sil::nominal_op(), rng);
-          const auto enrollment = extractor.generate(device.enrolled_response(), rng);
-          const BitVec response = device.respond(sil::nominal_op(), rng);
-          const auto key = extractor.reproduce(response, enrollment.helper);
-          ok = key.has_value() && *key == enrollment.key;
-          if (hardened) masked_total += static_cast<double>(device.masked_count());
-        } catch (const ropuf::Error&) {
-          ok = false;  // naive pipeline: an unhandled fault kills the trial
-        }
-        (hardened ? hardened_ok : naive_ok) += ok ? 1 : 0;
-      }
+    for (const TrialOutcome& outcome : outcomes) {
+      naive_ok += outcome.naive_ok ? 1 : 0;
+      hardened_ok += outcome.hardened_ok ? 1 : 0;
+      masked_total += outcome.masked;
     }
     std::printf("%-12.4f %3d/%-10d %3d/%-10d %-12.1f\n", rate, naive_ok, trials,
                 hardened_ok, trials, masked_total / trials);
@@ -321,7 +354,9 @@ int usage() {
                "  export-dataset [--boards N] [--seed S] [--noise PS] [--out F]\n"
                "  dataset-stats --dataset F [--stages N] [--distill on|off]\n"
                "a positive --fault-rate attaches the fault injector and switches the\n"
-               "readout to the hardened (retrying, outlier-rejecting) pipeline.\n");
+               "readout to the hardened (retrying, outlier-rejecting) pipeline.\n"
+               "every command accepts --threads N (or the ROPUF_THREADS env var) to\n"
+               "bound the worker pool; outputs are bit-identical for every N.\n");
   return 64;
 }
 
@@ -332,6 +367,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc, argv, 2);
+    apply_thread_budget(args);
     if (command == "fleet-stats") return cmd_fleet_stats(args);
     if (command == "enroll") return cmd_enroll(args);
     if (command == "respond") return cmd_respond(args);
