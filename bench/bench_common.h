@@ -10,8 +10,15 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "silicon/fleet.h"
 
 namespace ropuf::bench {
@@ -37,10 +44,48 @@ inline void banner(const char* experiment, const char* paper_artifact) {
   std::printf("================================================================\n\n");
 }
 
+/// The --benchmark_out= path, read before benchmark::Initialize strips the
+/// flag from argv. Empty when no JSON output was requested.
+inline std::string benchmark_out_path(int argc, char** argv) {
+  const std::string prefix = "--benchmark_out=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return {};
+}
+
+/// Splices the current metrics snapshot into the google-benchmark JSON file
+/// as a top-level "ropuf_metrics" key, so every BENCH_*.json carries the
+/// workload counters alongside the timings (tools/run_benches relies on
+/// this). The benchmark library owns the file format, so the snapshot is
+/// inserted before the document's final brace rather than parsed in.
+inline void embed_metrics_snapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return;  // benchmark library reported its own error
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::string doc = buffer.str();
+  const std::size_t close = doc.rfind('}');
+  if (close == std::string::npos) return;
+  const std::string snapshot = obs::metrics_to_json(obs::Registry::instance().snapshot());
+  doc.insert(close, ",\n  \"ropuf_metrics\": " + snapshot + "\n");
+  obs::write_text_file(path, doc);
+}
+
 /// Runs the experiment body, then google-benchmark. Usage:
 ///   int main(int argc, char** argv) { return bench_main(argc, argv, run); }
+/// Metrics collection is on for the whole run; when --benchmark_out=F.json
+/// was passed the final snapshot is embedded into F.json.
 template <typename Fn>
 int bench_main(int argc, char** argv, Fn&& experiment) {
+  // ROPUF_BENCH_METRICS=off gives an uninstrumented A/B reference for
+  // measuring the (sub-percent) overhead of the always-on collection.
+  const char* metrics_env = std::getenv("ROPUF_BENCH_METRICS");
+  obs::set_metrics_enabled(metrics_env == nullptr ||
+                           std::strcmp(metrics_env, "off") != 0);
+  const std::string out_path = benchmark_out_path(argc, argv);
   try {
     experiment();
   } catch (const std::exception& e) {
@@ -50,6 +95,7 @@ int bench_main(int argc, char** argv, Fn&& experiment) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!out_path.empty()) embed_metrics_snapshot(out_path);
   return 0;
 }
 

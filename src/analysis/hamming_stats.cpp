@@ -5,6 +5,8 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ropuf::analysis {
 namespace {
@@ -44,6 +46,15 @@ double HdStats::percent_at(std::size_t hd) const {
 
 HdStats pairwise_hd(const std::vector<BitVec>& population, ThreadBudget threads) {
   ROPUF_REQUIRE(population.size() >= 2, "need at least two members");
+  static obs::Counter& hd_calls = obs::Registry::instance().counter("analysis.hd_calls");
+  static obs::Counter& hd_population =
+      obs::Registry::instance().counter("analysis.hd_population");
+  static obs::Counter& hd_pairs = obs::Registry::instance().counter("analysis.hd_pairs");
+  static obs::Histogram& hd_us = obs::Registry::instance().latency_histogram("analysis.hd_us");
+  const obs::TraceSpan span("analysis.pairwise_hd");
+  const obs::ScopedLatency hd_timer(hd_us);
+  hd_calls.add(1);
+  hd_population.add(population.size());
   const std::size_t n = population.size();
   const std::size_t bits = population.front().size();
   for (const BitVec& v : population) {
@@ -100,6 +111,7 @@ HdStats pairwise_hd(const std::vector<BitVec>& population, ThreadBudget threads)
   }
   const auto zero = stats.histogram.find(0);
   stats.duplicates = zero == stats.histogram.end() ? 0 : zero->second;
+  hd_pairs.add(stats.pair_count);
 
   const double count = static_cast<double>(stats.pair_count);
   stats.mean = static_cast<double>(sum) / count;

@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ropuf {
 namespace {
@@ -104,6 +106,11 @@ class ThreadPool {
   /// caller, blocks until every chunk completed and every helper left the
   /// job, then rethrows the first chunk exception, if any.
   void run(Job& job, std::size_t extra_workers) {
+    static obs::Gauge& pool_workers = obs::Registry::instance().gauge("parallel.pool_workers");
+    static obs::Histogram& caller_wait_us =
+        obs::Registry::instance().latency_histogram("parallel.caller_wait_us");
+    pool_workers.set(static_cast<double>(workers_.size()));
+
     const std::lock_guard<std::mutex> job_lock(job_mutex_);
     {
       const std::lock_guard<std::mutex> post(post_mutex_);
@@ -116,6 +123,9 @@ class ThreadPool {
     job.run_chunks();  // the caller always participates
 
     {
+      // The caller's idle tail: time spent waiting for the last helpers to
+      // drain their chunks after it ran out of work itself.
+      const obs::ScopedLatency wait_timer(caller_wait_us);
       std::unique_lock<std::mutex> post(post_mutex_);
       done_.wait(post, [&job] { return job.finished() && job.active_workers == 0; });
       current_ = nullptr;
@@ -203,11 +213,31 @@ void parallel_for_chunked(std::size_t n, std::size_t grain, ThreadBudget budget,
                           const std::function<void(std::size_t, std::size_t)>& body) {
   ROPUF_REQUIRE(grain > 0, "parallel grain must be positive");
   if (n == 0) return;
+  // Scheduling-invariant region accounting: totals depend only on the work
+  // submitted (and, for the inline/pooled split, on the resolved budget),
+  // never on which thread claimed which chunk — so instrumented runs stay
+  // deterministic and golden-file testable. Per-worker claim counters are
+  // deliberately absent; see docs/observability.md.
+  static obs::Counter& regions = obs::Registry::instance().counter("parallel.regions");
+  static obs::Counter& items = obs::Registry::instance().counter("parallel.items");
+  static obs::Counter& chunks = obs::Registry::instance().counter("parallel.chunks");
+  static obs::Counter& inline_regions =
+      obs::Registry::instance().counter("parallel.regions_inline");
+  static obs::Counter& pooled_regions =
+      obs::Registry::instance().counter("parallel.regions_pooled");
+  static obs::Histogram& region_us =
+      obs::Registry::instance().latency_histogram("parallel.region_us");
+  regions.add(1);
+  items.add(n);
+  chunks.add((n + grain - 1) / grain);
+  const obs::ScopedLatency region_timer(region_us);
+
   const std::size_t threads = budget.resolve();
   // Inline path: explicit single-thread budgets, single-chunk ranges, nested
   // regions, and single-core hosts all bypass the pool entirely.
   if (threads == 1 || n <= grain || tl_in_region ||
       ThreadPool::instance().worker_count() == 0) {
+    inline_regions.add(1);
     // The body still observes in_parallel_region() == true, so code probing
     // it behaves identically whether the region was dispatched or inlined.
     struct RegionGuard {
@@ -221,6 +251,8 @@ void parallel_for_chunked(std::size_t n, std::size_t grain, ThreadBudget budget,
     return;
   }
 
+  pooled_regions.add(1);
+  const obs::TraceSpan span("parallel.region");
   Job job;
   job.body = &body;
   job.n = n;

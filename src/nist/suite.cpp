@@ -1,7 +1,10 @@
 #include "nist/suite.h"
 
+#include <chrono>
 #include <functional>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "nist/basic_tests.h"
 #include "nist/complexity_tests.h"
 #include "nist/excursion_tests.h"
@@ -50,8 +53,25 @@ std::vector<TestResult> run_suite(const BitVec& bits, const SuiteConfig& config,
     battery.push_back([&] { return random_excursions_test(bits); });
     battery.push_back([&] { return random_excursions_variant_test(bits); });
   }
-  return parallel_transform<TestResult>(battery.size(), threads,
-                                        [&](std::size_t t) { return battery[t](); });
+  static obs::Counter& suites_run = obs::Registry::instance().counter("nist.suites_run");
+  static obs::Counter& tests_run = obs::Registry::instance().counter("nist.tests_run");
+  const obs::TraceSpan suite_span("nist.suite");
+  suites_run.add(1);
+  tests_run.add(battery.size());
+  return parallel_transform<TestResult>(battery.size(), threads, [&](std::size_t t) {
+    // Per-test timing is keyed by the result's canonical name, so the
+    // histogram has to be looked up after the test ran; ScopedLatency
+    // doesn't fit and the clock is read manually (only when enabled).
+    const obs::TraceSpan test_span("nist.test");
+    if (!obs::metrics_enabled()) return battery[t]();
+    const auto start = std::chrono::steady_clock::now();
+    TestResult result = battery[t]();
+    const std::chrono::duration<double, std::micro> elapsed =
+        std::chrono::steady_clock::now() - start;
+    obs::Registry::instance().latency_histogram("nist.test_us." + result.name)
+        .record(elapsed.count());
+    return result;
+  });
 }
 
 }  // namespace ropuf::nist

@@ -1,0 +1,105 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace ropuf::obs {
+namespace {
+
+std::string format_double(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string format_u64(std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"schema\": \"ropuf.metrics.v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + format_u64(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + format_double(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, data] : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": {\"upper_bounds\": [";
+    for (std::size_t i = 0; i < data.upper_bounds.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += format_double(data.upper_bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < data.counts.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += format_u64(data.counts[i]);
+    }
+    out += "], \"count\": " + format_u64(data.count);
+    out += ", \"sum\": " + format_double(data.sum) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string metrics_summary_table(const MetricsSnapshot& snapshot) {
+  // Column width fits the longest name so the table stays aligned whatever
+  // the instrumented run registered.
+  std::size_t width = 24;
+  for (const auto& entry : snapshot.counters) width = std::max(width, entry.first.size());
+  for (const auto& entry : snapshot.histograms) width = std::max(width, entry.first.size());
+
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-*s  %s\n", static_cast<int>(width), "counter",
+                "value");
+  out += line;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::snprintf(line, sizeof(line), "%-*s  %" PRIu64 "\n", static_cast<int>(width),
+                  name.c_str(), value);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-*s  %s\n", static_cast<int>(width), "histogram",
+                "records");
+  out += line;
+  for (const auto& [name, data] : snapshot.histograms) {
+    std::snprintf(line, sizeof(line), "%-*s  %" PRIu64 "\n", static_cast<int>(width),
+                  name.c_str(), data.count);
+    out += line;
+  }
+  return out;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  ROPUF_REQUIRE(file.good(), "cannot open output file " + path);
+  file << content;
+  file.flush();
+  ROPUF_REQUIRE(file.good(), "write failed for output file " + path);
+}
+
+}  // namespace ropuf::obs

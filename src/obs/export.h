@@ -1,0 +1,32 @@
+// Serialization of the metrics registry: JSON for machines, a table for
+// humans.
+//
+// The JSON schema ("ropuf.metrics.v1") carries everything — counters,
+// gauges, histogram bucket vectors with their bounds, counts and sums. The
+// summary table is deliberately the *deterministic projection* of the
+// registry: counter values and histogram record counts only. Gauges
+// (machine-dependent: pool worker count) and latency bucket contents
+// (wall-clock-dependent) are JSON-only, which is what lets the `ropuf_cli
+// stats` output be golden-file tested byte for byte. See
+// docs/observability.md for the metric catalogue and these semantics.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ropuf::obs {
+
+/// Renders a snapshot as the "ropuf.metrics.v1" JSON document. Keys are
+/// name-sorted, so equal snapshots serialize identically.
+std::string metrics_to_json(const MetricsSnapshot& snapshot);
+
+/// Human-readable summary: one aligned row per counter (value) and per
+/// histogram (record count). Scheduling- and machine-invariant by design.
+std::string metrics_summary_table(const MetricsSnapshot& snapshot);
+
+/// Writes `content` to `path`, throwing ropuf::Error when the file cannot
+/// be opened or the write fails (never silently ignores an unwritable path).
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace ropuf::obs

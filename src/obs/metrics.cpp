@@ -1,0 +1,192 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ropuf::obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<std::uint32_t> g_next_ordinal{0};
+
+}  // namespace
+
+bool metrics_enabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
+
+void set_metrics_enabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint32_t this_thread_ordinal() {
+  thread_local const std::uint32_t ordinal =
+      g_next_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+void Counter::add(std::uint64_t delta) {
+  if (!metrics_enabled()) return;
+  shards_[this_thread_ordinal() % kShardCount].value.fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (Shard& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+}
+
+void Gauge::set(double value) {
+  if (!metrics_enabled()) return;
+  value_.store(value, std::memory_order_relaxed);
+  set_.store(true, std::memory_order_relaxed);
+}
+
+void Gauge::reset() {
+  value_.store(0.0, std::memory_order_relaxed);
+  set_.store(false, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  ROPUF_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    ROPUF_REQUIRE(bounds_[i - 1] < bounds_[i],
+                  "histogram bounds must be strictly increasing");
+  }
+  const std::size_t buckets = bounds_.size() + 1;
+  for (Shard& shard : shards_) {
+    shard.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(buckets);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      shard.buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::record(double value) {
+  if (!metrics_enabled()) return;
+  // First bound strictly greater than `value`: bucket i holds
+  // [bounds[i-1], bounds[i]), the overflow bucket holds v >= bounds.back().
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin());
+  Shard& shard = shards_[this_thread_ordinal() % kShardCount];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  double expected = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(expected, expected + value,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      counts[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : bucket_counts()) total += c;
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const Shard& shard : shards_) total += shard.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() {
+  for (Shard& shard : shards_) {
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      shard.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+const std::vector<double>& default_latency_bounds_us() {
+  static const std::vector<double> bounds = {
+      1.0,     2.5,     5.0,     10.0,     25.0,     50.0,      100.0,
+      250.0,   500.0,   1000.0,  2500.0,   5000.0,   10000.0,   25000.0,
+      50000.0, 100000.0, 250000.0, 500000.0, 1000000.0, 10000000.0};
+  return bounds;
+}
+
+ScopedLatency::ScopedLatency(Histogram& histogram)
+    : histogram_(&histogram), armed_(metrics_enabled()) {
+  if (armed_) start_ = std::chrono::steady_clock::now();
+}
+
+ScopedLatency::~ScopedLatency() {
+  if (!armed_) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  histogram_->record(
+      std::chrono::duration<double, std::micro>(elapsed).count());
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::vector<double>& upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(upper_bounds);
+  return *slot;
+}
+
+Histogram& Registry::latency_histogram(const std::string& name) {
+  return histogram(name, default_latency_bounds_us());
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) snap.counters[name] = counter->value();
+  for (const auto& [name, gauge] : gauges_) {
+    if (gauge->ever_set()) snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.upper_bounds = histogram->upper_bounds();
+    data.counts = histogram->bucket_counts();
+    for (const std::uint64_t c : data.counts) data.count += c;
+    data.sum = histogram->sum();
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : counters_) entry.second->reset();
+  for (auto& entry : gauges_) entry.second->reset();
+  for (auto& entry : histograms_) entry.second->reset();
+}
+
+}  // namespace ropuf::obs

@@ -1,0 +1,170 @@
+// Lock-cheap metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// The library's data path has a hard determinism contract (bit-identical
+// results at any thread count; see common/parallel.h), so instrumentation
+// must be observational only: it may count what happened, but it must never
+// perturb an RNG stream, a reduction order, or a branch on the data path.
+// The registry is built around that constraint:
+//
+//  * Every instrument is write-only from the hot path. A Counter::add is one
+//    relaxed fetch_add on a thread-striped shard (no lock, no false sharing);
+//    when metrics are disabled (the default) it is a single relaxed load.
+//  * Shards are merged deterministically: counters and histogram buckets are
+//    exact integer sums, so the merged value depends only on *what* was
+//    counted, never on which thread counted it or in what order. Snapshots
+//    are name-ordered.
+//  * Gauges are last-write-wins and therefore only meaningful when set from
+//    serial sections (the pool worker count, configuration values). They are
+//    exported in JSON but deliberately excluded from the deterministic
+//    summary table (obs/export.h).
+//
+// Metric naming follows "layer.metric" (e.g. "fault.reads",
+// "parallel.regions", "puf.dark_bits_masked"); the full catalogue lives in
+// docs/observability.md.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ropuf::obs {
+
+/// Process-wide enable switch. Off by default: every instrumentation call
+/// then costs one relaxed atomic load. The CLI enables it for --metrics-out
+/// and the stats command; benches enable it to embed snapshots.
+bool metrics_enabled();
+void set_metrics_enabled(bool on);
+
+/// Number of stripes each instrument is sharded over. Threads map onto
+/// stripes by a small per-thread ordinal, so concurrent writers on different
+/// threads rarely share a cache line.
+inline constexpr std::size_t kShardCount = 16;
+
+/// Small dense per-thread ordinal (0, 1, 2, ... in first-use order). Shared
+/// by the metric shard mapping and the trace recorder's tid field.
+std::uint32_t this_thread_ordinal();
+
+/// Monotonic counter. add() is shard-local; value() sums the shards in index
+/// order — an exact integer sum, hence deterministic for a deterministic set
+/// of increments regardless of thread interleaving.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1);
+  std::uint64_t value() const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Shard shards_[kShardCount];
+};
+
+/// Last-write-wins scalar. Only set from serial sections; see header note.
+class Gauge {
+ public:
+  void set(double value);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  bool ever_set() const { return set_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<bool> set_{false};
+};
+
+/// Fixed-bucket histogram. Bucket semantics (documented and tested):
+/// with upper bounds b_0 < b_1 < ... < b_{k-1}, bucket i counts values v
+/// with b_{i-1} <= v < b_i (lower bound closed, upper bound open; bucket 0
+/// is (-inf, b_0)), and a final overflow bucket counts v >= b_{k-1}.
+/// Bucket counts merge exactly like counters; sum() is a floating-point
+/// accumulation and is reported for convenience only.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void record(double value);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket counts, length upper_bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const;
+  double sum() const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<double> bounds_;
+  Shard shards_[kShardCount];
+};
+
+/// The default microsecond latency buckets (roughly logarithmic, 1 us to
+/// 10 s) used by every *_us histogram in the library.
+const std::vector<double>& default_latency_bounds_us();
+
+/// Records the scope's wall-clock duration (microseconds) into a histogram.
+/// When metrics are disabled at construction no clock is read at all.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& histogram);
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+  ~ScopedLatency();
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+  bool armed_;
+};
+
+/// Name-ordered, merged view of every registered instrument.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> counts;  ///< upper_bounds.size()+1, last = overflow
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+};
+
+/// Process-wide instrument registry. Registration takes a mutex once per
+/// (name, call site); the returned references are stable for the process
+/// lifetime, so hot paths cache them in function-local statics.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upper_bounds` is consulted only when `name` is first registered.
+  Histogram& histogram(const std::string& name, const std::vector<double>& upper_bounds);
+  /// Histogram with default_latency_bounds_us().
+  Histogram& latency_histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument (registrations survive). Not synchronized
+  /// against concurrent writers — call between parallel regions (tests do).
+  void reset();
+
+ private:
+  Registry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ropuf::obs

@@ -1,0 +1,131 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace ropuf::obs {
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+constexpr std::size_t kDefaultCapacity = 65536;
+
+}  // namespace
+
+bool tracing_enabled() { return g_tracing_enabled.load(std::memory_order_relaxed); }
+
+void set_tracing_enabled(bool on) {
+  g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+TraceRecorder::TraceRecorder()
+    : capacity_(kDefaultCapacity), epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::set_capacity(std::size_t capacity) {
+  ROPUF_REQUIRE(capacity >= 1, "trace capacity must be positive");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Re-linearize the ring, keeping the newest events that still fit.
+  const std::size_t size = ring_.size();
+  const std::size_t keep = std::min(size, capacity);
+  std::vector<TraceEvent> kept;
+  kept.reserve(keep);
+  for (std::size_t i = size - keep; i < size; ++i) {
+    kept.push_back(std::move(ring_[(head_ + i) % size]));
+  }
+  dropped_ += size - keep;
+  capacity_ = capacity;
+  ring_ = std::move(kept);
+  head_ = 0;
+}
+
+std::size_t TraceRecorder::capacity() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void TraceRecorder::record(std::string name, double ts_us, double dur_us) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = this_thread_ordinal();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    // Full: overwrite the oldest slot and advance the head.
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % ring_.size();
+    ++dropped_;
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void TraceRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+double TraceRecorder::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name), armed_(tracing_enabled()) {
+  if (armed_) start_us_ = TraceRecorder::instance().now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  TraceRecorder& recorder = TraceRecorder::instance();
+  const double end_us = recorder.now_us();
+  recorder.record(name_, start_us_, end_us - start_us_);
+}
+
+std::string trace_to_chrome_json(const std::vector<TraceEvent>& events) {
+  std::string out = "{\n  \"traceEvents\": [";
+  char buffer[160];
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    // Span names are library identifiers ([a-z0-9._-]); no JSON escaping is
+    // needed beyond what this catalogue guarantees.
+    out += "    {\"name\": \"" + event.name + "\", \"cat\": \"ropuf\", \"ph\": \"X\", ";
+    std::snprintf(buffer, sizeof(buffer),
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %" PRIu32 "}",
+                  event.ts_us, event.dur_us, event.tid);
+    out += buffer;
+  }
+  out += first ? "],\n  \"displayTimeUnit\": \"ms\"\n}\n"
+               : "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+  return out;
+}
+
+}  // namespace ropuf::obs

@@ -1,0 +1,98 @@
+// RAII trace spans with a bounded ring-buffer recorder and Chrome
+// trace_event JSON export.
+//
+// A TraceSpan brackets one phase of work (a CLI command, a device
+// enrollment, one dispatched parallel region); on destruction it pushes a
+// complete event — name, start timestamp, duration, thread id — into the
+// process-wide TraceRecorder. The recorder is a fixed-capacity ring: when
+// full it drops the *oldest* events, so a long campaign always retains its
+// tail and memory stays bounded.
+//
+// Tracing is off by default; a disabled span reads one relaxed atomic and
+// touches no clock, so instrumented hot layers cost nothing in production
+// runs. The exported JSON is the Chrome trace_event format (complete "X"
+// events with ph/ts/dur/pid/tid fields) and loads directly into
+// chrome://tracing or https://ui.perfetto.dev. See docs/observability.md.
+//
+// Timestamps are wall-clock and therefore not deterministic; traces are
+// observability output only and never feed back into the data path.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ropuf::obs {
+
+/// Process-wide tracing switch (off by default).
+bool tracing_enabled();
+void set_tracing_enabled(bool on);
+
+/// One completed span, timestamps in microseconds since the recorder epoch.
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;  ///< small per-thread ordinal (this_thread_ordinal)
+};
+
+/// Bounded ring buffer of completed spans.
+class TraceRecorder {
+ public:
+  static TraceRecorder& instance();
+
+  /// Capacity in events (>= 1). Shrinking keeps the newest events.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+  /// Appends one completed event; drops the oldest when full.
+  void record(std::string name, double ts_us, double dur_us);
+
+  /// Events currently retained, oldest first.
+  std::vector<TraceEvent> events() const;
+
+  /// Spans dropped so far to honor the capacity bound.
+  std::uint64_t dropped() const;
+
+  void clear();
+
+  /// Microseconds since the recorder's (steady-clock) epoch.
+  double now_us() const;
+
+ private:
+  TraceRecorder();
+  // Invariant: ring_.size() <= capacity_; while the ring is still growing
+  // head_ == 0 and events are appended, once full the slot at head_ (the
+  // oldest event) is overwritten and head_ advances.
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: captures the start time on construction (when tracing is
+/// enabled) and records the completed event on destruction. `name` is
+/// copied, so temporaries are safe.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+ private:
+  const char* name_;
+  double start_us_ = 0.0;
+  bool armed_;
+};
+
+/// Renders events as Chrome trace_event JSON: a {"traceEvents": [...]}
+/// object of complete ("ph": "X") events carrying name/cat/ts/dur/pid/tid.
+std::string trace_to_chrome_json(const std::vector<TraceEvent>& events);
+
+}  // namespace ropuf::obs

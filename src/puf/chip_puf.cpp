@@ -4,6 +4,8 @@
 
 #include "common/error.h"
 #include "numeric/polyfit.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "puf/distiller.h"
 #include "puf/majority.h"
 
@@ -132,6 +134,17 @@ ConfigurableRoPufDevice::measure_all_pairs(const sil::OperatingPoint& op, Rng& r
 }
 
 void ConfigurableRoPufDevice::enroll(const sil::OperatingPoint& op, Rng& rng) {
+  static obs::Counter& enrollments = obs::Registry::instance().counter("puf.enrollments");
+  static obs::Counter& pairs_enrolled =
+      obs::Registry::instance().counter("puf.pairs_enrolled");
+  static obs::Counter& dark_bits = obs::Registry::instance().counter("puf.dark_bits_masked");
+  static obs::Histogram& enroll_us =
+      obs::Registry::instance().latency_histogram("puf.enroll_us");
+  const obs::TraceSpan span("puf.enroll");
+  const obs::ScopedLatency enroll_timer(enroll_us);
+  enrollments.add(1);
+  pairs_enrolled.add(pairs_.size());
+
   const auto measurements = measure_all_pairs(op, rng);
   selections_.clear();
   selections_.reserve(pairs_.size());
@@ -149,6 +162,7 @@ void ConfigurableRoPufDevice::enroll(const sil::OperatingPoint& op, Rng& rng) {
       masked.masked = true;
       selections_.push_back(std::move(placeholder));
       helper_data_.push_back(masked);
+      dark_bits.add(1);
       continue;
     }
     const PairMeasurement& m = *measurements[p];
@@ -215,9 +229,23 @@ BitVec ConfigurableRoPufDevice::enrolled_response() const {
 
 BitVec ConfigurableRoPufDevice::respond(const sil::OperatingPoint& op, Rng& rng) const {
   ROPUF_REQUIRE(enrolled(), "device not enrolled");
+  static obs::Counter& responses = obs::Registry::instance().counter("puf.responses");
+  static obs::Counter& masked_skips =
+      obs::Registry::instance().counter("puf.masked_bit_skips");
+  static obs::Counter& degraded_bits =
+      obs::Registry::instance().counter("puf.degraded_bits");
+  static obs::Histogram& respond_us =
+      obs::Registry::instance().latency_histogram("puf.respond_us");
+  const obs::TraceSpan span("puf.respond");
+  const obs::ScopedLatency respond_timer(respond_us);
+  responses.add(1);
+
   BitVec response(selections_.size());
   for (std::size_t p = 0; p < selections_.size(); ++p) {
-    if (helper_data_[p].masked) continue;  // dark bit: fixed 0, no measurement
+    if (helper_data_[p].masked) {
+      masked_skips.add(1);
+      continue;  // dark bit: fixed 0, no measurement
+    }
     const auto& [top, bottom] = pairs_[p];
     const Selection& sel = selections_[p];
     if (spec_.hardened) {
@@ -230,6 +258,7 @@ BitVec ConfigurableRoPufDevice::respond(const sil::OperatingPoint& op, Rng& rng)
       } catch (const MeasurementFault&) {
         // Retry budget exhausted in the field: degrade this bit to 0 (a
         // flip the fuzzy extractor absorbs) rather than fail the readout.
+        degraded_bits.add(1);
       }
       continue;
     }

@@ -4,11 +4,50 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace ropuf::puf {
 namespace {
 
 constexpr double kMadToSigma = 1.4826;  // MAD -> sigma for Gaussian cores
+
+/// Flushes one batch's counters into the caller's ReadStats accumulator and
+/// into the process-wide metrics registry (names mirror the ReadStats
+/// fields), on every exit path including the retry-exhausted throw. The
+/// metric totals therefore match the summed ReadStats of every hardened
+/// readout in the run exactly.
+struct StatsFlusher {
+  ReadStats& local;
+  ReadStats* sink;
+
+  ~StatsFlusher() {
+    if (sink != nullptr) {
+      sink->batches += local.batches;
+      sink->samples += local.samples;
+      sink->dropped += local.dropped;
+      sink->rejected_outliers += local.rejected_outliers;
+      sink->stuck_batches += local.stuck_batches;
+      sink->retries += local.retries;
+      sink->failures += local.failures;
+    }
+    if (!obs::metrics_enabled()) return;
+    obs::Registry& registry = obs::Registry::instance();
+    static obs::Counter& batches = registry.counter("robust.batches");
+    static obs::Counter& samples = registry.counter("robust.samples");
+    static obs::Counter& dropped = registry.counter("robust.dropped");
+    static obs::Counter& rejected = registry.counter("robust.rejected_outliers");
+    static obs::Counter& stuck = registry.counter("robust.stuck_batches");
+    static obs::Counter& retries = registry.counter("robust.retries");
+    static obs::Counter& failures = registry.counter("robust.failures");
+    batches.add(local.batches);
+    samples.add(local.samples);
+    dropped.add(local.dropped);
+    rejected.add(local.rejected_outliers);
+    stuck.add(local.stuck_batches);
+    retries.add(local.retries);
+    failures.add(local.failures);
+  }
+};
 
 void validate(const RetryPolicy& policy) {
   ROPUF_REQUIRE(policy.samples_per_read >= 1, "samples per read must be >= 1");
@@ -36,8 +75,8 @@ bool stuck_signature(const std::vector<double>& samples, bool noisy) {
 template <typename Sample>
 double robust_batch(Sample&& sample, bool noisy, const RetryPolicy& policy,
                     ReadStats* stats) {
-  ReadStats local;
-  ReadStats& s = stats != nullptr ? *stats : local;
+  ReadStats s;
+  const StatsFlusher flusher{s, stats};
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
     const double gate_scale = std::pow(policy.gate_escalation, attempt);
     ++s.batches;

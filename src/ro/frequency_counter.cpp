@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace ropuf::ro {
 
@@ -31,6 +32,8 @@ double FrequencyCounter::measure_frequency_hz(double true_frequency_hz, Rng& rng
 double FrequencyCounter::measure_path_delay_ps(const ConfigurableRo& ro, const BitVec& config,
                                                const sil::OperatingPoint& op, Rng& rng,
                                                double gate_scale) const {
+  static obs::Counter& gated_reads = obs::Registry::instance().counter("ro.gated_reads");
+  gated_reads.add(1);
   const bool needs_aux = !ro.oscillates(config);
   const double loop_delay_ps =
       ro.path_delay_ps(config, op) + (needs_aux ? aux_true_delay_ps_ : 0.0);

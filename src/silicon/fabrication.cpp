@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace ropuf::sil {
 
@@ -55,6 +56,12 @@ Rng Fab::fork_chip_stream() { return rng_.fork(); }
 Chip Fab::fabricate_with(Rng& chip_rng, std::size_t grid_cols,
                          std::size_t grid_rows) const {
   ROPUF_REQUIRE(grid_cols > 0 && grid_rows > 0, "empty chip grid");
+  static obs::Counter& chips_minted = obs::Registry::instance().counter("fab.chips_minted");
+  static obs::Counter& units_minted = obs::Registry::instance().counter("fab.units_minted");
+  static obs::Histogram& mint_us = obs::Registry::instance().latency_histogram("fab.mint_us");
+  chips_minted.add(1);
+  units_minted.add(grid_cols * grid_rows);
+  const obs::ScopedLatency mint_timer(mint_us);
   const SpatialTrend chip_trend =
       SpatialTrend::sample(params_.systematic_degree, params_.chip_systematic_amp, chip_rng);
 

@@ -2,8 +2,28 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace ropuf::sil {
 namespace {
+
+/// Cached handles for the injector's per-read accounting. Every injector in
+/// the process shares these counters, so the metrics totals aggregate a
+/// whole campaign (all boards, all trials) exactly like a merge_counts over
+/// every injector would.
+struct FaultMetrics {
+  obs::Counter& reads = obs::Registry::instance().counter("fault.reads");
+  obs::Counter& stuck = obs::Registry::instance().counter("fault.stuck");
+  obs::Counter& dropped = obs::Registry::instance().counter("fault.dropped");
+  obs::Counter& glitched = obs::Registry::instance().counter("fault.glitched");
+  obs::Counter& browned_out = obs::Registry::instance().counter("fault.browned_out");
+  obs::Counter& merges = obs::Registry::instance().counter("fault.count_merges");
+
+  static FaultMetrics& instance() {
+    static FaultMetrics metrics;
+    return metrics;
+  }
+};
 
 /// Stateless per-channel hash stream: lets stuck-channel membership and the
 /// latched value be a static property of (seed, channel), independent of
@@ -57,6 +77,8 @@ FaultInjector::ReadOutcome FaultInjector::apply(std::size_t channel, double valu
   outcome.value_ps = value_ps;
   const std::uint64_t read = read_index_++;
   ++counts_.reads;
+  FaultMetrics& metrics = FaultMetrics::instance();
+  metrics.reads.add(1);
   if (!plan_.enabled()) return outcome;
 
   // Campaign-level environment first: aging accumulates over the whole read
@@ -73,6 +95,7 @@ FaultInjector::ReadOutcome FaultInjector::apply(std::size_t channel, double valu
       outcome.value_ps *= 1.0 + plan_.brownout_slowdown_rel;
       outcome.kind = FaultKind::kBrownout;
       ++counts_.browned_out;
+      metrics.browned_out.add(1);
     }
   }
 
@@ -84,6 +107,7 @@ FaultInjector::ReadOutcome FaultInjector::apply(std::size_t channel, double valu
                                                          (rng_.uniform() - 0.5));
     outcome.kind = FaultKind::kTransientGlitch;
     ++counts_.glitched;
+    metrics.glitched.add(1);
   }
 
   // Channel-level and read-level hard failures override the value entirely.
@@ -92,11 +116,13 @@ FaultInjector::ReadOutcome FaultInjector::apply(std::size_t channel, double valu
     outcome.value_ps = 200.0 + 1800.0 * hash_uniform(channel_hash(seed_, channel, 0x1a7c));
     outcome.kind = FaultKind::kStuckChannel;
     ++counts_.stuck;
+    metrics.stuck.add(1);
   }
   if (plan_.dropped_read_rate > 0.0 && rng_.uniform() < plan_.dropped_read_rate) {
     outcome.dropped = true;
     outcome.kind = FaultKind::kDroppedRead;
     ++counts_.dropped;
+    metrics.dropped.add(1);
   }
   return outcome;
 }
@@ -109,6 +135,10 @@ FaultInjector FaultInjector::fork(std::uint64_t salt) const {
 }
 
 void FaultInjector::merge_counts(const FaultCounts& other) {
+  // The per-read metrics above already counted every child event, so a
+  // merge only records that a campaign aggregation happened — adding the
+  // child totals again here would double-count.
+  FaultMetrics::instance().merges.add(1);
   counts_.reads += other.reads;
   counts_.stuck += other.stuck;
   counts_.dropped += other.dropped;

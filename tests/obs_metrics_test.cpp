@@ -1,0 +1,187 @@
+// Unit tests for the metrics registry: deterministic merging across thread
+// budgets, the documented histogram bucket semantics, and the registry's
+// snapshot/reset contract.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "obs/export.h"
+
+namespace ropuf::obs {
+namespace {
+
+/// Enables metrics for one test and restores the default afterwards.
+struct MetricsOn {
+  MetricsOn() { set_metrics_enabled(true); }
+  ~MetricsOn() { set_metrics_enabled(false); }
+};
+
+TEST(Counter, DisabledAddIsANoOp) {
+  Counter counter;
+  counter.add(7);
+  EXPECT_EQ(counter.value(), 0u);
+  const MetricsOn on;
+  counter.add(7);
+  EXPECT_EQ(counter.value(), 7u);
+}
+
+TEST(Counter, MergesDeterministicallyAcrossThreadBudgets) {
+  const MetricsOn on;
+  // The same work (10'000 increments, item i adds i % 5) must merge to the
+  // same total under every thread budget: shard sums are exact integers, so
+  // the result depends on what was counted, not on which thread counted it.
+  constexpr std::size_t kItems = 10'000;
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < kItems; ++i) expected += i % 5;
+  for (const std::size_t budget : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    Counter counter;
+    parallel_for(kItems, ThreadBudget(budget),
+                 [&](std::size_t i) { counter.add(i % 5); });
+    EXPECT_EQ(counter.value(), expected) << "budget " << budget;
+  }
+}
+
+TEST(Counter, ResetZeroesEveryShard) {
+  const MetricsOn on;
+  Counter counter;
+  parallel_for(1000, ThreadBudget(8), [&](std::size_t) { counter.add(1); });
+  ASSERT_EQ(counter.value(), 1000u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Gauge, LastWriteWinsAndTracksEverSet) {
+  const MetricsOn on;
+  Gauge gauge;
+  EXPECT_FALSE(gauge.ever_set());
+  gauge.set(3.5);
+  gauge.set(-1.25);
+  EXPECT_TRUE(gauge.ever_set());
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.25);
+  gauge.reset();
+  EXPECT_FALSE(gauge.ever_set());
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(Histogram, BucketBoundariesAreLowerClosedUpperOpen) {
+  const MetricsOn on;
+  // Bounds {10, 20}: bucket 0 = (-inf, 10), bucket 1 = [10, 20),
+  // bucket 2 (overflow) = [20, +inf). The boundary value itself must land
+  // in the *upper* bucket.
+  Histogram h({10.0, 20.0});
+  h.record(-5.0);     // bucket 0
+  h.record(9.999);    // bucket 0
+  h.record(10.0);     // bucket 1: lower bound closed
+  h.record(19.999);   // bucket 1
+  h.record(20.0);     // overflow: upper bound open
+  h.record(1e9);      // overflow
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(h.count(), 6u);
+}
+
+TEST(Histogram, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(Histogram({1.0, 1.0}), ropuf::Error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), ropuf::Error);
+  EXPECT_THROW(Histogram({}), ropuf::Error);
+}
+
+TEST(Histogram, BucketCountsMergeDeterministicallyAcrossThreadBudgets) {
+  const MetricsOn on;
+  constexpr std::size_t kItems = 9'000;
+  std::vector<std::uint64_t> expected;
+  for (const std::size_t budget : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    Histogram h({10.0, 100.0, 1000.0});
+    parallel_for(kItems, ThreadBudget(budget),
+                 [&](std::size_t i) { h.record(static_cast<double>(i % 2000)); });
+    const std::vector<std::uint64_t> counts = h.bucket_counts();
+    EXPECT_EQ(h.count(), kItems) << "budget " << budget;
+    if (expected.empty()) {
+      expected = counts;
+    } else {
+      EXPECT_EQ(counts, expected) << "budget " << budget;
+    }
+  }
+}
+
+TEST(Registry, ReturnsStableReferencesPerName) {
+  Registry& registry = Registry::instance();
+  Counter& a = registry.counter("test.registry.stable");
+  Counter& b = registry.counter("test.registry.stable");
+  EXPECT_EQ(&a, &b);
+  Histogram& ha = registry.latency_histogram("test.registry.stable_us");
+  Histogram& hb = registry.latency_histogram("test.registry.stable_us");
+  EXPECT_EQ(&ha, &hb);
+}
+
+TEST(Registry, SnapshotIsNameOrderedAndResetSurvivesRegistration) {
+  const MetricsOn on;
+  Registry& registry = Registry::instance();
+  registry.counter("test.snapshot.b").add(2);
+  registry.counter("test.snapshot.a").add(1);
+  registry.gauge("test.snapshot.g").set(4.0);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("test.snapshot.a"), 1u);
+  EXPECT_EQ(snap.counters.at("test.snapshot.b"), 2u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.snapshot.g"), 4.0);
+  // std::map iterates in key order; the JSON export then renders keys
+  // sorted, so equal snapshots serialize identically.
+  std::string previous;
+  for (const auto& [name, value] : snap.counters) {
+    (void)value;
+    EXPECT_LT(previous, name);
+    previous = name;
+  }
+
+  registry.reset();
+  const MetricsSnapshot zeroed = registry.snapshot();
+  EXPECT_EQ(zeroed.counters.at("test.snapshot.a"), 0u);
+  EXPECT_EQ(zeroed.counters.at("test.snapshot.b"), 0u);
+  EXPECT_EQ(zeroed.gauges.count("test.snapshot.g"), 0u);  // ever_set cleared
+}
+
+TEST(Export, JsonCarriesSchemaAndSortedSections) {
+  const MetricsOn on;
+  Registry& registry = Registry::instance();
+  registry.reset();
+  registry.counter("test.json.counter").add(3);
+  registry.histogram("test.json.hist", {1.0, 2.0}).record(1.5);
+  const std::string json = metrics_to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"schema\": \"ropuf.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
+  EXPECT_LT(json.find("\"counters\""), json.find("\"gauges\""));
+  EXPECT_LT(json.find("\"gauges\""), json.find("\"histograms\""));
+}
+
+TEST(Export, SummaryTableListsCountersAndRecordCountsOnly) {
+  const MetricsOn on;
+  Registry& registry = Registry::instance();
+  registry.reset();
+  registry.counter("test.table.counter").add(42);
+  registry.gauge("test.table.gauge").set(7.0);
+  registry.histogram("test.table.hist", {1.0}).record(0.5);
+  const std::string table = metrics_summary_table(registry.snapshot());
+  EXPECT_NE(table.find("test.table.counter"), std::string::npos);
+  EXPECT_NE(table.find("42"), std::string::npos);
+  EXPECT_NE(table.find("test.table.hist"), std::string::npos);
+  // Gauges are machine-dependent and deliberately excluded from the
+  // deterministic projection.
+  EXPECT_EQ(table.find("test.table.gauge"), std::string::npos);
+}
+
+TEST(Export, WriteTextFileThrowsOnUnwritablePath) {
+  EXPECT_THROW(write_text_file("/nonexistent-dir/metrics.json", "{}"), ropuf::Error);
+}
+
+}  // namespace
+}  // namespace ropuf::obs

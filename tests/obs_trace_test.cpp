@@ -1,0 +1,95 @@
+// Unit tests for the trace recorder: span capture, the drop-oldest ring
+// bound, and the Chrome trace_event JSON schema (ph/ts/dur/pid/tid).
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ropuf::obs {
+namespace {
+
+/// Enables tracing with a clean recorder for one test.
+struct TracingOn {
+  explicit TracingOn(std::size_t capacity = 65536) {
+    TraceRecorder::instance().set_capacity(capacity);
+    TraceRecorder::instance().clear();
+    set_tracing_enabled(true);
+  }
+  ~TracingOn() {
+    set_tracing_enabled(false);
+    TraceRecorder::instance().clear();
+    TraceRecorder::instance().set_capacity(65536);
+  }
+};
+
+TEST(TraceSpan, DisabledSpanRecordsNothing) {
+  TraceRecorder::instance().clear();
+  set_tracing_enabled(false);
+  { const TraceSpan span("test.disabled"); }
+  EXPECT_TRUE(TraceRecorder::instance().events().empty());
+}
+
+TEST(TraceSpan, RecordsNamedEventWithDuration) {
+  const TracingOn on;
+  { const TraceSpan span("test.span"); }
+  const std::vector<TraceEvent> events = TraceRecorder::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "test.span");
+  EXPECT_GE(events[0].ts_us, 0.0);
+  EXPECT_GE(events[0].dur_us, 0.0);
+}
+
+TEST(TraceRecorder, DropsOldestWhenFull) {
+  const TracingOn on(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceRecorder::instance().record("span" + std::to_string(i), static_cast<double>(i),
+                                     1.0);
+  }
+  const std::vector<TraceEvent> events = TraceRecorder::instance().events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first order, retaining only the newest four.
+  EXPECT_EQ(events[0].name, "span6");
+  EXPECT_EQ(events[3].name, "span9");
+  EXPECT_EQ(TraceRecorder::instance().dropped(), 6u);
+}
+
+TEST(TraceRecorder, ShrinkingCapacityKeepsNewest) {
+  const TracingOn on(8);
+  for (int i = 0; i < 6; ++i) {
+    TraceRecorder::instance().record("span" + std::to_string(i), static_cast<double>(i),
+                                     1.0);
+  }
+  TraceRecorder::instance().set_capacity(2);
+  const std::vector<TraceEvent> events = TraceRecorder::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "span4");
+  EXPECT_EQ(events[1].name, "span5");
+}
+
+TEST(ChromeJson, CarriesRequiredTraceEventFields) {
+  TraceEvent event;
+  event.name = "test.schema";
+  event.ts_us = 12.5;
+  event.dur_us = 3.25;
+  event.tid = 2;
+  const std::string json = trace_to_chrome_json({event});
+  // The Chrome trace_event viewer requires complete events to carry
+  // ph/ts/dur/pid/tid; name and cat make them navigable.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test.schema\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 12.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 3.250"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 2"), std::string::npos);
+}
+
+TEST(ChromeJson, EmptyTraceIsStillAValidDocument) {
+  const std::string json = trace_to_chrome_json({});
+  EXPECT_NE(json.find("\"traceEvents\": []"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ropuf::obs

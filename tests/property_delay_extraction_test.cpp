@@ -1,0 +1,139 @@
+// Property-based tests for the leave-one-out delay extraction (paper
+// Section III.B): with integer-scaled device delays at the nominal corner,
+// the extraction round-trips *exactly* — the analytical D(all) - D(-i)
+// differences are exact in doubles, and the full measurement pipeline with
+// a noiseless counter recovers every integer ddiff (and the base delay)
+// after rounding.
+//
+// The sweep width defaults to a CI-friendly pinned subset; set
+// ROPUF_PROPERTY_SEEDS=1000 for the full local sweep.
+#include "ro/delay_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.h"
+#include "ro/configurable_ro.h"
+#include "silicon/chip.h"
+#include "silicon/environment.h"
+
+namespace ropuf::ro {
+namespace {
+
+std::size_t property_seed_count(std::size_t fallback) {
+  const char* env = std::getenv("ROPUF_PROPERTY_SEEDS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed >= 1 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// A chip of n units whose three timing arcs all carry *integer* picosecond
+/// reference delays. At the nominal corner the electrical model returns
+/// delay_ref exactly, so every path delay is an exact integer sum and every
+/// true ddiff_i = d_i + d1_i - d0_i is an exact integer.
+sil::Chip integer_chip(std::size_t n, Rng& rng) {
+  std::vector<sil::DelayUnitCell> cells(n);
+  for (sil::DelayUnitCell& cell : cells) {
+    cell.inverter.delay_ref_ps = static_cast<double>(50 + rng.uniform_below(100));
+    cell.mux_sel.delay_ref_ps = static_cast<double>(20 + rng.uniform_below(50));
+    cell.mux_skip.delay_ref_ps = static_cast<double>(10 + rng.uniform_below(30));
+  }
+  return sil::Chip(std::move(cells), n, 1, sil::EnvModel{});
+}
+
+BitVec all_ones(std::size_t n) {
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, true);
+  return v;
+}
+
+TEST(DelayExtractionProperty, LeaveOneOutDifferencesAreExactOnIntegerDelays) {
+  const std::size_t seeds = property_seed_count(200);
+  for (std::size_t seed = 0; seed < seeds; ++seed) {
+    Rng rng(0x100ull * (seed + 1) + 0xde1a);
+    const std::size_t n = 3 + seed % 6;  // 3..8 stages
+    const sil::Chip chip = integer_chip(n, rng);
+    std::vector<std::size_t> indices(n);
+    for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+    const ConfigurableRo ro(&chip, indices);
+    const sil::OperatingPoint op = sil::nominal_op();
+
+    // Analytical leave-one-out: path delays are exact integer sums (far
+    // below 2^53), so D(all) - D(-i) equals the true integer ddiff with no
+    // floating-point error at all.
+    const double d_all = ro.path_delay_ps(all_ones(n), op);
+    for (std::size_t i = 0; i < n; ++i) {
+      BitVec config = all_ones(n);
+      config.set(i, false);
+      const double d_minus_i = ro.path_delay_ps(config, op);
+      EXPECT_EQ(d_all - d_minus_i, chip.unit_ddiff_ps(i, op))
+          << "seed " << seed << " unit " << i;
+    }
+  }
+}
+
+TEST(DelayExtractionProperty, NoiselessPipelineRecoversExactIntegerDdiffs) {
+  const std::size_t seeds = property_seed_count(200);
+  for (std::size_t seed = 0; seed < seeds; ++seed) {
+    Rng rng(0x101ull * (seed + 1) + 0xde1b);
+    const std::size_t n = 3 + seed % 6;
+    const sil::Chip chip = integer_chip(n, rng);
+    std::vector<std::size_t> indices(n);
+    for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+    const ConfigurableRo ro(&chip, indices);
+    const sil::OperatingPoint op = sil::nominal_op();
+
+    // A noiseless counter: zero jitter and zero aux-stage calibration error
+    // leave only the gate quantization (one count in ~10^6), far below the
+    // half-integer rounding threshold.
+    FrequencyCounterSpec spec;
+    spec.gate_time_s = 1e-3;
+    spec.jitter_sigma_rel = 0.0;
+    spec.aux_calibration_error_rel = 0.0;
+    const FrequencyCounter counter(spec, rng);
+    const DelayExtractor extractor(&counter);
+
+    const ExtractionResult result = extractor.extract_leave_one_out_with_base(ro, op, rng);
+    ASSERT_EQ(result.ddiff_ps.size(), n);
+    double true_base = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double truth = chip.unit_ddiff_ps(i, op);
+      EXPECT_EQ(std::llround(result.ddiff_ps[i]), std::llround(truth))
+          << "seed " << seed << " unit " << i;
+      // The residual quantization error stays far from the rounding edge.
+      EXPECT_NEAR(result.ddiff_ps[i], truth, 0.05) << "seed " << seed << " unit " << i;
+      true_base += chip.skip_path_delay_ps(i, op);
+    }
+    // Base recovery: B = D(all) - sum of ddiffs is the sum of the integer
+    // bypass delays.
+    EXPECT_EQ(std::llround(result.base_delay_ps), std::llround(true_base))
+        << "seed " << seed;
+  }
+}
+
+TEST(DelayExtractionProperty, TrueDdiffOracleMatchesChipArcs) {
+  const std::size_t seeds = property_seed_count(200);
+  for (std::size_t seed = 0; seed < seeds; ++seed) {
+    Rng rng(0x102ull * (seed + 1) + 0xde1c);
+    const std::size_t n = 3 + seed % 6;
+    const sil::Chip chip = integer_chip(n, rng);
+    std::vector<std::size_t> indices(n);
+    for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+    const ConfigurableRo ro(&chip, indices);
+    const sil::OperatingPoint op = sil::nominal_op();
+    const std::vector<double> oracle = ro.true_ddiffs_ps(op);
+    ASSERT_EQ(oracle.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const sil::DelayUnitCell& cell = chip.unit(i);
+      const double expected = cell.inverter.delay_ref_ps + cell.mux_sel.delay_ref_ps -
+                              cell.mux_skip.delay_ref_ps;
+      EXPECT_EQ(oracle[i], expected) << "seed " << seed << " unit " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ropuf::ro

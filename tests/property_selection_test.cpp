@@ -1,0 +1,141 @@
+// Property-based tests for the selection algorithms (paper Section III.D):
+// on randomized unit values, the closed-form Case-1 and Case-2 selections
+// must achieve exactly the optimum found by exhaustive search over their
+// constraint sets, and the returned configuration must satisfy its
+// constraints and reproduce its reported margin.
+//
+// The sweep width defaults to a CI-friendly pinned subset; set
+// ROPUF_PROPERTY_SEEDS=1000 for the full local sweep.
+#include "puf/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ropuf::puf {
+namespace {
+
+std::size_t property_seed_count(std::size_t fallback) {
+  const char* env = std::getenv("ROPUF_PROPERTY_SEEDS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed >= 1 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// Random unit values mixing three regimes the algorithms must handle:
+/// smooth gaussian draws, integer-quantized draws (exact ties), and draws
+/// with a constant offset (all-positive or all-negative populations).
+std::vector<double> random_values(std::size_t n, Rng& rng) {
+  std::vector<double> values(n);
+  const int regime = static_cast<int>(rng.uniform_below(3));
+  const double offset = regime == 2 ? rng.uniform(-20.0, 20.0) : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = rng.gaussian(0.0, 8.0);
+    if (regime == 1) v = std::floor(v);  // quantized: exact ties likely
+    values[i] = v + offset;
+  }
+  return values;
+}
+
+void expect_selection_consistent(const Selection& s,
+                                 const std::vector<double>& top,
+                                 const std::vector<double>& bottom) {
+  // The reported margin must be reproducible from the configurations.
+  const double margin = configured_margin(s.top_config, s.bottom_config, top, bottom);
+  EXPECT_NEAR(s.margin, margin, 1e-9 * (1.0 + std::fabs(margin)));
+  EXPECT_EQ(s.bit, s.margin > 0.0);
+  // At least one unit on each side (an empty RO is not a valid selection).
+  EXPECT_GE(s.top_config.popcount(), 1u);
+  EXPECT_GE(s.bottom_config.popcount(), 1u);
+}
+
+TEST(SelectionProperty, Case1MatchesExhaustiveOracle) {
+  const std::size_t seeds = property_seed_count(60);
+  for (std::size_t seed = 0; seed < seeds; ++seed) {
+    Rng rng(0xc1a5e1ull * (seed + 1));
+    const std::size_t n = 2 + seed % 11;  // 2..12 stages
+    const std::vector<double> top = random_values(n, rng);
+    const std::vector<double> bottom = random_values(n, rng);
+
+    const Selection algorithmic = select_case1(top, bottom);
+    const Selection oracle = select_exhaustive_case1(top, bottom);
+
+    // Case-1 constraint: one shared configuration.
+    EXPECT_EQ(algorithmic.top_config.to_string(), algorithmic.bottom_config.to_string())
+        << "seed " << seed;
+    expect_selection_consistent(algorithmic, top, bottom);
+    // Exact optimality: the sign-partition solution reaches the brute-force
+    // optimum of |margin| over every non-empty shared configuration.
+    EXPECT_NEAR(std::fabs(algorithmic.margin), std::fabs(oracle.margin),
+                1e-9 * (1.0 + std::fabs(oracle.margin)))
+        << "seed " << seed << " n " << n;
+  }
+}
+
+TEST(SelectionProperty, Case2MatchesExhaustiveOracle) {
+  const std::size_t seeds = property_seed_count(40);
+  for (std::size_t seed = 0; seed < seeds; ++seed) {
+    Rng rng(0xc2a5e2ull * (seed + 1));
+    const std::size_t n = 2 + seed % 9;  // 2..10 stages (oracle is C(2n, n)-ish)
+    const std::vector<double> top = random_values(n, rng);
+    const std::vector<double> bottom = random_values(n, rng);
+
+    const Selection algorithmic = select_case2(top, bottom);
+    const Selection oracle = select_exhaustive_case2(top, bottom);
+
+    // Case-2 constraint: independent configurations with equal popcount
+    // (the paper's security argument).
+    EXPECT_EQ(algorithmic.top_config.popcount(), algorithmic.bottom_config.popcount())
+        << "seed " << seed;
+    expect_selection_consistent(algorithmic, top, bottom);
+    EXPECT_NEAR(std::fabs(algorithmic.margin), std::fabs(oracle.margin),
+                1e-9 * (1.0 + std::fabs(oracle.margin)))
+        << "seed " << seed << " n " << n;
+  }
+}
+
+TEST(SelectionProperty, Case2NeverLosesToCase1) {
+  // Case-1's feasible set (x = y) is a subset of Case-2's (equal popcount),
+  // so the Case-2 optimum must dominate for every input.
+  const std::size_t seeds = property_seed_count(60);
+  for (std::size_t seed = 0; seed < seeds; ++seed) {
+    Rng rng(0xd0a11ull * (seed + 1));
+    const std::size_t n = 2 + seed % 11;
+    const std::vector<double> top = random_values(n, rng);
+    const std::vector<double> bottom = random_values(n, rng);
+    const Selection case1 = select_case1(top, bottom);
+    const Selection case2 = select_case2(top, bottom);
+    EXPECT_GE(std::fabs(case2.margin) + 1e-9 * (1.0 + std::fabs(case1.margin)),
+              std::fabs(case1.margin))
+        << "seed " << seed;
+  }
+}
+
+TEST(SelectionProperty, DirectedSelectionRealizesTheRequestedSign) {
+  const std::size_t seeds = property_seed_count(60);
+  for (std::size_t seed = 0; seed < seeds; ++seed) {
+    Rng rng(0xd15ec7ull * (seed + 1));
+    const std::size_t n = 2 + seed % 9;
+    const std::vector<double> top = random_values(n, rng);
+    const std::vector<double> bottom = random_values(n, rng);
+    for (const SelectionCase mode :
+         {SelectionCase::kSameConfig, SelectionCase::kIndependent}) {
+      const Selection up = select_directed(mode, top, bottom, true);
+      const Selection down = select_directed(mode, top, bottom, false);
+      // The directed margins bracket every selection of the same mode: the
+      // "up" margin is the maximum signed margin, "down" the minimum.
+      const Selection free = select(mode, top, bottom);
+      const double eps = 1e-9 * (1.0 + std::fabs(free.margin));
+      EXPECT_GE(up.margin + eps, free.margin) << "seed " << seed;
+      EXPECT_LE(down.margin - eps, free.margin) << "seed " << seed;
+      EXPECT_GE(up.margin + eps, down.margin) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ropuf::puf

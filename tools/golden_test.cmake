@@ -1,0 +1,38 @@
+# Byte-for-byte golden-file comparison of a pinned CLI command's stdout.
+#
+# The golden commands pin every source of variation: the seed, the workload
+# size and --threads 2 (the metrics summary's parallel.* counters depend on
+# whether regions run inline or pooled, which the thread budget decides; any
+# budget >= 2 produces identical tables). After an *intended* output change,
+# regenerate a golden with the exact command recorded at the top of the
+# golden file, e.g.:
+#
+#   build/tools/ropuf_cli stats --seed 42 --threads 2 > tools/golden/stats.txt
+#
+# (the regeneration command is also documented in docs/observability.md).
+#
+# Usage:
+#   cmake -DCLI=<binary> -DGOLDEN=<golden file> -DARGS="<cli args>"
+#         -DWORKDIR=<scratch dir> -P golden_test.cmake
+separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+get_filename_component(name "${GOLDEN}" NAME_WE)
+set(actual "${WORKDIR}/golden_${name}_actual.txt")
+
+execute_process(COMMAND ${CLI} ${arg_list}
+                OUTPUT_FILE ${actual}
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "golden command '${CLI} ${ARGS}' failed (rc=${rc}): ${err}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${actual} ${GOLDEN}
+                RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  file(READ ${actual} actual_text)
+  file(READ ${GOLDEN} golden_text)
+  message(FATAL_ERROR "stdout of '${CLI} ${ARGS}' diverged from ${GOLDEN}.\n"
+                      "If the change is intended, regenerate with:\n"
+                      "  build/tools/ropuf_cli ${ARGS} > ${GOLDEN}\n"
+                      "--- expected ---\n${golden_text}\n"
+                      "--- actual ---\n${actual_text}")
+endif()

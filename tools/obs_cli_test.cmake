@@ -1,0 +1,61 @@
+# End-to-end checks of the observability CLI surface:
+#  * --metrics-out writes a structurally valid ropuf.metrics.v1 document
+#    whose counters reflect the workload,
+#  * --trace-out writes Chrome trace_event JSON (ph/ts/dur/pid/tid),
+#  * unwritable or suspicious paths are rejected loudly before any work runs
+#    (never silently ignored).
+set(metrics ${WORKDIR}/obs_cli_metrics.json)
+set(trace ${WORKDIR}/obs_cli_trace.json)
+
+execute_process(COMMAND ${CLI} stats --seed 5 --threads 2
+                        --metrics-out ${metrics} --trace-out ${trace}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "stats with --metrics-out/--trace-out failed: ${err}")
+endif()
+
+file(READ ${metrics} metrics_text)
+if(NOT metrics_text MATCHES "\"schema\": \"ropuf\\.metrics\\.v1\"")
+  message(FATAL_ERROR "metrics JSON lacks the schema marker: ${metrics_text}")
+endif()
+foreach(section counters gauges histograms)
+  if(NOT metrics_text MATCHES "\"${section}\"")
+    message(FATAL_ERROR "metrics JSON lacks the ${section} section")
+  endif()
+endforeach()
+# The workload enrolls exactly one device over 30 pairs; the snapshot's
+# counters must report the experiment's totals exactly.
+if(NOT metrics_text MATCHES "\"puf\\.enrollments\": 1")
+  message(FATAL_ERROR "metrics JSON missing puf.enrollments = 1: ${metrics_text}")
+endif()
+if(NOT metrics_text MATCHES "\"puf\\.pairs_enrolled\": 30")
+  message(FATAL_ERROR "metrics JSON missing puf.pairs_enrolled = 30: ${metrics_text}")
+endif()
+
+file(READ ${trace} trace_text)
+foreach(field "\"traceEvents\"" "\"ph\": \"X\"" "\"ts\": " "\"dur\": " "\"pid\": 0" "\"tid\": ")
+  if(NOT trace_text MATCHES "${field}")
+    message(FATAL_ERROR "trace JSON lacks ${field}: ${trace_text}")
+  endif()
+endforeach()
+
+# Negative path: an unwritable --metrics-out must fail the command up front.
+execute_process(COMMAND ${CLI} stats --seed 5 --threads 2
+                        --metrics-out /nonexistent-dir/metrics.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "stats accepted an unwritable --metrics-out path: ${out}")
+endif()
+if(NOT err MATCHES "cannot open .*nonexistent-dir")
+  message(FATAL_ERROR "missing unwritable-path diagnostic: ${err}")
+endif()
+
+# Negative path: a value that looks like a swallowed option is rejected.
+execute_process(COMMAND ${CLI} fleet-stats --boards 8 --metrics-out --trace-out
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "fleet-stats accepted '--metrics-out --trace-out': ${out}")
+endif()
+if(NOT err MATCHES "suspicious path '--trace-out' for --metrics-out")
+  message(FATAL_ERROR "missing suspicious-path diagnostic: ${err}")
+endif()

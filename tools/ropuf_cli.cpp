@@ -30,6 +30,9 @@
 #include "crypto/fuzzy_extractor.h"
 #include "nist/report.h"
 #include "nist/suite.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "puf/chip_puf.h"
 #include "puf/serialization.h"
 #include "silicon/dataset_io.h"
@@ -91,6 +94,55 @@ void apply_thread_budget(const Args& args) {
                 "--threads must be a positive integer");
   set_thread_budget_override(static_cast<std::size_t>(threads));
 }
+
+/// Shared --metrics-out / --trace-out handling, available on every command.
+/// Paths are validated strictly up front: an empty value or one that looks
+/// like a swallowed option ("--...") is a usage error, and an unwritable
+/// path fails the command *before* any work runs (an empty placeholder is
+/// written eagerly, then overwritten with the real document at the end) —
+/// never silently ignored.
+class ObsSession {
+ public:
+  explicit ObsSession(const Args& args)
+      : metrics_path_(validated_path(args, "metrics-out")),
+        trace_path_(validated_path(args, "trace-out")) {
+    if (!metrics_path_.empty()) {
+      obs::write_text_file(metrics_path_, "");
+      obs::set_metrics_enabled(true);
+    }
+    if (!trace_path_.empty()) {
+      obs::write_text_file(trace_path_, "");
+      obs::set_tracing_enabled(true);
+    }
+  }
+
+  /// Writes the collected documents. Called once, after the command ran to
+  /// completion; a failed command leaves the eager placeholders behind.
+  void finish() const {
+    if (!metrics_path_.empty()) {
+      obs::write_text_file(metrics_path_,
+                           obs::metrics_to_json(obs::Registry::instance().snapshot()));
+    }
+    if (!trace_path_.empty()) {
+      obs::write_text_file(
+          trace_path_, obs::trace_to_chrome_json(obs::TraceRecorder::instance().events()));
+    }
+  }
+
+ private:
+  static std::string validated_path(const Args& args, const std::string& key) {
+    if (!args.has(key)) return {};
+    const std::string path = args.get(key, "");
+    ROPUF_REQUIRE(!path.empty(), "empty path for --" + key);
+    ROPUF_REQUIRE(path.rfind("--", 0) != 0,
+                  "suspicious path '" + path + "' for --" + key +
+                      " (looks like an option; missing value?)");
+    return path;
+  }
+
+  std::string metrics_path_;
+  std::string trace_path_;
+};
 
 sil::Chip chip_for_seed(std::uint64_t seed) {
   sil::Fab fab(sil::ProcessParams{}, seed);
@@ -290,6 +342,62 @@ int cmd_nist(const Args& args) {
   return report.all_pass() ? 0 : 2;
 }
 
+int cmd_stats(const Args& args) {
+  // Deterministic observability demo: run a pinned mini-workload that
+  // exercises every instrumented layer (fab minting, hardened readout under
+  // faults, dark-bit masking, the parallel pool, the pairwise-HD kernel and
+  // the NIST battery), then print the registry's deterministic projection.
+  // With a pinned --threads the table is byte-for-byte reproducible, which
+  // the golden-file test relies on.
+  obs::set_metrics_enabled(true);
+  obs::Registry::instance().reset();
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.number("seed", 42));
+
+  // 1) Full-circuit device: hardened enroll + respond under a mild fault
+  //    campaign (exercises robust_measure, dark-bit masking, the counter).
+  const sil::Chip chip = chip_for_seed(seed);
+  puf::DeviceSpec spec;
+  spec.stages = 7;
+  spec.pair_count = 30;
+  spec.mode = puf::SelectionCase::kIndependent;
+  spec.hardened = true;
+  sil::FaultInjector injector(sil::FaultPlan::uniform(0.01), seed ^ 0xfa017);
+  Rng rng(seed ^ 0x57a75);
+  puf::ConfigurableRoPufDevice device(&chip, spec, rng);
+  device.set_fault_injector(&injector);
+  device.enroll(sil::nominal_op(), rng);
+  const BitVec response = device.respond(sil::nominal_op(), rng);
+  const std::size_t flips = response.hamming_distance(device.enrolled_response());
+
+  // 2) Mini-fleet uniqueness (exercises the row-blocked HD kernel and the
+  //    parallel pool across boards).
+  sil::VtFleetSpec fleet_spec;
+  fleet_spec.nominal_boards = 6;
+  fleet_spec.env_boards = 0;
+  fleet_spec.seed = seed;
+  const sil::VtFleet fleet = sil::make_vt_fleet(fleet_spec);
+  analysis::DatasetOptions opts;
+  opts.distill = true;
+  const auto responses = analysis::board_responses(fleet.nominal, opts);
+  const double uniqueness = analysis::uniqueness_percent(responses);
+
+  // 3) A short NIST battery (per-test timing histograms).
+  Rng nist_rng(seed ^ 0x715);
+  nist::FinalAnalysisReport report;
+  for (std::size_t s = 0; s < 4; ++s) {
+    BitVec stream(96);
+    for (std::size_t i = 0; i < 96; ++i) stream.set(i, nist_rng.uniform() < 0.5);
+    report.add_sequence(nist::run_suite(stream, nist::paper_config()));
+  }
+
+  std::printf("stats workload: seed=%llu  flips=%zu/%zu  masked=%zu  "
+              "uniqueness=%.2f%%\n\n",
+              static_cast<unsigned long long>(seed), flips, response.size(),
+              device.masked_count(), uniqueness);
+  std::printf("%s", obs::metrics_summary_table(obs::Registry::instance().snapshot()).c_str());
+  return 0;
+}
+
 int cmd_export_dataset(const Args& args) {
   const std::size_t boards = static_cast<std::size_t>(args.number("boards", 20));
   sil::VtFleetSpec spec;
@@ -351,12 +459,17 @@ int usage() {
                "          [--fault-rate R] [--fault-seed S]\n"
                "  fault-sweep [--seed S] [--trials N] [--max-rate R] [--fault-seed S]\n"
                "  nist    [--streams N] [--bits B] [--bias P] [--seed S]\n"
+               "  stats   [--seed S]\n"
                "  export-dataset [--boards N] [--seed S] [--noise PS] [--out F]\n"
                "  dataset-stats --dataset F [--stages N] [--distill on|off]\n"
                "a positive --fault-rate attaches the fault injector and switches the\n"
                "readout to the hardened (retrying, outlier-rejecting) pipeline.\n"
                "every command accepts --threads N (or the ROPUF_THREADS env var) to\n"
-               "bound the worker pool; outputs are bit-identical for every N.\n");
+               "bound the worker pool; outputs are bit-identical for every N.\n"
+               "every command accepts --metrics-out F.json (metrics snapshot) and\n"
+               "--trace-out F.json (Chrome trace_event timeline for chrome://tracing);\n"
+               "`stats` runs a pinned mini-workload and prints the deterministic\n"
+               "metrics summary table. see docs/observability.md.\n");
   return 64;
 }
 
@@ -368,14 +481,24 @@ int main(int argc, char** argv) {
   try {
     const Args args(argc, argv, 2);
     apply_thread_budget(args);
-    if (command == "fleet-stats") return cmd_fleet_stats(args);
-    if (command == "enroll") return cmd_enroll(args);
-    if (command == "respond") return cmd_respond(args);
-    if (command == "fault-sweep") return cmd_fault_sweep(args);
-    if (command == "nist") return cmd_nist(args);
-    if (command == "export-dataset") return cmd_export_dataset(args);
-    if (command == "dataset-stats") return cmd_dataset_stats(args);
-    return usage();
+    const ObsSession obs_session(args);
+    int rc = -1;
+    {
+      // Scoped so the command-level span completes before the trace is
+      // serialized by finish().
+      const obs::TraceSpan span("cli.command");
+      if (command == "fleet-stats") rc = cmd_fleet_stats(args);
+      else if (command == "enroll") rc = cmd_enroll(args);
+      else if (command == "respond") rc = cmd_respond(args);
+      else if (command == "fault-sweep") rc = cmd_fault_sweep(args);
+      else if (command == "nist") rc = cmd_nist(args);
+      else if (command == "stats") rc = cmd_stats(args);
+      else if (command == "export-dataset") rc = cmd_export_dataset(args);
+      else if (command == "dataset-stats") rc = cmd_dataset_stats(args);
+      else return usage();
+    }
+    obs_session.finish();
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
