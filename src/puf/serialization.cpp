@@ -32,15 +32,20 @@ std::string serialize_enrollment(const ConfigurableEnrollment& enrollment) {
 ConfigurableEnrollment parse_enrollment(const std::string& text) {
   std::istringstream is(text);
   std::string line;
+  std::size_t line_number = 0;  // 1-based line of `current` in the input
 
   auto next_line = [&](std::string& out) {
     while (std::getline(is, line)) {
+      ++line_number;
       if (line.empty() || line[0] == '#') continue;
       out = line;
       return true;
     }
     return false;
   };
+  // Errors about a specific line carry its 1-based number, matching the
+  // from_csv diagnostics, so a bad record in a large file is findable.
+  const auto at_line = [&] { return " at line " + std::to_string(line_number); };
 
   std::string current;
   ROPUF_REQUIRE(next_line(current) && current == "ropuf-enrollment v1",
@@ -53,7 +58,7 @@ ConfigurableEnrollment parse_enrollment(const std::string& text) {
     std::string keyword, value;
     ls >> keyword >> value;
     ROPUF_REQUIRE(keyword == "mode" && (value == "case1" || value == "case2"),
-                  "malformed mode line");
+                  "malformed mode line" + at_line());
     enrollment.mode =
         value == "case1" ? SelectionCase::kSameConfig : SelectionCase::kIndependent;
   }
@@ -64,7 +69,7 @@ ConfigurableEnrollment parse_enrollment(const std::string& text) {
     long long stages = 0, pairs = 0;
     ls >> keyword >> stages >> pairs;
     ROPUF_REQUIRE(keyword == "layout" && !ls.fail() && stages > 0 && pairs > 0,
-                  "malformed layout line");
+                  "malformed layout line" + at_line());
     enrollment.layout.stages = static_cast<std::size_t>(stages);
     enrollment.layout.pair_count = static_cast<std::size_t>(pairs);
   }
@@ -81,13 +86,13 @@ ConfigurableEnrollment parse_enrollment(const std::string& text) {
       double offset = 0.0;
       int masked = 0;
       ls >> index >> offset >> masked;
-      ROPUF_REQUIRE(!ls.fail(), "malformed helper line");
+      ROPUF_REQUIRE(!ls.fail(), "malformed helper line" + at_line());
       ROPUF_REQUIRE(index >= 0 &&
                         static_cast<std::size_t>(index) < enrollment.layout.pair_count,
-                    "helper index out of range");
+                    "helper index out of range" + at_line());
       ROPUF_REQUIRE(!helper_seen[static_cast<std::size_t>(index)],
-                    "duplicate helper index");
-      ROPUF_REQUIRE(masked == 0 || masked == 1, "helper mask must be 0/1");
+                    "duplicate helper index" + at_line());
+      ROPUF_REQUIRE(masked == 0 || masked == 1, "helper mask must be 0/1" + at_line());
       if (enrollment.helper.empty()) {
         enrollment.helper.resize(enrollment.layout.pair_count);
       }
@@ -101,19 +106,20 @@ ConfigurableEnrollment parse_enrollment(const std::string& text) {
     double margin = 0.0;
     int bit = 0;
     ls >> index >> top >> bottom >> margin >> bit;
-    ROPUF_REQUIRE(keyword == "pair" && !ls.fail(), "malformed pair line");
+    ROPUF_REQUIRE(keyword == "pair" && !ls.fail(), "malformed pair line" + at_line());
     ROPUF_REQUIRE(index >= 0 &&
                       static_cast<std::size_t>(index) < enrollment.layout.pair_count,
-                  "pair index out of range");
-    ROPUF_REQUIRE(!seen[static_cast<std::size_t>(index)], "duplicate pair index");
-    ROPUF_REQUIRE(bit == 0 || bit == 1, "pair bit must be 0/1");
+                  "pair index out of range" + at_line());
+    ROPUF_REQUIRE(!seen[static_cast<std::size_t>(index)],
+                  "duplicate pair index" + at_line());
+    ROPUF_REQUIRE(bit == 0 || bit == 1, "pair bit must be 0/1" + at_line());
 
     Selection sel;
     sel.top_config = BitVec::from_string(top);
     sel.bottom_config = BitVec::from_string(bottom);
     ROPUF_REQUIRE(sel.top_config.size() == enrollment.layout.stages &&
                       sel.bottom_config.size() == enrollment.layout.stages,
-                  "configuration arity does not match the layout");
+                  "configuration arity does not match the layout" + at_line());
     sel.margin = margin;
     sel.bit = bit == 1;
     enrollment.selections[static_cast<std::size_t>(index)] = std::move(sel);

@@ -1,0 +1,107 @@
+#include "registry/format.h"
+
+#include <array>
+#include <cstring>
+
+namespace ropuf::registry {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (const char byte : bytes) {
+    c = table[(c ^ static_cast<std::uint8_t>(byte)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+const char* defect_name(Defect defect) {
+  switch (defect) {
+    case Defect::kTruncated: return "truncated";
+    case Defect::kBadMagic: return "bad-magic";
+    case Defect::kBadVersion: return "bad-version";
+    case Defect::kHeaderCrc: return "header-crc";
+    case Defect::kIndexCrc: return "index-crc";
+    case Defect::kRecordsCrc: return "records-crc";
+    case Defect::kBadIndex: return "bad-index";
+    case Defect::kBadRecord: return "bad-record";
+  }
+  return "unknown";
+}
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t pattern = 0;
+  static_assert(sizeof(pattern) == sizeof(v));
+  std::memcpy(&pattern, &v, sizeof(pattern));
+  u64(pattern);
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) {
+    throw FormatError(on_overrun_, "read of " + std::to_string(n) +
+                                       " bytes at offset " + std::to_string(pos_) +
+                                       " overruns the " +
+                                       std::to_string(bytes_.size()) + "-byte region");
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+std::uint16_t ByteReader::u16() {
+  const std::uint16_t lo = u8();
+  const std::uint16_t hi = u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::uint32_t lo = u16();
+  const std::uint32_t hi = u16();
+  return lo | (hi << 16);
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+double ByteReader::f64() {
+  const std::uint64_t pattern = u64();
+  double v = 0.0;
+  std::memcpy(&v, &pattern, sizeof(v));
+  return v;
+}
+
+}  // namespace ropuf::registry

@@ -1,0 +1,104 @@
+// Binary wire primitives for the enrollment registry (see docs/registry.md).
+//
+// The registry file is a little-endian byte stream assembled from three
+// CRC32-checked sections (header, device index, packed records). This header
+// provides the pieces every producer and consumer shares:
+//
+//  * crc32 — the IEEE 802.3 polynomial (reflected, init/xorout 0xffffffff),
+//    the same checksum zlib and PNG use, table-driven.
+//  * ByteWriter / ByteReader — explicit little-endian packing, so a registry
+//    written on any host loads on any other. No struct memcpy, no padding.
+//  * FormatError — a ropuf::Error subclass tagged with *which* structural
+//    defect was detected, so corruption tests (and operators) can tell a
+//    truncated download from a bit-rotted index from a bad record.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace ropuf::registry {
+
+/// CRC32 (IEEE, reflected) of `size` bytes. `seed` chains incremental
+/// updates: crc32(b, crc32(a)) == crc32(a + b).
+std::uint32_t crc32(std::string_view bytes, std::uint32_t seed = 0);
+
+/// The structural defect a registry load can detect. Each maps to exactly
+/// one check in the load path, so tests can assert the *right* check fired.
+enum class Defect {
+  kTruncated,    ///< file shorter than the structure it claims to hold
+  kBadMagic,     ///< leading magic bytes are not "ROPUFREG"
+  kBadVersion,   ///< format version this reader does not understand
+  kHeaderCrc,    ///< header bytes fail their checksum
+  kIndexCrc,     ///< device-index section fails its checksum
+  kRecordsCrc,   ///< records section fails its checksum
+  kBadIndex,     ///< index entries unsorted, duplicated, or out of bounds
+  kBadRecord,    ///< a device record's payload is internally inconsistent
+};
+
+/// Stable human-readable name for a defect (used in error messages).
+const char* defect_name(Defect defect);
+
+/// Load-time failure tagged with the defect that was detected.
+class FormatError : public Error {
+ public:
+  FormatError(Defect defect, const std::string& what)
+      : Error(std::string("registry format error [") + defect_name(defect) + "]: " +
+              what),
+        defect_(defect) {}
+
+  Defect defect() const { return defect_; }
+
+ private:
+  Defect defect_;
+};
+
+/// Appends little-endian scalars to a growing byte string.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// IEEE-754 doubles travel as their 64-bit pattern, so round-trips are
+  /// bit-exact (including -0.0; the library never stores NaN margins).
+  void f64(double v);
+  void raw(std::string_view bytes) { bytes_.append(bytes); }
+
+  std::size_t size() const { return bytes_.size(); }
+  const std::string& bytes() const { return bytes_; }
+  std::string take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Reads little-endian scalars off a byte view; any read past the end
+/// throws FormatError with the defect the caller is decoding under.
+class ByteReader {
+ public:
+  ByteReader(std::string_view bytes, Defect on_overrun)
+      : bytes_(bytes), on_overrun_(on_overrun) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::string_view bytes_;
+  Defect on_overrun_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ropuf::registry

@@ -1,0 +1,588 @@
+#include "registry/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "puf/measurement.h"
+#include "silicon/environment.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ROPUF_REGISTRY_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace ropuf::registry {
+namespace {
+
+// ------------------------------------------------------------- file layout
+//
+//   [0,8)    magic "ROPUFREG"
+//   [8,12)   u32 format version
+//   [12,16)  u32 header byte count (kHeaderBytes)
+//   [16,24)  u64 device count
+//   [24,32)  u64 index offset          [32,40)  u64 index size
+//   [40,48)  u64 records offset        [48,56)  u64 records size
+//   [56,60)  u32 index CRC32           [60,64)  u32 records CRC32
+//   [64,68)  u32 header CRC32 (over bytes [0,64))
+//
+// followed by the index (kIndexEntryBytes per device, sorted by id) and the
+// records section. See docs/registry.md for the record payload layout.
+
+constexpr char kMagic[8] = {'R', 'O', 'P', 'U', 'F', 'R', 'E', 'G'};
+constexpr std::size_t kHeaderBytes = 68;
+constexpr std::size_t kHeaderCrcSpan = 64;  ///< header bytes the CRC covers
+constexpr std::size_t kIndexEntryBytes = 24;
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+// Decode-time sanity bounds: far above any real board, low enough that a
+// corrupt size field cannot drive a huge allocation before the payload-size
+// cross-check rejects it.
+constexpr std::size_t kMaxStages = 1u << 12;
+constexpr std::size_t kMaxPairs = 1u << 24;
+
+std::uint64_t read_u64_at(std::string_view bytes, std::size_t offset) {
+  std::uint64_t v = 0;
+  for (std::size_t b = 0; b < 8; ++b) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[offset + b]))
+         << (8 * b);
+  }
+  return v;
+}
+
+/// Streams bits LSB-first into whole u64 words; each column is flushed to a
+/// word boundary so columns stay independently addressable.
+class BitPacker {
+ public:
+  explicit BitPacker(ByteWriter& writer) : writer_(writer) {}
+  void push(bool bit) {
+    word_ |= static_cast<std::uint64_t>(bit) << used_;
+    if (++used_ == 64) flush();
+  }
+  void flush() {
+    if (used_ == 0) return;
+    writer_.u64(word_);
+    word_ = 0;
+    used_ = 0;
+  }
+
+ private:
+  ByteWriter& writer_;
+  std::uint64_t word_ = 0;
+  unsigned used_ = 0;
+};
+
+/// Mirror of BitPacker: pulls bits off word-aligned columns.
+class BitUnpacker {
+ public:
+  explicit BitUnpacker(ByteReader& reader) : reader_(reader) {}
+  bool pull() {
+    if (avail_ == 0) {
+      word_ = reader_.u64();
+      avail_ = 64;
+    }
+    const bool bit = (word_ & 1u) != 0;
+    word_ >>= 1;
+    --avail_;
+    return bit;
+  }
+  void align() {
+    word_ = 0;
+    avail_ = 0;
+  }
+
+ private:
+  ByteReader& reader_;
+  std::uint64_t word_ = 0;
+  unsigned avail_ = 0;
+};
+
+std::size_t bit_words(std::size_t bits) { return (bits + 63) / 64; }
+
+/// Exact payload size of a record, the decoder's first integrity check.
+std::size_t record_payload_bytes(std::size_t stages, std::size_t pairs,
+                                 bool has_helper) {
+  const std::size_t config_bits = pairs * stages;
+  std::size_t bytes = 16;                            // fixed prefix
+  bytes += 2 * bit_words(config_bits) * 8;           // top + bottom configs
+  bytes += bit_words(pairs) * 8;                     // response bits
+  if (has_helper) bytes += bit_words(pairs) * 8;     // dark-bit mask
+  bytes += pairs * 8;                                // margins
+  if (has_helper) bytes += pairs * 8;                // helper offsets
+  return bytes;
+}
+
+void encode_record(ByteWriter& writer, const puf::ConfigurableEnrollment& e) {
+  const std::size_t stages = e.layout.stages;
+  const std::size_t pairs = e.layout.pair_count;
+  const bool has_helper = !e.helper.empty();
+  writer.u8(e.mode == puf::SelectionCase::kSameConfig ? 0 : 1);
+  writer.u8(has_helper ? 1 : 0);
+  writer.u16(0);
+  writer.u32(static_cast<std::uint32_t>(stages));
+  writer.u32(static_cast<std::uint32_t>(pairs));
+  writer.u32(0);
+
+  BitPacker packer(writer);
+  for (const puf::Selection& sel : e.selections) {
+    for (std::size_t s = 0; s < stages; ++s) packer.push(sel.top_config.get(s));
+  }
+  packer.flush();
+  for (const puf::Selection& sel : e.selections) {
+    for (std::size_t s = 0; s < stages; ++s) packer.push(sel.bottom_config.get(s));
+  }
+  packer.flush();
+  for (const puf::Selection& sel : e.selections) packer.push(sel.bit);
+  packer.flush();
+  if (has_helper) {
+    for (const puf::PairHelperData& h : e.helper) packer.push(h.masked);
+    packer.flush();
+  }
+  for (const puf::Selection& sel : e.selections) writer.f64(sel.margin);
+  if (has_helper) {
+    for (const puf::PairHelperData& h : e.helper) writer.f64(h.offset_ps);
+  }
+}
+
+puf::ConfigurableEnrollment decode_record(std::string_view payload) {
+  static obs::Counter& decoded =
+      obs::Registry::instance().counter("registry.records_decoded");
+  decoded.add(1);
+
+  ByteReader reader(payload, Defect::kBadRecord);
+  const std::uint8_t mode = reader.u8();
+  const std::uint8_t helper_flag = reader.u8();
+  reader.u16();  // reserved
+  const std::uint32_t stages = reader.u32();
+  const std::uint32_t pairs = reader.u32();
+  reader.u32();  // reserved
+
+  auto bad = [](const std::string& what) -> FormatError {
+    return FormatError(Defect::kBadRecord, what);
+  };
+  if (mode > 1) throw bad("mode byte must be 0 (case1) or 1 (case2)");
+  if (helper_flag > 1) throw bad("helper flag must be 0 or 1");
+  if (stages == 0 || stages > kMaxStages) throw bad("implausible stage count");
+  if (pairs == 0 || pairs > kMaxPairs) throw bad("implausible pair count");
+  const bool has_helper = helper_flag == 1;
+  if (payload.size() != record_payload_bytes(stages, pairs, has_helper)) {
+    throw bad("payload is " + std::to_string(payload.size()) + " bytes, layout " +
+              std::to_string(stages) + "x" + std::to_string(pairs) + " needs " +
+              std::to_string(record_payload_bytes(stages, pairs, has_helper)));
+  }
+
+  puf::ConfigurableEnrollment e;
+  e.mode = mode == 0 ? puf::SelectionCase::kSameConfig
+                     : puf::SelectionCase::kIndependent;
+  e.layout.stages = stages;
+  e.layout.pair_count = pairs;
+  e.selections.resize(pairs);
+
+  BitUnpacker unpacker(reader);
+  for (puf::Selection& sel : e.selections) {
+    BitVec config(stages);
+    for (std::size_t s = 0; s < stages; ++s) config.set(s, unpacker.pull());
+    sel.top_config = std::move(config);
+  }
+  unpacker.align();
+  for (puf::Selection& sel : e.selections) {
+    BitVec config(stages);
+    for (std::size_t s = 0; s < stages; ++s) config.set(s, unpacker.pull());
+    sel.bottom_config = std::move(config);
+  }
+  unpacker.align();
+  for (puf::Selection& sel : e.selections) sel.bit = unpacker.pull();
+  unpacker.align();
+  if (has_helper) {
+    e.helper.resize(pairs);
+    for (puf::PairHelperData& h : e.helper) h.masked = unpacker.pull();
+    unpacker.align();
+  }
+  for (puf::Selection& sel : e.selections) {
+    sel.margin = reader.f64();
+    if (!std::isfinite(sel.margin)) throw bad("non-finite margin");
+  }
+  if (has_helper) {
+    for (puf::PairHelperData& h : e.helper) {
+      h.offset_ps = reader.f64();
+      if (!std::isfinite(h.offset_ps)) throw bad("non-finite helper offset");
+    }
+  }
+  if (!reader.exhausted()) throw bad("trailing bytes after record payload");
+  return e;
+}
+
+void validate_enrollment(const puf::ConfigurableEnrollment& e) {
+  ROPUF_REQUIRE(e.layout.stages > 0 && e.layout.stages <= kMaxStages,
+                "enrollment stage count out of range");
+  ROPUF_REQUIRE(e.layout.pair_count > 0 && e.layout.pair_count <= kMaxPairs,
+                "enrollment pair count out of range");
+  ROPUF_REQUIRE(e.selections.size() == e.layout.pair_count,
+                "selection count does not match the layout");
+  ROPUF_REQUIRE(e.helper.empty() || e.helper.size() == e.layout.pair_count,
+                "helper data must be empty or cover every pair");
+  for (const puf::Selection& sel : e.selections) {
+    ROPUF_REQUIRE(sel.top_config.size() == e.layout.stages &&
+                      sel.bottom_config.size() == e.layout.stages,
+                  "configuration arity does not match the layout");
+    ROPUF_REQUIRE(std::isfinite(sel.margin), "non-finite enrollment margin");
+  }
+  for (const puf::PairHelperData& h : e.helper) {
+    ROPUF_REQUIRE(std::isfinite(h.offset_ps), "non-finite helper offset");
+  }
+}
+
+}  // namespace
+
+double RegistryStats::bias_percent() const {
+  return total_pairs == 0 ? 0.0
+                          : 100.0 * static_cast<double>(ones) /
+                                static_cast<double>(total_pairs);
+}
+
+double RegistryStats::mean_abs_margin() const {
+  return total_pairs == 0 ? 0.0 : margin_abs_sum / static_cast<double>(total_pairs);
+}
+
+// ------------------------------------------------------------------ builder
+
+void RegistryBuilder::add(std::uint64_t device_id,
+                          puf::ConfigurableEnrollment enrollment) {
+  validate_enrollment(enrollment);
+  ROPUF_REQUIRE(ids_.insert(device_id).second,
+                "duplicate device id " + std::to_string(device_id));
+  records_.push_back(DeviceRecord{device_id, std::move(enrollment)});
+}
+
+std::string RegistryBuilder::build() const {
+  std::vector<const DeviceRecord*> sorted;
+  sorted.reserve(records_.size());
+  for (const DeviceRecord& record : records_) sorted.push_back(&record);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const DeviceRecord* a, const DeviceRecord* b) {
+              return a->device_id < b->device_id;
+            });
+
+  ByteWriter records;
+  ByteWriter index;
+  for (const DeviceRecord* record : sorted) {
+    const std::size_t offset = records.size();
+    encode_record(records, record->enrollment);
+    index.u64(record->device_id);
+    index.u64(offset);
+    index.u64(records.size() - offset);
+  }
+
+  ByteWriter header;
+  header.raw(std::string_view(kMagic, sizeof(kMagic)));
+  header.u32(kFormatVersion);
+  header.u32(static_cast<std::uint32_t>(kHeaderBytes));
+  header.u64(records_.size());
+  header.u64(kHeaderBytes);
+  header.u64(index.size());
+  header.u64(kHeaderBytes + index.size());
+  header.u64(records.size());
+  header.u32(crc32(index.bytes()));
+  header.u32(crc32(records.bytes()));
+  header.u32(crc32(header.bytes()));  // over exactly the kHeaderCrcSpan bytes above
+
+  std::string file = header.take();
+  file += index.bytes();
+  file += records.bytes();
+  return file;
+}
+
+void RegistryBuilder::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ROPUF_REQUIRE(out.good(), "cannot open registry output file " + path);
+  const std::string bytes = build();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  ROPUF_REQUIRE(out.good(), "failed writing registry file " + path);
+}
+
+// ----------------------------------------------------------------- registry
+
+Registry Registry::from_bytes(std::string bytes) {
+  auto owned = std::make_shared<const std::string>(std::move(bytes));
+  const std::string_view view(*owned);
+  return adopt(owned, view);
+}
+
+Registry Registry::load_file(const std::string& path) {
+#if ROPUF_REGISTRY_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  ROPUF_REQUIRE(fd >= 0, "cannot open registry file " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw Error("cannot stat registry file " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size > 0) {
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (addr != MAP_FAILED) {
+      std::shared_ptr<const void> owner(addr, [size](const void* p) {
+        ::munmap(const_cast<void*>(p), size);
+      });
+      return adopt(std::move(owner),
+                   std::string_view(static_cast<const char*>(addr), size));
+    }
+    // fall through to the read path (e.g. filesystems without mmap support)
+  } else {
+    ::close(fd);
+  }
+#endif
+  std::ifstream in(path, std::ios::binary);
+  ROPUF_REQUIRE(in.good(), "cannot open registry file " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return from_bytes(std::move(bytes));
+}
+
+Registry Registry::adopt(std::shared_ptr<const void> owner, std::string_view view) {
+  static obs::Counter& loads = obs::Registry::instance().counter("registry.loads");
+  static obs::Histogram& load_us =
+      obs::Registry::instance().latency_histogram("registry.load_us");
+  const obs::ScopedLatency load_timer(load_us);
+
+  if (view.size() < sizeof(kMagic)) {
+    throw FormatError(Defect::kTruncated, "file is " + std::to_string(view.size()) +
+                                              " bytes, shorter than the magic");
+  }
+  if (std::memcmp(view.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw FormatError(Defect::kBadMagic, "leading bytes are not ROPUFREG");
+  }
+  if (view.size() < kHeaderBytes) {
+    throw FormatError(Defect::kTruncated, "file is " + std::to_string(view.size()) +
+                                              " bytes, shorter than the header");
+  }
+  ByteReader header(view.substr(0, kHeaderBytes), Defect::kTruncated);
+  header.u64();  // magic, already checked
+  const std::uint32_t version = header.u32();
+  const std::uint32_t header_bytes = header.u32();
+  if (version != kFormatVersion) {
+    throw FormatError(Defect::kBadVersion,
+                      "version " + std::to_string(version) + ", this reader handles " +
+                          std::to_string(kFormatVersion));
+  }
+  if (header_bytes != kHeaderBytes) {
+    throw FormatError(Defect::kBadVersion,
+                      "header claims " + std::to_string(header_bytes) +
+                          " bytes, version " + std::to_string(kFormatVersion) +
+                          " defines " + std::to_string(kHeaderBytes));
+  }
+  const std::uint64_t device_count = header.u64();
+  const std::uint64_t index_offset = header.u64();
+  const std::uint64_t index_size = header.u64();
+  const std::uint64_t records_offset = header.u64();
+  const std::uint64_t records_size = header.u64();
+  const std::uint32_t index_crc = header.u32();
+  const std::uint32_t records_crc = header.u32();
+  const std::uint32_t header_crc = header.u32();
+  if (header_crc != crc32(view.substr(0, kHeaderCrcSpan))) {
+    throw FormatError(Defect::kHeaderCrc, "stored header checksum does not match");
+  }
+
+  // Section geometry. The header CRC already vouches for these fields, so a
+  // mismatch here means the file body was cut or grew, not that a field bit
+  // rotted.
+  if (index_offset != kHeaderBytes || index_size != device_count * kIndexEntryBytes) {
+    throw FormatError(Defect::kBadIndex, "index geometry inconsistent with header");
+  }
+  if (records_offset != index_offset + index_size) {
+    throw FormatError(Defect::kBadIndex, "records section does not follow the index");
+  }
+  if (view.size() != records_offset + records_size) {
+    throw FormatError(Defect::kTruncated,
+                      "file is " + std::to_string(view.size()) + " bytes, header needs " +
+                          std::to_string(records_offset + records_size));
+  }
+  if (index_crc != crc32(view.substr(index_offset, index_size))) {
+    throw FormatError(Defect::kIndexCrc, "stored index checksum does not match");
+  }
+  if (records_crc != crc32(view.substr(records_offset, records_size))) {
+    throw FormatError(Defect::kRecordsCrc, "stored records checksum does not match");
+  }
+
+  // Index invariants: strictly ascending ids, every entry inside the
+  // records section.
+  std::uint64_t previous_id = 0;
+  for (std::uint64_t i = 0; i < device_count; ++i) {
+    const std::size_t entry = index_offset + i * kIndexEntryBytes;
+    const std::uint64_t id = read_u64_at(view, entry);
+    const std::uint64_t offset = read_u64_at(view, entry + 8);
+    const std::uint64_t size = read_u64_at(view, entry + 16);
+    if (i > 0 && id <= previous_id) {
+      throw FormatError(Defect::kBadIndex, "device ids not strictly ascending");
+    }
+    previous_id = id;
+    if (offset > records_size || size > records_size - offset) {
+      throw FormatError(Defect::kBadIndex,
+                        "index entry " + std::to_string(i) + " points outside records");
+    }
+  }
+
+  Registry registry;
+  registry.owner_ = std::move(owner);
+  registry.bytes_ = view;
+  registry.device_count_ = device_count;
+  registry.index_offset_ = index_offset;
+  registry.records_offset_ = records_offset;
+  registry.records_size_ = records_size;
+  loads.add(1);
+  return registry;
+}
+
+std::size_t Registry::index_entry_offset(std::size_t i) const {
+  return index_offset_ + i * kIndexEntryBytes;
+}
+
+std::uint64_t Registry::device_id_at(std::size_t i) const {
+  ROPUF_REQUIRE(i < device_count_, "device index out of range");
+  return read_u64_at(bytes_, index_entry_offset(i));
+}
+
+std::size_t Registry::index_position(std::uint64_t device_id) const {
+  std::size_t lo = 0, hi = device_count_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const std::uint64_t mid_id = read_u64_at(bytes_, index_entry_offset(mid));
+    if (mid_id == device_id) return mid;
+    if (mid_id < device_id) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return kNpos;
+}
+
+bool Registry::contains(std::uint64_t device_id) const {
+  return index_position(device_id) != kNpos;
+}
+
+std::optional<puf::ConfigurableEnrollment> Registry::find(
+    std::uint64_t device_id) const {
+  static obs::Counter& lookups = obs::Registry::instance().counter("registry.lookups");
+  lookups.add(1);
+  const std::size_t position = index_position(device_id);
+  if (position == kNpos) return std::nullopt;
+  const std::size_t entry = index_entry_offset(position);
+  const std::uint64_t offset = read_u64_at(bytes_, entry + 8);
+  const std::uint64_t size = read_u64_at(bytes_, entry + 16);
+  return decode_record(bytes_.substr(records_offset_ + offset, size));
+}
+
+puf::ConfigurableEnrollment Registry::lookup(std::uint64_t device_id) const {
+  auto enrollment = find(device_id);
+  ROPUF_REQUIRE(enrollment.has_value(),
+                "unknown device " + std::to_string(device_id));
+  return std::move(*enrollment);
+}
+
+RegistryStats Registry::stats() const {
+  RegistryStats stats;
+  stats.devices = device_count_;
+  for (std::size_t i = 0; i < device_count_; ++i) {
+    const std::size_t entry = index_entry_offset(i);
+    const std::uint64_t offset = read_u64_at(bytes_, entry + 8);
+    const std::uint64_t size = read_u64_at(bytes_, entry + 16);
+    const puf::ConfigurableEnrollment e =
+        decode_record(bytes_.substr(records_offset_ + offset, size));
+    (e.mode == puf::SelectionCase::kSameConfig ? stats.case1_devices
+                                               : stats.case2_devices) += 1;
+    if (!e.helper.empty()) stats.helper_devices += 1;
+    if (i == 0) {
+      stats.min_stages = stats.max_stages = e.layout.stages;
+      stats.min_pairs = stats.max_pairs = e.layout.pair_count;
+    } else {
+      stats.min_stages = std::min(stats.min_stages, e.layout.stages);
+      stats.max_stages = std::max(stats.max_stages, e.layout.stages);
+      stats.min_pairs = std::min(stats.min_pairs, e.layout.pair_count);
+      stats.max_pairs = std::max(stats.max_pairs, e.layout.pair_count);
+    }
+    stats.total_pairs += e.layout.pair_count;
+    for (const puf::Selection& sel : e.selections) {
+      if (sel.bit) stats.ones += 1;
+      stats.margin_abs_sum += std::abs(sel.margin);
+    }
+    for (const puf::PairHelperData& h : e.helper) {
+      if (h.masked) stats.masked_pairs += 1;
+    }
+  }
+  return stats;
+}
+
+// ------------------------------------------------------------ fleet import
+
+std::vector<DeviceRecord> mint_fleet(const FleetSpec& spec) {
+  ROPUF_REQUIRE(spec.devices > 0, "fleet must contain at least one device");
+  ROPUF_REQUIRE(spec.stages > 0 && spec.stages <= kMaxStages,
+                "fleet stage count out of range");
+  ROPUF_REQUIRE(spec.pairs > 0 && spec.pairs <= kMaxPairs,
+                "fleet pair count out of range");
+  static obs::Counter& minted =
+      obs::Registry::instance().counter("registry.devices_minted");
+
+  const puf::BoardLayout layout{spec.stages, spec.pairs};
+  const std::size_t grid_cols = 2 * spec.stages;
+  const std::size_t grid_rows = spec.pairs;
+
+  // Order-sensitive work happens serially up front (the parallel.h
+  // contract): per-device chip and measurement streams are forked in device
+  // order, and device ids are drawn from their own SplitMix64 stream
+  // (redrawing the vanishingly rare collision or zero).
+  sil::Fab fab(spec.process, spec.seed);
+  Rng measurement_base(spec.seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<Rng> chip_rngs;
+  std::vector<Rng> measurement_rngs;
+  std::vector<std::uint64_t> ids;
+  chip_rngs.reserve(spec.devices);
+  measurement_rngs.reserve(spec.devices);
+  ids.reserve(spec.devices);
+  std::unordered_set<std::uint64_t> used_ids;
+  std::uint64_t id_state = spec.seed ^ 0x1d5c0de;
+  for (std::size_t i = 0; i < spec.devices; ++i) {
+    chip_rngs.push_back(fab.fork_chip_stream());
+    measurement_rngs.push_back(measurement_base.fork());
+    std::uint64_t id = 0;
+    do {
+      id = splitmix64(id_state);
+    } while (id == 0 || !used_ids.insert(id).second);
+    ids.push_back(id);
+  }
+
+  puf::UnitMeasurementSpec measurement;
+  measurement.noise_sigma_ps = spec.noise_sigma_ps;
+  auto records = parallel_transform<DeviceRecord>(
+      spec.devices, spec.threads,
+      [&](std::size_t i) {
+        const sil::Chip chip = fab.fabricate_with(chip_rngs[i], grid_cols, grid_rows);
+        const auto values = puf::measure_unit_ddiffs(chip, sil::nominal_op(),
+                                                     measurement, measurement_rngs[i]);
+        return DeviceRecord{ids[i], puf::configurable_enroll(values, layout, spec.mode)};
+      },
+      /*grain=*/8);
+  minted.add(spec.devices);
+  return records;
+}
+
+std::string build_fleet_registry(const FleetSpec& spec) {
+  RegistryBuilder builder;
+  for (DeviceRecord& record : mint_fleet(spec)) {
+    builder.add(record.device_id, std::move(record.enrollment));
+  }
+  return builder.build();
+}
+
+}  // namespace ropuf::registry

@@ -1,0 +1,275 @@
+#include "service/auth_service.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "puf/crp.h"
+#include "registry/format.h"
+
+namespace ropuf::service {
+namespace {
+
+/// Nominal per-bit readout value pushed through the workload fault model;
+/// the magnitude only matters to glitch scaling, not to any verdict.
+constexpr double kNominalReadPs = 1000.0;
+
+std::uint64_t mix_id(std::uint64_t id) {
+  // SplitMix64 finalizer: spreads sequential ids across shards.
+  id += 0x9e3779b97f4a7c15ull;
+  id = (id ^ (id >> 30)) * 0xbf58476d1ce4e5b9ull;
+  id = (id ^ (id >> 27)) * 0x94d049bb133111ebull;
+  return id ^ (id >> 31);
+}
+
+}  // namespace
+
+const char* auth_status_name(AuthStatus status) {
+  switch (status) {
+    case AuthStatus::kAccept: return "accept";
+    case AuthStatus::kReject: return "reject";
+    case AuthStatus::kUnknownDevice: return "unknown-device";
+    case AuthStatus::kCorruptRecord: return "corrupt-record";
+    case AuthStatus::kMalformedRequest: return "malformed-request";
+  }
+  return "unknown";
+}
+
+// -------------------------------------------------------------------- cache
+
+EnrollmentCache::EnrollmentCache(std::size_t capacity) {
+  // Small caches stay single-sharded so the capacity bound (and LRU order,
+  // which the tests pin) is exact; serving-sized caches spread over 8 shards
+  // to keep batch workers off each other's mutex.
+  shard_count_ = capacity >= 64 ? 8 : (capacity > 0 ? 1 : 0);
+  per_shard_capacity_ = shard_count_ == 0 ? 0 : capacity / shard_count_;
+  if (shard_count_ > 0) shards_ = std::make_unique<Shard[]>(shard_count_);
+}
+
+EnrollmentCache::Shard& EnrollmentCache::shard_for(std::uint64_t device_id) const {
+  return shards_[mix_id(device_id) % shard_count_];
+}
+
+EnrollmentCache::Entry EnrollmentCache::get(std::uint64_t device_id) {
+  static obs::Counter& hits = obs::Registry::instance().counter("service.cache_hits");
+  static obs::Counter& misses =
+      obs::Registry::instance().counter("service.cache_misses");
+  if (shard_count_ == 0) {
+    misses.add(1);
+    return nullptr;
+  }
+  Shard& shard = shard_for(device_id);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(device_id);
+  if (it == shard.map.end()) {
+    misses.add(1);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits.add(1);
+  return it->second->entry;
+}
+
+void EnrollmentCache::put(std::uint64_t device_id, Entry entry) {
+  static obs::Counter& evictions =
+      obs::Registry::instance().counter("service.cache_evictions");
+  if (shard_count_ == 0) return;
+  Shard& shard = shard_for(device_id);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(device_id);
+  if (it != shard.map.end()) {
+    it->second->entry = std::move(entry);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    if (per_shard_capacity_ == 0) return;
+    shard.map.erase(shard.lru.back().id);
+    shard.lru.pop_back();
+    evictions.add(1);
+  }
+  shard.lru.push_front(Node{device_id, std::move(entry)});
+  shard.map[device_id] = shard.lru.begin();
+}
+
+std::size_t EnrollmentCache::size() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    const std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    total += shards_[s].lru.size();
+  }
+  return total;
+}
+
+// ------------------------------------------------------------------ service
+
+AuthService::AuthService(const registry::Registry* registry, AuthServiceOptions options)
+    : registry_(registry), options_(options), cache_(options.cache_capacity) {
+  ROPUF_REQUIRE(registry_ != nullptr, "null registry");
+  ROPUF_REQUIRE(options_.response_bits > 0, "response_bits must be positive");
+  ROPUF_REQUIRE(options_.batch_grain > 0, "batch_grain must be positive");
+}
+
+AuthVerdict AuthService::verify(const AuthRequest& request) const {
+  static obs::Counter& requests = obs::Registry::instance().counter("service.requests");
+  static obs::Counter& accepted = obs::Registry::instance().counter("service.accepted");
+  static obs::Counter& rejected = obs::Registry::instance().counter("service.rejected");
+  static obs::Counter& unknown =
+      obs::Registry::instance().counter("service.unknown_device");
+  static obs::Counter& corrupt =
+      obs::Registry::instance().counter("service.corrupt_record");
+  static obs::Counter& malformed =
+      obs::Registry::instance().counter("service.malformed");
+  static obs::Histogram& verify_us =
+      obs::Registry::instance().latency_histogram("service.verify_us");
+  requests.add(1);
+  const obs::ScopedLatency verify_timer(verify_us);
+
+  EnrollmentCache::Entry enrollment = cache_.get(request.device_id);
+  if (enrollment == nullptr) {
+    std::optional<puf::ConfigurableEnrollment> found;
+    try {
+      found = registry_->find(request.device_id);
+    } catch (const registry::FormatError&) {
+      corrupt.add(1);
+      return AuthVerdict{AuthStatus::kCorruptRecord, 0, 0};
+    }
+    if (!found.has_value()) {
+      unknown.add(1);
+      return AuthVerdict{AuthStatus::kUnknownDevice, 0, 0};
+    }
+    enrollment =
+        std::make_shared<const puf::ConfigurableEnrollment>(std::move(*found));
+    cache_.put(request.device_id, enrollment);
+  }
+
+  const std::size_t bits =
+      std::min(options_.response_bits, enrollment->layout.pair_count);
+  if (request.response.size() != bits) {
+    malformed.add(1);
+    return AuthVerdict{AuthStatus::kMalformedRequest, 0, bits};
+  }
+  const puf::CrpOracle oracle(enrollment.get(), bits);
+  const BitVec reference = oracle.reference(request.challenge);
+  const std::size_t distance = reference.hamming_distance(request.response);
+  if (distance <= options_.max_distance) {
+    accepted.add(1);
+    return AuthVerdict{AuthStatus::kAccept, distance, bits};
+  }
+  rejected.add(1);
+  return AuthVerdict{AuthStatus::kReject, distance, bits};
+}
+
+std::vector<AuthVerdict> AuthService::verify_batch(
+    const std::vector<AuthRequest>& requests) const {
+  static obs::Counter& batches = obs::Registry::instance().counter("service.batches");
+  static obs::Counter& batch_items =
+      obs::Registry::instance().counter("service.batch_items");
+  static obs::Histogram& batch_us =
+      obs::Registry::instance().latency_histogram("service.batch_us");
+  batches.add(1);
+  batch_items.add(requests.size());
+  const obs::ScopedLatency batch_timer(batch_us);
+  const obs::TraceSpan span("service.verify_batch");
+  return parallel_transform<AuthVerdict>(
+      requests.size(), options_.threads,
+      [&](std::size_t i) { return verify(requests[i]); }, options_.batch_grain);
+}
+
+// ----------------------------------------------------------------- workload
+
+std::vector<AuthRequest> synthesize_workload(const registry::Registry& registry,
+                                             const AuthServiceOptions& options,
+                                             const WorkloadSpec& spec) {
+  ROPUF_REQUIRE(registry.device_count() > 0, "cannot synthesize against an empty registry");
+  ROPUF_REQUIRE(spec.flip_rate >= 0.0 && spec.flip_rate <= 1.0,
+                "flip_rate must be in [0, 1]");
+  ROPUF_REQUIRE(spec.forge_rate >= 0.0 && spec.unknown_rate >= 0.0 &&
+                    spec.forge_rate + spec.unknown_rate <= 1.0,
+                "forge_rate + unknown_rate must stay within [0, 1]");
+
+  Rng rng(spec.seed);
+  std::vector<AuthRequest> requests;
+  requests.reserve(spec.requests);
+  for (std::size_t r = 0; r < spec.requests; ++r) {
+    AuthRequest request;
+    request.challenge = rng.next_u64();
+    const double category = rng.uniform();
+
+    if (category < spec.unknown_rate) {
+      // An id outside the enrolled population; the response content is
+      // irrelevant (the unknown-device verdict fires before comparison).
+      do {
+        request.device_id = rng.next_u64();
+      } while (request.device_id == 0 || registry.contains(request.device_id));
+      BitVec response(options.response_bits);
+      for (std::size_t i = 0; i < response.size(); ++i) response.set(i, rng.flip());
+      request.response = std::move(response);
+      requests.push_back(std::move(request));
+      continue;
+    }
+
+    const std::size_t device_index = rng.uniform_below(registry.device_count());
+    request.device_id = registry.device_id_at(device_index);
+    const puf::ConfigurableEnrollment enrollment = registry.lookup(request.device_id);
+    const std::size_t bits = std::min(options.response_bits, enrollment.layout.pair_count);
+
+    if (category < spec.unknown_rate + spec.forge_rate) {
+      // Forged attempt: right shape, random content.
+      BitVec response(bits);
+      for (std::size_t i = 0; i < bits; ++i) response.set(i, rng.flip());
+      request.response = std::move(response);
+      requests.push_back(std::move(request));
+      continue;
+    }
+
+    // Legitimate prover: the enrollment-time reference with per-bit readout
+    // noise, optionally pushed through the fault model. A dropped read is
+    // the hardened readout's terminal condition (retry budget spent): the
+    // prover degrades the whole response rather than fabricating bits, and
+    // the service answers kMalformedRequest for it.
+    const puf::CrpOracle oracle(&enrollment, bits);
+    const BitVec reference = oracle.reference(request.challenge);
+    try {
+      BitVec response(bits);
+      for (std::size_t i = 0; i < bits; ++i) {
+        bool bit = reference.get(i) ^ (rng.uniform() < spec.flip_rate);
+        if (spec.injector != nullptr) {
+          const sil::FaultInjector::ReadOutcome outcome =
+              spec.injector->apply(i, kNominalReadPs);
+          if (outcome.dropped) {
+            throw MeasurementFault(FaultKind::kRetryExhausted,
+                                   "prover readout dropped past the retry budget");
+          }
+          if (outcome.kind != FaultKind::kNone) bit = !bit;
+        }
+        response.set(i, bit);
+      }
+      request.response = std::move(response);
+    } catch (const MeasurementFault&) {
+      request.response = BitVec();
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+std::uint64_t verdict_digest(const std::vector<AuthVerdict>& verdicts) {
+  std::uint64_t digest = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  const auto mix = [&digest](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      digest ^= (value >> (8 * byte)) & 0xffu;
+      digest *= 0x100000001b3ull;
+    }
+  };
+  for (const AuthVerdict& verdict : verdicts) {
+    mix(static_cast<std::uint64_t>(verdict.status));
+    mix(verdict.distance);
+    mix(verdict.response_bits);
+  }
+  return digest;
+}
+
+}  // namespace ropuf::service

@@ -1,0 +1,174 @@
+// Batched challenge-response authentication over an enrollment registry.
+//
+// This is the serving layer the ROADMAP's north star asks for: a verifier
+// that holds a fleet-scale registry (src/registry/) and answers
+// {device_id, challenge, response} requests. Verification follows the
+// paper's authentication application: the challenge selects which enrolled
+// margin-maximized pairs are compared (puf/crp.h), the claimed response is
+// matched against the enrollment-time reference bits, and the verdict is an
+// accept iff the Hamming distance stays within a noise threshold.
+//
+// Serving properties:
+//  * Batches execute over the deterministic parallel pool
+//    (parallel_for_chunked); verdict i depends only on request i and the
+//    immutable registry, so a batch's verdicts are bit-identical at any
+//    thread budget.
+//  * Record decoding is the per-request cost that matters, so deserialized
+//    enrollments sit in a capacity-bounded sharded LRU cache with hit/miss
+//    counters in obs. The cache is a pure performance layer: verdicts never
+//    depend on its state.
+//  * Graceful degradation, not exceptions: an unenrolled device, a record
+//    that fails to decode (registry Defect::kBadRecord) and a degraded or
+//    malformed request each map to their own verdict status, so one bad
+//    request never poisons a batch. Prover-side readout failure reuses the
+//    MeasurementFault taxonomy from the fault-injection framework.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/parallel.h"
+#include "registry/registry.h"
+#include "silicon/faults.h"
+
+namespace ropuf::service {
+
+/// One authentication attempt: who claims to be responding, to which
+/// challenge, with which response bits.
+struct AuthRequest {
+  std::uint64_t device_id = 0;
+  std::uint64_t challenge = 0;
+  BitVec response;
+};
+
+/// What happened to a request. Everything past kReject is a degradation
+/// verdict: the service answered instead of throwing.
+enum class AuthStatus {
+  kAccept,           ///< Hamming distance within the threshold
+  kReject,           ///< well-formed, but too far from the reference
+  kUnknownDevice,    ///< device id not present in the registry
+  kCorruptRecord,    ///< the device's record failed to decode (kBadRecord)
+  kMalformedRequest, ///< response empty or of the wrong length
+};
+
+/// Stable human-readable name for a status (CLI and report code).
+const char* auth_status_name(AuthStatus status);
+
+struct AuthVerdict {
+  AuthStatus status = AuthStatus::kReject;
+  std::size_t distance = 0;       ///< Hamming distance (accept/reject only)
+  std::size_t response_bits = 0;  ///< bits the verifier compared / expected
+
+  bool accepted() const { return status == AuthStatus::kAccept; }
+};
+
+struct AuthServiceOptions {
+  /// Response bits drawn per challenge; clamped per device to its enrolled
+  /// pair count (bits are drawn without replacement).
+  std::size_t response_bits = 16;
+  /// Accept iff Hamming distance <= this (the noise budget).
+  std::size_t max_distance = 2;
+  /// Total cached enrollments across all shards; 0 disables the cache.
+  std::size_t cache_capacity = 4096;
+  /// Requests per parallel chunk in verify_batch.
+  std::size_t batch_grain = 64;
+  ThreadBudget threads;
+};
+
+/// Sharded LRU of deserialized enrollments, keyed by device id. Lookups and
+/// inserts lock only one shard, so concurrent batch workers rarely collide.
+/// The total entry count never exceeds the configured capacity. Hit, miss
+/// and eviction counters land in obs ("service.cache_*"); under a parallel
+/// batch their values are scheduling-dependent (see docs/observability.md).
+class EnrollmentCache {
+ public:
+  using Entry = std::shared_ptr<const puf::ConfigurableEnrollment>;
+
+  explicit EnrollmentCache(std::size_t capacity);
+
+  /// The cached enrollment, refreshed to most-recently-used; nullptr on miss.
+  Entry get(std::uint64_t device_id);
+
+  /// Inserts (or refreshes) an entry, evicting the shard's least recently
+  /// used entry when the shard is full. No-op when the cache is disabled.
+  void put(std::uint64_t device_id, Entry entry);
+
+  std::size_t capacity() const { return shard_count_ * per_shard_capacity_; }
+  /// Current entry count (sums shard sizes; exact when quiescent).
+  std::size_t size() const;
+
+ private:
+  struct Node {
+    std::uint64_t id = 0;
+    Entry entry;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::list<Node> lru;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Node>::iterator> map;
+  };
+
+  Shard& shard_for(std::uint64_t device_id) const;
+
+  std::size_t shard_count_ = 0;
+  std::size_t per_shard_capacity_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// The authentication engine: immutable registry + options + cache.
+class AuthService {
+ public:
+  /// `registry` must outlive the service.
+  AuthService(const registry::Registry* registry, AuthServiceOptions options);
+
+  const AuthServiceOptions& options() const { return options_; }
+  std::size_t cache_size() const { return cache_.size(); }
+
+  /// Verifies one request; never throws on bad input (degradation statuses
+  /// cover unknown devices, corrupt records and malformed requests).
+  AuthVerdict verify(const AuthRequest& request) const;
+
+  /// Verifies a batch over the parallel pool. Verdict i is exactly
+  /// verify(requests[i]); the output order matches the input order and is
+  /// bit-identical at any thread budget.
+  std::vector<AuthVerdict> verify_batch(const std::vector<AuthRequest>& requests) const;
+
+ private:
+  const registry::Registry* registry_;
+  AuthServiceOptions options_;
+  mutable EnrollmentCache cache_;
+};
+
+/// Deterministic request-mix generator for benches, tests and the CLI's
+/// auth-batch command: a fraction of forged, unknown-device and degraded
+/// requests on top of legitimate responses with per-bit flip noise.
+struct WorkloadSpec {
+  std::size_t requests = 1024;
+  double flip_rate = 0.01;     ///< per-bit noise on legitimate responses
+  double forge_rate = 0.05;    ///< fraction answered with random bits
+  double unknown_rate = 0.02;  ///< fraction claiming an unenrolled id
+  std::uint64_t seed = 0x570ca57;
+  /// Optional prover-side fault source (non-owning; nullptr = fault-free).
+  /// Faulty reads corrupt response bits; a dropped read makes the prover's
+  /// hardened readout give up (MeasurementFault, kRetryExhausted) and the
+  /// request degrade to an empty response — which the service then answers
+  /// with kMalformedRequest instead of failing the batch.
+  sil::FaultInjector* injector = nullptr;
+};
+
+/// Generates spec.requests requests against the registry's population.
+/// Serial and deterministic: same (registry, options, spec) — same requests.
+std::vector<AuthRequest> synthesize_workload(const registry::Registry& registry,
+                                             const AuthServiceOptions& options,
+                                             const WorkloadSpec& spec);
+
+/// FNV-1a digest over the verdict sequence (order-sensitive); the CLI prints it
+/// so thread-budget sweeps can assert bit-identical batch results cheaply.
+std::uint64_t verdict_digest(const std::vector<AuthVerdict>& verdicts);
+
+}  // namespace ropuf::service

@@ -84,6 +84,38 @@ TEST(Serialization, RejectsDuplicateAndOutOfRangePairs) {
   EXPECT_THROW(parse_enrollment(out_of_range), ropuf::Error);
 }
 
+TEST(Serialization, LineLevelErrorsCarryTheLineNumber) {
+  // Diagnostics contract: an error about a specific input line names its
+  // 1-based line number (same convention as from_csv), including when
+  // comments and blank lines precede it.
+  const auto message_of = [](const std::string& text) {
+    try {
+      parse_enrollment(text);
+    } catch (const ropuf::Error& e) {
+      return std::string(e.what());
+    }
+    return std::string("<no error>");
+  };
+  const std::string duplicate =
+      "ropuf-enrollment v1\nmode case1\nlayout 3 1\n"
+      "pair 0 101 101 1.5 1\npair 0 110 110 1.0 0\n";
+  EXPECT_NE(message_of(duplicate).find("duplicate pair index at line 5"),
+            std::string::npos)
+      << message_of(duplicate);
+  const std::string out_of_range =
+      "ropuf-enrollment v1\n# note\n\nmode case1\nlayout 3 1\n"
+      "pair 5 101 101 1.5 1\n";
+  EXPECT_NE(message_of(out_of_range).find("pair index out of range at line 6"),
+            std::string::npos)
+      << message_of(out_of_range);
+  const std::string bad_helper =
+      "ropuf-enrollment v1\nmode case1\nlayout 3 1\n"
+      "pair 0 101 101 1.5 1\nhelper 0 0.5 1\nhelper 0 0 0\n";
+  EXPECT_NE(message_of(bad_helper).find("duplicate helper index at line 6"),
+            std::string::npos)
+      << message_of(bad_helper);
+}
+
 TEST(Serialization, FuzzedMutationsNeverCrash) {
   // Robustness: any single-character corruption of a valid record must
   // either still parse (semantically benign, e.g. whitespace) or throw

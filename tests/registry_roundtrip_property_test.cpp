@@ -1,0 +1,135 @@
+// Property test for the text <-> binary enrollment round trip: any valid
+// enrollment must survive v1 text serialization, parsing, registry packing
+// and a binary lookup with every field bit-exact. This is the conversion
+// path registry-build --enrollments exercises, so the property is the
+// correctness statement for migrating existing fleets into the registry.
+//
+// The sweep width defaults to a CI-friendly pinned subset; set
+// ROPUF_PROPERTY_SEEDS=200 for the full local sweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "puf/serialization.h"
+#include "registry/registry.h"
+
+namespace ropuf::registry {
+namespace {
+
+std::size_t property_seed_count(std::size_t fallback) {
+  const char* env = std::getenv("ROPUF_PROPERTY_SEEDS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed >= 1 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// A randomized but always-valid enrollment: random layout, mode, margins
+/// (including exact integers, so ties and negative zeros appear) and an
+/// optional helper block with random masks.
+puf::ConfigurableEnrollment random_enrollment(Rng& rng) {
+  const std::size_t stages = 2 + rng.uniform_below(7);   // 2..8
+  const std::size_t pairs = 1 + rng.uniform_below(24);   // 1..24
+  const puf::BoardLayout layout{stages, pairs};
+  std::vector<double> values(layout.units_required());
+  const bool quantized = rng.flip();
+  for (auto& v : values) {
+    v = rng.gaussian(0.0, 10.0);
+    if (quantized) v = std::floor(v);
+  }
+  auto enrollment = puf::configurable_enroll(
+      values, layout,
+      rng.flip() ? puf::SelectionCase::kSameConfig : puf::SelectionCase::kIndependent);
+  if (rng.flip()) {
+    enrollment.helper.resize(pairs);
+    for (auto& h : enrollment.helper) {
+      h = puf::PairHelperData{rng.gaussian(0.0, 3.0), rng.uniform() < 0.2};
+    }
+  }
+  return enrollment;
+}
+
+void expect_field_exact(const puf::ConfigurableEnrollment& decoded,
+                        const puf::ConfigurableEnrollment& original,
+                        std::uint64_t seed) {
+  ASSERT_EQ(decoded.mode, original.mode) << "seed " << seed;
+  ASSERT_EQ(decoded.layout.stages, original.layout.stages) << "seed " << seed;
+  ASSERT_EQ(decoded.layout.pair_count, original.layout.pair_count) << "seed " << seed;
+  ASSERT_EQ(decoded.selections.size(), original.selections.size()) << "seed " << seed;
+  for (std::size_t p = 0; p < original.selections.size(); ++p) {
+    ASSERT_EQ(decoded.selections[p].top_config, original.selections[p].top_config)
+        << "seed " << seed << " pair " << p;
+    ASSERT_EQ(decoded.selections[p].bottom_config,
+              original.selections[p].bottom_config)
+        << "seed " << seed << " pair " << p;
+    // Bit-pattern equality: the binary format stores the IEEE-754 image and
+    // the text format prints 17 significant digits, so neither leg may move
+    // the value at all.
+    ASSERT_EQ(decoded.selections[p].margin, original.selections[p].margin)
+        << "seed " << seed << " pair " << p;
+    ASSERT_EQ(decoded.selections[p].bit, original.selections[p].bit)
+        << "seed " << seed << " pair " << p;
+  }
+  ASSERT_EQ(decoded.helper.size(), original.helper.size()) << "seed " << seed;
+  for (std::size_t p = 0; p < original.helper.size(); ++p) {
+    ASSERT_EQ(decoded.helper[p].offset_ps, original.helper[p].offset_ps)
+        << "seed " << seed << " pair " << p;
+    ASSERT_EQ(decoded.helper[p].masked, original.helper[p].masked)
+        << "seed " << seed << " pair " << p;
+  }
+}
+
+TEST(RegistryRoundTripProperty, TextToBinaryPreservesEveryField) {
+  const std::size_t seeds = property_seed_count(40);
+  for (std::size_t seed = 0; seed < seeds; ++seed) {
+    Rng rng(0x2e61ull * (seed + 1));
+    const auto original = random_enrollment(rng);
+
+    // Text leg (what an existing v1 deployment has on disk).
+    const auto parsed = puf::parse_enrollment(puf::serialize_enrollment(original));
+
+    // Binary leg (what registry-build --enrollments produces).
+    RegistryBuilder builder;
+    const std::uint64_t device_id = 1 + rng.next_u64() % 1000000;
+    builder.add(device_id, parsed);
+    const Registry registry = Registry::from_bytes(builder.build());
+    ASSERT_EQ(registry.device_count(), 1u);
+
+    expect_field_exact(registry.lookup(device_id), original, seed);
+  }
+}
+
+TEST(RegistryRoundTripProperty, MultiDeviceRegistriesLookUpEveryDevice) {
+  const std::size_t seeds = property_seed_count(10);
+  for (std::size_t seed = 0; seed < seeds; ++seed) {
+    Rng rng(0xf1ee7ull * (seed + 1));
+    const std::size_t devices = 2 + rng.uniform_below(12);
+
+    RegistryBuilder builder;
+    std::vector<std::uint64_t> ids;
+    std::vector<puf::ConfigurableEnrollment> originals;
+    for (std::size_t d = 0; d < devices; ++d) {
+      std::uint64_t id = 0;
+      do {
+        id = rng.next_u64();
+      } while (id == 0 ||
+               std::find(ids.begin(), ids.end(), id) != ids.end());
+      ids.push_back(id);
+      originals.push_back(random_enrollment(rng));
+      builder.add(id, puf::parse_enrollment(puf::serialize_enrollment(originals.back())));
+    }
+
+    const Registry registry = Registry::from_bytes(builder.build());
+    ASSERT_EQ(registry.device_count(), devices);
+    for (std::size_t d = 0; d < devices; ++d) {
+      expect_field_exact(registry.lookup(ids[d]), originals[d], seed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ropuf::registry

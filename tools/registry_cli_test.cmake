@@ -1,0 +1,81 @@
+# End-to-end registry/service CLI test:
+#  1. registry-build mints a fleet to a file; registry-stats on the file must
+#     match registry-stats on the equivalent in-memory mint (same spec).
+#  2. Text conversion: enroll writes v1 records, registry-build --enrollments
+#     packs them, and registry-stats sees the right population.
+#  3. auth-batch over the file-backed registry must print the same verdict
+#     digest at thread budgets 1, 2 and 8 (the determinism contract).
+set(reg ${CMAKE_CURRENT_BINARY_DIR}/cli_test_fleet.ropufreg)
+
+execute_process(COMMAND ${CLI} registry-build --out ${reg} --devices 48 --seed 911
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "registry-build failed: ${out}${err}")
+endif()
+if(NOT out MATCHES "minted 48 devices")
+  message(FATAL_ERROR "unexpected registry-build output: ${out}")
+endif()
+
+execute_process(COMMAND ${CLI} registry-stats --registry ${reg}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE stats_file ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "registry-stats --registry failed: ${err}")
+endif()
+execute_process(COMMAND ${CLI} registry-stats --devices 48 --seed 911
+                RESULT_VARIABLE rc OUTPUT_VARIABLE stats_mem ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "registry-stats (in-memory mint) failed: ${err}")
+endif()
+if(NOT stats_file STREQUAL stats_mem)
+  message(FATAL_ERROR "file-backed and in-memory registry-stats diverged:\n"
+                      "--- file ---\n${stats_file}\n--- memory ---\n${stats_mem}")
+endif()
+if(NOT stats_file MATCHES "registry: 48 devices")
+  message(FATAL_ERROR "unexpected registry-stats output: ${stats_file}")
+endif()
+
+# --- text-to-binary conversion -------------------------------------------
+set(e1 ${CMAKE_CURRENT_BINARY_DIR}/cli_test_conv1.ropuf)
+set(e2 ${CMAKE_CURRENT_BINARY_DIR}/cli_test_conv2.ropuf)
+foreach(pair "5;${e1}" "6;${e2}")
+  list(GET pair 0 seed)
+  list(GET pair 1 path)
+  execute_process(COMMAND ${CLI} enroll --seed ${seed} --stages 5 --pairs 8 --out ${path}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "enroll --seed ${seed} failed: ${out}${err}")
+  endif()
+endforeach()
+set(conv ${CMAKE_CURRENT_BINARY_DIR}/cli_test_converted.ropufreg)
+execute_process(COMMAND ${CLI} registry-build --out ${conv} --enrollments ${e1},${e2}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "registry-build --enrollments failed: ${out}${err}")
+endif()
+execute_process(COMMAND ${CLI} registry-stats --registry ${conv}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "registry: 2 devices")
+  message(FATAL_ERROR "converted registry has the wrong population: ${out}${err}")
+endif()
+
+# --- auth-batch thread-budget determinism --------------------------------
+set(reference "")
+foreach(threads 1 2 8)
+  execute_process(COMMAND ${CLI} auth-batch --registry ${reg} --requests 400
+                          --threads ${threads}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "auth-batch --threads ${threads} failed: ${err}")
+  endif()
+  string(REGEX MATCH "verdict digest: 0x[0-9a-f]+" digest "${out}")
+  if(digest STREQUAL "")
+    message(FATAL_ERROR "auth-batch printed no verdict digest: ${out}")
+  endif()
+  if(reference STREQUAL "")
+    set(reference "${out}")
+  elseif(NOT out STREQUAL reference)
+    message(FATAL_ERROR "auth-batch output diverged at --threads ${threads}:\n"
+                        "--- threads 1 ---\n${reference}\n"
+                        "--- threads ${threads} ---\n${out}")
+  endif()
+endforeach()

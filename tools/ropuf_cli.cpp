@@ -10,6 +10,10 @@
 //                    [--out FILE]
 //   ropuf_cli respond --seed S --enrollment FILE [--voltage V] [--temp T]
 //   ropuf_cli nist --streams N --bits B [--bias P]
+//
+// The registry/service commands (registry-build, registry-stats, auth-batch)
+// operate on the binary enrollment registry of src/registry/ and the batched
+// CRP authentication engine of src/service/; see docs/registry.md.
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -35,6 +39,8 @@
 #include "obs/trace.h"
 #include "puf/chip_puf.h"
 #include "puf/serialization.h"
+#include "registry/registry.h"
+#include "service/auth_service.h"
 #include "silicon/dataset_io.h"
 #include "silicon/faults.h"
 #include "silicon/fleet.h"
@@ -448,28 +454,165 @@ int cmd_dataset_stats(const Args& args) {
   return 0;
 }
 
+/// Shared fleet-minting knobs for the registry/service commands. The spec
+/// identifies its fleet exactly, so the same options always reproduce the
+/// same registry bytes regardless of --threads.
+registry::FleetSpec fleet_spec_from_args(const Args& args) {
+  registry::FleetSpec spec;
+  spec.devices = static_cast<std::size_t>(args.number("devices", 256));
+  ROPUF_REQUIRE(spec.devices >= 1, "--devices must be >= 1");
+  spec.stages = static_cast<std::size_t>(args.number("stages", 5));
+  spec.pairs = static_cast<std::size_t>(args.number("pairs", 16));
+  const std::string mode_name = args.get("mode", "case2");
+  ROPUF_REQUIRE(mode_name == "case1" || mode_name == "case2", "mode must be case1|case2");
+  spec.mode = mode_name == "case1" ? puf::SelectionCase::kSameConfig
+                                   : puf::SelectionCase::kIndependent;
+  spec.seed = static_cast<std::uint64_t>(args.number("seed", 0x5ca1ab1e));
+  spec.noise_sigma_ps = args.number("noise", 0.5);
+  return spec;
+}
+
+/// Either loads --registry F or mints an in-memory fleet from the minting
+/// knobs, so registry-stats and auth-batch work without a file on disk.
+registry::Registry registry_from_args(const Args& args) {
+  if (args.has("registry")) {
+    return registry::Registry::load_file(args.get("registry", ""));
+  }
+  return registry::Registry::from_bytes(
+      registry::build_fleet_registry(fleet_spec_from_args(args)));
+}
+
+int cmd_registry_build(const Args& args) {
+  const std::string out = args.get("out", "fleet.ropufreg");
+  if (args.has("enrollments")) {
+    // Conversion path: pack existing v1 text enrollments into one registry.
+    registry::RegistryBuilder builder;
+    std::uint64_t id = static_cast<std::uint64_t>(args.number("base-id", 1));
+    std::stringstream list(args.get("enrollments", ""));
+    std::string path;
+    while (std::getline(list, path, ',')) {
+      ROPUF_REQUIRE(!path.empty(), "empty path in --enrollments list");
+      std::ifstream file(path);
+      ROPUF_REQUIRE(file.good(), "cannot open enrollment file " + path);
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      builder.add(id++, puf::parse_enrollment(buffer.str()));
+    }
+    ROPUF_REQUIRE(builder.device_count() > 0, "--enrollments named no files");
+    builder.write_file(out);
+    std::printf("converted %zu v1 enrollments -> %s\n", builder.device_count(),
+                out.c_str());
+    return 0;
+  }
+  // Minting path: fabricate and enroll a synthetic fleet on the pool.
+  const registry::FleetSpec spec = fleet_spec_from_args(args);
+  const std::string bytes = registry::build_fleet_registry(spec);
+  std::ofstream file(out, std::ios::binary);
+  ROPUF_REQUIRE(file.good(), "cannot open output file " + out);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ROPUF_REQUIRE(file.good(), "failed writing " + out);
+  std::printf("minted %zu devices -> %s (%zu bytes)\n", spec.devices, out.c_str(),
+              bytes.size());
+  return 0;
+}
+
+int cmd_registry_stats(const Args& args) {
+  const registry::Registry reg = registry_from_args(args);
+  const registry::RegistryStats stats = reg.stats();
+  std::printf("registry: %zu devices, %zu bytes, format v%u\n", stats.devices,
+              reg.byte_size(), registry::kFormatVersion);
+  std::printf("stages: %zu..%zu   pairs: %zu..%zu   total pairs: %zu\n",
+              stats.min_stages, stats.max_stages, stats.min_pairs, stats.max_pairs,
+              stats.total_pairs);
+  std::printf("modes: case1=%zu case2=%zu   helper records: %zu\n",
+              stats.case1_devices, stats.case2_devices, stats.helper_devices);
+  std::printf("bit bias: %.2f%% (ideal 50)   mean |margin|: %.4f ps\n",
+              stats.bias_percent(), stats.mean_abs_margin());
+  std::printf("masked pairs: %zu\n", stats.masked_pairs);
+  return 0;
+}
+
+int cmd_auth_batch(const Args& args) {
+  const registry::Registry reg = registry_from_args(args);
+
+  service::AuthServiceOptions opts;
+  opts.response_bits = static_cast<std::size_t>(args.number("bits", 16));
+  opts.max_distance = static_cast<std::size_t>(args.number("max-hd", 2));
+  opts.cache_capacity = static_cast<std::size_t>(args.number("cache", 4096));
+  const service::AuthService svc(&reg, opts);
+
+  service::WorkloadSpec workload;
+  workload.requests = static_cast<std::size_t>(args.number("requests", 1024));
+  workload.flip_rate = args.number("flip-rate", 0.01);
+  workload.forge_rate = args.number("forge-rate", 0.05);
+  workload.unknown_rate = args.number("unknown-rate", 0.02);
+  workload.seed = static_cast<std::uint64_t>(args.number("workload-seed", 0x570ca57));
+  auto injector = fault_injector_from_args(args);
+  if (injector.has_value()) workload.injector = &*injector;
+
+  const auto requests = service::synthesize_workload(reg, opts, workload);
+  const auto verdicts = svc.verify_batch(requests);
+
+  std::size_t counts[5] = {0, 0, 0, 0, 0};
+  std::size_t accepted_distance = 0;
+  for (const service::AuthVerdict& v : verdicts) {
+    counts[static_cast<std::size_t>(v.status)] += 1;
+    if (v.accepted()) accepted_distance += v.distance;
+  }
+  std::printf("auth batch: %zu requests against %zu devices (bits=%zu max-hd=%zu)\n",
+              verdicts.size(), reg.device_count(), opts.response_bits,
+              opts.max_distance);
+  for (std::size_t s = 0; s < 5; ++s) {
+    std::printf("  %-17s %zu\n",
+                service::auth_status_name(static_cast<service::AuthStatus>(s)),
+                counts[s]);
+  }
+  const std::size_t accepted = counts[0];
+  std::printf("accepted mean HD: %.4f\n",
+              accepted == 0 ? 0.0
+                            : static_cast<double>(accepted_distance) /
+                                  static_cast<double>(accepted));
+  std::printf("verdict digest: 0x%016llx\n",
+              static_cast<unsigned long long>(service::verdict_digest(verdicts)));
+  if (injector.has_value()) print_fault_report(*injector);
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: ropuf_cli <command> [--option value ...]\n"
-               "commands:\n"
-               "  fleet-stats --boards N [--seed S]\n"
+               "commands (alphabetical):\n"
+               "  auth-batch [--registry F | --devices N --seed S ...] [--requests N]\n"
+               "          [--bits B] [--max-hd D] [--cache C] [--flip-rate R]\n"
+               "          [--forge-rate R] [--unknown-rate R] [--workload-seed S]\n"
+               "          [--fault-rate R] [--fault-seed S]\n"
+               "  dataset-stats --dataset F [--stages N] [--distill on|off]\n"
                "  enroll  --seed S [--stages N] [--pairs P] [--mode case1|case2] [--out F]\n"
                "          [--fault-rate R] [--fault-seed S]\n"
+               "  export-dataset [--boards N] [--seed S] [--noise PS] [--out F]\n"
+               "  fault-sweep [--seed S] [--trials N] [--max-rate R] [--fault-seed S]\n"
+               "  fleet-stats --boards N [--seed S]\n"
+               "  nist    [--streams N] [--bits B] [--bias P] [--seed S]\n"
+               "  registry-build --out F (--devices N [--seed S] [--stages N] [--pairs P]\n"
+               "          [--mode case1|case2] [--noise PS] | --enrollments F1,F2,...\n"
+               "          [--base-id N])\n"
+               "  registry-stats [--registry F | --devices N --seed S ...]\n"
                "  respond --seed S --enrollment F [--voltage V] [--temp T]\n"
                "          [--fault-rate R] [--fault-seed S]\n"
-               "  fault-sweep [--seed S] [--trials N] [--max-rate R] [--fault-seed S]\n"
-               "  nist    [--streams N] [--bits B] [--bias P] [--seed S]\n"
                "  stats   [--seed S]\n"
-               "  export-dataset [--boards N] [--seed S] [--noise PS] [--out F]\n"
-               "  dataset-stats --dataset F [--stages N] [--distill on|off]\n"
                "a positive --fault-rate attaches the fault injector and switches the\n"
                "readout to the hardened (retrying, outlier-rejecting) pipeline.\n"
                "every command accepts --threads N (or the ROPUF_THREADS env var) to\n"
                "bound the worker pool; outputs are bit-identical for every N.\n"
                "every command accepts --metrics-out F.json (metrics snapshot) and\n"
-               "--trace-out F.json (Chrome trace_event timeline for chrome://tracing);\n"
-               "`stats` runs a pinned mini-workload and prints the deterministic\n"
-               "metrics summary table. see docs/observability.md.\n");
+               "--trace-out F.json (Chrome trace_event timeline for chrome://tracing).\n"
+               "`stats` runs a pinned mini-workload, prints a one-line workload summary\n"
+               "(seed, response flips, masked pairs, uniqueness %%), then the metrics\n"
+               "summary table in two aligned columns per section: `counter value`\n"
+               "(monotonic event counts) and `histogram records` (samples recorded per\n"
+               "latency histogram). see docs/observability.md.\n"
+               "registry-build/registry-stats/auth-batch operate on the binary fleet\n"
+               "registry; see docs/registry.md.\n");
   return 64;
 }
 
@@ -487,14 +630,17 @@ int main(int argc, char** argv) {
       // Scoped so the command-level span completes before the trace is
       // serialized by finish().
       const obs::TraceSpan span("cli.command");
-      if (command == "fleet-stats") rc = cmd_fleet_stats(args);
-      else if (command == "enroll") rc = cmd_enroll(args);
-      else if (command == "respond") rc = cmd_respond(args);
-      else if (command == "fault-sweep") rc = cmd_fault_sweep(args);
-      else if (command == "nist") rc = cmd_nist(args);
-      else if (command == "stats") rc = cmd_stats(args);
-      else if (command == "export-dataset") rc = cmd_export_dataset(args);
+      if (command == "auth-batch") rc = cmd_auth_batch(args);
       else if (command == "dataset-stats") rc = cmd_dataset_stats(args);
+      else if (command == "enroll") rc = cmd_enroll(args);
+      else if (command == "export-dataset") rc = cmd_export_dataset(args);
+      else if (command == "fault-sweep") rc = cmd_fault_sweep(args);
+      else if (command == "fleet-stats") rc = cmd_fleet_stats(args);
+      else if (command == "nist") rc = cmd_nist(args);
+      else if (command == "registry-build") rc = cmd_registry_build(args);
+      else if (command == "registry-stats") rc = cmd_registry_stats(args);
+      else if (command == "respond") rc = cmd_respond(args);
+      else if (command == "stats") rc = cmd_stats(args);
       else return usage();
     }
     obs_session.finish();
