@@ -395,17 +395,23 @@ Registry Registry::adopt(std::shared_ptr<const void> owner, std::string_view vie
 
   // Section geometry. The header CRC already vouches for these fields, so a
   // mismatch here means the file body was cut or grew, not that a field bit
-  // rotted.
-  if (index_offset != kHeaderBytes || index_size != device_count * kIndexEntryBytes) {
+  // rotted. A CRC is no defense against a *crafted* header, though, so every
+  // bound is checked against the actual view size before any derived
+  // arithmetic: device_count is capped first, which makes the index_size
+  // product and the records_offset sum provably non-wrapping in u64.
+  if (index_offset != kHeaderBytes ||
+      device_count > (view.size() - kHeaderBytes) / kIndexEntryBytes ||
+      index_size != device_count * kIndexEntryBytes) {
     throw FormatError(Defect::kBadIndex, "index geometry inconsistent with header");
   }
   if (records_offset != index_offset + index_size) {
     throw FormatError(Defect::kBadIndex, "records section does not follow the index");
   }
-  if (view.size() != records_offset + records_size) {
+  if (records_size != view.size() - records_offset) {
     throw FormatError(Defect::kTruncated,
-                      "file is " + std::to_string(view.size()) + " bytes, header needs " +
-                          std::to_string(records_offset + records_size));
+                      "file is " + std::to_string(view.size()) + " bytes, header wants " +
+                          std::to_string(records_size) + "-byte records at offset " +
+                          std::to_string(records_offset));
   }
   if (index_crc != crc32(view.substr(index_offset, index_size))) {
     throw FormatError(Defect::kIndexCrc, "stored index checksum does not match");

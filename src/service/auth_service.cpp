@@ -39,17 +39,22 @@ const char* auth_status_name(AuthStatus status) {
 
 // -------------------------------------------------------------------- cache
 
-EnrollmentCache::EnrollmentCache(std::size_t capacity) {
+EnrollmentCache::EnrollmentCache(std::size_t capacity) : capacity_(capacity) {
   // Small caches stay single-sharded so the capacity bound (and LRU order,
   // which the tests pin) is exact; serving-sized caches spread over 8 shards
-  // to keep batch workers off each other's mutex.
+  // to keep batch workers off each other's mutex. A capacity that does not
+  // divide evenly spreads its remainder over the first shards, so the shard
+  // bounds sum to exactly the configured capacity.
   shard_count_ = capacity >= 64 ? 8 : (capacity > 0 ? 1 : 0);
-  per_shard_capacity_ = shard_count_ == 0 ? 0 : capacity / shard_count_;
   if (shard_count_ > 0) shards_ = std::make_unique<Shard[]>(shard_count_);
 }
 
-EnrollmentCache::Shard& EnrollmentCache::shard_for(std::uint64_t device_id) const {
-  return shards_[mix_id(device_id) % shard_count_];
+std::size_t EnrollmentCache::shard_index(std::uint64_t device_id) const {
+  return mix_id(device_id) % shard_count_;
+}
+
+std::size_t EnrollmentCache::shard_capacity(std::size_t s) const {
+  return capacity_ / shard_count_ + (s < capacity_ % shard_count_ ? 1 : 0);
 }
 
 EnrollmentCache::Entry EnrollmentCache::get(std::uint64_t device_id) {
@@ -60,7 +65,7 @@ EnrollmentCache::Entry EnrollmentCache::get(std::uint64_t device_id) {
     misses.add(1);
     return nullptr;
   }
-  Shard& shard = shard_for(device_id);
+  Shard& shard = shards_[shard_index(device_id)];
   const std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.map.find(device_id);
   if (it == shard.map.end()) {
@@ -76,7 +81,8 @@ void EnrollmentCache::put(std::uint64_t device_id, Entry entry) {
   static obs::Counter& evictions =
       obs::Registry::instance().counter("service.cache_evictions");
   if (shard_count_ == 0) return;
-  Shard& shard = shard_for(device_id);
+  const std::size_t s = shard_index(device_id);
+  Shard& shard = shards_[s];
   const std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.map.find(device_id);
   if (it != shard.map.end()) {
@@ -84,8 +90,9 @@ void EnrollmentCache::put(std::uint64_t device_id, Entry entry) {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  if (shard.lru.size() >= per_shard_capacity_) {
-    if (per_shard_capacity_ == 0) return;
+  // shard_capacity is >= 1 whenever a shard exists (8 shards only kick in at
+  // capacity >= 64), so evicting one entry always makes room.
+  if (shard.lru.size() >= shard_capacity(s)) {
     shard.map.erase(shard.lru.back().id);
     shard.lru.pop_back();
     evictions.add(1);

@@ -82,9 +82,14 @@ struct AuthServiceOptions {
 
 /// Sharded LRU of deserialized enrollments, keyed by device id. Lookups and
 /// inserts lock only one shard, so concurrent batch workers rarely collide.
-/// The total entry count never exceeds the configured capacity. Hit, miss
-/// and eviction counters land in obs ("service.cache_*"); under a parallel
-/// batch their values are scheduling-dependent (see docs/observability.md).
+/// The total entry count never exceeds the configured capacity: a capacity
+/// that does not divide evenly by the shard count spreads its remainder over
+/// the first shards, so the per-shard bounds sum to exactly capacity().
+/// Eviction is per-shard LRU, not global — a key-skewed workload can evict
+/// from its hot shard while other shards have room (the SplitMix64 shard hash
+/// makes sustained skew unlikely in practice). Hit, miss and eviction
+/// counters land in obs ("service.cache_*"); under a parallel batch their
+/// values are scheduling-dependent (see docs/observability.md).
 class EnrollmentCache {
  public:
   using Entry = std::shared_ptr<const puf::ConfigurableEnrollment>;
@@ -98,7 +103,8 @@ class EnrollmentCache {
   /// used entry when the shard is full. No-op when the cache is disabled.
   void put(std::uint64_t device_id, Entry entry);
 
-  std::size_t capacity() const { return shard_count_ * per_shard_capacity_; }
+  /// The configured total capacity (shard bounds sum to exactly this).
+  std::size_t capacity() const { return capacity_; }
   /// Current entry count (sums shard sizes; exact when quiescent).
   std::size_t size() const;
 
@@ -113,10 +119,13 @@ class EnrollmentCache {
     std::unordered_map<std::uint64_t, std::list<Node>::iterator> map;
   };
 
-  Shard& shard_for(std::uint64_t device_id) const;
+  std::size_t shard_index(std::uint64_t device_id) const;
+  /// Shard s's entry bound: capacity_/shard_count_, plus one for the first
+  /// capacity_%shard_count_ shards.
+  std::size_t shard_capacity(std::size_t s) const;
 
+  std::size_t capacity_ = 0;
   std::size_t shard_count_ = 0;
-  std::size_t per_shard_capacity_ = 0;
   std::unique_ptr<Shard[]> shards_;
 };
 

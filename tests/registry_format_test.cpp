@@ -53,8 +53,18 @@ constexpr std::size_t kIndexCrcOffset = 56;
 constexpr std::size_t kRecordsCrcOffset = 60;
 constexpr std::size_t kHeaderCrcOffset = 64;
 
+constexpr std::size_t kIndexSizeOffset = 32;
+constexpr std::size_t kRecordsOffsetOffset = 40;
+constexpr std::size_t kRecordsSizeOffset = 48;
+
 void poke_u32(std::string& bytes, std::size_t offset, std::uint32_t v) {
   for (std::size_t b = 0; b < 4; ++b) {
+    bytes[offset + b] = static_cast<char>((v >> (8 * b)) & 0xff);
+  }
+}
+
+void poke_u64(std::string& bytes, std::size_t offset, std::uint64_t v) {
+  for (std::size_t b = 0; b < 8; ++b) {
     bytes[offset + b] = static_cast<char>((v >> (8 * b)) & 0xff);
   }
 }
@@ -275,6 +285,37 @@ TEST(RegistryCorruption, EachTamperingRaisesItsOwnDefect) {
       std::swap(bad[kHeaderBytes + b], bad[kHeaderBytes + kIndexEntryBytes + b]);
     }
     repatch_crcs(bad);
+    EXPECT_EQ(defect_of(bad), Defect::kBadIndex);
+  }
+}
+
+TEST(RegistryCorruption, CraftedHeaderCannotWrapGeometryArithmetic) {
+  // A hostile header (every CRC recomputed, so checksums vouch for it) whose
+  // section fields only add up modulo 2^64. Before the overflow-safe
+  // geometry checks, device_count = 2^63 passed "index_size == count *
+  // kIndexEntryBytes" (the product wraps to 0) and the index-invariant loop
+  // walked 2^63 entries off the end of the view.
+  {
+    std::string bad = small_registry_bytes();
+    poke_u64(bad, kDeviceCountOffset, std::uint64_t{1} << 63);
+    poke_u64(bad, kIndexSizeOffset, 0);  // (2^63 * 24) mod 2^64
+    poke_u64(bad, kRecordsOffsetOffset, kHeaderBytes);
+    poke_u64(bad, kRecordsSizeOffset, bad.size() - kHeaderBytes);
+    const std::string_view view(bad);
+    poke_u32(bad, kIndexCrcOffset, crc32(view.substr(kHeaderBytes, 0)));
+    poke_u32(bad, kRecordsCrcOffset, crc32(view.substr(kHeaderBytes)));
+    poke_u32(bad, kHeaderCrcOffset, crc32(view.substr(0, kHeaderCrcSpan)));
+    EXPECT_EQ(defect_of(bad), Defect::kBadIndex);
+  }
+  // A device count the file cannot possibly hold (no wrapping involved)
+  // fails the same bound instead of reading index entries past EOF.
+  {
+    std::string bad = small_registry_bytes();
+    const std::uint64_t devices = peek_u64(bad, kDeviceCountOffset);
+    poke_u64(bad, kDeviceCountOffset, devices + 1000000);
+    poke_u64(bad, kIndexSizeOffset, (devices + 1000000) * kIndexEntryBytes);
+    poke_u32(bad, kHeaderCrcOffset,
+             crc32(std::string_view(bad).substr(0, kHeaderCrcSpan)));
     EXPECT_EQ(defect_of(bad), Defect::kBadIndex);
   }
 }

@@ -190,6 +190,19 @@ TEST(EnrollmentCache, ShardedCapacityNeverExceedsTheConfiguredTotal) {
   EXPECT_GT(cache.size(), 0u);
 }
 
+TEST(EnrollmentCache, UnevenCapacityIsHonoredExactly) {
+  // 100 does not divide by the 8 shards; the remainder spreads over the
+  // first shards instead of being silently rounded down to 96.
+  EnrollmentCache cache(100);
+  EXPECT_EQ(cache.capacity(), 100u);
+  for (std::uint64_t id = 1; id <= 4000; ++id) {
+    cache.put(id, std::make_shared<const puf::ConfigurableEnrollment>());
+  }
+  // Enough keys that every shard saw more inserts than its bound, so the
+  // cache sits exactly at (not merely below) the configured capacity.
+  EXPECT_EQ(cache.size(), 100u);
+}
+
 TEST(AuthService, CacheNeverChangesVerdicts) {
   const auto registry = test_registry();
   AuthServiceOptions cached = small_options();

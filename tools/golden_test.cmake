@@ -1,4 +1,4 @@
-# Byte-for-byte golden-file comparison of a pinned CLI command's stdout.
+# Golden-file comparison of a pinned CLI command's stdout.
 #
 # The golden commands pin every source of variation: the seed, the workload
 # size and --threads 2 (the metrics summary's parallel.* counters depend on
@@ -11,9 +11,16 @@
 #
 # (the regeneration command is also documented in docs/observability.md).
 #
+# By default the comparison is byte-for-byte. Goldens whose output includes
+# printf-formatted doubles (sums through libm / FP contraction can differ in
+# the last ulp across platforms, which occasionally moves the last printed
+# digit) pass FLOAT_TOL: decimal tokens then compare within that absolute
+# tolerance and everything else stays byte-exact.
+#
 # Usage:
 #   cmake -DCLI=<binary> -DGOLDEN=<golden file> -DARGS="<cli args>"
-#         -DWORKDIR=<scratch dir> -P golden_test.cmake
+#         -DWORKDIR=<scratch dir> [-DFLOAT_TOL=<abs tolerance>]
+#         -P golden_test.cmake
 separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
 get_filename_component(name "${GOLDEN}" NAME_WE)
 set(actual "${WORKDIR}/golden_${name}_actual.txt")
@@ -25,8 +32,123 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "golden command '${CLI} ${ARGS}' failed (rc=${rc}): ${err}")
 endif()
 
-execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${actual} ${GOLDEN}
-                RESULT_VARIABLE diff_rc)
+# Parses a non-negative decimal literal into an integer scaled by 10^scale.
+# Script-mode CMake has no floating-point arithmetic, so tolerance compares
+# run in fixed point.
+function(scaled_decimal text scale out)
+  if(text MATCHES "^([0-9]+)\\.([0-9]+)$")
+    set(int_part "${CMAKE_MATCH_1}")
+    set(frac_part "${CMAKE_MATCH_2}")
+  elseif(text MATCHES "^([0-9]+)$")
+    set(int_part "${CMAKE_MATCH_1}")
+    set(frac_part "")
+  else()
+    message(FATAL_ERROR "'${text}' is not a decimal literal")
+  endif()
+  string(LENGTH "${frac_part}" frac_len)
+  if(frac_len GREATER ${scale})
+    message(FATAL_ERROR "'${text}' has more than ${scale} fraction digits")
+  endif()
+  math(EXPR pad "${scale} - ${frac_len}")
+  string(REPEAT "0" ${pad} zeros)
+  string(APPEND frac_part "${zeros}")
+  # Strip leading zeros so math(EXPR) never sees an octal-looking literal.
+  string(REGEX REPLACE "^0+" "" value "${int_part}${frac_part}")
+  if(value STREQUAL "")
+    set(value 0)
+  endif()
+  set(${out} ${value} PARENT_SCOPE)
+endfunction()
+
+function(compare_with_float_tol)
+  file(STRINGS ${GOLDEN} golden_lines)
+  file(STRINGS ${actual} actual_lines)
+  list(LENGTH golden_lines golden_count)
+  list(LENGTH actual_lines actual_count)
+  if(NOT golden_count EQUAL actual_count)
+    set(ok NO PARENT_SCOPE)
+    return()
+  endif()
+  # Fixed-point scale: enough for FLOAT_TOL and the goldens' printf precision.
+  set(scale 6)
+  scaled_decimal("${FLOAT_TOL}" ${scale} tol)
+  set(number "-?[0-9]+\\.[0-9]+")
+  math(EXPR last "${golden_count} - 1")
+  foreach(i RANGE 0 ${last})
+    list(GET golden_lines ${i} golden_line)
+    list(GET actual_lines ${i} actual_line)
+    separate_arguments(golden_toks UNIX_COMMAND "${golden_line}")
+    separate_arguments(actual_toks UNIX_COMMAND "${actual_line}")
+    list(LENGTH golden_toks golden_tok_count)
+    list(LENGTH actual_toks actual_tok_count)
+    if(NOT golden_tok_count EQUAL actual_tok_count)
+      set(ok NO PARENT_SCOPE)
+      return()
+    endif()
+    if(golden_tok_count EQUAL 0)
+      continue()
+    endif()
+    math(EXPR tok_last "${golden_tok_count} - 1")
+    foreach(t RANGE 0 ${tok_last})
+      list(GET golden_toks ${t} g)
+      list(GET actual_toks ${t} a)
+      # A decimal literal, optionally with a trailing unit glued on (e.g.
+      # "29.49%"): units must match exactly, values within tolerance. Each
+      # MATCHES rewrites CMAKE_MATCH_*, so capture right after each match
+      # and keep one regex per if().
+      if(g MATCHES "^(${number})([^0-9].*)?$")
+        set(g_value "${CMAKE_MATCH_1}")
+        set(g_unit "${CMAKE_MATCH_2}")
+        if(NOT a MATCHES "^(${number})([^0-9].*)?$")
+          set(ok NO PARENT_SCOPE)
+          return()
+        endif()
+        set(a_value "${CMAKE_MATCH_1}")
+        set(a_unit "${CMAKE_MATCH_2}")
+        if(NOT g_unit STREQUAL a_unit)
+          set(ok NO PARENT_SCOPE)
+          return()
+        endif()
+        set(g_sign 1)
+        set(a_sign 1)
+        if(g_value MATCHES "^-(.*)$")
+          set(g_sign -1)
+          set(g_value "${CMAKE_MATCH_1}")
+        endif()
+        if(a_value MATCHES "^-(.*)$")
+          set(a_sign -1)
+          set(a_value "${CMAKE_MATCH_1}")
+        endif()
+        scaled_decimal("${g_value}" ${scale} g_scaled)
+        scaled_decimal("${a_value}" ${scale} a_scaled)
+        math(EXPR diff "${g_sign} * ${g_scaled} - ${a_sign} * ${a_scaled}")
+        if(diff LESS 0)
+          math(EXPR diff "-${diff}")
+        endif()
+        if(diff GREATER ${tol})
+          set(ok NO PARENT_SCOPE)
+          return()
+        endif()
+      elseif(NOT g STREQUAL a)
+        set(ok NO PARENT_SCOPE)
+        return()
+      endif()
+    endforeach()
+  endforeach()
+  set(ok YES PARENT_SCOPE)
+endfunction()
+
+if(FLOAT_TOL)
+  compare_with_float_tol()
+  if(ok)
+    set(diff_rc 0)
+  else()
+    set(diff_rc 1)
+  endif()
+else()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${actual} ${GOLDEN}
+                  RESULT_VARIABLE diff_rc)
+endif()
 if(NOT diff_rc EQUAL 0)
   file(READ ${actual} actual_text)
   file(READ ${GOLDEN} golden_text)
