@@ -1,0 +1,161 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace ropuf::net {
+namespace {
+
+constexpr std::size_t kReadChunkBytes = 4096;
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+}  // namespace
+
+AuthClient::AuthClient(ClientOptions options) : options_(std::move(options)) {
+  ROPUF_REQUIRE(options_.window > 0, "client window must be positive");
+}
+
+AuthClient::~AuthClient() { close(); }
+
+void AuthClient::connect() {
+  ROPUF_REQUIRE(fd_ < 0, "connect() called twice");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ROPUF_REQUIRE(fd >= 0, std::string("socket: ") + std::strerror(errno));
+  fd_ = fd;
+
+  if (options_.io_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.io_timeout_ms / 1000;
+    tv.tv_usec = (options_.io_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  ROPUF_REQUIRE(::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) == 1,
+                "bad host address '" + options_.host + "'");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    close();
+    ROPUF_REQUIRE(false, "connect " + options_.host + ":" +
+                             std::to_string(options_.port) + ": " + reason);
+  }
+}
+
+void AuthClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_.clear();
+}
+
+void AuthClient::send_raw(std::string_view bytes) {
+  ROPUF_REQUIRE(fd_ >= 0, "send on a closed client");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    ROPUF_REQUIRE(false, std::string("send: ") + std::strerror(errno));
+  }
+}
+
+bool AuthClient::fill() {
+  ROPUF_REQUIRE(fd_ >= 0, "recv on a closed client");
+  char chunk[kReadChunkBytes];
+  while (true) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      in_.append(chunk, static_cast<std::size_t>(n));
+      return true;
+    }
+    if (n == 0) return false;
+    if (errno == EINTR) continue;
+    ROPUF_REQUIRE(false, std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+WireResponse AuthClient::recv_response() {
+  while (true) {
+    const ExtractResult extracted = try_extract_frame(in_);
+    if (extracted.status == ExtractResult::Status::kDefect) {
+      throw WireError(extracted.defect, "defective frame from server");
+    }
+    if (extracted.status == ExtractResult::Status::kFrame) {
+      ROPUF_REQUIRE(extracted.frame.type == FrameType::kAuthResponse,
+                    "server sent a non-response frame");
+      const WireResponse response = decode_response_payload(extracted.frame.payload);
+      in_.erase(0, extracted.frame.frame_bytes);
+      return response;
+    }
+    ROPUF_REQUIRE(fill(), "server closed the connection mid-response");
+  }
+}
+
+std::size_t AuthClient::recv_until_close() {
+  std::size_t responses = 0;
+  while (true) {
+    const ExtractResult extracted = try_extract_frame(in_);
+    if (extracted.status == ExtractResult::Status::kDefect) {
+      throw WireError(extracted.defect, "defective frame from server");
+    }
+    if (extracted.status == ExtractResult::Status::kFrame) {
+      ROPUF_REQUIRE(extracted.frame.type == FrameType::kAuthResponse,
+                    "server sent a non-response frame");
+      decode_response_payload(extracted.frame.payload);
+      in_.erase(0, extracted.frame.frame_bytes);
+      ++responses;
+      continue;
+    }
+    if (!fill()) {
+      ROPUF_REQUIRE(in_.empty(), "server closed mid-frame");
+      return responses;
+    }
+  }
+}
+
+WireResponse AuthClient::send_request(const service::AuthRequest& request) {
+  send_raw(encode_request_frame(request));
+  return recv_response();
+}
+
+std::vector<WireResponse> AuthClient::send_batch(
+    const std::vector<service::AuthRequest>& requests) {
+  std::vector<WireResponse> responses;
+  responses.reserve(requests.size());
+  std::size_t next_to_send = 0;
+  while (responses.size() < requests.size()) {
+    // Top the window up, then drain one response; steady state keeps
+    // `window` requests in flight without ever blocking on a full pipe.
+    while (next_to_send < requests.size() &&
+           next_to_send - responses.size() < options_.window) {
+      send_raw(encode_request_frame(requests[next_to_send]));
+      ++next_to_send;
+    }
+    responses.push_back(recv_response());
+  }
+  return responses;
+}
+
+}  // namespace ropuf::net

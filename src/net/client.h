@@ -1,0 +1,83 @@
+// Blocking authentication client for the framed wire protocol (net/wire.h).
+//
+// The client side needs none of the server's event-loop machinery: it opens
+// one TCP connection, writes request frames, and reads response frames in
+// order. The only subtlety is pipelining — writing an unbounded number of
+// requests before reading any responses can deadlock once both socket
+// buffers fill — so send_batch() pipelines through a bounded window: at most
+// `window` requests are in flight before the client drains their responses.
+// Keeping the window at or below the server's max_pending guarantees a
+// single client on an otherwise idle server never sees kOverloaded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "service/auth_service.h"
+
+namespace ropuf::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Requests in flight before responses are drained (see header note).
+  std::size_t window = 128;
+  /// Socket send/receive timeout; 0 disables. Guards the client against a
+  /// hung server the way the server's read deadline guards against clients.
+  int io_timeout_ms = 10000;
+};
+
+/// One TCP connection speaking the wire protocol. Not thread-safe; blocking.
+class AuthClient {
+ public:
+  explicit AuthClient(ClientOptions options);
+  ~AuthClient();
+  AuthClient(const AuthClient&) = delete;
+  AuthClient& operator=(const AuthClient&) = delete;
+  /// Movable so factory helpers can hand out connected clients.
+  AuthClient(AuthClient&& other) noexcept
+      : options_(std::move(other.options_)), fd_(other.fd_), in_(std::move(other.in_)) {
+    other.fd_ = -1;
+  }
+  AuthClient& operator=(AuthClient&&) = delete;
+
+  /// Connects to host:port. Throws ropuf::Error on failure.
+  void connect();
+
+  /// Sends one request and waits for its response.
+  WireResponse send_request(const service::AuthRequest& request);
+
+  /// Pipelines `requests` through the window and returns their responses in
+  /// request order. Throws on transport failure or a malformed response.
+  std::vector<WireResponse> send_batch(const std::vector<service::AuthRequest>& requests);
+
+  /// Writes raw bytes as-is (corruption tests tamper with frames and need a
+  /// byte-level escape hatch). Throws on transport failure.
+  void send_raw(std::string_view bytes);
+
+  /// Reads until one complete frame arrives and decodes it as a response.
+  /// Throws WireError on a defective frame and ropuf::Error when the server
+  /// closes the connection first (`eof_ok` instead reports a status-free
+  /// closed-connection response is not possible, so callers that *expect*
+  /// a close use recv_close()).
+  WireResponse recv_response();
+
+  /// Reads until EOF, asserting the server sends nothing but well-formed
+  /// response frames first; returns how many arrived before the close.
+  std::size_t recv_until_close();
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  /// Blocking read of at least one more byte into in_; false on clean EOF.
+  bool fill();
+
+  ClientOptions options_;
+  int fd_ = -1;
+  std::string in_;  ///< buffered stream bytes not yet consumed
+};
+
+}  // namespace ropuf::net

@@ -1,0 +1,374 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ropuf::net {
+namespace {
+
+constexpr std::size_t kReadChunkBytes = 4096;
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ROPUF_REQUIRE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno));
+}
+
+/// Pending-queue depth buckets: powers of two up to the default bound.
+const std::vector<double>& queue_depth_bounds() {
+  static const std::vector<double> bounds = {1,  2,   4,   8,   16,  32,
+                                             64, 128, 256, 512, 1024, 4096};
+  return bounds;
+}
+
+}  // namespace
+
+AuthServer::AuthServer(const service::AuthService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  ROPUF_REQUIRE(service_ != nullptr, "null auth service");
+  ROPUF_REQUIRE(options_.max_batch > 0, "max_batch must be positive");
+  ROPUF_REQUIRE(options_.max_pending > 0, "max_pending must be positive");
+  ROPUF_REQUIRE(options_.max_connections > 0, "max_connections must be positive");
+}
+
+AuthServer::~AuthServer() {
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    if (connections_[i].alive) ::close(connections_[i].fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+std::uint16_t AuthServer::bind_and_listen() {
+  ROPUF_REQUIRE(listen_fd_ < 0, "bind_and_listen() called twice");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ROPUF_REQUIRE(fd >= 0, std::string("socket: ") + std::strerror(errno));
+  listen_fd_ = fd;
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  ROPUF_REQUIRE(::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) == 1,
+                "bad bind address '" + options_.bind_address + "'");
+  ROPUF_REQUIRE(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0,
+                std::string("bind ") + options_.bind_address + ":" +
+                    std::to_string(options_.port) + ": " + std::strerror(errno));
+  ROPUF_REQUIRE(::listen(fd, options_.backlog) == 0,
+                std::string("listen: ") + std::strerror(errno));
+  set_nonblocking(fd);
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ROPUF_REQUIRE(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0,
+                std::string("getsockname: ") + std::strerror(errno));
+  port_ = ntohs(bound.sin_port);
+  return port_;
+}
+
+void AuthServer::accept_ready() {
+  static obs::Counter& accepted =
+      obs::Registry::instance().counter("net.connections_accepted");
+  static obs::Counter& limit_closes =
+      obs::Registry::instance().counter("net.connection_limit_closes");
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN/EWOULDBLOCK or transient failure: next sweep
+    std::size_t live = 0;
+    for (const Connection& connection : connections_) live += connection.alive ? 1 : 0;
+    if (live >= options_.max_connections) {
+      // At capacity the cheapest honest answer is an immediate close: the
+      // peer sees a refused session rather than an unbounded accept queue.
+      ::close(fd);
+      limit_closes.add(1);
+      continue;
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    std::size_t slot = connections_.size();
+    for (std::size_t i = 0; i < connections_.size(); ++i) {
+      if (!connections_[i].alive) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == connections_.size()) connections_.emplace_back();
+    Connection& connection = connections_[slot];
+    connection = Connection{};
+    connection.fd = fd;
+    connection.last_read = std::chrono::steady_clock::now();
+    accepted.add(1);
+  }
+}
+
+void AuthServer::enqueue_response(Connection& connection, const WireResponse& response) {
+  static obs::Counter& frames_out = obs::Registry::instance().counter("net.frames_out");
+  static obs::Counter& slow_closes =
+      obs::Registry::instance().counter("net.slow_consumer_closes");
+  if (!connection.alive) return;
+  connection.out.append(encode_response_frame(response));
+  frames_out.add(1);
+  if (connection.out.size() > options_.max_write_buffer) {
+    // The peer stopped reading its answers; dropping it is the bounded
+    // alternative to buffering responses without limit.
+    slow_closes.add(1);
+    const std::size_t index = static_cast<std::size_t>(&connection - connections_.data());
+    close_connection(index);
+  }
+}
+
+void AuthServer::handle_frame(std::size_t index, const FrameView& frame) {
+  static obs::Counter& frames_in = obs::Registry::instance().counter("net.frames_in");
+  static obs::Counter& bad_frames =
+      obs::Registry::instance().counter("net.bad_frame_answers");
+  static obs::Counter& overloads =
+      obs::Registry::instance().counter("net.overload_rejections");
+  static obs::Counter& enqueued =
+      obs::Registry::instance().counter("net.requests_enqueued");
+  Connection& connection = connections_[index];
+  frames_in.add(1);
+  if (frame.type != FrameType::kAuthRequest) {
+    // A response frame arriving at the server is well-formed but
+    // nonsensical; answer and keep the (still framed) connection.
+    bad_frames.add(1);
+    enqueue_response(connection, WireResponse{WireStatus::kBadFrame, 0, 0});
+    return;
+  }
+  service::AuthRequest request;
+  try {
+    request = decode_request_payload(frame.payload);
+  } catch (const WireError&) {
+    bad_frames.add(1);
+    enqueue_response(connection, WireResponse{WireStatus::kBadFrame, 0, 0});
+    return;
+  }
+  if (pending_.size() >= options_.max_pending) {
+    overloads.add(1);
+    enqueue_response(connection, WireResponse{WireStatus::kOverloaded, 0, 0});
+    return;
+  }
+  pending_.push_back(PendingRequest{index, std::move(request)});
+  enqueued.add(1);
+}
+
+void AuthServer::service_readable(std::size_t index) {
+  static obs::Counter& frame_errors =
+      obs::Registry::instance().counter("net.frame_errors");
+  Connection& connection = connections_[index];
+  char chunk[kReadChunkBytes];
+  while (connection.alive && !connection.close_after_flush) {
+    const ssize_t n = ::recv(connection.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      connection.in.append(chunk, static_cast<std::size_t>(n));
+      connection.last_read = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n == 0) {
+      // Peer finished sending: answer what already arrived, flush, close.
+      connection.close_after_flush = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(index);
+    return;
+  }
+
+  while (connection.alive) {
+    const ExtractResult extracted = try_extract_frame(connection.in);
+    if (extracted.status == ExtractResult::Status::kNeedMore) break;
+    if (extracted.status == ExtractResult::Status::kDefect) {
+      frame_errors.add(1);
+      enqueue_response(connection, WireResponse{WireStatus::kBadFrame, 0, 0});
+      if (frame_defect_is_fatal(extracted.defect)) {
+        // Stream framing is lost: the buffered bytes are untrustworthy and
+        // the only clean exit is answering, flushing and closing.
+        connection.in.clear();
+        connection.close_after_flush = true;
+        break;
+      }
+      connection.in.erase(0, extracted.consume);
+      continue;
+    }
+    handle_frame(index, extracted.frame);
+    connection.in.erase(0, extracted.frame.frame_bytes);
+  }
+}
+
+void AuthServer::drain_pending() {
+  if (pending_.empty()) return;
+  static obs::Counter& batches = obs::Registry::instance().counter("net.batches");
+  static obs::Histogram& queue_depth =
+      obs::Registry::instance().histogram("net.queue_depth", queue_depth_bounds());
+  static obs::Histogram& batch_us =
+      obs::Registry::instance().latency_histogram("net.batch_us");
+  queue_depth.record(static_cast<double>(pending_.size()));
+  const obs::TraceSpan span("net.drain");
+  while (!pending_.empty()) {
+    const std::size_t count = std::min(pending_.size(), options_.max_batch);
+    std::vector<service::AuthRequest> requests;
+    std::vector<std::size_t> owners;
+    requests.reserve(count);
+    owners.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      requests.push_back(std::move(pending_.front().request));
+      owners.push_back(pending_.front().connection);
+      pending_.pop_front();
+    }
+    batches.add(1);
+    const obs::ScopedLatency batch_timer(batch_us);
+    const std::vector<service::AuthVerdict> verdicts = service_->verify_batch(requests);
+    requests_served_ += verdicts.size();
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+      enqueue_response(connections_[owners[i]], wire_response(verdicts[i]));
+    }
+  }
+}
+
+void AuthServer::flush_writable(std::size_t index) {
+  Connection& connection = connections_[index];
+  while (connection.alive && !connection.out.empty()) {
+    const ssize_t n = ::send(connection.fd, connection.out.data(),
+                             connection.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      connection.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    close_connection(index);
+    return;
+  }
+  if (connection.alive && connection.out.empty() && connection.close_after_flush) {
+    close_connection(index);
+  }
+}
+
+void AuthServer::close_connection(std::size_t index) {
+  static obs::Counter& closed =
+      obs::Registry::instance().counter("net.connections_closed");
+  Connection& connection = connections_[index];
+  if (!connection.alive) return;
+  ::close(connection.fd);
+  connection = Connection{};
+  connection.alive = false;
+  closed.add(1);
+}
+
+void AuthServer::close_idle_connections() {
+  static obs::Counter& deadline_closes =
+      obs::Registry::instance().counter("net.deadline_closes");
+  const auto now = std::chrono::steady_clock::now();
+  const auto deadline = std::chrono::milliseconds(options_.read_deadline_ms);
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    Connection& connection = connections_[i];
+    // Anything with buffered output is still being answered; the read
+    // deadline only reaps connections that are silent *and* owed nothing.
+    if (!connection.alive || !connection.out.empty()) continue;
+    if (now - connection.last_read > deadline) {
+      deadline_closes.add(1);
+      close_connection(i);
+    }
+  }
+}
+
+bool AuthServer::draining_complete() const {
+  if (!pending_.empty()) return false;
+  for (const Connection& connection : connections_) {
+    if (connection.alive && !connection.out.empty()) return false;
+  }
+  return true;
+}
+
+void AuthServer::run() {
+  ROPUF_REQUIRE(listen_fd_ >= 0, "run() called before bind_and_listen()");
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_began;
+
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> fd_owner;  ///< connection index per pollfd slot
+  while (true) {
+    if (!draining && stop_.load(std::memory_order_relaxed)) {
+      // Graceful drain: stop accepting and reading, answer everything that
+      // was already read, flush, then leave the loop.
+      draining = true;
+      drain_began = std::chrono::steady_clock::now();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (draining) {
+      const bool timed_out = std::chrono::steady_clock::now() - drain_began >
+                             std::chrono::milliseconds(options_.drain_timeout_ms);
+      if (draining_complete() || timed_out) break;
+    }
+
+    fds.clear();
+    fd_owner.clear();
+    if (!draining) {
+      fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+      fd_owner.push_back(connections_.size());  // sentinel: the listener
+    }
+    for (std::size_t i = 0; i < connections_.size(); ++i) {
+      const Connection& connection = connections_[i];
+      if (!connection.alive) continue;
+      short events = 0;
+      if (!draining && !connection.close_after_flush) events |= POLLIN;
+      if (!connection.out.empty()) events |= POLLOUT;
+      if (events == 0) continue;
+      fds.push_back(pollfd{connection.fd, events, 0});
+      fd_owner.push_back(i);
+    }
+
+    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                             options_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      ROPUF_REQUIRE(false, std::string("poll: ") + std::strerror(errno));
+    }
+
+    for (std::size_t slot = 0; slot < fds.size(); ++slot) {
+      if (fds[slot].revents == 0) continue;
+      if (fd_owner[slot] == connections_.size()) {
+        accept_ready();
+        continue;
+      }
+      const std::size_t index = fd_owner[slot];
+      if (!connections_[index].alive) continue;
+      if ((fds[slot].revents & (POLLIN | POLLHUP | POLLERR)) != 0 && !draining) {
+        service_readable(index);
+      }
+    }
+
+    drain_pending();
+    for (std::size_t i = 0; i < connections_.size(); ++i) {
+      if (connections_[i].alive && (!connections_[i].out.empty() ||
+                                    connections_[i].close_after_flush)) {
+        flush_writable(i);
+      }
+    }
+    if (!draining) close_idle_connections();
+  }
+
+  for (std::size_t i = 0; i < connections_.size(); ++i) close_connection(i);
+}
+
+}  // namespace ropuf::net

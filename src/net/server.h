@@ -1,0 +1,130 @@
+// Online authentication server: a single-threaded poll() event loop in
+// front of service::AuthService (see docs/serving.md).
+//
+// The loop owns every connection and never blocks on any one of them:
+// sockets are non-blocking, reads buffer into per-connection byte streams,
+// and complete frames (net/wire.h) are decoded as they arrive. Ready
+// requests collect into a *bounded* pending queue; once per sweep the queue
+// drains through AuthService::verify_batch on the deterministic parallel
+// pool, so the verdicts a connection receives are bit-identical to an
+// offline batch over the same requests — at any thread budget.
+//
+// Adversary-facing behavior is explicit:
+//  * Every frame decode error maps to an error response or a clean close —
+//    never a crash, never an exception escaping the loop. Recoverable
+//    defects (bad CRC, bad type, bad payload) answer kBadFrame and keep
+//    the connection; fatal ones (bad magic/version/oversized length) answer
+//    kBadFrame and close, because stream framing is lost.
+//  * The pending queue is bounded: past max_pending the server answers
+//    kOverloaded immediately (reject-with-status backpressure) instead of
+//    buffering without bound. Write buffers are bounded too — a peer that
+//    stops reading its responses is closed as a slow consumer.
+//  * Idle connections past the read deadline are closed.
+//  * request_stop() (async-signal-safe; ropuf_serve wires SIGINT to it)
+//    triggers a graceful drain: stop accepting, answer everything already
+//    read, flush, then return from run().
+//
+// Metrics land under "net.*" and spans under "net.*" (docs/serving.md has
+// the catalogue); the loop is observational-only like every other layer.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "service/auth_service.h"
+
+namespace ropuf::net {
+
+struct ServerOptions {
+  /// Loopback by default: exposing a verifier beyond localhost is a
+  /// deployment decision the operator makes explicitly.
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = kernel-assigned ephemeral port
+  int backlog = 64;
+  std::size_t max_connections = 256;
+  /// Bounded pending-request queue; requests past this answer kOverloaded.
+  std::size_t max_pending = 1024;
+  /// Requests per verify_batch call when draining the queue.
+  std::size_t max_batch = 256;
+  /// Per-connection write-buffer bound; a slower consumer is closed.
+  std::size_t max_write_buffer = 1u << 20;
+  /// Close a connection with no readable traffic for this long.
+  int read_deadline_ms = 5000;
+  /// poll() timeout: bounds stop-request and deadline-check latency.
+  int poll_interval_ms = 50;
+  /// Hard cap on the graceful drain after request_stop().
+  int drain_timeout_ms = 2000;
+};
+
+/// The event loop. Construction does not touch the network; bind_and_listen
+/// opens the socket and run() serves until request_stop(). One thread runs
+/// the loop; request_stop() may be called from any thread or signal handler.
+class AuthServer {
+ public:
+  /// `service` must outlive the server.
+  AuthServer(const service::AuthService* service, ServerOptions options);
+  ~AuthServer();
+  AuthServer(const AuthServer&) = delete;
+  AuthServer& operator=(const AuthServer&) = delete;
+
+  /// Binds and listens; returns the bound port (resolves port 0).
+  /// Throws ropuf::Error on any socket failure.
+  std::uint16_t bind_and_listen();
+
+  /// The bound port; 0 before bind_and_listen().
+  std::uint16_t port() const { return port_; }
+
+  /// Serves until request_stop(), then drains gracefully and returns.
+  void run();
+
+  /// Requests the loop to stop; one relaxed atomic store, safe from any
+  /// thread and from signal handlers.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Requests served over the server's lifetime (including degraded
+  /// answers). Read after run() returned.
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;       ///< buffered unparsed stream bytes
+    std::string out;      ///< buffered unwritten response bytes
+    std::chrono::steady_clock::time_point last_read;
+    bool close_after_flush = false;  ///< fatal defect: answer, flush, close
+    bool alive = true;
+  };
+  struct PendingRequest {
+    std::size_t connection;  ///< index into connections_
+    service::AuthRequest request;
+  };
+
+  void accept_ready();
+  /// Reads everything available, extracts frames, enqueues/answers.
+  void service_readable(std::size_t index);
+  /// Decodes one frame into the pending queue or an immediate answer.
+  void handle_frame(std::size_t index, const FrameView& frame);
+  void enqueue_response(Connection& connection, const WireResponse& response);
+  /// Drains the pending queue through verify_batch, max_batch at a time.
+  void drain_pending();
+  void flush_writable(std::size_t index);
+  void close_connection(std::size_t index);
+  void close_idle_connections();
+  bool draining_complete() const;
+
+  const service::AuthService* service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::vector<Connection> connections_;
+  std::deque<PendingRequest> pending_;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace ropuf::net

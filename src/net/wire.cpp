@@ -1,0 +1,225 @@
+#include "net/wire.h"
+
+#include "registry/format.h"
+
+namespace ropuf::net {
+namespace {
+
+/// ByteReader defect for reads that cannot overrun (sizes pre-validated);
+/// if it ever fires the caller has a bug, not the peer.
+constexpr registry::Defect kNeverOverruns = registry::Defect::kTruncated;
+
+/// Request payload byte count for a given response bit count.
+std::size_t request_payload_bytes(std::size_t bits) {
+  return 8 + 8 + 4 + (bits + 7) / 8;
+}
+
+constexpr std::size_t kResponsePayloadBytes = 1 + 8 + 4;
+
+std::string finish_frame(FrameType type, std::string payload) {
+  registry::ByteWriter header;
+  header.u32(kFrameMagic);
+  header.u16(kWireVersion);
+  header.u16(static_cast<std::uint16_t>(type));
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  header.u32(registry::crc32(payload));
+  std::string frame = header.take();
+  frame.append(payload);
+  return frame;
+}
+
+}  // namespace
+
+const char* frame_defect_name(FrameDefect defect) {
+  switch (defect) {
+    case FrameDefect::kBadMagic: return "bad-magic";
+    case FrameDefect::kBadVersion: return "bad-version";
+    case FrameDefect::kBadType: return "bad-type";
+    case FrameDefect::kBadLength: return "bad-length";
+    case FrameDefect::kBadCrc: return "bad-crc";
+    case FrameDefect::kBadPayload: return "bad-payload";
+  }
+  return "unknown";
+}
+
+bool frame_defect_is_fatal(FrameDefect defect) {
+  switch (defect) {
+    case FrameDefect::kBadMagic:
+    case FrameDefect::kBadVersion:
+    case FrameDefect::kBadLength:
+      return true;  // the announced length cannot be trusted
+    case FrameDefect::kBadType:
+    case FrameDefect::kBadCrc:
+    case FrameDefect::kBadPayload:
+      return false;  // the frame boundary is known; skip and continue
+  }
+  return true;
+}
+
+const char* wire_status_name(WireStatus status) {
+  switch (status) {
+    case WireStatus::kAccept: return "accept";
+    case WireStatus::kReject: return "reject";
+    case WireStatus::kUnknownDevice: return "unknown-device";
+    case WireStatus::kCorruptRecord: return "corrupt-record";
+    case WireStatus::kMalformedRequest: return "malformed-request";
+    case WireStatus::kBadFrame: return "bad-frame";
+    case WireStatus::kOverloaded: return "overloaded";
+  }
+  return "unknown";
+}
+
+WireStatus wire_status(service::AuthStatus status) {
+  // The five verification statuses map onto the same wire values.
+  return static_cast<WireStatus>(static_cast<std::uint8_t>(status));
+}
+
+WireResponse wire_response(const service::AuthVerdict& verdict) {
+  WireResponse response;
+  response.status = wire_status(verdict.status);
+  response.distance = verdict.distance;
+  response.response_bits = static_cast<std::uint32_t>(verdict.response_bits);
+  return response;
+}
+
+service::AuthVerdict auth_verdict(const WireResponse& response) {
+  ROPUF_REQUIRE(response.status <= WireStatus::kMalformedRequest,
+                std::string("wire status '") + wire_status_name(response.status) +
+                    "' has no verification verdict");
+  service::AuthVerdict verdict;
+  verdict.status = static_cast<service::AuthStatus>(response.status);
+  verdict.distance = static_cast<std::size_t>(response.distance);
+  verdict.response_bits = response.response_bits;
+  return verdict;
+}
+
+// -------------------------------------------------------------------- encode
+
+std::string encode_request_frame(const service::AuthRequest& request) {
+  registry::ByteWriter payload;
+  payload.u64(request.device_id);
+  payload.u64(request.challenge);
+  payload.u32(static_cast<std::uint32_t>(request.response.size()));
+  std::uint8_t byte = 0;
+  for (std::size_t i = 0; i < request.response.size(); ++i) {
+    if (request.response.get(i)) byte |= static_cast<std::uint8_t>(1u << (i % 8));
+    if (i % 8 == 7) {
+      payload.u8(byte);
+      byte = 0;
+    }
+  }
+  if (request.response.size() % 8 != 0) payload.u8(byte);
+  return finish_frame(FrameType::kAuthRequest, payload.take());
+}
+
+std::string encode_response_frame(const WireResponse& response) {
+  registry::ByteWriter payload;
+  payload.u8(static_cast<std::uint8_t>(response.status));
+  payload.u64(response.distance);
+  payload.u32(response.response_bits);
+  return finish_frame(FrameType::kAuthResponse, payload.take());
+}
+
+// -------------------------------------------------------------------- decode
+
+ExtractResult try_extract_frame(std::string_view buffer) {
+  ExtractResult result;
+  if (buffer.size() < kFrameHeaderBytes) return result;  // kNeedMore
+
+  registry::ByteReader header(buffer.substr(0, kFrameHeaderBytes), kNeverOverruns);
+  const std::uint32_t magic = header.u32();
+  const std::uint16_t version = header.u16();
+  const std::uint16_t type = header.u16();
+  const std::uint32_t length = header.u32();
+  const std::uint32_t checksum = header.u32();
+
+  const auto defect = [&result](FrameDefect d, std::size_t consume) {
+    result.status = ExtractResult::Status::kDefect;
+    result.defect = d;
+    result.consume = consume;
+    return result;
+  };
+  // Fatal checks first: each can be decided from the header alone, and a
+  // failure means the announced length (hence the next frame boundary)
+  // cannot be trusted.
+  if (magic != kFrameMagic) return defect(FrameDefect::kBadMagic, 0);
+  if (version != kWireVersion) return defect(FrameDefect::kBadVersion, 0);
+  if (length > kMaxPayloadBytes) return defect(FrameDefect::kBadLength, 0);
+
+  const std::size_t frame_bytes = kFrameHeaderBytes + length;
+  if (buffer.size() < frame_bytes) return result;  // kNeedMore
+  const std::string_view payload = buffer.substr(kFrameHeaderBytes, length);
+
+  // Recoverable checks: the frame boundary is known, so the consumer can
+  // skip exactly this frame and stay in sync.
+  if (type != static_cast<std::uint16_t>(FrameType::kAuthRequest) &&
+      type != static_cast<std::uint16_t>(FrameType::kAuthResponse)) {
+    return defect(FrameDefect::kBadType, frame_bytes);
+  }
+  if (registry::crc32(payload) != checksum) {
+    return defect(FrameDefect::kBadCrc, frame_bytes);
+  }
+
+  result.status = ExtractResult::Status::kFrame;
+  result.frame.type = static_cast<FrameType>(type);
+  result.frame.payload = payload;
+  result.frame.frame_bytes = frame_bytes;
+  return result;
+}
+
+service::AuthRequest decode_request_payload(std::string_view payload) {
+  if (payload.size() < 20) {
+    throw WireError(FrameDefect::kBadPayload,
+                    "request payload of " + std::to_string(payload.size()) +
+                        " bytes is shorter than its fixed fields");
+  }
+  registry::ByteReader reader(payload.substr(0, 20), kNeverOverruns);
+  service::AuthRequest request;
+  request.device_id = reader.u64();
+  request.challenge = reader.u64();
+  const std::uint32_t bits = reader.u32();
+  if (payload.size() != request_payload_bytes(bits)) {
+    throw WireError(FrameDefect::kBadPayload,
+                    "request announces " + std::to_string(bits) +
+                        " response bits but carries " +
+                        std::to_string(payload.size()) + " payload bytes");
+  }
+  BitVec response(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    const auto byte = static_cast<std::uint8_t>(payload[20 + i / 8]);
+    response.set(i, (byte >> (i % 8)) & 1u);
+  }
+  // Canonical encoding: padding bits past the announced count must be zero,
+  // so every decoded request has exactly one byte representation.
+  if (bits % 8 != 0) {
+    const auto last = static_cast<std::uint8_t>(payload[payload.size() - 1]);
+    if ((last >> (bits % 8)) != 0) {
+      throw WireError(FrameDefect::kBadPayload,
+                      "nonzero padding bits past the announced bit count");
+    }
+  }
+  request.response = std::move(response);
+  return request;
+}
+
+WireResponse decode_response_payload(std::string_view payload) {
+  if (payload.size() != kResponsePayloadBytes) {
+    throw WireError(FrameDefect::kBadPayload,
+                    "response payload must be " +
+                        std::to_string(kResponsePayloadBytes) + " bytes, got " +
+                        std::to_string(payload.size()));
+  }
+  registry::ByteReader reader(payload, kNeverOverruns);
+  const std::uint8_t status = reader.u8();
+  if (status > static_cast<std::uint8_t>(WireStatus::kOverloaded)) {
+    throw WireError(FrameDefect::kBadPayload,
+                    "unknown wire status " + std::to_string(status));
+  }
+  WireResponse response;
+  response.status = static_cast<WireStatus>(status);
+  response.distance = reader.u64();
+  response.response_bits = reader.u32();
+  return response;
+}
+
+}  // namespace ropuf::net

@@ -1,0 +1,168 @@
+// Framed wire protocol for online authentication (see docs/serving.md).
+//
+// The serving front end (net/server.h) and its clients speak a
+// length-prefixed, CRC32-framed, little-endian byte protocol built from the
+// same primitives as the enrollment registry file format
+// (registry/format.h): ByteWriter/ByteReader packing and the IEEE-802.3
+// crc32. A frame is a fixed 16-byte header followed by a checksummed
+// payload:
+//
+//   offset  size  field
+//   ------  ----  -------------------------------------------
+//    0       4    magic "RPAF" (kFrameMagic, little-endian u32)
+//    4       2    u16 protocol version (kWireVersion)
+//    6       2    u16 frame type (FrameType)
+//    8       4    u32 payload byte count (<= kMaxPayloadBytes)
+//   12       4    u32 payload CRC32 (IEEE, over the payload bytes)
+//   16       n    payload
+//
+// Every way a frame can be malformed maps to exactly one FrameDefect —
+// the same one-check-one-defect discipline as the registry's Defect
+// taxonomy — and the extraction API reports whether stream framing
+// survived the defect (the consumer can skip the frame and keep the
+// connection) or not (the only safe answer is an error frame and a clean
+// close). Decoding never crashes and never reads past the buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+#include "service/auth_service.h"
+
+namespace ropuf::net {
+
+/// Leading frame bytes, "RPAF" read as a little-endian u32.
+inline constexpr std::uint32_t kFrameMagic = 0x4641'5052u;
+/// Protocol revision this library speaks.
+inline constexpr std::uint16_t kWireVersion = 1;
+/// Fixed header byte count.
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Upper bound on a frame payload; a larger announced length is kBadLength
+/// (an attacker must not be able to make the server buffer gigabytes).
+inline constexpr std::size_t kMaxPayloadBytes = 1u << 20;
+
+enum class FrameType : std::uint16_t {
+  kAuthRequest = 1,   ///< client -> server: {device_id, challenge, response}
+  kAuthResponse = 2,  ///< server -> client: {status, distance, response_bits}
+};
+
+/// The structural defect a frame decode can detect. Each maps to exactly
+/// one check, so the corruption tests can assert the *right* check fired.
+enum class FrameDefect {
+  kBadMagic,    ///< leading bytes are not "RPAF" — stream framing lost
+  kBadVersion,  ///< protocol version this endpoint does not speak
+  kBadType,     ///< unknown frame type (framing intact: length is trusted)
+  kBadLength,   ///< announced payload length exceeds kMaxPayloadBytes
+  kBadCrc,      ///< payload fails its checksum (framing intact)
+  kBadPayload,  ///< payload decodes inconsistently for its frame type
+};
+
+/// Stable human-readable name for a defect (error messages and tests).
+const char* frame_defect_name(FrameDefect defect);
+
+/// True when the defect destroys stream framing: the announced length can
+/// no longer be trusted, so the connection must close after the error
+/// response. Recoverable defects leave the frame boundary known.
+bool frame_defect_is_fatal(FrameDefect defect);
+
+/// Frame decode failure tagged with the defect that was detected.
+class WireError : public Error {
+ public:
+  WireError(FrameDefect defect, const std::string& what)
+      : Error(std::string("wire format error [") + frame_defect_name(defect) +
+              "]: " + what),
+        defect_(defect) {}
+
+  FrameDefect defect() const { return defect_; }
+
+ private:
+  FrameDefect defect_;
+};
+
+/// Verdict status on the wire: the five AuthService statuses plus the two
+/// server-side degradations a request can meet before verification.
+enum class WireStatus : std::uint8_t {
+  kAccept = 0,
+  kReject = 1,
+  kUnknownDevice = 2,
+  kCorruptRecord = 3,
+  kMalformedRequest = 4,
+  kBadFrame = 5,    ///< the request frame failed to decode (FrameDefect)
+  kOverloaded = 6,  ///< pending-request queue full — retry later
+};
+
+const char* wire_status_name(WireStatus status);
+
+/// Lossless mapping for the five verification statuses.
+WireStatus wire_status(service::AuthStatus status);
+
+/// One authentication answer as it travels the wire.
+struct WireResponse {
+  WireStatus status = WireStatus::kReject;
+  std::uint64_t distance = 0;
+  std::uint32_t response_bits = 0;
+
+  bool accepted() const { return status == WireStatus::kAccept; }
+};
+
+WireResponse wire_response(const service::AuthVerdict& verdict);
+
+/// wire_response for verification verdicts, inverted: only valid for
+/// statuses <= kMalformedRequest (throws ropuf::Error otherwise, since
+/// kBadFrame/kOverloaded have no AuthVerdict equivalent).
+service::AuthVerdict auth_verdict(const WireResponse& response);
+
+// ------------------------------------------------------------------ encode
+
+/// Complete request frame (header + payload) for one authentication
+/// attempt. Payload: u64 device_id, u64 challenge, u32 bit count, then
+/// ceil(bits/8) bytes of response bits packed LSB-first.
+std::string encode_request_frame(const service::AuthRequest& request);
+
+/// Complete response frame. Payload: u8 status, u64 distance,
+/// u32 response_bits.
+std::string encode_response_frame(const WireResponse& response);
+
+// ------------------------------------------------------------------ decode
+
+/// A complete frame located inside a byte stream.
+struct FrameView {
+  FrameType type = FrameType::kAuthRequest;
+  std::string_view payload;      ///< CRC-verified payload bytes
+  std::size_t frame_bytes = 0;   ///< header + payload: bytes to consume
+};
+
+/// Outcome of one frame-extraction attempt over buffered stream bytes.
+struct ExtractResult {
+  enum class Status {
+    kNeedMore,  ///< the buffer holds no complete frame yet — read more
+    kFrame,     ///< `frame` is valid; consume frame.frame_bytes
+    kDefect,    ///< `defect` fired; consume `consume` bytes (0 = fatal)
+  };
+  Status status = Status::kNeedMore;
+  FrameView frame;
+  FrameDefect defect = FrameDefect::kBadMagic;
+  /// For recoverable defects: the full frame size to drop so the stream
+  /// stays in sync. 0 when the defect is fatal (framing lost).
+  std::size_t consume = 0;
+};
+
+/// Examines the front of `buffer` for one frame. Never throws and never
+/// reads past the buffer: header fields are validated as soon as the 16
+/// header bytes are present, the payload CRC once the payload arrived.
+ExtractResult try_extract_frame(std::string_view buffer);
+
+/// Decodes a kAuthRequest payload. Throws WireError(kBadPayload) when the
+/// payload is internally inconsistent (wrong size for its bit count,
+/// nonzero padding bits).
+service::AuthRequest decode_request_payload(std::string_view payload);
+
+/// Decodes a kAuthResponse payload. Throws WireError(kBadPayload) on a
+/// wrong-size payload or an out-of-range status byte.
+WireResponse decode_response_payload(std::string_view payload);
+
+}  // namespace ropuf::net

@@ -61,8 +61,12 @@ EnrollmentCache::Entry EnrollmentCache::get(std::uint64_t device_id) {
   static obs::Counter& hits = obs::Registry::instance().counter("service.cache_hits");
   static obs::Counter& misses =
       obs::Registry::instance().counter("service.cache_misses");
+  static obs::Counter& bypass =
+      obs::Registry::instance().counter("service.cache_bypass");
   if (shard_count_ == 0) {
-    misses.add(1);
+    // A disabled cache is not a miss: hit/miss rates should describe an
+    // *enabled* cache, so cache-off runs count their own bypass series.
+    bypass.add(1);
     return nullptr;
   }
   Shard& shard = shards_[shard_index(device_id)];
@@ -134,31 +138,45 @@ AuthVerdict AuthService::verify(const AuthRequest& request) const {
   requests.add(1);
   const obs::ScopedLatency verify_timer(verify_us);
 
-  EnrollmentCache::Entry enrollment = cache_.get(request.device_id);
-  if (enrollment == nullptr) {
-    std::optional<puf::ConfigurableEnrollment> found;
+  EnrollmentCache::Entry looked_up = cache_.get(request.device_id);
+  if (looked_up == nullptr) {
+    // Resolve against the registry once and cache the *outcome* — including
+    // the negative ones, so repeat corrupt/unknown traffic never re-walks
+    // the registry or pays a thrown FormatError per request.
+    auto resolved = std::make_shared<CachedLookup>();
     try {
-      found = registry_->find(request.device_id);
+      std::optional<puf::ConfigurableEnrollment> found =
+          registry_->find(request.device_id);
+      if (found.has_value()) {
+        resolved->enrollment = std::move(*found);
+      } else {
+        resolved->outcome = CachedLookup::Outcome::kUnknownDevice;
+      }
     } catch (const registry::FormatError&) {
-      corrupt.add(1);
-      return AuthVerdict{AuthStatus::kCorruptRecord, 0, 0};
+      resolved->outcome = CachedLookup::Outcome::kCorruptRecord;
     }
-    if (!found.has_value()) {
-      unknown.add(1);
-      return AuthVerdict{AuthStatus::kUnknownDevice, 0, 0};
-    }
-    enrollment =
-        std::make_shared<const puf::ConfigurableEnrollment>(std::move(*found));
-    cache_.put(request.device_id, enrollment);
+    looked_up = std::move(resolved);
+    cache_.put(request.device_id, looked_up);
   }
+  switch (looked_up->outcome) {
+    case CachedLookup::Outcome::kUnknownDevice:
+      unknown.add(1);
+      return AuthVerdict{AuthStatus::kUnknownDevice, 0, options_.response_bits};
+    case CachedLookup::Outcome::kCorruptRecord:
+      corrupt.add(1);
+      return AuthVerdict{AuthStatus::kCorruptRecord, 0, options_.response_bits};
+    case CachedLookup::Outcome::kEnrolled:
+      break;
+  }
+  const puf::ConfigurableEnrollment& enrollment = *looked_up->enrollment;
 
   const std::size_t bits =
-      std::min(options_.response_bits, enrollment->layout.pair_count);
+      std::min(options_.response_bits, enrollment.layout.pair_count);
   if (request.response.size() != bits) {
     malformed.add(1);
     return AuthVerdict{AuthStatus::kMalformedRequest, 0, bits};
   }
-  const puf::CrpOracle oracle(enrollment.get(), bits);
+  const puf::CrpOracle oracle(&enrollment, bits);
   const BitVec reference = oracle.reference(request.challenge);
   const std::size_t distance = reference.hamming_distance(request.response);
   if (distance <= options_.max_distance) {

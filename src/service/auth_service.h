@@ -13,10 +13,13 @@
 //    (parallel_for_chunked); verdict i depends only on request i and the
 //    immutable registry, so a batch's verdicts are bit-identical at any
 //    thread budget.
-//  * Record decoding is the per-request cost that matters, so deserialized
-//    enrollments sit in a capacity-bounded sharded LRU cache with hit/miss
-//    counters in obs. The cache is a pure performance layer: verdicts never
-//    depend on its state.
+//  * Record decoding is the per-request cost that matters, so *lookup
+//    outcomes* sit in a capacity-bounded sharded LRU cache with hit/miss
+//    counters in obs. Negative outcomes (unknown device, corrupt record)
+//    are cached too: repeat traffic for a hostile or rotten id costs one
+//    shard lookup, never a registry walk or a thrown decode error. The
+//    cache is a pure performance layer over the immutable registry:
+//    verdicts never depend on its state.
 //  * Graceful degradation, not exceptions: an unenrolled device, a record
 //    that fails to decode (registry Defect::kBadRecord) and a degraded or
 //    malformed request each map to their own verdict status, so one bad
@@ -28,6 +31,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -62,7 +66,11 @@ const char* auth_status_name(AuthStatus status);
 struct AuthVerdict {
   AuthStatus status = AuthStatus::kReject;
   std::size_t distance = 0;       ///< Hamming distance (accept/reject only)
-  std::size_t response_bits = 0;  ///< bits the verifier compared / expected
+  /// Bits the verifier expected: the enrollment-clamped count whenever the
+  /// record decoded (accept/reject/malformed), and the configured
+  /// response_bits when it could not (unknown device, corrupt record) — so
+  /// every degradation verdict reports a consistent, nonzero expectation.
+  std::size_t response_bits = 0;
 
   bool accepted() const { return status == AuthStatus::kAccept; }
 };
@@ -80,7 +88,20 @@ struct AuthServiceOptions {
   ThreadBudget threads;
 };
 
-/// Sharded LRU of deserialized enrollments, keyed by device id. Lookups and
+/// One resolved registry lookup, cached positively or negatively. The
+/// enrollment is engaged only for kEnrolled; the negative outcomes carry
+/// the *reason* so a cache hit reproduces the exact degradation verdict.
+struct CachedLookup {
+  enum class Outcome {
+    kEnrolled,       ///< the device's record decoded; `enrollment` is engaged
+    kUnknownDevice,  ///< the id is not in the registry
+    kCorruptRecord,  ///< the record raised kBadRecord on decode
+  };
+  Outcome outcome = Outcome::kEnrolled;
+  std::optional<puf::ConfigurableEnrollment> enrollment;
+};
+
+/// Sharded LRU of lookup outcomes, keyed by device id. Lookups and
 /// inserts lock only one shard, so concurrent batch workers rarely collide.
 /// The total entry count never exceeds the configured capacity: a capacity
 /// that does not divide evenly by the shard count spreads its remainder over
@@ -89,14 +110,16 @@ struct AuthServiceOptions {
 /// from its hot shard while other shards have room (the SplitMix64 shard hash
 /// makes sustained skew unlikely in practice). Hit, miss and eviction
 /// counters land in obs ("service.cache_*"); under a parallel batch their
-/// values are scheduling-dependent (see docs/observability.md).
+/// values are scheduling-dependent (see docs/observability.md). A disabled
+/// cache (capacity 0) counts "service.cache_bypass" instead of misses, so
+/// cache-off A/B runs do not pollute hit-rate dashboards.
 class EnrollmentCache {
  public:
-  using Entry = std::shared_ptr<const puf::ConfigurableEnrollment>;
+  using Entry = std::shared_ptr<const CachedLookup>;
 
   explicit EnrollmentCache(std::size_t capacity);
 
-  /// The cached enrollment, refreshed to most-recently-used; nullptr on miss.
+  /// The cached lookup, refreshed to most-recently-used; nullptr on miss.
   Entry get(std::uint64_t device_id);
 
   /// Inserts (or refreshes) an entry, evicting the shard's least recently

@@ -1,0 +1,278 @@
+// Wire-format tests: encode/decode round trips plus a corruption suite in
+// the registry format_test style — one tamper per frame field, asserting
+// the *matching* FrameDefect fires and that the fatal/recoverable
+// classification (close vs skip) is what docs/serving.md promises.
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/bitvec.h"
+#include "service/auth_service.h"
+
+namespace {
+
+using namespace ropuf;
+
+// Header field offsets (see net/wire.h frame layout).
+constexpr std::size_t kMagicOffset = 0;
+constexpr std::size_t kVersionOffset = 4;
+constexpr std::size_t kTypeOffset = 6;
+constexpr std::size_t kLengthOffset = 8;
+
+service::AuthRequest sample_request(std::size_t bits = 13) {
+  service::AuthRequest request;
+  request.device_id = 0x1122334455667788ull;
+  request.challenge = 0xdeadbeefcafef00dull;
+  request.response = BitVec(bits);
+  for (std::size_t i = 0; i < bits; ++i) request.response.set(i, i % 3 == 0);
+  return request;
+}
+
+std::string valid_frame() { return net::encode_request_frame(sample_request()); }
+
+net::ExtractResult expect_defect(const std::string& frame, net::FrameDefect want) {
+  const net::ExtractResult result = net::try_extract_frame(frame);
+  EXPECT_EQ(result.status, net::ExtractResult::Status::kDefect);
+  EXPECT_EQ(result.defect, want) << net::frame_defect_name(result.defect);
+  return result;
+}
+
+TEST(Wire, RequestRoundTripPreservesEveryField) {
+  const service::AuthRequest request = sample_request(13);
+  const std::string frame = net::encode_request_frame(request);
+
+  const net::ExtractResult result = net::try_extract_frame(frame);
+  ASSERT_EQ(result.status, net::ExtractResult::Status::kFrame);
+  EXPECT_EQ(result.frame.type, net::FrameType::kAuthRequest);
+  EXPECT_EQ(result.frame.frame_bytes, frame.size());
+
+  const service::AuthRequest decoded = net::decode_request_payload(result.frame.payload);
+  EXPECT_EQ(decoded.device_id, request.device_id);
+  EXPECT_EQ(decoded.challenge, request.challenge);
+  ASSERT_EQ(decoded.response.size(), request.response.size());
+  for (std::size_t i = 0; i < request.response.size(); ++i) {
+    EXPECT_EQ(decoded.response.get(i), request.response.get(i)) << "bit " << i;
+  }
+}
+
+TEST(Wire, ResponseRoundTripCoversEveryStatus) {
+  for (std::uint8_t s = 0; s <= static_cast<std::uint8_t>(net::WireStatus::kOverloaded);
+       ++s) {
+    net::WireResponse response;
+    response.status = static_cast<net::WireStatus>(s);
+    response.distance = 7 + s;
+    response.response_bits = 16;
+    const std::string frame = net::encode_response_frame(response);
+    const net::ExtractResult result = net::try_extract_frame(frame);
+    ASSERT_EQ(result.status, net::ExtractResult::Status::kFrame);
+    ASSERT_EQ(result.frame.type, net::FrameType::kAuthResponse);
+    const net::WireResponse decoded = net::decode_response_payload(result.frame.payload);
+    EXPECT_EQ(decoded.status, response.status);
+    EXPECT_EQ(decoded.distance, response.distance);
+    EXPECT_EQ(decoded.response_bits, response.response_bits);
+  }
+}
+
+TEST(Wire, VerdictMappingIsLosslessAndRejectsDegradedStatuses) {
+  service::AuthVerdict verdict;
+  verdict.status = service::AuthStatus::kReject;
+  verdict.distance = 5;
+  verdict.response_bits = 16;
+  const service::AuthVerdict back = net::auth_verdict(net::wire_response(verdict));
+  EXPECT_EQ(back.status, verdict.status);
+  EXPECT_EQ(back.distance, verdict.distance);
+  EXPECT_EQ(back.response_bits, verdict.response_bits);
+
+  for (const net::WireStatus degraded :
+       {net::WireStatus::kBadFrame, net::WireStatus::kOverloaded}) {
+    EXPECT_THROW(net::auth_verdict(net::WireResponse{degraded, 0, 0}), Error);
+  }
+}
+
+// ------------------------------------------------------- incomplete frames
+
+TEST(Wire, PartialHeaderNeedsMore) {
+  const std::string frame = valid_frame();
+  for (std::size_t n = 0; n < net::kFrameHeaderBytes; ++n) {
+    const net::ExtractResult result = net::try_extract_frame(frame.substr(0, n));
+    EXPECT_EQ(result.status, net::ExtractResult::Status::kNeedMore) << "bytes " << n;
+  }
+}
+
+TEST(Wire, TruncatedBodyNeedsMore) {
+  const std::string frame = valid_frame();
+  for (std::size_t n = net::kFrameHeaderBytes; n < frame.size(); ++n) {
+    const net::ExtractResult result = net::try_extract_frame(frame.substr(0, n));
+    EXPECT_EQ(result.status, net::ExtractResult::Status::kNeedMore) << "bytes " << n;
+  }
+}
+
+// ------------------------------------------ one tamper per header field
+
+TEST(WireDefect, BadMagicIsFatal) {
+  std::string frame = valid_frame();
+  frame[kMagicOffset] ^= 0x01;
+  const net::ExtractResult result = expect_defect(frame, net::FrameDefect::kBadMagic);
+  EXPECT_EQ(result.consume, 0u);
+  EXPECT_TRUE(net::frame_defect_is_fatal(result.defect));
+}
+
+TEST(WireDefect, BadVersionIsFatal) {
+  std::string frame = valid_frame();
+  frame[kVersionOffset] = static_cast<char>(0x7f);
+  const net::ExtractResult result = expect_defect(frame, net::FrameDefect::kBadVersion);
+  EXPECT_EQ(result.consume, 0u);
+  EXPECT_TRUE(net::frame_defect_is_fatal(result.defect));
+}
+
+TEST(WireDefect, BadTypeIsRecoverableWithKnownBoundary) {
+  std::string frame = valid_frame();
+  frame[kTypeOffset] = static_cast<char>(0x33);
+  const net::ExtractResult result = expect_defect(frame, net::FrameDefect::kBadType);
+  EXPECT_EQ(result.consume, frame.size());
+  EXPECT_FALSE(net::frame_defect_is_fatal(result.defect));
+}
+
+TEST(WireDefect, OversizedLengthIsFatalBeforeThePayloadArrives) {
+  std::string frame = valid_frame();
+  // Announce kMaxPayloadBytes + 1: detectable from the header alone, so the
+  // server must not wait for (or buffer) a gigantic body.
+  const std::uint32_t oversized = static_cast<std::uint32_t>(net::kMaxPayloadBytes) + 1;
+  for (std::size_t i = 0; i < 4; ++i) {
+    frame[kLengthOffset + i] = static_cast<char>((oversized >> (8 * i)) & 0xff);
+  }
+  const std::string header_only = frame.substr(0, net::kFrameHeaderBytes);
+  const net::ExtractResult result =
+      expect_defect(header_only, net::FrameDefect::kBadLength);
+  EXPECT_EQ(result.consume, 0u);
+  EXPECT_TRUE(net::frame_defect_is_fatal(result.defect));
+}
+
+TEST(WireDefect, CorruptPayloadFailsItsCrc) {
+  std::string frame = valid_frame();
+  frame[net::kFrameHeaderBytes + 3] ^= 0x40;
+  const net::ExtractResult result = expect_defect(frame, net::FrameDefect::kBadCrc);
+  EXPECT_EQ(result.consume, frame.size());
+  EXPECT_FALSE(net::frame_defect_is_fatal(result.defect));
+}
+
+TEST(WireDefect, EveryDefectHasAStableName) {
+  for (const net::FrameDefect defect :
+       {net::FrameDefect::kBadMagic, net::FrameDefect::kBadVersion,
+        net::FrameDefect::kBadType, net::FrameDefect::kBadLength,
+        net::FrameDefect::kBadCrc, net::FrameDefect::kBadPayload}) {
+    EXPECT_STRNE(net::frame_defect_name(defect), "unknown");
+  }
+}
+
+// ------------------------------------------------------- payload tampering
+
+TEST(WireDefect, RequestPayloadShorterThanFixedFieldsThrows) {
+  try {
+    net::decode_request_payload(std::string(19, '\0'));
+    FAIL() << "decode accepted a short payload";
+  } catch (const net::WireError& e) {
+    EXPECT_EQ(e.defect(), net::FrameDefect::kBadPayload);
+  }
+}
+
+TEST(WireDefect, RequestPayloadBitCountMismatchThrows) {
+  // Announce 64 response bits but carry the 13-bit body.
+  const std::string frame = valid_frame();
+  std::string payload(frame.substr(net::kFrameHeaderBytes));
+  payload[16] = 64;
+  payload[17] = payload[18] = payload[19] = 0;
+  try {
+    net::decode_request_payload(payload);
+    FAIL() << "decode accepted an inconsistent bit count";
+  } catch (const net::WireError& e) {
+    EXPECT_EQ(e.defect(), net::FrameDefect::kBadPayload);
+  }
+}
+
+TEST(WireDefect, NonzeroPaddingBitsThrow) {
+  // 13 bits leave 3 padding bits in the final byte; set one of them.
+  const std::string frame = valid_frame();
+  std::string payload(frame.substr(net::kFrameHeaderBytes));
+  payload[payload.size() - 1] = static_cast<char>(
+      static_cast<unsigned char>(payload[payload.size() - 1]) | 0x80);
+  try {
+    net::decode_request_payload(payload);
+    FAIL() << "decode accepted noncanonical padding";
+  } catch (const net::WireError& e) {
+    EXPECT_EQ(e.defect(), net::FrameDefect::kBadPayload);
+  }
+}
+
+TEST(WireDefect, ResponsePayloadWrongSizeOrUnknownStatusThrows) {
+  EXPECT_THROW(net::decode_response_payload(std::string(12, '\0')), net::WireError);
+  std::string payload(13, '\0');
+  payload[0] = 7;  // one past kOverloaded
+  EXPECT_THROW(net::decode_response_payload(payload), net::WireError);
+}
+
+// ---------------------------------------------------------------- streams
+
+TEST(Wire, PipelinedFramesExtractInOrder) {
+  const service::AuthRequest first = sample_request(8);
+  service::AuthRequest second = sample_request(16);
+  second.device_id = 2;
+  std::string stream =
+      net::encode_request_frame(first) + net::encode_request_frame(second);
+
+  net::ExtractResult result = net::try_extract_frame(stream);
+  ASSERT_EQ(result.status, net::ExtractResult::Status::kFrame);
+  EXPECT_EQ(net::decode_request_payload(result.frame.payload).device_id,
+            first.device_id);
+  stream.erase(0, result.frame.frame_bytes);
+
+  result = net::try_extract_frame(stream);
+  ASSERT_EQ(result.status, net::ExtractResult::Status::kFrame);
+  EXPECT_EQ(net::decode_request_payload(result.frame.payload).device_id,
+            second.device_id);
+  stream.erase(0, result.frame.frame_bytes);
+  EXPECT_TRUE(stream.empty());
+}
+
+TEST(Wire, RecoverableDefectLeavesTheNextFrameReachable) {
+  std::string bad = valid_frame();
+  bad[net::kFrameHeaderBytes] ^= 0x01;  // payload flip: kBadCrc
+  std::string stream = bad + valid_frame();
+
+  const net::ExtractResult defective = net::try_extract_frame(stream);
+  ASSERT_EQ(defective.status, net::ExtractResult::Status::kDefect);
+  EXPECT_EQ(defective.defect, net::FrameDefect::kBadCrc);
+  stream.erase(0, defective.consume);
+
+  const net::ExtractResult good = net::try_extract_frame(stream);
+  EXPECT_EQ(good.status, net::ExtractResult::Status::kFrame);
+}
+
+TEST(Wire, EnumeratorNamesAreStable) {
+  EXPECT_STREQ(net::wire_status_name(net::WireStatus::kAccept), "accept");
+  EXPECT_STREQ(net::wire_status_name(net::WireStatus::kReject), "reject");
+  EXPECT_STREQ(net::wire_status_name(net::WireStatus::kUnknownDevice), "unknown-device");
+  EXPECT_STREQ(net::wire_status_name(net::WireStatus::kCorruptRecord), "corrupt-record");
+  EXPECT_STREQ(net::wire_status_name(net::WireStatus::kMalformedRequest),
+               "malformed-request");
+  EXPECT_STREQ(net::wire_status_name(net::WireStatus::kBadFrame), "bad-frame");
+  EXPECT_STREQ(net::wire_status_name(net::WireStatus::kOverloaded), "overloaded");
+
+  EXPECT_STREQ(net::frame_defect_name(net::FrameDefect::kBadMagic), "bad-magic");
+  EXPECT_STREQ(net::frame_defect_name(net::FrameDefect::kBadVersion), "bad-version");
+  EXPECT_STREQ(net::frame_defect_name(net::FrameDefect::kBadType), "bad-type");
+  EXPECT_STREQ(net::frame_defect_name(net::FrameDefect::kBadLength), "bad-length");
+  EXPECT_STREQ(net::frame_defect_name(net::FrameDefect::kBadCrc), "bad-crc");
+  EXPECT_STREQ(net::frame_defect_name(net::FrameDefect::kBadPayload), "bad-payload");
+
+  // Out-of-range values (a corrupted byte reinterpreted as an enum) must
+  // still name and classify safely rather than walk off the switch.
+  EXPECT_STREQ(net::wire_status_name(static_cast<net::WireStatus>(200)), "unknown");
+  EXPECT_STREQ(net::frame_defect_name(static_cast<net::FrameDefect>(200)), "unknown");
+  EXPECT_TRUE(net::frame_defect_is_fatal(static_cast<net::FrameDefect>(200)));
+}
+
+}  // namespace

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "puf/crp.h"
 #include "registry/format.h"
 #include "silicon/faults.h"
@@ -82,6 +83,9 @@ TEST(AuthService, DegradesGracefullyInsteadOfThrowing) {
   ASSERT_FALSE(registry.contains(1));
   const AuthVerdict unknown = service.verify(AuthRequest{1, 42, BitVec(8)});
   EXPECT_EQ(unknown.status, AuthStatus::kUnknownDevice);
+  // Degradation verdicts report the bits the verifier expected; with no
+  // record to clamp against, that is the configured response_bits.
+  EXPECT_EQ(unknown.response_bits, 8u);
 
   // Malformed: empty response (a degraded prover) and a wrong-length one.
   EXPECT_EQ(service.verify(AuthRequest{known, 42, BitVec()}).status,
@@ -90,10 +94,10 @@ TEST(AuthService, DegradesGracefullyInsteadOfThrowing) {
             AuthStatus::kMalformedRequest);
 }
 
-TEST(AuthService, CorruptRecordYieldsItsOwnVerdict) {
-  // Build a registry whose first record decodes to kBadRecord (mode byte
-  // tampered, checksums repatched): the service must answer the verdict,
-  // not propagate the FormatError, and other devices must be unaffected.
+/// A 3-device registry whose first record decodes to kBadRecord (mode byte
+/// tampered, checksums repatched). Returns the registry and stores the
+/// corrupt device's id.
+registry::Registry registry_with_corrupt_first(std::uint64_t* corrupt_id) {
   registry::RegistryBuilder builder;
   registry::FleetSpec spec;
   spec.devices = 3;
@@ -118,16 +122,23 @@ TEST(AuthService, CorruptRecordYieldsItsOwnVerdict) {
   };
   const std::uint64_t devices = peek_u64(16);
   const std::size_t records_offset = 68 + devices * 24;
-  const std::uint64_t first_id = peek_u64(68);
+  *corrupt_id = peek_u64(68);
   bytes[records_offset + peek_u64(68 + 8)] = 7;  // mode byte outside {0, 1}
   poke_u32(56, registry::crc32(std::string_view(bytes).substr(68, devices * 24)));
   poke_u32(60, registry::crc32(std::string_view(bytes).substr(records_offset)));
   poke_u32(64, registry::crc32(std::string_view(bytes).substr(0, 64)));
+  return registry::Registry::from_bytes(bytes);
+}
 
-  const auto registry = registry::Registry::from_bytes(bytes);
+TEST(AuthService, CorruptRecordYieldsItsOwnVerdict) {
+  // The service must answer the corrupt-record verdict, not propagate the
+  // FormatError, and other devices must be unaffected.
+  std::uint64_t first_id = 0;
+  const auto registry = registry_with_corrupt_first(&first_id);
   const AuthService service(&registry, small_options());
-  EXPECT_EQ(service.verify(AuthRequest{first_id, 42, BitVec(8)}).status,
-            AuthStatus::kCorruptRecord);
+  const AuthVerdict corrupt = service.verify(AuthRequest{first_id, 42, BitVec(8)});
+  EXPECT_EQ(corrupt.status, AuthStatus::kCorruptRecord);
+  EXPECT_EQ(corrupt.response_bits, 8u);
   const std::uint64_t healthy = registry.device_id_at(1);
   EXPECT_EQ(service
                 .verify(AuthRequest{healthy, 42,
@@ -155,9 +166,10 @@ TEST(EnrollmentCache, BoundsItsSizeAndEvictsLeastRecentlyUsed) {
   EnrollmentCache cache(3);  // < 64: one shard, exact LRU order
   EXPECT_EQ(cache.capacity(), 3u);
   const auto entry = [](std::size_t pairs) {
-    auto e = std::make_shared<puf::ConfigurableEnrollment>();
-    e->layout.pair_count = pairs;
-    return std::shared_ptr<const puf::ConfigurableEnrollment>(std::move(e));
+    auto e = std::make_shared<CachedLookup>();
+    e->enrollment.emplace();
+    e->enrollment->layout.pair_count = pairs;
+    return std::shared_ptr<const CachedLookup>(std::move(e));
   };
   cache.put(1, entry(1));
   cache.put(2, entry(2));
@@ -175,16 +187,30 @@ TEST(EnrollmentCache, BoundsItsSizeAndEvictsLeastRecentlyUsed) {
 TEST(EnrollmentCache, ZeroCapacityDisablesCaching) {
   EnrollmentCache cache(0);
   EXPECT_EQ(cache.capacity(), 0u);
-  cache.put(1, std::make_shared<const puf::ConfigurableEnrollment>());
+  cache.put(1, std::make_shared<const CachedLookup>());
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.get(1), nullptr);
+}
+
+TEST(EnrollmentCache, DisabledCacheCountsBypassesNotMisses) {
+  obs::set_metrics_enabled(true);
+  obs::Registry::instance().reset();
+  EnrollmentCache disabled(0);
+  EXPECT_EQ(disabled.get(7), nullptr);
+  EXPECT_EQ(disabled.get(7), nullptr);
+  EnrollmentCache enabled(4);
+  EXPECT_EQ(enabled.get(7), nullptr);
+  const auto snapshot = obs::Registry::instance().snapshot();
+  obs::set_metrics_enabled(false);
+  EXPECT_EQ(snapshot.counters.at("service.cache_bypass"), 2u);
+  EXPECT_EQ(snapshot.counters.at("service.cache_misses"), 1u);
 }
 
 TEST(EnrollmentCache, ShardedCapacityNeverExceedsTheConfiguredTotal) {
   EnrollmentCache cache(64);  // 8 shards x 8 entries
   EXPECT_EQ(cache.capacity(), 64u);
   for (std::uint64_t id = 1; id <= 1000; ++id) {
-    cache.put(id, std::make_shared<const puf::ConfigurableEnrollment>());
+    cache.put(id, std::make_shared<const CachedLookup>());
   }
   EXPECT_LE(cache.size(), 64u);
   EXPECT_GT(cache.size(), 0u);
@@ -196,7 +222,7 @@ TEST(EnrollmentCache, UnevenCapacityIsHonoredExactly) {
   EnrollmentCache cache(100);
   EXPECT_EQ(cache.capacity(), 100u);
   for (std::uint64_t id = 1; id <= 4000; ++id) {
-    cache.put(id, std::make_shared<const puf::ConfigurableEnrollment>());
+    cache.put(id, std::make_shared<const CachedLookup>());
   }
   // Enough keys that every shard saw more inserts than its bound, so the
   // cache sits exactly at (not merely below) the configured capacity.
@@ -219,6 +245,43 @@ TEST(AuthService, CacheNeverChangesVerdicts) {
   EXPECT_EQ(verdict_digest(with_cache.verify_batch(requests)),
             verdict_digest(without_cache.verify_batch(requests)));
   EXPECT_GT(with_cache.cache_size(), 0u);
+}
+
+TEST(AuthService, NegativeCachingAnswersRepeatCorruptAndUnknownFromTheCache) {
+  // The amplification-vector regression: a repeat request for a corrupt or
+  // unknown device must be answered from the cache — no registry index
+  // walk, no record decode, no thrown/caught FormatError — while the
+  // verdict stays identical to the uncached one.
+  std::uint64_t corrupt_id = 0;
+  const auto registry = registry_with_corrupt_first(&corrupt_id);
+  const AuthService service(&registry, small_options());
+  ASSERT_FALSE(registry.contains(1));
+
+  obs::set_metrics_enabled(true);
+  static obs::Counter& lookups =
+      obs::Registry::instance().counter("registry.lookups");
+  static obs::Counter& decoded =
+      obs::Registry::instance().counter("registry.records_decoded");
+
+  const AuthVerdict first_corrupt =
+      service.verify(AuthRequest{corrupt_id, 42, BitVec(8)});
+  const AuthVerdict first_unknown = service.verify(AuthRequest{1, 42, BitVec(8)});
+  EXPECT_EQ(first_corrupt.status, AuthStatus::kCorruptRecord);
+  EXPECT_EQ(first_unknown.status, AuthStatus::kUnknownDevice);
+
+  const std::uint64_t lookups_before = lookups.value();
+  const std::uint64_t decoded_before = decoded.value();
+  const AuthVerdict second_corrupt =
+      service.verify(AuthRequest{corrupt_id, 43, BitVec(8)});
+  const AuthVerdict second_unknown = service.verify(AuthRequest{1, 43, BitVec(8)});
+  obs::set_metrics_enabled(false);
+
+  EXPECT_EQ(lookups.value(), lookups_before);   // no index walk
+  EXPECT_EQ(decoded.value(), decoded_before);   // no record decode
+  EXPECT_EQ(second_corrupt.status, first_corrupt.status);
+  EXPECT_EQ(second_corrupt.response_bits, first_corrupt.response_bits);
+  EXPECT_EQ(second_unknown.status, first_unknown.status);
+  EXPECT_EQ(second_unknown.response_bits, first_unknown.response_bits);
 }
 
 // -------------------------------------------------------------- determinism

@@ -1,0 +1,188 @@
+// Option handling shared by the command-line front ends (ropuf_cli,
+// ropuf_serve): the strict --key value argument map, the process-wide
+// --threads budget, the --metrics-out/--trace-out observability session,
+// and the registry/fleet minting knobs the serving and batch commands have
+// in common. Header-only so each tool stays a single translation unit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "registry/registry.h"
+#include "service/auth_service.h"
+
+namespace ropuf::cli {
+
+/// Minimal --key value argument map.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      ROPUF_REQUIRE(key.rfind("--", 0) == 0, "expected --option, got '" + key + "'");
+      ROPUF_REQUIRE(i + 1 < argc, "missing value for " + key);
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double number(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    // Require the whole token to parse: "1.2abc" must be rejected, not
+    // silently read as 1.2.
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(it->second, &consumed);
+    } catch (const std::exception&) {
+      ROPUF_REQUIRE(false, "non-numeric value '" + it->second + "' for --" + key);
+    }
+    ROPUF_REQUIRE(consumed == it->second.size(),
+                  "trailing junk in value '" + it->second + "' for --" + key);
+    return value;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Shared --threads handling: a positive integer sets the process-wide
+/// thread budget (overriding ROPUF_THREADS); outputs are bit-identical for
+/// every value. Parsed with the same strict numeric policy as every other
+/// option.
+inline void apply_thread_budget(const Args& args) {
+  if (!args.has("threads")) return;
+  const double threads = args.number("threads", 0.0);
+  ROPUF_REQUIRE(threads >= 1.0 && threads == std::floor(threads),
+                "--threads must be a positive integer");
+  set_thread_budget_override(static_cast<std::size_t>(threads));
+}
+
+/// Shared --metrics-out / --trace-out handling, available on every command.
+/// Paths are validated strictly up front: an empty value or one that looks
+/// like a swallowed option ("--...") is a usage error, and an unwritable
+/// path fails the command *before* any work runs (an empty placeholder is
+/// written eagerly, then overwritten with the real document at the end) —
+/// never silently ignored.
+class ObsSession {
+ public:
+  explicit ObsSession(const Args& args)
+      : metrics_path_(validated_path(args, "metrics-out")),
+        trace_path_(validated_path(args, "trace-out")) {
+    if (!metrics_path_.empty()) {
+      obs::write_text_file(metrics_path_, "");
+      obs::set_metrics_enabled(true);
+    }
+    if (!trace_path_.empty()) {
+      obs::write_text_file(trace_path_, "");
+      obs::set_tracing_enabled(true);
+    }
+  }
+
+  /// Writes the collected documents. Called once, after the command ran to
+  /// completion; a failed command leaves the eager placeholders behind.
+  void finish() const {
+    if (!metrics_path_.empty()) {
+      obs::write_text_file(metrics_path_,
+                           obs::metrics_to_json(obs::Registry::instance().snapshot()));
+    }
+    if (!trace_path_.empty()) {
+      obs::write_text_file(
+          trace_path_, obs::trace_to_chrome_json(obs::TraceRecorder::instance().events()));
+    }
+  }
+
+ private:
+  static std::string validated_path(const Args& args, const std::string& key) {
+    if (!args.has(key)) return {};
+    const std::string path = args.get(key, "");
+    ROPUF_REQUIRE(!path.empty(), "empty path for --" + key);
+    ROPUF_REQUIRE(path.rfind("--", 0) != 0,
+                  "suspicious path '" + path + "' for --" + key +
+                      " (looks like an option; missing value?)");
+    return path;
+  }
+
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
+/// Shared fleet-minting knobs for the registry/service commands. The spec
+/// identifies its fleet exactly, so the same options always reproduce the
+/// same registry bytes regardless of --threads.
+inline registry::FleetSpec fleet_spec_from_args(const Args& args) {
+  registry::FleetSpec spec;
+  spec.devices = static_cast<std::size_t>(args.number("devices", 256));
+  ROPUF_REQUIRE(spec.devices >= 1, "--devices must be >= 1");
+  spec.stages = static_cast<std::size_t>(args.number("stages", 5));
+  spec.pairs = static_cast<std::size_t>(args.number("pairs", 16));
+  const std::string mode_name = args.get("mode", "case2");
+  ROPUF_REQUIRE(mode_name == "case1" || mode_name == "case2", "mode must be case1|case2");
+  spec.mode = mode_name == "case1" ? puf::SelectionCase::kSameConfig
+                                   : puf::SelectionCase::kIndependent;
+  spec.seed = static_cast<std::uint64_t>(args.number("seed", 0x5ca1ab1e));
+  spec.noise_sigma_ps = args.number("noise", 0.5);
+  return spec;
+}
+
+/// Either loads --registry F or mints an in-memory fleet from the minting
+/// knobs, so the registry/service commands work without a file on disk.
+inline registry::Registry registry_from_args(const Args& args) {
+  if (args.has("registry")) {
+    return registry::Registry::load_file(args.get("registry", ""));
+  }
+  return registry::Registry::from_bytes(
+      registry::build_fleet_registry(fleet_spec_from_args(args)));
+}
+
+/// Shared --bits/--max-hd/--cache handling for the verification commands.
+inline service::AuthServiceOptions auth_options_from_args(const Args& args) {
+  service::AuthServiceOptions opts;
+  opts.response_bits = static_cast<std::size_t>(args.number("bits", 16));
+  opts.max_distance = static_cast<std::size_t>(args.number("max-hd", 2));
+  opts.cache_capacity = static_cast<std::size_t>(args.number("cache", 4096));
+  return opts;
+}
+
+/// The verdict tally block shared by auth-batch and auth-client, so the
+/// offline and online paths print byte-comparable stats: per-status counts,
+/// accepted mean Hamming distance, and the order-sensitive verdict digest.
+inline void print_verdict_stats(const std::vector<service::AuthVerdict>& verdicts) {
+  std::size_t counts[5] = {0, 0, 0, 0, 0};
+  std::size_t accepted_distance = 0;
+  for (const service::AuthVerdict& v : verdicts) {
+    counts[static_cast<std::size_t>(v.status)] += 1;
+    if (v.accepted()) accepted_distance += v.distance;
+  }
+  for (std::size_t s = 0; s < 5; ++s) {
+    std::printf("  %-17s %zu\n",
+                service::auth_status_name(static_cast<service::AuthStatus>(s)),
+                counts[s]);
+  }
+  const std::size_t accepted = counts[0];
+  std::printf("accepted mean HD: %.4f\n",
+              accepted == 0 ? 0.0
+                            : static_cast<double>(accepted_distance) /
+                                  static_cast<double>(accepted));
+  std::printf("verdict digest: 0x%016llx\n",
+              static_cast<unsigned long long>(service::verdict_digest(verdicts)));
+}
+
+}  // namespace ropuf::cli

@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "analysis/experiments.h"
+#include "cli_common.h"
+#include "net/client.h"
 #include "analysis/metrics.h"
 #include "common/error.h"
 #include "common/parallel.h"
@@ -48,107 +50,7 @@
 namespace {
 
 using namespace ropuf;
-
-/// Minimal --key value argument map.
-class Args {
- public:
-  Args(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string key = argv[i];
-      ROPUF_REQUIRE(key.rfind("--", 0) == 0, "expected --option, got '" + key + "'");
-      ROPUF_REQUIRE(i + 1 < argc, "missing value for " + key);
-      values_[key.substr(2)] = argv[++i];
-    }
-  }
-
-  bool has(const std::string& key) const { return values_.count(key) > 0; }
-
-  std::string get(const std::string& key, const std::string& fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-
-  double number(const std::string& key, double fallback) const {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    // Require the whole token to parse: "1.2abc" must be rejected, not
-    // silently read as 1.2.
-    std::size_t consumed = 0;
-    double value = 0.0;
-    try {
-      value = std::stod(it->second, &consumed);
-    } catch (const std::exception&) {
-      ROPUF_REQUIRE(false, "non-numeric value '" + it->second + "' for --" + key);
-    }
-    ROPUF_REQUIRE(consumed == it->second.size(),
-                  "trailing junk in value '" + it->second + "' for --" + key);
-    return value;
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-};
-
-/// Shared --threads handling: a positive integer sets the process-wide
-/// thread budget (overriding ROPUF_THREADS); outputs are bit-identical for
-/// every value. Parsed with the same strict numeric policy as every other
-/// option.
-void apply_thread_budget(const Args& args) {
-  if (!args.has("threads")) return;
-  const double threads = args.number("threads", 0.0);
-  ROPUF_REQUIRE(threads >= 1.0 && threads == std::floor(threads),
-                "--threads must be a positive integer");
-  set_thread_budget_override(static_cast<std::size_t>(threads));
-}
-
-/// Shared --metrics-out / --trace-out handling, available on every command.
-/// Paths are validated strictly up front: an empty value or one that looks
-/// like a swallowed option ("--...") is a usage error, and an unwritable
-/// path fails the command *before* any work runs (an empty placeholder is
-/// written eagerly, then overwritten with the real document at the end) —
-/// never silently ignored.
-class ObsSession {
- public:
-  explicit ObsSession(const Args& args)
-      : metrics_path_(validated_path(args, "metrics-out")),
-        trace_path_(validated_path(args, "trace-out")) {
-    if (!metrics_path_.empty()) {
-      obs::write_text_file(metrics_path_, "");
-      obs::set_metrics_enabled(true);
-    }
-    if (!trace_path_.empty()) {
-      obs::write_text_file(trace_path_, "");
-      obs::set_tracing_enabled(true);
-    }
-  }
-
-  /// Writes the collected documents. Called once, after the command ran to
-  /// completion; a failed command leaves the eager placeholders behind.
-  void finish() const {
-    if (!metrics_path_.empty()) {
-      obs::write_text_file(metrics_path_,
-                           obs::metrics_to_json(obs::Registry::instance().snapshot()));
-    }
-    if (!trace_path_.empty()) {
-      obs::write_text_file(
-          trace_path_, obs::trace_to_chrome_json(obs::TraceRecorder::instance().events()));
-    }
-  }
-
- private:
-  static std::string validated_path(const Args& args, const std::string& key) {
-    if (!args.has(key)) return {};
-    const std::string path = args.get(key, "");
-    ROPUF_REQUIRE(!path.empty(), "empty path for --" + key);
-    ROPUF_REQUIRE(path.rfind("--", 0) != 0,
-                  "suspicious path '" + path + "' for --" + key +
-                      " (looks like an option; missing value?)");
-    return path;
-  }
-
-  std::string metrics_path_;
-  std::string trace_path_;
-};
+using namespace ropuf::cli;
 
 sil::Chip chip_for_seed(std::uint64_t seed) {
   sil::Fab fab(sil::ProcessParams{}, seed);
@@ -454,34 +356,6 @@ int cmd_dataset_stats(const Args& args) {
   return 0;
 }
 
-/// Shared fleet-minting knobs for the registry/service commands. The spec
-/// identifies its fleet exactly, so the same options always reproduce the
-/// same registry bytes regardless of --threads.
-registry::FleetSpec fleet_spec_from_args(const Args& args) {
-  registry::FleetSpec spec;
-  spec.devices = static_cast<std::size_t>(args.number("devices", 256));
-  ROPUF_REQUIRE(spec.devices >= 1, "--devices must be >= 1");
-  spec.stages = static_cast<std::size_t>(args.number("stages", 5));
-  spec.pairs = static_cast<std::size_t>(args.number("pairs", 16));
-  const std::string mode_name = args.get("mode", "case2");
-  ROPUF_REQUIRE(mode_name == "case1" || mode_name == "case2", "mode must be case1|case2");
-  spec.mode = mode_name == "case1" ? puf::SelectionCase::kSameConfig
-                                   : puf::SelectionCase::kIndependent;
-  spec.seed = static_cast<std::uint64_t>(args.number("seed", 0x5ca1ab1e));
-  spec.noise_sigma_ps = args.number("noise", 0.5);
-  return spec;
-}
-
-/// Either loads --registry F or mints an in-memory fleet from the minting
-/// knobs, so registry-stats and auth-batch work without a file on disk.
-registry::Registry registry_from_args(const Args& args) {
-  if (args.has("registry")) {
-    return registry::Registry::load_file(args.get("registry", ""));
-  }
-  return registry::Registry::from_bytes(
-      registry::build_fleet_registry(fleet_spec_from_args(args)));
-}
-
 int cmd_registry_build(const Args& args) {
   const std::string out = args.get("out", "fleet.ropufreg");
   if (args.has("enrollments")) {
@@ -532,49 +406,74 @@ int cmd_registry_stats(const Args& args) {
   return 0;
 }
 
-int cmd_auth_batch(const Args& args) {
-  const registry::Registry reg = registry_from_args(args);
-
-  service::AuthServiceOptions opts;
-  opts.response_bits = static_cast<std::size_t>(args.number("bits", 16));
-  opts.max_distance = static_cast<std::size_t>(args.number("max-hd", 2));
-  opts.cache_capacity = static_cast<std::size_t>(args.number("cache", 4096));
-  const service::AuthService svc(&reg, opts);
-
+/// Shared workload knobs for auth-batch and auth-client, so both paths can
+/// synthesize the identical request stream and compare verdict digests.
+service::WorkloadSpec workload_from_args(const Args& args) {
   service::WorkloadSpec workload;
   workload.requests = static_cast<std::size_t>(args.number("requests", 1024));
   workload.flip_rate = args.number("flip-rate", 0.01);
   workload.forge_rate = args.number("forge-rate", 0.05);
   workload.unknown_rate = args.number("unknown-rate", 0.02);
   workload.seed = static_cast<std::uint64_t>(args.number("workload-seed", 0x570ca57));
+  return workload;
+}
+
+int cmd_auth_batch(const Args& args) {
+  const registry::Registry reg = registry_from_args(args);
+  const service::AuthServiceOptions opts = auth_options_from_args(args);
+  const service::AuthService svc(&reg, opts);
+
+  service::WorkloadSpec workload = workload_from_args(args);
   auto injector = fault_injector_from_args(args);
   if (injector.has_value()) workload.injector = &*injector;
 
   const auto requests = service::synthesize_workload(reg, opts, workload);
   const auto verdicts = svc.verify_batch(requests);
 
-  std::size_t counts[5] = {0, 0, 0, 0, 0};
-  std::size_t accepted_distance = 0;
-  for (const service::AuthVerdict& v : verdicts) {
-    counts[static_cast<std::size_t>(v.status)] += 1;
-    if (v.accepted()) accepted_distance += v.distance;
-  }
   std::printf("auth batch: %zu requests against %zu devices (bits=%zu max-hd=%zu)\n",
               verdicts.size(), reg.device_count(), opts.response_bits,
               opts.max_distance);
-  for (std::size_t s = 0; s < 5; ++s) {
-    std::printf("  %-17s %zu\n",
-                service::auth_status_name(static_cast<service::AuthStatus>(s)),
-                counts[s]);
-  }
-  const std::size_t accepted = counts[0];
-  std::printf("accepted mean HD: %.4f\n",
-              accepted == 0 ? 0.0
-                            : static_cast<double>(accepted_distance) /
-                                  static_cast<double>(accepted));
-  std::printf("verdict digest: 0x%016llx\n",
-              static_cast<unsigned long long>(service::verdict_digest(verdicts)));
+  print_verdict_stats(verdicts);
   if (injector.has_value()) print_fault_report(*injector);
+  return 0;
+}
+
+int cmd_auth_client(const Args& args) {
+  ROPUF_REQUIRE(args.has("port"), "--port is required");
+  const registry::Registry reg = registry_from_args(args);
+  const service::AuthServiceOptions opts = auth_options_from_args(args);
+  const auto requests =
+      service::synthesize_workload(reg, opts, workload_from_args(args));
+
+  net::ClientOptions client_opts;
+  client_opts.host = args.get("host", "127.0.0.1");
+  client_opts.port = static_cast<std::uint16_t>(args.number("port", 0));
+  client_opts.window = static_cast<std::size_t>(args.number("window", 128));
+  net::AuthClient client(client_opts);
+  client.connect();
+  const std::vector<net::WireResponse> responses = client.send_batch(requests);
+
+  // Split server-side degradations (kBadFrame/kOverloaded) from real
+  // verdicts; the digest is only comparable to offline auth-batch when the
+  // whole stream was verified.
+  std::vector<service::AuthVerdict> verdicts;
+  verdicts.reserve(responses.size());
+  std::size_t degraded = 0;
+  for (const net::WireResponse& response : responses) {
+    if (response.status > net::WireStatus::kMalformedRequest) {
+      ++degraded;
+      continue;
+    }
+    verdicts.push_back(net::auth_verdict(response));
+  }
+  std::printf("auth client: %zu requests to %s:%u (bits=%zu max-hd=%zu)\n",
+              requests.size(), client_opts.host.c_str(), client_opts.port,
+              opts.response_bits, opts.max_distance);
+  if (degraded > 0) {
+    std::printf("  degraded answers  %zu (bad-frame/overloaded; digest omits them)\n",
+                degraded);
+  }
+  print_verdict_stats(verdicts);
   return 0;
 }
 
@@ -586,6 +485,10 @@ int usage() {
                "          [--bits B] [--max-hd D] [--cache C] [--flip-rate R]\n"
                "          [--forge-rate R] [--unknown-rate R] [--workload-seed S]\n"
                "          [--fault-rate R] [--fault-seed S]\n"
+               "  auth-client --port P [--host A] [--window W]\n"
+               "          [--registry F | --devices N --seed S ...] [--requests N]\n"
+               "          [--bits B] [--max-hd D] [--flip-rate R] [--forge-rate R]\n"
+               "          [--unknown-rate R] [--workload-seed S]\n"
                "  dataset-stats --dataset F [--stages N] [--distill on|off]\n"
                "  enroll  --seed S [--stages N] [--pairs P] [--mode case1|case2] [--out F]\n"
                "          [--fault-rate R] [--fault-seed S]\n"
@@ -612,7 +515,9 @@ int usage() {
                "(monotonic event counts) and `histogram records` (samples recorded per\n"
                "latency histogram). see docs/observability.md.\n"
                "registry-build/registry-stats/auth-batch operate on the binary fleet\n"
-               "registry; see docs/registry.md.\n");
+               "registry; see docs/registry.md. auth-client sends the same synthetic\n"
+               "workload to a running ropuf_serve over the framed wire protocol and\n"
+               "prints the identical stats block; see docs/serving.md.\n");
   return 64;
 }
 
@@ -631,6 +536,7 @@ int main(int argc, char** argv) {
       // serialized by finish().
       const obs::TraceSpan span("cli.command");
       if (command == "auth-batch") rc = cmd_auth_batch(args);
+      else if (command == "auth-client") rc = cmd_auth_client(args);
       else if (command == "dataset-stats") rc = cmd_dataset_stats(args);
       else if (command == "enroll") rc = cmd_enroll(args);
       else if (command == "export-dataset") rc = cmd_export_dataset(args);

@@ -1,0 +1,110 @@
+// ropuf_serve — online authentication server (see docs/serving.md).
+//
+// Puts net::AuthServer in front of a service::AuthService over a registry
+// that is either loaded from disk (--registry F) or minted in memory from
+// the same fleet knobs as ropuf_cli registry-build. Serves the framed wire
+// protocol of net/wire.h until SIGINT/SIGTERM, then drains gracefully and
+// prints a one-line service summary.
+//
+//   ropuf_serve [--registry F | --devices N --seed S ...]
+//               [--bind A] [--port P] [--port-file F]
+//               [--bits B] [--max-hd D] [--cache C] [--threads N]
+//               [--max-connections N] [--max-pending N] [--max-batch N]
+//               [--read-deadline-ms N] [--drain-timeout-ms N]
+//               [--metrics-out F.json] [--trace-out F.json]
+//
+// --port 0 (the default) binds a kernel-assigned ephemeral port;
+// --port-file writes the resolved port as a single decimal line once the
+// server is listening, so scripted callers (the ctest smoke test) can wait
+// for the file instead of parsing stdout.
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+
+#include "cli_common.h"
+#include "common/error.h"
+#include "net/server.h"
+
+namespace {
+
+using namespace ropuf;
+using namespace ropuf::cli;
+
+/// Signal handling: the handler performs exactly one relaxed atomic store
+/// (AuthServer::request_stop), which is async-signal-safe. The pointer is
+/// published before the handlers are installed and never changes afterward.
+net::AuthServer* g_server = nullptr;
+
+void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+int serve(const Args& args) {
+  const registry::Registry reg = registry_from_args(args);
+  const service::AuthService svc(&reg, auth_options_from_args(args));
+
+  net::ServerOptions opts;
+  opts.bind_address = args.get("bind", "127.0.0.1");
+  opts.port = static_cast<std::uint16_t>(args.number("port", 0));
+  opts.max_connections = static_cast<std::size_t>(args.number("max-connections", 256));
+  opts.max_pending = static_cast<std::size_t>(args.number("max-pending", 1024));
+  opts.max_batch = static_cast<std::size_t>(args.number("max-batch", 256));
+  opts.read_deadline_ms = static_cast<int>(args.number("read-deadline-ms", 5000));
+  opts.drain_timeout_ms = static_cast<int>(args.number("drain-timeout-ms", 2000));
+
+  net::AuthServer server(&svc, opts);
+  const std::uint16_t port = server.bind_and_listen();
+
+  g_server = &server;
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  if (args.has("port-file")) {
+    const std::string path = args.get("port-file", "");
+    std::ofstream file(path);
+    ROPUF_REQUIRE(file.good(), "cannot open port file " + path);
+    file << port << "\n";
+    ROPUF_REQUIRE(file.flush().good(), "failed writing port file " + path);
+  }
+  std::printf("serving %zu devices on %s:%u\n", reg.device_count(),
+              opts.bind_address.c_str(), port);
+  std::fflush(stdout);
+
+  server.run();
+  std::printf("drained: %llu requests served\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ropuf_serve [--registry F | --devices N --seed S ...]\n"
+               "                   [--bind A] [--port P] [--port-file F]\n"
+               "                   [--bits B] [--max-hd D] [--cache C] [--threads N]\n"
+               "                   [--max-connections N] [--max-pending N]\n"
+               "                   [--max-batch N] [--read-deadline-ms N]\n"
+               "                   [--drain-timeout-ms N]\n"
+               "                   [--metrics-out F.json] [--trace-out F.json]\n"
+               "serves the framed authentication protocol until SIGINT/SIGTERM,\n"
+               "then drains gracefully; see docs/serving.md.\n");
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args(argc, argv, 1);
+    if (args.has("help")) return usage();
+    apply_thread_budget(args);
+    const ObsSession obs_session(args);
+    const int rc = serve(args);
+    obs_session.finish();
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Server smoke test (wired into ctest; see tools/CMakeLists.txt).
+#
+# Spawns ropuf_serve on an ephemeral loopback port, points ropuf_cli
+# auth-client at it with a pinned synthetic workload, and requires:
+#   1. the online verdict digest matches offline `auth-batch` byte-for-byte
+#      (same registry, same workload, same thread budget), and
+#   2. SIGINT triggers a graceful drain: the server exits 0 on its own.
+#
+# Usage: server_smoke_test.sh <ropuf_serve> <ropuf_cli> <workdir>
+set -euo pipefail
+
+SERVE=$1
+CLI=$2
+WORKDIR=$3
+
+cd "$WORKDIR"
+PORT_FILE=smoke_port.txt
+rm -f "$PORT_FILE"
+
+FLEET="--devices 24 --seed 42"
+WORKLOAD="--requests 256 --bits 16 --max-hd 2 --threads 2"
+
+"$SERVE" $FLEET --port 0 --port-file "$PORT_FILE" --threads 2 &
+SRV=$!
+trap 'kill -9 $SRV 2>/dev/null || true' EXIT
+
+for _ in $(seq 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "FAIL: server never wrote its port file"; exit 1; }
+PORT=$(cat "$PORT_FILE")
+
+ONLINE=$("$CLI" auth-client --port "$PORT" $FLEET $WORKLOAD)
+OFFLINE=$("$CLI" auth-batch $FLEET $WORKLOAD)
+
+ONLINE_DIGEST=$(printf '%s\n' "$ONLINE" | grep 'verdict digest')
+OFFLINE_DIGEST=$(printf '%s\n' "$OFFLINE" | grep 'verdict digest')
+[ -n "$ONLINE_DIGEST" ] || { echo "FAIL: client printed no digest"; exit 1; }
+if [ "$ONLINE_DIGEST" != "$OFFLINE_DIGEST" ]; then
+  echo "FAIL: online/offline digest mismatch"
+  echo "  online:  $ONLINE_DIGEST"
+  echo "  offline: $OFFLINE_DIGEST"
+  exit 1
+fi
+if printf '%s\n' "$ONLINE" | grep -q 'degraded answers'; then
+  echo "FAIL: client saw degraded answers on an idle server"
+  exit 1
+fi
+
+kill -INT "$SRV"
+for _ in $(seq 100); do
+  kill -0 "$SRV" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SRV" 2>/dev/null; then
+  echo "FAIL: server did not drain after SIGINT"
+  exit 1
+fi
+RC=0
+wait "$SRV" || RC=$?
+[ "$RC" -eq 0 ] || { echo "FAIL: server exited rc=$RC"; exit 1; }
+trap - EXIT
+
+echo "PASS: $ONLINE_DIGEST (online == offline, graceful drain)"
