@@ -45,6 +45,7 @@ AuthServer::AuthServer(const service::AuthService* service, ServerOptions option
   ROPUF_REQUIRE(options_.max_batch > 0, "max_batch must be positive");
   ROPUF_REQUIRE(options_.max_pending > 0, "max_pending must be positive");
   ROPUF_REQUIRE(options_.max_connections > 0, "max_connections must be positive");
+  ROPUF_REQUIRE(options_.max_read_per_sweep > 0, "max_read_per_sweep must be positive");
 }
 
 AuthServer::~AuthServer() {
@@ -88,9 +89,23 @@ void AuthServer::accept_ready() {
       obs::Registry::instance().counter("net.connections_accepted");
   static obs::Counter& limit_closes =
       obs::Registry::instance().counter("net.connection_limit_closes");
+  static obs::Counter& backoffs =
+      obs::Registry::instance().counter("net.accept_backoffs");
   while (true) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN/EWOULDBLOCK or transient failure: next sweep
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Descriptor/buffer exhaustion persists across sweeps while the
+        // listener stays readable; without a backoff the loop busy-spins at
+        // full CPU until a descriptor frees up.
+        backoffs.add(1);
+        accept_backoff_until_ = std::chrono::steady_clock::now() +
+                                std::chrono::milliseconds(options_.accept_backoff_ms);
+      }
+      return;  // EAGAIN/EWOULDBLOCK or transient failure: next sweep
+    }
     std::size_t live = 0;
     for (const Connection& connection : connections_) live += connection.alive ? 1 : 0;
     if (live >= options_.max_connections) {
@@ -136,6 +151,18 @@ void AuthServer::enqueue_response(Connection& connection, const WireResponse& re
   }
 }
 
+void AuthServer::enqueue_immediate(std::size_t index, const WireResponse& response) {
+  // Answers the loop produces itself must not jump ahead of verdicts for
+  // requests that arrived earlier on the same connection: the wire carries
+  // no request ids, so per-connection response order IS the attribution.
+  // Pre-resolved entries drain through the same queue as everything else.
+  PendingEntry entry;
+  entry.connection = index;
+  entry.resolved = true;
+  entry.response = response;
+  pending_.push_back(std::move(entry));
+}
+
 void AuthServer::handle_frame(std::size_t index, const FrameView& frame) {
   static obs::Counter& frames_in = obs::Registry::instance().counter("net.frames_in");
   static obs::Counter& bad_frames =
@@ -144,13 +171,12 @@ void AuthServer::handle_frame(std::size_t index, const FrameView& frame) {
       obs::Registry::instance().counter("net.overload_rejections");
   static obs::Counter& enqueued =
       obs::Registry::instance().counter("net.requests_enqueued");
-  Connection& connection = connections_[index];
   frames_in.add(1);
   if (frame.type != FrameType::kAuthRequest) {
     // A response frame arriving at the server is well-formed but
     // nonsensical; answer and keep the (still framed) connection.
     bad_frames.add(1);
-    enqueue_response(connection, WireResponse{WireStatus::kBadFrame, 0, 0});
+    enqueue_immediate(index, WireResponse{WireStatus::kBadFrame, 0, 0});
     return;
   }
   service::AuthRequest request;
@@ -158,15 +184,19 @@ void AuthServer::handle_frame(std::size_t index, const FrameView& frame) {
     request = decode_request_payload(frame.payload);
   } catch (const WireError&) {
     bad_frames.add(1);
-    enqueue_response(connection, WireResponse{WireStatus::kBadFrame, 0, 0});
+    enqueue_immediate(index, WireResponse{WireStatus::kBadFrame, 0, 0});
     return;
   }
-  if (pending_.size() >= options_.max_pending) {
+  if (pending_unresolved_ >= options_.max_pending) {
     overloads.add(1);
-    enqueue_response(connection, WireResponse{WireStatus::kOverloaded, 0, 0});
+    enqueue_immediate(index, WireResponse{WireStatus::kOverloaded, 0, 0});
     return;
   }
-  pending_.push_back(PendingRequest{index, std::move(request)});
+  PendingEntry entry;
+  entry.connection = index;
+  entry.request = std::move(request);
+  pending_.push_back(std::move(entry));
+  ++pending_unresolved_;
   enqueued.add(1);
 }
 
@@ -175,11 +205,14 @@ void AuthServer::service_readable(std::size_t index) {
       obs::Registry::instance().counter("net.frame_errors");
   Connection& connection = connections_[index];
   char chunk[kReadChunkBytes];
-  while (connection.alive && !connection.close_after_flush) {
+  std::size_t read_this_sweep = 0;
+  while (connection.alive && !connection.close_after_flush &&
+         read_this_sweep < options_.max_read_per_sweep) {
     const ssize_t n = ::recv(connection.fd, chunk, sizeof(chunk), 0);
     if (n > 0) {
       connection.in.append(chunk, static_cast<std::size_t>(n));
       connection.last_read = std::chrono::steady_clock::now();
+      read_this_sweep += static_cast<std::size_t>(n);
       continue;
     }
     if (n == 0) {
@@ -198,7 +231,7 @@ void AuthServer::service_readable(std::size_t index) {
     if (extracted.status == ExtractResult::Status::kNeedMore) break;
     if (extracted.status == ExtractResult::Status::kDefect) {
       frame_errors.add(1);
-      enqueue_response(connection, WireResponse{WireStatus::kBadFrame, 0, 0});
+      enqueue_immediate(index, WireResponse{WireStatus::kBadFrame, 0, 0});
       if (frame_defect_is_fatal(extracted.defect)) {
         // Stream framing is lost: the buffered bytes are untrustworthy and
         // the only clean exit is answering, flushing and closing.
@@ -224,22 +257,31 @@ void AuthServer::drain_pending() {
   queue_depth.record(static_cast<double>(pending_.size()));
   const obs::TraceSpan span("net.drain");
   while (!pending_.empty()) {
-    const std::size_t count = std::min(pending_.size(), options_.max_batch);
+    // Take a front run holding at most max_batch unverified requests;
+    // pre-resolved answers (kBadFrame/kOverloaded) ride along so every
+    // response leaves in the order its frame arrived.
+    std::vector<PendingEntry> entries;
     std::vector<service::AuthRequest> requests;
-    std::vector<std::size_t> owners;
-    requests.reserve(count);
-    owners.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      requests.push_back(std::move(pending_.front().request));
-      owners.push_back(pending_.front().connection);
+    while (!pending_.empty() && requests.size() < options_.max_batch) {
+      entries.push_back(std::move(pending_.front()));
       pending_.pop_front();
+      if (!entries.back().resolved) {
+        requests.push_back(std::move(entries.back().request));
+        --pending_unresolved_;
+      }
     }
-    batches.add(1);
-    const obs::ScopedLatency batch_timer(batch_us);
-    const std::vector<service::AuthVerdict> verdicts = service_->verify_batch(requests);
-    requests_served_ += verdicts.size();
-    for (std::size_t i = 0; i < verdicts.size(); ++i) {
-      enqueue_response(connections_[owners[i]], wire_response(verdicts[i]));
+    std::vector<service::AuthVerdict> verdicts;
+    if (!requests.empty()) {
+      batches.add(1);
+      const obs::ScopedLatency batch_timer(batch_us);
+      verdicts = service_->verify_batch(requests);
+      requests_served_ += verdicts.size();
+    }
+    std::size_t next_verdict = 0;
+    for (const PendingEntry& entry : entries) {
+      const WireResponse response =
+          entry.resolved ? entry.response : wire_response(verdicts[next_verdict++]);
+      enqueue_response(connections_[entry.connection], response);
     }
   }
 }
@@ -323,7 +365,8 @@ void AuthServer::run() {
 
     fds.clear();
     fd_owner.clear();
-    if (!draining) {
+    if (!draining &&
+        std::chrono::steady_clock::now() >= accept_backoff_until_) {
       fds.push_back(pollfd{listen_fd_, POLLIN, 0});
       fd_owner.push_back(connections_.size());  // sentinel: the listener
     }

@@ -9,17 +9,30 @@
 // pool, so the verdicts a connection receives are bit-identical to an
 // offline batch over the same requests — at any thread budget.
 //
+// Responses leave each connection in request arrival order, with no request
+// ids on the wire: answer N pairs with request N, always. Degradation
+// answers the loop produces itself (kBadFrame, kOverloaded) therefore do
+// NOT jump the queue — they enter the pending queue as pre-resolved entries
+// and drain in sequence with the verdicts around them, so a pipelining
+// client can never misattribute an answer.
+//
 // Adversary-facing behavior is explicit:
 //  * Every frame decode error maps to an error response or a clean close —
 //    never a crash, never an exception escaping the loop. Recoverable
 //    defects (bad CRC, bad type, bad payload) answer kBadFrame and keep
 //    the connection; fatal ones (bad magic/version/oversized length) answer
 //    kBadFrame and close, because stream framing is lost.
-//  * The pending queue is bounded: past max_pending the server answers
-//    kOverloaded immediately (reject-with-status backpressure) instead of
-//    buffering without bound. Write buffers are bounded too — a peer that
-//    stops reading its responses is closed as a slow consumer.
+//  * The pending queue is bounded: past max_pending unverified requests the
+//    server answers kOverloaded immediately (reject-with-status
+//    backpressure) instead of buffering without bound. Write buffers are
+//    bounded too — a peer that stops reading its responses is closed as a
+//    slow consumer. Reads are bounded *per sweep* (max_read_per_sweep), so
+//    one fast talker can neither grow its input buffer without limit nor
+//    starve the other connections out of the loop.
 //  * Idle connections past the read deadline are closed.
+//  * Descriptor exhaustion (accept() failing with EMFILE/ENFILE) backs the
+//    listener off for accept_backoff_ms instead of busy-spinning on a
+//    level-triggered listener that stays readable.
 //  * request_stop() (async-signal-safe; ropuf_serve wires SIGINT to it)
 //    triggers a graceful drain: stop accepting, answer everything already
 //    read, flush, then return from run().
@@ -53,8 +66,17 @@ struct ServerOptions {
   std::size_t max_batch = 256;
   /// Per-connection write-buffer bound; a slower consumer is closed.
   std::size_t max_write_buffer = 1u << 20;
+  /// Bytes read from one connection per poll sweep. Bounds how far the
+  /// unparsed input buffer can grow between frame extractions and keeps a
+  /// firehose peer from starving the rest of the loop (poll() stays
+  /// level-triggered, so unread bytes re-arm the next sweep).
+  std::size_t max_read_per_sweep = 64u << 10;
   /// Close a connection with no readable traffic for this long.
   int read_deadline_ms = 5000;
+  /// Stop polling the listener for this long after accept() fails with
+  /// descriptor/buffer exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM); the
+  /// listener would otherwise stay readable and spin the loop at full CPU.
+  int accept_backoff_ms = 100;
   /// poll() timeout: bounds stop-request and deadline-check latency.
   int poll_interval_ms = 50;
   /// Hard cap on the graceful drain after request_stop().
@@ -99,18 +121,28 @@ class AuthServer {
     bool close_after_flush = false;  ///< fatal defect: answer, flush, close
     bool alive = true;
   };
-  struct PendingRequest {
+  /// One slot in the per-arrival-order answer sequence. Most entries carry
+  /// a request awaiting verification; entries the loop answered itself
+  /// (kBadFrame, kOverloaded) carry the pre-resolved response instead, so
+  /// drain_pending can emit every answer in the order its frame arrived.
+  struct PendingEntry {
     std::size_t connection;  ///< index into connections_
+    bool resolved = false;   ///< true: `response` is the answer already
+    WireResponse response;
     service::AuthRequest request;
   };
 
   void accept_ready();
-  /// Reads everything available, extracts frames, enqueues/answers.
+  /// Reads everything available (up to max_read_per_sweep), extracts
+  /// frames, enqueues/answers.
   void service_readable(std::size_t index);
-  /// Decodes one frame into the pending queue or an immediate answer.
+  /// Decodes one frame into the pending queue or a pre-resolved answer.
   void handle_frame(std::size_t index, const FrameView& frame);
   void enqueue_response(Connection& connection, const WireResponse& response);
-  /// Drains the pending queue through verify_batch, max_batch at a time.
+  /// Queues an answer the loop produced itself, in arrival order.
+  void enqueue_immediate(std::size_t index, const WireResponse& response);
+  /// Drains the pending queue through verify_batch, max_batch at a time,
+  /// emitting responses in arrival order.
   void drain_pending();
   void flush_writable(std::size_t index);
   void close_connection(std::size_t index);
@@ -123,7 +155,12 @@ class AuthServer {
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
   std::vector<Connection> connections_;
-  std::deque<PendingRequest> pending_;
+  std::deque<PendingEntry> pending_;
+  /// Unverified entries in pending_ (the max_pending backpressure bound
+  /// counts verification work, not pre-resolved answers riding along).
+  std::size_t pending_unresolved_ = 0;
+  /// Listener poll resumes after this instant (accept_backoff_ms).
+  std::chrono::steady_clock::time_point accept_backoff_until_{};
   std::uint64_t requests_served_ = 0;
 };
 

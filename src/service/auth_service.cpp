@@ -39,7 +39,8 @@ const char* auth_status_name(AuthStatus status) {
 
 // -------------------------------------------------------------------- cache
 
-EnrollmentCache::EnrollmentCache(std::size_t capacity) : capacity_(capacity) {
+EnrollmentCache::EnrollmentCache(std::size_t capacity, const std::string& metric_prefix)
+    : capacity_(capacity) {
   // Small caches stay single-sharded so the capacity bound (and LRU order,
   // which the tests pin) is exact; serving-sized caches spread over 8 shards
   // to keep batch workers off each other's mutex. A capacity that does not
@@ -47,6 +48,11 @@ EnrollmentCache::EnrollmentCache(std::size_t capacity) : capacity_(capacity) {
   // bounds sum to exactly the configured capacity.
   shard_count_ = capacity >= 64 ? 8 : (capacity > 0 ? 1 : 0);
   if (shard_count_ > 0) shards_ = std::make_unique<Shard[]>(shard_count_);
+  obs::Registry& registry = obs::Registry::instance();
+  hits_ = &registry.counter(metric_prefix + "_hits");
+  misses_ = &registry.counter(metric_prefix + "_misses");
+  bypasses_ = &registry.counter(metric_prefix + "_bypass");
+  evictions_ = &registry.counter(metric_prefix + "_evictions");
 }
 
 std::size_t EnrollmentCache::shard_index(std::uint64_t device_id) const {
@@ -58,32 +64,25 @@ std::size_t EnrollmentCache::shard_capacity(std::size_t s) const {
 }
 
 EnrollmentCache::Entry EnrollmentCache::get(std::uint64_t device_id) {
-  static obs::Counter& hits = obs::Registry::instance().counter("service.cache_hits");
-  static obs::Counter& misses =
-      obs::Registry::instance().counter("service.cache_misses");
-  static obs::Counter& bypass =
-      obs::Registry::instance().counter("service.cache_bypass");
   if (shard_count_ == 0) {
     // A disabled cache is not a miss: hit/miss rates should describe an
     // *enabled* cache, so cache-off runs count their own bypass series.
-    bypass.add(1);
+    bypasses_->add(1);
     return nullptr;
   }
   Shard& shard = shards_[shard_index(device_id)];
   const std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.map.find(device_id);
   if (it == shard.map.end()) {
-    misses.add(1);
+    misses_->add(1);
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  hits.add(1);
+  hits_->add(1);
   return it->second->entry;
 }
 
 void EnrollmentCache::put(std::uint64_t device_id, Entry entry) {
-  static obs::Counter& evictions =
-      obs::Registry::instance().counter("service.cache_evictions");
   if (shard_count_ == 0) return;
   const std::size_t s = shard_index(device_id);
   Shard& shard = shards_[s];
@@ -99,7 +98,7 @@ void EnrollmentCache::put(std::uint64_t device_id, Entry entry) {
   if (shard.lru.size() >= shard_capacity(s)) {
     shard.map.erase(shard.lru.back().id);
     shard.lru.pop_back();
-    evictions.add(1);
+    evictions_->add(1);
   }
   shard.lru.push_front(Node{device_id, std::move(entry)});
   shard.map[device_id] = shard.lru.begin();
@@ -117,7 +116,10 @@ std::size_t EnrollmentCache::size() const {
 // ------------------------------------------------------------------ service
 
 AuthService::AuthService(const registry::Registry* registry, AuthServiceOptions options)
-    : registry_(registry), options_(options), cache_(options.cache_capacity) {
+    : registry_(registry),
+      options_(options),
+      cache_(options.cache_capacity),
+      unknown_cache_(options.unknown_cache_capacity, "service.unknown_cache") {
   ROPUF_REQUIRE(registry_ != nullptr, "null registry");
   ROPUF_REQUIRE(options_.response_bits > 0, "response_bits must be positive");
   ROPUF_REQUIRE(options_.batch_grain > 0, "batch_grain must be positive");
@@ -139,10 +141,14 @@ AuthVerdict AuthService::verify(const AuthRequest& request) const {
   const obs::ScopedLatency verify_timer(verify_us);
 
   EnrollmentCache::Entry looked_up = cache_.get(request.device_id);
+  if (looked_up == nullptr) looked_up = unknown_cache_.get(request.device_id);
   if (looked_up == nullptr) {
     // Resolve against the registry once and cache the *outcome* — including
     // the negative ones, so repeat corrupt/unknown traffic never re-walks
-    // the registry or pays a thrown FormatError per request.
+    // the registry or pays a thrown FormatError per request. Unknown-device
+    // outcomes go to their own smaller cache: their key space is unbounded,
+    // and a spray of random ids must only ever evict other unknowns, never
+    // the enrollments legitimate traffic depends on.
     auto resolved = std::make_shared<CachedLookup>();
     try {
       std::optional<puf::ConfigurableEnrollment> found =
@@ -156,7 +162,11 @@ AuthVerdict AuthService::verify(const AuthRequest& request) const {
       resolved->outcome = CachedLookup::Outcome::kCorruptRecord;
     }
     looked_up = std::move(resolved);
-    cache_.put(request.device_id, looked_up);
+    if (looked_up->outcome == CachedLookup::Outcome::kUnknownDevice) {
+      unknown_cache_.put(request.device_id, looked_up);
+    } else {
+      cache_.put(request.device_id, looked_up);
+    }
   }
   switch (looked_up->outcome) {
     case CachedLookup::Outcome::kUnknownDevice:

@@ -15,11 +15,15 @@
 //    thread budget.
 //  * Record decoding is the per-request cost that matters, so *lookup
 //    outcomes* sit in a capacity-bounded sharded LRU cache with hit/miss
-//    counters in obs. Negative outcomes (unknown device, corrupt record)
-//    are cached too: repeat traffic for a hostile or rotten id costs one
-//    shard lookup, never a registry walk or a thrown decode error. The
-//    cache is a pure performance layer over the immutable registry:
-//    verdicts never depend on its state.
+//    counters in obs. Negative outcomes are cached too: repeat traffic for
+//    a hostile or rotten id costs one shard lookup, never a registry walk
+//    or a thrown decode error. Enrolled and corrupt-record outcomes share
+//    the main cache (both are keyed by ids actually present in the
+//    registry, so their population is bounded); unknown-device outcomes
+//    live in a *separate, smaller* cache, because their key space is the
+//    whole u64 range — an attacker spraying random ids must not be able to
+//    evict legitimate enrollments. Both caches are pure performance layers
+//    over the immutable registry: verdicts never depend on their state.
 //  * Graceful degradation, not exceptions: an unenrolled device, a record
 //    that fails to decode (registry Defect::kBadRecord) and a degraded or
 //    malformed request each map to their own verdict status, so one bad
@@ -37,6 +41,7 @@
 
 #include "common/bitvec.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
 #include "registry/registry.h"
 #include "silicon/faults.h"
 
@@ -81,8 +86,13 @@ struct AuthServiceOptions {
   std::size_t response_bits = 16;
   /// Accept iff Hamming distance <= this (the noise budget).
   std::size_t max_distance = 2;
-  /// Total cached enrollments across all shards; 0 disables the cache.
+  /// Total cached lookups (enrolled + corrupt-record outcomes) across all
+  /// shards; 0 disables the cache.
   std::size_t cache_capacity = 4096;
+  /// Separate bound for cached unknown-device outcomes; 0 disables it.
+  /// Kept apart from cache_capacity so a spray of never-enrolled ids
+  /// competes only with other unknown ids, never with real enrollments.
+  std::size_t unknown_cache_capacity = 256;
   /// Requests per parallel chunk in verify_batch.
   std::size_t batch_grain = 64;
   ThreadBudget threads;
@@ -109,15 +119,18 @@ struct CachedLookup {
 /// Eviction is per-shard LRU, not global — a key-skewed workload can evict
 /// from its hot shard while other shards have room (the SplitMix64 shard hash
 /// makes sustained skew unlikely in practice). Hit, miss and eviction
-/// counters land in obs ("service.cache_*"); under a parallel batch their
-/// values are scheduling-dependent (see docs/observability.md). A disabled
-/// cache (capacity 0) counts "service.cache_bypass" instead of misses, so
+/// counters land in obs under "<metric_prefix>_*" — "service.cache_*" for
+/// the service's main cache, "service.unknown_cache_*" for its
+/// unknown-device cache; under a parallel batch their values are
+/// scheduling-dependent (see docs/observability.md). A disabled cache
+/// (capacity 0) counts "<metric_prefix>_bypass" instead of misses, so
 /// cache-off A/B runs do not pollute hit-rate dashboards.
 class EnrollmentCache {
  public:
   using Entry = std::shared_ptr<const CachedLookup>;
 
-  explicit EnrollmentCache(std::size_t capacity);
+  explicit EnrollmentCache(std::size_t capacity,
+                           const std::string& metric_prefix = "service.cache");
 
   /// The cached lookup, refreshed to most-recently-used; nullptr on miss.
   Entry get(std::uint64_t device_id);
@@ -150,6 +163,12 @@ class EnrollmentCache {
   std::size_t capacity_ = 0;
   std::size_t shard_count_ = 0;
   std::unique_ptr<Shard[]> shards_;
+  /// Obs instruments are stable for the process lifetime (obs/metrics.h),
+  /// so the constructor resolves them once by name.
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* bypasses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
 };
 
 /// The authentication engine: immutable registry + options + cache.
@@ -160,6 +179,7 @@ class AuthService {
 
   const AuthServiceOptions& options() const { return options_; }
   std::size_t cache_size() const { return cache_.size(); }
+  std::size_t unknown_cache_size() const { return unknown_cache_.size(); }
 
   /// Verifies one request; never throws on bad input (degradation statuses
   /// cover unknown devices, corrupt records and malformed requests).
@@ -174,6 +194,7 @@ class AuthService {
   const registry::Registry* registry_;
   AuthServiceOptions options_;
   mutable EnrollmentCache cache_;
+  mutable EnrollmentCache unknown_cache_;
 };
 
 /// Deterministic request-mix generator for benches, tests and the CLI's

@@ -153,6 +153,91 @@ TEST(AuthServer, OverloadedQueueRejectsWithStatusAndAnswersEverything) {
   EXPECT_EQ(overloaded + verified, requests.size());
 }
 
+TEST(AuthServer, OverloadAnswersDoNotJumpAheadOfEarlierVerdicts) {
+  // The wire has no request ids: response N answers request N, so a
+  // kOverloaded rejection for request i must leave the server *after* the
+  // verdicts of every request that arrived before i. Pin that by indexing
+  // the non-overloaded responses against the offline verdicts at the same
+  // position — under the old append-immediately behavior the rejections
+  // jumped the queue and the indices drifted.
+  net::ServerOptions options;
+  options.max_pending = 1;
+  options.max_batch = 1;
+  ServerHarness harness(options);
+  const auto requests = small_workload(harness.registry(), {}, 64);
+
+  std::string blob;
+  for (const service::AuthRequest& request : requests) {
+    blob += net::encode_request_frame(request);
+  }
+  net::AuthClient client = harness.client();
+  client.send_raw(blob);
+
+  const service::AuthService offline(&harness.registry(), {});
+  const std::vector<service::AuthVerdict> expected = offline.verify_batch(requests);
+  std::size_t overloaded = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const net::WireResponse response = client.recv_response();
+    if (response.status == net::WireStatus::kOverloaded) {
+      ++overloaded;
+      continue;
+    }
+    ASSERT_LE(response.status, net::WireStatus::kMalformedRequest) << "request " << i;
+    const service::AuthVerdict verdict = net::auth_verdict(response);
+    EXPECT_EQ(verdict.status, expected[i].status) << "request " << i;
+    EXPECT_EQ(verdict.distance, expected[i].distance) << "request " << i;
+    EXPECT_EQ(verdict.response_bits, expected[i].response_bits) << "request " << i;
+  }
+  EXPECT_GE(overloaded, 1u);
+}
+
+std::string tampered(std::string frame, std::size_t offset, char xor_mask) {
+  frame[offset] ^= xor_mask;
+  return frame;
+}
+
+TEST(AuthServer, BadFrameAnswersDoNotJumpAheadOfEarlierVerdicts) {
+  // A valid request followed by a corrupt frame in the same read sweep must
+  // be answered [verdict, kBadFrame] — arrival order — not the other way
+  // around.
+  ServerHarness harness;
+  const auto requests = small_workload(harness.registry(), {}, 1);
+  const std::string good = net::encode_request_frame(requests[0]);
+  const std::string bad_crc = tampered(good, net::kFrameHeaderBytes, 0x01);
+
+  net::AuthClient client = harness.client();
+  client.send_raw(good + bad_crc);
+  const net::WireResponse verdict = client.recv_response();
+  EXPECT_LE(verdict.status, net::WireStatus::kMalformedRequest);
+  const net::WireResponse error = client.recv_response();
+  EXPECT_EQ(error.status, net::WireStatus::kBadFrame);
+}
+
+TEST(AuthServer, PerSweepReadCapStillAnswersEverything) {
+  // A read cap far below one frame size slices the stream across many poll
+  // sweeps; liveness and ordering must survive (poll is level-triggered, so
+  // capped-off bytes re-arm the next sweep).
+  net::ServerOptions options;
+  options.max_read_per_sweep = 16;
+  ServerHarness harness(options);
+  const auto requests = small_workload(harness.registry(), {}, 8);
+
+  std::string blob;
+  for (const service::AuthRequest& request : requests) {
+    blob += net::encode_request_frame(request);
+  }
+  net::AuthClient client = harness.client();
+  client.send_raw(blob);
+
+  const service::AuthService offline(&harness.registry(), {});
+  const std::vector<service::AuthVerdict> expected = offline.verify_batch(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const service::AuthVerdict verdict = net::auth_verdict(client.recv_response());
+    EXPECT_EQ(verdict.status, expected[i].status) << "request " << i;
+    EXPECT_EQ(verdict.distance, expected[i].distance) << "request " << i;
+  }
+}
+
 TEST(AuthServer, ReadDeadlineClosesSilentConnections) {
   net::ServerOptions options;
   options.read_deadline_ms = 100;
@@ -191,11 +276,6 @@ TEST(AuthServer, ConnectionLimitClosesTheExcessPeer) {
 }
 
 // ------------------------------------------- tampered frames over the wire
-
-std::string tampered(std::string frame, std::size_t offset, char xor_mask) {
-  frame[offset] ^= xor_mask;
-  return frame;
-}
 
 TEST(AuthServer, RecoverableTamperAnswersErrorAndKeepsTheConnection) {
   ServerHarness harness;

@@ -284,6 +284,41 @@ TEST(AuthService, NegativeCachingAnswersRepeatCorruptAndUnknownFromTheCache) {
   EXPECT_EQ(second_unknown.response_bits, first_unknown.response_bits);
 }
 
+TEST(AuthService, UnknownDeviceSprayCannotEvictEnrolledEntries) {
+  // Unknown-device outcomes are drawn from the whole u64 key space, so they
+  // are cached in their own (smaller) LRU: spraying random never-enrolled
+  // ids competes only with other unknowns, and an enrolled device cached
+  // before the spray is still answered without touching the registry after
+  // it.
+  const auto registry = test_registry();
+  AuthServiceOptions options = small_options();
+  options.unknown_cache_capacity = 4;
+  const AuthService service(&registry, options);
+
+  const std::uint64_t id = registry.device_id_at(0);
+  const AuthRequest legit{id, 42, true_response(registry, id, 42, 8)};
+  EXPECT_EQ(service.verify(legit).status, AuthStatus::kAccept);
+  const std::size_t cached_before = service.cache_size();
+
+  // Spray far past both caches' capacities. Small ids never collide with
+  // the registry's SplitMix64-minted ids (asserted, not assumed).
+  for (std::uint64_t spray = 1; spray <= 100; ++spray) {
+    ASSERT_FALSE(registry.contains(spray));
+    EXPECT_EQ(service.verify(AuthRequest{spray, 42, BitVec(8)}).status,
+              AuthStatus::kUnknownDevice);
+  }
+  EXPECT_LE(service.unknown_cache_size(), options.unknown_cache_capacity);
+  EXPECT_EQ(service.cache_size(), cached_before);
+
+  obs::set_metrics_enabled(true);
+  static obs::Counter& lookups =
+      obs::Registry::instance().counter("registry.lookups");
+  const std::uint64_t lookups_before = lookups.value();
+  EXPECT_EQ(service.verify(legit).status, AuthStatus::kAccept);
+  obs::set_metrics_enabled(false);
+  EXPECT_EQ(lookups.value(), lookups_before);  // served from the cache
+}
+
 // -------------------------------------------------------------- determinism
 
 TEST(AuthService, BatchVerdictsAreBitIdenticalAtAnyThreadBudget) {

@@ -158,6 +158,8 @@ inline service::AuthServiceOptions auth_options_from_args(const Args& args) {
   opts.response_bits = static_cast<std::size_t>(args.number("bits", 16));
   opts.max_distance = static_cast<std::size_t>(args.number("max-hd", 2));
   opts.cache_capacity = static_cast<std::size_t>(args.number("cache", 4096));
+  opts.unknown_cache_capacity =
+      static_cast<std::size_t>(args.number("unknown-cache", 256));
   return opts;
 }
 

@@ -482,7 +482,8 @@ int usage() {
                "usage: ropuf_cli <command> [--option value ...]\n"
                "commands (alphabetical):\n"
                "  auth-batch [--registry F | --devices N --seed S ...] [--requests N]\n"
-               "          [--bits B] [--max-hd D] [--cache C] [--flip-rate R]\n"
+               "          [--bits B] [--max-hd D] [--cache C] [--unknown-cache C]\n"
+               "          [--flip-rate R]\n"
                "          [--forge-rate R] [--unknown-rate R] [--workload-seed S]\n"
                "          [--fault-rate R] [--fault-seed S]\n"
                "  auth-client --port P [--host A] [--window W]\n"

@@ -8,9 +8,11 @@
 //
 //   ropuf_serve [--registry F | --devices N --seed S ...]
 //               [--bind A] [--port P] [--port-file F]
-//               [--bits B] [--max-hd D] [--cache C] [--threads N]
+//               [--bits B] [--max-hd D] [--cache C] [--unknown-cache C]
+//               [--threads N]
 //               [--max-connections N] [--max-pending N] [--max-batch N]
-//               [--read-deadline-ms N] [--drain-timeout-ms N]
+//               [--max-read-per-sweep N] [--read-deadline-ms N]
+//               [--accept-backoff-ms N] [--drain-timeout-ms N]
 //               [--metrics-out F.json] [--trace-out F.json]
 //
 // --port 0 (the default) binds a kernel-assigned ephemeral port;
@@ -49,7 +51,10 @@ int serve(const Args& args) {
   opts.max_connections = static_cast<std::size_t>(args.number("max-connections", 256));
   opts.max_pending = static_cast<std::size_t>(args.number("max-pending", 1024));
   opts.max_batch = static_cast<std::size_t>(args.number("max-batch", 256));
+  opts.max_read_per_sweep =
+      static_cast<std::size_t>(args.number("max-read-per-sweep", 64 << 10));
   opts.read_deadline_ms = static_cast<int>(args.number("read-deadline-ms", 5000));
+  opts.accept_backoff_ms = static_cast<int>(args.number("accept-backoff-ms", 100));
   opts.drain_timeout_ms = static_cast<int>(args.number("drain-timeout-ms", 2000));
 
   net::AuthServer server(&svc, opts);
@@ -82,9 +87,11 @@ int usage() {
   std::fprintf(stderr,
                "usage: ropuf_serve [--registry F | --devices N --seed S ...]\n"
                "                   [--bind A] [--port P] [--port-file F]\n"
-               "                   [--bits B] [--max-hd D] [--cache C] [--threads N]\n"
+               "                   [--bits B] [--max-hd D] [--cache C]\n"
+               "                   [--unknown-cache C] [--threads N]\n"
                "                   [--max-connections N] [--max-pending N]\n"
-               "                   [--max-batch N] [--read-deadline-ms N]\n"
+               "                   [--max-batch N] [--max-read-per-sweep N]\n"
+               "                   [--read-deadline-ms N] [--accept-backoff-ms N]\n"
                "                   [--drain-timeout-ms N]\n"
                "                   [--metrics-out F.json] [--trace-out F.json]\n"
                "serves the framed authentication protocol until SIGINT/SIGTERM,\n"
