@@ -1,0 +1,112 @@
+#include "attack/harvest.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "puf/crp.h"
+
+namespace ropuf::attack {
+
+DistanceOracleHarvester::DistanceOracleHarvester(std::uint64_t device_id,
+                                                std::size_t response_bits,
+                                                std::size_t pair_count,
+                                                std::uint64_t seed)
+    : device_id_(device_id),
+      response_bits_(response_bits),
+      pair_count_(pair_count),
+      challenge_rng_(seed) {
+  ROPUF_REQUIRE(response_bits_ > 0, "response_bits must be positive");
+  ROPUF_REQUIRE(response_bits_ <= pair_count_,
+                "response_bits cannot exceed the pair count");
+  begin_challenge();
+}
+
+void DistanceOracleHarvester::begin_challenge() {
+  challenge_ = challenge_rng_.next_u64();
+  pairs_ = puf::challenge_to_pairs(challenge_, pair_count_, response_bits_);
+  probe_index_ = 0;
+  baseline_distance_ = 0;
+}
+
+Probe DistanceOracleHarvester::next_probe() const {
+  Probe probe;
+  probe.device_id = device_id_;
+  probe.challenge = challenge_;
+  probe.guess = BitVec(response_bits_);
+  if (probe_index_ > 0) probe.guess.set(probe_index_ - 1, true);
+  return probe;
+}
+
+void DistanceOracleHarvester::abandoned() {
+  ++abandoned_;
+  begin_challenge();
+}
+
+void DistanceOracleHarvester::answered(std::size_t distance) {
+  ++admitted_;
+  if (probe_index_ == 0) {
+    // Baseline: the all-zeros guess's distance is the reference popcount.
+    baseline_distance_ = distance;
+    ++probe_index_;
+    return;
+  }
+  // Single-bit probe j: flipping guess bit j-1 moved the distance by
+  // exactly +1 (reference bit is 0) or -1 (reference bit is 1).
+  const std::size_t bit_position = probe_index_ - 1;
+  ROPUF_REQUIRE(distance + 1 == baseline_distance_ ||
+                    distance == baseline_distance_ + 1,
+                "distance oracle returned an inconsistent pair of distances; "
+                "is the verifier reference drifting mid-challenge?");
+  const bool bit = distance + 1 == baseline_distance_;
+  harvested_.push_back(HarvestedBit{pairs_[bit_position], bit});
+  ++probe_index_;
+  if (probe_index_ > response_bits_) {
+    ++challenges_recovered_;
+    begin_challenge();
+  }
+}
+
+Dataset DistanceOracleHarvester::training_set() const {
+  Dataset data;
+  data.features.reserve(harvested_.size());
+  data.labels.reserve(harvested_.size());
+  for (const HarvestedBit& example : harvested_) {
+    data.features.push_back(pair_features(example.pair, pair_count_));
+    data.labels.push_back(example.bit);
+  }
+  return data;
+}
+
+std::vector<double> pair_features(std::size_t pair, std::size_t pair_count) {
+  ROPUF_REQUIRE(pair < pair_count, "pair index out of range");
+  std::vector<double> features(pair_count, 0.0);
+  features[pair] = 1.0;
+  return features;
+}
+
+double clone_accuracy(const LogisticModel& model,
+                      const puf::ConfigurableEnrollment& enrollment,
+                      std::size_t response_bits, std::size_t challenges,
+                      std::uint64_t seed) {
+  ROPUF_REQUIRE(challenges > 0, "need at least one evaluation challenge");
+  const std::size_t bits =
+      std::min(response_bits, enrollment.layout.pair_count);
+  const puf::CrpOracle oracle(&enrollment, bits);
+  Rng rng(seed);
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < challenges; ++c) {
+    const std::uint64_t challenge = rng.next_u64();
+    const BitVec reference = oracle.reference(challenge);
+    const std::vector<std::size_t> pairs =
+        puf::challenge_to_pairs(challenge, enrollment.layout.pair_count, bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      const bool predicted =
+          model.predict(pair_features(pairs[i], enrollment.layout.pair_count));
+      if (predicted == reference.get(i)) ++correct;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(challenges * bits);
+}
+
+}  // namespace ropuf::attack

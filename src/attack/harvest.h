@@ -1,0 +1,136 @@
+// Distance-oracle CRP harvester: the adversary side of the admission-control
+// threat model (service/admission.h, docs/attack_soak.md).
+//
+// The authentication verdict leaks more than accept/reject: it carries the
+// exact Hamming distance between the submitted response and the enrolled
+// reference (net/wire.h WireResponse). That distance is an oracle. For a
+// b-bit challenge, probe the *same* challenge b+1 times:
+//
+//   probe 0: all-zeros guess        -> d0   (= popcount of the reference)
+//   probe j: only bit j-1 set       -> d_j  (j = 1..b)
+//
+// then reference bit j-1 = (d0 + 1 - d_j) / 2, exactly — the reference is
+// the enrollment-time bit string, so the oracle is noise-free even while
+// environmental drift corrupts live prover readouts. Each extracted
+// challenge therefore costs 1 *distinct* query plus b *repeat* queries,
+// which is precisely the traffic shape the per-device reuse budget exists
+// to throttle: with a reuse budget of r, the attacker recovers at most ~r
+// reference bits no matter how patiently it spreads queries over time.
+//
+// What the bits buy the attacker: challenge_to_pairs() is public, so
+// response bit i of challenge c is the enrolled bit of pair
+// challenge_to_pairs(c)[i]. Harvested (pair, bit) examples train a
+// one-hot-feature logistic model (attack/logistic.h) that clones the
+// device on every challenge whose pairs were all observed — the classic
+// "freely queryable CRP interface" modeling result, driven through the
+// real serving stack by tools/ropuf_soak.
+//
+// The harvester is transport-agnostic: it emits the next probe to send and
+// consumes plain (status-class, distance) observations, so the same state
+// machine runs against a live AuthClient, an in-process AuthService, or a
+// unit test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "attack/logistic.h"
+#include "puf/schemes.h"
+
+namespace ropuf::attack {
+
+/// One adversarial query: a guessed response for the target device.
+struct Probe {
+  std::uint64_t device_id = 0;
+  std::uint64_t challenge = 0;
+  BitVec guess;
+};
+
+/// A recovered enrollment fact: enrolled pair `pair` compares to `bit`.
+struct HarvestedBit {
+  std::size_t pair = 0;
+  bool bit = false;
+};
+
+/// Closed-loop extraction state machine for one target device. Call
+/// next_probe(), send it, then report what came back: answered(distance)
+/// for a real accept/reject verdict, deferred() for a retryable denial
+/// (rate-limited, overloaded — the probe is re-issued unchanged), or
+/// abandoned() for a terminal one (budget exhausted), which drops the
+/// current challenge and moves to a fresh one — the adaptive move, since
+/// the reuse budget and the distinct-challenge budget deplete separately.
+/// Bits already extracted from an abandoned challenge are kept.
+class DistanceOracleHarvester {
+ public:
+  /// `response_bits` is the *effective* per-challenge bit count (the
+  /// verifier clamps its configured bits to the device's enrolled pair
+  /// count; the attacker learns it from the first response's
+  /// response_bits field or knows the protocol defaults). `seed` drives
+  /// the deterministic challenge sequence.
+  DistanceOracleHarvester(std::uint64_t device_id, std::size_t response_bits,
+                          std::size_t pair_count, std::uint64_t seed);
+
+  /// The probe to send next. Stable until answered()/abandoned() advances
+  /// the state, so a deferred probe is re-issued byte-identically.
+  Probe next_probe() const;
+
+  /// The probe was verified and came back with this Hamming distance.
+  void answered(std::size_t distance);
+  /// The probe was denied retryably; the state does not advance.
+  void deferred() { ++deferred_; }
+  /// The probe was denied terminally for this challenge (budget spent);
+  /// drop it and begin a fresh challenge.
+  void abandoned();
+
+  /// Verified probes (the attacker's admitted query count).
+  std::size_t admitted() const { return admitted_; }
+  /// Retryable denials observed (rate-limit pressure on the attacker).
+  std::size_t deferrals() const { return deferred_; }
+  /// Challenges dropped on a terminal denial.
+  std::size_t abandoned_challenges() const { return abandoned_; }
+  /// Challenges fully extracted so far.
+  std::size_t challenges_recovered() const { return challenges_recovered_; }
+
+  /// Every (pair, reference bit) fact recovered so far.
+  const std::vector<HarvestedBit>& harvested() const { return harvested_; }
+
+  /// The harvested facts as a one-hot training set for LogisticModel.
+  Dataset training_set() const;
+
+ private:
+  void begin_challenge();
+
+  std::uint64_t device_id_;
+  std::size_t response_bits_;
+  std::size_t pair_count_;
+  Rng challenge_rng_;
+
+  std::uint64_t challenge_ = 0;
+  std::vector<std::size_t> pairs_;  ///< challenge_to_pairs of challenge_
+  std::size_t probe_index_ = 0;     ///< 0 = baseline, j = single-bit j-1
+  std::size_t baseline_distance_ = 0;
+
+  std::size_t admitted_ = 0;
+  std::size_t deferred_ = 0;
+  std::size_t abandoned_ = 0;
+  std::size_t challenges_recovered_ = 0;
+  std::vector<HarvestedBit> harvested_;
+};
+
+/// One-hot feature vector for an enrolled pair index (dimension pair_count).
+std::vector<double> pair_features(std::size_t pair, std::size_t pair_count);
+
+/// Fraction of reference bits the model predicts correctly over
+/// `challenges` fresh challenges drawn from Rng(seed) — the clone accuracy
+/// the soak harness plots against admitted queries. 0.5 is coin-flip;
+/// 1.0 is a working clone of the device's authentication responses.
+double clone_accuracy(const LogisticModel& model,
+                      const puf::ConfigurableEnrollment& enrollment,
+                      std::size_t response_bits, std::size_t challenges,
+                      std::uint64_t seed);
+
+}  // namespace ropuf::attack

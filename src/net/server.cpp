@@ -46,6 +46,18 @@ AuthServer::AuthServer(const service::AuthService* service, ServerOptions option
   ROPUF_REQUIRE(options_.max_pending > 0, "max_pending must be positive");
   ROPUF_REQUIRE(options_.max_connections > 0, "max_connections must be positive");
   ROPUF_REQUIRE(options_.max_read_per_sweep > 0, "max_read_per_sweep must be positive");
+  // Misconfiguration fails here, eagerly, instead of producing a wedged
+  // loop: a zero/negative poll interval would spin or block forever, a
+  // non-positive deadline closes every connection on its first sweep, and
+  // listen(2) treats a negative backlog as implementation-defined.
+  ROPUF_REQUIRE(options_.backlog > 0, "backlog must be positive");
+  ROPUF_REQUIRE(options_.max_write_buffer > 0, "max_write_buffer must be positive");
+  ROPUF_REQUIRE(options_.read_deadline_ms > 0, "read_deadline_ms must be positive");
+  ROPUF_REQUIRE(options_.accept_backoff_ms >= 0,
+                "accept_backoff_ms must be non-negative");
+  ROPUF_REQUIRE(options_.poll_interval_ms > 0, "poll_interval_ms must be positive");
+  ROPUF_REQUIRE(options_.drain_timeout_ms >= 0,
+                "drain_timeout_ms must be non-negative");
 }
 
 AuthServer::~AuthServer() {

@@ -65,13 +65,32 @@ const char* wire_status_name(WireStatus status) {
     case WireStatus::kMalformedRequest: return "malformed-request";
     case WireStatus::kBadFrame: return "bad-frame";
     case WireStatus::kOverloaded: return "overloaded";
+    case WireStatus::kRateLimited: return "rate-limited";
+    case WireStatus::kBudgetExhausted: return "budget-exhausted";
   }
   return "unknown";
 }
 
+bool wire_status_is_transport(WireStatus status) {
+  return status == WireStatus::kBadFrame || status == WireStatus::kOverloaded;
+}
+
 WireStatus wire_status(service::AuthStatus status) {
-  // The five verification statuses map onto the same wire values.
-  return static_cast<WireStatus>(static_cast<std::uint8_t>(status));
+  switch (status) {
+    // The original five verification statuses keep their shipped wire
+    // values; the admission statuses were appended past the transport
+    // degradations, so they translate explicitly.
+    case service::AuthStatus::kAccept: return WireStatus::kAccept;
+    case service::AuthStatus::kReject: return WireStatus::kReject;
+    case service::AuthStatus::kUnknownDevice: return WireStatus::kUnknownDevice;
+    case service::AuthStatus::kCorruptRecord: return WireStatus::kCorruptRecord;
+    case service::AuthStatus::kMalformedRequest:
+      return WireStatus::kMalformedRequest;
+    case service::AuthStatus::kRateLimited: return WireStatus::kRateLimited;
+    case service::AuthStatus::kBudgetExhausted:
+      return WireStatus::kBudgetExhausted;
+  }
+  return WireStatus::kReject;
 }
 
 WireResponse wire_response(const service::AuthVerdict& verdict) {
@@ -83,11 +102,32 @@ WireResponse wire_response(const service::AuthVerdict& verdict) {
 }
 
 service::AuthVerdict auth_verdict(const WireResponse& response) {
-  ROPUF_REQUIRE(response.status <= WireStatus::kMalformedRequest,
+  ROPUF_REQUIRE(!wire_status_is_transport(response.status),
                 std::string("wire status '") + wire_status_name(response.status) +
                     "' has no verification verdict");
   service::AuthVerdict verdict;
-  verdict.status = static_cast<service::AuthStatus>(response.status);
+  switch (response.status) {
+    case WireStatus::kAccept: verdict.status = service::AuthStatus::kAccept; break;
+    case WireStatus::kReject: verdict.status = service::AuthStatus::kReject; break;
+    case WireStatus::kUnknownDevice:
+      verdict.status = service::AuthStatus::kUnknownDevice;
+      break;
+    case WireStatus::kCorruptRecord:
+      verdict.status = service::AuthStatus::kCorruptRecord;
+      break;
+    case WireStatus::kMalformedRequest:
+      verdict.status = service::AuthStatus::kMalformedRequest;
+      break;
+    case WireStatus::kRateLimited:
+      verdict.status = service::AuthStatus::kRateLimited;
+      break;
+    case WireStatus::kBudgetExhausted:
+      verdict.status = service::AuthStatus::kBudgetExhausted;
+      break;
+    case WireStatus::kBadFrame:
+    case WireStatus::kOverloaded:
+      break;  // unreachable: rejected above
+  }
   verdict.distance = static_cast<std::size_t>(response.distance);
   verdict.response_bits = response.response_bits;
   return verdict;
@@ -211,7 +251,7 @@ WireResponse decode_response_payload(std::string_view payload) {
   }
   registry::ByteReader reader(payload, kNeverOverruns);
   const std::uint8_t status = reader.u8();
-  if (status > static_cast<std::uint8_t>(WireStatus::kOverloaded)) {
+  if (status > static_cast<std::uint8_t>(WireStatus::kBudgetExhausted)) {
     throw WireError(FrameDefect::kBadPayload,
                     "unknown wire status " + std::to_string(status));
   }

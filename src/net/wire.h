@@ -83,21 +83,31 @@ class WireError : public Error {
   FrameDefect defect_;
 };
 
-/// Verdict status on the wire: the five AuthService statuses plus the two
-/// server-side degradations a request can meet before verification.
+/// Verdict status on the wire: the seven AuthService statuses plus the two
+/// server-side degradations a request can meet before verification. The
+/// admission statuses were appended *after* kBadFrame/kOverloaded shipped,
+/// so the AuthStatus and WireStatus numberings diverge past
+/// kMalformedRequest — wire_status()/auth_verdict() translate explicitly.
 enum class WireStatus : std::uint8_t {
   kAccept = 0,
   kReject = 1,
   kUnknownDevice = 2,
   kCorruptRecord = 3,
   kMalformedRequest = 4,
-  kBadFrame = 5,    ///< the request frame failed to decode (FrameDefect)
-  kOverloaded = 6,  ///< pending-request queue full — retry later
+  kBadFrame = 5,         ///< the request frame failed to decode (FrameDefect)
+  kOverloaded = 6,       ///< pending-request queue full — retry later
+  kRateLimited = 7,      ///< admission: device token bucket empty — back off
+  kBudgetExhausted = 8,  ///< admission: device CRP/reuse budget spent
 };
 
 const char* wire_status_name(WireStatus status);
 
-/// Lossless mapping for the five verification statuses.
+/// True for the two transport-level degradations (kBadFrame, kOverloaded)
+/// that have no AuthVerdict equivalent; every other status round-trips
+/// through wire_status()/auth_verdict().
+bool wire_status_is_transport(WireStatus status);
+
+/// Lossless mapping for the seven verification statuses.
 WireStatus wire_status(service::AuthStatus status);
 
 /// One authentication answer as it travels the wire.
@@ -111,9 +121,9 @@ struct WireResponse {
 
 WireResponse wire_response(const service::AuthVerdict& verdict);
 
-/// wire_response for verification verdicts, inverted: only valid for
-/// statuses <= kMalformedRequest (throws ropuf::Error otherwise, since
-/// kBadFrame/kOverloaded have no AuthVerdict equivalent).
+/// wire_response for verification verdicts, inverted: valid for every
+/// status except the transport degradations (throws ropuf::Error for
+/// kBadFrame/kOverloaded, which have no AuthVerdict equivalent).
 service::AuthVerdict auth_verdict(const WireResponse& response);
 
 // ------------------------------------------------------------------ encode

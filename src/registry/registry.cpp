@@ -531,7 +531,7 @@ RegistryStats Registry::stats() const {
 
 // ------------------------------------------------------------ fleet import
 
-std::vector<DeviceRecord> mint_fleet(const FleetSpec& spec) {
+std::vector<MintedDevice> mint_fleet_with_chips(const FleetSpec& spec) {
   ROPUF_REQUIRE(spec.devices > 0, "fleet must contain at least one device");
   ROPUF_REQUIRE(spec.stages > 0 && spec.stages <= kMaxStages,
                 "fleet stage count out of range");
@@ -570,16 +570,27 @@ std::vector<DeviceRecord> mint_fleet(const FleetSpec& spec) {
 
   puf::UnitMeasurementSpec measurement;
   measurement.noise_sigma_ps = spec.noise_sigma_ps;
-  auto records = parallel_transform<DeviceRecord>(
+  auto devices = parallel_transform<MintedDevice>(
       spec.devices, spec.threads,
       [&](std::size_t i) {
-        const sil::Chip chip = fab.fabricate_with(chip_rngs[i], grid_cols, grid_rows);
+        sil::Chip chip = fab.fabricate_with(chip_rngs[i], grid_cols, grid_rows);
         const auto values = puf::measure_unit_ddiffs(chip, sil::nominal_op(),
                                                      measurement, measurement_rngs[i]);
-        return DeviceRecord{ids[i], puf::configurable_enroll(values, layout, spec.mode)};
+        return MintedDevice{ids[i], std::move(chip),
+                            puf::configurable_enroll(values, layout, spec.mode)};
       },
       /*grain=*/8);
   minted.add(spec.devices);
+  return devices;
+}
+
+std::vector<DeviceRecord> mint_fleet(const FleetSpec& spec) {
+  std::vector<DeviceRecord> records;
+  std::vector<MintedDevice> devices = mint_fleet_with_chips(spec);
+  records.reserve(devices.size());
+  for (MintedDevice& device : devices) {
+    records.push_back(DeviceRecord{device.device_id, std::move(device.enrollment)});
+  }
   return records;
 }
 

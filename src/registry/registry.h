@@ -154,6 +154,23 @@ struct FleetSpec {
 /// the seed (collision-free by construction).
 std::vector<DeviceRecord> mint_fleet(const FleetSpec& spec);
 
+/// One minted device with its silicon retained: device id, the fabricated
+/// chip, and the enrollment computed from it. This is what a live-prover
+/// harness (tools/ropuf_soak) needs — the chip can be re-measured at any
+/// operating corner while the enrollment matches the registry built from
+/// the same spec.
+struct MintedDevice {
+  std::uint64_t device_id = 0;
+  sil::Chip chip;
+  puf::ConfigurableEnrollment enrollment;
+};
+
+/// mint_fleet with the chips kept. Consumes exactly the same deterministic
+/// streams, so the returned ids and enrollments are bit-identical to
+/// mint_fleet(spec) — a registry built from one verifies provers built
+/// from the other.
+std::vector<MintedDevice> mint_fleet_with_chips(const FleetSpec& spec);
+
 /// mint_fleet + RegistryBuilder in one call; returns the registry bytes.
 std::string build_fleet_registry(const FleetSpec& spec);
 

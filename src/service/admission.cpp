@@ -1,0 +1,158 @@
+#include "service/admission.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ropuf::service {
+namespace {
+
+/// Per-device deny-count buckets: powers of two up to "clearly abusive".
+const std::vector<double>& deny_bounds() {
+  static const std::vector<double> bounds = {1,  2,   4,   8,    16,  32,
+                                             64, 128, 256, 1024, 4096};
+  return bounds;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  ROPUF_REQUIRE((options_.rate_burst > 0) == (options_.rate_interval > 0),
+                "rate_burst and rate_interval enable rate limiting together "
+                "(both zero or both positive)");
+  ROPUF_REQUIRE(options_.challenge_sketch > 0,
+                "challenge_sketch must be positive");
+  ROPUF_REQUIRE(!options_.enabled() || options_.device_capacity > 0,
+                "device_capacity must be positive when admission is enabled");
+  obs::Registry& registry = obs::Registry::instance();
+  admitted_ = &registry.counter("service.admitted");
+  rate_limited_ = &registry.counter("service.rate_limited");
+  budget_exhausted_ = &registry.counter("service.budget_exhausted");
+  evictions_ = &registry.counter("service.admission_evictions");
+  denies_per_device_ =
+      &registry.histogram("service.admission_denies_per_device", deny_bounds());
+}
+
+void AdmissionController::refill(DeviceState& state) const {
+  if (options_.rate_interval == 0) return;
+  const std::uint64_t elapsed = tick_ - state.last_refill_tick;
+  const std::uint64_t earned = elapsed / options_.rate_interval;
+  if (earned == 0) return;
+  if (state.tokens + earned >= options_.rate_burst) {
+    state.tokens = options_.rate_burst;
+    // A full bucket restarts the refill clock: unspent surplus must not
+    // bank up beyond the burst.
+    state.last_refill_tick = tick_;
+  } else {
+    state.tokens += earned;
+    state.last_refill_tick += earned * options_.rate_interval;
+  }
+}
+
+bool AdmissionController::sketch_contains(const DeviceState& state,
+                                          std::uint64_t challenge) const {
+  return std::find(state.sketch.begin(), state.sketch.end(), challenge) !=
+         state.sketch.end();
+}
+
+void AdmissionController::sketch_insert(DeviceState& state, std::uint64_t challenge) {
+  if (state.sketch.size() < options_.challenge_sketch) {
+    state.sketch.push_back(challenge);
+    return;
+  }
+  // Ring replacement: the oldest entry is forgotten, so a far-past
+  // challenge re-presented later counts as fresh again (charging the
+  // distinct budget once more — the safe direction).
+  state.sketch[state.sketch_next] = challenge;
+  state.sketch_next = (state.sketch_next + 1) % state.sketch.size();
+}
+
+void AdmissionController::record_denies(const DeviceState& state) {
+  if (state.denied > 0) {
+    denies_per_device_->record(static_cast<double>(state.denied));
+  }
+}
+
+AdmissionController::DeviceState& AdmissionController::state_for(
+    std::uint64_t device_id) {
+  const auto it = index_.find(device_id);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return *it->second;
+  }
+  if (lru_.size() >= options_.device_capacity) {
+    DeviceState& victim = lru_.back();
+    record_denies(victim);
+    index_.erase(victim.device_id);
+    lru_.pop_back();
+    evictions_->add(1);
+  }
+  DeviceState state;
+  state.device_id = device_id;
+  state.tokens = options_.rate_burst;
+  state.last_refill_tick = tick_;
+  lru_.push_front(std::move(state));
+  index_[device_id] = lru_.begin();
+  return lru_.front();
+}
+
+Admission AdmissionController::admit(std::uint64_t device_id, std::uint64_t challenge) {
+  if (!options_.enabled()) {
+    admitted_->add(1);
+    return Admission::kAdmit;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++tick_;
+  DeviceState& state = state_for(device_id);
+
+  // Rate first: an empty bucket denies before any budget state is touched,
+  // so a flood cannot burn the device's budgets or churn its sketch.
+  if (options_.rate_interval > 0) {
+    refill(state);
+    if (state.tokens == 0) {
+      ++state.denied;
+      rate_limited_->add(1);
+      return Admission::kRateLimited;
+    }
+  }
+
+  const bool repeat = sketch_contains(state, challenge);
+  if (repeat) {
+    if (options_.reuse_budget > 0 && state.reuse_used >= options_.reuse_budget) {
+      ++state.denied;
+      budget_exhausted_->add(1);
+      return Admission::kBudgetExhausted;
+    }
+    ++state.reuse_used;
+  } else {
+    if (options_.crp_budget > 0 && state.distinct_used >= options_.crp_budget) {
+      ++state.denied;
+      budget_exhausted_->add(1);
+      return Admission::kBudgetExhausted;
+    }
+    ++state.distinct_used;
+    sketch_insert(state, challenge);
+  }
+
+  if (options_.rate_interval > 0) --state.tokens;
+  admitted_->add(1);
+  return Admission::kAdmit;
+}
+
+void AdmissionController::flush_metrics() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const DeviceState& state : lru_) record_denies(state);
+}
+
+std::size_t AdmissionController::tracked_devices() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t AdmissionController::ticks() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tick_;
+}
+
+}  // namespace ropuf::service

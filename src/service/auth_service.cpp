@@ -33,6 +33,8 @@ const char* auth_status_name(AuthStatus status) {
     case AuthStatus::kUnknownDevice: return "unknown-device";
     case AuthStatus::kCorruptRecord: return "corrupt-record";
     case AuthStatus::kMalformedRequest: return "malformed-request";
+    case AuthStatus::kRateLimited: return "rate-limited";
+    case AuthStatus::kBudgetExhausted: return "budget-exhausted";
   }
   return "unknown";
 }
@@ -119,7 +121,8 @@ AuthService::AuthService(const registry::Registry* registry, AuthServiceOptions 
     : registry_(registry),
       options_(options),
       cache_(options.cache_capacity),
-      unknown_cache_(options.unknown_cache_capacity, "service.unknown_cache") {
+      unknown_cache_(options.unknown_cache_capacity, "service.unknown_cache"),
+      admission_(options.admission) {
   ROPUF_REQUIRE(registry_ != nullptr, "null registry");
   ROPUF_REQUIRE(options_.response_bits > 0, "response_bits must be positive");
   ROPUF_REQUIRE(options_.batch_grain > 0, "batch_grain must be positive");
@@ -208,9 +211,35 @@ std::vector<AuthVerdict> AuthService::verify_batch(
   batch_items.add(requests.size());
   const obs::ScopedLatency batch_timer(batch_us);
   const obs::TraceSpan span("service.verify_batch");
+  if (!options_.admission.enabled()) {
+    return parallel_transform<AuthVerdict>(
+        requests.size(), options_.threads,
+        [&](std::size_t i) { return verify(requests[i]); }, options_.batch_grain);
+  }
+  // Admission is order-dependent per-device state, so it is decided in a
+  // *serial* pre-pass over arrival order; only the verification of the
+  // admitted remainder runs on the pool. The admitted verdicts are then
+  // exactly what an admission-free verify_batch would produce for the same
+  // subsequence — the digest-parity property the soak harness pins.
+  std::vector<Admission> decisions(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    decisions[i] = admission_.admit(requests[i].device_id, requests[i].challenge);
+  }
   return parallel_transform<AuthVerdict>(
       requests.size(), options_.threads,
-      [&](std::size_t i) { return verify(requests[i]); }, options_.batch_grain);
+      [&](std::size_t i) {
+        switch (decisions[i]) {
+          case Admission::kRateLimited:
+            return AuthVerdict{AuthStatus::kRateLimited, 0, options_.response_bits};
+          case Admission::kBudgetExhausted:
+            return AuthVerdict{AuthStatus::kBudgetExhausted, 0,
+                               options_.response_bits};
+          case Admission::kAdmit:
+            break;
+        }
+        return verify(requests[i]);
+      },
+      options_.batch_grain);
 }
 
 // ----------------------------------------------------------------- workload

@@ -29,6 +29,14 @@
 //    malformed request each map to their own verdict status, so one bad
 //    request never poisons a batch. Prover-side readout failure reuses the
 //    MeasurementFault taxonomy from the fault-injection framework.
+//  * Optional admission control (service/admission.h): a deterministic
+//    per-device token bucket and CRP-exhaustion/reuse budgets run as a
+//    *serial pre-pass* over each batch in arrival order, answering denied
+//    requests with kRateLimited/kBudgetExhausted degradation verdicts.
+//    Admission is order-dependent state, so it must never run under the
+//    parallel pool; only the admitted remainder is verified in parallel,
+//    which keeps the admitted verdicts bit-identical to an admission-free
+//    verify_batch over the same subsequence at any thread budget.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +51,7 @@
 #include "common/parallel.h"
 #include "obs/metrics.h"
 #include "registry/registry.h"
+#include "service/admission.h"
 #include "silicon/faults.h"
 
 namespace ropuf::service {
@@ -63,7 +72,12 @@ enum class AuthStatus {
   kUnknownDevice,    ///< device id not present in the registry
   kCorruptRecord,    ///< the device's record failed to decode (kBadRecord)
   kMalformedRequest, ///< response empty or of the wrong length
+  kRateLimited,      ///< admission: the device's token bucket is empty
+  kBudgetExhausted,  ///< admission: CRP or reuse budget spent for the device
 };
+
+/// Number of AuthStatus values (CLI tally arrays, wire status validation).
+inline constexpr std::size_t kAuthStatusCount = 7;
 
 /// Stable human-readable name for a status (CLI and report code).
 const char* auth_status_name(AuthStatus status);
@@ -95,6 +109,8 @@ struct AuthServiceOptions {
   std::size_t unknown_cache_capacity = 256;
   /// Requests per parallel chunk in verify_batch.
   std::size_t batch_grain = 64;
+  /// Per-device admission control (all-off by default; see admission.h).
+  AdmissionOptions admission;
   ThreadBudget threads;
 };
 
@@ -183,18 +199,31 @@ class AuthService {
 
   /// Verifies one request; never throws on bad input (degradation statuses
   /// cover unknown devices, corrupt records and malformed requests).
+  /// Admission-free: admission is an arrival-order property of the request
+  /// *stream*, so it lives in verify_batch's serial pre-pass, not here.
   AuthVerdict verify(const AuthRequest& request) const;
 
-  /// Verifies a batch over the parallel pool. Verdict i is exactly
-  /// verify(requests[i]); the output order matches the input order and is
-  /// bit-identical at any thread budget.
+  /// Verifies a batch over the parallel pool. With admission disabled (the
+  /// default), verdict i is exactly verify(requests[i]). With admission
+  /// enabled, a serial pre-pass first decides every request in arrival
+  /// order; denied requests answer kRateLimited/kBudgetExhausted and the
+  /// admitted remainder is verified in parallel — so the admitted verdicts
+  /// match an admission-free batch over the same subsequence. Either way
+  /// the output order matches the input order and is bit-identical at any
+  /// thread budget.
   std::vector<AuthVerdict> verify_batch(const std::vector<AuthRequest>& requests) const;
+
+  /// The admission state machine (live counters; flush_metrics() for the
+  /// per-device deny histogram). Decides kAdmit-everything when the
+  /// configured AdmissionOptions are all-off.
+  AdmissionController& admission() const { return admission_; }
 
  private:
   const registry::Registry* registry_;
   AuthServiceOptions options_;
   mutable EnrollmentCache cache_;
   mutable EnrollmentCache unknown_cache_;
+  mutable AdmissionController admission_;
 };
 
 /// Deterministic request-mix generator for benches, tests and the CLI's

@@ -18,6 +18,24 @@ const std::vector<double>& vt_temperatures() {
   return t;
 }
 
+const std::vector<OperatingPoint>& vt_corner_schedule() {
+  static const std::vector<OperatingPoint> schedule = [] {
+    std::vector<OperatingPoint> corners;
+    const OperatingPoint nominal = nominal_op();
+    // Nominal first (vt_voltages() lists it third), so a walk through the
+    // schedule begins at the enrollment corner.
+    corners.push_back(nominal);
+    for (double v : vt_voltages()) {
+      if (v != nominal.voltage_v) corners.push_back({v, nominal.temperature_c});
+    }
+    for (double t : vt_temperatures()) {
+      if (t != nominal.temperature_c) corners.push_back({nominal.voltage_v, t});
+    }
+    return corners;
+  }();
+  return schedule;
+}
+
 double device_delay_ps(const DeviceParams& dev, const EnvModel& env,
                        const OperatingPoint& op) {
   ROPUF_REQUIRE(op.voltage_v > dev.vth_v + 1e-3,

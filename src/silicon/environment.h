@@ -37,6 +37,14 @@ const std::vector<double>& vt_voltages();
 /// 35..65 are the "varying temperature" measurements).
 const std::vector<double>& vt_temperatures();
 
+/// The paper's F4/F5 environmental-drift schedule as one corner sequence:
+/// the five voltage corners at the baseline temperature (F4, "varying
+/// voltage") followed by the four non-baseline temperatures at the nominal
+/// supply (F5, "varying temperature"). The first entry is the nominal
+/// corner, so a run that walks this schedule starts drift-free. The soak
+/// harness (tools/ropuf_soak) cycles prover readouts through it mid-run.
+const std::vector<OperatingPoint>& vt_corner_schedule();
+
 /// Static per-device electrical parameters fixed at fabrication.
 struct DeviceParams {
   double delay_ref_ps = 0.0;   ///< delay at the reference corner

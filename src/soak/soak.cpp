@@ -1,0 +1,228 @@
+#include "soak/soak.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "attack/harvest.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "net/client.h"
+#include "puf/crp.h"
+#include "puf/measurement.h"
+#include "silicon/environment.h"
+
+namespace ropuf::soak {
+namespace {
+
+/// One legitimate prover: a minted device wired for live responses.
+struct Prover {
+  std::uint64_t device_id = 0;
+  const sil::Chip* chip = nullptr;
+  puf::CrpOracle oracle;
+  Rng noise_rng;
+
+  Prover(std::uint64_t id, const sil::Chip* c,
+         const puf::ConfigurableEnrollment* enrollment, std::size_t bits,
+         Rng rng)
+      : device_id(id), chip(c), oracle(enrollment, bits), noise_rng(rng) {}
+};
+
+/// Trains a fresh logistic clone on the harvest so far and scores it on
+/// fresh challenges. Coin-flip by definition while nothing was harvested.
+double checkpoint_accuracy(const attack::DistanceOracleHarvester& harvester,
+                           const puf::ConfigurableEnrollment& enrollment,
+                           const SoakOptions& options) {
+  if (harvester.harvested().empty()) return 0.5;
+  attack::LogisticModel model;
+  Rng fit_rng(options.seed ^ 0xf17c10ull);
+  model.fit(harvester.training_set(), options.fit, fit_rng);
+  return attack::clone_accuracy(model, enrollment, options.service.response_bits,
+                                options.eval_challenges, options.seed ^ 0xe5a1ull);
+}
+
+}  // namespace
+
+SoakReport run_soak(const SoakOptions& options) {
+  ROPUF_REQUIRE(options.slots > 0, "soak needs at least one slot");
+  ROPUF_REQUIRE(options.burst_requests > 0, "burst_requests must be positive");
+  ROPUF_REQUIRE(options.eval_challenges > 0, "eval_challenges must be positive");
+  ROPUF_REQUIRE(options.fleet.devices >= 2,
+                "soak needs the attacked device plus at least one legitimate one");
+
+  // ---- mint the fleet with silicon kept, build the served registry.
+  std::vector<registry::MintedDevice> minted =
+      registry::mint_fleet_with_chips(options.fleet);
+  registry::RegistryBuilder builder;
+  for (const registry::MintedDevice& device : minted) {
+    builder.add(device.device_id, device.enrollment);
+  }
+  const registry::Registry reg = registry::Registry::from_bytes(builder.build());
+
+  const service::AuthService svc(&reg, options.service);
+  net::ServerOptions server_options = options.server;
+  net::AuthServer server(&svc, server_options);
+  const std::uint16_t port = server.bind_and_listen();
+  std::thread server_thread([&server] { server.run(); });
+
+  SoakReport report;
+  try {
+    const std::size_t bits =
+        std::min(options.service.response_bits, options.fleet.pairs);
+
+    // ---- the adversary: a distance-oracle harvester on its own connection,
+    // targeting the first minted device.
+    const registry::MintedDevice& target = minted.front();
+    report.target_device = target.device_id;
+    attack::DistanceOracleHarvester harvester(target.device_id, bits,
+                                              options.fleet.pairs,
+                                              options.seed ^ 0xa77ac4ull);
+    net::ClientOptions attacker_options;
+    attacker_options.port = port;
+    net::AuthClient attacker(attacker_options);
+    attacker.connect();
+
+    // ---- legitimate provers over the rest of the fleet, one persistent
+    // pipelined connection. Noise streams fork serially in device order.
+    Rng noise_base(options.seed ^ 0x1e917ull);
+    std::vector<Prover> provers;
+    provers.reserve(minted.size() - 1);
+    for (std::size_t d = 1; d < minted.size(); ++d) {
+      provers.emplace_back(minted[d].device_id, &minted[d].chip,
+                           &minted[d].enrollment, bits, noise_base.fork());
+    }
+    net::ClientOptions legit_options;
+    legit_options.port = port;
+    legit_options.window = std::min<std::size_t>(options.burst_requests,
+                                                 server_options.max_pending);
+    net::AuthClient legit(legit_options);
+    legit.connect();
+
+    puf::UnitMeasurementSpec measurement;
+    measurement.noise_sigma_ps = options.readout_noise_ps;
+    Rng challenge_rng(options.seed ^ 0xc4a11ull);
+
+    const std::vector<sil::OperatingPoint>& corners = sil::vt_corner_schedule();
+    const std::size_t checkpoint_count = std::min(options.checkpoints, options.slots);
+    const std::size_t checkpoint_stride =
+        checkpoint_count == 0 ? 0 : options.slots / checkpoint_count;
+
+    std::vector<service::AuthRequest> admitted_requests;
+    std::vector<service::AuthVerdict> online_verdicts;
+    std::size_t legit_cursor = 0;
+
+    for (std::size_t slot = 0; slot < options.slots; ++slot) {
+      // -- attacker volley: strictly closed loop, one probe in flight.
+      for (std::size_t p = 0; p < options.attacker_probes_per_slot; ++p) {
+        const attack::Probe probe = harvester.next_probe();
+        service::AuthRequest request;
+        request.device_id = probe.device_id;
+        request.challenge = probe.challenge;
+        request.response = probe.guess;
+        const net::WireResponse response = attacker.send_request(request);
+        ++report.attacker_probes;
+        switch (response.status) {
+          case net::WireStatus::kAccept:
+          case net::WireStatus::kReject:
+            harvester.answered(static_cast<std::size_t>(response.distance));
+            break;
+          case net::WireStatus::kRateLimited:
+          case net::WireStatus::kOverloaded:
+            harvester.deferred();
+            break;
+          default:
+            // Budget exhausted (or any other terminal answer): drop the
+            // challenge and try a fresh one — the budgets deplete separately.
+            harvester.abandoned();
+            break;
+        }
+      }
+
+      // -- legitimate burst: live responses measured at the slot's corner.
+      // The schedule walks nominal -> voltage corners -> temperature
+      // corners across the run, so drift arrives mid-soak.
+      const sil::OperatingPoint corner =
+          corners[slot * corners.size() / options.slots];
+      std::vector<service::AuthRequest> burst;
+      burst.reserve(options.burst_requests);
+      for (std::size_t r = 0; r < options.burst_requests; ++r) {
+        Prover& prover = provers[legit_cursor++ % provers.size()];
+        service::AuthRequest request;
+        request.device_id = prover.device_id;
+        request.challenge = challenge_rng.next_u64();
+        const std::vector<double> values = puf::measure_unit_ddiffs(
+            *prover.chip, corner, measurement, prover.noise_rng);
+        request.response = prover.oracle.respond(request.challenge, values);
+        burst.push_back(std::move(request));
+      }
+      const std::vector<net::WireResponse> responses = legit.send_batch(burst);
+      report.legit_requests += burst.size();
+      for (std::size_t r = 0; r < responses.size(); ++r) {
+        const net::WireResponse& response = responses[r];
+        if (net::wire_status_is_transport(response.status) ||
+            response.status == net::WireStatus::kRateLimited ||
+            response.status == net::WireStatus::kBudgetExhausted) {
+          ++report.legit_denied;
+          continue;
+        }
+        ++report.legit_answered;
+        if (response.accepted()) ++report.legit_accepted;
+        admitted_requests.push_back(burst[r]);
+        online_verdicts.push_back(net::auth_verdict(response));
+      }
+
+      // -- checkpoint: train on the harvest so far, score on fresh CRPs.
+      if (checkpoint_stride > 0 && (slot + 1) % checkpoint_stride == 0 &&
+          report.checkpoints.size() < checkpoint_count) {
+        SoakCheckpoint checkpoint;
+        checkpoint.slot = slot;
+        checkpoint.attacker_admitted = harvester.admitted();
+        checkpoint.bits_recovered = harvester.harvested().size();
+        checkpoint.clone_accuracy =
+            checkpoint_accuracy(harvester, target.enrollment, options);
+        report.checkpoints.push_back(checkpoint);
+      }
+    }
+
+    attacker.close();
+    legit.close();
+
+    report.availability =
+        report.legit_requests == 0
+            ? 0.0
+            : static_cast<double>(report.legit_answered) /
+                  static_cast<double>(report.legit_requests);
+    report.attacker_admitted = harvester.admitted();
+    report.attacker_deferred = harvester.deferrals();
+    report.attacker_abandoned = harvester.abandoned_challenges();
+    report.bits_recovered = harvester.harvested().size();
+    report.challenges_recovered = harvester.challenges_recovered();
+    report.final_accuracy =
+        checkpoint_accuracy(harvester, target.enrollment, options);
+
+    // -- digest parity: an offline, admission-free verifier over exactly
+    // the admitted legit requests must reproduce the online verdicts
+    // bit-for-bit at several thread budgets.
+    report.online_digest = service::verdict_digest(online_verdicts);
+    report.digest_parity = true;
+    for (const std::size_t budget : {1u, 2u, 8u}) {
+      service::AuthServiceOptions offline_options = options.service;
+      offline_options.admission = service::AdmissionOptions{};
+      offline_options.threads = ThreadBudget(budget);
+      const service::AuthService offline(&reg, offline_options);
+      const std::uint64_t digest =
+          service::verdict_digest(offline.verify_batch(admitted_requests));
+      if (digest != report.online_digest) report.digest_parity = false;
+    }
+  } catch (...) {
+    server.request_stop();
+    server_thread.join();
+    throw;
+  }
+
+  server.request_stop();
+  server_thread.join();
+  return report;
+}
+
+}  // namespace ropuf::soak

@@ -1,0 +1,109 @@
+// Closed-loop attack soak harness: the whole serving stack under mixed
+// legitimate + adversarial traffic with environmental drift (docs/attack_soak.md).
+//
+// One run stands up the real thing end to end:
+//
+//   mint fleet (chips kept) -> registry -> AuthService (+ admission)
+//     -> AuthServer on loopback -> one legit AuthClient + one attacker
+//
+// and then interleaves, in deterministic lockstep, two traffic sources:
+//
+//  * Legitimate provers: each slot sends one pipelined burst of genuine
+//    responses — the device's retained chip re-measured at the slot's
+//    operating corner (sil::vt_corner_schedule walks the F4/F5 voltage and
+//    temperature sweep across the run, so drift shifts live responses
+//    mid-soak) — for devices rotating over the fleet minus the attacked
+//    device.
+//  * The adversary: a DistanceOracleHarvester (attack/harvest.h) mining the
+//    Hamming-distance oracle of one target device through the same server,
+//    training a logistic clone of the device from whatever the admission
+//    layer lets through.
+//
+// Lockstep means every scheduled event fully drains its responses before
+// the next event sends, so the server observes one global arrival order —
+// and because admission is deterministic in arrival order, the same
+// SoakOptions always produce the same SoakReport. That is what lets ctest
+// pin the defense: attacker clone accuracy with admission on vs. off,
+// legitimate availability, and online/offline verdict-digest parity are
+// all exact, seeded quantities.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "attack/logistic.h"
+#include "net/server.h"
+#include "registry/registry.h"
+#include "service/auth_service.h"
+
+namespace ropuf::soak {
+
+struct SoakOptions {
+  /// Fleet to mint and serve; the first minted device is the attack target.
+  registry::FleetSpec fleet;
+  /// Service configuration, including the admission knobs under test.
+  service::AuthServiceOptions service;
+  /// Server bounds; port 0 (an ephemeral loopback port) is the right value.
+  net::ServerOptions server;
+
+  /// Scheduled slots; each runs one attacker volley then one legit burst.
+  std::size_t slots = 32;
+  /// Legitimate requests per burst.
+  std::size_t burst_requests = 8;
+  /// Attacker probes per slot (sent one at a time, closed loop).
+  std::size_t attacker_probes_per_slot = 8;
+  /// Per-bit readout noise on legitimate prover measurements.
+  double readout_noise_ps = 0.5;
+  /// Accuracy checkpoints recorded across the run (<= slots).
+  std::size_t checkpoints = 8;
+  /// Fresh challenges per clone-accuracy evaluation.
+  std::size_t eval_challenges = 64;
+  /// Drives the legit challenge stream, prover noise, attacker challenge
+  /// sequence and model fits; same seed — same report.
+  std::uint64_t seed = 0x50a4;
+  /// Model fit knobs for the checkpoint training runs.
+  attack::LogisticModel::FitOptions fit;
+};
+
+/// One accuracy-vs-admitted sample.
+struct SoakCheckpoint {
+  std::size_t slot = 0;                ///< slot index the sample was taken after
+  std::size_t attacker_admitted = 0;   ///< verified attacker probes so far
+  std::size_t bits_recovered = 0;      ///< reference bits extracted so far
+  double clone_accuracy = 0.5;         ///< model accuracy on fresh challenges
+};
+
+struct SoakReport {
+  // Legitimate traffic.
+  std::size_t legit_requests = 0;
+  std::size_t legit_answered = 0;  ///< real verdicts (accept/reject/...)
+  std::size_t legit_denied = 0;    ///< rate-limited/budget-exhausted/overloaded
+  std::size_t legit_accepted = 0;
+  /// legit_answered / legit_requests; the availability-under-attack metric.
+  double availability = 0.0;
+
+  // Digest parity: FNV digest of the admitted legit verdicts as served
+  /// online, and whether an offline admission-free verify_batch over the
+  /// same admitted requests reproduces it at thread budgets {1, 2, 8}.
+  std::uint64_t online_digest = 0;
+  bool digest_parity = false;
+
+  // Adversary.
+  std::uint64_t target_device = 0;
+  std::size_t attacker_probes = 0;
+  std::size_t attacker_admitted = 0;
+  std::size_t attacker_deferred = 0;    ///< rate-limited probes
+  std::size_t attacker_abandoned = 0;   ///< challenges dropped on budget denial
+  std::size_t bits_recovered = 0;
+  std::size_t challenges_recovered = 0;
+  double final_accuracy = 0.5;
+  std::vector<SoakCheckpoint> checkpoints;
+};
+
+/// Runs one soak end to end (binds a loopback server, serves, drains) and
+/// returns the report. Deterministic for fixed options. Throws ropuf::Error
+/// on invalid options or a transport-level failure.
+SoakReport run_soak(const SoakOptions& options);
+
+}  // namespace ropuf::soak

@@ -1,0 +1,161 @@
+// Tests for the distance-oracle harvester: exact bit extraction against a
+// real enrollment oracle, probe stability under retryable denials, adaptive
+// challenge abandonment, oracle-consistency validation, and the clone
+// pipeline (one-hot features -> logistic fit -> near-perfect accuracy once
+// the pair space is covered).
+#include "attack/harvest.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "puf/crp.h"
+#include "registry/format.h"
+#include "registry/registry.h"
+
+namespace ropuf::attack {
+namespace {
+
+constexpr std::size_t kBits = 8;
+constexpr std::size_t kPairs = 16;
+
+puf::ConfigurableEnrollment target_enrollment() {
+  registry::FleetSpec spec;
+  spec.devices = 2;
+  spec.stages = 5;
+  spec.pairs = kPairs;
+  spec.seed = 0x6a37;
+  const auto registry =
+      registry::Registry::from_bytes(registry::build_fleet_registry(spec));
+  return registry.lookup(registry.device_id_at(0));
+}
+
+/// Plays the verifier: answers a probe with the exact Hamming distance the
+/// service would report for the enrolled reference.
+std::size_t oracle_distance(const puf::CrpOracle& oracle, const Probe& probe) {
+  return probe.guess.hamming_distance(oracle.reference(probe.challenge));
+}
+
+TEST(DistanceOracleHarvester, RecoversReferenceBitsExactly) {
+  const auto enrollment = target_enrollment();
+  const puf::CrpOracle oracle(&enrollment, kBits);
+  DistanceOracleHarvester harvester(7, kBits, kPairs, 0x5eed);
+
+  // Drive three full challenges through the closed loop and check every
+  // harvested (pair, bit) fact against the ground-truth reference.
+  while (harvester.challenges_recovered() < 3) {
+    const Probe probe = harvester.next_probe();
+    const std::uint64_t challenge = probe.challenge;
+    const std::vector<std::size_t> pairs =
+        puf::challenge_to_pairs(challenge, kPairs, kBits);
+    const BitVec reference = oracle.reference(challenge);
+
+    const std::size_t facts_before = harvester.harvested().size();
+    harvester.answered(oracle_distance(oracle, probe));
+    // A baseline probe appends no fact; only check when one was extracted.
+    if (harvester.harvested().size() == facts_before) continue;
+    const HarvestedBit& latest = harvester.harvested().back();
+    // The latest fact must be one of this challenge's pairs with the
+    // reference bit at the matching position.
+    bool matched = false;
+    for (std::size_t i = 0; i < kBits; ++i) {
+      if (pairs[i] == latest.pair && reference.get(i) == latest.bit) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "harvested pair " << latest.pair;
+  }
+  // b+1 probes per challenge, b bits each: exact accounting.
+  EXPECT_EQ(harvester.admitted(), 3 * (kBits + 1));
+  EXPECT_EQ(harvester.harvested().size(), 3 * kBits);
+  EXPECT_EQ(harvester.deferrals(), 0u);
+  EXPECT_EQ(harvester.abandoned_challenges(), 0u);
+}
+
+TEST(DistanceOracleHarvester, DeferredProbeIsReissuedByteIdentically) {
+  DistanceOracleHarvester harvester(7, kBits, kPairs, 0x5eed);
+  const Probe before = harvester.next_probe();
+  harvester.deferred();
+  harvester.deferred();
+  const Probe after = harvester.next_probe();
+  EXPECT_EQ(before.device_id, after.device_id);
+  EXPECT_EQ(before.challenge, after.challenge);
+  EXPECT_EQ(before.guess, after.guess);
+  EXPECT_EQ(harvester.deferrals(), 2u);
+  EXPECT_EQ(harvester.admitted(), 0u);
+}
+
+TEST(DistanceOracleHarvester, AbandonedChallengeMovesOnButKeepsItsBits) {
+  const auto enrollment = target_enrollment();
+  const puf::CrpOracle oracle(&enrollment, kBits);
+  DistanceOracleHarvester harvester(7, kBits, kPairs, 0x5eed);
+
+  // Baseline + one bit probe extracted, then a terminal denial.
+  const std::uint64_t first_challenge = harvester.next_probe().challenge;
+  harvester.answered(oracle_distance(oracle, harvester.next_probe()));
+  harvester.answered(oracle_distance(oracle, harvester.next_probe()));
+  ASSERT_EQ(harvester.harvested().size(), 1u);
+
+  harvester.abandoned();
+  EXPECT_EQ(harvester.abandoned_challenges(), 1u);
+  EXPECT_EQ(harvester.harvested().size(), 1u);  // extracted bit survives
+
+  // A fresh challenge starts over at the all-zeros baseline probe.
+  const Probe fresh = harvester.next_probe();
+  EXPECT_NE(fresh.challenge, first_challenge);
+  EXPECT_EQ(fresh.guess.popcount(), 0u);
+}
+
+TEST(DistanceOracleHarvester, InconsistentDistancesThrow) {
+  const auto enrollment = target_enrollment();
+  const puf::CrpOracle oracle(&enrollment, kBits);
+  DistanceOracleHarvester harvester(7, kBits, kPairs, 0x5eed);
+
+  const std::size_t baseline = oracle_distance(oracle, harvester.next_probe());
+  harvester.answered(baseline);
+  // A single-bit probe can only move the distance by exactly one; anything
+  // else means the verifier's reference changed mid-challenge.
+  EXPECT_THROW(harvester.answered(baseline + 3), Error);
+}
+
+TEST(DistanceOracleHarvester, ConstructorValidatesShape) {
+  EXPECT_THROW(DistanceOracleHarvester(7, 0, kPairs, 1), Error);
+  EXPECT_THROW(DistanceOracleHarvester(7, kPairs + 1, kPairs, 1), Error);
+}
+
+TEST(Harvest, PairFeaturesAreOneHot) {
+  const std::vector<double> features = pair_features(3, 6);
+  ASSERT_EQ(features.size(), 6u);
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    EXPECT_DOUBLE_EQ(features[i], i == 3 ? 1.0 : 0.0);
+  }
+  EXPECT_THROW(pair_features(6, 6), Error);
+}
+
+TEST(Harvest, FullPairCoverageYieldsANearPerfectClone) {
+  // Harvest until every enrolled pair was observed at least once, then the
+  // trained logistic model must clone the device on fresh challenges.
+  const auto enrollment = target_enrollment();
+  const puf::CrpOracle oracle(&enrollment, kBits);
+  DistanceOracleHarvester harvester(7, kBits, kPairs, 0x5eed);
+
+  std::set<std::size_t> covered;
+  while (covered.size() < kPairs && harvester.admitted() < 4096) {
+    harvester.answered(oracle_distance(oracle, harvester.next_probe()));
+    for (const HarvestedBit& fact : harvester.harvested()) {
+      covered.insert(fact.pair);
+    }
+  }
+  ASSERT_EQ(covered.size(), kPairs) << "pair space not covered";
+
+  LogisticModel model;
+  Rng fit_rng(0xf17);
+  model.fit(harvester.training_set(), {}, fit_rng);
+  EXPECT_GE(clone_accuracy(model, enrollment, kBits, 64, 0xe7a1), 0.99);
+}
+
+}  // namespace
+}  // namespace ropuf::attack

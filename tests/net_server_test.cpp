@@ -20,6 +20,7 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "net/client.h"
+#include "puf/crp.h"
 #include "registry/registry.h"
 #include "service/auth_service.h"
 
@@ -356,6 +357,107 @@ TEST(AuthServer, TinyWriteBufferClosesSlowConsumers) {
   EXPECT_EQ(client.recv_until_close(), 0u);
 }
 
+// ------------------------------------------------- configuration validation
+
+TEST(AuthServer, RejectsDegenerateOptionsEagerly) {
+  // A zero/negative bound would produce a wedged or spinning loop at
+  // runtime; construction must fail instead.
+  const registry::Registry registry = small_registry(2);
+  const service::AuthService service(&registry, {});
+
+  const auto rejects = [&](auto mutate) {
+    net::ServerOptions options;
+    mutate(options);
+    EXPECT_THROW(net::AuthServer(&service, options), Error);
+  };
+  rejects([](net::ServerOptions& o) { o.backlog = 0; });
+  rejects([](net::ServerOptions& o) { o.backlog = -1; });
+  rejects([](net::ServerOptions& o) { o.max_connections = 0; });
+  rejects([](net::ServerOptions& o) { o.max_pending = 0; });
+  rejects([](net::ServerOptions& o) { o.max_batch = 0; });
+  rejects([](net::ServerOptions& o) { o.max_write_buffer = 0; });
+  rejects([](net::ServerOptions& o) { o.max_read_per_sweep = 0; });
+  rejects([](net::ServerOptions& o) { o.read_deadline_ms = 0; });
+  rejects([](net::ServerOptions& o) { o.read_deadline_ms = -5; });
+  rejects([](net::ServerOptions& o) { o.accept_backoff_ms = -1; });
+  rejects([](net::ServerOptions& o) { o.poll_interval_ms = 0; });
+  rejects([](net::ServerOptions& o) { o.drain_timeout_ms = -1; });
+  EXPECT_THROW(net::AuthServer(nullptr, net::ServerOptions{}), Error);
+}
+
+// ------------------------------------------- admission verdicts on the wire
+
+/// A genuine request for device index `d` of the harness registry.
+service::AuthRequest genuine_request(const registry::Registry& registry,
+                                     std::size_t device_index,
+                                     std::uint64_t challenge,
+                                     std::size_t bits = 16) {
+  const std::uint64_t id = registry.device_id_at(device_index);
+  const auto enrollment = registry.lookup(id);
+  const puf::CrpOracle oracle(&enrollment, bits);
+  return {id, challenge, oracle.reference(challenge)};
+}
+
+TEST(AuthServer, RateLimitedAnswersKeepArrivalOrder) {
+  // One device pipelines 6 requests against a burst of 2 with a refill
+  // interval too long to matter. In-order wire contract: the first two
+  // responses are the real verdicts, every later one is kRateLimited — at
+  // the positions the requests arrived, never reordered.
+  service::AuthServiceOptions auth_options;
+  auth_options.admission.rate_burst = 2;
+  auth_options.admission.rate_interval = 1000;
+  ServerHarness harness({}, auth_options);
+
+  std::vector<service::AuthRequest> requests;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    requests.push_back(genuine_request(harness.registry(), 0, 0xbead + i));
+  }
+  std::string blob;
+  for (const service::AuthRequest& request : requests) {
+    blob += net::encode_request_frame(request);
+  }
+  net::AuthClient client = harness.client();
+  client.send_raw(blob);
+
+  const service::AuthService offline(&harness.registry(), {});
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const net::WireResponse response = client.recv_response();
+    if (i < 2) {
+      const service::AuthVerdict expected = offline.verify(requests[i]);
+      EXPECT_EQ(net::auth_verdict(response).status, expected.status)
+          << "request " << i;
+      EXPECT_EQ(net::auth_verdict(response).distance, expected.distance)
+          << "request " << i;
+    } else {
+      EXPECT_EQ(response.status, net::WireStatus::kRateLimited) << "request " << i;
+    }
+  }
+
+  // The connection survives rate limiting, and another device is untouched
+  // by the first device's empty bucket.
+  const service::AuthRequest other = genuine_request(harness.registry(), 1, 0xf00d);
+  const net::WireResponse ok = client.send_request(other);
+  EXPECT_EQ(ok.status, net::WireStatus::kAccept);
+}
+
+TEST(AuthServer, BudgetExhaustedAnswersDistinguishFreshFromRepeat) {
+  service::AuthServiceOptions auth_options;
+  auth_options.admission.crp_budget = 1;
+  ServerHarness harness({}, auth_options);
+  net::AuthClient client = harness.client();
+
+  const service::AuthRequest first = genuine_request(harness.registry(), 0, 0xaa);
+  EXPECT_EQ(client.send_request(first).status, net::WireStatus::kAccept);
+
+  // A second *distinct* challenge exceeds the device's CRP budget...
+  const service::AuthRequest fresh = genuine_request(harness.registry(), 0, 0xbb);
+  EXPECT_EQ(client.send_request(fresh).status, net::WireStatus::kBudgetExhausted);
+
+  // ...but repeating the already-seen challenge is still admitted (the
+  // reuse budget is off), and the verdict is the same as the first.
+  EXPECT_EQ(client.send_request(first).status, net::WireStatus::kAccept);
+}
+
 // --------------------------------------------------- client error handling
 //
 // The real server never misbehaves, so the client's defensive paths need a
@@ -519,6 +621,33 @@ TEST(AuthClient, SendToAResetConnectionEventuallyThrows) {
     if (!threw) std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_TRUE(threw);
+}
+
+TEST(AuthClient, ServerCloseMidPipelinedBatchSurfacesACleanError) {
+  // The peer answers the first request of a pipelined batch and then
+  // disappears. send_batch must surface an Error promptly — never hang
+  // waiting for the missing responses, never fabricate them.
+  net::WireResponse response;
+  response.status = net::WireStatus::kAccept;
+  response.response_bits = 16;
+  const std::string one_answer = net::encode_response_frame(response);
+
+  RawPeer peer;
+  net::AuthClient client = peer_client(peer.port(), /*io_timeout_ms=*/2000);
+  peer.accept_one();
+  peer.send_bytes(one_answer);
+  peer.close_accepted();
+
+  std::vector<service::AuthRequest> batch(4);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].device_id = 7;
+    batch[i].challenge = i;
+    batch[i].response = BitVec(16);
+  }
+  const auto began = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.send_batch(batch), Error);
+  const auto elapsed = std::chrono::steady_clock::now() - began;
+  EXPECT_LT(elapsed, std::chrono::seconds(10)) << "client hung on a dead server";
 }
 
 }  // namespace

@@ -59,8 +59,8 @@ TEST(Wire, RequestRoundTripPreservesEveryField) {
 }
 
 TEST(Wire, ResponseRoundTripCoversEveryStatus) {
-  for (std::uint8_t s = 0; s <= static_cast<std::uint8_t>(net::WireStatus::kOverloaded);
-       ++s) {
+  for (std::uint8_t s = 0;
+       s <= static_cast<std::uint8_t>(net::WireStatus::kBudgetExhausted); ++s) {
     net::WireResponse response;
     response.status = static_cast<net::WireStatus>(s);
     response.distance = 7 + s;
@@ -210,7 +210,7 @@ TEST(WireDefect, NonzeroPaddingBitsThrow) {
 TEST(WireDefect, ResponsePayloadWrongSizeOrUnknownStatusThrows) {
   EXPECT_THROW(net::decode_response_payload(std::string(12, '\0')), net::WireError);
   std::string payload(13, '\0');
-  payload[0] = 7;  // one past kOverloaded
+  payload[0] = 9;  // one past kBudgetExhausted
   EXPECT_THROW(net::decode_response_payload(payload), net::WireError);
 }
 
@@ -260,6 +260,9 @@ TEST(Wire, EnumeratorNamesAreStable) {
                "malformed-request");
   EXPECT_STREQ(net::wire_status_name(net::WireStatus::kBadFrame), "bad-frame");
   EXPECT_STREQ(net::wire_status_name(net::WireStatus::kOverloaded), "overloaded");
+  EXPECT_STREQ(net::wire_status_name(net::WireStatus::kRateLimited), "rate-limited");
+  EXPECT_STREQ(net::wire_status_name(net::WireStatus::kBudgetExhausted),
+               "budget-exhausted");
 
   EXPECT_STREQ(net::frame_defect_name(net::FrameDefect::kBadMagic), "bad-magic");
   EXPECT_STREQ(net::frame_defect_name(net::FrameDefect::kBadVersion), "bad-version");

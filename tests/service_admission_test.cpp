@@ -1,0 +1,343 @@
+// Tests for the per-device admission controller: option validation, the
+// logical-clock token bucket (including the fair-share property that other
+// devices' traffic refills a throttled device), the distinct/reuse budget
+// split with its bounded challenge sketch, LRU capacity eviction, replay
+// determinism, and the AuthService integration contract — admission is a
+// serial pre-pass whose admitted subsequence verifies bit-identically to an
+// admission-free batch at any thread budget.
+#include "service/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "puf/crp.h"
+#include "registry/format.h"
+#include "registry/registry.h"
+#include "service/auth_service.h"
+
+namespace ropuf::service {
+namespace {
+
+AdmissionOptions rate_only(std::uint64_t burst, std::uint64_t interval) {
+  AdmissionOptions options;
+  options.rate_burst = burst;
+  options.rate_interval = interval;
+  return options;
+}
+
+TEST(AdmissionOptions, EnabledOnlyWhenACheckIsConfigured) {
+  EXPECT_FALSE(AdmissionOptions{}.enabled());
+  EXPECT_TRUE(rate_only(4, 2).enabled());
+  AdmissionOptions crp;
+  crp.crp_budget = 8;
+  EXPECT_TRUE(crp.enabled());
+  AdmissionOptions reuse;
+  reuse.reuse_budget = 2;
+  EXPECT_TRUE(reuse.enabled());
+}
+
+TEST(AdmissionController, RejectsInconsistentOptions) {
+  AdmissionOptions half_rate;
+  half_rate.rate_burst = 4;  // burst without an interval is meaningless
+  EXPECT_THROW(AdmissionController{half_rate}, Error);
+
+  AdmissionOptions other_half;
+  other_half.rate_interval = 4;
+  EXPECT_THROW(AdmissionController{other_half}, Error);
+
+  AdmissionOptions no_sketch;
+  no_sketch.challenge_sketch = 0;
+  EXPECT_THROW(AdmissionController{no_sketch}, Error);
+
+  AdmissionOptions no_capacity = rate_only(4, 2);
+  no_capacity.device_capacity = 0;
+  EXPECT_THROW(AdmissionController{no_capacity}, Error);
+
+  // Zero capacity is fine while admission is off: no state is ever tracked.
+  AdmissionOptions disabled;
+  disabled.device_capacity = 0;
+  EXPECT_NO_THROW(AdmissionController{disabled});
+}
+
+TEST(AdmissionController, DisabledAdmitsEverythingWithoutTrackingState) {
+  AdmissionController controller{AdmissionOptions{}};
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(controller.admit(i, i * 31), Admission::kAdmit);
+  }
+  EXPECT_EQ(controller.tracked_devices(), 0u);
+  EXPECT_EQ(controller.ticks(), 0u);
+}
+
+TEST(AdmissionController, TokenBucketDrainsAndRefillsOnTheLogicalClock) {
+  // burst 2, one token per 4 ticks. The clock ticks once per admit() call.
+  AdmissionController controller{rate_only(2, 4)};
+
+  EXPECT_EQ(controller.admit(1, 100), Admission::kAdmit);        // tick 1
+  EXPECT_EQ(controller.admit(1, 101), Admission::kAdmit);        // tick 2
+  EXPECT_EQ(controller.admit(1, 102), Admission::kRateLimited);  // tick 3: empty
+
+  // Another device's traffic advances the shared clock — the fair-share
+  // property: a busy server refills the throttled device sooner.
+  EXPECT_EQ(controller.admit(2, 200), Admission::kAdmit);  // tick 4
+  EXPECT_EQ(controller.admit(2, 201), Admission::kAdmit);  // tick 5
+
+  // Device 1 was created at tick 1; by tick 6 it earned 5/4 = 1 token.
+  EXPECT_EQ(controller.admit(1, 103), Admission::kAdmit);        // tick 6
+  EXPECT_EQ(controller.admit(1, 104), Admission::kRateLimited);  // tick 7
+  EXPECT_EQ(controller.ticks(), 7u);
+}
+
+TEST(AdmissionController, FullBucketDoesNotBankSurplusTokens) {
+  AdmissionController controller{rate_only(1, 2)};
+
+  EXPECT_EQ(controller.admit(1, 0), Admission::kAdmit);  // tick 1, bucket empty
+  // Let a long quiet period elapse on device 2's traffic: device 1 earns
+  // many tokens but must cap at burst = 1, not bank the surplus.
+  for (std::uint64_t i = 0; i < 10; ++i) controller.admit(2, i);  // ticks 2..11
+  EXPECT_EQ(controller.admit(1, 1), Admission::kAdmit);        // spends the 1
+  EXPECT_EQ(controller.admit(1, 2), Admission::kRateLimited);  // no banked extra
+}
+
+TEST(AdmissionController, ReuseBudgetCapsRepeatedChallenges) {
+  AdmissionOptions options;
+  options.reuse_budget = 2;
+  AdmissionController controller{options};
+
+  EXPECT_EQ(controller.admit(1, 42), Admission::kAdmit);  // fresh
+  EXPECT_EQ(controller.admit(1, 42), Admission::kAdmit);  // repeat 1
+  EXPECT_EQ(controller.admit(1, 42), Admission::kAdmit);  // repeat 2
+  EXPECT_EQ(controller.admit(1, 42), Admission::kBudgetExhausted);
+
+  // The reuse budget is cumulative per device, not per challenge: a repeat
+  // of a *different* seen challenge is denied too.
+  EXPECT_EQ(controller.admit(1, 43), Admission::kAdmit);  // fresh is still fine
+  EXPECT_EQ(controller.admit(1, 43), Admission::kBudgetExhausted);
+
+  // Other devices have their own budget.
+  EXPECT_EQ(controller.admit(2, 42), Admission::kAdmit);
+  EXPECT_EQ(controller.admit(2, 42), Admission::kAdmit);
+}
+
+TEST(AdmissionController, CrpBudgetCapsDistinctChallenges) {
+  AdmissionOptions options;
+  options.crp_budget = 3;
+  AdmissionController controller{options};
+
+  EXPECT_EQ(controller.admit(1, 10), Admission::kAdmit);
+  EXPECT_EQ(controller.admit(1, 11), Admission::kAdmit);
+  EXPECT_EQ(controller.admit(1, 12), Admission::kAdmit);
+  EXPECT_EQ(controller.admit(1, 13), Admission::kBudgetExhausted);
+  // Repeats of already-seen challenges are unlimited (reuse_budget off).
+  EXPECT_EQ(controller.admit(1, 10), Admission::kAdmit);
+  EXPECT_EQ(controller.admit(1, 12), Admission::kAdmit);
+}
+
+TEST(AdmissionController, SketchEvictionReclassifiesOldChallengesAsFresh) {
+  // Sketch of 2: challenge 10 is forgotten once 11 and 12 land, so its
+  // re-presentation charges the distinct budget again — the safe direction
+  // (the attacker pays more, never less).
+  AdmissionOptions options;
+  options.crp_budget = 3;
+  options.challenge_sketch = 2;
+  AdmissionController controller{options};
+
+  EXPECT_EQ(controller.admit(1, 10), Admission::kAdmit);
+  EXPECT_EQ(controller.admit(1, 11), Admission::kAdmit);
+  EXPECT_EQ(controller.admit(1, 12), Admission::kAdmit);  // evicts 10
+  EXPECT_EQ(controller.admit(1, 10), Admission::kBudgetExhausted);
+  // 11 and 12 are still in the sketch: repeats, hence admitted.
+  EXPECT_EQ(controller.admit(1, 11), Admission::kAdmit);
+  EXPECT_EQ(controller.admit(1, 12), Admission::kAdmit);
+}
+
+TEST(AdmissionController, LruEvictionBoundsTrackedDevicesAndForgetsBudgets) {
+  AdmissionOptions options;
+  options.crp_budget = 1;
+  options.device_capacity = 2;
+  AdmissionController controller{options};
+
+  EXPECT_EQ(controller.admit(1, 0), Admission::kAdmit);
+  EXPECT_EQ(controller.admit(1, 1), Admission::kBudgetExhausted);  // spent
+  EXPECT_EQ(controller.admit(2, 0), Admission::kAdmit);
+  EXPECT_EQ(controller.admit(3, 0), Admission::kAdmit);  // evicts device 1
+  EXPECT_EQ(controller.tracked_devices(), 2u);
+
+  // Device 1 returns with a fresh (forgotten) budget — the documented
+  // bounded-memory trade-off.
+  EXPECT_EQ(controller.admit(1, 2), Admission::kAdmit);
+  EXPECT_EQ(controller.tracked_devices(), 2u);
+  controller.flush_metrics();  // records deny histograms; must not throw
+}
+
+TEST(AdmissionController, SameArrivalOrderReplaysTheSameDecisions) {
+  AdmissionOptions options = rate_only(3, 2);
+  options.crp_budget = 8;
+  options.reuse_budget = 2;
+  options.challenge_sketch = 4;
+
+  // A deliberately adversarial interleaving across 3 devices with repeats.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sequence;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    sequence.emplace_back(i % 3, (i * 7) % 11);
+  }
+
+  AdmissionController a{options};
+  AdmissionController b{options};
+  for (const auto& [device, challenge] : sequence) {
+    EXPECT_EQ(a.admit(device, challenge), b.admit(device, challenge));
+  }
+  EXPECT_EQ(a.ticks(), b.ticks());
+  EXPECT_EQ(a.tracked_devices(), b.tracked_devices());
+}
+
+// --------------------------------------------- AuthService integration
+
+registry::Registry admission_registry(std::size_t devices = 8) {
+  registry::FleetSpec spec;
+  spec.devices = devices;
+  spec.stages = 5;
+  spec.pairs = 16;
+  spec.seed = 0xad317;
+  return registry::Registry::from_bytes(registry::build_fleet_registry(spec));
+}
+
+std::vector<AuthRequest> true_requests(const registry::Registry& registry,
+                                       const AuthServiceOptions& options,
+                                       std::size_t per_device) {
+  std::vector<AuthRequest> requests;
+  for (std::size_t r = 0; r < per_device; ++r) {
+    for (std::size_t d = 0; d < registry.device_count(); ++d) {
+      const std::uint64_t id = registry.device_id_at(d);
+      const auto enrollment = registry.lookup(id);
+      const puf::CrpOracle oracle(&enrollment, options.response_bits);
+      const std::uint64_t challenge = 0x9e3779b9ull * (r + 1) + d;
+      requests.push_back({id, challenge, oracle.reference(challenge)});
+    }
+  }
+  return requests;
+}
+
+TEST(AuthServiceAdmission, DeniedVerdictsCarryTheAdmissionStatus) {
+  const auto registry = admission_registry();
+  AuthServiceOptions options;
+  options.response_bits = 8;
+  options.admission.rate_burst = 2;
+  options.admission.rate_interval = 1000;  // effectively no refill in-test
+  const AuthService service(&registry, options);
+
+  const auto requests = true_requests(registry, options, 4);
+  const std::vector<AuthVerdict> verdicts = service.verify_batch(requests);
+  ASSERT_EQ(verdicts.size(), requests.size());
+
+  std::size_t admitted = 0;
+  std::size_t limited = 0;
+  for (const AuthVerdict& verdict : verdicts) {
+    if (verdict.status == AuthStatus::kRateLimited) {
+      ++limited;
+      EXPECT_EQ(verdict.distance, 0u);
+      EXPECT_EQ(verdict.response_bits, options.response_bits);
+    } else {
+      EXPECT_EQ(verdict.status, AuthStatus::kAccept);
+      ++admitted;
+    }
+  }
+  // 8 devices x 2 burst tokens admit; the remaining 2 rounds rate-limit.
+  EXPECT_EQ(admitted, 16u);
+  EXPECT_EQ(limited, 16u);
+}
+
+TEST(AuthServiceAdmission, AdmittedSubsequenceMatchesAdmissionFreeBatch) {
+  // The determinism contract behind the soak harness's digest parity: strip
+  // the denied verdicts, re-verify the admitted requests with admission off,
+  // and the verdicts must be bit-identical at every thread budget.
+  const auto registry = admission_registry();
+  AuthServiceOptions defended;
+  defended.response_bits = 8;
+  defended.admission.rate_burst = 3;
+  defended.admission.rate_interval = 4;
+  defended.admission.crp_budget = 6;
+  // Device-major order: each device's 6 requests arrive back to back, so
+  // its bucket (burst 3, one token per 4 ticks) actually empties mid-block.
+  std::vector<AuthRequest> requests = true_requests(registry, defended, 6);
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const AuthRequest& a, const AuthRequest& b) {
+                     return a.device_id < b.device_id;
+                   });
+
+  const AuthService service(&registry, defended);
+  const std::vector<AuthVerdict> verdicts = service.verify_batch(requests);
+
+  std::vector<AuthRequest> admitted_requests;
+  std::vector<AuthVerdict> admitted_verdicts;
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    if (verdicts[i].status == AuthStatus::kRateLimited ||
+        verdicts[i].status == AuthStatus::kBudgetExhausted) {
+      continue;
+    }
+    admitted_requests.push_back(requests[i]);
+    admitted_verdicts.push_back(verdicts[i]);
+  }
+  ASSERT_GT(admitted_requests.size(), 0u);
+  ASSERT_LT(admitted_requests.size(), requests.size());
+
+  AuthServiceOptions open = defended;
+  open.admission = AdmissionOptions{};
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    set_thread_budget_override(threads);
+    const AuthService offline(&registry, open);
+    EXPECT_EQ(service::verdict_digest(offline.verify_batch(admitted_requests)),
+              service::verdict_digest(admitted_verdicts))
+        << "threads=" << threads;
+  }
+  set_thread_budget_override(0);
+}
+
+TEST(AuthServiceAdmission, BatchDecisionsAreThreadBudgetInvariant) {
+  // The admission pre-pass itself is serial, so *which* requests get denied
+  // must not depend on the verification thread budget either.
+  const auto registry = admission_registry();
+  AuthServiceOptions options;
+  options.response_bits = 8;
+  options.admission.rate_burst = 2;
+  options.admission.rate_interval = 3;
+  options.admission.reuse_budget = 1;
+  const auto requests = true_requests(registry, options, 5);
+
+  std::vector<std::uint64_t> reference_digest;
+  for (const std::size_t threads : {1u, 4u}) {
+    set_thread_budget_override(threads);
+    const AuthService service(&registry, options);
+    reference_digest.push_back(
+        service::verdict_digest(service.verify_batch(requests)));
+  }
+  set_thread_budget_override(0);
+  EXPECT_EQ(reference_digest[0], reference_digest[1]);
+}
+
+TEST(AuthServiceAdmission, SingleVerifyBypassesAdmission) {
+  // verify() is the offline/debug entry point and stays admission-free;
+  // only the batch path (what the server drains) is admission-controlled.
+  const auto registry = admission_registry();
+  AuthServiceOptions options;
+  options.response_bits = 8;
+  options.admission.crp_budget = 1;
+  const AuthService service(&registry, options);
+
+  const auto requests = true_requests(registry, options, 3);
+  for (const AuthRequest& request : requests) {
+    EXPECT_EQ(service.verify(request).status, AuthStatus::kAccept);
+  }
+  EXPECT_EQ(service.admission().ticks(), 0u);
+}
+
+TEST(AuthServiceAdmission, StatusNamesCoverTheAdmissionVerdicts) {
+  EXPECT_STREQ(auth_status_name(AuthStatus::kRateLimited), "rate-limited");
+  EXPECT_STREQ(auth_status_name(AuthStatus::kBudgetExhausted), "budget-exhausted");
+}
+
+}  // namespace
+}  // namespace ropuf::service

@@ -1,0 +1,119 @@
+// The pinned defense demonstration: one short seeded soak with admission on
+// and off over the identical traffic schedule. Asserts the ISSUE acceptance
+// contract — the defended attacker's clone accuracy is measurably below the
+// undefended one, legitimate availability stays >= 99% under attack, the
+// online verdict digest matches an offline admission-free verify_batch of
+// the admitted subsequence at thread budgets {1, 2, 8} (run_soak checks all
+// three internally), and the whole report replays bit-identically.
+#include "soak/soak.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/parallel.h"
+
+namespace ropuf::soak {
+namespace {
+
+/// The ctest short mode: small fleet, 16 slots, the admission knobs the CI
+/// smoke job pins (tools/ropuf_soak --require-defense uses the same shape).
+SoakOptions short_mode() {
+  SoakOptions options;
+  options.fleet.devices = 12;
+  options.slots = 16;
+  options.burst_requests = 8;
+  options.attacker_probes_per_slot = 8;
+  options.checkpoints = 4;
+  options.service.admission.rate_burst = 16;
+  options.service.admission.rate_interval = 8;
+  options.service.admission.crp_budget = 64;
+  options.service.admission.reuse_budget = 4;
+  return options;
+}
+
+TEST(Soak, OptionValidation) {
+  SoakOptions options = short_mode();
+  options.slots = 0;
+  EXPECT_THROW(run_soak(options), Error);
+
+  options = short_mode();
+  options.burst_requests = 0;
+  EXPECT_THROW(run_soak(options), Error);
+
+  options = short_mode();
+  options.eval_challenges = 0;
+  EXPECT_THROW(run_soak(options), Error);
+
+  options = short_mode();
+  options.fleet.devices = 1;  // needs the target plus one legit device
+  EXPECT_THROW(run_soak(options), Error);
+}
+
+TEST(Soak, AdmissionMeasurablySlowsTheModelingAttackAtFullAvailability) {
+  set_thread_budget_override(2);
+  const SoakOptions defended_options = short_mode();
+  SoakOptions undefended_options = defended_options;
+  undefended_options.service.admission = service::AdmissionOptions{};
+
+  const SoakReport defended = run_soak(defended_options);
+  const SoakReport undefended = run_soak(undefended_options);
+  set_thread_budget_override(0);
+
+  // Undefended, the distance oracle hands the attacker a working clone.
+  EXPECT_GE(undefended.final_accuracy, 0.95);
+  EXPECT_EQ(undefended.attacker_probes, undefended.attacker_admitted);
+
+  // Defended: the reuse budget bounds extraction — each recovered bit costs
+  // one repeat query, so at most reuse_budget bits leak from the target.
+  EXPECT_LE(defended.bits_recovered,
+            defended_options.service.admission.reuse_budget);
+  EXPECT_LT(defended.attacker_admitted, undefended.attacker_admitted);
+  EXPECT_GT(defended.attacker_deferred + defended.attacker_abandoned, 0u);
+
+  // The acceptance gap: measurably lower clone accuracy, no legit cost.
+  EXPECT_GE(undefended.final_accuracy - defended.final_accuracy, 0.15);
+  EXPECT_GE(defended.availability, 0.99);
+  EXPECT_GE(undefended.availability, 0.99);
+
+  // Admission never rejected a legitimate request with these knobs, so the
+  // admitted legit subsequence is identical and so are the digests.
+  EXPECT_TRUE(defended.digest_parity);
+  EXPECT_TRUE(undefended.digest_parity);
+  EXPECT_EQ(defended.online_digest, undefended.online_digest);
+
+  // Checkpoints sample the accuracy-vs-admitted curve monotonically in
+  // admitted queries.
+  ASSERT_EQ(defended.checkpoints.size(), 4u);
+  for (std::size_t i = 1; i < defended.checkpoints.size(); ++i) {
+    EXPECT_GE(defended.checkpoints[i].attacker_admitted,
+              defended.checkpoints[i - 1].attacker_admitted);
+    EXPECT_GE(defended.checkpoints[i].bits_recovered,
+              defended.checkpoints[i - 1].bits_recovered);
+  }
+}
+
+TEST(Soak, SameOptionsReplayTheSameReport) {
+  set_thread_budget_override(2);
+  SoakOptions options = short_mode();
+  options.slots = 8;
+  options.checkpoints = 2;
+  const SoakReport first = run_soak(options);
+  const SoakReport second = run_soak(options);
+  set_thread_budget_override(0);
+
+  EXPECT_EQ(first.online_digest, second.online_digest);
+  EXPECT_EQ(first.legit_requests, second.legit_requests);
+  EXPECT_EQ(first.legit_answered, second.legit_answered);
+  EXPECT_EQ(first.legit_accepted, second.legit_accepted);
+  EXPECT_EQ(first.attacker_probes, second.attacker_probes);
+  EXPECT_EQ(first.attacker_admitted, second.attacker_admitted);
+  EXPECT_EQ(first.attacker_deferred, second.attacker_deferred);
+  EXPECT_EQ(first.attacker_abandoned, second.attacker_abandoned);
+  EXPECT_EQ(first.bits_recovered, second.bits_recovered);
+  EXPECT_EQ(first.challenges_recovered, second.challenges_recovered);
+  EXPECT_DOUBLE_EQ(first.final_accuracy, second.final_accuracy);
+  EXPECT_EQ(first.target_device, second.target_device);
+}
+
+}  // namespace
+}  // namespace ropuf::soak

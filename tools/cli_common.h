@@ -152,7 +152,20 @@ inline registry::Registry registry_from_args(const Args& args) {
       registry::build_fleet_registry(fleet_spec_from_args(args)));
 }
 
-/// Shared --bits/--max-hd/--cache handling for the verification commands.
+/// Strict non-negative-integer option (admission knobs, bounds): rejects
+/// negative and fractional values eagerly instead of wrapping them through
+/// an unsigned cast.
+inline std::uint64_t count_arg(const Args& args, const std::string& key,
+                               double fallback) {
+  const double value = args.number(key, fallback);
+  ROPUF_REQUIRE(value >= 0.0 && value == std::floor(value),
+                "--" + key + " must be a non-negative integer");
+  return static_cast<std::uint64_t>(value);
+}
+
+/// Shared --bits/--max-hd/--cache handling for the verification commands,
+/// plus the admission knobs (--rate-burst/--rate-interval/--crp-budget/
+/// --reuse-budget, all default 0 = off; see service/admission.h).
 inline service::AuthServiceOptions auth_options_from_args(const Args& args) {
   service::AuthServiceOptions opts;
   opts.response_bits = static_cast<std::size_t>(args.number("bits", 16));
@@ -160,6 +173,14 @@ inline service::AuthServiceOptions auth_options_from_args(const Args& args) {
   opts.cache_capacity = static_cast<std::size_t>(args.number("cache", 4096));
   opts.unknown_cache_capacity =
       static_cast<std::size_t>(args.number("unknown-cache", 256));
+  opts.admission.rate_burst = count_arg(args, "rate-burst", 0);
+  opts.admission.rate_interval = count_arg(args, "rate-interval", 0);
+  opts.admission.crp_budget = count_arg(args, "crp-budget", 0);
+  opts.admission.reuse_budget = count_arg(args, "reuse-budget", 0);
+  opts.admission.challenge_sketch =
+      static_cast<std::size_t>(count_arg(args, "challenge-sketch", 64));
+  opts.admission.device_capacity =
+      static_cast<std::size_t>(count_arg(args, "admission-devices", 4096));
   return opts;
 }
 
@@ -167,13 +188,13 @@ inline service::AuthServiceOptions auth_options_from_args(const Args& args) {
 /// offline and online paths print byte-comparable stats: per-status counts,
 /// accepted mean Hamming distance, and the order-sensitive verdict digest.
 inline void print_verdict_stats(const std::vector<service::AuthVerdict>& verdicts) {
-  std::size_t counts[5] = {0, 0, 0, 0, 0};
+  std::size_t counts[service::kAuthStatusCount] = {};
   std::size_t accepted_distance = 0;
   for (const service::AuthVerdict& v : verdicts) {
     counts[static_cast<std::size_t>(v.status)] += 1;
     if (v.accepted()) accepted_distance += v.distance;
   }
-  for (std::size_t s = 0; s < 5; ++s) {
+  for (std::size_t s = 0; s < service::kAuthStatusCount; ++s) {
     std::printf("  %-17s %zu\n",
                 service::auth_status_name(static_cast<service::AuthStatus>(s)),
                 counts[s]);

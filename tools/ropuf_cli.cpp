@@ -453,14 +453,15 @@ int cmd_auth_client(const Args& args) {
   client.connect();
   const std::vector<net::WireResponse> responses = client.send_batch(requests);
 
-  // Split server-side degradations (kBadFrame/kOverloaded) from real
-  // verdicts; the digest is only comparable to offline auth-batch when the
-  // whole stream was verified.
+  // Split transport degradations (kBadFrame/kOverloaded) from real
+  // verdicts; admission denials (rate-limited/budget-exhausted) ARE
+  // verdicts and tally like any other status. The digest is only
+  // comparable to offline auth-batch when the whole stream was verified.
   std::vector<service::AuthVerdict> verdicts;
   verdicts.reserve(responses.size());
   std::size_t degraded = 0;
   for (const net::WireResponse& response : responses) {
-    if (response.status > net::WireStatus::kMalformedRequest) {
+    if (net::wire_status_is_transport(response.status)) {
       ++degraded;
       continue;
     }
@@ -486,6 +487,9 @@ int usage() {
                "          [--flip-rate R]\n"
                "          [--forge-rate R] [--unknown-rate R] [--workload-seed S]\n"
                "          [--fault-rate R] [--fault-seed S]\n"
+               "          [--rate-burst N --rate-interval T] [--crp-budget N]\n"
+               "          [--reuse-budget N] [--challenge-sketch N]\n"
+               "          [--admission-devices N]\n"
                "  auth-client --port P [--host A] [--window W]\n"
                "          [--registry F | --devices N --seed S ...] [--requests N]\n"
                "          [--bits B] [--max-hd D] [--flip-rate R] [--forge-rate R]\n"

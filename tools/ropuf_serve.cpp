@@ -9,7 +9,9 @@
 //   ropuf_serve [--registry F | --devices N --seed S ...]
 //               [--bind A] [--port P] [--port-file F]
 //               [--bits B] [--max-hd D] [--cache C] [--unknown-cache C]
-//               [--threads N]
+//               [--rate-burst N --rate-interval T] [--crp-budget N]
+//               [--reuse-budget N] [--challenge-sketch N]
+//               [--admission-devices N] [--threads N]
 //               [--max-connections N] [--max-pending N] [--max-batch N]
 //               [--max-read-per-sweep N] [--read-deadline-ms N]
 //               [--accept-backoff-ms N] [--drain-timeout-ms N]
@@ -48,11 +50,13 @@ int serve(const Args& args) {
   net::ServerOptions opts;
   opts.bind_address = args.get("bind", "127.0.0.1");
   opts.port = static_cast<std::uint16_t>(args.number("port", 0));
-  opts.max_connections = static_cast<std::size_t>(args.number("max-connections", 256));
-  opts.max_pending = static_cast<std::size_t>(args.number("max-pending", 1024));
-  opts.max_batch = static_cast<std::size_t>(args.number("max-batch", 256));
+  // count_arg rejects negative values eagerly; a negative bound must fail
+  // the flag parse, never wrap through an unsigned cast into a huge limit.
+  opts.max_connections = static_cast<std::size_t>(count_arg(args, "max-connections", 256));
+  opts.max_pending = static_cast<std::size_t>(count_arg(args, "max-pending", 1024));
+  opts.max_batch = static_cast<std::size_t>(count_arg(args, "max-batch", 256));
   opts.max_read_per_sweep =
-      static_cast<std::size_t>(args.number("max-read-per-sweep", 64 << 10));
+      static_cast<std::size_t>(count_arg(args, "max-read-per-sweep", 64 << 10));
   opts.read_deadline_ms = static_cast<int>(args.number("read-deadline-ms", 5000));
   opts.accept_backoff_ms = static_cast<int>(args.number("accept-backoff-ms", 100));
   opts.drain_timeout_ms = static_cast<int>(args.number("drain-timeout-ms", 2000));
@@ -89,6 +93,9 @@ int usage() {
                "                   [--bind A] [--port P] [--port-file F]\n"
                "                   [--bits B] [--max-hd D] [--cache C]\n"
                "                   [--unknown-cache C] [--threads N]\n"
+               "                   [--rate-burst N --rate-interval T]\n"
+               "                   [--crp-budget N] [--reuse-budget N]\n"
+               "                   [--challenge-sketch N] [--admission-devices N]\n"
                "                   [--max-connections N] [--max-pending N]\n"
                "                   [--max-batch N] [--max-read-per-sweep N]\n"
                "                   [--read-deadline-ms N] [--accept-backoff-ms N]\n"

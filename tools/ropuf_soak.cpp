@@ -1,0 +1,148 @@
+// ropuf_soak — closed-loop attack soak harness (see docs/attack_soak.md).
+//
+// Drives the real serving stack (ropuf_serve's AuthServer, bound to an
+// ephemeral loopback port in-process) with mixed traffic: legitimate
+// pipelined provers re-measuring their minted silicon while the operating
+// corner walks the F4/F5 voltage/temperature schedule, plus a live
+// distance-oracle adversary (src/attack/harvest.h) training a logistic
+// clone of one device from whatever the admission layer admits. Prints
+// attacker accuracy vs. admitted queries and legitimate availability.
+//
+//   ropuf_soak [--devices N] [--stages N] [--pairs P] [--seed S] [--noise PS]
+//              [--bits B] [--max-hd D] [--cache C] [--unknown-cache C]
+//              [--rate-burst N --rate-interval T] [--crp-budget N]
+//              [--reuse-budget N] [--challenge-sketch N] [--admission-devices N]
+//              [--slots N] [--burst N] [--probes N] [--checkpoints N]
+//              [--eval-challenges N] [--compare on|off] [--require-defense on|off]
+//              [--threads N] [--metrics-out F.json] [--trace-out F.json]
+//
+// --compare on runs the identical soak twice — admission as configured,
+// then admission disabled — and prints the accuracy gap the defense buys.
+// --require-defense on (implies --compare on) exits nonzero unless the
+// defended run measurably beats the undefended one while legitimate
+// availability stays >= 99% and online/offline digests agree — the CI
+// smoke contract.
+#include <cstdio>
+
+#include "cli_common.h"
+#include "common/error.h"
+#include "soak/soak.h"
+
+namespace {
+
+using namespace ropuf;
+using namespace ropuf::cli;
+
+soak::SoakOptions soak_options_from_args(const Args& args) {
+  soak::SoakOptions options;
+  options.fleet = fleet_spec_from_args(args);
+  // A soak-sized fleet by default: big enough to rotate legit traffic,
+  // small enough that a short mode runs in seconds.
+  if (!args.has("devices")) options.fleet.devices = 24;
+  options.service = auth_options_from_args(args);
+  options.slots = static_cast<std::size_t>(count_arg(args, "slots", 32));
+  options.burst_requests = static_cast<std::size_t>(count_arg(args, "burst", 8));
+  options.attacker_probes_per_slot =
+      static_cast<std::size_t>(count_arg(args, "probes", 8));
+  options.checkpoints = static_cast<std::size_t>(count_arg(args, "checkpoints", 8));
+  options.eval_challenges =
+      static_cast<std::size_t>(count_arg(args, "eval-challenges", 64));
+  options.readout_noise_ps = args.number("noise", 0.5);
+  options.seed = static_cast<std::uint64_t>(args.number("soak-seed", 0x50a4));
+  return options;
+}
+
+void print_report(const char* label, const soak::SoakReport& report) {
+  std::printf("%s:\n", label);
+  std::printf("  legit requests     %zu (answered %zu, denied %zu, accepted %zu)\n",
+              report.legit_requests, report.legit_answered, report.legit_denied,
+              report.legit_accepted);
+  std::printf("  availability       %.4f\n", report.availability);
+  std::printf("  digest parity      %s (online 0x%016llx)\n",
+              report.digest_parity ? "ok" : "MISMATCH",
+              static_cast<unsigned long long>(report.online_digest));
+  std::printf("  attacker probes    %zu (admitted %zu, deferred %zu, abandoned %zu)\n",
+              report.attacker_probes, report.attacker_admitted,
+              report.attacker_deferred, report.attacker_abandoned);
+  std::printf("  harvested          %zu bits over %zu challenges\n",
+              report.bits_recovered, report.challenges_recovered);
+  for (const soak::SoakCheckpoint& checkpoint : report.checkpoints) {
+    std::printf("  slot %-4zu admitted %-6zu bits %-5zu accuracy %.4f\n",
+                checkpoint.slot, checkpoint.attacker_admitted,
+                checkpoint.bits_recovered, checkpoint.clone_accuracy);
+  }
+  std::printf("  clone accuracy     %.4f\n", report.final_accuracy);
+}
+
+int run(const Args& args) {
+  const bool require_defense = args.get("require-defense", "off") == "on";
+  const bool compare = require_defense || args.get("compare", "off") == "on";
+
+  const soak::SoakOptions defended = soak_options_from_args(args);
+  std::printf("soak: %zu devices, %zu slots x (%zu probes + %zu legit), "
+              "admission %s\n",
+              defended.fleet.devices, defended.slots,
+              defended.attacker_probes_per_slot, defended.burst_requests,
+              defended.service.admission.enabled() ? "on" : "off");
+
+  const soak::SoakReport report = soak::run_soak(defended);
+  print_report(compare ? "defended" : "soak", report);
+
+  if (!compare) return 0;
+
+  soak::SoakOptions undefended = defended;
+  undefended.service.admission = service::AdmissionOptions{};
+  const soak::SoakReport baseline = soak::run_soak(undefended);
+  print_report("undefended", baseline);
+
+  const double gap = baseline.final_accuracy - report.final_accuracy;
+  std::printf("defense gap: %.4f (undefended %.4f -> defended %.4f)\n", gap,
+              baseline.final_accuracy, report.final_accuracy);
+
+  if (require_defense) {
+    ROPUF_REQUIRE(defended.service.admission.enabled(),
+                  "--require-defense needs admission knobs configured");
+    ROPUF_REQUIRE(gap >= 0.15,
+                  "defense gap below 0.15: admission is not measurably "
+                  "slowing the modeling attack");
+    ROPUF_REQUIRE(report.availability >= 0.99,
+                  "legitimate availability under attack fell below 99%");
+    ROPUF_REQUIRE(report.digest_parity && baseline.digest_parity,
+                  "online/offline verdict digest mismatch");
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ropuf_soak [--devices N] [--stages N] [--pairs P] [--seed S]\n"
+               "                  [--noise PS] [--bits B] [--max-hd D]\n"
+               "                  [--rate-burst N --rate-interval T]\n"
+               "                  [--crp-budget N] [--reuse-budget N]\n"
+               "                  [--challenge-sketch N] [--admission-devices N]\n"
+               "                  [--slots N] [--burst N] [--probes N]\n"
+               "                  [--checkpoints N] [--eval-challenges N]\n"
+               "                  [--soak-seed S] [--compare on|off]\n"
+               "                  [--require-defense on|off] [--threads N]\n"
+               "                  [--metrics-out F.json] [--trace-out F.json]\n"
+               "closed-loop attack soak against the real loopback server;\n"
+               "see docs/attack_soak.md.\n");
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args(argc, argv, 1);
+    if (args.has("help")) return usage();
+    apply_thread_budget(args);
+    const ObsSession obs_session(args);
+    const int rc = run(args);
+    obs_session.finish();
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -25,8 +25,16 @@ WORKLOAD="--requests 256 --bits 16 --max-hd 2 --threads 2"
 SRV=$!
 trap 'kill -9 $SRV 2>/dev/null || true' EXIT
 
+# Wait for the port file, but notice a server that died on startup (bad
+# flags, bind failure) instead of burning the full wait on a corpse.
 for _ in $(seq 100); do
   [ -s "$PORT_FILE" ] && break
+  if ! kill -0 "$SRV" 2>/dev/null; then
+    RC=0
+    wait "$SRV" || RC=$?
+    echo "FAIL: server died before writing its port file (exit status $RC)"
+    exit 1
+  fi
   sleep 0.1
 done
 [ -s "$PORT_FILE" ] || { echo "FAIL: server never wrote its port file"; exit 1; }
