@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/error.h"
+#include "common/hamming.h"
 #include "common/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -22,18 +23,6 @@ struct Partial {
   std::uint64_t sum2 = 0;
   std::uint64_t pairs = 0;
 };
-
-#if defined(__GNUC__) || defined(__clang__)
-inline std::size_t popcount64(std::uint64_t w) {
-  return static_cast<std::size_t>(__builtin_popcountll(w));
-}
-#else
-inline std::size_t popcount64(std::uint64_t w) {
-  std::size_t c = 0;
-  for (; w != 0; w &= w - 1) ++c;
-  return c;
-}
-#endif
 
 }  // namespace
 
@@ -88,8 +77,8 @@ HdStats pairwise_hd(const std::vector<BitVec>& population, ThreadBudget threads)
       const std::uint64_t* row_i = packed.data() + i * words;
       for (std::size_t j = i + 1; j < n; ++j) {
         const std::uint64_t* row_j = packed.data() + j * words;
-        std::size_t hd = 0;
-        for (std::size_t w = 0; w < words; ++w) hd += popcount64(row_i[w] ^ row_j[w]);
+        const std::size_t hd =
+            static_cast<std::size_t>(hamming_distance_words(row_i, row_j, words));
         ++p.histogram[hd];
         ++p.pairs;
         p.sum += hd;

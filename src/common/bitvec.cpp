@@ -1,8 +1,7 @@
 #include "common/bitvec.h"
 
-#include <bit>
-
 #include "common/error.h"
+#include "common/hamming.h"
 
 namespace ropuf {
 
@@ -52,18 +51,13 @@ void BitVec::append(const BitVec& other) {
 }
 
 std::size_t BitVec::popcount() const {
-  std::size_t total = 0;
-  for (const auto word : words_) total += static_cast<std::size_t>(std::popcount(word));
-  return total;
+  return static_cast<std::size_t>(popcount_words(words_.data(), words_.size()));
 }
 
 std::size_t BitVec::hamming_distance(const BitVec& other) const {
   ROPUF_REQUIRE(size_ == other.size_, "Hamming distance requires equal sizes");
-  std::size_t total = 0;
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    total += static_cast<std::size_t>(std::popcount(words_[w] ^ other.words_[w]));
-  }
-  return total;
+  return static_cast<std::size_t>(
+      hamming_distance_words(words_.data(), other.words_.data(), words_.size()));
 }
 
 std::string BitVec::to_string() const {

@@ -10,6 +10,8 @@
 
 #include <cerrno>
 #include <cstring>
+#include <exception>
+#include <thread>
 
 #include "common/error.h"
 #include "obs/metrics.h"
@@ -20,6 +22,11 @@ namespace {
 
 constexpr std::size_t kReadChunkBytes = 4096;
 
+/// fd_owner sentinels for the per-shard pollfd list (connection indexes are
+/// always far below these).
+constexpr std::size_t kListenerSlot = static_cast<std::size_t>(-1);
+constexpr std::size_t kWakeSlot = static_cast<std::size_t>(-2);
+
 #ifndef MSG_NOSIGNAL
 #define MSG_NOSIGNAL 0
 #endif
@@ -28,6 +35,22 @@ void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   ROPUF_REQUIRE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
                 std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno));
+}
+
+bool try_set_reuseport(int fd) {
+#ifdef SO_REUSEPORT
+  const int one = 1;
+  return ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) == 0;
+#else
+  (void)fd;
+  return false;
+#endif
+}
+
+/// Global total plus the shard's own counter when per-shard metrics are on.
+void bump(obs::Counter& global, obs::Counter* per_shard) {
+  global.add(1);
+  if (per_shard != nullptr) per_shard->add(1);
 }
 
 /// Pending-queue depth buckets: powers of two up to the default bound.
@@ -58,53 +81,157 @@ AuthServer::AuthServer(const service::AuthService* service, ServerOptions option
   ROPUF_REQUIRE(options_.poll_interval_ms > 0, "poll_interval_ms must be positive");
   ROPUF_REQUIRE(options_.drain_timeout_ms >= 0,
                 "drain_timeout_ms must be non-negative");
+  ROPUF_REQUIRE(options_.shards > 0, "shards must be positive");
+  // Every shard needs a nonzero connection share or it could only refuse.
+  ROPUF_REQUIRE(options_.max_connections >= options_.shards,
+                "max_connections must be at least the shard count");
+
+  const std::size_t shard_count = options_.shards;
+  const std::size_t base = options_.max_connections / shard_count;
+  const std::size_t remainder = options_.max_connections % shard_count;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = s;
+    shard->max_connections = base + (s < remainder ? 1 : 0);
+    if (shard_count > 1) {
+      obs::Registry& registry = obs::Registry::instance();
+      const std::string prefix = "net.shard" + std::to_string(s) + ".";
+      shard->metrics.accepted = &registry.counter(prefix + "connections_accepted");
+      shard->metrics.closed = &registry.counter(prefix + "connections_closed");
+      shard->metrics.frames_in = &registry.counter(prefix + "frames_in");
+      shard->metrics.frames_out = &registry.counter(prefix + "frames_out");
+      shard->metrics.enqueued = &registry.counter(prefix + "requests_enqueued");
+      shard->metrics.batches = &registry.counter(prefix + "batches");
+    }
+    shards_.push_back(std::move(shard));
+  }
 }
 
 AuthServer::~AuthServer() {
-  for (std::size_t i = 0; i < connections_.size(); ++i) {
-    if (connections_[i].alive) ::close(connections_[i].fd);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (const Connection& connection : shard->connections) {
+      if (connection.alive) ::close(connection.fd);
+    }
+    if (shard->listen_fd >= 0) ::close(shard->listen_fd);
+    if (shard->wake_read_fd >= 0) ::close(shard->wake_read_fd);
+    if (shard->wake_write_fd >= 0) ::close(shard->wake_write_fd);
+    for (const int fd : shard->handoff) ::close(fd);
   }
-  if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
 std::uint16_t AuthServer::bind_and_listen() {
-  ROPUF_REQUIRE(listen_fd_ < 0, "bind_and_listen() called twice");
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  ROPUF_REQUIRE(fd >= 0, std::string("socket: ") + std::strerror(errno));
-  listen_fd_ = fd;
+  ROPUF_REQUIRE(shards_[0]->listen_fd < 0, "bind_and_listen() called twice");
 
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // Opens one listener, stores the fd in the shard (so the destructor owns
+  // it even if a later step throws), and returns the bound port.
+  const auto open_listener = [this](Shard& shard, std::uint16_t bind_port,
+                                    bool reuseport) -> std::uint16_t {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ROPUF_REQUIRE(fd >= 0, std::string("socket: ") + std::strerror(errno));
+    shard.listen_fd = fd;
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  ROPUF_REQUIRE(::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) == 1,
-                "bad bind address '" + options_.bind_address + "'");
-  ROPUF_REQUIRE(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0,
-                std::string("bind ") + options_.bind_address + ":" +
-                    std::to_string(options_.port) + ": " + std::strerror(errno));
-  ROPUF_REQUIRE(::listen(fd, options_.backlog) == 0,
-                std::string("listen: ") + std::strerror(errno));
-  set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (reuseport) {
+      ROPUF_REQUIRE(try_set_reuseport(fd),
+                    std::string("setsockopt(SO_REUSEPORT): ") + std::strerror(errno));
+    }
 
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  ROPUF_REQUIRE(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0,
-                std::string("getsockname: ") + std::strerror(errno));
-  port_ = ntohs(bound.sin_port);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(bind_port);
+    ROPUF_REQUIRE(
+        ::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) == 1,
+        "bad bind address '" + options_.bind_address + "'");
+    ROPUF_REQUIRE(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0,
+                  std::string("bind ") + options_.bind_address + ":" +
+                      std::to_string(bind_port) + ": " + std::strerror(errno));
+    ROPUF_REQUIRE(::listen(fd, options_.backlog) == 0,
+                  std::string("listen: ") + std::strerror(errno));
+    set_nonblocking(fd);
+
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    ROPUF_REQUIRE(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0,
+                  std::string("getsockname: ") + std::strerror(errno));
+    return ntohs(bound.sin_port);
+  };
+
+  // Resolve the dispatch mode. A single shard always uses one plain
+  // listener with local installs (degenerate round-robin), exactly the
+  // pre-shard server. Multi-shard kAuto probes SO_REUSEPORT with a
+  // throwaway socket and falls back to round-robin handoff; an explicit
+  // kReusePort on a platform without it is a configuration error.
+  bool reuseport = false;
+  if (shards_.size() > 1 && options_.dispatch != DispatchMode::kRoundRobin) {
+    const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+    ROPUF_REQUIRE(probe >= 0, std::string("socket: ") + std::strerror(errno));
+    reuseport = try_set_reuseport(probe);
+    ::close(probe);
+    ROPUF_REQUIRE(reuseport || options_.dispatch == DispatchMode::kAuto,
+                  "dispatch=reuseport requested but SO_REUSEPORT is unavailable");
+  }
+  dispatch_ = reuseport ? DispatchMode::kReusePort : DispatchMode::kRoundRobin;
+
+  // Shard 0 binds first and resolves an ephemeral port request; the other
+  // shards then share that port (reuseport) or that listener (round-robin).
+  port_ = open_listener(*shards_[0], options_.port, reuseport);
+  if (reuseport) {
+    for (std::size_t s = 1; s < shards_.size(); ++s) {
+      open_listener(*shards_[s], port_, true);
+    }
+  } else {
+    for (std::size_t s = 1; s < shards_.size(); ++s) {
+      int pipe_fds[2] = {-1, -1};
+      ROPUF_REQUIRE(::pipe(pipe_fds) == 0,
+                    std::string("pipe: ") + std::strerror(errno));
+      shards_[s]->wake_read_fd = pipe_fds[0];
+      shards_[s]->wake_write_fd = pipe_fds[1];
+      set_nonblocking(pipe_fds[0]);
+      set_nonblocking(pipe_fds[1]);
+    }
+  }
   return port_;
 }
 
-void AuthServer::accept_ready() {
+void AuthServer::adopt_fd(Shard& shard, int fd) {
   static obs::Counter& accepted =
       obs::Registry::instance().counter("net.connections_accepted");
   static obs::Counter& limit_closes =
       obs::Registry::instance().counter("net.connection_limit_closes");
+  std::size_t live = 0;
+  for (const Connection& connection : shard.connections) live += connection.alive ? 1 : 0;
+  if (live >= shard.max_connections) {
+    // At capacity the cheapest honest answer is an immediate close: the
+    // peer sees a refused session rather than an unbounded accept queue.
+    ::close(fd);
+    limit_closes.add(1);
+    return;
+  }
+  set_nonblocking(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::size_t slot = shard.connections.size();
+  for (std::size_t i = 0; i < shard.connections.size(); ++i) {
+    if (!shard.connections[i].alive) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == shard.connections.size()) shard.connections.emplace_back();
+  Connection& connection = shard.connections[slot];
+  connection = Connection{};
+  connection.fd = fd;
+  connection.last_read = std::chrono::steady_clock::now();
+  bump(accepted, shard.metrics.accepted);
+}
+
+void AuthServer::accept_ready(Shard& shard) {
   static obs::Counter& backoffs =
       obs::Registry::instance().counter("net.accept_backoffs");
   while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(shard.listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
@@ -113,57 +240,84 @@ void AuthServer::accept_ready() {
         // listener stays readable; without a backoff the loop busy-spins at
         // full CPU until a descriptor frees up.
         backoffs.add(1);
-        accept_backoff_until_ = std::chrono::steady_clock::now() +
-                                std::chrono::milliseconds(options_.accept_backoff_ms);
+        shard.accept_backoff_until =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(options_.accept_backoff_ms);
       }
       return;  // EAGAIN/EWOULDBLOCK or transient failure: next sweep
     }
-    std::size_t live = 0;
-    for (const Connection& connection : connections_) live += connection.alive ? 1 : 0;
-    if (live >= options_.max_connections) {
-      // At capacity the cheapest honest answer is an immediate close: the
-      // peer sees a refused session rather than an unbounded accept queue.
-      ::close(fd);
-      limit_closes.add(1);
-      continue;
-    }
-    set_nonblocking(fd);
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-    std::size_t slot = connections_.size();
-    for (std::size_t i = 0; i < connections_.size(); ++i) {
-      if (!connections_[i].alive) {
-        slot = i;
-        break;
-      }
-    }
-    if (slot == connections_.size()) connections_.emplace_back();
-    Connection& connection = connections_[slot];
-    connection = Connection{};
-    connection.fd = fd;
-    connection.last_read = std::chrono::steady_clock::now();
-    accepted.add(1);
+    adopt_fd(shard, fd);
   }
 }
 
-void AuthServer::enqueue_response(Connection& connection, const WireResponse& response) {
+void AuthServer::accept_dispatch(Shard& shard) {
+  static obs::Counter& backoffs =
+      obs::Registry::instance().counter("net.accept_backoffs");
+  static obs::Counter& handoffs =
+      obs::Registry::instance().counter("net.shard_handoffs");
+  while (true) {
+    const int fd = ::accept(shard.listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        backoffs.add(1);
+        shard.accept_backoff_until =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(options_.accept_backoff_ms);
+      }
+      return;
+    }
+    const std::size_t target = round_robin_next_++ % shards_.size();
+    if (target == shard.index) {
+      adopt_fd(shard, fd);
+      continue;
+    }
+    Shard& owner = *shards_[target];
+    {
+      const std::lock_guard<std::mutex> lock(owner.handoff_mutex);
+      owner.handoff.push_back(fd);
+    }
+    handoffs.add(1);
+    // One byte per deposit; if the pipe is ever full the pending bytes
+    // already keep the owner's poll() readable, so a failed write cannot
+    // lose a wakeup.
+    const char token = 1;
+    [[maybe_unused]] const ssize_t written = ::write(owner.wake_write_fd, &token, 1);
+  }
+}
+
+void AuthServer::adopt_handoff(Shard& shard) {
+  char drain[64];
+  while (::read(shard.wake_read_fd, drain, sizeof(drain)) > 0) {
+  }
+  std::vector<int> fds;
+  {
+    const std::lock_guard<std::mutex> lock(shard.handoff_mutex);
+    fds.swap(shard.handoff);
+  }
+  for (const int fd : fds) adopt_fd(shard, fd);
+}
+
+void AuthServer::enqueue_response(Shard& shard, std::size_t index,
+                                  const WireResponse& response) {
   static obs::Counter& frames_out = obs::Registry::instance().counter("net.frames_out");
   static obs::Counter& slow_closes =
       obs::Registry::instance().counter("net.slow_consumer_closes");
+  Connection& connection = shard.connections[index];
   if (!connection.alive) return;
   connection.out.append(encode_response_frame(response));
-  frames_out.add(1);
+  bump(frames_out, shard.metrics.frames_out);
   if (connection.out.size() > options_.max_write_buffer) {
     // The peer stopped reading its answers; dropping it is the bounded
     // alternative to buffering responses without limit.
     slow_closes.add(1);
-    const std::size_t index = static_cast<std::size_t>(&connection - connections_.data());
-    close_connection(index);
+    close_connection(shard, index);
   }
 }
 
-void AuthServer::enqueue_immediate(std::size_t index, const WireResponse& response) {
+void AuthServer::enqueue_immediate(Shard& shard, std::size_t index,
+                                   const WireResponse& response) {
   // Answers the loop produces itself must not jump ahead of verdicts for
   // requests that arrived earlier on the same connection: the wire carries
   // no request ids, so per-connection response order IS the attribution.
@@ -172,10 +326,10 @@ void AuthServer::enqueue_immediate(std::size_t index, const WireResponse& respon
   entry.connection = index;
   entry.resolved = true;
   entry.response = response;
-  pending_.push_back(std::move(entry));
+  shard.pending.push_back(std::move(entry));
 }
 
-void AuthServer::handle_frame(std::size_t index, const FrameView& frame) {
+void AuthServer::handle_frame(Shard& shard, std::size_t index, const FrameView& frame) {
   static obs::Counter& frames_in = obs::Registry::instance().counter("net.frames_in");
   static obs::Counter& bad_frames =
       obs::Registry::instance().counter("net.bad_frame_answers");
@@ -183,12 +337,12 @@ void AuthServer::handle_frame(std::size_t index, const FrameView& frame) {
       obs::Registry::instance().counter("net.overload_rejections");
   static obs::Counter& enqueued =
       obs::Registry::instance().counter("net.requests_enqueued");
-  frames_in.add(1);
+  bump(frames_in, shard.metrics.frames_in);
   if (frame.type != FrameType::kAuthRequest) {
     // A response frame arriving at the server is well-formed but
     // nonsensical; answer and keep the (still framed) connection.
     bad_frames.add(1);
-    enqueue_immediate(index, WireResponse{WireStatus::kBadFrame, 0, 0});
+    enqueue_immediate(shard, index, WireResponse{WireStatus::kBadFrame, 0, 0});
     return;
   }
   service::AuthRequest request;
@@ -196,26 +350,26 @@ void AuthServer::handle_frame(std::size_t index, const FrameView& frame) {
     request = decode_request_payload(frame.payload);
   } catch (const WireError&) {
     bad_frames.add(1);
-    enqueue_immediate(index, WireResponse{WireStatus::kBadFrame, 0, 0});
+    enqueue_immediate(shard, index, WireResponse{WireStatus::kBadFrame, 0, 0});
     return;
   }
-  if (pending_unresolved_ >= options_.max_pending) {
+  if (shard.pending_unresolved >= options_.max_pending) {
     overloads.add(1);
-    enqueue_immediate(index, WireResponse{WireStatus::kOverloaded, 0, 0});
+    enqueue_immediate(shard, index, WireResponse{WireStatus::kOverloaded, 0, 0});
     return;
   }
   PendingEntry entry;
   entry.connection = index;
   entry.request = std::move(request);
-  pending_.push_back(std::move(entry));
-  ++pending_unresolved_;
-  enqueued.add(1);
+  shard.pending.push_back(std::move(entry));
+  ++shard.pending_unresolved;
+  bump(enqueued, shard.metrics.enqueued);
 }
 
-void AuthServer::service_readable(std::size_t index) {
+void AuthServer::service_readable(Shard& shard, std::size_t index) {
   static obs::Counter& frame_errors =
       obs::Registry::instance().counter("net.frame_errors");
-  Connection& connection = connections_[index];
+  Connection& connection = shard.connections[index];
   char chunk[kReadChunkBytes];
   std::size_t read_this_sweep = 0;
   while (connection.alive && !connection.close_after_flush &&
@@ -234,7 +388,7 @@ void AuthServer::service_readable(std::size_t index) {
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    close_connection(index);
+    close_connection(shard, index);
     return;
   }
 
@@ -243,7 +397,7 @@ void AuthServer::service_readable(std::size_t index) {
     if (extracted.status == ExtractResult::Status::kNeedMore) break;
     if (extracted.status == ExtractResult::Status::kDefect) {
       frame_errors.add(1);
-      enqueue_immediate(index, WireResponse{WireStatus::kBadFrame, 0, 0});
+      enqueue_immediate(shard, index, WireResponse{WireStatus::kBadFrame, 0, 0});
       if (frame_defect_is_fatal(extracted.defect)) {
         // Stream framing is lost: the buffered bytes are untrustworthy and
         // the only clean exit is answering, flushing and closing.
@@ -254,52 +408,52 @@ void AuthServer::service_readable(std::size_t index) {
       connection.in.erase(0, extracted.consume);
       continue;
     }
-    handle_frame(index, extracted.frame);
+    handle_frame(shard, index, extracted.frame);
     connection.in.erase(0, extracted.frame.frame_bytes);
   }
 }
 
-void AuthServer::drain_pending() {
-  if (pending_.empty()) return;
+void AuthServer::drain_pending(Shard& shard) {
+  if (shard.pending.empty()) return;
   static obs::Counter& batches = obs::Registry::instance().counter("net.batches");
   static obs::Histogram& queue_depth =
       obs::Registry::instance().histogram("net.queue_depth", queue_depth_bounds());
   static obs::Histogram& batch_us =
       obs::Registry::instance().latency_histogram("net.batch_us");
-  queue_depth.record(static_cast<double>(pending_.size()));
+  queue_depth.record(static_cast<double>(shard.pending.size()));
   const obs::TraceSpan span("net.drain");
-  while (!pending_.empty()) {
+  while (!shard.pending.empty()) {
     // Take a front run holding at most max_batch unverified requests;
     // pre-resolved answers (kBadFrame/kOverloaded) ride along so every
     // response leaves in the order its frame arrived.
     std::vector<PendingEntry> entries;
     std::vector<service::AuthRequest> requests;
-    while (!pending_.empty() && requests.size() < options_.max_batch) {
-      entries.push_back(std::move(pending_.front()));
-      pending_.pop_front();
+    while (!shard.pending.empty() && requests.size() < options_.max_batch) {
+      entries.push_back(std::move(shard.pending.front()));
+      shard.pending.pop_front();
       if (!entries.back().resolved) {
         requests.push_back(std::move(entries.back().request));
-        --pending_unresolved_;
+        --shard.pending_unresolved;
       }
     }
     std::vector<service::AuthVerdict> verdicts;
     if (!requests.empty()) {
-      batches.add(1);
+      bump(batches, shard.metrics.batches);
       const obs::ScopedLatency batch_timer(batch_us);
       verdicts = service_->verify_batch(requests);
-      requests_served_ += verdicts.size();
+      shard.requests_served += verdicts.size();
     }
     std::size_t next_verdict = 0;
     for (const PendingEntry& entry : entries) {
       const WireResponse response =
           entry.resolved ? entry.response : wire_response(verdicts[next_verdict++]);
-      enqueue_response(connections_[entry.connection], response);
+      enqueue_response(shard, entry.connection, response);
     }
   }
 }
 
-void AuthServer::flush_writable(std::size_t index) {
-  Connection& connection = connections_[index];
+void AuthServer::flush_writable(Shard& shard, std::size_t index) {
+  Connection& connection = shard.connections[index];
   while (connection.alive && !connection.out.empty()) {
     const ssize_t n = ::send(connection.fd, connection.out.data(),
                              connection.out.size(), MSG_NOSIGNAL);
@@ -309,81 +463,95 @@ void AuthServer::flush_writable(std::size_t index) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
     if (n < 0 && errno == EINTR) continue;
-    close_connection(index);
+    close_connection(shard, index);
     return;
   }
   if (connection.alive && connection.out.empty() && connection.close_after_flush) {
-    close_connection(index);
+    close_connection(shard, index);
   }
 }
 
-void AuthServer::close_connection(std::size_t index) {
+void AuthServer::close_connection(Shard& shard, std::size_t index) {
   static obs::Counter& closed =
       obs::Registry::instance().counter("net.connections_closed");
-  Connection& connection = connections_[index];
+  Connection& connection = shard.connections[index];
   if (!connection.alive) return;
   ::close(connection.fd);
   connection = Connection{};
   connection.alive = false;
-  closed.add(1);
+  bump(closed, shard.metrics.closed);
 }
 
-void AuthServer::close_idle_connections() {
+void AuthServer::close_idle_connections(Shard& shard) {
   static obs::Counter& deadline_closes =
       obs::Registry::instance().counter("net.deadline_closes");
   const auto now = std::chrono::steady_clock::now();
   const auto deadline = std::chrono::milliseconds(options_.read_deadline_ms);
-  for (std::size_t i = 0; i < connections_.size(); ++i) {
-    Connection& connection = connections_[i];
+  for (std::size_t i = 0; i < shard.connections.size(); ++i) {
+    Connection& connection = shard.connections[i];
     // Anything with buffered output is still being answered; the read
     // deadline only reaps connections that are silent *and* owed nothing.
     if (!connection.alive || !connection.out.empty()) continue;
     if (now - connection.last_read > deadline) {
       deadline_closes.add(1);
-      close_connection(i);
+      close_connection(shard, i);
     }
   }
 }
 
-bool AuthServer::draining_complete() const {
-  if (!pending_.empty()) return false;
-  for (const Connection& connection : connections_) {
+bool AuthServer::draining_complete(const Shard& shard) const {
+  if (!shard.pending.empty()) return false;
+  for (const Connection& connection : shard.connections) {
     if (connection.alive && !connection.out.empty()) return false;
   }
   return true;
 }
 
-void AuthServer::run() {
-  ROPUF_REQUIRE(listen_fd_ >= 0, "run() called before bind_and_listen()");
+void AuthServer::run_shard(Shard& shard) {
+  const bool round_robin_acceptor =
+      dispatch_ == DispatchMode::kRoundRobin && shards_.size() > 1 && shard.index == 0;
   bool draining = false;
   std::chrono::steady_clock::time_point drain_began;
 
   std::vector<pollfd> fds;
-  std::vector<std::size_t> fd_owner;  ///< connection index per pollfd slot
+  std::vector<std::size_t> fd_owner;  ///< connection index (or sentinel) per slot
   while (true) {
     if (!draining && stop_.load(std::memory_order_relaxed)) {
       // Graceful drain: stop accepting and reading, answer everything that
       // was already read, flush, then leave the loop.
       draining = true;
       drain_began = std::chrono::steady_clock::now();
-      ::close(listen_fd_);
-      listen_fd_ = -1;
+      if (shard.listen_fd >= 0) {
+        ::close(shard.listen_fd);
+        shard.listen_fd = -1;
+      }
+      // Handed-off fds never adopted would serve requests past the stop
+      // request; refuse them instead. (Shard 0 stops dispatching on its own
+      // next sweep; anything it deposits after this point is closed by the
+      // destructor.)
+      const std::lock_guard<std::mutex> lock(shard.handoff_mutex);
+      for (const int fd : shard.handoff) ::close(fd);
+      shard.handoff.clear();
     }
     if (draining) {
       const bool timed_out = std::chrono::steady_clock::now() - drain_began >
                              std::chrono::milliseconds(options_.drain_timeout_ms);
-      if (draining_complete() || timed_out) break;
+      if (draining_complete(shard) || timed_out) break;
     }
 
     fds.clear();
     fd_owner.clear();
-    if (!draining &&
-        std::chrono::steady_clock::now() >= accept_backoff_until_) {
-      fds.push_back(pollfd{listen_fd_, POLLIN, 0});
-      fd_owner.push_back(connections_.size());  // sentinel: the listener
+    if (!draining && shard.listen_fd >= 0 &&
+        std::chrono::steady_clock::now() >= shard.accept_backoff_until) {
+      fds.push_back(pollfd{shard.listen_fd, POLLIN, 0});
+      fd_owner.push_back(kListenerSlot);
     }
-    for (std::size_t i = 0; i < connections_.size(); ++i) {
-      const Connection& connection = connections_[i];
+    if (!draining && shard.wake_read_fd >= 0) {
+      fds.push_back(pollfd{shard.wake_read_fd, POLLIN, 0});
+      fd_owner.push_back(kWakeSlot);
+    }
+    for (std::size_t i = 0; i < shard.connections.size(); ++i) {
+      const Connection& connection = shard.connections[i];
       if (!connection.alive) continue;
       short events = 0;
       if (!draining && !connection.close_after_flush) events |= POLLIN;
@@ -402,28 +570,78 @@ void AuthServer::run() {
 
     for (std::size_t slot = 0; slot < fds.size(); ++slot) {
       if (fds[slot].revents == 0) continue;
-      if (fd_owner[slot] == connections_.size()) {
-        accept_ready();
+      if (fd_owner[slot] == kListenerSlot) {
+        if (round_robin_acceptor) {
+          accept_dispatch(shard);
+        } else {
+          accept_ready(shard);
+        }
+        continue;
+      }
+      if (fd_owner[slot] == kWakeSlot) {
+        adopt_handoff(shard);
         continue;
       }
       const std::size_t index = fd_owner[slot];
-      if (!connections_[index].alive) continue;
+      if (!shard.connections[index].alive) continue;
       if ((fds[slot].revents & (POLLIN | POLLHUP | POLLERR)) != 0 && !draining) {
-        service_readable(index);
+        service_readable(shard, index);
       }
     }
 
-    drain_pending();
-    for (std::size_t i = 0; i < connections_.size(); ++i) {
-      if (connections_[i].alive && (!connections_[i].out.empty() ||
-                                    connections_[i].close_after_flush)) {
-        flush_writable(i);
+    drain_pending(shard);
+    for (std::size_t i = 0; i < shard.connections.size(); ++i) {
+      if (shard.connections[i].alive && (!shard.connections[i].out.empty() ||
+                                         shard.connections[i].close_after_flush)) {
+        flush_writable(shard, i);
       }
     }
-    if (!draining) close_idle_connections();
+    if (!draining) close_idle_connections(shard);
   }
 
-  for (std::size_t i = 0; i < connections_.size(); ++i) close_connection(i);
+  for (std::size_t i = 0; i < shard.connections.size(); ++i) close_connection(shard, i);
+}
+
+void AuthServer::run() {
+  ROPUF_REQUIRE(shards_[0]->listen_fd >= 0, "run() called before bind_and_listen()");
+  if (shards_.size() == 1) {
+    run_shard(*shards_[0]);
+    requests_served_ = shards_[0]->requests_served;
+    return;
+  }
+
+  // Shards 1..N-1 get their own reactor threads; the calling thread drives
+  // shard 0 (in round-robin mode, the acceptor). A shard that throws takes
+  // the whole server down gracefully: it requests stop so its siblings
+  // drain and join, then the first exception rethrows out of run().
+  std::vector<std::exception_ptr> errors(shards_.size());
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size() - 1);
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    threads.emplace_back([this, s, &errors] {
+      try {
+        run_shard(*shards_[s]);
+      } catch (...) {
+        errors[s] = std::current_exception();
+        request_stop();
+      }
+    });
+  }
+  try {
+    run_shard(*shards_[0]);
+  } catch (...) {
+    errors[0] = std::current_exception();
+    request_stop();
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  requests_served_ = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    requests_served_ += shard->requests_served;
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
 }
 
 }  // namespace ropuf::net

@@ -1,57 +1,100 @@
-// Online authentication server: a single-threaded poll() event loop in
-// front of service::AuthService (see docs/serving.md).
+// Online authentication server: N sharded poll() event loops ("reactors")
+// in front of service::AuthService (see docs/serving.md).
 //
-// The loop owns every connection and never blocks on any one of them:
-// sockets are non-blocking, reads buffer into per-connection byte streams,
-// and complete frames (net/wire.h) are decoded as they arrive. Ready
-// requests collect into a *bounded* pending queue; once per sweep the queue
-// drains through AuthService::verify_batch on the deterministic parallel
-// pool, so the verdicts a connection receives are bit-identical to an
-// offline batch over the same requests — at any thread budget.
+// Each shard is the PR-5 single-threaded loop, verbatim in behavior: it
+// owns its connections, read/write buffers, bounded pending queue and
+// accept backoff, and never blocks on any one socket. Sockets are
+// non-blocking, reads buffer into per-connection byte streams, and complete
+// frames (net/wire.h) are decoded as they arrive. Ready requests collect
+// into a *bounded* per-shard pending queue; once per sweep the queue drains
+// through AuthService::verify_batch on the deterministic parallel pool, so
+// the verdicts a connection receives are bit-identical to an offline batch
+// over the same requests — at any thread budget and any shard count
+// (connections never migrate between shards, so each connection's request
+// stream is one shard's arrival order).
+//
+// shards == 1 (the default) is exactly the PR-5 server: one loop, one plain
+// listener, no threads, no SO_REUSEPORT. shards > 1 spawns one reactor
+// thread per shard and distributes connections one of two ways:
+//  * kReusePort — every shard binds its own SO_REUSEPORT listener on the
+//    same address; the kernel's 4-tuple hash spreads incoming connections
+//    across the listeners with no cross-thread handoff at all.
+//  * kRoundRobin — one listener owned by shard 0, which accepts and hands
+//    each new fd to shard (next++ % shards) through a mutex-protected
+//    handoff vector plus a self-pipe wakeup. The fallback for stacks
+//    without SO_REUSEPORT, and the deterministic choice for tests.
+//  * kAuto resolves to kReusePort when the platform supports it, else
+//    kRoundRobin. bind_and_listen() reports the resolved mode.
+// Either way ALL listeners are bound and listening when bind_and_listen()
+// returns, so a port-file handshake written after it cannot race a
+// connection against a half-started server.
 //
 // Responses leave each connection in request arrival order, with no request
 // ids on the wire: answer N pairs with request N, always. Degradation
 // answers the loop produces itself (kBadFrame, kOverloaded) therefore do
-// NOT jump the queue — they enter the pending queue as pre-resolved entries
-// and drain in sequence with the verdicts around them, so a pipelining
-// client can never misattribute an answer.
+// NOT jump the queue — they enter the owning shard's pending queue as
+// pre-resolved entries and drain in sequence with the verdicts around them,
+// so a pipelining client can never misattribute an answer.
 //
-// Adversary-facing behavior is explicit:
+// Admission stays device-sticky under sharding: AuthService partitions its
+// per-device admission states by device-id hash (admission_shards), NOT by
+// reactor shard, so the same device hits the same token bucket no matter
+// which reactor owns its connection.
+//
+// Adversary-facing behavior is explicit (all per shard):
 //  * Every frame decode error maps to an error response or a clean close —
 //    never a crash, never an exception escaping the loop. Recoverable
 //    defects (bad CRC, bad type, bad payload) answer kBadFrame and keep
 //    the connection; fatal ones (bad magic/version/oversized length) answer
 //    kBadFrame and close, because stream framing is lost.
 //  * The pending queue is bounded: past max_pending unverified requests the
-//    server answers kOverloaded immediately (reject-with-status
+//    shard answers kOverloaded immediately (reject-with-status
 //    backpressure) instead of buffering without bound. Write buffers are
 //    bounded too — a peer that stops reading its responses is closed as a
 //    slow consumer. Reads are bounded *per sweep* (max_read_per_sweep), so
 //    one fast talker can neither grow its input buffer without limit nor
-//    starve the other connections out of the loop.
+//    starve the other connections out of its shard's loop.
+//  * max_connections splits evenly across shards; a shard at its share
+//    closes new arrivals immediately rather than queueing them.
 //  * Idle connections past the read deadline are closed.
 //  * Descriptor exhaustion (accept() failing with EMFILE/ENFILE) backs the
-//    listener off for accept_backoff_ms instead of busy-spinning on a
-//    level-triggered listener that stays readable.
+//    accepting shard off for accept_backoff_ms instead of busy-spinning on
+//    a level-triggered listener that stays readable.
 //  * request_stop() (async-signal-safe; ropuf_serve wires SIGINT to it)
-//    triggers a graceful drain: stop accepting, answer everything already
-//    read, flush, then return from run().
+//    triggers a graceful drain on every shard: stop accepting, answer
+//    everything already read, flush, then return from run() once all
+//    shards have drained.
 //
-// Metrics land under "net.*" and spans under "net.*" (docs/serving.md has
-// the catalogue); the loop is observational-only like every other layer.
+// Metrics land under "net.*" (totals across shards, merged by the shared
+// registry instruments) plus "net.shard<i>.*" per-shard counters when
+// shards > 1; spans under "net.*" (docs/observability.md has the
+// catalogue). The loop is observational-only like every other layer.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "net/wire.h"
 #include "service/auth_service.h"
 
+namespace ropuf::obs {
+class Counter;
+}  // namespace ropuf::obs
+
 namespace ropuf::net {
+
+/// How a multi-shard server spreads incoming connections over its reactors.
+enum class DispatchMode {
+  kAuto,       ///< kReusePort when available, else kRoundRobin
+  kReusePort,  ///< per-shard SO_REUSEPORT listeners, kernel balancing
+  kRoundRobin  ///< shard 0 accepts, hands fds round-robin via self-pipe
+};
 
 struct ServerOptions {
   /// Loopback by default: exposing a verifier beyond localhost is a
@@ -60,9 +103,10 @@ struct ServerOptions {
   std::uint16_t port = 0;  ///< 0 = kernel-assigned ephemeral port
   int backlog = 64;
   std::size_t max_connections = 256;
-  /// Bounded pending-request queue; requests past this answer kOverloaded.
+  /// Bounded pending-request queue *per shard*; requests past this answer
+  /// kOverloaded.
   std::size_t max_pending = 1024;
-  /// Requests per verify_batch call when draining the queue.
+  /// Requests per verify_batch call when draining a shard's queue.
   std::size_t max_batch = 256;
   /// Per-connection write-buffer bound; a slower consumer is closed.
   std::size_t max_write_buffer = 1u << 20;
@@ -81,11 +125,17 @@ struct ServerOptions {
   int poll_interval_ms = 50;
   /// Hard cap on the graceful drain after request_stop().
   int drain_timeout_ms = 2000;
+  /// Reactor shards. 1 = the single-threaded PR-5 loop, no extra threads.
+  std::size_t shards = 1;
+  /// Connection dispatch across shards; ignored when shards == 1.
+  DispatchMode dispatch = DispatchMode::kAuto;
 };
 
-/// The event loop. Construction does not touch the network; bind_and_listen
-/// opens the socket and run() serves until request_stop(). One thread runs
-/// the loop; request_stop() may be called from any thread or signal handler.
+/// The sharded event loop. Construction does not touch the network;
+/// bind_and_listen opens every listener and run() serves until
+/// request_stop(). run()'s calling thread drives shard 0 and spawns one
+/// thread per additional shard; request_stop() may be called from any
+/// thread or signal handler.
 class AuthServer {
  public:
   /// `service` must outlive the server.
@@ -94,22 +144,32 @@ class AuthServer {
   AuthServer(const AuthServer&) = delete;
   AuthServer& operator=(const AuthServer&) = delete;
 
-  /// Binds and listens; returns the bound port (resolves port 0).
-  /// Throws ropuf::Error on any socket failure.
+  /// Binds and listens on every shard; returns the bound port (resolves
+  /// port 0 — all shards share it). Throws ropuf::Error on any socket
+  /// failure. When this returns, every listener accepts connections, so a
+  /// readiness handshake (e.g. --port-file) written afterwards is sound at
+  /// any shard count.
   std::uint16_t bind_and_listen();
 
   /// The bound port; 0 before bind_and_listen().
   std::uint16_t port() const { return port_; }
 
-  /// Serves until request_stop(), then drains gracefully and returns.
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// The dispatch mode actually in effect (kAuto resolved); meaningful
+  /// after bind_and_listen().
+  DispatchMode dispatch() const { return dispatch_; }
+
+  /// Serves until request_stop(), then drains every shard gracefully and
+  /// returns.
   void run();
 
-  /// Requests the loop to stop; one relaxed atomic store, safe from any
+  /// Requests every shard to stop; one relaxed atomic store, safe from any
   /// thread and from signal handlers.
   void request_stop() { stop_.store(true, std::memory_order_relaxed); }
 
   /// Requests served over the server's lifetime (including degraded
-  /// answers). Read after run() returned.
+  /// answers), summed across shards. Read after run() returned.
   std::uint64_t requests_served() const { return requests_served_; }
 
  private:
@@ -126,41 +186,85 @@ class AuthServer {
   /// (kBadFrame, kOverloaded) carry the pre-resolved response instead, so
   /// drain_pending can emit every answer in the order its frame arrived.
   struct PendingEntry {
-    std::size_t connection;  ///< index into connections_
+    std::size_t connection;  ///< index into the owning shard's connections
     bool resolved = false;   ///< true: `response` is the answer already
     WireResponse response;
     service::AuthRequest request;
   };
+  /// Per-shard counters ("net.shard<i>.*"); resolved once at construction
+  /// when shards > 1, null in single-shard servers so the hot path pays
+  /// nothing for the feature it isn't using. Each bumps alongside the
+  /// matching global "net.*" counter, so global = sum of shards.
+  struct ShardMetrics {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* closed = nullptr;
+    obs::Counter* frames_in = nullptr;
+    obs::Counter* frames_out = nullptr;
+    obs::Counter* enqueued = nullptr;
+    obs::Counter* batches = nullptr;
+  };
+  /// Everything one reactor thread owns. No state in here is ever touched
+  /// by another shard's thread, with one exception: the handoff vector
+  /// (mutex-protected) and its wake pipe, which round-robin dispatch uses
+  /// to pass freshly accepted fds from shard 0 to their owner.
+  struct Shard {
+    std::size_t index = 0;
+    int listen_fd = -1;  ///< own listener; -1 for round-robin shards > 0
+    std::size_t max_connections = 0;  ///< this shard's share of the cap
+    std::vector<Connection> connections;
+    std::deque<PendingEntry> pending;
+    /// Unverified entries in pending (the max_pending backpressure bound
+    /// counts verification work, not pre-resolved answers riding along).
+    std::size_t pending_unresolved = 0;
+    /// Listener poll resumes after this instant (accept_backoff_ms).
+    std::chrono::steady_clock::time_point accept_backoff_until{};
+    std::uint64_t requests_served = 0;
+    /// Round-robin handoff: shard 0 deposits accepted fds under the mutex
+    /// and writes one byte to the pipe so the owner's poll() wakes now
+    /// rather than at the next timeout.
+    std::mutex handoff_mutex;
+    std::vector<int> handoff;
+    int wake_read_fd = -1;
+    int wake_write_fd = -1;
+    ShardMetrics metrics;
+  };
 
-  void accept_ready();
+  /// Accepts on `shard`'s own listener and installs locally (single-shard
+  /// and reuseport modes).
+  void accept_ready(Shard& shard);
+  /// Shard 0, round-robin mode: accepts and hands each fd to the next
+  /// shard in rotation (installing locally when it is its own turn).
+  void accept_dispatch(Shard& shard);
+  /// Installs one accepted fd into a connection slot, enforcing the
+  /// shard's connection share.
+  void adopt_fd(Shard& shard, int fd);
+  /// Drains the wake pipe and adopts every handed-off fd.
+  void adopt_handoff(Shard& shard);
   /// Reads everything available (up to max_read_per_sweep), extracts
   /// frames, enqueues/answers.
-  void service_readable(std::size_t index);
+  void service_readable(Shard& shard, std::size_t index);
   /// Decodes one frame into the pending queue or a pre-resolved answer.
-  void handle_frame(std::size_t index, const FrameView& frame);
-  void enqueue_response(Connection& connection, const WireResponse& response);
+  void handle_frame(Shard& shard, std::size_t index, const FrameView& frame);
+  void enqueue_response(Shard& shard, std::size_t index, const WireResponse& response);
   /// Queues an answer the loop produced itself, in arrival order.
-  void enqueue_immediate(std::size_t index, const WireResponse& response);
-  /// Drains the pending queue through verify_batch, max_batch at a time,
-  /// emitting responses in arrival order.
-  void drain_pending();
-  void flush_writable(std::size_t index);
-  void close_connection(std::size_t index);
-  void close_idle_connections();
-  bool draining_complete() const;
+  void enqueue_immediate(Shard& shard, std::size_t index, const WireResponse& response);
+  /// Drains the shard's pending queue through verify_batch, max_batch at a
+  /// time, emitting responses in arrival order.
+  void drain_pending(Shard& shard);
+  void flush_writable(Shard& shard, std::size_t index);
+  void close_connection(Shard& shard, std::size_t index);
+  void close_idle_connections(Shard& shard);
+  bool draining_complete(const Shard& shard) const;
+  /// One reactor: the PR-5 event loop over this shard's fds.
+  void run_shard(Shard& shard);
 
   const service::AuthService* service_;
   ServerOptions options_;
-  int listen_fd_ = -1;
+  DispatchMode dispatch_ = DispatchMode::kAuto;  ///< resolved by bind_and_listen
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
-  std::vector<Connection> connections_;
-  std::deque<PendingEntry> pending_;
-  /// Unverified entries in pending_ (the max_pending backpressure bound
-  /// counts verification work, not pre-resolved answers riding along).
-  std::size_t pending_unresolved_ = 0;
-  /// Listener poll resumes after this instant (accept_backoff_ms).
-  std::chrono::steady_clock::time_point accept_backoff_until_{};
+  std::size_t round_robin_next_ = 0;  ///< only shard 0's thread touches this
   std::uint64_t requests_served_ = 0;
 };
 

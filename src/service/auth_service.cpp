@@ -121,11 +121,36 @@ AuthService::AuthService(const registry::Registry* registry, AuthServiceOptions 
     : registry_(registry),
       options_(options),
       cache_(options.cache_capacity),
-      unknown_cache_(options.unknown_cache_capacity, "service.unknown_cache"),
-      admission_(options.admission) {
+      unknown_cache_(options.unknown_cache_capacity, "service.unknown_cache") {
   ROPUF_REQUIRE(registry_ != nullptr, "null registry");
   ROPUF_REQUIRE(options_.response_bits > 0, "response_bits must be positive");
   ROPUF_REQUIRE(options_.batch_grain > 0, "batch_grain must be positive");
+  ROPUF_REQUIRE(options_.admission_shards > 0, "admission_shards must be positive");
+  ROPUF_REQUIRE(!options_.admission.enabled() ||
+                    options_.admission.device_capacity >= options_.admission_shards,
+                "admission device_capacity must cover every admission shard");
+  // Device states split across slices the way the enrollment cache splits
+  // its capacity: base share per slice, remainder spread over the first
+  // slices, so the per-slice bounds sum to exactly device_capacity.
+  admission_.reserve(options_.admission_shards);
+  const std::size_t base = options_.admission.device_capacity / options_.admission_shards;
+  const std::size_t rem = options_.admission.device_capacity % options_.admission_shards;
+  for (std::size_t s = 0; s < options_.admission_shards; ++s) {
+    AdmissionOptions slice = options_.admission;
+    if (options_.admission_shards > 1) {
+      slice.device_capacity = base + (s < rem ? 1 : 0);
+    }
+    admission_.push_back(std::make_unique<AdmissionController>(slice));
+  }
+}
+
+std::size_t AuthService::admission_slice_index(std::uint64_t device_id) const {
+  if (admission_.size() == 1) return 0;
+  return mix_id(device_id) % admission_.size();
+}
+
+void AuthService::flush_admission_metrics() const {
+  for (const auto& slice : admission_) slice->flush_metrics();
 }
 
 AuthVerdict AuthService::verify(const AuthRequest& request) const {
@@ -223,7 +248,9 @@ std::vector<AuthVerdict> AuthService::verify_batch(
   // subsequence — the digest-parity property the soak harness pins.
   std::vector<Admission> decisions(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    decisions[i] = admission_.admit(requests[i].device_id, requests[i].challenge);
+    AdmissionController& slice =
+        *admission_[admission_slice_index(requests[i].device_id)];
+    decisions[i] = slice.admit(requests[i].device_id, requests[i].challenge);
   }
   return parallel_transform<AuthVerdict>(
       requests.size(), options_.threads,

@@ -36,7 +36,11 @@
 //    Admission is order-dependent state, so it must never run under the
 //    parallel pool; only the admitted remainder is verified in parallel,
 //    which keeps the admitted verdicts bit-identical to an admission-free
-//    verify_batch over the same subsequence at any thread budget.
+//    verify_batch over the same subsequence at any thread budget. With
+//    admission_shards > 1 the per-device states partition into
+//    device-id-hash slices (each with its own logical clock), so a device's
+//    decisions depend only on its own slice's arrival stream — the property
+//    the multi-reactor server's shard-stickiness tests pin.
 #pragma once
 
 #include <cstdint>
@@ -111,6 +115,17 @@ struct AuthServiceOptions {
   std::size_t batch_grain = 64;
   /// Per-device admission control (all-off by default; see admission.h).
   AdmissionOptions admission;
+  /// Admission state partitions. 1 (the default) keeps the single global
+  /// controller of PR 6. N > 1 splits the per-device states into N slices
+  /// routed by device-id hash — the same SplitMix64 hash the enrollment
+  /// cache shards by — each with its own logical clock and its own share of
+  /// admission.device_capacity. A device always lands in the same slice, so
+  /// its token-bucket replay is a function of its slice's arrival stream
+  /// only: devices hashed elsewhere (and whichever reactor shard a
+  /// connection happens to land on) cannot perturb it. The multi-reactor
+  /// server sets this to its shard count so concurrent shards rarely
+  /// contend on one admission mutex.
+  std::size_t admission_shards = 1;
   ThreadBudget threads;
 };
 
@@ -213,17 +228,30 @@ class AuthService {
   /// thread budget.
   std::vector<AuthVerdict> verify_batch(const std::vector<AuthRequest>& requests) const;
 
-  /// The admission state machine (live counters; flush_metrics() for the
+  /// The first admission slice (the only one at the default
+  /// admission_shards = 1; live counters; flush_metrics() for the
   /// per-device deny histogram). Decides kAdmit-everything when the
   /// configured AdmissionOptions are all-off.
-  AdmissionController& admission() const { return admission_; }
+  AdmissionController& admission() const { return *admission_.front(); }
+
+  /// Admission partitions (== options().admission_shards).
+  std::size_t admission_shard_count() const { return admission_.size(); }
+  /// The slice that owns a device's admission state: constant per device,
+  /// independent of connections, reactor shards, and arrival order.
+  std::size_t admission_slice_index(std::uint64_t device_id) const;
+  AdmissionController& admission_slice(std::size_t slice) const {
+    return *admission_[slice];
+  }
+  /// Flushes every slice's per-device deny histogram (slice order).
+  void flush_admission_metrics() const;
 
  private:
   const registry::Registry* registry_;
   AuthServiceOptions options_;
   mutable EnrollmentCache cache_;
   mutable EnrollmentCache unknown_cache_;
-  mutable AdmissionController admission_;
+  /// One controller per admission slice, device-id-hash routed.
+  mutable std::vector<std::unique_ptr<AdmissionController>> admission_;
 };
 
 /// Deterministic request-mix generator for benches, tests and the CLI's

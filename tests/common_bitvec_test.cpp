@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
+#include "common/hamming.h"
 #include "common/rng.h"
 
 namespace ropuf {
@@ -112,6 +115,29 @@ TEST(BitVec, HammingDistanceMatchesNaiveOnRandomVectors) {
       if (ba != bb) ++naive;
     }
     EXPECT_EQ(a.hamming_distance(b), naive);
+  }
+}
+
+TEST(BitVec, BlockedHammingKernelMatchesScalarAtEveryBlockShape) {
+  // The shared blocked kernel (common/hamming.h) must be bit-identical to
+  // a one-word-at-a-time scalar loop at word counts on both sides of its
+  // 4-word block boundary — including the empty and tail-only shapes.
+  Rng rng(0xb10c);
+  for (const std::size_t words : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 31u}) {
+    std::vector<std::uint64_t> a(words), b(words);
+    for (std::size_t w = 0; w < words; ++w) {
+      a[w] = rng.next_u64();
+      b[w] = rng.next_u64();
+    }
+    std::uint64_t scalar_hd = 0;
+    std::uint64_t scalar_pop = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      scalar_hd += static_cast<std::uint64_t>(std::popcount(a[w] ^ b[w]));
+      scalar_pop += static_cast<std::uint64_t>(std::popcount(a[w]));
+    }
+    EXPECT_EQ(hamming_distance_words(a.data(), b.data(), words), scalar_hd)
+        << "words=" << words;
+    EXPECT_EQ(popcount_words(a.data(), words), scalar_pop) << "words=" << words;
   }
 }
 

@@ -221,6 +221,14 @@ std::vector<AuthRequest> true_requests(const registry::Registry& registry,
   return requests;
 }
 
+AuthRequest genuine(const registry::Registry& registry, const AuthServiceOptions& options,
+                    std::size_t device_index, std::uint64_t challenge) {
+  const std::uint64_t id = registry.device_id_at(device_index);
+  const auto enrollment = registry.lookup(id);
+  const puf::CrpOracle oracle(&enrollment, options.response_bits);
+  return {id, challenge, oracle.reference(challenge)};
+}
+
 TEST(AuthServiceAdmission, DeniedVerdictsCarryTheAdmissionStatus) {
   const auto registry = admission_registry();
   AuthServiceOptions options;
@@ -332,6 +340,125 @@ TEST(AuthServiceAdmission, SingleVerifyBypassesAdmission) {
     EXPECT_EQ(service.verify(request).status, AuthStatus::kAccept);
   }
   EXPECT_EQ(service.admission().ticks(), 0u);
+}
+
+// --------------------------------------------- admission sharding
+
+TEST(AuthServiceAdmission, ShardedOptionsValidate) {
+  const auto registry = admission_registry();
+
+  AuthServiceOptions zero;
+  zero.admission_shards = 0;
+  EXPECT_THROW(AuthService(&registry, zero), Error);
+
+  // Enabled admission needs at least one device-state slot per slice.
+  AuthServiceOptions starved;
+  starved.admission.rate_burst = 2;
+  starved.admission.rate_interval = 4;
+  starved.admission.device_capacity = 3;
+  starved.admission_shards = 4;
+  EXPECT_THROW(AuthService(&registry, starved), Error);
+
+  // Disabled admission tracks no state, so any shard count is fine.
+  AuthServiceOptions open;
+  open.admission_shards = 4;
+  const AuthService service(&registry, open);
+  EXPECT_EQ(service.admission_shard_count(), 4u);
+}
+
+TEST(AuthServiceAdmission, SliceRoutingIsDeterministicPerDevice) {
+  const auto registry = admission_registry();
+  AuthServiceOptions options;
+  options.admission_shards = 3;
+  const AuthService service(&registry, options);
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    const std::size_t slice = service.admission_slice_index(id);
+    EXPECT_LT(slice, 3u);
+    EXPECT_EQ(service.admission_slice_index(id), slice);  // stable
+  }
+}
+
+TEST(AuthServiceAdmission, SingleDeviceDecisionsAreShardCountInvariant) {
+  // A device's slice receives exactly the device's own requests when it is
+  // the only traffic, so its decision sequence — token-bucket drains,
+  // refills, reuse denials — cannot depend on how many slices exist.
+  const auto registry = admission_registry();
+  std::vector<std::uint64_t> digests;
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    AuthServiceOptions options;
+    options.response_bits = 8;
+    options.admission.rate_burst = 2;
+    options.admission.rate_interval = 3;
+    options.admission.reuse_budget = 1;
+    options.admission_shards = shards;
+    const AuthService service(&registry, options);
+
+    std::vector<AuthRequest> requests;
+    for (std::uint64_t r = 0; r < 24; ++r) {
+      // Repeats every 6 challenges exercise the reuse budget too.
+      requests.push_back(genuine(registry, options, 0, 100 + (r % 6)));
+    }
+    digests.push_back(service::verdict_digest(service.verify_batch(requests)));
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], digests[2]);
+}
+
+TEST(AuthServiceAdmission, SliceReplayReproducesShardedDecisions) {
+  // The sharding contract, stated as a replay: feeding each slice's
+  // subsequence (the requests hashed to it, in arrival order) through a
+  // standalone controller with that slice's capacity share must reproduce
+  // the sharded service's decisions exactly. Devices hashed to other
+  // slices are invisible — they tick other clocks.
+  const auto registry = admission_registry();
+  AuthServiceOptions options;
+  options.response_bits = 8;
+  options.admission.rate_burst = 2;
+  options.admission.rate_interval = 3;
+  options.admission.device_capacity = 7;  // uneven split: shares 3, 2, 2
+  options.admission_shards = 3;
+  const AuthService service(&registry, options);
+
+  // Device-major traffic: each device's 5 requests hit its slice on
+  // consecutive ticks, so every device outruns burst 2 + refill-per-3 and
+  // every populated slice is guaranteed to deny something.
+  std::vector<AuthRequest> requests = true_requests(registry, options, 5);
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const AuthRequest& a, const AuthRequest& b) {
+                     return a.device_id < b.device_id;
+                   });
+  const std::vector<AuthVerdict> verdicts = service.verify_batch(requests);
+
+  for (std::size_t s = 0; s < 3; ++s) {
+    AdmissionOptions slice_options = options.admission;
+    slice_options.device_capacity = 7 / 3 + (s < 7 % 3 ? 1 : 0);
+    AdmissionController replay{slice_options};
+    bool any_denied = false;
+    std::size_t slice_requests = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (service.admission_slice_index(requests[i].device_id) != s) continue;
+      ++slice_requests;
+      const Admission decision =
+          replay.admit(requests[i].device_id, requests[i].challenge);
+      switch (decision) {
+        case Admission::kAdmit:
+          EXPECT_NE(verdicts[i].status, AuthStatus::kRateLimited) << "request " << i;
+          EXPECT_NE(verdicts[i].status, AuthStatus::kBudgetExhausted) << "request " << i;
+          break;
+        case Admission::kRateLimited:
+          any_denied = true;
+          EXPECT_EQ(verdicts[i].status, AuthStatus::kRateLimited) << "request " << i;
+          break;
+        case Admission::kBudgetExhausted:
+          any_denied = true;
+          EXPECT_EQ(verdicts[i].status, AuthStatus::kBudgetExhausted) << "request " << i;
+          break;
+      }
+    }
+    if (slice_requests > 0) {
+      EXPECT_TRUE(any_denied) << "slice " << s << " never under pressure";
+    }
+  }
 }
 
 TEST(AuthServiceAdmission, StatusNamesCoverTheAdmissionVerdicts) {

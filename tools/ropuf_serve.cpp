@@ -12,6 +12,7 @@
 //               [--rate-burst N --rate-interval T] [--crp-budget N]
 //               [--reuse-budget N] [--challenge-sketch N]
 //               [--admission-devices N] [--threads N]
+//               [--shards N] [--dispatch auto|reuseport|roundrobin]
 //               [--max-connections N] [--max-pending N] [--max-batch N]
 //               [--max-read-per-sweep N] [--read-deadline-ms N]
 //               [--accept-backoff-ms N] [--drain-timeout-ms N]
@@ -44,10 +45,29 @@ void handle_stop_signal(int) {
 }
 
 int serve(const Args& args) {
+  const std::size_t shards = static_cast<std::size_t>(count_arg(args, "shards", 1));
+  ROPUF_REQUIRE(shards > 0, "--shards must be positive");
+
   const registry::Registry reg = registry_from_args(args);
-  const service::AuthService svc(&reg, auth_options_from_args(args));
+  service::AuthServiceOptions svc_opts = auth_options_from_args(args);
+  // Admission state partitions by device-id hash, one slice per reactor
+  // shard, so concurrent shards rarely contend on one admission mutex while
+  // every device still lands on one deterministic token bucket.
+  svc_opts.admission_shards = shards;
+  const service::AuthService svc(&reg, svc_opts);
 
   net::ServerOptions opts;
+  opts.shards = shards;
+  const std::string dispatch = args.get("dispatch", "auto");
+  if (dispatch == "auto") {
+    opts.dispatch = net::DispatchMode::kAuto;
+  } else if (dispatch == "reuseport") {
+    opts.dispatch = net::DispatchMode::kReusePort;
+  } else if (dispatch == "roundrobin") {
+    opts.dispatch = net::DispatchMode::kRoundRobin;
+  } else {
+    ROPUF_REQUIRE(false, "--dispatch must be auto, reuseport, or roundrobin");
+  }
   opts.bind_address = args.get("bind", "127.0.0.1");
   opts.port = static_cast<std::uint16_t>(args.number("port", 0));
   // count_arg rejects negative values eagerly; a negative bound must fail
@@ -77,11 +97,22 @@ int serve(const Args& args) {
     file << port << "\n";
     ROPUF_REQUIRE(file.flush().good(), "failed writing port file " + path);
   }
-  std::printf("serving %zu devices on %s:%u\n", reg.device_count(),
-              opts.bind_address.c_str(), port);
+  if (server.shard_count() > 1) {
+    std::printf("serving %zu devices on %s:%u (%zu shards, %s dispatch)\n",
+                reg.device_count(), opts.bind_address.c_str(), port,
+                server.shard_count(),
+                server.dispatch() == net::DispatchMode::kReusePort ? "reuseport"
+                                                                   : "roundrobin");
+  } else {
+    std::printf("serving %zu devices on %s:%u\n", reg.device_count(),
+                opts.bind_address.c_str(), port);
+  }
   std::fflush(stdout);
 
   server.run();
+  // Record the per-device deny histograms for states still resident in the
+  // admission slices, so --metrics-out sees the full abuse profile.
+  svc.flush_admission_metrics();
   std::printf("drained: %llu requests served\n",
               static_cast<unsigned long long>(server.requests_served()));
   return 0;
@@ -96,6 +127,7 @@ int usage() {
                "                   [--rate-burst N --rate-interval T]\n"
                "                   [--crp-budget N] [--reuse-budget N]\n"
                "                   [--challenge-sketch N] [--admission-devices N]\n"
+               "                   [--shards N] [--dispatch auto|reuseport|roundrobin]\n"
                "                   [--max-connections N] [--max-pending N]\n"
                "                   [--max-batch N] [--max-read-per-sweep N]\n"
                "                   [--read-deadline-ms N] [--accept-backoff-ms N]\n"

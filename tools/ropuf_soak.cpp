@@ -14,7 +14,8 @@
 //              [--reuse-budget N] [--challenge-sketch N] [--admission-devices N]
 //              [--slots N] [--burst N] [--probes N] [--checkpoints N]
 //              [--eval-challenges N] [--compare on|off] [--require-defense on|off]
-//              [--threads N] [--metrics-out F.json] [--trace-out F.json]
+//              [--shards N] [--threads N]
+//              [--metrics-out F.json] [--trace-out F.json]
 //
 // --compare on runs the identical soak twice — admission as configured,
 // then admission disabled — and prints the accuracy gap the defense buys.
@@ -49,6 +50,17 @@ soak::SoakOptions soak_options_from_args(const Args& args) {
       static_cast<std::size_t>(count_arg(args, "eval-challenges", 64));
   options.readout_noise_ps = args.number("noise", 0.5);
   options.seed = static_cast<std::uint64_t>(args.number("soak-seed", 0x50a4));
+  // Sharded serving must preserve the whole defense contract, so the soak
+  // takes the same --shards knob as ropuf_serve. The driver's closed loop
+  // (next event waits for the previous answer) keeps the global arrival
+  // order deterministic whichever shard owns each connection, and admission
+  // slices by device hash — so the report must not change with the shard
+  // count. Round-robin dispatch keeps connection placement deterministic
+  // too, independent of kernel reuseport hashing.
+  options.server.shards = static_cast<std::size_t>(count_arg(args, "shards", 1));
+  ROPUF_REQUIRE(options.server.shards > 0, "--shards must be positive");
+  options.server.dispatch = net::DispatchMode::kRoundRobin;
+  options.service.admission_shards = options.server.shards;
   return options;
 }
 
@@ -123,7 +135,7 @@ int usage() {
                "                  [--slots N] [--burst N] [--probes N]\n"
                "                  [--checkpoints N] [--eval-challenges N]\n"
                "                  [--soak-seed S] [--compare on|off]\n"
-               "                  [--require-defense on|off] [--threads N]\n"
+               "                  [--require-defense on|off] [--shards N] [--threads N]\n"
                "                  [--metrics-out F.json] [--trace-out F.json]\n"
                "closed-loop attack soak against the real loopback server;\n"
                "see docs/attack_soak.md.\n");

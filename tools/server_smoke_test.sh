@@ -7,6 +7,13 @@
 #      (same registry, same workload, same thread budget), and
 #   2. SIGINT triggers a graceful drain: the server exits 0 on its own.
 #
+# Runs twice: once single-reactor (--shards 1, the PR-5 shape) and once
+# multi-reactor (--shards 2). The sharded phase also exercises the
+# --port-file handshake contract for multi-shard startup: the port file
+# must not appear until EVERY shard listener is bound, so the first
+# connection a client makes after reading it cannot race a half-started
+# server.
+#
 # Usage: server_smoke_test.sh <ropuf_serve> <ropuf_cli> <workdir>
 set -euo pipefail
 
@@ -15,60 +22,74 @@ CLI=$2
 WORKDIR=$3
 
 cd "$WORKDIR"
-PORT_FILE=smoke_port.txt
-rm -f "$PORT_FILE"
 
 FLEET="--devices 24 --seed 42"
 WORKLOAD="--requests 256 --bits 16 --max-hd 2 --threads 2"
 
-"$SERVE" $FLEET --port 0 --port-file "$PORT_FILE" --threads 2 &
-SRV=$!
-trap 'kill -9 $SRV 2>/dev/null || true' EXIT
+OFFLINE=$("$CLI" auth-batch $FLEET $WORKLOAD)
+OFFLINE_DIGEST=$(printf '%s\n' "$OFFLINE" | grep 'verdict digest')
+[ -n "$OFFLINE_DIGEST" ] || { echo "FAIL: auth-batch printed no digest"; exit 1; }
 
-# Wait for the port file, but notice a server that died on startup (bad
-# flags, bind failure) instead of burning the full wait on a corpse.
-for _ in $(seq 100); do
-  [ -s "$PORT_FILE" ] && break
-  if ! kill -0 "$SRV" 2>/dev/null; then
-    RC=0
-    wait "$SRV" || RC=$?
-    echo "FAIL: server died before writing its port file (exit status $RC)"
+# run_phase <label> <extra ropuf_serve flags...>
+run_phase() {
+  local LABEL=$1
+  shift
+
+  local PORT_FILE="smoke_port_${LABEL}.txt"
+  rm -f "$PORT_FILE"
+
+  "$SERVE" $FLEET --port 0 --port-file "$PORT_FILE" --threads 2 "$@" &
+  SRV=$!
+  trap 'kill -9 $SRV 2>/dev/null || true' EXIT
+
+  # Wait for the port file, but notice a server that died on startup (bad
+  # flags, bind failure) instead of burning the full wait on a corpse.
+  for _ in $(seq 100); do
+    [ -s "$PORT_FILE" ] && break
+    if ! kill -0 "$SRV" 2>/dev/null; then
+      RC=0
+      wait "$SRV" || RC=$?
+      echo "FAIL($LABEL): server died before writing its port file (exit status $RC)"
+      exit 1
+    fi
+    sleep 0.1
+  done
+  [ -s "$PORT_FILE" ] || { echo "FAIL($LABEL): server never wrote its port file"; exit 1; }
+  PORT=$(cat "$PORT_FILE")
+
+  local ONLINE
+  ONLINE=$("$CLI" auth-client --port "$PORT" $FLEET $WORKLOAD)
+
+  local ONLINE_DIGEST
+  ONLINE_DIGEST=$(printf '%s\n' "$ONLINE" | grep 'verdict digest')
+  [ -n "$ONLINE_DIGEST" ] || { echo "FAIL($LABEL): client printed no digest"; exit 1; }
+  if [ "$ONLINE_DIGEST" != "$OFFLINE_DIGEST" ]; then
+    echo "FAIL($LABEL): online/offline digest mismatch"
+    echo "  online:  $ONLINE_DIGEST"
+    echo "  offline: $OFFLINE_DIGEST"
     exit 1
   fi
-  sleep 0.1
-done
-[ -s "$PORT_FILE" ] || { echo "FAIL: server never wrote its port file"; exit 1; }
-PORT=$(cat "$PORT_FILE")
+  if printf '%s\n' "$ONLINE" | grep -q 'degraded answers'; then
+    echo "FAIL($LABEL): client saw degraded answers on an idle server"
+    exit 1
+  fi
 
-ONLINE=$("$CLI" auth-client --port "$PORT" $FLEET $WORKLOAD)
-OFFLINE=$("$CLI" auth-batch $FLEET $WORKLOAD)
+  kill -INT "$SRV"
+  for _ in $(seq 100); do
+    kill -0 "$SRV" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "$SRV" 2>/dev/null; then
+    echo "FAIL($LABEL): server did not drain after SIGINT"
+    exit 1
+  fi
+  RC=0
+  wait "$SRV" || RC=$?
+  [ "$RC" -eq 0 ] || { echo "FAIL($LABEL): server exited rc=$RC"; exit 1; }
+  trap - EXIT
 
-ONLINE_DIGEST=$(printf '%s\n' "$ONLINE" | grep 'verdict digest')
-OFFLINE_DIGEST=$(printf '%s\n' "$OFFLINE" | grep 'verdict digest')
-[ -n "$ONLINE_DIGEST" ] || { echo "FAIL: client printed no digest"; exit 1; }
-if [ "$ONLINE_DIGEST" != "$OFFLINE_DIGEST" ]; then
-  echo "FAIL: online/offline digest mismatch"
-  echo "  online:  $ONLINE_DIGEST"
-  echo "  offline: $OFFLINE_DIGEST"
-  exit 1
-fi
-if printf '%s\n' "$ONLINE" | grep -q 'degraded answers'; then
-  echo "FAIL: client saw degraded answers on an idle server"
-  exit 1
-fi
+  echo "PASS($LABEL): $ONLINE_DIGEST (online == offline, graceful drain)"
+}
 
-kill -INT "$SRV"
-for _ in $(seq 100); do
-  kill -0 "$SRV" 2>/dev/null || break
-  sleep 0.1
-done
-if kill -0 "$SRV" 2>/dev/null; then
-  echo "FAIL: server did not drain after SIGINT"
-  exit 1
-fi
-RC=0
-wait "$SRV" || RC=$?
-[ "$RC" -eq 0 ] || { echo "FAIL: server exited rc=$RC"; exit 1; }
-trap - EXIT
-
-echo "PASS: $ONLINE_DIGEST (online == offline, graceful drain)"
+run_phase single
+run_phase sharded --shards 2
