@@ -507,6 +507,31 @@ bool AuthServer::draining_complete(const Shard& shard) const {
   return true;
 }
 
+void AuthServer::set_reload_handler(std::function<void()> handler) {
+  reload_handler_ = std::move(handler);
+}
+
+void AuthServer::apply_pending_reloads() {
+  static obs::Counter& reloads = obs::Registry::instance().counter("net.reloads");
+  static obs::Counter& failures =
+      obs::Registry::instance().counter("net.reload_failures");
+  const std::uint64_t wanted = reload_requested_.load(std::memory_order_relaxed);
+  if (wanted == reloads_applied_.load(std::memory_order_relaxed)) return;
+  // One handler invocation covers every request observed so far: a SIGHUP
+  // burst reloads the files once, which is what the sender meant.
+  if (reload_handler_) {
+    try {
+      reload_handler_();
+    } catch (...) {
+      // A reload that fails (corrupt or missing file mid-rewrite) keeps the
+      // current generation serving; the operator retries after fixing it.
+      failures.add(1);
+    }
+  }
+  reloads.add(1);
+  reloads_applied_.store(wanted, std::memory_order_relaxed);
+}
+
 void AuthServer::run_shard(Shard& shard) {
   const bool round_robin_acceptor =
       dispatch_ == DispatchMode::kRoundRobin && shards_.size() > 1 && shard.index == 0;
@@ -516,6 +541,10 @@ void AuthServer::run_shard(Shard& shard) {
   std::vector<pollfd> fds;
   std::vector<std::size_t> fd_owner;  ///< connection index (or sentinel) per slot
   while (true) {
+    // Reloads apply on shard 0's sweep (poll_interval_ms bounds latency
+    // like stop requests); sibling shards see the published generation on
+    // their next batch without any cross-shard coordination.
+    if (shard.index == 0 && !draining) apply_pending_reloads();
     if (!draining && stop_.load(std::memory_order_relaxed)) {
       // Graceful drain: stop accepting and reading, answer everything that
       // was already read, flush, then leave the loop.

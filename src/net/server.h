@@ -75,6 +75,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -168,6 +169,28 @@ class AuthServer {
   /// thread and from signal handlers.
   void request_stop() { stop_.store(true, std::memory_order_relaxed); }
 
+  /// Requests a registry reload: one relaxed atomic increment, safe from
+  /// any thread and from signal handlers (ropuf_serve wires SIGHUP here,
+  /// the same pattern request_stop uses for SIGINT/SIGTERM). Shard 0's
+  /// loop runs the reload handler on its next sweep; bursts coalesce into
+  /// one application. Every shard picks the published generation up at its
+  /// next batch — EpochRegistry readers pin snapshots, so nothing pauses.
+  void request_reload() {
+    reload_requested_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Installs the reload action (re-reading registry files and publishing
+  /// them on the EpochRegistry, in ropuf_serve's case). Set before run().
+  /// The handler runs on shard 0's reactor thread; an exception it throws
+  /// is counted under net.reload_failures and swallowed — a bad file on
+  /// disk must not take down a serving fleet.
+  void set_reload_handler(std::function<void()> handler);
+
+  /// Reload batches applied so far (requests coalesce, so <= requested).
+  std::uint64_t reloads_applied() const {
+    return reloads_applied_.load(std::memory_order_relaxed);
+  }
+
   /// Requests served over the server's lifetime (including degraded
   /// answers), summed across shards. Read after run() returned.
   std::uint64_t requests_served() const { return requests_served_; }
@@ -255,6 +278,8 @@ class AuthServer {
   void close_connection(Shard& shard, std::size_t index);
   void close_idle_connections(Shard& shard);
   bool draining_complete(const Shard& shard) const;
+  /// Shard 0 only: applies coalesced reload requests (runs the handler).
+  void apply_pending_reloads();
   /// One reactor: the PR-5 event loop over this shard's fds.
   void run_shard(Shard& shard);
 
@@ -264,6 +289,9 @@ class AuthServer {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> reload_requested_{0};
+  std::atomic<std::uint64_t> reloads_applied_{0};
+  std::function<void()> reload_handler_;  ///< set before run(), shard 0 runs it
   std::size_t round_robin_next_ = 0;  ///< only shard 0's thread touches this
   std::uint64_t requests_served_ = 0;
 };

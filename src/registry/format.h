@@ -76,6 +76,50 @@ class ByteWriter {
   std::string bytes_;
 };
 
+// --------------------------------------------------- sectioned container
+//
+// The base registry ("ROPUFREG", registry.h) and the append-only delta
+// segments ("ROPUFDLT", epoch.h) share one container layout: a 68-byte
+// header, a fixed-width device index sorted by id, and a records section,
+// each CRC32-checked. The helpers below are the shared producer/consumer
+// halves so the two formats cannot drift apart structurally.
+
+/// Header byte count of every sectioned registry image.
+inline constexpr std::size_t kHeaderBytes = 68;
+/// Header bytes the header CRC covers (everything before the CRC itself).
+inline constexpr std::size_t kHeaderCrcSpan = 64;
+/// Bytes per index entry: u64 device id, u64 record offset, u64 record size.
+inline constexpr std::size_t kIndexEntryBytes = 24;
+
+/// Little-endian u64 at `offset`; the caller guarantees bounds (index reads
+/// after validate_sections proved the geometry).
+std::uint64_t read_u64_at(std::string_view bytes, std::size_t offset);
+
+/// The validated section geometry of an image (offsets relative to byte 0).
+struct SectionGeometry {
+  std::uint64_t device_count = 0;
+  std::size_t index_offset = 0;
+  std::size_t records_offset = 0;
+  std::size_t records_size = 0;
+};
+
+/// Validates a sectioned image end to end — magic, version, all three CRCs,
+/// section geometry, index invariants (strictly ascending ids, every entry
+/// inside the records section) — and returns the geometry. Throws
+/// FormatError with the specific Defect otherwise. `allow_tombstones`
+/// admits size-0 index entries (delta tombstones, which must carry offset
+/// 0); the base registry passes false, keeping its historical behavior of
+/// rejecting nothing at the index level and failing such entries at decode.
+SectionGeometry validate_sections(std::string_view view, std::string_view magic,
+                                  std::uint32_t version, bool allow_tombstones);
+
+/// The producer half of validate_sections: assembles header + index +
+/// records with all three CRCs filled in. `device_count` must match the
+/// index size (index.size() == device_count * kIndexEntryBytes).
+std::string assemble_sections(std::string_view magic, std::uint32_t version,
+                              std::uint64_t device_count, std::string_view index,
+                              std::string_view records);
+
 /// Reads little-endian scalars off a byte view; any read past the end
 /// throws FormatError with the defect the caller is decoding under.
 class ByteReader {

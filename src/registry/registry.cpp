@@ -38,9 +38,6 @@ namespace {
 // records section. See docs/registry.md for the record payload layout.
 
 constexpr char kMagic[8] = {'R', 'O', 'P', 'U', 'F', 'R', 'E', 'G'};
-constexpr std::size_t kHeaderBytes = 68;
-constexpr std::size_t kHeaderCrcSpan = 64;  ///< header bytes the CRC covers
-constexpr std::size_t kIndexEntryBytes = 24;
 constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
 // Decode-time sanity bounds: far above any real board, low enough that a
@@ -48,15 +45,6 @@ constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 // cross-check rejects it.
 constexpr std::size_t kMaxStages = 1u << 12;
 constexpr std::size_t kMaxPairs = 1u << 24;
-
-std::uint64_t read_u64_at(std::string_view bytes, std::size_t offset) {
-  std::uint64_t v = 0;
-  for (std::size_t b = 0; b < 8; ++b) {
-    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[offset + b]))
-         << (8 * b);
-  }
-  return v;
-}
 
 /// Streams bits LSB-first into whole u64 words; each column is flushed to a
 /// word boundary so columns stay independently addressable.
@@ -120,7 +108,10 @@ std::size_t record_payload_bytes(std::size_t stages, std::size_t pairs,
   return bytes;
 }
 
-void encode_record(ByteWriter& writer, const puf::ConfigurableEnrollment& e) {
+}  // namespace
+
+void encode_enrollment_record(ByteWriter& writer,
+                              const puf::ConfigurableEnrollment& e) {
   const std::size_t stages = e.layout.stages;
   const std::size_t pairs = e.layout.pair_count;
   const bool has_helper = !e.helper.empty();
@@ -152,7 +143,7 @@ void encode_record(ByteWriter& writer, const puf::ConfigurableEnrollment& e) {
   }
 }
 
-puf::ConfigurableEnrollment decode_record(std::string_view payload) {
+puf::ConfigurableEnrollment decode_enrollment_record(std::string_view payload) {
   static obs::Counter& decoded =
       obs::Registry::instance().counter("registry.records_decoded");
   decoded.add(1);
@@ -240,8 +231,6 @@ void validate_enrollment(const puf::ConfigurableEnrollment& e) {
   }
 }
 
-}  // namespace
-
 double RegistryStats::bias_percent() const {
   return total_pairs == 0 ? 0.0
                           : 100.0 * static_cast<double>(ones) /
@@ -275,29 +264,13 @@ std::string RegistryBuilder::build() const {
   ByteWriter index;
   for (const DeviceRecord* record : sorted) {
     const std::size_t offset = records.size();
-    encode_record(records, record->enrollment);
+    encode_enrollment_record(records, record->enrollment);
     index.u64(record->device_id);
     index.u64(offset);
     index.u64(records.size() - offset);
   }
-
-  ByteWriter header;
-  header.raw(std::string_view(kMagic, sizeof(kMagic)));
-  header.u32(kFormatVersion);
-  header.u32(static_cast<std::uint32_t>(kHeaderBytes));
-  header.u64(records_.size());
-  header.u64(kHeaderBytes);
-  header.u64(index.size());
-  header.u64(kHeaderBytes + index.size());
-  header.u64(records.size());
-  header.u32(crc32(index.bytes()));
-  header.u32(crc32(records.bytes()));
-  header.u32(crc32(header.bytes()));  // over exactly the kHeaderCrcSpan bytes above
-
-  std::string file = header.take();
-  file += index.bytes();
-  file += records.bytes();
-  return file;
+  return assemble_sections(std::string_view(kMagic, sizeof(kMagic)), kFormatVersion,
+                           records_.size(), index.bytes(), records.bytes());
 }
 
 void RegistryBuilder::write_file(const std::string& path) const {
@@ -355,96 +328,17 @@ Registry Registry::adopt(std::shared_ptr<const void> owner, std::string_view vie
       obs::Registry::instance().latency_histogram("registry.load_us");
   const obs::ScopedLatency load_timer(load_us);
 
-  if (view.size() < sizeof(kMagic)) {
-    throw FormatError(Defect::kTruncated, "file is " + std::to_string(view.size()) +
-                                              " bytes, shorter than the magic");
-  }
-  if (std::memcmp(view.data(), kMagic, sizeof(kMagic)) != 0) {
-    throw FormatError(Defect::kBadMagic, "leading bytes are not ROPUFREG");
-  }
-  if (view.size() < kHeaderBytes) {
-    throw FormatError(Defect::kTruncated, "file is " + std::to_string(view.size()) +
-                                              " bytes, shorter than the header");
-  }
-  ByteReader header(view.substr(0, kHeaderBytes), Defect::kTruncated);
-  header.u64();  // magic, already checked
-  const std::uint32_t version = header.u32();
-  const std::uint32_t header_bytes = header.u32();
-  if (version != kFormatVersion) {
-    throw FormatError(Defect::kBadVersion,
-                      "version " + std::to_string(version) + ", this reader handles " +
-                          std::to_string(kFormatVersion));
-  }
-  if (header_bytes != kHeaderBytes) {
-    throw FormatError(Defect::kBadVersion,
-                      "header claims " + std::to_string(header_bytes) +
-                          " bytes, version " + std::to_string(kFormatVersion) +
-                          " defines " + std::to_string(kHeaderBytes));
-  }
-  const std::uint64_t device_count = header.u64();
-  const std::uint64_t index_offset = header.u64();
-  const std::uint64_t index_size = header.u64();
-  const std::uint64_t records_offset = header.u64();
-  const std::uint64_t records_size = header.u64();
-  const std::uint32_t index_crc = header.u32();
-  const std::uint32_t records_crc = header.u32();
-  const std::uint32_t header_crc = header.u32();
-  if (header_crc != crc32(view.substr(0, kHeaderCrcSpan))) {
-    throw FormatError(Defect::kHeaderCrc, "stored header checksum does not match");
-  }
-
-  // Section geometry. The header CRC already vouches for these fields, so a
-  // mismatch here means the file body was cut or grew, not that a field bit
-  // rotted. A CRC is no defense against a *crafted* header, though, so every
-  // bound is checked against the actual view size before any derived
-  // arithmetic: device_count is capped first, which makes the index_size
-  // product and the records_offset sum provably non-wrapping in u64.
-  if (index_offset != kHeaderBytes ||
-      device_count > (view.size() - kHeaderBytes) / kIndexEntryBytes ||
-      index_size != device_count * kIndexEntryBytes) {
-    throw FormatError(Defect::kBadIndex, "index geometry inconsistent with header");
-  }
-  if (records_offset != index_offset + index_size) {
-    throw FormatError(Defect::kBadIndex, "records section does not follow the index");
-  }
-  if (records_size != view.size() - records_offset) {
-    throw FormatError(Defect::kTruncated,
-                      "file is " + std::to_string(view.size()) + " bytes, header wants " +
-                          std::to_string(records_size) + "-byte records at offset " +
-                          std::to_string(records_offset));
-  }
-  if (index_crc != crc32(view.substr(index_offset, index_size))) {
-    throw FormatError(Defect::kIndexCrc, "stored index checksum does not match");
-  }
-  if (records_crc != crc32(view.substr(records_offset, records_size))) {
-    throw FormatError(Defect::kRecordsCrc, "stored records checksum does not match");
-  }
-
-  // Index invariants: strictly ascending ids, every entry inside the
-  // records section.
-  std::uint64_t previous_id = 0;
-  for (std::uint64_t i = 0; i < device_count; ++i) {
-    const std::size_t entry = index_offset + i * kIndexEntryBytes;
-    const std::uint64_t id = read_u64_at(view, entry);
-    const std::uint64_t offset = read_u64_at(view, entry + 8);
-    const std::uint64_t size = read_u64_at(view, entry + 16);
-    if (i > 0 && id <= previous_id) {
-      throw FormatError(Defect::kBadIndex, "device ids not strictly ascending");
-    }
-    previous_id = id;
-    if (offset > records_size || size > records_size - offset) {
-      throw FormatError(Defect::kBadIndex,
-                        "index entry " + std::to_string(i) + " points outside records");
-    }
-  }
+  const SectionGeometry geometry =
+      validate_sections(view, std::string_view(kMagic, sizeof(kMagic)), kFormatVersion,
+                        /*allow_tombstones=*/false);
 
   Registry registry;
   registry.owner_ = std::move(owner);
   registry.bytes_ = view;
-  registry.device_count_ = device_count;
-  registry.index_offset_ = index_offset;
-  registry.records_offset_ = records_offset;
-  registry.records_size_ = records_size;
+  registry.device_count_ = geometry.device_count;
+  registry.index_offset_ = geometry.index_offset;
+  registry.records_offset_ = geometry.records_offset;
+  registry.records_size_ = geometry.records_size;
   loads.add(1);
   return registry;
 }
@@ -486,7 +380,7 @@ std::optional<puf::ConfigurableEnrollment> Registry::find(
   const std::size_t entry = index_entry_offset(position);
   const std::uint64_t offset = read_u64_at(bytes_, entry + 8);
   const std::uint64_t size = read_u64_at(bytes_, entry + 16);
-  return decode_record(bytes_.substr(records_offset_ + offset, size));
+  return decode_enrollment_record(bytes_.substr(records_offset_ + offset, size));
 }
 
 puf::ConfigurableEnrollment Registry::lookup(std::uint64_t device_id) const {
@@ -504,7 +398,7 @@ RegistryStats Registry::stats() const {
     const std::uint64_t offset = read_u64_at(bytes_, entry + 8);
     const std::uint64_t size = read_u64_at(bytes_, entry + 16);
     const puf::ConfigurableEnrollment e =
-        decode_record(bytes_.substr(records_offset_ + offset, size));
+        decode_enrollment_record(bytes_.substr(records_offset_ + offset, size));
     (e.mode == puf::SelectionCase::kSameConfig ? stats.case1_devices
                                                : stats.case2_devices) += 1;
     if (!e.helper.empty()) stats.helper_devices += 1;

@@ -37,6 +37,20 @@ namespace ropuf::registry {
 /// Format revision this library reads and writes.
 inline constexpr std::uint32_t kFormatVersion = 1;
 
+/// Encodes one device record payload (the columnar layout docs/registry.md
+/// describes) onto `writer`. Shared by RegistryBuilder and the delta-segment
+/// builder (epoch.h), so base and delta records are byte-identical for the
+/// same enrollment.
+void encode_enrollment_record(ByteWriter& writer, const puf::ConfigurableEnrollment& e);
+
+/// Decodes one record payload; throws FormatError(Defect::kBadRecord) on any
+/// internal inconsistency. The exact inverse of encode_enrollment_record.
+puf::ConfigurableEnrollment decode_enrollment_record(std::string_view payload);
+
+/// Structural validation of an enrollment about to be encoded (consistent
+/// layout/arity, finite margins); throws ropuf::Error on violation.
+void validate_enrollment(const puf::ConfigurableEnrollment& e);
+
 /// One enrolled device: the 64-bit identity the index is sorted by plus the
 /// enrollment artifact the auth service verifies against.
 struct DeviceRecord {

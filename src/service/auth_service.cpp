@@ -55,6 +55,7 @@ EnrollmentCache::EnrollmentCache(std::size_t capacity, const std::string& metric
   misses_ = &registry.counter(metric_prefix + "_misses");
   bypasses_ = &registry.counter(metric_prefix + "_bypass");
   evictions_ = &registry.counter(metric_prefix + "_evictions");
+  stale_ = &registry.counter(metric_prefix + "_stale");
 }
 
 std::size_t EnrollmentCache::shard_index(std::uint64_t device_id) const {
@@ -65,7 +66,8 @@ std::size_t EnrollmentCache::shard_capacity(std::size_t s) const {
   return capacity_ / shard_count_ + (s < capacity_ % shard_count_ ? 1 : 0);
 }
 
-EnrollmentCache::Entry EnrollmentCache::get(std::uint64_t device_id) {
+EnrollmentCache::Entry EnrollmentCache::get(std::uint64_t device_id,
+                                            std::uint64_t epoch) {
   if (shard_count_ == 0) {
     // A disabled cache is not a miss: hit/miss rates should describe an
     // *enabled* cache, so cache-off runs count their own bypass series.
@@ -76,6 +78,16 @@ EnrollmentCache::Entry EnrollmentCache::get(std::uint64_t device_id) {
   const std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.map.find(device_id);
   if (it == shard.map.end()) {
+    misses_->add(1);
+    return nullptr;
+  }
+  if (it->second->entry->epoch != epoch) {
+    // Stale generation: the registry swapped under this entry. Evict it
+    // eagerly — the caller re-resolves against the live snapshot and put()s
+    // a fresh entry, so one swap costs each hot device one extra lookup.
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    stale_->add(1);
     misses_->add(1);
     return nullptr;
   }
@@ -117,12 +129,35 @@ std::size_t EnrollmentCache::size() const {
 
 // ------------------------------------------------------------------ service
 
+namespace {
+
+/// Single-epoch head for the legacy Registry* constructor; the copy shares
+/// the registry's backing bytes, so this is cheap and the caller's lifetime
+/// contract is unchanged.
+std::unique_ptr<registry::EpochRegistry> owned_head(
+    const registry::Registry* registry) {
+  ROPUF_REQUIRE(registry != nullptr, "null registry");
+  return std::make_unique<registry::EpochRegistry>(*registry);
+}
+
+}  // namespace
+
 AuthService::AuthService(const registry::Registry* registry, AuthServiceOptions options)
-    : registry_(registry),
+    : AuthService(owned_head(registry), options) {}
+
+AuthService::AuthService(std::unique_ptr<registry::EpochRegistry> owned,
+                         AuthServiceOptions options)
+    : AuthService(static_cast<const registry::EpochRegistry*>(owned.get()), options) {
+  owned_epochs_ = std::move(owned);
+}
+
+AuthService::AuthService(const registry::EpochRegistry* epochs,
+                         AuthServiceOptions options)
+    : epochs_(epochs),
       options_(options),
       cache_(options.cache_capacity),
       unknown_cache_(options.unknown_cache_capacity, "service.unknown_cache") {
-  ROPUF_REQUIRE(registry_ != nullptr, "null registry");
+  ROPUF_REQUIRE(epochs_ != nullptr, "null epoch registry");
   ROPUF_REQUIRE(options_.response_bits > 0, "response_bits must be positive");
   ROPUF_REQUIRE(options_.batch_grain > 0, "batch_grain must be positive");
   ROPUF_REQUIRE(options_.admission_shards > 0, "admission_shards must be positive");
@@ -142,6 +177,14 @@ AuthService::AuthService(const registry::Registry* registry, AuthServiceOptions 
     }
     admission_.push_back(std::make_unique<AdmissionController>(slice));
   }
+  ROPUF_REQUIRE(!options_.reenroll.enabled() ||
+                    (options_.reenroll.device_capacity > 0 &&
+                     options_.reenroll.queue_capacity > 0),
+                "re-enrollment needs nonzero device and queue capacities");
+  obs::Registry& obs = obs::Registry::instance();
+  reenroll_queued_ = &obs.counter("service.reenroll_queued");
+  reenroll_overflow_ = &obs.counter("service.reenroll_overflow");
+  reenroll_taken_ = &obs.counter("service.reenroll_taken");
 }
 
 std::size_t AuthService::admission_slice_index(std::uint64_t device_id) const {
@@ -154,6 +197,13 @@ void AuthService::flush_admission_metrics() const {
 }
 
 AuthVerdict AuthService::verify(const AuthRequest& request) const {
+  // Pin the live generation for the duration of this one verdict; a swap
+  // between two verify() calls is observable, a swap during one is not.
+  return verify_pinned(*epochs_->snapshot(), request);
+}
+
+AuthVerdict AuthService::verify_pinned(const registry::RegistrySnapshot& snapshot,
+                                       const AuthRequest& request) const {
   static obs::Counter& requests = obs::Registry::instance().counter("service.requests");
   static obs::Counter& accepted = obs::Registry::instance().counter("service.accepted");
   static obs::Counter& rejected = obs::Registry::instance().counter("service.rejected");
@@ -168,19 +218,24 @@ AuthVerdict AuthService::verify(const AuthRequest& request) const {
   requests.add(1);
   const obs::ScopedLatency verify_timer(verify_us);
 
-  EnrollmentCache::Entry looked_up = cache_.get(request.device_id);
-  if (looked_up == nullptr) looked_up = unknown_cache_.get(request.device_id);
+  const std::uint64_t epoch = snapshot.epoch();
+  EnrollmentCache::Entry looked_up = cache_.get(request.device_id, epoch);
+  if (looked_up == nullptr) looked_up = unknown_cache_.get(request.device_id, epoch);
   if (looked_up == nullptr) {
-    // Resolve against the registry once and cache the *outcome* — including
-    // the negative ones, so repeat corrupt/unknown traffic never re-walks
-    // the registry or pays a thrown FormatError per request. Unknown-device
-    // outcomes go to their own smaller cache: their key space is unbounded,
-    // and a spray of random ids must only ever evict other unknowns, never
-    // the enrollments legitimate traffic depends on.
+    // Resolve against the pinned snapshot once and cache the *outcome* —
+    // including the negative ones, so repeat corrupt/unknown traffic never
+    // re-walks the registry or pays a thrown FormatError per request.
+    // Entries are tagged with the snapshot's epoch: after a swap they stop
+    // answering (stale-evicted on first touch), so a replaced or retired
+    // record can never serve from cache. Unknown-device outcomes go to
+    // their own smaller cache: their key space is unbounded, and a spray of
+    // random ids must only ever evict other unknowns, never the enrollments
+    // legitimate traffic depends on.
     auto resolved = std::make_shared<CachedLookup>();
+    resolved->epoch = epoch;
     try {
       std::optional<puf::ConfigurableEnrollment> found =
-          registry_->find(request.device_id);
+          snapshot.find(request.device_id);
       if (found.has_value()) {
         resolved->enrollment = std::move(*found);
       } else {
@@ -236,37 +291,128 @@ std::vector<AuthVerdict> AuthService::verify_batch(
   batch_items.add(requests.size());
   const obs::ScopedLatency batch_timer(batch_us);
   const obs::TraceSpan span("service.verify_batch");
+
+  // ONE snapshot pin for the whole batch: every verdict resolves against
+  // the same registry generation, so an epoch swap mid-batch cannot split
+  // the batch — its verdicts stay bit-stable against the epoch it was
+  // admitted under (the swap-under-traffic invariant).
+  const std::shared_ptr<const registry::RegistrySnapshot> snapshot =
+      epochs_->snapshot();
+
+  std::vector<AuthVerdict> verdicts;
   if (!options_.admission.enabled()) {
-    return parallel_transform<AuthVerdict>(
+    verdicts = parallel_transform<AuthVerdict>(
         requests.size(), options_.threads,
-        [&](std::size_t i) { return verify(requests[i]); }, options_.batch_grain);
+        [&](std::size_t i) { return verify_pinned(*snapshot, requests[i]); },
+        options_.batch_grain);
+  } else {
+    // Admission is order-dependent per-device state, so it is decided in a
+    // *serial* pre-pass over arrival order; only the verification of the
+    // admitted remainder runs on the pool. The admitted verdicts are then
+    // exactly what an admission-free verify_batch would produce for the same
+    // subsequence — the digest-parity property the soak harness pins.
+    std::vector<Admission> decisions(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      AdmissionController& slice =
+          *admission_[admission_slice_index(requests[i].device_id)];
+      decisions[i] = slice.admit(requests[i].device_id, requests[i].challenge);
+    }
+    verdicts = parallel_transform<AuthVerdict>(
+        requests.size(), options_.threads,
+        [&](std::size_t i) {
+          switch (decisions[i]) {
+            case Admission::kRateLimited:
+              return AuthVerdict{AuthStatus::kRateLimited, 0, options_.response_bits};
+            case Admission::kBudgetExhausted:
+              return AuthVerdict{AuthStatus::kBudgetExhausted, 0,
+                                 options_.response_bits};
+            case Admission::kAdmit:
+              break;
+          }
+          return verify_pinned(*snapshot, requests[i]);
+        },
+        options_.batch_grain);
   }
-  // Admission is order-dependent per-device state, so it is decided in a
-  // *serial* pre-pass over arrival order; only the verification of the
-  // admitted remainder runs on the pool. The admitted verdicts are then
-  // exactly what an admission-free verify_batch would produce for the same
-  // subsequence — the digest-parity property the soak harness pins.
-  std::vector<Admission> decisions(requests.size());
+  // Re-enrollment tracking is a serial post-pass like admission is a serial
+  // pre-pass: arrival-order state, deterministic at any thread budget, and
+  // never a verdict change.
+  if (options_.reenroll.enabled()) track_reenrollment(requests, verdicts);
+  return verdicts;
+}
+
+void AuthService::track_reenrollment(const std::vector<AuthRequest>& requests,
+                                     const std::vector<AuthVerdict>& verdicts) const {
+  const std::lock_guard<std::mutex> lock(reenroll_.mutex);
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    AdmissionController& slice =
-        *admission_[admission_slice_index(requests[i].device_id)];
-    decisions[i] = slice.admit(requests[i].device_id, requests[i].challenge);
+    const std::uint64_t id = requests[i].device_id;
+    const AuthStatus status = verdicts[i].status;
+    if (status == AuthStatus::kAccept) {
+      // A clean accept proves the enrollment still matches the silicon.
+      const auto it = reenroll_.streaks.find(id);
+      if (it != reenroll_.streaks.end()) {
+        reenroll_.lru.erase(it->second);
+        reenroll_.streaks.erase(it);
+      }
+      continue;
+    }
+    if (status != AuthStatus::kReject) continue;  // says nothing about drift
+    auto it = reenroll_.streaks.find(id);
+    if (it == reenroll_.streaks.end()) {
+      if (reenroll_.streaks.size() >= options_.reenroll.device_capacity) {
+        reenroll_.streaks.erase(reenroll_.lru.back().first);
+        reenroll_.lru.pop_back();
+      }
+      reenroll_.lru.emplace_front(id, 0);
+      it = reenroll_.streaks.emplace(id, reenroll_.lru.begin()).first;
+    } else {
+      reenroll_.lru.splice(reenroll_.lru.begin(), reenroll_.lru, it->second);
+    }
+    std::size_t& streak = it->second->second;
+    ++streak;
+    if (streak < options_.reenroll.fail_threshold) continue;
+    // Threshold crossed: queue once and restart the streak, so a device
+    // re-queues only after fail_threshold *new* consecutive rejects.
+    streak = 0;
+    if (reenroll_.queued.count(id) != 0) continue;
+    if (reenroll_.queue.size() >= options_.reenroll.queue_capacity) {
+      reenroll_overflow_->add(1);
+      continue;
+    }
+    reenroll_.queue.push_back(id);
+    reenroll_.queued.insert(id);
+    reenroll_queued_->add(1);
   }
-  return parallel_transform<AuthVerdict>(
-      requests.size(), options_.threads,
-      [&](std::size_t i) {
-        switch (decisions[i]) {
-          case Admission::kRateLimited:
-            return AuthVerdict{AuthStatus::kRateLimited, 0, options_.response_bits};
-          case Admission::kBudgetExhausted:
-            return AuthVerdict{AuthStatus::kBudgetExhausted, 0,
-                               options_.response_bits};
-          case Admission::kAdmit:
-            break;
-        }
-        return verify(requests[i]);
-      },
-      options_.batch_grain);
+}
+
+std::vector<std::uint64_t> AuthService::take_reenroll_queue() const {
+  const std::lock_guard<std::mutex> lock(reenroll_.mutex);
+  std::vector<std::uint64_t> taken = std::move(reenroll_.queue);
+  reenroll_.queue.clear();
+  reenroll_.queued.clear();
+  reenroll_taken_->add(taken.size());
+  return taken;
+}
+
+std::size_t AuthService::reenroll_backlog() const {
+  const std::lock_guard<std::mutex> lock(reenroll_.mutex);
+  return reenroll_.queue.size();
+}
+
+std::size_t apply_reenrollments(const AuthService& service,
+                                registry::EpochRegistry& epochs,
+                                const ReenrollOracle& oracle) {
+  static obs::Counter& applied =
+      obs::Registry::instance().counter("service.reenroll_applied");
+  registry::DeltaBuilder builder;
+  for (const std::uint64_t device_id : service.take_reenroll_queue()) {
+    std::optional<puf::ConfigurableEnrollment> fresh = oracle(device_id);
+    if (fresh.has_value()) builder.upsert(device_id, std::move(*fresh));
+  }
+  const std::size_t count = builder.entry_count();
+  if (count == 0) return 0;
+  epochs.append_delta(registry::DeltaSegment::from_bytes(builder.build()));
+  applied.add(count);
+  return count;
 }
 
 // ----------------------------------------------------------------- workload

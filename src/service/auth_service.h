@@ -51,9 +51,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include <functional>
+#include <unordered_set>
+
 #include "common/bitvec.h"
 #include "common/parallel.h"
 #include "obs/metrics.h"
+#include "registry/epoch.h"
 #include "registry/registry.h"
 #include "service/admission.h"
 #include "silicon/faults.h"
@@ -98,6 +102,26 @@ struct AuthVerdict {
   bool accepted() const { return status == AuthStatus::kAccept; }
 };
 
+/// Knobs of the re-enrollment feedback loop: devices whose verdicts degrade
+/// persistently (aging drift pushing distance past the accept threshold)
+/// are queued for re-enrollment, closing the lifecycle ROADMAP item 2 names.
+/// Tracking is a *serial post-pass* over each batch in arrival order, so the
+/// queue contents are deterministic for a given request stream at any thread
+/// budget — and verdicts are never altered by it.
+struct ReenrollOptions {
+  /// Consecutive kReject verdicts that queue a device; 0 disables the loop.
+  /// Only kAccept resets the streak: degradation verdicts (unknown, rate
+  /// limited, malformed) say nothing about the device's silicon.
+  std::size_t fail_threshold = 0;
+  /// Bound on tracked failure streaks (LRU-evicted, like admission states).
+  std::size_t device_capacity = 1024;
+  /// Bound on the pending queue; devices past it are dropped (and counted
+  /// under service.reenroll_overflow) until the queue is drained.
+  std::size_t queue_capacity = 256;
+
+  bool enabled() const { return fail_threshold > 0; }
+};
+
 struct AuthServiceOptions {
   /// Response bits drawn per challenge; clamped per device to its enrolled
   /// pair count (bits are drawn without replacement).
@@ -126,6 +150,8 @@ struct AuthServiceOptions {
   /// server sets this to its shard count so concurrent shards rarely
   /// contend on one admission mutex.
   std::size_t admission_shards = 1;
+  /// Re-enrollment queueing (off by default; see ReenrollOptions).
+  ReenrollOptions reenroll;
   ThreadBudget threads;
 };
 
@@ -140,6 +166,11 @@ struct CachedLookup {
   };
   Outcome outcome = Outcome::kEnrolled;
   std::optional<puf::ConfigurableEnrollment> enrollment;
+  /// Registry epoch the lookup was resolved under. An entry only answers
+  /// for its own epoch: a swap (delta append, compaction, SIGHUP reload)
+  /// makes every older entry stale, so a replaced record can never serve
+  /// from cache after its epoch retires.
+  std::uint64_t epoch = 0;
 };
 
 /// Sharded LRU of lookup outcomes, keyed by device id. Lookups and
@@ -164,7 +195,12 @@ class EnrollmentCache {
                            const std::string& metric_prefix = "service.cache");
 
   /// The cached lookup, refreshed to most-recently-used; nullptr on miss.
-  Entry get(std::uint64_t device_id);
+  /// An entry whose tagged epoch differs from `epoch` is *stale*: it is
+  /// evicted on the spot, counted under "<metric_prefix>_stale" (and as a
+  /// miss, since the caller must re-resolve), and never returned — the
+  /// epoch-swap invalidation contract. Callers that don't version their
+  /// entries use the default epoch 0 throughout and never see staleness.
+  Entry get(std::uint64_t device_id, std::uint64_t epoch = 0);
 
   /// Inserts (or refreshes) an entry, evicting the shard's least recently
   /// used entry when the shard is full. No-op when the cache is disabled.
@@ -200,17 +236,34 @@ class EnrollmentCache {
   obs::Counter* misses_ = nullptr;
   obs::Counter* bypasses_ = nullptr;
   obs::Counter* evictions_ = nullptr;
+  obs::Counter* stale_ = nullptr;
 };
 
-/// The authentication engine: immutable registry + options + cache.
+/// The authentication engine: epoch-versioned registry + options + cache.
+///
+/// The service always verifies against an EpochRegistry (registry/epoch.h).
+/// Every verify pins the current snapshot first; verify_batch pins ONE
+/// snapshot for the whole batch, so a mid-batch epoch swap cannot split a
+/// batch across generations — its verdicts are bit-stable against the epoch
+/// it was admitted under, the invariant the swap-under-traffic tests pin.
+/// The legacy Registry* constructor wraps the registry in an owned
+/// single-epoch head, so code that never swaps is unchanged.
 class AuthService {
  public:
-  /// `registry` must outlive the service.
+  /// `registry` must outlive the service. Serves a private epoch head
+  /// pinned at epoch 1 (copies share the registry's backing bytes).
   AuthService(const registry::Registry* registry, AuthServiceOptions options);
+
+  /// Live-lifecycle form: `epochs` must outlive the service; swaps
+  /// published on it are picked up at the next verify/verify_batch.
+  AuthService(const registry::EpochRegistry* epochs, AuthServiceOptions options);
 
   const AuthServiceOptions& options() const { return options_; }
   std::size_t cache_size() const { return cache_.size(); }
   std::size_t unknown_cache_size() const { return unknown_cache_.size(); }
+
+  /// The epoch new requests are admitted under right now.
+  std::uint64_t epoch() const { return epochs_->epoch(); }
 
   /// Verifies one request; never throws on bad input (degradation statuses
   /// cover unknown devices, corrupt records and malformed requests).
@@ -245,14 +298,67 @@ class AuthService {
   /// Flushes every slice's per-device deny histogram (slice order).
   void flush_admission_metrics() const;
 
+  /// Drains the re-enrollment queue (arrival order, deduplicated). A
+  /// drained device re-queues only after fail_threshold *new* consecutive
+  /// rejects. Empty when the loop is disabled.
+  std::vector<std::uint64_t> take_reenroll_queue() const;
+  /// Devices currently queued (not yet taken).
+  std::size_t reenroll_backlog() const;
+
  private:
-  const registry::Registry* registry_;
+  /// Target of the legacy Registry* constructor's delegation: adopts the
+  /// owned single-epoch head after the main constructor ran.
+  AuthService(std::unique_ptr<registry::EpochRegistry> owned,
+              AuthServiceOptions options);
+
+  /// verify() against an explicitly pinned snapshot — the batch hot path.
+  AuthVerdict verify_pinned(const registry::RegistrySnapshot& snapshot,
+                            const AuthRequest& request) const;
+  /// Serial post-pass: walks a batch's verdicts in arrival order and feeds
+  /// the re-enrollment streak tracker. Never changes a verdict.
+  void track_reenrollment(const std::vector<AuthRequest>& requests,
+                          const std::vector<AuthVerdict>& verdicts) const;
+
+  const registry::EpochRegistry* epochs_;
+  /// Engaged by the legacy Registry* constructor; epochs_ points into it.
+  std::unique_ptr<registry::EpochRegistry> owned_epochs_;
   AuthServiceOptions options_;
   mutable EnrollmentCache cache_;
   mutable EnrollmentCache unknown_cache_;
   /// One controller per admission slice, device-id-hash routed.
   mutable std::vector<std::unique_ptr<AdmissionController>> admission_;
+
+  /// Re-enrollment streak tracker + queue (serial post-pass state; the
+  /// mutex covers concurrent verify_batch callers, e.g. server shards).
+  struct ReenrollState {
+    std::mutex mutex;
+    std::list<std::pair<std::uint64_t, std::size_t>> lru;  ///< front = MRU
+    std::unordered_map<std::uint64_t,
+                       std::list<std::pair<std::uint64_t, std::size_t>>::iterator>
+        streaks;
+    std::vector<std::uint64_t> queue;          ///< arrival order
+    std::unordered_set<std::uint64_t> queued;  ///< dedup for queue
+  };
+  mutable ReenrollState reenroll_;
+  obs::Counter* reenroll_queued_ = nullptr;
+  obs::Counter* reenroll_overflow_ = nullptr;
+  obs::Counter* reenroll_taken_ = nullptr;
 };
+
+/// Produces a fresh enrollment for a device queued for re-enrollment —
+/// operationally, re-measuring the physical chip at its current operating
+/// point and re-running enrollment. nullopt when the device cannot be
+/// re-measured (not owned here, offline); it simply stays un-refreshed.
+using ReenrollOracle =
+    std::function<std::optional<puf::ConfigurableEnrollment>(std::uint64_t)>;
+
+/// Closes the re-enrollment loop: drains the service's queue through the
+/// oracle, packs the fresh enrollments into one delta segment and publishes
+/// it on `epochs` (one epoch bump). Returns the number of devices
+/// re-enrolled; 0 publishes nothing. Counted under service.reenroll_applied.
+std::size_t apply_reenrollments(const AuthService& service,
+                                registry::EpochRegistry& epochs,
+                                const ReenrollOracle& oracle);
 
 /// Deterministic request-mix generator for benches, tests and the CLI's
 /// auth-batch command: a fraction of forged, unknown-device and degraded

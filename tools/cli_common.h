@@ -181,6 +181,8 @@ inline service::AuthServiceOptions auth_options_from_args(const Args& args) {
       static_cast<std::size_t>(count_arg(args, "challenge-sketch", 64));
   opts.admission.device_capacity =
       static_cast<std::size_t>(count_arg(args, "admission-devices", 4096));
+  opts.reenroll.fail_threshold =
+      static_cast<std::size_t>(count_arg(args, "reenroll-threshold", 0));
   return opts;
 }
 

@@ -19,11 +19,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/experiments.h"
@@ -41,6 +43,7 @@
 #include "obs/trace.h"
 #include "puf/chip_puf.h"
 #include "puf/serialization.h"
+#include "registry/epoch.h"
 #include "registry/registry.h"
 #include "service/auth_service.h"
 #include "silicon/dataset_io.h"
@@ -390,6 +393,127 @@ int cmd_registry_build(const Args& args) {
   return 0;
 }
 
+/// Writes registry/delta bytes with the strict error handling the other
+/// file-producing commands use.
+void write_binary_file(const std::string& path, const std::string& bytes) {
+  std::ofstream file(path, std::ios::binary);
+  ROPUF_REQUIRE(file.good(), "cannot open output file " + path);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ROPUF_REQUIRE(file.good(), "failed writing " + path);
+}
+
+/// Strict u64 parse for the comma-separated --retire list.
+std::uint64_t parse_device_id(const std::string& token) {
+  std::size_t consumed = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(token, &consumed);
+  } catch (const std::exception&) {
+    ROPUF_REQUIRE(false, "non-numeric device id '" + token + "' in --retire");
+  }
+  ROPUF_REQUIRE(consumed == token.size(),
+                "trailing junk in device id '" + token + "' in --retire");
+  return static_cast<std::uint64_t>(value);
+}
+
+int cmd_registry_append(const Args& args) {
+  ROPUF_REQUIRE(args.has("registry"), "--registry is required");
+  const std::string base_path = args.get("registry", "");
+  // Validate the whole current generation before appending to it: a corrupt
+  // base or delta should fail here, not at the server's next reload.
+  registry::EpochFileSet files = registry::load_epoch_files(base_path);
+
+  registry::DeltaBuilder builder;
+  if (args.has("devices")) {
+    // Minted with the same knobs as registry-build, the records are
+    // bit-identical to the base generation's — the "refresh" idiom: a
+    // re-enrolled fleet slice whose verdicts cannot drift. A different
+    // --seed mints genuinely new devices.
+    for (registry::DeviceRecord& record : registry::mint_fleet(fleet_spec_from_args(args))) {
+      builder.upsert(record.device_id, std::move(record.enrollment));
+    }
+  }
+  if (args.has("retire")) {
+    std::stringstream list(args.get("retire", ""));
+    std::string token;
+    while (std::getline(list, token, ',')) {
+      ROPUF_REQUIRE(!token.empty(), "empty id in --retire list");
+      builder.retire(parse_device_id(token));
+    }
+  }
+  ROPUF_REQUIRE(builder.entry_count() > 0,
+                "nothing to append: give --devices and/or --retire");
+
+  std::string out = args.get("out", "");
+  if (out.empty()) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), ".delta-%04zu", files.deltas.size() + 1);
+    out = base_path + suffix;
+  }
+  builder.write_file(out);
+
+  const registry::DeltaSegment delta = registry::DeltaSegment::load_file(out);
+  files.deltas.push_back(delta);
+  // The epoch count must be taken before the call: argument evaluation
+  // order is unspecified, so reading files.deltas.size() in the same call
+  // that moves the vector away could observe the moved-from state.
+  const std::uint64_t epoch = 1 + files.deltas.size();
+  const registry::RegistrySnapshot snapshot(epoch, std::move(files.base),
+                                            std::move(files.deltas));
+  std::printf("appended %zu upserts, %zu tombstones -> %s (%zu bytes)\n",
+              delta.upsert_count(), delta.tombstone_count(), out.c_str(),
+              delta.byte_size());
+  std::printf("epoch %llu: %zu live devices\n",
+              static_cast<unsigned long long>(snapshot.epoch()),
+              snapshot.device_count());
+  return 0;
+}
+
+int cmd_registry_compact(const Args& args) {
+  ROPUF_REQUIRE(args.has("registry"), "--registry is required");
+  const std::string base_path = args.get("registry", "");
+  registry::EpochFileSet files = registry::load_epoch_files(base_path);
+  const std::string out = args.get("out", base_path);
+  const std::vector<std::string> merged_paths = std::move(files.delta_paths);
+
+  const std::size_t delta_count = files.deltas.size();
+  const registry::RegistrySnapshot snapshot(1 + delta_count, std::move(files.base),
+                                            std::move(files.deltas));
+  const std::string bytes = registry::compact_snapshot(snapshot);
+  write_binary_file(out, bytes);
+  // Compacting in place retires the merged deltas — they are now folded
+  // into the base. (Re-reading them against the compacted base would be
+  // harmless anyway: re-applying a merged delta is the identity.) With
+  // --out elsewhere the original generation stays untouched.
+  if (out == base_path) {
+    for (const std::string& path : merged_paths) std::filesystem::remove(path);
+  }
+  std::printf("compacted %zu deltas into %zu devices -> %s (%zu bytes)\n",
+              delta_count, snapshot.device_count(), out.c_str(), bytes.size());
+  return 0;
+}
+
+int cmd_registry_epochs(const Args& args) {
+  ROPUF_REQUIRE(args.has("registry"), "--registry is required");
+  const std::string base_path = args.get("registry", "");
+  registry::EpochFileSet files = registry::load_epoch_files(base_path);
+  std::printf("base:    %s (%zu devices, %zu bytes)\n", base_path.c_str(),
+              files.base.device_count(), files.base.byte_size());
+  for (std::size_t i = 0; i < files.deltas.size(); ++i) {
+    const registry::DeltaSegment& delta = files.deltas[i];
+    std::printf("delta %zu: %s (%zu upserts, %zu tombstones, %zu bytes)\n", i + 1,
+                files.delta_paths[i].c_str(), delta.upsert_count(),
+                delta.tombstone_count(), delta.byte_size());
+  }
+  const std::uint64_t epoch = 1 + files.deltas.size();  // before the move below
+  const registry::RegistrySnapshot snapshot(epoch, std::move(files.base),
+                                            std::move(files.deltas));
+  std::printf("epoch %llu: %zu live devices\n",
+              static_cast<unsigned long long>(snapshot.epoch()),
+              snapshot.device_count());
+  return 0;
+}
+
 int cmd_registry_stats(const Args& args) {
   const registry::Registry reg = registry_from_args(args);
   const registry::RegistryStats stats = reg.stats();
@@ -501,9 +625,14 @@ int usage() {
                "  fault-sweep [--seed S] [--trials N] [--max-rate R] [--fault-seed S]\n"
                "  fleet-stats --boards N [--seed S]\n"
                "  nist    [--streams N] [--bits B] [--bias P] [--seed S]\n"
+               "  registry-append --registry F [--out D] [--devices N [--seed S]\n"
+               "          [--stages N] [--pairs P] [--mode case1|case2] [--noise PS]]\n"
+               "          [--retire id1,id2,...]\n"
                "  registry-build --out F (--devices N [--seed S] [--stages N] [--pairs P]\n"
                "          [--mode case1|case2] [--noise PS] | --enrollments F1,F2,...\n"
                "          [--base-id N])\n"
+               "  registry-compact --registry F [--out F2]\n"
+               "  registry-epochs --registry F\n"
                "  registry-stats [--registry F | --devices N --seed S ...]\n"
                "  respond --seed S --enrollment F [--voltage V] [--temp T]\n"
                "          [--fault-rate R] [--fault-seed S]\n"
@@ -520,7 +649,10 @@ int usage() {
                "(monotonic event counts) and `histogram records` (samples recorded per\n"
                "latency histogram). see docs/observability.md.\n"
                "registry-build/registry-stats/auth-batch operate on the binary fleet\n"
-               "registry; see docs/registry.md. auth-client sends the same synthetic\n"
+               "registry; registry-append writes a `<base>.delta-NNNN` segment\n"
+               "(upserts and/or tombstones) that overlays the base newest-first, and\n"
+               "registry-compact folds base+deltas back into one base file; see\n"
+               "docs/registry.md. auth-client sends the same synthetic\n"
                "workload to a running ropuf_serve over the framed wire protocol and\n"
                "prints the identical stats block; see docs/serving.md.\n");
   return 64;
@@ -548,7 +680,10 @@ int main(int argc, char** argv) {
       else if (command == "fault-sweep") rc = cmd_fault_sweep(args);
       else if (command == "fleet-stats") rc = cmd_fleet_stats(args);
       else if (command == "nist") rc = cmd_nist(args);
+      else if (command == "registry-append") rc = cmd_registry_append(args);
       else if (command == "registry-build") rc = cmd_registry_build(args);
+      else if (command == "registry-compact") rc = cmd_registry_compact(args);
+      else if (command == "registry-epochs") rc = cmd_registry_epochs(args);
       else if (command == "registry-stats") rc = cmd_registry_stats(args);
       else if (command == "respond") rc = cmd_respond(args);
       else if (command == "stats") rc = cmd_stats(args);

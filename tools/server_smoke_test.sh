@@ -4,15 +4,18 @@
 # Spawns ropuf_serve on an ephemeral loopback port, points ropuf_cli
 # auth-client at it with a pinned synthetic workload, and requires:
 #   1. the online verdict digest matches offline `auth-batch` byte-for-byte
-#      (same registry, same workload, same thread budget), and
-#   2. SIGINT triggers a graceful drain: the server exits 0 on its own.
+#      (same registry, same workload, same thread budget),
+#   2. the startup banner reports the same registry epoch in every phase
+#      (a fresh server over the same fleet must always come up at epoch 1),
+#   3. SIGINT triggers a graceful drain: the server exits 0 on its own.
 #
-# Runs twice: once single-reactor (--shards 1, the PR-5 shape) and once
-# multi-reactor (--shards 2). The sharded phase also exercises the
-# --port-file handshake contract for multi-shard startup: the port file
-# must not appear until EVERY shard listener is bound, so the first
-# connection a client makes after reading it cannot race a half-started
-# server.
+# Runs three phases: single-reactor (--shards 1, the PR-5 shape),
+# multi-reactor (--shards 2, which also exercises the --port-file handshake
+# contract: the port file must not appear until EVERY shard listener is
+# bound), and a reload phase that serves from an on-disk registry, appends
+# a delta segment with ropuf_cli registry-append, sends SIGHUP, and
+# requires the server to report the new epoch while verdicts for the
+# untouched base devices stay byte-identical across the swap.
 #
 # Usage: server_smoke_test.sh <ropuf_serve> <ropuf_cli> <workdir>
 set -euo pipefail
@@ -30,15 +33,22 @@ OFFLINE=$("$CLI" auth-batch $FLEET $WORKLOAD)
 OFFLINE_DIGEST=$(printf '%s\n' "$OFFLINE" | grep 'verdict digest')
 [ -n "$OFFLINE_DIGEST" ] || { echo "FAIL: auth-batch printed no digest"; exit 1; }
 
-# run_phase <label> <extra ropuf_serve flags...>
-run_phase() {
+# Epoch reported by each phase's startup banner, appended by run_client's
+# caller; all entries must agree (a fresh server always starts at epoch 1).
+EPOCHS_SEEN=""
+
+# start_server <label> <extra ropuf_serve flags...>
+# Starts the server with stdout captured to smoke_log_<label>.txt, waits
+# for the port file, and sets SRV (pid), PORT and LOG.
+start_server() {
   local LABEL=$1
   shift
 
   local PORT_FILE="smoke_port_${LABEL}.txt"
-  rm -f "$PORT_FILE"
+  LOG="smoke_log_${LABEL}.txt"
+  rm -f "$PORT_FILE" "$LOG"
 
-  "$SERVE" $FLEET --port 0 --port-file "$PORT_FILE" --threads 2 "$@" &
+  "$SERVE" --port 0 --port-file "$PORT_FILE" --threads 2 "$@" >"$LOG" &
   SRV=$!
   trap 'kill -9 $SRV 2>/dev/null || true' EXIT
 
@@ -50,13 +60,18 @@ run_phase() {
       RC=0
       wait "$SRV" || RC=$?
       echo "FAIL($LABEL): server died before writing its port file (exit status $RC)"
+      cat "$LOG" || true
       exit 1
     fi
     sleep 0.1
   done
   [ -s "$PORT_FILE" ] || { echo "FAIL($LABEL): server never wrote its port file"; exit 1; }
   PORT=$(cat "$PORT_FILE")
+}
 
+# run_client <label>: auth-client against $PORT; digest must match offline.
+run_client() {
+  local LABEL=$1
   local ONLINE
   ONLINE=$("$CLI" auth-client --port "$PORT" $FLEET $WORKLOAD)
 
@@ -73,7 +88,12 @@ run_phase() {
     echo "FAIL($LABEL): client saw degraded answers on an idle server"
     exit 1
   fi
+  LAST_DIGEST=$ONLINE_DIGEST
+}
 
+# stop_server <label>: SIGINT, graceful drain, exit 0.
+stop_server() {
+  local LABEL=$1
   kill -INT "$SRV"
   for _ in $(seq 100); do
     kill -0 "$SRV" 2>/dev/null || break
@@ -85,11 +105,69 @@ run_phase() {
   fi
   RC=0
   wait "$SRV" || RC=$?
-  [ "$RC" -eq 0 ] || { echo "FAIL($LABEL): server exited rc=$RC"; exit 1; }
+  [ "$RC" -eq 0 ] || { echo "FAIL($LABEL): server exited rc=$RC"; cat "$LOG"; exit 1; }
   trap - EXIT
+}
 
-  echo "PASS($LABEL): $ONLINE_DIGEST (online == offline, graceful drain)"
+# note_epoch <label>: record the startup banner's epoch for cross-phase
+# comparison. The banner is flushed before the port file is readable, so
+# the log always has it by the time the client has run.
+note_epoch() {
+  local LABEL=$1
+  local EPOCH
+  EPOCH=$(grep -o 'epoch [0-9]*' "$LOG" | head -1 | grep -o '[0-9]*' || true)
+  [ -n "$EPOCH" ] || { echo "FAIL($LABEL): startup banner reported no epoch"; cat "$LOG"; exit 1; }
+  EPOCHS_SEEN="${EPOCHS_SEEN}${LABEL}=${EPOCH} "
+  STARTUP_EPOCH="epoch $EPOCH"
+}
+
+run_phase() {
+  local LABEL=$1
+  shift
+  start_server "$LABEL" $FLEET "$@"
+  run_client "$LABEL"
+  note_epoch "$LABEL"
+  stop_server "$LABEL"
+  echo "PASS($LABEL): $LAST_DIGEST (online == offline, $STARTUP_EPOCH, graceful drain)"
 }
 
 run_phase single
 run_phase sharded --shards 2
+
+# --------------------------------------------------------------- reload phase
+# Serve from an on-disk registry minted with the SAME fleet knobs (so the
+# offline digest still applies), append a delta of brand-new devices, SIGHUP,
+# and require: the server reports the bumped epoch, and verdicts for the
+# untouched base devices are byte-identical before and after the swap.
+REG="smoke_fleet.ropufreg"
+rm -f "$REG" "$REG".delta-*
+"$CLI" registry-build --out "$REG" $FLEET >/dev/null
+
+start_server reload --registry "$REG"
+run_client reload_before
+note_epoch reload
+
+"$CLI" registry-append --registry "$REG" --devices 3 --seed 777 >/dev/null
+kill -HUP "$SRV"
+for _ in $(seq 100); do
+  grep -q 'reloaded: epoch' "$LOG" && break
+  sleep 0.1
+done
+if ! grep -q 'reloaded: epoch 2' "$LOG"; then
+  echo "FAIL(reload): server never reported the new epoch after SIGHUP"
+  cat "$LOG"
+  exit 1
+fi
+
+run_client reload_after
+stop_server reload
+echo "PASS(reload): $LAST_DIGEST (digest stable across SIGHUP epoch swap)"
+
+# ------------------------------------------------- cross-phase epoch parity
+for ENTRY in $EPOCHS_SEEN; do
+  if [ "${ENTRY#*=}" != "1" ]; then
+    echo "FAIL: startup epoch drifted across phases: $EPOCHS_SEEN"
+    exit 1
+  fi
+done
+echo "PASS(epochs): startup epoch stable across phases ($EPOCHS_SEEN)"
