@@ -1,0 +1,56 @@
+#include "crypto/hmac.h"
+
+#include <array>
+#include <cstring>
+
+namespace ropuf::crypto {
+namespace {
+
+/// SHA-256 processes 64-byte blocks; HMAC pads/ipads at that width.
+constexpr std::size_t kBlockBytes = 64;
+
+}  // namespace
+
+Sha256Digest hmac_sha256(const std::uint8_t* key, std::size_t key_size,
+                         const std::uint8_t* data, std::size_t data_size) {
+  // K' = key hashed down when longer than a block, zero-padded to the block.
+  std::array<std::uint8_t, kBlockBytes> padded{};
+  if (key_size > kBlockBytes) {
+    const Sha256Digest reduced = sha256(key, key_size);
+    std::memcpy(padded.data(), reduced.data(), reduced.size());
+  } else if (key_size > 0) {
+    std::memcpy(padded.data(), key, key_size);
+  }
+
+  // inner = H((K' ^ ipad) || data)
+  std::vector<std::uint8_t> inner;
+  inner.reserve(kBlockBytes + data_size);
+  for (std::size_t i = 0; i < kBlockBytes; ++i) {
+    inner.push_back(static_cast<std::uint8_t>(padded[i] ^ 0x36u));
+  }
+  inner.insert(inner.end(), data, data + data_size);
+  const Sha256Digest inner_digest = sha256(inner.data(), inner.size());
+
+  // outer = H((K' ^ opad) || inner)
+  std::array<std::uint8_t, kBlockBytes + 32> outer{};
+  for (std::size_t i = 0; i < kBlockBytes; ++i) {
+    outer[i] = static_cast<std::uint8_t>(padded[i] ^ 0x5cu);
+  }
+  std::memcpy(outer.data() + kBlockBytes, inner_digest.data(),
+              inner_digest.size());
+  return sha256(outer.data(), outer.size());
+}
+
+Sha256Digest hmac_sha256(const std::vector<std::uint8_t>& key,
+                         const std::vector<std::uint8_t>& data) {
+  return hmac_sha256(key.data(), key.size(), data.data(), data.size());
+}
+
+Sha256Digest hmac_sha256(const std::string& key, const std::string& data) {
+  return hmac_sha256(reinterpret_cast<const std::uint8_t*>(key.data()),
+                     key.size(),
+                     reinterpret_cast<const std::uint8_t*>(data.data()),
+                     data.size());
+}
+
+}  // namespace ropuf::crypto

@@ -1,0 +1,28 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1) over the self-contained SHA-256.
+//
+// The protocol-v2 authentication primitive: a prover that recovered its
+// fuzzy-extractor key proves possession by MACing a server nonce, so the
+// wire never carries raw response bits and a replayed transcript fails
+// (docs/protocol_v2.md). Keys longer than the 64-byte SHA-256 block are
+// hashed first, exactly as the RFC prescribes; tests pin the RFC 4231
+// vectors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace ropuf::crypto {
+
+/// HMAC-SHA256 of `data` under `key` (any key length).
+Sha256Digest hmac_sha256(const std::uint8_t* key, std::size_t key_size,
+                         const std::uint8_t* data, std::size_t data_size);
+
+/// Convenience overloads.
+Sha256Digest hmac_sha256(const std::vector<std::uint8_t>& key,
+                         const std::vector<std::uint8_t>& data);
+Sha256Digest hmac_sha256(const std::string& key, const std::string& data);
+
+}  // namespace ropuf::crypto

@@ -9,7 +9,9 @@
 
 #include <cerrno>
 #include <cstring>
+#include <unordered_map>
 
+#include "auth/auth.h"
 #include "common/error.h"
 
 namespace ropuf::net {
@@ -96,6 +98,46 @@ bool AuthClient::fill() {
   }
 }
 
+AuthClient::RawFrame AuthClient::recv_frame() {
+  while (true) {
+    const ExtractResult extracted = try_extract_frame(in_);
+    if (extracted.status == ExtractResult::Status::kDefect) {
+      throw WireError(extracted.defect, "defective frame from server");
+    }
+    if (extracted.status == ExtractResult::Status::kFrame) {
+      RawFrame frame;
+      frame.version = extracted.frame.version;
+      frame.type = extracted.frame.type;
+      frame.payload.assign(extracted.frame.payload);
+      in_.erase(0, extracted.frame.frame_bytes);
+      return frame;
+    }
+    ROPUF_REQUIRE(fill(), "server closed the connection mid-response");
+  }
+}
+
+std::uint16_t AuthClient::negotiate() {
+  send_raw(encode_client_hello(kWireMaxVersion));
+  const RawFrame frame = recv_frame();
+  if (frame.type == FrameType::kServerHello) {
+    const std::uint16_t pinned = decode_hello_payload(frame.payload);
+    ROPUF_REQUIRE(pinned >= kWireVersion && pinned <= kWireMaxVersion,
+                  "server pinned a version this client does not speak");
+    version_ = pinned;
+    return version_;
+  }
+  if (frame.type == FrameType::kAuthResponse && frame.version == kWireVersion) {
+    // A pre-v2 server saw an unknown frame type and answered kBadFrame:
+    // the fallback signal. Anything else from it is a protocol violation.
+    const WireResponse response = decode_response_payload(frame.payload);
+    ROPUF_REQUIRE(response.status == WireStatus::kBadFrame,
+                  "unexpected response status during negotiation");
+    version_ = kWireVersion;
+    return version_;
+  }
+  ROPUF_REQUIRE(false, "unexpected frame type during negotiation");
+}
+
 WireResponse AuthClient::recv_response() {
   while (true) {
     const ExtractResult extracted = try_extract_frame(in_);
@@ -154,6 +196,66 @@ std::vector<WireResponse> AuthClient::send_batch(
       ++next_to_send;
     }
     responses.push_back(recv_response());
+  }
+  return responses;
+}
+
+std::vector<WireResponse> AuthClient::send_proof_batch(
+    const std::vector<service::ProofIntent>& intents) {
+  ROPUF_REQUIRE(version_ == kWireVersionV2,
+                "send_proof_batch needs a negotiated v2 connection");
+  // Responses land by request id, so a duplicate id would make two intents
+  // indistinguishable on the wire; fail eagerly instead of misattributing.
+  std::unordered_map<std::uint64_t, std::size_t> slot_by_rid;
+  slot_by_rid.reserve(intents.size());
+  for (std::size_t i = 0; i < intents.size(); ++i) {
+    ROPUF_REQUIRE(slot_by_rid.emplace(intents[i].request_id, i).second,
+                  "duplicate request id in proof batch");
+  }
+
+  std::vector<WireResponse> responses(intents.size());
+  std::vector<bool> completed(intents.size(), false);
+  std::size_t done = 0;
+  std::size_t next_to_send = 0;
+  std::size_t in_flight = 0;  ///< intents sent but not finally answered
+  while (done < intents.size()) {
+    // Top the window up, then service one frame. A request stays in flight
+    // through its whole challenge/proof exchange; only the final v2
+    // response (verdict, kOverloaded, ...) retires it.
+    while (next_to_send < intents.size() && in_flight < options_.window) {
+      const service::ProofIntent& intent = intents[next_to_send];
+      send_raw(encode_request_frame_v2(intent.request_id, intent.device_id));
+      ++next_to_send;
+      ++in_flight;
+    }
+    const RawFrame frame = recv_frame();
+    if (frame.type == FrameType::kAuthChallenge) {
+      const ChallengePayload challenge = decode_challenge_payload(frame.payload);
+      const auto slot = slot_by_rid.find(challenge.request_id);
+      ROPUF_REQUIRE(slot != slot_by_rid.end() && !completed[slot->second],
+                    "challenge for an unknown or finished request id");
+      const service::ProofIntent& intent = intents[slot->second];
+      // No recovered key, no valid tag: an all-zeros proof keeps the
+      // exchange well-formed and lets the server's verdict say kReject.
+      const auth::Tag tag =
+          intent.has_key ? auth::prove(intent.key, challenge.nonce,
+                                       intent.request_id, intent.device_id)
+                         : auth::Tag{};
+      send_raw(encode_proof_frame(challenge.request_id, tag));
+      continue;
+    }
+    if (frame.type == FrameType::kAuthResponse && frame.version == kWireVersionV2) {
+      const V2Response answer = decode_response_payload_v2(frame.payload);
+      const auto slot = slot_by_rid.find(answer.request_id);
+      ROPUF_REQUIRE(slot != slot_by_rid.end() && !completed[slot->second],
+                    "response for an unknown or finished request id");
+      responses[slot->second] = answer.response;
+      completed[slot->second] = true;
+      ++done;
+      --in_flight;
+      continue;
+    }
+    ROPUF_REQUIRE(false, "unexpected frame type in proof exchange");
   }
   return responses;
 }

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <exception>
@@ -63,10 +64,13 @@ const std::vector<double>& queue_depth_bounds() {
 }  // namespace
 
 AuthServer::AuthServer(const service::AuthService* service, ServerOptions options)
-    : service_(service), options_(std::move(options)) {
+    : service_(service),
+      options_(std::move(options)),
+      nonce_factory_(options_.nonce_seed) {
   ROPUF_REQUIRE(service_ != nullptr, "null auth service");
   ROPUF_REQUIRE(options_.max_batch > 0, "max_batch must be positive");
   ROPUF_REQUIRE(options_.max_pending > 0, "max_pending must be positive");
+  ROPUF_REQUIRE(options_.max_sessions > 0, "max_sessions must be positive");
   ROPUF_REQUIRE(options_.max_connections > 0, "max_connections must be positive");
   ROPUF_REQUIRE(options_.max_read_per_sweep > 0, "max_read_per_sweep must be positive");
   // Misconfiguration fails here, eagerly, instead of producing a wedged
@@ -299,14 +303,14 @@ void AuthServer::adopt_handoff(Shard& shard) {
   for (const int fd : fds) adopt_fd(shard, fd);
 }
 
-void AuthServer::enqueue_response(Shard& shard, std::size_t index,
-                                  const WireResponse& response) {
+void AuthServer::enqueue_frame(Shard& shard, std::size_t index,
+                               std::string frame_bytes) {
   static obs::Counter& frames_out = obs::Registry::instance().counter("net.frames_out");
   static obs::Counter& slow_closes =
       obs::Registry::instance().counter("net.slow_consumer_closes");
   Connection& connection = shard.connections[index];
   if (!connection.alive) return;
-  connection.out.append(encode_response_frame(response));
+  connection.out.append(frame_bytes);
   bump(frames_out, shard.metrics.frames_out);
   if (connection.out.size() > options_.max_write_buffer) {
     // The peer stopped reading its answers; dropping it is the bounded
@@ -314,6 +318,11 @@ void AuthServer::enqueue_response(Shard& shard, std::size_t index,
     slow_closes.add(1);
     close_connection(shard, index);
   }
+}
+
+void AuthServer::enqueue_response(Shard& shard, std::size_t index,
+                                  const WireResponse& response) {
+  enqueue_frame(shard, index, encode_response_frame(response));
 }
 
 void AuthServer::enqueue_immediate(Shard& shard, std::size_t index,
@@ -337,10 +346,117 @@ void AuthServer::handle_frame(Shard& shard, std::size_t index, const FrameView& 
       obs::Registry::instance().counter("net.overload_rejections");
   static obs::Counter& enqueued =
       obs::Registry::instance().counter("net.requests_enqueued");
+  static obs::Counter& hellos = obs::Registry::instance().counter("net.hellos");
+  static obs::Counter& challenges =
+      obs::Registry::instance().counter("net.challenges_issued");
+  static obs::Counter& proofs =
+      obs::Registry::instance().counter("net.proofs_verified");
+  static obs::Counter& replays =
+      obs::Registry::instance().counter("net.replays_rejected");
   bump(frames_in, shard.metrics.frames_in);
+  Connection& connection = shard.connections[index];
+
+  if (frame.type == FrameType::kClientHello) {
+    // Capability negotiation: pin min(advertised, ours) and answer. The
+    // reply writes straight to the buffer — a hello precedes the requests
+    // whose answers it could otherwise jump.
+    std::uint16_t advertised = 0;
+    try {
+      advertised = decode_hello_payload(frame.payload);
+    } catch (const WireError&) {
+      bad_frames.add(1);
+      enqueue_immediate(shard, index, WireResponse{WireStatus::kBadFrame, 0, 0});
+      return;
+    }
+    connection.version = std::min(advertised, kWireMaxVersion);
+    hellos.add(1);
+    enqueue_frame(shard, index, encode_server_hello(connection.version));
+    return;
+  }
+
+  if (frame.type == FrameType::kAuthRequest && frame.version == kWireVersionV2) {
+    // v2 request: remember the session and answer with a fresh challenge.
+    // The challenge bypasses both the pending queue (the request id carries
+    // the attribution) and admission (v2's defense is cryptographic — a
+    // challenge is cheap and a harvested transcript is worthless).
+    if (connection.version != kWireVersionV2) {
+      bad_frames.add(1);
+      enqueue_immediate(shard, index, WireResponse{WireStatus::kBadFrame, 0, 0});
+      return;
+    }
+    V2Request request;
+    try {
+      request = decode_request_payload_v2(frame.payload);
+    } catch (const WireError&) {
+      // No request id survived the decode; 0 marks an unattributable answer.
+      bad_frames.add(1);
+      enqueue_frame(shard, index,
+                    encode_response_frame_v2(0, WireResponse{WireStatus::kBadFrame, 0, 0}));
+      return;
+    }
+    if (connection.sessions.size() >= options_.max_sessions) {
+      overloads.add(1);
+      enqueue_frame(shard, index,
+                    encode_response_frame_v2(
+                        request.request_id, WireResponse{WireStatus::kOverloaded, 0, 0}));
+      return;
+    }
+    const auth::Nonce nonce =
+        nonce_factory_.next(request.device_id, request.request_id);
+    // A repeated request id overwrites its session: the newest challenge is
+    // the only one a proof can answer.
+    connection.sessions[request.request_id] =
+        PendingChallenge{request.device_id, nonce};
+    challenges.add(1);
+    enqueue_frame(shard, index, encode_challenge_frame(request.request_id, nonce));
+    return;
+  }
+
+  if (frame.type == FrameType::kAuthProof) {
+    if (connection.version != kWireVersionV2) {
+      bad_frames.add(1);
+      enqueue_immediate(shard, index, WireResponse{WireStatus::kBadFrame, 0, 0});
+      return;
+    }
+    ProofPayload proof;
+    try {
+      proof = decode_proof_payload(frame.payload);
+    } catch (const WireError&) {
+      bad_frames.add(1);
+      enqueue_frame(shard, index,
+                    encode_response_frame_v2(0, WireResponse{WireStatus::kBadFrame, 0, 0}));
+      return;
+    }
+    const auto session = connection.sessions.find(proof.request_id);
+    if (session == connection.sessions.end()) {
+      // No outstanding challenge for this id: a replayed or fabricated
+      // proof. The nonce it was computed over is gone, so reject.
+      replays.add(1);
+      enqueue_frame(shard, index,
+                    encode_response_frame_v2(proof.request_id,
+                                             WireResponse{WireStatus::kReject, 0, 0}));
+      return;
+    }
+    service::ProofRequest request;
+    request.request_id = proof.request_id;
+    request.device_id = session->second.device_id;
+    request.nonce = session->second.nonce;
+    request.tag = proof.tag;
+    // Consume the session before judging: even a valid proof verifies at
+    // most once per challenge.
+    connection.sessions.erase(session);
+    const service::AuthVerdict verdict = service_->verify_proof(request);
+    proofs.add(1);
+    shard.requests_served += 1;
+    enqueue_frame(shard, index,
+                  encode_response_frame_v2(proof.request_id, wire_response(verdict)));
+    return;
+  }
+
   if (frame.type != FrameType::kAuthRequest) {
-    // A response frame arriving at the server is well-formed but
-    // nonsensical; answer and keep the (still framed) connection.
+    // A response/challenge/server-hello frame arriving at the server is
+    // well-formed but nonsensical; answer and keep the (still framed)
+    // connection.
     bad_frames.add(1);
     enqueue_immediate(shard, index, WireResponse{WireStatus::kBadFrame, 0, 0});
     return;

@@ -29,12 +29,24 @@
 // returns, so a port-file handshake written after it cannot race a
 // connection against a half-started server.
 //
-// Responses leave each connection in request arrival order, with no request
-// ids on the wire: answer N pairs with request N, always. Degradation
-// answers the loop produces itself (kBadFrame, kOverloaded) therefore do
-// NOT jump the queue — they enter the owning shard's pending queue as
-// pre-resolved entries and drain in sequence with the verdicts around them,
-// so a pipelining client can never misattribute an answer.
+// Responses leave each v1 connection in request arrival order, with no
+// request ids on the wire: answer N pairs with request N, always.
+// Degradation answers the loop produces itself (kBadFrame, kOverloaded)
+// therefore do NOT jump the queue — they enter the owning shard's pending
+// queue as pre-resolved entries and drain in sequence with the verdicts
+// around them, so a pipelining client can never misattribute an answer.
+//
+// Protocol v2 (docs/protocol_v2.md) rides the same loop. A kClientHello
+// pins the connection's version; v2 requests carry request ids, so their
+// challenge/response traffic bypasses the arrival-order pending queue and
+// completes in proof-arrival order — the request id, not the position,
+// attributes the answer. Each connection keeps a bounded session map of
+// outstanding challenges (max_sessions; past it a v2 request answers
+// kOverloaded), a proof consumes its session on arrival (a replayed proof
+// finds no session and answers kReject), and verification itself is
+// AuthService::verify_proof — pure HMAC recomputation, no admission
+// counters, so the verdict for a given (device, nonce, tag) triple is
+// bit-identical at any shard count and thread budget.
 //
 // Admission stays device-sticky under sharding: AuthService partitions its
 // per-device admission states by device-id hash (admission_shards), NOT by
@@ -79,8 +91,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "auth/auth.h"
 #include "net/wire.h"
 #include "service/auth_service.h"
 
@@ -126,6 +140,13 @@ struct ServerOptions {
   int poll_interval_ms = 50;
   /// Hard cap on the graceful drain after request_stop().
   int drain_timeout_ms = 2000;
+  /// Seed for the v2 challenge-nonce stream (auth::NonceFactory). The
+  /// deterministic default keeps tests and parity harnesses reproducible;
+  /// a production deployment sets an unpredictable value.
+  std::uint64_t nonce_seed = 0x520c0de5eedull;
+  /// Outstanding v2 challenges per connection; a v2 request past this
+  /// answers kOverloaded (the v2 analogue of the pending-queue bound).
+  std::size_t max_sessions = 1024;
   /// Reactor shards. 1 = the single-threaded PR-5 loop, no extra threads.
   std::size_t shards = 1;
   /// Connection dispatch across shards; ignored when shards == 1.
@@ -196,6 +217,12 @@ class AuthServer {
   std::uint64_t requests_served() const { return requests_served_; }
 
  private:
+  /// One outstanding v2 challenge: what the server must remember between
+  /// issuing a nonce and judging the proof that answers it.
+  struct PendingChallenge {
+    std::uint64_t device_id = 0;
+    auth::Nonce nonce{};
+  };
   struct Connection {
     int fd = -1;
     std::string in;       ///< buffered unparsed stream bytes
@@ -203,6 +230,12 @@ class AuthServer {
     std::chrono::steady_clock::time_point last_read;
     bool close_after_flush = false;  ///< fatal defect: answer, flush, close
     bool alive = true;
+    /// Version pinned by hello negotiation; kWireVersion until a
+    /// kClientHello arrives (v1 peers never send one).
+    std::uint16_t version = kWireVersion;
+    /// Outstanding v2 challenges keyed by request id; bounded by
+    /// max_sessions. A proof consumes its entry — replays find nothing.
+    std::unordered_map<std::uint64_t, PendingChallenge> sessions;
   };
   /// One slot in the per-arrival-order answer sequence. Most entries carry
   /// a request awaiting verification; entries the loop answered itself
@@ -268,6 +301,11 @@ class AuthServer {
   void service_readable(Shard& shard, std::size_t index);
   /// Decodes one frame into the pending queue or a pre-resolved answer.
   void handle_frame(Shard& shard, std::size_t index, const FrameView& frame);
+  /// Appends already-encoded frame bytes to a connection's write buffer,
+  /// enforcing the slow-consumer bound. The v2 paths (hello replies,
+  /// challenges, out-of-order v2 responses) write through here directly;
+  /// the v1 response path layers arrival-order queueing on top.
+  void enqueue_frame(Shard& shard, std::size_t index, std::string frame_bytes);
   void enqueue_response(Shard& shard, std::size_t index, const WireResponse& response);
   /// Queues an answer the loop produced itself, in arrival order.
   void enqueue_immediate(Shard& shard, std::size_t index, const WireResponse& response);
@@ -285,6 +323,8 @@ class AuthServer {
 
   const service::AuthService* service_;
   ServerOptions options_;
+  /// v2 challenge nonces; thread-safe, shared by all shards.
+  auth::NonceFactory nonce_factory_;
   DispatchMode dispatch_ = DispatchMode::kAuto;  ///< resolved by bind_and_listen
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint16_t port_ = 0;

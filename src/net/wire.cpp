@@ -15,17 +15,29 @@ std::size_t request_payload_bytes(std::size_t bits) {
 }
 
 constexpr std::size_t kResponsePayloadBytes = 1 + 8 + 4;
+constexpr std::size_t kHelloPayloadBytes = 2;
+constexpr std::size_t kRequestV2PayloadBytes = 8 + 8;
+constexpr std::size_t kChallengePayloadBytes = 8 + 16;
+constexpr std::size_t kProofPayloadBytes = 8 + 32;
+constexpr std::size_t kResponseV2PayloadBytes = 8 + kResponsePayloadBytes;
 
-std::string finish_frame(FrameType type, std::string payload) {
+std::string finish_frame(FrameType type, std::string payload,
+                         std::uint16_t version = kWireVersion) {
   registry::ByteWriter header;
   header.u32(kFrameMagic);
-  header.u16(kWireVersion);
+  header.u16(version);
   header.u16(static_cast<std::uint16_t>(type));
   header.u32(static_cast<std::uint32_t>(payload.size()));
   header.u32(registry::crc32(payload));
   std::string frame = header.take();
   frame.append(payload);
   return frame;
+}
+
+WireError bad_payload_size(const char* what, std::size_t want, std::size_t got) {
+  return WireError(FrameDefect::kBadPayload,
+                   std::string(what) + " payload must be " + std::to_string(want) +
+                       " bytes, got " + std::to_string(got));
 }
 
 }  // namespace
@@ -160,6 +172,54 @@ std::string encode_response_frame(const WireResponse& response) {
   return finish_frame(FrameType::kAuthResponse, payload.take());
 }
 
+std::string encode_client_hello(std::uint16_t max_version) {
+  registry::ByteWriter payload;
+  payload.u16(max_version);
+  // Header version 1: a pre-v2 server must classify this as a recoverable
+  // unknown type, not a fatal unknown version, so the connection survives
+  // for the v1 fallback.
+  return finish_frame(FrameType::kClientHello, payload.take(), kWireVersion);
+}
+
+std::string encode_server_hello(std::uint16_t version) {
+  registry::ByteWriter payload;
+  payload.u16(version);
+  return finish_frame(FrameType::kServerHello, payload.take(), kWireVersion);
+}
+
+std::string encode_request_frame_v2(std::uint64_t request_id,
+                                    std::uint64_t device_id) {
+  registry::ByteWriter payload;
+  payload.u64(request_id);
+  payload.u64(device_id);
+  return finish_frame(FrameType::kAuthRequest, payload.take(), kWireVersionV2);
+}
+
+std::string encode_challenge_frame(std::uint64_t request_id,
+                                   const auth::Nonce& nonce) {
+  registry::ByteWriter payload;
+  payload.u64(request_id);
+  for (const std::uint8_t byte : nonce) payload.u8(byte);
+  return finish_frame(FrameType::kAuthChallenge, payload.take(), kWireVersionV2);
+}
+
+std::string encode_proof_frame(std::uint64_t request_id, const auth::Tag& tag) {
+  registry::ByteWriter payload;
+  payload.u64(request_id);
+  for (const std::uint8_t byte : tag) payload.u8(byte);
+  return finish_frame(FrameType::kAuthProof, payload.take(), kWireVersionV2);
+}
+
+std::string encode_response_frame_v2(std::uint64_t request_id,
+                                     const WireResponse& response) {
+  registry::ByteWriter payload;
+  payload.u64(request_id);
+  payload.u8(static_cast<std::uint8_t>(response.status));
+  payload.u64(response.distance);
+  payload.u32(response.response_bits);
+  return finish_frame(FrameType::kAuthResponse, payload.take(), kWireVersionV2);
+}
+
 // -------------------------------------------------------------------- decode
 
 ExtractResult try_extract_frame(std::string_view buffer) {
@@ -183,7 +243,9 @@ ExtractResult try_extract_frame(std::string_view buffer) {
   // failure means the announced length (hence the next frame boundary)
   // cannot be trusted.
   if (magic != kFrameMagic) return defect(FrameDefect::kBadMagic, 0);
-  if (version != kWireVersion) return defect(FrameDefect::kBadVersion, 0);
+  if (version == 0 || version > kWireMaxVersion) {
+    return defect(FrameDefect::kBadVersion, 0);
+  }
   if (length > kMaxPayloadBytes) return defect(FrameDefect::kBadLength, 0);
 
   const std::size_t frame_bytes = kFrameHeaderBytes + length;
@@ -192,8 +254,8 @@ ExtractResult try_extract_frame(std::string_view buffer) {
 
   // Recoverable checks: the frame boundary is known, so the consumer can
   // skip exactly this frame and stay in sync.
-  if (type != static_cast<std::uint16_t>(FrameType::kAuthRequest) &&
-      type != static_cast<std::uint16_t>(FrameType::kAuthResponse)) {
+  if (type < static_cast<std::uint16_t>(FrameType::kAuthRequest) ||
+      type > static_cast<std::uint16_t>(FrameType::kAuthProof)) {
     return defect(FrameDefect::kBadType, frame_bytes);
   }
   if (registry::crc32(payload) != checksum) {
@@ -201,6 +263,7 @@ ExtractResult try_extract_frame(std::string_view buffer) {
   }
 
   result.status = ExtractResult::Status::kFrame;
+  result.frame.version = version;
   result.frame.type = static_cast<FrameType>(type);
   result.frame.payload = payload;
   result.frame.frame_bytes = frame_bytes;
@@ -259,6 +322,69 @@ WireResponse decode_response_payload(std::string_view payload) {
   response.status = static_cast<WireStatus>(status);
   response.distance = reader.u64();
   response.response_bits = reader.u32();
+  return response;
+}
+
+std::uint16_t decode_hello_payload(std::string_view payload) {
+  if (payload.size() != kHelloPayloadBytes) {
+    throw bad_payload_size("hello", kHelloPayloadBytes, payload.size());
+  }
+  registry::ByteReader reader(payload, kNeverOverruns);
+  const std::uint16_t version = reader.u16();
+  if (version == 0) {
+    throw WireError(FrameDefect::kBadPayload, "hello advertises version 0");
+  }
+  return version;
+}
+
+V2Request decode_request_payload_v2(std::string_view payload) {
+  if (payload.size() != kRequestV2PayloadBytes) {
+    throw bad_payload_size("v2 request", kRequestV2PayloadBytes, payload.size());
+  }
+  registry::ByteReader reader(payload, kNeverOverruns);
+  V2Request request;
+  request.request_id = reader.u64();
+  request.device_id = reader.u64();
+  return request;
+}
+
+ChallengePayload decode_challenge_payload(std::string_view payload) {
+  if (payload.size() != kChallengePayloadBytes) {
+    throw bad_payload_size("challenge", kChallengePayloadBytes, payload.size());
+  }
+  registry::ByteReader reader(payload, kNeverOverruns);
+  ChallengePayload challenge;
+  challenge.request_id = reader.u64();
+  for (std::uint8_t& byte : challenge.nonce) byte = reader.u8();
+  return challenge;
+}
+
+ProofPayload decode_proof_payload(std::string_view payload) {
+  if (payload.size() != kProofPayloadBytes) {
+    throw bad_payload_size("proof", kProofPayloadBytes, payload.size());
+  }
+  registry::ByteReader reader(payload, kNeverOverruns);
+  ProofPayload proof;
+  proof.request_id = reader.u64();
+  for (std::uint8_t& byte : proof.tag) byte = reader.u8();
+  return proof;
+}
+
+V2Response decode_response_payload_v2(std::string_view payload) {
+  if (payload.size() != kResponseV2PayloadBytes) {
+    throw bad_payload_size("v2 response", kResponseV2PayloadBytes, payload.size());
+  }
+  registry::ByteReader reader(payload, kNeverOverruns);
+  V2Response response;
+  response.request_id = reader.u64();
+  const std::uint8_t status = reader.u8();
+  if (status > static_cast<std::uint8_t>(WireStatus::kBudgetExhausted)) {
+    throw WireError(FrameDefect::kBadPayload,
+                    "unknown wire status " + std::to_string(status));
+  }
+  response.response.status = static_cast<WireStatus>(status);
+  response.response.distance = reader.u64();
+  response.response.response_bits = reader.u32();
   return response;
 }
 

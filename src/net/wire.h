@@ -10,11 +10,25 @@
 //   offset  size  field
 //   ------  ----  -------------------------------------------
 //    0       4    magic "RPAF" (kFrameMagic, little-endian u32)
-//    4       2    u16 protocol version (kWireVersion)
+//    4       2    u16 protocol version (1 or 2)
 //    6       2    u16 frame type (FrameType)
 //    8       4    u32 payload byte count (<= kMaxPayloadBytes)
 //   12       4    u32 payload CRC32 (IEEE, over the payload bytes)
 //   16       n    payload
+//
+// Protocol v2 (docs/protocol_v2.md) extends the header's version field into
+// a capability negotiation: the client's kClientHello advertises the newest
+// version it speaks (hello frames travel with header version 1 so a pre-v2
+// server classifies them as a recoverable kBadType and answers kBadFrame —
+// the fallback signal), the server pins min(advertised, kWireMaxVersion)
+// per connection and answers kServerHello. v2 payloads carry a 64-bit
+// request id, so v2 responses may complete out of request order; the v1
+// payloads are unchanged and keep the strict per-connection ordering
+// invariant. v2 replaces the CRP exchange with a challenge-response MAC:
+// kAuthRequest(v2) carries only ids, the server answers kAuthChallenge with
+// a fresh nonce, and the prover returns kAuthProof with an HMAC tag
+// (src/auth) — no response bits ever travel, which is what starves the
+// distance-oracle attack.
 //
 // Every way a frame can be malformed maps to exactly one FrameDefect —
 // the same one-check-one-defect discipline as the registry's Defect
@@ -30,6 +44,7 @@
 #include <string>
 #include <string_view>
 
+#include "auth/auth.h"
 #include "common/error.h"
 #include "service/auth_service.h"
 
@@ -37,8 +52,12 @@ namespace ropuf::net {
 
 /// Leading frame bytes, "RPAF" read as a little-endian u32.
 inline constexpr std::uint32_t kFrameMagic = 0x4641'5052u;
-/// Protocol revision this library speaks.
+/// The original protocol revision (CRP request/response, no request ids).
 inline constexpr std::uint16_t kWireVersion = 1;
+/// Protocol v2: request ids + PUF-derived cryptographic authentication.
+inline constexpr std::uint16_t kWireVersionV2 = 2;
+/// Newest revision this library speaks; hellos advertise/pin against it.
+inline constexpr std::uint16_t kWireMaxVersion = kWireVersionV2;
 /// Fixed header byte count.
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 /// Upper bound on a frame payload; a larger announced length is kBadLength
@@ -46,8 +65,12 @@ inline constexpr std::size_t kFrameHeaderBytes = 16;
 inline constexpr std::size_t kMaxPayloadBytes = 1u << 20;
 
 enum class FrameType : std::uint16_t {
-  kAuthRequest = 1,   ///< client -> server: {device_id, challenge, response}
-  kAuthResponse = 2,  ///< server -> client: {status, distance, response_bits}
+  kAuthRequest = 1,    ///< v1: {device_id, challenge, response}; v2: {rid, device_id}
+  kAuthResponse = 2,   ///< v1: {status, distance, bits}; v2: {rid, status, ...}
+  kClientHello = 3,    ///< client -> server: u16 newest version the client speaks
+  kServerHello = 4,    ///< server -> client: u16 version pinned for the connection
+  kAuthChallenge = 5,  ///< server -> client (v2): {rid, 16-byte nonce}
+  kAuthProof = 6,      ///< client -> server (v2): {rid, 32-byte HMAC tag}
 };
 
 /// The structural defect a frame decode can detect. Each maps to exactly
@@ -137,10 +160,31 @@ std::string encode_request_frame(const service::AuthRequest& request);
 /// u32 response_bits.
 std::string encode_response_frame(const WireResponse& response);
 
+// v2 frames. The hellos travel with header version 1 on purpose: a pre-v2
+// server sees a recoverable unknown type (kBadType) and answers kBadFrame,
+// which a v2 client reads as "speak v1". Everything else is header v2.
+
+/// kClientHello: u16 newest version the client speaks.
+std::string encode_client_hello(std::uint16_t max_version);
+/// kServerHello: u16 version the server pinned for this connection.
+std::string encode_server_hello(std::uint16_t version);
+/// v2 kAuthRequest: u64 request_id, u64 device_id — no CRP material.
+std::string encode_request_frame_v2(std::uint64_t request_id,
+                                    std::uint64_t device_id);
+/// kAuthChallenge: u64 request_id, 16-byte nonce.
+std::string encode_challenge_frame(std::uint64_t request_id,
+                                   const auth::Nonce& nonce);
+/// kAuthProof: u64 request_id, 32-byte HMAC-SHA256 tag.
+std::string encode_proof_frame(std::uint64_t request_id, const auth::Tag& tag);
+/// v2 kAuthResponse: u64 request_id, then the v1 response fields.
+std::string encode_response_frame_v2(std::uint64_t request_id,
+                                     const WireResponse& response);
+
 // ------------------------------------------------------------------ decode
 
 /// A complete frame located inside a byte stream.
 struct FrameView {
+  std::uint16_t version = kWireVersion;  ///< header protocol version (1 or 2)
   FrameType type = FrameType::kAuthRequest;
   std::string_view payload;      ///< CRC-verified payload bytes
   std::size_t frame_bytes = 0;   ///< header + payload: bytes to consume
@@ -174,5 +218,37 @@ service::AuthRequest decode_request_payload(std::string_view payload);
 /// Decodes a kAuthResponse payload. Throws WireError(kBadPayload) on a
 /// wrong-size payload or an out-of-range status byte.
 WireResponse decode_response_payload(std::string_view payload);
+
+/// Decodes a hello payload (client or server). Throws
+/// WireError(kBadPayload) on a wrong-size payload or version 0.
+std::uint16_t decode_hello_payload(std::string_view payload);
+
+/// A decoded v2 kAuthRequest payload.
+struct V2Request {
+  std::uint64_t request_id = 0;
+  std::uint64_t device_id = 0;
+};
+V2Request decode_request_payload_v2(std::string_view payload);
+
+/// A decoded kAuthChallenge payload.
+struct ChallengePayload {
+  std::uint64_t request_id = 0;
+  auth::Nonce nonce{};
+};
+ChallengePayload decode_challenge_payload(std::string_view payload);
+
+/// A decoded kAuthProof payload.
+struct ProofPayload {
+  std::uint64_t request_id = 0;
+  auth::Tag tag{};
+};
+ProofPayload decode_proof_payload(std::string_view payload);
+
+/// A decoded v2 kAuthResponse payload.
+struct V2Response {
+  std::uint64_t request_id = 0;
+  WireResponse response;
+};
+V2Response decode_response_payload_v2(std::string_view payload);
 
 }  // namespace ropuf::net

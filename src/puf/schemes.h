@@ -20,7 +20,9 @@
 // operating corner — that is exactly the paper's reliability experiment.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/bitvec.h"
@@ -118,6 +120,23 @@ struct ConfigurableEnrollment {
   /// full-circuit device path. Empty for dataset-level enrollments that
   /// carry no helper record; when non-empty its size equals pair_count.
   std::vector<PairHelperData> helper;
+
+  /// Protocol-v2 cryptographic-auth provisioning (auth/auth.h runs the
+  /// fuzzy-extractor Gen at enrollment). Plain data here — the PUF layer
+  /// carries the material, src/auth interprets it:
+  ///  * auth_code_id   — which cyclic code produced the helper blocks
+  ///                     (auth::code_for_id; 0 = unprovisioned).
+  ///  * auth_helper    — one code-offset helper block per code block, each
+  ///                     exactly the code's n bits.
+  ///  * auth_key_check — SHA-256 of the derived key (a key check value, not
+  ///                     the key), so a verifier detects corrupt helper
+  ///                     material instead of silently deriving garbage.
+  std::uint8_t auth_code_id = 0;
+  std::vector<BitVec> auth_helper;
+  std::array<std::uint8_t, 32> auth_key_check{};
+
+  /// Whether the record carries v2 auth material.
+  bool has_auth() const { return !auth_helper.empty(); }
 
   /// The enrollment-time response (bit p = selections[p].bit).
   BitVec response() const;

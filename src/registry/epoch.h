@@ -45,8 +45,9 @@
 
 namespace ropuf::registry {
 
-/// Delta ("ROPUFDLT") format revision this library reads and writes.
-inline constexpr std::uint32_t kDeltaFormatVersion = 1;
+/// Newest delta ("ROPUFDLT") format revision this library writes; readers
+/// accept 1..this (record payloads grew in v2, the container is unchanged).
+inline constexpr std::uint32_t kDeltaFormatVersion = 2;
 
 /// Accumulates upserts and tombstones and serializes them into one delta
 /// segment. Entries may be staged in any order; build() sorts the index by

@@ -133,10 +133,10 @@ SectionGeometry validate_sections(std::string_view view, std::string_view magic,
   header.u64();  // magic, already checked
   const std::uint32_t file_version = header.u32();
   const std::uint32_t header_bytes = header.u32();
-  if (file_version != version) {
+  if (file_version == 0 || file_version > version) {
     throw FormatError(Defect::kBadVersion,
                       "version " + std::to_string(file_version) +
-                          ", this reader handles " + std::to_string(version));
+                          ", this reader handles 1.." + std::to_string(version));
   }
   if (header_bytes != kHeaderBytes) {
     throw FormatError(Defect::kBadVersion,
@@ -212,6 +212,7 @@ SectionGeometry validate_sections(std::string_view view, std::string_view magic,
   geometry.index_offset = static_cast<std::size_t>(index_offset);
   geometry.records_offset = static_cast<std::size_t>(records_offset);
   geometry.records_size = static_cast<std::size_t>(records_size);
+  geometry.version = file_version;
   return geometry;
 }
 

@@ -101,15 +101,20 @@ struct SectionGeometry {
   std::size_t index_offset = 0;
   std::size_t records_offset = 0;
   std::size_t records_size = 0;
+  /// The version the file actually declares (<= the reader's version).
+  std::uint32_t version = 0;
 };
 
 /// Validates a sectioned image end to end — magic, version, all three CRCs,
 /// section geometry, index invariants (strictly ascending ids, every entry
 /// inside the records section) — and returns the geometry. Throws
-/// FormatError with the specific Defect otherwise. `allow_tombstones`
-/// admits size-0 index entries (delta tombstones, which must carry offset
-/// 0); the base registry passes false, keeping its historical behavior of
-/// rejecting nothing at the index level and failing such entries at decode.
+/// FormatError with the specific Defect otherwise. `version` is the newest
+/// format this reader understands; older versions back to 1 are accepted
+/// (the container layout is version-stable — only record payloads grew) and
+/// reported in SectionGeometry::version. `allow_tombstones` admits size-0
+/// index entries (delta tombstones, which must carry offset 0); the base
+/// registry passes false, keeping its historical behavior of rejecting
+/// nothing at the index level and failing such entries at decode.
 SectionGeometry validate_sections(std::string_view view, std::string_view magic,
                                   std::uint32_t version, bool allow_tombstones);
 

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <unordered_set>
 
+#include "auth/auth.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
@@ -39,6 +40,11 @@ namespace {
 
 constexpr char kMagic[8] = {'R', 'O', 'P', 'U', 'F', 'R', 'E', 'G'};
 constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+// Record flags (the u16 at payload offset 2, reserved-as-zero in v1).
+// Unknown bits are a kBadRecord defect so future flags cannot be silently
+// ignored by old readers that happen to accept the container version.
+constexpr std::uint16_t kFlagHasAuth = 0x1;
 
 // Decode-time sanity bounds: far above any real board, low enough that a
 // corrupt size field cannot drive a huge allocation before the payload-size
@@ -95,7 +101,9 @@ class BitUnpacker {
 
 std::size_t bit_words(std::size_t bits) { return (bits + 63) / 64; }
 
-/// Exact payload size of a record, the decoder's first integrity check.
+/// Exact payload size of a record's v1 columns, the decoder's first
+/// integrity check. The v2 auth tail (if flagged) follows these bytes and
+/// is sized from its own geometry fields.
 std::size_t record_payload_bytes(std::size_t stages, std::size_t pairs,
                                  bool has_helper) {
   const std::size_t config_bits = pairs * stages;
@@ -108,6 +116,12 @@ std::size_t record_payload_bytes(std::size_t stages, std::size_t pairs,
   return bytes;
 }
 
+/// Byte size of the v2 auth tail: geometry prefix, word-aligned helper
+/// blocks, 32-byte key check value.
+std::size_t auth_tail_bytes(std::size_t block_count, std::size_t block_bits) {
+  return 4 + block_count * bit_words(block_bits) * 8 + 32;
+}
+
 }  // namespace
 
 void encode_enrollment_record(ByteWriter& writer,
@@ -115,9 +129,10 @@ void encode_enrollment_record(ByteWriter& writer,
   const std::size_t stages = e.layout.stages;
   const std::size_t pairs = e.layout.pair_count;
   const bool has_helper = !e.helper.empty();
+  const bool has_auth = e.has_auth();
   writer.u8(e.mode == puf::SelectionCase::kSameConfig ? 0 : 1);
   writer.u8(has_helper ? 1 : 0);
-  writer.u16(0);
+  writer.u16(has_auth ? kFlagHasAuth : 0);
   writer.u32(static_cast<std::uint32_t>(stages));
   writer.u32(static_cast<std::uint32_t>(pairs));
   writer.u32(0);
@@ -141,6 +156,18 @@ void encode_enrollment_record(ByteWriter& writer,
   if (has_helper) {
     for (const puf::PairHelperData& h : e.helper) writer.f64(h.offset_ps);
   }
+  if (has_auth) {
+    const std::size_t block_bits = e.auth_helper.front().size();
+    writer.u8(e.auth_code_id);
+    writer.u8(static_cast<std::uint8_t>(e.auth_helper.size()));
+    writer.u16(static_cast<std::uint16_t>(block_bits));
+    BitPacker helper_packer(writer);
+    for (const BitVec& block : e.auth_helper) {
+      for (std::size_t b = 0; b < block.size(); ++b) helper_packer.push(block.get(b));
+      helper_packer.flush();  // each block word-aligned, like every column
+    }
+    for (const std::uint8_t byte : e.auth_key_check) writer.u8(byte);
+  }
 }
 
 puf::ConfigurableEnrollment decode_enrollment_record(std::string_view payload) {
@@ -151,7 +178,7 @@ puf::ConfigurableEnrollment decode_enrollment_record(std::string_view payload) {
   ByteReader reader(payload, Defect::kBadRecord);
   const std::uint8_t mode = reader.u8();
   const std::uint8_t helper_flag = reader.u8();
-  reader.u16();  // reserved
+  const std::uint16_t flags = reader.u16();
   const std::uint32_t stages = reader.u32();
   const std::uint32_t pairs = reader.u32();
   reader.u32();  // reserved
@@ -161,13 +188,18 @@ puf::ConfigurableEnrollment decode_enrollment_record(std::string_view payload) {
   };
   if (mode > 1) throw bad("mode byte must be 0 (case1) or 1 (case2)");
   if (helper_flag > 1) throw bad("helper flag must be 0 or 1");
+  if ((flags & ~kFlagHasAuth) != 0) {
+    throw bad("unknown record flag bits 0x" + std::to_string(flags));
+  }
   if (stages == 0 || stages > kMaxStages) throw bad("implausible stage count");
   if (pairs == 0 || pairs > kMaxPairs) throw bad("implausible pair count");
   const bool has_helper = helper_flag == 1;
-  if (payload.size() != record_payload_bytes(stages, pairs, has_helper)) {
+  const bool has_auth = (flags & kFlagHasAuth) != 0;
+  const std::size_t base_bytes = record_payload_bytes(stages, pairs, has_helper);
+  if (has_auth ? payload.size() < base_bytes : payload.size() != base_bytes) {
     throw bad("payload is " + std::to_string(payload.size()) + " bytes, layout " +
               std::to_string(stages) + "x" + std::to_string(pairs) + " needs " +
-              std::to_string(record_payload_bytes(stages, pairs, has_helper)));
+              std::to_string(base_bytes) + (has_auth ? " plus an auth tail" : ""));
   }
 
   puf::ConfigurableEnrollment e;
@@ -207,6 +239,32 @@ puf::ConfigurableEnrollment decode_enrollment_record(std::string_view payload) {
       if (!std::isfinite(h.offset_ps)) throw bad("non-finite helper offset");
     }
   }
+  if (has_auth) {
+    e.auth_code_id = reader.u8();
+    const std::uint8_t block_count = reader.u8();
+    const std::uint16_t block_bits = reader.u16();
+    if (e.auth_code_id == 0) throw bad("auth flag set with code id 0");
+    if (block_count == 0 || block_bits == 0) {
+      throw bad("implausible auth helper geometry");
+    }
+    if (static_cast<std::size_t>(block_count) * block_bits > pairs) {
+      throw bad("auth helper wider than the enrolled response");
+    }
+    if (reader.remaining() != auth_tail_bytes(block_count, block_bits) - 4) {
+      throw bad("auth tail is " + std::to_string(reader.remaining()) +
+                " bytes past its geometry, " + std::to_string(block_count) + "x" +
+                std::to_string(block_bits) + " needs " +
+                std::to_string(auth_tail_bytes(block_count, block_bits) - 4));
+    }
+    e.auth_helper.resize(block_count);
+    for (BitVec& block : e.auth_helper) {
+      BitVec bits(block_bits);
+      for (std::size_t b = 0; b < block_bits; ++b) bits.set(b, unpacker.pull());
+      unpacker.align();
+      block = std::move(bits);
+    }
+    for (std::uint8_t& byte : e.auth_key_check) byte = reader.u8();
+  }
   if (!reader.exhausted()) throw bad("trailing bytes after record payload");
   return e;
 }
@@ -228,6 +286,22 @@ void validate_enrollment(const puf::ConfigurableEnrollment& e) {
   }
   for (const puf::PairHelperData& h : e.helper) {
     ROPUF_REQUIRE(std::isfinite(h.offset_ps), "non-finite helper offset");
+  }
+  if (e.has_auth()) {
+    ROPUF_REQUIRE(e.auth_code_id != 0, "auth helper present without a code id");
+    ROPUF_REQUIRE(e.auth_helper.size() <= 255,
+                  "auth helper block count out of range");
+    const std::size_t block_bits = e.auth_helper.front().size();
+    ROPUF_REQUIRE(block_bits > 0 && block_bits <= 0xffff,
+                  "auth helper block width out of range");
+    for (const BitVec& block : e.auth_helper) {
+      ROPUF_REQUIRE(block.size() == block_bits,
+                    "auth helper blocks must share one width");
+    }
+    ROPUF_REQUIRE(e.auth_helper.size() * block_bits <= e.layout.pair_count,
+                  "auth helper wider than the enrolled response");
+  } else {
+    ROPUF_REQUIRE(e.auth_code_id == 0, "auth code id without helper data");
   }
 }
 
@@ -444,17 +518,24 @@ std::vector<MintedDevice> mint_fleet_with_chips(const FleetSpec& spec) {
   // (redrawing the vanishingly rare collision or zero).
   sil::Fab fab(spec.process, spec.seed);
   Rng measurement_base(spec.seed ^ 0x9e3779b97f4a7c15ull);
+  // The auth stream is forked from its own base so v2 provisioning never
+  // perturbs the pre-existing chip/measurement/id streams — a v1-era spec
+  // still mints bit-identical silicon and enrollments.
+  Rng auth_base(spec.seed ^ 0xa0745ecull);
   std::vector<Rng> chip_rngs;
   std::vector<Rng> measurement_rngs;
+  std::vector<Rng> auth_rngs;
   std::vector<std::uint64_t> ids;
   chip_rngs.reserve(spec.devices);
   measurement_rngs.reserve(spec.devices);
+  auth_rngs.reserve(spec.devices);
   ids.reserve(spec.devices);
   std::unordered_set<std::uint64_t> used_ids;
   std::uint64_t id_state = spec.seed ^ 0x1d5c0de;
   for (std::size_t i = 0; i < spec.devices; ++i) {
     chip_rngs.push_back(fab.fork_chip_stream());
     measurement_rngs.push_back(measurement_base.fork());
+    auth_rngs.push_back(auth_base.fork());
     std::uint64_t id = 0;
     do {
       id = splitmix64(id_state);
@@ -470,8 +551,10 @@ std::vector<MintedDevice> mint_fleet_with_chips(const FleetSpec& spec) {
         sil::Chip chip = fab.fabricate_with(chip_rngs[i], grid_cols, grid_rows);
         const auto values = puf::measure_unit_ddiffs(chip, sil::nominal_op(),
                                                      measurement, measurement_rngs[i]);
-        return MintedDevice{ids[i], std::move(chip),
+        MintedDevice device{ids[i], std::move(chip),
                             puf::configurable_enroll(values, layout, spec.mode)};
+        auth::provision_auth(device.enrollment, auth_rngs[i]);
+        return device;
       },
       /*grain=*/8);
   minted.add(spec.devices);

@@ -34,8 +34,11 @@
 
 namespace ropuf::registry {
 
-/// Format revision this library reads and writes.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// Newest format revision this library writes; readers accept 1..this.
+/// v2 added the record flags word and the optional auth tail (fuzzy-
+/// extractor helper blocks + key check value) — v1 files load unchanged
+/// with every device unprovisioned for protocol-v2 authentication.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Encodes one device record payload (the columnar layout docs/registry.md
 /// describes) onto `writer`. Shared by RegistryBuilder and the delta-segment

@@ -202,6 +202,50 @@ AuthVerdict AuthService::verify(const AuthRequest& request) const {
   return verify_pinned(*epochs_->snapshot(), request);
 }
 
+EnrollmentCache::Entry AuthService::resolve_lookup(
+    const registry::RegistrySnapshot& snapshot, std::uint64_t device_id) const {
+  const std::uint64_t epoch = snapshot.epoch();
+  EnrollmentCache::Entry looked_up = cache_.get(device_id, epoch);
+  if (looked_up == nullptr) looked_up = unknown_cache_.get(device_id, epoch);
+  if (looked_up != nullptr) return looked_up;
+  // Resolve against the pinned snapshot once and cache the *outcome* —
+  // including the negative ones, so repeat corrupt/unknown traffic never
+  // re-walks the registry or pays a thrown FormatError per request.
+  // Entries are tagged with the snapshot's epoch: after a swap they stop
+  // answering (stale-evicted on first touch), so a replaced or retired
+  // record can never serve from cache. Unknown-device outcomes go to
+  // their own smaller cache: their key space is unbounded, and a spray of
+  // random ids must only ever evict other unknowns, never the enrollments
+  // legitimate traffic depends on.
+  auto resolved = std::make_shared<CachedLookup>();
+  resolved->epoch = epoch;
+  try {
+    std::optional<puf::ConfigurableEnrollment> found = snapshot.find(device_id);
+    if (found.has_value()) {
+      resolved->enrollment = std::move(*found);
+      // Derive the v2 verification key once per (device, epoch): Rep over
+      // the clean enrollment response plus the KCV cross-check. Leaving it
+      // disengaged (unprovisioned record or tampered auth material) is
+      // itself a cached outcome — every proof against it answers
+      // kCorruptRecord without touching the extractor again.
+      if (resolved->enrollment->has_auth()) {
+        resolved->auth_key = auth::derive_enrollment_key(*resolved->enrollment);
+      }
+    } else {
+      resolved->outcome = CachedLookup::Outcome::kUnknownDevice;
+    }
+  } catch (const registry::FormatError&) {
+    resolved->outcome = CachedLookup::Outcome::kCorruptRecord;
+  }
+  looked_up = std::move(resolved);
+  if (looked_up->outcome == CachedLookup::Outcome::kUnknownDevice) {
+    unknown_cache_.put(device_id, looked_up);
+  } else {
+    cache_.put(device_id, looked_up);
+  }
+  return looked_up;
+}
+
 AuthVerdict AuthService::verify_pinned(const registry::RegistrySnapshot& snapshot,
                                        const AuthRequest& request) const {
   static obs::Counter& requests = obs::Registry::instance().counter("service.requests");
@@ -218,39 +262,8 @@ AuthVerdict AuthService::verify_pinned(const registry::RegistrySnapshot& snapsho
   requests.add(1);
   const obs::ScopedLatency verify_timer(verify_us);
 
-  const std::uint64_t epoch = snapshot.epoch();
-  EnrollmentCache::Entry looked_up = cache_.get(request.device_id, epoch);
-  if (looked_up == nullptr) looked_up = unknown_cache_.get(request.device_id, epoch);
-  if (looked_up == nullptr) {
-    // Resolve against the pinned snapshot once and cache the *outcome* —
-    // including the negative ones, so repeat corrupt/unknown traffic never
-    // re-walks the registry or pays a thrown FormatError per request.
-    // Entries are tagged with the snapshot's epoch: after a swap they stop
-    // answering (stale-evicted on first touch), so a replaced or retired
-    // record can never serve from cache. Unknown-device outcomes go to
-    // their own smaller cache: their key space is unbounded, and a spray of
-    // random ids must only ever evict other unknowns, never the enrollments
-    // legitimate traffic depends on.
-    auto resolved = std::make_shared<CachedLookup>();
-    resolved->epoch = epoch;
-    try {
-      std::optional<puf::ConfigurableEnrollment> found =
-          snapshot.find(request.device_id);
-      if (found.has_value()) {
-        resolved->enrollment = std::move(*found);
-      } else {
-        resolved->outcome = CachedLookup::Outcome::kUnknownDevice;
-      }
-    } catch (const registry::FormatError&) {
-      resolved->outcome = CachedLookup::Outcome::kCorruptRecord;
-    }
-    looked_up = std::move(resolved);
-    if (looked_up->outcome == CachedLookup::Outcome::kUnknownDevice) {
-      unknown_cache_.put(request.device_id, looked_up);
-    } else {
-      cache_.put(request.device_id, looked_up);
-    }
-  }
+  const EnrollmentCache::Entry looked_up =
+      resolve_lookup(snapshot, request.device_id);
   switch (looked_up->outcome) {
     case CachedLookup::Outcome::kUnknownDevice:
       unknown.add(1);
@@ -338,6 +351,76 @@ std::vector<AuthVerdict> AuthService::verify_batch(
   // never a verdict change.
   if (options_.reenroll.enabled()) track_reenrollment(requests, verdicts);
   return verdicts;
+}
+
+AuthVerdict AuthService::verify_proof(const ProofRequest& request) const {
+  return verify_proof_pinned(*epochs_->snapshot(), request);
+}
+
+AuthVerdict AuthService::verify_proof_pinned(
+    const registry::RegistrySnapshot& snapshot, const ProofRequest& request) const {
+  static obs::Counter& requests =
+      obs::Registry::instance().counter("service.proof_requests");
+  static obs::Counter& accepted =
+      obs::Registry::instance().counter("service.proofs_accepted");
+  static obs::Counter& rejected =
+      obs::Registry::instance().counter("service.proofs_rejected");
+  static obs::Counter& unknown =
+      obs::Registry::instance().counter("service.proof_unknown_device");
+  static obs::Counter& corrupt =
+      obs::Registry::instance().counter("service.proof_corrupt_record");
+  static obs::Histogram& verify_us =
+      obs::Registry::instance().latency_histogram("service.proof_verify_us");
+  requests.add(1);
+  const obs::ScopedLatency verify_timer(verify_us);
+
+  const EnrollmentCache::Entry looked_up =
+      resolve_lookup(snapshot, request.device_id);
+  switch (looked_up->outcome) {
+    case CachedLookup::Outcome::kUnknownDevice:
+      unknown.add(1);
+      return AuthVerdict{AuthStatus::kUnknownDevice, 0, 0};
+    case CachedLookup::Outcome::kCorruptRecord:
+      corrupt.add(1);
+      return AuthVerdict{AuthStatus::kCorruptRecord, 0, 0};
+    case CachedLookup::Outcome::kEnrolled:
+      break;
+  }
+  if (!looked_up->auth_key.has_value()) {
+    // Enrolled but not provisioned for v2 (or its auth material failed the
+    // key check): the record cannot back a proof.
+    corrupt.add(1);
+    return AuthVerdict{AuthStatus::kCorruptRecord, 0, 0};
+  }
+  // response_bits reports the helper-covered span; distance is always 0 —
+  // the whole point of v2 is that no distance oracle leaves the verifier.
+  const puf::ConfigurableEnrollment& enrollment = *looked_up->enrollment;
+  const std::size_t covered =
+      enrollment.auth_helper.size() * enrollment.auth_helper.front().size();
+  if (auth::verify_tag(*looked_up->auth_key, request.nonce, request.request_id,
+                       request.device_id, request.tag)) {
+    accepted.add(1);
+    return AuthVerdict{AuthStatus::kAccept, 0, covered};
+  }
+  rejected.add(1);
+  return AuthVerdict{AuthStatus::kReject, 0, covered};
+}
+
+std::vector<AuthVerdict> AuthService::verify_proof_batch(
+    const std::vector<ProofRequest>& requests) const {
+  static obs::Counter& batches =
+      obs::Registry::instance().counter("service.proof_batches");
+  batches.add(1);
+  const obs::TraceSpan span("service.verify_proof_batch");
+  // One snapshot pin, no admission pre-pass and no re-enrollment post-pass:
+  // a proof verdict is a pure function of its request and the pinned
+  // registry, so the batch is bit-identical at any thread budget.
+  const std::shared_ptr<const registry::RegistrySnapshot> snapshot =
+      epochs_->snapshot();
+  return parallel_transform<AuthVerdict>(
+      requests.size(), options_.threads,
+      [&](std::size_t i) { return verify_proof_pinned(*snapshot, requests[i]); },
+      options_.batch_grain);
 }
 
 void AuthService::track_reenrollment(const std::vector<AuthRequest>& requests,
@@ -491,6 +574,61 @@ std::vector<AuthRequest> synthesize_workload(const registry::Registry& registry,
     requests.push_back(std::move(request));
   }
   return requests;
+}
+
+std::vector<ProofIntent> synthesize_proof_workload(const registry::Registry& registry,
+                                                   const WorkloadSpec& spec) {
+  ROPUF_REQUIRE(registry.device_count() > 0,
+                "cannot synthesize against an empty registry");
+  ROPUF_REQUIRE(spec.flip_rate >= 0.0 && spec.flip_rate <= 1.0,
+                "flip_rate must be in [0, 1]");
+  ROPUF_REQUIRE(spec.forge_rate >= 0.0 && spec.unknown_rate >= 0.0 &&
+                    spec.forge_rate + spec.unknown_rate <= 1.0,
+                "forge_rate + unknown_rate must stay within [0, 1]");
+
+  Rng rng(spec.seed);
+  std::vector<ProofIntent> intents;
+  intents.reserve(spec.requests);
+  for (std::size_t r = 0; r < spec.requests; ++r) {
+    ProofIntent intent;
+    intent.request_id = r + 1;
+    const double category = rng.uniform();
+
+    if (category < spec.unknown_rate) {
+      do {
+        intent.device_id = rng.next_u64();
+      } while (intent.device_id == 0 || registry.contains(intent.device_id));
+      intents.push_back(intent);
+      continue;
+    }
+
+    const std::size_t device_index = rng.uniform_below(registry.device_count());
+    intent.device_id = registry.device_id_at(device_index);
+    if (category < spec.unknown_rate + spec.forge_rate) {
+      // Forger: right identity, no silicon — keyless, so the client sends
+      // the all-zeros tag an HMAC output can never equal.
+      intents.push_back(intent);
+      continue;
+    }
+
+    // Legitimate prover: re-measure the enrolled response with per-bit
+    // flips and run Rep. Within the code's correction radius the enrolled
+    // key comes back; beyond it the prover fails closed (keyless).
+    const puf::ConfigurableEnrollment enrollment = registry.lookup(intent.device_id);
+    const BitVec reference = enrollment.response();
+    BitVec noisy(reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      noisy.set(i, reference.get(i) ^ (rng.uniform() < spec.flip_rate));
+    }
+    const std::optional<crypto::Sha256Digest> key =
+        auth::recover_key(noisy, enrollment);
+    if (key.has_value()) {
+      intent.has_key = true;
+      intent.key = *key;
+    }
+    intents.push_back(intent);
+  }
+  return intents;
 }
 
 std::uint64_t verdict_digest(const std::vector<AuthVerdict>& verdicts) {

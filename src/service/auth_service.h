@@ -54,6 +54,7 @@
 #include <functional>
 #include <unordered_set>
 
+#include "auth/auth.h"
 #include "common/bitvec.h"
 #include "common/parallel.h"
 #include "obs/metrics.h"
@@ -70,6 +71,17 @@ struct AuthRequest {
   std::uint64_t device_id = 0;
   std::uint64_t challenge = 0;
   BitVec response;
+};
+
+/// One protocol-v2 proof verification: the nonce the server issued, the id
+/// pair it was bound to, and the prover's HMAC tag. The verdict is a pure
+/// function of (registry record, nonce, ids, tag) — no arrival-order state —
+/// so proof batches are bit-identical at any thread budget.
+struct ProofRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t device_id = 0;
+  auth::Nonce nonce{};
+  auth::Tag tag{};
 };
 
 /// What happened to a request. Everything past kReject is a degradation
@@ -166,6 +178,12 @@ struct CachedLookup {
   };
   Outcome outcome = Outcome::kEnrolled;
   std::optional<puf::ConfigurableEnrollment> enrollment;
+  /// The protocol-v2 verification key, derived once at resolve time for
+  /// provisioned records (Rep over the clean enrollment response + KCV
+  /// cross-check). Disengaged when the record is unprovisioned or its auth
+  /// material fails the cross-check — proofs against it answer
+  /// kCorruptRecord without re-running the extractor per request.
+  std::optional<crypto::Sha256Digest> auth_key;
   /// Registry epoch the lookup was resolved under. An entry only answers
   /// for its own epoch: a swap (delta append, compaction, SIGHUP reload)
   /// makes every older entry stale, so a replaced record can never serve
@@ -281,6 +299,23 @@ class AuthService {
   /// thread budget.
   std::vector<AuthVerdict> verify_batch(const std::vector<AuthRequest>& requests) const;
 
+  /// Verifies one protocol-v2 proof: recomputes HMAC(key, nonce || rid ||
+  /// device_id) from the record-derived key and compares in constant time.
+  /// kUnknownDevice / kCorruptRecord degradations mirror verify(); an
+  /// unprovisioned record (no auth material) is a corrupt record from the
+  /// v2 path's point of view. Accept/reject verdicts report distance 0 —
+  /// the v2 wire deliberately carries no distance oracle — and
+  /// response_bits = the helper-covered bit count.
+  AuthVerdict verify_proof(const ProofRequest& request) const;
+
+  /// verify_proof over the parallel pool, one snapshot pin for the batch.
+  /// Proof verdicts are arrival-order-free (no admission, no re-enrollment
+  /// streaks), so the output is bit-identical at any thread budget and any
+  /// request order permutation — the shard/thread parity property the v2
+  /// digest tests pin.
+  std::vector<AuthVerdict> verify_proof_batch(
+      const std::vector<ProofRequest>& requests) const;
+
   /// The first admission slice (the only one at the default
   /// admission_shards = 1; live counters; flush_metrics() for the
   /// per-device deny histogram). Decides kAdmit-everything when the
@@ -314,6 +349,12 @@ class AuthService {
   /// verify() against an explicitly pinned snapshot — the batch hot path.
   AuthVerdict verify_pinned(const registry::RegistrySnapshot& snapshot,
                             const AuthRequest& request) const;
+  /// verify_proof() against an explicitly pinned snapshot.
+  AuthVerdict verify_proof_pinned(const registry::RegistrySnapshot& snapshot,
+                                  const ProofRequest& request) const;
+  /// The shared lookup-and-cache step behind both verify paths.
+  EnrollmentCache::Entry resolve_lookup(const registry::RegistrySnapshot& snapshot,
+                                        std::uint64_t device_id) const;
   /// Serial post-pass: walks a batch's verdicts in arrival order and feeds
   /// the re-enrollment streak tracker. Never changes a verdict.
   void track_reenrollment(const std::vector<AuthRequest>& requests,
@@ -382,6 +423,28 @@ struct WorkloadSpec {
 std::vector<AuthRequest> synthesize_workload(const registry::Registry& registry,
                                              const AuthServiceOptions& options,
                                              const WorkloadSpec& spec);
+
+/// One planned protocol-v2 attempt: the ids the client will send and the
+/// key the prover recovered (or failed to recover — a keyless prover sends
+/// an all-zeros tag, which an HMAC output can never equal). The tag itself
+/// cannot be precomputed: it binds the server's nonce, which only exists
+/// once the exchange starts.
+struct ProofIntent {
+  std::uint64_t request_id = 0;
+  std::uint64_t device_id = 0;
+  bool has_key = false;
+  crypto::Sha256Digest key{};
+};
+
+/// The v2 counterpart of synthesize_workload: unknown-device, forged
+/// (keyless) and legitimate attempts in spec's proportions. Legitimate
+/// provers re-derive their key by running Rep over the enrollment response
+/// with per-bit flips at spec.flip_rate — within the code's radius the
+/// enrolled key comes back, beyond it the prover is keyless and fails
+/// closed. Request ids are sequential from 1. Serial and deterministic;
+/// consumes its own RNG stream, so v1 workloads are untouched.
+std::vector<ProofIntent> synthesize_proof_workload(const registry::Registry& registry,
+                                                   const WorkloadSpec& spec);
 
 /// FNV-1a digest over the verdict sequence (order-sensitive); the CLI prints it
 /// so thread-budget sweeps can assert bit-identical batch results cheaply.

@@ -47,6 +47,15 @@ struct SoakOptions {
   /// Server bounds; port 0 (an ephemeral loopback port) is the right value.
   net::ServerOptions server;
 
+  /// Wire protocol under soak: 1 (CRP exchange, the distance-oracle attack
+  /// surface) or 2 (challenge-response proofs, docs/protocol_v2.md). On 2
+  /// the legit provers recover their fuzzy-extractor keys from live
+  /// re-measurements and answer HMAC challenges; the attacker probes the
+  /// same target but the wire gives it no distances to harvest, and each
+  /// slot additionally replays a captured valid proof (replay_* report
+  /// fields) to pin the freshness defense.
+  std::uint16_t protocol = 1;
+
   /// Scheduled slots; each runs one attacker volley then one legit burst.
   std::size_t slots = 32;
   /// Legitimate requests per burst.
@@ -99,6 +108,11 @@ struct SoakReport {
   std::size_t challenges_recovered = 0;
   double final_accuracy = 0.5;
   std::vector<SoakCheckpoint> checkpoints;
+
+  // Protocol v2 only: replayed captured proofs and how many the server
+  // rejected (all of them, when the session freshness defense holds).
+  std::size_t replay_probes = 0;
+  std::size_t replay_rejected = 0;
 };
 
 /// Runs one soak end to end (binds a loopback server, serves, drains) and

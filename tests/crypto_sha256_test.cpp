@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "crypto/hmac.h"
+
 namespace ropuf::crypto {
 namespace {
 
@@ -45,6 +49,15 @@ TEST(Sha256, PaddingBoundaryLengths) {
   }
 }
 
+TEST(Sha256, Nist896BitVector) {
+  // FIPS 180-4 four-block vector: the 896-bit message, the longest of the
+  // standard byte-oriented test vectors.
+  EXPECT_EQ(to_hex(sha256(std::string(
+                "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"))),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
 TEST(Sha256, SingleBitChangeAvalanches) {
   std::vector<std::uint8_t> a(32, 0);
   std::vector<std::uint8_t> b = a;
@@ -57,6 +70,75 @@ TEST(Sha256, SingleBitChangeAvalanches) {
   }
   EXPECT_GT(differing_bits, 90);   // ~128 expected of 256
   EXPECT_LT(differing_bits, 166);
+}
+
+// ------------------------------------------------------------- HMAC-SHA256
+// RFC 4231 test cases 1-7. The protocol-v2 proof tag and nonce factory
+// both stand on hmac_sha256, so the full vector set is pinned here.
+
+std::string hmac_hex(const std::string& key, const std::string& data) {
+  return to_hex(hmac_sha256(key, data));
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  EXPECT_EQ(hmac_hex(std::string(20, '\x0b'), "Hi There"),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  // A key shorter than the digest size.
+  EXPECT_EQ(hmac_hex("Jefe", "what do ya want for nothing?"),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  EXPECT_EQ(hmac_hex(std::string(20, '\xaa'), std::string(50, '\xdd')),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case4) {
+  std::string key;
+  for (int b = 0x01; b <= 0x19; ++b) key.push_back(static_cast<char>(b));
+  EXPECT_EQ(hmac_hex(key, std::string(50, '\xcd')),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacSha256, Rfc4231Case5Truncated) {
+  // The RFC publishes only the first 128 bits of this case's output.
+  EXPECT_EQ(hmac_hex(std::string(20, '\x0c'), "Test With Truncation").substr(0, 32),
+            "a3b6167473100ee06e0c796c2955552b");
+}
+
+TEST(HmacSha256, Rfc4231Case6LargerThanBlockSizeKey) {
+  // A 131-byte key exceeds the 64-byte SHA-256 block, so the RFC requires
+  // hashing the key first — the branch this case exists to pin.
+  EXPECT_EQ(hmac_hex(std::string(131, '\xaa'),
+                     "Test Using Larger Than Block-Size Key - Hash Key First"),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, Rfc4231Case7LargerThanBlockSizeKeyAndData) {
+  EXPECT_EQ(hmac_hex(std::string(131, '\xaa'),
+                     "This is a test using a larger than block-size key and a "
+                     "larger than block-size data. The key needs to be hashed "
+                     "before being used by the HMAC algorithm."),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(HmacSha256, PointerAndContainerOverloadsAgree) {
+  const std::vector<std::uint8_t> key = {0x0b, 0x0b, 0x0b};
+  const std::vector<std::uint8_t> data = {'H', 'i'};
+  const Sha256Digest via_vectors = hmac_sha256(key, data);
+  const Sha256Digest via_pointers =
+      hmac_sha256(key.data(), key.size(), data.data(), data.size());
+  EXPECT_EQ(to_hex(via_vectors), to_hex(via_pointers));
+}
+
+TEST(HmacSha256, EmptyKeyAndMessageAreDefined) {
+  // HMAC with an empty key / empty message is well-defined; pin the value
+  // so a refactor cannot silently change it.
+  EXPECT_EQ(hmac_hex("", ""),
+            "b613679a0814d9ec772f95d778c35fc5ff1697c493715653c6c712144292c5ad");
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "auth/auth.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "net/wire.h"
@@ -41,16 +42,25 @@ puf::ConfigurableEnrollment sample_enrollment(std::uint64_t seed) {
   return puf::configurable_enroll(values, layout, puf::SelectionCase::kIndependent);
 }
 
+/// A format-v2 record with the full auth tail (code id, helper blocks, key
+/// check value), so the fuzz sweeps cover the versioned record extension.
+puf::ConfigurableEnrollment provisioned_enrollment(std::uint64_t seed) {
+  puf::ConfigurableEnrollment enrollment = sample_enrollment(seed);
+  Rng rng(seed ^ 0xa07);
+  auth::provision_auth(enrollment, rng);
+  return enrollment;
+}
+
 std::string valid_registry_bytes() {
   registry::RegistryBuilder builder;
-  builder.add(7, sample_enrollment(7));
-  builder.add(9, sample_enrollment(9));
+  builder.add(7, provisioned_enrollment(7));
+  builder.add(9, sample_enrollment(9));  // one record with no auth tail
   return builder.build();
 }
 
 std::string valid_delta_bytes() {
   registry::DeltaBuilder builder;
-  builder.upsert(7, sample_enrollment(77));
+  builder.upsert(7, provisioned_enrollment(77));
   builder.retire(9);
   return builder.build();
 }
@@ -159,10 +169,31 @@ void expect_frame_classified(const std::string& bytes, const std::string& what) 
                 result.frame.frame_bytes - net::kFrameHeaderBytes)
           << what;
       try {
-        if (result.frame.type == net::FrameType::kAuthRequest) {
-          net::decode_request_payload(result.frame.payload);
-        } else {
-          net::decode_response_payload(result.frame.payload);
+        switch (result.frame.type) {
+          case net::FrameType::kAuthRequest:
+            if (result.frame.version == net::kWireVersionV2) {
+              net::decode_request_payload_v2(result.frame.payload);
+            } else {
+              net::decode_request_payload(result.frame.payload);
+            }
+            break;
+          case net::FrameType::kAuthResponse:
+            if (result.frame.version == net::kWireVersionV2) {
+              net::decode_response_payload_v2(result.frame.payload);
+            } else {
+              net::decode_response_payload(result.frame.payload);
+            }
+            break;
+          case net::FrameType::kClientHello:
+          case net::FrameType::kServerHello:
+            net::decode_hello_payload(result.frame.payload);
+            break;
+          case net::FrameType::kAuthChallenge:
+            net::decode_challenge_payload(result.frame.payload);
+            break;
+          case net::FrameType::kAuthProof:
+            net::decode_proof_payload(result.frame.payload);
+            break;
         }
       } catch (const net::WireError&) {
         // kBadPayload — classified.
@@ -218,6 +249,57 @@ TEST(FormatFuzz, FrameParserClassifiesEveryTamper) {
     bytes[pos] =
         static_cast<char>(static_cast<unsigned char>(bytes[pos]) ^ 0xffu);
     expect_frame_classified(bytes, "response xor at byte " + std::to_string(pos));
+  }
+}
+
+TEST(FormatFuzz, V2FrameParserClassifiesEveryTamper) {
+  // Every protocol-v2 frame shape: both hellos (header v1 by design — the
+  // fallback signal), the id-only request, the nonce challenge, the HMAC
+  // proof, and the id-tagged response.
+  auth::Nonce nonce{};
+  for (std::size_t i = 0; i < nonce.size(); ++i) {
+    nonce[i] = static_cast<std::uint8_t>(0x40 + i);
+  }
+  auth::Tag tag{};
+  for (std::size_t i = 0; i < tag.size(); ++i) {
+    tag[i] = static_cast<std::uint8_t>(0xa0 ^ i);
+  }
+  net::WireResponse response;
+  response.status = net::WireStatus::kReject;
+  response.response_bits = 15;
+
+  const struct {
+    const char* label;
+    std::string frame;
+  } cases[] = {
+      {"client_hello", net::encode_client_hello(net::kWireMaxVersion)},
+      {"server_hello", net::encode_server_hello(net::kWireVersionV2)},
+      {"request_v2", net::encode_request_frame_v2(0x1122334455667788ull, 7)},
+      {"challenge", net::encode_challenge_frame(41, nonce)},
+      {"proof", net::encode_proof_frame(41, tag)},
+      {"response_v2", net::encode_response_frame_v2(41, response)},
+  };
+  for (const auto& c : cases) {
+    // The untampered frame must extract and decode cleanly.
+    const net::ExtractResult good = net::try_extract_frame(c.frame);
+    ASSERT_EQ(good.status, net::ExtractResult::Status::kFrame) << c.label;
+
+    for (std::size_t pos = 0; pos < c.frame.size(); ++pos) {
+      for (const int mask : {0x01, 0x80, 0xff}) {
+        std::string bytes = c.frame;
+        bytes[pos] = static_cast<char>(static_cast<unsigned char>(bytes[pos]) ^
+                                       static_cast<unsigned char>(mask));
+        expect_frame_classified(bytes, std::string(c.label) + " xor 0x" +
+                                           std::to_string(mask) + " at byte " +
+                                           std::to_string(pos));
+      }
+    }
+    for (std::size_t len = 0; len < c.frame.size(); ++len) {
+      const net::ExtractResult result =
+          net::try_extract_frame(c.frame.substr(0, len));
+      EXPECT_NE(result.status, net::ExtractResult::Status::kFrame)
+          << c.label << " truncation to " << len << " bytes";
+    }
   }
 }
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "analysis/experiments.h"
+#include "auth/auth.h"
 #include "cli_common.h"
 #include "net/client.h"
 #include "analysis/metrics.h"
@@ -542,12 +543,49 @@ service::WorkloadSpec workload_from_args(const Args& args) {
   return workload;
 }
 
+/// Offline v2 workload: proof intents, turned into verifiable ProofRequests
+/// with deterministic verifier-side nonces. Verdicts depend only on whether
+/// each tag matches its nonce — which it does exactly when the intent
+/// recovered the enrollment key — so the digest is nonce-seed-independent
+/// and byte-comparable with the online auth-client v2 path.
+std::vector<service::ProofRequest> proof_requests_from_intents(
+    const std::vector<service::ProofIntent>& intents, std::uint64_t nonce_seed) {
+  auth::NonceFactory nonces(nonce_seed);
+  std::vector<service::ProofRequest> requests;
+  requests.reserve(intents.size());
+  for (const service::ProofIntent& intent : intents) {
+    service::ProofRequest request;
+    request.request_id = intent.request_id;
+    request.device_id = intent.device_id;
+    request.nonce = nonces.next(intent.device_id, intent.request_id);
+    request.tag = intent.has_key
+                      ? auth::prove(intent.key, request.nonce, intent.request_id,
+                                    intent.device_id)
+                      : auth::Tag{};
+    requests.push_back(request);
+  }
+  return requests;
+}
+
 int cmd_auth_batch(const Args& args) {
   const registry::Registry reg = registry_from_args(args);
   const service::AuthServiceOptions opts = auth_options_from_args(args);
   const service::AuthService svc(&reg, opts);
+  const std::uint64_t protocol = count_arg(args, "protocol", 1);
+  ROPUF_REQUIRE(protocol == 1 || protocol == 2, "--protocol must be 1 or 2");
 
   service::WorkloadSpec workload = workload_from_args(args);
+
+  if (protocol == 2) {
+    const auto intents = service::synthesize_proof_workload(reg, workload);
+    const auto requests = proof_requests_from_intents(intents, workload.seed);
+    const auto verdicts = svc.verify_proof_batch(requests);
+    std::printf("auth batch: %zu proof requests against %zu devices (protocol v2)\n",
+                verdicts.size(), reg.device_count());
+    print_verdict_stats(verdicts);
+    return 0;
+  }
+
   auto injector = fault_injector_from_args(args);
   if (injector.has_value()) workload.injector = &*injector;
 
@@ -566,8 +604,8 @@ int cmd_auth_client(const Args& args) {
   ROPUF_REQUIRE(args.has("port"), "--port is required");
   const registry::Registry reg = registry_from_args(args);
   const service::AuthServiceOptions opts = auth_options_from_args(args);
-  const auto requests =
-      service::synthesize_workload(reg, opts, workload_from_args(args));
+  const std::uint64_t protocol = count_arg(args, "protocol", 1);
+  ROPUF_REQUIRE(protocol == 1 || protocol == 2, "--protocol must be 1 or 2");
 
   net::ClientOptions client_opts;
   client_opts.host = args.get("host", "127.0.0.1");
@@ -575,6 +613,41 @@ int cmd_auth_client(const Args& args) {
   client_opts.window = static_cast<std::size_t>(args.number("window", 128));
   net::AuthClient client(client_opts);
   client.connect();
+
+  bool v2 = false;
+  if (protocol == 2) {
+    // Negotiate; a pre-v2 server answers the hello with kBadFrame and the
+    // client falls back to the v1 CRP workload below.
+    v2 = client.negotiate() == net::kWireVersionV2;
+    if (!v2) std::printf("auth client: server speaks v1; falling back\n");
+  }
+
+  if (v2) {
+    const auto intents =
+        service::synthesize_proof_workload(reg, workload_from_args(args));
+    const std::vector<net::WireResponse> responses = client.send_proof_batch(intents);
+    std::vector<service::AuthVerdict> verdicts;
+    verdicts.reserve(responses.size());
+    std::size_t degraded = 0;
+    for (const net::WireResponse& response : responses) {
+      if (net::wire_status_is_transport(response.status)) {
+        ++degraded;
+        continue;
+      }
+      verdicts.push_back(net::auth_verdict(response));
+    }
+    std::printf("auth client: %zu proof requests to %s:%u (protocol v2)\n",
+                intents.size(), client_opts.host.c_str(), client_opts.port);
+    if (degraded > 0) {
+      std::printf("  degraded answers  %zu (bad-frame/overloaded; digest omits them)\n",
+                  degraded);
+    }
+    print_verdict_stats(verdicts);
+    return 0;
+  }
+
+  const auto requests =
+      service::synthesize_workload(reg, opts, workload_from_args(args));
   const std::vector<net::WireResponse> responses = client.send_batch(requests);
 
   // Split transport degradations (kBadFrame/kOverloaded) from real
@@ -613,8 +686,8 @@ int usage() {
                "          [--fault-rate R] [--fault-seed S]\n"
                "          [--rate-burst N --rate-interval T] [--crp-budget N]\n"
                "          [--reuse-budget N] [--challenge-sketch N]\n"
-               "          [--admission-devices N]\n"
-               "  auth-client --port P [--host A] [--window W]\n"
+               "          [--admission-devices N] [--protocol 1|2]\n"
+               "  auth-client --port P [--host A] [--window W] [--protocol 1|2]\n"
                "          [--registry F | --devices N --seed S ...] [--requests N]\n"
                "          [--bits B] [--max-hd D] [--flip-rate R] [--forge-rate R]\n"
                "          [--unknown-rate R] [--workload-seed S]\n"

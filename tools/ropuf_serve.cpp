@@ -18,6 +18,7 @@
 //               [--max-connections N] [--max-pending N] [--max-batch N]
 //               [--max-read-per-sweep N] [--read-deadline-ms N]
 //               [--accept-backoff-ms N] [--drain-timeout-ms N]
+//               [--nonce-seed S] [--max-sessions N]
 //               [--metrics-out F.json] [--trace-out F.json]
 //
 // --port 0 (the default) binds a kernel-assigned ephemeral port;
@@ -108,6 +109,12 @@ int serve(const Args& args) {
   opts.read_deadline_ms = static_cast<int>(args.number("read-deadline-ms", 5000));
   opts.accept_backoff_ms = static_cast<int>(args.number("accept-backoff-ms", 100));
   opts.drain_timeout_ms = static_cast<int>(args.number("drain-timeout-ms", 2000));
+  // v2 challenge nonces; the deterministic default serves reproducible test
+  // harnesses, a production operator passes something unpredictable.
+  if (args.has("nonce-seed")) {
+    opts.nonce_seed = count_arg(args, "nonce-seed", 0);
+  }
+  opts.max_sessions = static_cast<std::size_t>(count_arg(args, "max-sessions", 1024));
 
   net::AuthServer server(&svc, opts);
   const std::uint16_t port = server.bind_and_listen();
@@ -188,6 +195,7 @@ int usage() {
                "                   [--max-batch N] [--max-read-per-sweep N]\n"
                "                   [--read-deadline-ms N] [--accept-backoff-ms N]\n"
                "                   [--drain-timeout-ms N]\n"
+               "                   [--nonce-seed S] [--max-sessions N]\n"
                "                   [--metrics-out F.json] [--trace-out F.json]\n"
                "serves the framed authentication protocol until SIGINT/SIGTERM,\n"
                "then drains gracefully; SIGHUP re-reads --registry and its\n"

@@ -13,8 +13,8 @@
 //              [--rate-burst N --rate-interval T] [--crp-budget N]
 //              [--reuse-budget N] [--challenge-sketch N] [--admission-devices N]
 //              [--slots N] [--burst N] [--probes N] [--checkpoints N]
-//              [--eval-challenges N] [--compare on|off] [--require-defense on|off]
-//              [--shards N] [--threads N]
+//              [--eval-challenges N] [--protocol 1|2] [--compare on|off]
+//              [--require-defense on|off] [--shards N] [--threads N]
 //              [--metrics-out F.json] [--trace-out F.json]
 //
 // --compare on runs the identical soak twice — admission as configured,
@@ -50,6 +50,7 @@ soak::SoakOptions soak_options_from_args(const Args& args) {
       static_cast<std::size_t>(count_arg(args, "eval-challenges", 64));
   options.readout_noise_ps = args.number("noise", 0.5);
   options.seed = static_cast<std::uint64_t>(args.number("soak-seed", 0x50a4));
+  options.protocol = static_cast<std::uint16_t>(count_arg(args, "protocol", 1));
   // Sharded serving must preserve the whole defense contract, so the soak
   // takes the same --shards knob as ropuf_serve. The driver's closed loop
   // (next event waits for the previous answer) keeps the global arrival
@@ -78,6 +79,10 @@ void print_report(const char* label, const soak::SoakReport& report) {
               report.attacker_deferred, report.attacker_abandoned);
   std::printf("  harvested          %zu bits over %zu challenges\n",
               report.bits_recovered, report.challenges_recovered);
+  if (report.replay_probes > 0) {
+    std::printf("  replays rejected   %zu/%zu\n", report.replay_rejected,
+                report.replay_probes);
+  }
   for (const soak::SoakCheckpoint& checkpoint : report.checkpoints) {
     std::printf("  slot %-4zu admitted %-6zu bits %-5zu accuracy %.4f\n",
                 checkpoint.slot, checkpoint.attacker_admitted,
@@ -92,12 +97,35 @@ int run(const Args& args) {
 
   const soak::SoakOptions defended = soak_options_from_args(args);
   std::printf("soak: %zu devices, %zu slots x (%zu probes + %zu legit), "
-              "admission %s\n",
+              "protocol v%u, admission %s\n",
               defended.fleet.devices, defended.slots,
               defended.attacker_probes_per_slot, defended.burst_requests,
+              defended.protocol,
               defended.service.admission.enabled() ? "on" : "off");
 
   const soak::SoakReport report = soak::run_soak(defended);
+
+  if (defended.protocol == net::kWireVersionV2) {
+    // v2's defense is cryptographic, not admission throttling, so there is
+    // no defended/undefended pair to compare: the contract is that the
+    // harvester never leaves the coin flip, every replayed proof dies, and
+    // the legit fleet keeps authenticating.
+    print_report("soak", report);
+    if (require_defense) {
+      ROPUF_REQUIRE(report.final_accuracy <= 0.52,
+                    "v2 clone accuracy above chance + 0.02: the wire is "
+                    "leaking an oracle");
+      ROPUF_REQUIRE(report.replay_probes > 0 &&
+                        report.replay_rejected == report.replay_probes,
+                    "a replayed proof was not rejected");
+      ROPUF_REQUIRE(report.availability >= 0.99,
+                    "legitimate availability under attack fell below 99%");
+      ROPUF_REQUIRE(report.digest_parity,
+                    "online/offline verdict digest mismatch");
+    }
+    return 0;
+  }
+
   print_report(compare ? "defended" : "soak", report);
 
   if (!compare) return 0;
@@ -134,7 +162,7 @@ int usage() {
                "                  [--challenge-sketch N] [--admission-devices N]\n"
                "                  [--slots N] [--burst N] [--probes N]\n"
                "                  [--checkpoints N] [--eval-challenges N]\n"
-               "                  [--soak-seed S] [--compare on|off]\n"
+               "                  [--soak-seed S] [--protocol 1|2] [--compare on|off]\n"
                "                  [--require-defense on|off] [--shards N] [--threads N]\n"
                "                  [--metrics-out F.json] [--trace-out F.json]\n"
                "closed-loop attack soak against the real loopback server;\n"

@@ -9,13 +9,17 @@
 #      (a fresh server over the same fleet must always come up at epoch 1),
 #   3. SIGINT triggers a graceful drain: the server exits 0 on its own.
 #
-# Runs three phases: single-reactor (--shards 1, the PR-5 shape),
+# Runs four phases: single-reactor (--shards 1, the PR-5 shape),
 # multi-reactor (--shards 2, which also exercises the --port-file handshake
 # contract: the port file must not appear until EVERY shard listener is
-# bound), and a reload phase that serves from an on-disk registry, appends
-# a delta segment with ropuf_cli registry-append, sends SIGHUP, and
-# requires the server to report the new epoch while verdicts for the
-# untouched base devices stay byte-identical across the swap.
+# bound), a v1/v2 interop phase (one v2-capable server serving a v1 client
+# and a `--protocol 2` client concurrently — the v1 digest must stay
+# byte-identical and the v2 digest must match offline
+# `auth-batch --protocol 2`), and a reload phase that serves from an
+# on-disk registry, appends a delta segment with ropuf_cli registry-append,
+# sends SIGHUP, and requires the server to report the new epoch while
+# verdicts for the untouched base devices stay byte-identical across the
+# swap.
 #
 # Usage: server_smoke_test.sh <ropuf_serve> <ropuf_cli> <workdir>
 set -euo pipefail
@@ -133,6 +137,49 @@ run_phase() {
 
 run_phase single
 run_phase sharded --shards 2
+
+# -------------------------------------------------------------- interop phase
+# One v2-capable sharded server; a v1 client and a v2 client run
+# CONCURRENTLY against it. The v1 digest must stay byte-identical to the
+# offline v1 digest (the protocol upgrade is invisible to old clients), and
+# the v2 digest must match offline `auth-batch --protocol 2` (proof verdicts
+# are nonce-independent, so online and offline digests compare directly).
+V2WORKLOAD="--requests 256 --threads 2 --protocol 2"
+
+OFFLINE_V2=$("$CLI" auth-batch $FLEET $V2WORKLOAD)
+OFFLINE_V2_DIGEST=$(printf '%s\n' "$OFFLINE_V2" | grep 'verdict digest')
+[ -n "$OFFLINE_V2_DIGEST" ] || { echo "FAIL(interop): v2 auth-batch printed no digest"; exit 1; }
+
+start_server interop $FLEET --shards 2
+"$CLI" auth-client --port "$PORT" $FLEET $WORKLOAD >smoke_interop_v1.txt &
+CLIENT_V1=$!
+"$CLI" auth-client --port "$PORT" $FLEET $V2WORKLOAD >smoke_interop_v2.txt &
+CLIENT_V2=$!
+wait "$CLIENT_V1" || { echo "FAIL(interop): v1 client exited nonzero"; exit 1; }
+wait "$CLIENT_V2" || { echo "FAIL(interop): v2 client exited nonzero"; exit 1; }
+
+if ! grep -q 'protocol v2' smoke_interop_v2.txt; then
+  echo "FAIL(interop): v2 client fell back to v1 against a v2 server"
+  cat smoke_interop_v2.txt
+  exit 1
+fi
+V1_DIGEST=$(grep 'verdict digest' smoke_interop_v1.txt)
+if [ "$V1_DIGEST" != "$OFFLINE_DIGEST" ]; then
+  echo "FAIL(interop): v1 client digest drifted against a v2 server"
+  echo "  online:  $V1_DIGEST"
+  echo "  offline: $OFFLINE_DIGEST"
+  exit 1
+fi
+V2_DIGEST=$(grep 'verdict digest' smoke_interop_v2.txt)
+if [ "$V2_DIGEST" != "$OFFLINE_V2_DIGEST" ]; then
+  echo "FAIL(interop): v2 online/offline digest mismatch"
+  echo "  online:  $V2_DIGEST"
+  echo "  offline: $OFFLINE_V2_DIGEST"
+  exit 1
+fi
+note_epoch interop
+stop_server interop
+echo "PASS(interop): v1 $V1_DIGEST / v2 $V2_DIGEST (concurrent clients, one server)"
 
 # --------------------------------------------------------------- reload phase
 # Serve from an on-disk registry minted with the SAME fleet knobs (so the
