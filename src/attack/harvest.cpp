@@ -66,6 +66,69 @@ void DistanceOracleHarvester::answered(std::size_t distance) {
   }
 }
 
+EvasiveHarvester::EvasiveHarvester(std::uint64_t device_id,
+                                   std::size_t response_bits,
+                                   std::size_t pair_count, std::uint64_t seed,
+                                   EvasiveOptions options)
+    : core_(device_id, response_bits, pair_count, seed),
+      options_(options),
+      device_id_(device_id),
+      response_bits_(response_bits),
+      // A distinct stream from the core's challenge RNG, so wrapping (with
+      // zero decoys) leaves the core's probe sequence untouched.
+      decoy_rng_(seed ^ 0xdec0dec0ull) {}
+
+void EvasiveHarvester::make_decoy() {
+  decoy_.device_id = device_id_;
+  decoy_.challenge = decoy_rng_.next_u64();
+  decoy_.guess = BitVec(response_bits_);
+  // A fair-coin guess has expected weight b/2 — the shape of a genuine
+  // response, which is the whole point of the decoy.
+  for (std::size_t i = 0; i < response_bits_; ++i) {
+    decoy_.guess.set(i, decoy_rng_.flip());
+  }
+}
+
+Probe EvasiveHarvester::next_probe() const {
+  return decoy_turn() ? decoy_ : core_.next_probe();
+}
+
+void EvasiveHarvester::advance() {
+  if (!decoy_turn()) {
+    // Oracle probe resolved: start the decoy run (if any).
+    if (options_.decoys_per_probe > 0) {
+      phase_ = 1;
+      make_decoy();
+    }
+    return;
+  }
+  ++decoys_sent_;
+  if (phase_ >= options_.decoys_per_probe) {
+    phase_ = 0;  // decoy run done, back to the oracle
+  } else {
+    ++phase_;
+    make_decoy();
+  }
+}
+
+void EvasiveHarvester::answered(std::size_t distance) {
+  // A decoy's verdict distance measures a random guess against the real
+  // reference — noise, deliberately not fed to the extraction.
+  if (!decoy_turn()) core_.answered(distance);
+  advance();
+}
+
+void EvasiveHarvester::deferred() {
+  if (!decoy_turn()) core_.deferred();
+  // The pending probe (either kind) is untouched: a retry re-issues it
+  // byte-identically, exactly like the core harvester's contract.
+}
+
+void EvasiveHarvester::abandoned() {
+  if (!decoy_turn()) core_.abandoned();
+  advance();
+}
+
 Dataset DistanceOracleHarvester::training_set() const {
   Dataset data;
   data.features.reserve(harvested_.size());

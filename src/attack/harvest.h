@@ -121,6 +121,70 @@ class DistanceOracleHarvester {
   std::vector<HarvestedBit> harvested_;
 };
 
+/// Knobs of the evasive low-and-slow variant below.
+struct EvasiveOptions {
+  /// Plausible-looking decoy queries sent between consecutive oracle
+  /// probes. 0 makes the wrapper a pure pass-through: its probe stream is
+  /// byte-identical to the plain harvester's (and its decoy RNG is never
+  /// drawn), so the two are interchangeable in every existing pinned soak.
+  std::size_t decoys_per_probe = 3;
+};
+
+/// Low-and-slow evasion wrapper around DistanceOracleHarvester: between
+/// oracle probes it interleaves decoy queries shaped like legitimate
+/// traffic — a fresh random challenge with a ~b/2-weight random guess — to
+/// dilute the attack's stream signature. Any detector keyed to
+/// *consecutive* repeat or single-bit runs is blinded by this; the
+/// window-count signatures in service/detector.h are the counter-move (the
+/// oracle probes still accumulate inside a window that out-spans the decoy
+/// spacing), which is exactly what this class exists to test. The trade it
+/// cannot escape: every decoy burns admission clock and budget, so evasion
+/// slows the harvest even when it beats detection.
+///
+/// Same closed-loop interface as the core harvester; a pending probe (decoy
+/// or oracle) is stable across deferred(), so retries re-issue it
+/// byte-identically.
+class EvasiveHarvester {
+ public:
+  EvasiveHarvester(std::uint64_t device_id, std::size_t response_bits,
+                   std::size_t pair_count, std::uint64_t seed,
+                   EvasiveOptions options);
+
+  /// The probe to send next: the core's oracle probe on an oracle turn, the
+  /// pending decoy otherwise.
+  Probe next_probe() const;
+
+  /// The probe came back with a real verdict. Oracle turns feed the core's
+  /// extraction; a decoy's distance is meaningless and is dropped.
+  void answered(std::size_t distance);
+  /// Retryable denial: the pending probe (either kind) does not advance.
+  void deferred();
+  /// Terminal denial: an oracle turn abandons the core's challenge, a decoy
+  /// turn just drops the decoy.
+  void abandoned();
+
+  /// The wrapped extraction state (harvested bits, training set, stats).
+  const DistanceOracleHarvester& core() const { return core_; }
+  /// Decoy queries resolved (answered or terminally denied) so far.
+  std::size_t decoys_sent() const { return decoys_sent_; }
+
+ private:
+  bool decoy_turn() const { return phase_ > 0; }
+  void make_decoy();
+  /// Terminal resolution of the pending probe: rotate oracle -> decoys -> oracle.
+  void advance();
+
+  DistanceOracleHarvester core_;
+  EvasiveOptions options_;
+  std::uint64_t device_id_;
+  std::size_t response_bits_;
+  Rng decoy_rng_;
+  /// 0 = oracle turn; 1..decoys_per_probe = decoy turns.
+  std::size_t phase_ = 0;
+  Probe decoy_;
+  std::size_t decoys_sent_ = 0;
+};
+
 /// One-hot feature vector for an enrolled pair index (dimension pair_count).
 std::vector<double> pair_features(std::size_t pair, std::size_t pair_count);
 

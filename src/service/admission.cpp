@@ -1,6 +1,7 @@
 #include "service/admission.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.h"
 
@@ -9,12 +10,41 @@ namespace {
 
 /// Per-device deny-count buckets: powers of two up to "clearly abusive".
 const std::vector<double>& deny_bounds() {
-  static const std::vector<double> bounds = {1,  2,   4,   8,    16,  32,
-                                             64, 128, 256, 1024, 4096};
+  static const std::vector<double> bounds = {1,   2,   4,   8,    16,   32,
+                                             64,  128, 256, 512,  1024, 4096};
   return bounds;
 }
 
 }  // namespace
+
+std::uint64_t saturating_mul_u64(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > std::numeric_limits<std::uint64_t>::max() / b) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return a * b;
+}
+
+RefillResult refill_tokens(std::uint64_t tokens, std::uint64_t last_refill_tick,
+                           std::uint64_t now_tick, std::uint64_t burst,
+                           std::uint64_t interval) {
+  if (interval == 0) return RefillResult{tokens, last_refill_tick};
+  const std::uint64_t elapsed = now_tick - last_refill_tick;
+  const std::uint64_t earned = elapsed / interval;
+  if (earned == 0) return RefillResult{tokens, last_refill_tick};
+  // `tokens + earned >= burst` rearranged so it cannot wrap: earned can be
+  // close to 2^64 when a device re-appears after an enormous tick gap (the
+  // naive sum wraps and the bucket refills to almost nothing).
+  if (earned >= burst || tokens >= burst - earned) {
+    // A full bucket restarts the refill clock: unspent surplus must not
+    // bank up beyond the burst.
+    return RefillResult{burst, now_tick};
+  }
+  // Partial refill: tokens + earned < burst, so the sum fits; and
+  // earned * interval <= elapsed by integer division, so the tick advance
+  // stays behind now_tick and cannot wrap either.
+  return RefillResult{tokens + earned, last_refill_tick + earned * interval};
+}
 
 AdmissionController::AdmissionController(AdmissionOptions options)
     : options_(options) {
@@ -34,20 +64,11 @@ AdmissionController::AdmissionController(AdmissionOptions options)
       &registry.histogram("service.admission_denies_per_device", deny_bounds());
 }
 
-void AdmissionController::refill(DeviceState& state) const {
-  if (options_.rate_interval == 0) return;
-  const std::uint64_t elapsed = tick_ - state.last_refill_tick;
-  const std::uint64_t earned = elapsed / options_.rate_interval;
-  if (earned == 0) return;
-  if (state.tokens + earned >= options_.rate_burst) {
-    state.tokens = options_.rate_burst;
-    // A full bucket restarts the refill clock: unspent surplus must not
-    // bank up beyond the burst.
-    state.last_refill_tick = tick_;
-  } else {
-    state.tokens += earned;
-    state.last_refill_tick += earned * options_.rate_interval;
-  }
+void AdmissionController::refill(DeviceState& state, std::uint64_t interval) const {
+  const RefillResult refilled = refill_tokens(
+      state.tokens, state.last_refill_tick, tick_, options_.rate_burst, interval);
+  state.tokens = refilled.tokens;
+  state.last_refill_tick = refilled.last_refill_tick;
 }
 
 bool AdmissionController::sketch_contains(const DeviceState& state,
@@ -68,9 +89,14 @@ void AdmissionController::sketch_insert(DeviceState& state, std::uint64_t challe
   state.sketch_next = (state.sketch_next + 1) % state.sketch.size();
 }
 
-void AdmissionController::record_denies(const DeviceState& state) {
-  if (state.denied > 0) {
-    denies_per_device_->record(static_cast<double>(state.denied));
+void AdmissionController::record_denies(DeviceState& state) {
+  // Delta since the previous flush only: a run that flushes at checkpoints,
+  // flushes again at shutdown, and then evicts the state must count each
+  // deny exactly once across all three.
+  const std::uint64_t delta = state.denied - state.denied_flushed;
+  if (delta > 0) {
+    denies_per_device_->record(static_cast<double>(delta));
+    state.denied_flushed = state.denied;
   }
 }
 
@@ -97,7 +123,8 @@ AdmissionController::DeviceState& AdmissionController::state_for(
   return lru_.front();
 }
 
-Admission AdmissionController::admit(std::uint64_t device_id, std::uint64_t challenge) {
+Admission AdmissionController::admit(std::uint64_t device_id, std::uint64_t challenge,
+                                     const AdmissionPenalty& penalty) {
   if (!options_.enabled()) {
     admitted_->add(1);
     return Admission::kAdmit;
@@ -109,7 +136,9 @@ Admission AdmissionController::admit(std::uint64_t device_id, std::uint64_t chal
   // Rate first: an empty bucket denies before any budget state is touched,
   // so a flood cannot burn the device's budgets or churn its sketch.
   if (options_.rate_interval > 0) {
-    refill(state);
+    // The penalty stretches this device's refill interval (saturating: a
+    // deep ladder level freezes refills rather than wrapping to fast ones).
+    refill(state, saturating_mul_u64(options_.rate_interval, penalty.interval_factor));
     if (state.tokens == 0) {
       ++state.denied;
       rate_limited_->add(1);
@@ -119,7 +148,12 @@ Admission AdmissionController::admit(std::uint64_t device_id, std::uint64_t chal
 
   const bool repeat = sketch_contains(state, challenge);
   if (repeat) {
-    if (options_.reuse_budget > 0 && state.reuse_used >= options_.reuse_budget) {
+    // The penalty halves the configured reuse budget per ladder level. A
+    // budget shrunk to zero denies every repeat; only the *static* knob at
+    // zero means the check is off.
+    const std::uint64_t effective_reuse =
+        penalty.reuse_shift >= 64 ? 0 : options_.reuse_budget >> penalty.reuse_shift;
+    if (options_.reuse_budget > 0 && state.reuse_used >= effective_reuse) {
       ++state.denied;
       budget_exhausted_->add(1);
       return Admission::kBudgetExhausted;
@@ -142,7 +176,7 @@ Admission AdmissionController::admit(std::uint64_t device_id, std::uint64_t chal
 
 void AdmissionController::flush_metrics() {
   const std::lock_guard<std::mutex> lock(mutex_);
-  for (const DeviceState& state : lru_) record_denies(state);
+  for (DeviceState& state : lru_) record_denies(state);
 }
 
 std::size_t AdmissionController::tracked_devices() const {

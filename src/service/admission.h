@@ -77,6 +77,41 @@ enum class Admission {
   kBudgetExhausted,  ///< distinct-challenge or reuse budget spent
 };
 
+/// A per-device penalty the stream detector (service/detector.h) escalates
+/// onto suspicious devices. Neutral (the default) reproduces the static
+/// admission decision exactly; a penalized device refills `interval_factor`
+/// times slower and keeps only `reuse_budget >> reuse_shift` of its repeat
+/// budget. Both act per decision, so a decayed penalty restores the static
+/// knobs without touching stored state.
+struct AdmissionPenalty {
+  /// Multiplies the effective rate_interval (saturating — an absurd ladder
+  /// level must freeze refills, not wrap into a fast one).
+  std::uint64_t interval_factor = 1;
+  /// Right-shift applied to reuse_budget. Shrinking a *configured* budget
+  /// to zero denies every repeat (it does not disable the check: 0 means
+  /// "off" only for the static knob, never for a penalty).
+  std::uint32_t reuse_shift = 0;
+
+  bool neutral() const { return interval_factor <= 1 && reuse_shift == 0; }
+};
+
+/// a*b clamped to the uint64 range instead of wrapping.
+std::uint64_t saturating_mul_u64(std::uint64_t a, std::uint64_t b);
+
+/// The token-bucket refill arithmetic, exposed as a pure function so the
+/// overflow edges are unit-testable at near-max clock values (driving the
+/// controller's logical clock there would take 2^64 admit() calls).
+/// Guards two uint64 overflows a naive implementation hits when a device
+/// re-appears after an enormous tick gap: `tokens + earned` (earned can be
+/// ~2^64 at interval 1) and the `earned * interval` tick advance.
+struct RefillResult {
+  std::uint64_t tokens = 0;
+  std::uint64_t last_refill_tick = 0;
+};
+RefillResult refill_tokens(std::uint64_t tokens, std::uint64_t last_refill_tick,
+                           std::uint64_t now_tick, std::uint64_t burst,
+                           std::uint64_t interval);
+
 /// Deterministic per-device admission state machine. admit() must be called
 /// in request arrival order (the service's serial pre-pass does); calls are
 /// mutex-serialized so concurrent batches stay safe, but determinism is a
@@ -86,11 +121,21 @@ class AdmissionController {
   explicit AdmissionController(AdmissionOptions options);
 
   /// Decides one request and advances the admission clock by one tick.
-  Admission admit(std::uint64_t device_id, std::uint64_t challenge);
+  Admission admit(std::uint64_t device_id, std::uint64_t challenge) {
+    return admit(device_id, challenge, AdmissionPenalty{});
+  }
 
-  /// Records the per-device deny-count histogram for every still-tracked
-  /// device (evicted devices record at eviction time). Call once after a
-  /// run; the counters are live continuously.
+  /// Penalty-aware form: the detector's escalation ladder tightens this
+  /// one device's effective knobs for this one decision. A neutral penalty
+  /// is byte-identical to the two-argument overload.
+  Admission admit(std::uint64_t device_id, std::uint64_t challenge,
+                  const AdmissionPenalty& penalty);
+
+  /// Records the per-device deny-count histogram *delta* accumulated since
+  /// the previous flush for every still-tracked device (evicted devices
+  /// record their pending delta at eviction time). Safe to call repeatedly
+  /// — checkpoint flushes, a shutdown flush and a later eviction together
+  /// record each deny exactly once. The counters are live continuously.
   void flush_metrics();
 
   /// Devices currently tracked (bounded by device_capacity).
@@ -108,6 +153,9 @@ class AdmissionController {
     std::uint64_t distinct_used = 0;
     std::uint64_t reuse_used = 0;
     std::uint64_t denied = 0;
+    /// Denies already recorded into the histogram; record_denies() emits
+    /// only `denied - denied_flushed`, so repeated flushes never re-count.
+    std::uint64_t denied_flushed = 0;
     /// Ring of recently seen challenges; eviction re-classifies an old
     /// challenge as fresh, which *charges the attacker again* — safe-side.
     std::vector<std::uint64_t> sketch;
@@ -115,10 +163,10 @@ class AdmissionController {
   };
 
   DeviceState& state_for(std::uint64_t device_id);
-  void refill(DeviceState& state) const;
+  void refill(DeviceState& state, std::uint64_t interval) const;
   bool sketch_contains(const DeviceState& state, std::uint64_t challenge) const;
   void sketch_insert(DeviceState& state, std::uint64_t challenge);
-  void record_denies(const DeviceState& state);
+  void record_denies(DeviceState& state);
 
   AdmissionOptions options_;
   mutable std::mutex mutex_;

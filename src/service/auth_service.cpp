@@ -177,6 +177,24 @@ AuthService::AuthService(const registry::EpochRegistry* epochs,
     }
     admission_.push_back(std::make_unique<AdmissionController>(slice));
   }
+  // Detector slices mirror admission slices one-to-one (same hash routing,
+  // same capacity split), so a device's suspicion and admission state always
+  // share a slice. Disabled detectors are inert but keep the accessors safe.
+  ROPUF_REQUIRE(!options_.detector.enabled ||
+                    options_.detector.device_capacity >= options_.admission_shards,
+                "detector device_capacity must cover every admission shard");
+  detectors_.reserve(options_.admission_shards);
+  const std::size_t det_base =
+      options_.detector.device_capacity / options_.admission_shards;
+  const std::size_t det_rem =
+      options_.detector.device_capacity % options_.admission_shards;
+  for (std::size_t s = 0; s < options_.admission_shards; ++s) {
+    DetectorOptions slice = options_.detector;
+    if (options_.admission_shards > 1) {
+      slice.device_capacity = det_base + (s < det_rem ? 1 : 0);
+    }
+    detectors_.push_back(std::make_unique<StreamDetector>(slice));
+  }
   ROPUF_REQUIRE(!options_.reenroll.enabled() ||
                     (options_.reenroll.device_capacity > 0 &&
                      options_.reenroll.queue_capacity > 0),
@@ -194,6 +212,10 @@ std::size_t AuthService::admission_slice_index(std::uint64_t device_id) const {
 
 void AuthService::flush_admission_metrics() const {
   for (const auto& slice : admission_) slice->flush_metrics();
+}
+
+std::uint32_t AuthService::suspicion_level(std::uint64_t device_id) const {
+  return detectors_[admission_slice_index(device_id)]->level(device_id);
 }
 
 AuthVerdict AuthService::verify(const AuthRequest& request) const {
@@ -324,11 +346,19 @@ std::vector<AuthVerdict> AuthService::verify_batch(
     // admitted remainder runs on the pool. The admitted verdicts are then
     // exactly what an admission-free verify_batch would produce for the same
     // subsequence — the digest-parity property the soak harness pins.
+    const bool detect = options_.detector.enabled;
     std::vector<Admission> decisions(requests.size());
     for (std::size_t i = 0; i < requests.size(); ++i) {
-      AdmissionController& slice =
-          *admission_[admission_slice_index(requests[i].device_id)];
-      decisions[i] = slice.admit(requests[i].device_id, requests[i].challenge);
+      const std::size_t slice = admission_slice_index(requests[i].device_id);
+      // The detector's escalation ladder tightens a suspicious device's
+      // effective knobs at decision time; a neutral penalty reproduces the
+      // static admission decision bit-for-bit.
+      const AdmissionPenalty penalty =
+          detect ? detectors_[slice]->penalty(requests[i].device_id)
+                 : AdmissionPenalty{};
+      decisions[i] =
+          admission_[slice]->admit(requests[i].device_id, requests[i].challenge,
+                                   penalty);
     }
     verdicts = parallel_transform<AuthVerdict>(
         requests.size(), options_.threads,
@@ -346,9 +376,24 @@ std::vector<AuthVerdict> AuthService::verify_batch(
         },
         options_.batch_grain);
   }
-  // Re-enrollment tracking is a serial post-pass like admission is a serial
-  // pre-pass: arrival-order state, deterministic at any thread budget, and
-  // never a verdict change.
+  // Detector feedback is a serial post-pass like admission is a serial
+  // pre-pass: the batch's observations stream in arrival order, so the
+  // suspicion state (and with it the next batch's penalties) is
+  // deterministic at any thread budget — and never a verdict change.
+  if (options_.detector.enabled) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      StreamObservation observation;
+      observation.challenge = requests[i].challenge;
+      observation.guess_weight = requests[i].response.popcount();
+      observation.answered = verdicts[i].status == AuthStatus::kAccept ||
+                             verdicts[i].status == AuthStatus::kReject;
+      observation.accepted = verdicts[i].status == AuthStatus::kAccept;
+      observation.distance = verdicts[i].distance;
+      detectors_[admission_slice_index(requests[i].device_id)]->observe(
+          requests[i].device_id, observation);
+    }
+  }
+  // Re-enrollment tracking post-pass, same contract.
   if (options_.reenroll.enabled()) track_reenrollment(requests, verdicts);
   return verdicts;
 }

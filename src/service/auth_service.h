@@ -61,6 +61,7 @@
 #include "registry/epoch.h"
 #include "registry/registry.h"
 #include "service/admission.h"
+#include "service/detector.h"
 #include "silicon/faults.h"
 
 namespace ropuf::service {
@@ -162,6 +163,11 @@ struct AuthServiceOptions {
   /// server sets this to its shard count so concurrent shards rarely
   /// contend on one admission mutex.
   std::size_t admission_shards = 1;
+  /// Online model-building detection (off by default; see detector.h).
+  /// Slices alongside admission: one StreamDetector per admission slice,
+  /// routed by the same device-id hash, so a device's suspicion state and
+  /// its admission state always live together.
+  DetectorOptions detector;
   /// Re-enrollment queueing (off by default; see ReenrollOptions).
   ReenrollOptions reenroll;
   ThreadBudget threads;
@@ -294,9 +300,13 @@ class AuthService {
   /// enabled, a serial pre-pass first decides every request in arrival
   /// order; denied requests answer kRateLimited/kBudgetExhausted and the
   /// admitted remainder is verified in parallel — so the admitted verdicts
-  /// match an admission-free batch over the same subsequence. Either way
-  /// the output order matches the input order and is bit-identical at any
-  /// thread budget.
+  /// match an admission-free batch over the same subsequence. With the
+  /// detector enabled too, the pre-pass reads each device's current
+  /// escalation penalty before deciding, and a serial post-pass feeds the
+  /// batch's observations back to the detector — suspicion changes *which*
+  /// requests admit, never what an admitted request's verdict is. Either
+  /// way the output order matches the input order and is bit-identical at
+  /// any thread budget.
   std::vector<AuthVerdict> verify_batch(const std::vector<AuthRequest>& requests) const;
 
   /// Verifies one protocol-v2 proof: recomputes HMAC(key, nonce || rid ||
@@ -333,6 +343,14 @@ class AuthService {
   /// Flushes every slice's per-device deny histogram (slice order).
   void flush_admission_metrics() const;
 
+  /// The stream detector owning a device's suspicion state (same slice
+  /// routing as admission). Inert when options().detector.enabled is false.
+  StreamDetector& detector_slice(std::size_t slice) const {
+    return *detectors_[slice];
+  }
+  /// The device's current escalation-ladder level (0 = unsuspected).
+  std::uint32_t suspicion_level(std::uint64_t device_id) const;
+
   /// Drains the re-enrollment queue (arrival order, deduplicated). A
   /// drained device re-queues only after fail_threshold *new* consecutive
   /// rejects. Empty when the loop is disabled.
@@ -368,6 +386,11 @@ class AuthService {
   mutable EnrollmentCache unknown_cache_;
   /// One controller per admission slice, device-id-hash routed.
   mutable std::vector<std::unique_ptr<AdmissionController>> admission_;
+  /// One stream detector per admission slice (detector.h): the admission
+  /// pre-pass reads penalties from it, a serial post-pass feeds it the
+  /// batch's (challenge, guess-weight, verdict-distance) observations in
+  /// arrival order. Like re-enrollment tracking it never alters a verdict.
+  mutable std::vector<std::unique_ptr<StreamDetector>> detectors_;
 
   /// Re-enrollment streak tracker + queue (serial post-pass state; the
   /// mutex covers concurrent verify_batch callers, e.g. server shards).

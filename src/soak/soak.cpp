@@ -35,7 +35,7 @@ struct Prover {
 double checkpoint_accuracy(const attack::DistanceOracleHarvester& harvester,
                            const puf::ConfigurableEnrollment& enrollment,
                            const SoakOptions& options) {
-  if (harvester.harvested().empty()) return 0.5;
+  if (harvester.harvested().empty()) return 0.5;  // nothing to train on yet
   attack::LogisticModel model;
   Rng fit_rng(options.seed ^ 0xf17c10ull);
   model.fit(harvester.training_set(), options.fit, fit_rng);
@@ -79,9 +79,14 @@ SoakReport run_soak(const SoakOptions& options) {
     // targeting the first minted device.
     const registry::MintedDevice& target = minted.front();
     report.target_device = target.device_id;
-    attack::DistanceOracleHarvester harvester(target.device_id, bits,
-                                              options.fleet.pairs,
-                                              options.seed ^ 0xa77ac4ull);
+    // Always the evasive wrapper: at the default attacker_decoys = 0 it is
+    // a pure pass-through (byte-identical probe stream to the plain
+    // harvester), and > 0 turns on low-and-slow decoy interleaving.
+    attack::EvasiveOptions evasion;
+    evasion.decoys_per_probe = options.attacker_decoys;
+    attack::EvasiveHarvester harvester(target.device_id, bits,
+                                       options.fleet.pairs,
+                                       options.seed ^ 0xa77ac4ull, evasion);
     net::ClientOptions attacker_options;
     attacker_options.port = port;
     net::AuthClient attacker(attacker_options);
@@ -294,10 +299,10 @@ SoakReport run_soak(const SoakOptions& options) {
           report.checkpoints.size() < checkpoint_count) {
         SoakCheckpoint checkpoint;
         checkpoint.slot = slot;
-        checkpoint.attacker_admitted = harvester.admitted();
-        checkpoint.bits_recovered = harvester.harvested().size();
+        checkpoint.attacker_admitted = harvester.core().admitted();
+        checkpoint.bits_recovered = harvester.core().harvested().size();
         checkpoint.clone_accuracy =
-            checkpoint_accuracy(harvester, target.enrollment, options);
+            checkpoint_accuracy(harvester.core(), target.enrollment, options);
         report.checkpoints.push_back(checkpoint);
       }
     }
@@ -310,13 +315,23 @@ SoakReport run_soak(const SoakOptions& options) {
             ? 0.0
             : static_cast<double>(report.legit_answered) /
                   static_cast<double>(report.legit_requests);
-    report.attacker_admitted = harvester.admitted();
-    report.attacker_deferred = harvester.deferrals();
-    report.attacker_abandoned = harvester.abandoned_challenges();
-    report.bits_recovered = harvester.harvested().size();
-    report.challenges_recovered = harvester.challenges_recovered();
+    report.attacker_admitted = harvester.core().admitted();
+    report.attacker_deferred = harvester.core().deferrals();
+    report.attacker_abandoned = harvester.core().abandoned_challenges();
+    report.bits_recovered = harvester.core().harvested().size();
+    report.challenges_recovered = harvester.core().challenges_recovered();
+    report.attacker_decoys = harvester.decoys_sent();
     report.final_accuracy =
-        checkpoint_accuracy(harvester, target.enrollment, options);
+        checkpoint_accuracy(harvester.core(), target.enrollment, options);
+
+    // Detector outcome: where the ladder left the attacked device, and the
+    // worst level any legitimate prover was ever escalated to (all zeros
+    // with the detector off).
+    report.target_suspicion = svc.suspicion_level(target.device_id);
+    for (const Prover& prover : provers) {
+      report.max_legit_suspicion = std::max(
+          report.max_legit_suspicion, svc.suspicion_level(prover.device_id));
+    }
 
     // -- digest parity: an offline, admission-free verifier over exactly
     // the admitted legit requests (v2: the online proof transcript) must

@@ -62,6 +62,13 @@ struct SoakOptions {
   std::size_t burst_requests = 8;
   /// Attacker probes per slot (sent one at a time, closed loop).
   std::size_t attacker_probes_per_slot = 8;
+  /// Decoy queries the attacker interleaves between oracle probes
+  /// (attack::EvasiveHarvester). 0 (the default) is the plain harvester —
+  /// byte-identical probe stream, so every pre-existing pinned report is
+  /// unchanged. > 0 models the low-and-slow evader the stream detector
+  /// (service/detector.h) must still catch. Decoys count against
+  /// attacker_probes_per_slot: evasion spends the attacker's own budget.
+  std::size_t attacker_decoys = 0;
   /// Per-bit readout noise on legitimate prover measurements.
   double readout_noise_ps = 0.5;
   /// Accuracy checkpoints recorded across the run (<= slots).
@@ -106,8 +113,16 @@ struct SoakReport {
   std::size_t attacker_abandoned = 0;   ///< challenges dropped on budget denial
   std::size_t bits_recovered = 0;
   std::size_t challenges_recovered = 0;
+  std::size_t attacker_decoys = 0;  ///< decoy queries resolved (evasive mode)
   double final_accuracy = 0.5;
   std::vector<SoakCheckpoint> checkpoints;
+
+  // Stream-detector outcome (zeros when the detector is off): the
+  // escalation-ladder level the attacked device ended the run at, and the
+  // worst level any legitimate prover ever reached (the false-positive
+  // check — the soak contract requires it to stay 0).
+  std::uint32_t target_suspicion = 0;
+  std::uint32_t max_legit_suspicion = 0;
 
   // Protocol v2 only: replayed captured proofs and how many the server
   // rejected (all of them, when the session freshness defense holds).

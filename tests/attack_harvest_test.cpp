@@ -109,6 +109,26 @@ TEST(DistanceOracleHarvester, AbandonedChallengeMovesOnButKeepsItsBits) {
   EXPECT_EQ(fresh.guess.popcount(), 0u);
 }
 
+TEST(DistanceOracleHarvester, AbandonedBaselineDropsChallengeWithoutPartialBits) {
+  // A terminal denial on the very first probe of a challenge (the all-zeros
+  // baseline, probe_index 0) must drop the whole challenge cleanly: no
+  // partial facts appended, stats advanced, and the next probe starts a
+  // *fresh* challenge at its own baseline.
+  DistanceOracleHarvester harvester(7, kBits, kPairs, 0x5eed);
+  const Probe baseline = harvester.next_probe();
+  ASSERT_EQ(baseline.guess.popcount(), 0u);
+
+  harvester.abandoned();
+  EXPECT_EQ(harvester.abandoned_challenges(), 1u);
+  EXPECT_EQ(harvester.harvested().size(), 0u);
+  EXPECT_EQ(harvester.admitted(), 0u);
+  EXPECT_EQ(harvester.challenges_recovered(), 0u);
+
+  const Probe fresh = harvester.next_probe();
+  EXPECT_NE(fresh.challenge, baseline.challenge);
+  EXPECT_EQ(fresh.guess.popcount(), 0u);
+}
+
 TEST(DistanceOracleHarvester, InconsistentDistancesThrow) {
   const auto enrollment = target_enrollment();
   const puf::CrpOracle oracle(&enrollment, kBits);
@@ -124,6 +144,90 @@ TEST(DistanceOracleHarvester, InconsistentDistancesThrow) {
 TEST(DistanceOracleHarvester, ConstructorValidatesShape) {
   EXPECT_THROW(DistanceOracleHarvester(7, 0, kPairs, 1), Error);
   EXPECT_THROW(DistanceOracleHarvester(7, kPairs + 1, kPairs, 1), Error);
+}
+
+// --------------------------------------------- evasive wrapper
+
+TEST(EvasiveHarvester, ZeroDecoysIsAByteIdenticalPassThrough) {
+  // decoys_per_probe = 0 must reproduce the plain harvester's probe stream
+  // exactly (the decoy RNG is never drawn), so the soak harness can swap
+  // the wrapper in without perturbing any pinned digest.
+  const auto enrollment = target_enrollment();
+  const puf::CrpOracle oracle(&enrollment, kBits);
+  DistanceOracleHarvester plain(7, kBits, kPairs, 0x5eed);
+  EvasiveHarvester evasive(7, kBits, kPairs, 0x5eed, EvasiveOptions{0});
+
+  for (std::size_t i = 0; i < 3 * (kBits + 1); ++i) {
+    const Probe expected = plain.next_probe();
+    const Probe actual = evasive.next_probe();
+    ASSERT_EQ(expected.challenge, actual.challenge) << "probe " << i;
+    ASSERT_EQ(expected.guess, actual.guess) << "probe " << i;
+    const std::size_t distance = oracle_distance(oracle, expected);
+    plain.answered(distance);
+    evasive.answered(distance);
+  }
+  EXPECT_EQ(evasive.decoys_sent(), 0u);
+  EXPECT_EQ(evasive.core().harvested().size(), plain.harvested().size());
+}
+
+TEST(EvasiveHarvester, InterleavesLegitShapedDecoysBetweenOracleProbes) {
+  const auto enrollment = target_enrollment();
+  const puf::CrpOracle oracle(&enrollment, kBits);
+  EvasiveHarvester evasive(7, kBits, kPairs, 0x5eed, EvasiveOptions{2});
+
+  const Probe baseline = evasive.next_probe();
+  ASSERT_EQ(baseline.guess.popcount(), 0u);  // oracle turn first
+  evasive.answered(oracle_distance(oracle, baseline));
+
+  // Two decoys follow: fresh challenges (not the oracle's), with fair-coin
+  // guesses — never the popcount<=1 single-bit shape the detector keys on.
+  for (std::size_t d = 0; d < 2; ++d) {
+    const Probe decoy = evasive.next_probe();
+    EXPECT_NE(decoy.challenge, baseline.challenge) << "decoy " << d;
+    EXPECT_GT(decoy.guess.popcount(), 1u) << "decoy " << d;
+    evasive.answered(oracle_distance(oracle, decoy));
+  }
+  EXPECT_EQ(evasive.decoys_sent(), 2u);
+
+  // Back to the oracle: the first single-bit probe of the same challenge.
+  const Probe probe = evasive.next_probe();
+  EXPECT_EQ(probe.challenge, baseline.challenge);
+  EXPECT_EQ(probe.guess.popcount(), 1u);
+  // Decoy verdicts were dropped, not fed to the extraction.
+  EXPECT_EQ(evasive.core().admitted(), 1u);
+}
+
+TEST(EvasiveHarvester, DeferredDecoyIsReissuedByteIdentically) {
+  const auto enrollment = target_enrollment();
+  const puf::CrpOracle oracle(&enrollment, kBits);
+  EvasiveHarvester evasive(7, kBits, kPairs, 0x5eed, EvasiveOptions{1});
+  evasive.answered(oracle_distance(oracle, evasive.next_probe()));  // baseline
+
+  const Probe decoy = evasive.next_probe();
+  evasive.deferred();
+  evasive.deferred();
+  const Probe retried = evasive.next_probe();
+  EXPECT_EQ(decoy.challenge, retried.challenge);
+  EXPECT_EQ(decoy.guess, retried.guess);
+  // Decoy denials are the wrapper's own problem, not the core's stats.
+  EXPECT_EQ(evasive.core().deferrals(), 0u);
+}
+
+TEST(EvasiveHarvester, AbandonedDecoyDropsOnlyTheDecoy) {
+  const auto enrollment = target_enrollment();
+  const puf::CrpOracle oracle(&enrollment, kBits);
+  EvasiveHarvester evasive(7, kBits, kPairs, 0x5eed, EvasiveOptions{1});
+  const Probe baseline = evasive.next_probe();
+  evasive.answered(oracle_distance(oracle, baseline));
+
+  evasive.abandoned();  // terminal denial of the decoy, not the challenge
+  EXPECT_EQ(evasive.core().abandoned_challenges(), 0u);
+  EXPECT_EQ(evasive.decoys_sent(), 1u);
+
+  // The oracle's challenge survives: next turn resumes its probe sequence.
+  const Probe probe = evasive.next_probe();
+  EXPECT_EQ(probe.challenge, baseline.challenge);
+  EXPECT_EQ(probe.guess.popcount(), 1u);
 }
 
 TEST(Harvest, PairFeaturesAreOneHot) {

@@ -1,8 +1,11 @@
 // Tests for the per-device admission controller: option validation, the
 // logical-clock token bucket (including the fair-share property that other
-// devices' traffic refills a throttled device), the distinct/reuse budget
-// split with its bounded challenge sketch, LRU capacity eviction, replay
-// determinism, and the AuthService integration contract — admission is a
+// devices' traffic refills a throttled device), the refill arithmetic's
+// uint64 overflow edges at near-max clock values, the distinct/reuse budget
+// split with its bounded challenge sketch, the deny-histogram delta
+// flushing, the detector's AdmissionPenalty semantics, LRU capacity
+// eviction, replay determinism, and the AuthService integration contract —
+// admission is a
 // serial pre-pass whose admitted subsequence verifies bit-identically to an
 // admission-free batch at any thread budget.
 #include "service/admission.h"
@@ -10,10 +13,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
 #include "puf/crp.h"
 #include "registry/format.h"
 #include "registry/registry.h"
@@ -192,6 +197,211 @@ TEST(AdmissionController, SameArrivalOrderReplaysTheSameDecisions) {
   }
   EXPECT_EQ(a.ticks(), b.ticks());
   EXPECT_EQ(a.tracked_devices(), b.tracked_devices());
+}
+
+// --------------------------------------------- refill arithmetic edges
+
+TEST(RefillTokens, SaturatingMulClampsInsteadOfWrapping) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(saturating_mul_u64(0, max), 0u);
+  EXPECT_EQ(saturating_mul_u64(max, 0), 0u);
+  EXPECT_EQ(saturating_mul_u64(3, 5), 15u);
+  EXPECT_EQ(saturating_mul_u64(max, 2), max);
+  EXPECT_EQ(saturating_mul_u64(1ull << 32, 1ull << 32), max);
+  EXPECT_EQ(saturating_mul_u64(max, max), max);
+}
+
+TEST(RefillTokens, HugeTickGapRefillsToBurstInsteadOfWrapping) {
+  // A device re-appearing after a near-2^64 tick gap earns ~2^64 tokens; a
+  // naive `tokens + earned` wraps and refills the bucket to almost nothing.
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  const RefillResult result = refill_tokens(/*tokens=*/5, /*last=*/0,
+                                            /*now=*/max, /*burst=*/10,
+                                            /*interval=*/1);
+  EXPECT_EQ(result.tokens, 10u);
+  EXPECT_EQ(result.last_refill_tick, max);
+}
+
+TEST(RefillTokens, NearMaxTokensPlusEarnedCannotWrapBelowBurst) {
+  // tokens + earned overflows uint64 here (naively wrapping to 3 < burst,
+  // i.e. a *partial* refill of 3 tokens); the rearranged comparison must
+  // still classify it as a full bucket.
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  const RefillResult result = refill_tokens(/*tokens=*/max - 1, /*last=*/0,
+                                            /*now=*/5, /*burst=*/max,
+                                            /*interval=*/1);
+  EXPECT_EQ(result.tokens, max);
+  EXPECT_EQ(result.last_refill_tick, 5u);
+}
+
+TEST(RefillTokens, PartialRefillAdvancesTheClockByWholeIntervalsOnly) {
+  // Near-max now_tick with a huge interval: one earned token, and the
+  // refill clock advances by exactly earned * interval (which can never
+  // exceed the elapsed ticks, so it cannot wrap either).
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  const RefillResult result = refill_tokens(/*tokens=*/0, /*last=*/0,
+                                            /*now=*/max, /*burst=*/max,
+                                            /*interval=*/1ull << 63);
+  EXPECT_EQ(result.tokens, 1u);
+  EXPECT_EQ(result.last_refill_tick, 1ull << 63);
+}
+
+TEST(RefillTokens, NoElapsedIntervalLeavesStateUntouched) {
+  const RefillResult idle = refill_tokens(3, 100, 101, 8, 4);
+  EXPECT_EQ(idle.tokens, 3u);
+  EXPECT_EQ(idle.last_refill_tick, 100u);
+  // interval 0 = rate limiting off: nothing to earn, nothing to advance.
+  const RefillResult off = refill_tokens(3, 0, 1ull << 40, 8, 0);
+  EXPECT_EQ(off.tokens, 3u);
+  EXPECT_EQ(off.last_refill_tick, 0u);
+}
+
+// --------------------------------------------- deny histogram flushing
+
+TEST(AdmissionController, FlushMetricsTwiceRecordsEachDenyOnce) {
+  obs::set_metrics_enabled(true);
+  obs::Registry::instance().reset();
+  AdmissionOptions options;
+  options.reuse_budget = 1;
+  AdmissionController controller{options};
+  obs::Histogram& denies = obs::Registry::instance().histogram(
+      "service.admission_denies_per_device", {});
+
+  EXPECT_EQ(controller.admit(1, 42), Admission::kAdmit);
+  EXPECT_EQ(controller.admit(1, 42), Admission::kAdmit);            // repeat 1
+  EXPECT_EQ(controller.admit(1, 42), Admission::kBudgetExhausted);  // deny 1
+
+  controller.flush_metrics();
+  EXPECT_EQ(denies.count(), 1u);
+  EXPECT_DOUBLE_EQ(denies.sum(), 1.0);
+
+  // The regression this pins: a second flush with no new denies must not
+  // re-record the device's lifetime count (the old behavior double-counted
+  // every checkpoint-then-shutdown flush pair).
+  controller.flush_metrics();
+  EXPECT_EQ(denies.count(), 1u);
+  EXPECT_DOUBLE_EQ(denies.sum(), 1.0);
+
+  // New denies after a flush record only the delta...
+  EXPECT_EQ(controller.admit(1, 42), Admission::kBudgetExhausted);
+  EXPECT_EQ(controller.admit(1, 42), Admission::kBudgetExhausted);
+  controller.flush_metrics();
+  EXPECT_EQ(denies.count(), 2u);
+  EXPECT_DOUBLE_EQ(denies.sum(), 3.0);
+
+  // ...and a flush-then-evict sequence still counts each deny exactly once.
+  controller.flush_metrics();
+  EXPECT_EQ(denies.count(), 2u);
+  EXPECT_DOUBLE_EQ(denies.sum(), 3.0);
+  obs::set_metrics_enabled(false);
+}
+
+TEST(AdmissionController, DenyHistogramBucketsCoverThePowerOfTwoLadder) {
+  // The bucket ladder must be complete powers of two through 1024: a
+  // missing bucket (512 was absent once) silently merges two abuse classes.
+  AdmissionController controller{AdmissionOptions{}};  // registers the histogram
+  const obs::Histogram& denies = obs::Registry::instance().histogram(
+      "service.admission_denies_per_device", {});
+  const std::vector<double>& bounds = denies.upper_bounds();
+  for (std::uint64_t bound = 1; bound <= 1024; bound *= 2) {
+    EXPECT_NE(std::find(bounds.begin(), bounds.end(), static_cast<double>(bound)),
+              bounds.end())
+        << "missing bucket " << bound;
+  }
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+}
+
+// --------------------------------------------- detector penalties
+
+TEST(AdmissionPenalty, NeutralPenaltyReproducesStaticDecisions) {
+  AdmissionOptions options = rate_only(2, 4);
+  options.reuse_budget = 2;
+  AdmissionController with{options};
+  AdmissionController without{options};
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const std::uint64_t challenge = (i * 7) % 5;
+    EXPECT_EQ(with.admit(1, challenge, AdmissionPenalty{}),
+              without.admit(1, challenge));
+  }
+}
+
+TEST(AdmissionPenalty, IntervalFactorStretchesTheRefill) {
+  // burst 1, interval 2: after the burst token is spent, a neutral device
+  // refills on the second tick of elapsed clock; a factor-2 penalty makes
+  // the same device wait four ticks.
+  AdmissionPenalty slow;
+  slow.interval_factor = 2;
+
+  AdmissionController controller{rate_only(1, 2)};
+  EXPECT_EQ(controller.admit(1, 100, slow), Admission::kAdmit);        // tick 1
+  EXPECT_EQ(controller.admit(1, 101, slow), Admission::kRateLimited);  // tick 2
+  // Neutral would refill here (elapsed 2 >= interval 2); the penalized
+  // effective interval is 4, so still dry.
+  EXPECT_EQ(controller.admit(1, 102, slow), Admission::kRateLimited);  // tick 3
+  EXPECT_EQ(controller.admit(1, 103, slow), Admission::kRateLimited);  // tick 4
+  EXPECT_EQ(controller.admit(1, 104, slow), Admission::kAdmit);        // tick 5
+}
+
+TEST(AdmissionPenalty, SaturatedIntervalFreezesRefillsInsteadOfWrapping) {
+  // An absurd factor must clamp the effective interval at uint64 max (no
+  // refill ever), not wrap around into a fast one.
+  AdmissionPenalty frozen;
+  frozen.interval_factor = std::numeric_limits<std::uint64_t>::max();
+
+  AdmissionController controller{rate_only(1, 2)};
+  EXPECT_EQ(controller.admit(1, 100, frozen), Admission::kAdmit);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(controller.admit(1, 101 + i, frozen), Admission::kRateLimited);
+  }
+}
+
+TEST(AdmissionPenalty, ReuseShiftShrinksTheRepeatBudget) {
+  AdmissionOptions options;
+  options.reuse_budget = 4;
+  AdmissionController controller{options};
+  AdmissionPenalty halved;
+  halved.reuse_shift = 1;  // effective budget 2
+
+  EXPECT_EQ(controller.admit(1, 42, halved), Admission::kAdmit);  // fresh
+  EXPECT_EQ(controller.admit(1, 42, halved), Admission::kAdmit);  // repeat 1
+  EXPECT_EQ(controller.admit(1, 42, halved), Admission::kAdmit);  // repeat 2
+  EXPECT_EQ(controller.admit(1, 42, halved), Admission::kBudgetExhausted);
+  // The penalty acts per decision: back at neutral, the static budget of 4
+  // still has room (2 repeats used so far).
+  EXPECT_EQ(controller.admit(1, 42), Admission::kAdmit);  // repeat 3
+  EXPECT_EQ(controller.admit(1, 42), Admission::kAdmit);  // repeat 4
+  EXPECT_EQ(controller.admit(1, 42), Admission::kBudgetExhausted);
+}
+
+TEST(AdmissionPenalty, DeepShiftDeniesEveryRepeatButNeverFreshChallenges) {
+  // A shift >= 64 would be UB on the raw >> operator; the controller must
+  // treat it as a zero effective budget (deny all repeats) while fresh
+  // challenges keep flowing.
+  AdmissionOptions options;
+  options.reuse_budget = 8;
+  AdmissionController controller{options};
+  AdmissionPenalty deep;
+  deep.reuse_shift = 64;
+
+  EXPECT_EQ(controller.admit(1, 42, deep), Admission::kAdmit);  // fresh
+  EXPECT_EQ(controller.admit(1, 42, deep), Admission::kBudgetExhausted);
+  EXPECT_EQ(controller.admit(1, 43, deep), Admission::kAdmit);  // fresh
+  deep.reuse_shift = 200;
+  EXPECT_EQ(controller.admit(1, 43, deep), Admission::kBudgetExhausted);
+}
+
+TEST(AdmissionPenalty, ShiftNeverEnablesADisabledReuseCheck) {
+  // Static reuse_budget 0 means the check is off; a penalty must not turn
+  // "off" into "deny everything" for a device that was never suspicious
+  // under a configuration that never limited repeats.
+  AdmissionOptions options;
+  options.crp_budget = 8;  // enabled, but no reuse limit
+  AdmissionController controller{options};
+  AdmissionPenalty deep;
+  deep.reuse_shift = 64;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(controller.admit(1, 42, deep), Admission::kAdmit);
+  }
 }
 
 // --------------------------------------------- AuthService integration

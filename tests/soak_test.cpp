@@ -4,7 +4,12 @@
 // undefended one, legitimate availability stays >= 99% under attack, the
 // online verdict digest matches an offline admission-free verify_batch of
 // the admitted subsequence at thread budgets {1, 2, 8} (run_soak checks all
-// three internally), and the whole report replays bit-identically.
+// three internally), and the whole report replays bit-identically. The
+// stream-detector section pins the tentpole contract on top: with loose
+// static knobs the escalation ladder must widen the defended-vs-undefended
+// clone-accuracy gap strictly beyond static admission alone, catch the
+// evasive (decoy-interleaved) harvester too, never escalate a legitimate
+// prover, and keep per-config digest parity at shard counts {1, 2, 4}.
 #include "soak/soak.h"
 
 #include <gtest/gtest.h>
@@ -92,11 +97,111 @@ TEST(Soak, AdmissionMeasurablySlowsTheModelingAttackAtFullAvailability) {
   }
 }
 
+// --------------------------------------------- stream detector
+
+/// The detector soak contract shape (tools/ropuf_soak --require-detector and
+/// the CI smoke step pin the same knobs): static admission left loose enough
+/// to admit everything, so any defense that shows up is the detector's.
+SoakOptions detector_mode() {
+  SoakOptions options = short_mode();
+  options.fleet.pairs = 32;
+  options.service.admission.rate_interval = 2;
+  options.service.admission.crp_budget = 0;
+  options.service.admission.reuse_budget = 128;
+  options.service.detector.enabled = true;
+  return options;
+}
+
+TEST(Soak, DetectorWidensTheDefenseGapBeyondStaticAdmission) {
+  set_thread_budget_override(2);
+  const SoakOptions detected_options = detector_mode();
+  SoakOptions static_options = detected_options;
+  static_options.service.detector = service::DetectorOptions{};
+  SoakOptions undefended_options = static_options;
+  undefended_options.service.admission = service::AdmissionOptions{};
+
+  const SoakReport detected = run_soak(detected_options);
+  const SoakReport statik = run_soak(static_options);
+  const SoakReport undefended = run_soak(undefended_options);
+  set_thread_budget_override(0);
+
+  // The tentpole contract: with static knobs this loose the admission layer
+  // alone defends nothing, and the detector's escalation ladder must widen
+  // the defended-vs-undefended clone-accuracy gap strictly beyond it.
+  const double gap_detector = undefended.final_accuracy - detected.final_accuracy;
+  const double gap_static = undefended.final_accuracy - statik.final_accuracy;
+  EXPECT_GT(gap_detector, gap_static);
+  EXPECT_GT(gap_detector, 0.05);
+
+  // Detection must be traffic-shape-driven, not a tax on everyone: the
+  // target ends the run escalated, no legitimate prover ever does, and
+  // legitimate availability stays full in every run.
+  EXPECT_GT(detected.target_suspicion, 0u);
+  EXPECT_EQ(detected.max_legit_suspicion, 0u);
+  EXPECT_EQ(statik.target_suspicion, 0u);  // detector off: no ladder at all
+  EXPECT_GE(detected.availability, 0.99);
+  EXPECT_GE(statik.availability, 0.99);
+
+  // The throttle mechanics behind the gap: far fewer oracle probes land.
+  EXPECT_LT(detected.attacker_admitted, statik.attacker_admitted);
+  EXPECT_LT(detected.bits_recovered, statik.bits_recovered);
+
+  // Determinism: the detector never changes verdicts, so each run keeps
+  // online/offline digest parity of its admitted subsequence.
+  EXPECT_TRUE(detected.digest_parity);
+  EXPECT_TRUE(statik.digest_parity);
+  EXPECT_TRUE(undefended.digest_parity);
+}
+
+TEST(Soak, EvasiveHarvesterIsStillCaughtAndSlowed) {
+  set_thread_budget_override(2);
+  SoakOptions evasive_options = detector_mode();
+  evasive_options.attacker_decoys = 2;
+  const SoakReport evasive = run_soak(evasive_options);
+  set_thread_budget_override(0);
+
+  // Decoy interleaving dilutes any consecutive-run rule; the window-count
+  // signatures must still escalate the target all the way while no legit
+  // prover pays for it.
+  EXPECT_GT(evasive.attacker_decoys, 0u);
+  EXPECT_GT(evasive.target_suspicion, 0u);
+  EXPECT_EQ(evasive.max_legit_suspicion, 0u);
+  EXPECT_GE(evasive.availability, 0.99);
+  EXPECT_TRUE(evasive.digest_parity);
+  // Evasion spends the attacker's own probe budget on decoys, so the
+  // harvest shrinks even further than the detected plain attack.
+  EXPECT_LT(evasive.bits_recovered, 16u);
+}
+
+TEST(Soak, DetectorDigestParityHoldsAtEveryShardCount) {
+  // Each sharded configuration must keep online/offline digest parity of
+  // its own admitted subsequence (run_soak re-verifies at thread budgets
+  // {1, 2, 8} internally). Cross-shard digest equality is *not* asserted:
+  // per-slice admission clocks make the admitted subsequence a function of
+  // the shard count by design.
+  set_thread_budget_override(2);
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    SoakOptions options = detector_mode();
+    options.slots = 8;
+    options.checkpoints = 2;
+    options.server.shards = shards;
+    options.service.admission_shards = shards;
+    const SoakReport report = run_soak(options);
+    EXPECT_TRUE(report.digest_parity) << "shards=" << shards;
+    EXPECT_GT(report.target_suspicion, 0u) << "shards=" << shards;
+    EXPECT_EQ(report.max_legit_suspicion, 0u) << "shards=" << shards;
+    EXPECT_GE(report.availability, 0.99) << "shards=" << shards;
+  }
+  set_thread_budget_override(0);
+}
+
 TEST(Soak, SameOptionsReplayTheSameReport) {
   set_thread_budget_override(2);
   SoakOptions options = short_mode();
   options.slots = 8;
   options.checkpoints = 2;
+  options.service.detector.enabled = true;
+  options.attacker_decoys = 1;
   const SoakReport first = run_soak(options);
   const SoakReport second = run_soak(options);
   set_thread_budget_override(0);
@@ -113,6 +218,9 @@ TEST(Soak, SameOptionsReplayTheSameReport) {
   EXPECT_EQ(first.challenges_recovered, second.challenges_recovered);
   EXPECT_DOUBLE_EQ(first.final_accuracy, second.final_accuracy);
   EXPECT_EQ(first.target_device, second.target_device);
+  EXPECT_EQ(first.attacker_decoys, second.attacker_decoys);
+  EXPECT_EQ(first.target_suspicion, second.target_suspicion);
+  EXPECT_EQ(first.max_legit_suspicion, second.max_legit_suspicion);
 }
 
 }  // namespace

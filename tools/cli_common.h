@@ -163,9 +163,19 @@ inline std::uint64_t count_arg(const Args& args, const std::string& key,
   return static_cast<std::uint64_t>(value);
 }
 
+/// Strict on|off option.
+inline bool switch_arg(const Args& args, const std::string& key, bool fallback) {
+  const std::string value = args.get(key, fallback ? "on" : "off");
+  ROPUF_REQUIRE(value == "on" || value == "off", "--" + key + " must be on|off");
+  return value == "on";
+}
+
 /// Shared --bits/--max-hd/--cache handling for the verification commands,
 /// plus the admission knobs (--rate-burst/--rate-interval/--crp-budget/
-/// --reuse-budget, all default 0 = off; see service/admission.h).
+/// --reuse-budget, all default 0 = off; see service/admission.h) and the
+/// stream-detector knobs (--detector on|off and --detector-* tuning; see
+/// service/detector.h — suspicion escalates the admission penalties, so the
+/// detector only bites when admission knobs are configured too).
 inline service::AuthServiceOptions auth_options_from_args(const Args& args) {
   service::AuthServiceOptions opts;
   opts.response_bits = static_cast<std::size_t>(args.number("bits", 16));
@@ -181,6 +191,16 @@ inline service::AuthServiceOptions auth_options_from_args(const Args& args) {
       static_cast<std::size_t>(count_arg(args, "challenge-sketch", 64));
   opts.admission.device_capacity =
       static_cast<std::size_t>(count_arg(args, "admission-devices", 4096));
+  opts.detector.enabled = switch_arg(args, "detector", false);
+  opts.detector.window =
+      static_cast<std::size_t>(count_arg(args, "detector-window", 32));
+  opts.detector.escalate_threshold =
+      static_cast<std::uint32_t>(count_arg(args, "detector-threshold", 8));
+  opts.detector.max_level =
+      static_cast<std::uint32_t>(count_arg(args, "detector-max-level", 4));
+  opts.detector.decay_window = count_arg(args, "detector-decay", 64);
+  opts.detector.device_capacity =
+      static_cast<std::size_t>(count_arg(args, "detector-devices", 4096));
   opts.reenroll.fail_threshold =
       static_cast<std::size_t>(count_arg(args, "reenroll-threshold", 0));
   return opts;

@@ -686,7 +686,10 @@ int usage() {
                "          [--fault-rate R] [--fault-seed S]\n"
                "          [--rate-burst N --rate-interval T] [--crp-budget N]\n"
                "          [--reuse-budget N] [--challenge-sketch N]\n"
-               "          [--admission-devices N] [--protocol 1|2]\n"
+               "          [--admission-devices N] [--detector on|off]\n"
+               "          [--detector-window N] [--detector-threshold N]\n"
+               "          [--detector-max-level N] [--detector-decay N]\n"
+               "          [--detector-devices N] [--protocol 1|2]\n"
                "  auth-client --port P [--host A] [--window W] [--protocol 1|2]\n"
                "          [--registry F | --devices N --seed S ...] [--requests N]\n"
                "          [--bits B] [--max-hd D] [--flip-rate R] [--forge-rate R]\n"

@@ -13,6 +13,9 @@
 //               [--rate-burst N --rate-interval T] [--crp-budget N]
 //               [--reuse-budget N] [--challenge-sketch N]
 //               [--admission-devices N] [--reenroll-threshold N]
+//               [--detector on|off] [--detector-window N]
+//               [--detector-threshold N] [--detector-max-level N]
+//               [--detector-decay N] [--detector-devices N]
 //               [--threads N]
 //               [--shards N] [--dispatch auto|reuseport|roundrobin]
 //               [--max-connections N] [--max-pending N] [--max-batch N]
@@ -189,6 +192,9 @@ int usage() {
                "                   [--rate-burst N --rate-interval T]\n"
                "                   [--crp-budget N] [--reuse-budget N]\n"
                "                   [--challenge-sketch N] [--admission-devices N]\n"
+               "                   [--detector on|off] [--detector-window N]\n"
+               "                   [--detector-threshold N] [--detector-max-level N]\n"
+               "                   [--detector-decay N] [--detector-devices N]\n"
                "                   [--reenroll-threshold N]\n"
                "                   [--shards N] [--dispatch auto|reuseport|roundrobin]\n"
                "                   [--max-connections N] [--max-pending N]\n"

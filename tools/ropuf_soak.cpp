@@ -12,9 +12,13 @@
 //              [--bits B] [--max-hd D] [--cache C] [--unknown-cache C]
 //              [--rate-burst N --rate-interval T] [--crp-budget N]
 //              [--reuse-budget N] [--challenge-sketch N] [--admission-devices N]
+//              [--detector on|off] [--detector-window N] [--detector-threshold N]
+//              [--detector-max-level N] [--detector-decay N] [--detector-devices N]
+//              [--attacker-decoys N]
 //              [--slots N] [--burst N] [--probes N] [--checkpoints N]
 //              [--eval-challenges N] [--protocol 1|2] [--compare on|off]
-//              [--require-defense on|off] [--shards N] [--threads N]
+//              [--require-defense on|off] [--require-detector on|off]
+//              [--shards N] [--threads N]
 //              [--metrics-out F.json] [--trace-out F.json]
 //
 // --compare on runs the identical soak twice — admission as configured,
@@ -23,6 +27,12 @@
 // defended run measurably beats the undefended one while legitimate
 // availability stays >= 99% and online/offline digests agree — the CI
 // smoke contract.
+// --require-detector on runs the soak three ways — detector + admission,
+// static admission alone, undefended — and exits nonzero unless the
+// detector strictly widens the clone-accuracy gap over static admission at
+// >= 99% availability with digest parity, the attacked device escalated,
+// and no legitimate prover did. --attacker-decoys N arms the evasive
+// low-and-slow harvester for any of these modes.
 #include <cstdio>
 
 #include "cli_common.h"
@@ -45,6 +55,8 @@ soak::SoakOptions soak_options_from_args(const Args& args) {
   options.burst_requests = static_cast<std::size_t>(count_arg(args, "burst", 8));
   options.attacker_probes_per_slot =
       static_cast<std::size_t>(count_arg(args, "probes", 8));
+  options.attacker_decoys =
+      static_cast<std::size_t>(count_arg(args, "attacker-decoys", 0));
   options.checkpoints = static_cast<std::size_t>(count_arg(args, "checkpoints", 8));
   options.eval_challenges =
       static_cast<std::size_t>(count_arg(args, "eval-challenges", 64));
@@ -79,6 +91,13 @@ void print_report(const char* label, const soak::SoakReport& report) {
               report.attacker_deferred, report.attacker_abandoned);
   std::printf("  harvested          %zu bits over %zu challenges\n",
               report.bits_recovered, report.challenges_recovered);
+  if (report.attacker_decoys > 0) {
+    std::printf("  attacker decoys    %zu\n", report.attacker_decoys);
+  }
+  if (report.target_suspicion > 0 || report.max_legit_suspicion > 0) {
+    std::printf("  suspicion          target level %u, worst legit level %u\n",
+                report.target_suspicion, report.max_legit_suspicion);
+  }
   if (report.replay_probes > 0) {
     std::printf("  replays rejected   %zu/%zu\n", report.replay_rejected,
                 report.replay_probes);
@@ -93,15 +112,66 @@ void print_report(const char* label, const soak::SoakReport& report) {
 
 int run(const Args& args) {
   const bool require_defense = args.get("require-defense", "off") == "on";
+  const bool require_detector = args.get("require-detector", "off") == "on";
   const bool compare = require_defense || args.get("compare", "off") == "on";
 
   const soak::SoakOptions defended = soak_options_from_args(args);
   std::printf("soak: %zu devices, %zu slots x (%zu probes + %zu legit), "
-              "protocol v%u, admission %s\n",
+              "protocol v%u, admission %s, detector %s\n",
               defended.fleet.devices, defended.slots,
               defended.attacker_probes_per_slot, defended.burst_requests,
               defended.protocol,
-              defended.service.admission.enabled() ? "on" : "off");
+              defended.service.admission.enabled() ? "on" : "off",
+              defended.service.detector.enabled ? "on" : "off");
+
+  if (require_detector) {
+    // The detector contract is a three-way comparison: the detector must
+    // widen the defended-vs-undefended clone-accuracy gap *beyond* what the
+    // same static admission knobs buy alone, at equal (>= 99%) legitimate
+    // availability — adaptive escalation has to pay for itself.
+    ROPUF_REQUIRE(defended.protocol == net::kWireVersion,
+                  "--require-detector is a v1 (CRP wire) contract; v2 has no "
+                  "distance oracle to detect");
+    ROPUF_REQUIRE(defended.service.admission.enabled(),
+                  "--require-detector needs admission knobs configured");
+    ROPUF_REQUIRE(defended.service.detector.enabled,
+                  "--require-detector needs --detector on");
+
+    const soak::SoakReport detected = soak::run_soak(defended);
+    print_report("detector", detected);
+
+    soak::SoakOptions static_only = defended;
+    static_only.service.detector.enabled = false;
+    const soak::SoakReport statics = soak::run_soak(static_only);
+    print_report("static admission", statics);
+
+    soak::SoakOptions undefended = defended;
+    undefended.service.admission = service::AdmissionOptions{};
+    undefended.service.detector.enabled = false;
+    const soak::SoakReport baseline = soak::run_soak(undefended);
+    print_report("undefended", baseline);
+
+    const double gap_detector = baseline.final_accuracy - detected.final_accuracy;
+    const double gap_static = baseline.final_accuracy - statics.final_accuracy;
+    std::printf("defense gaps: detector %.4f vs static %.4f "
+                "(undefended %.4f, static %.4f, detector %.4f)\n",
+                gap_detector, gap_static, baseline.final_accuracy,
+                statics.final_accuracy, detected.final_accuracy);
+
+    ROPUF_REQUIRE(gap_detector > gap_static,
+                  "the detector did not widen the clone-accuracy gap beyond "
+                  "static admission alone");
+    ROPUF_REQUIRE(detected.availability >= 0.99 && statics.availability >= 0.99,
+                  "legitimate availability under attack fell below 99%");
+    ROPUF_REQUIRE(detected.digest_parity && statics.digest_parity &&
+                      baseline.digest_parity,
+                  "online/offline verdict digest mismatch");
+    ROPUF_REQUIRE(detected.target_suspicion > 0,
+                  "the detector never escalated the attacking device");
+    ROPUF_REQUIRE(detected.max_legit_suspicion == 0,
+                  "a legitimate prover was escalated (false positive)");
+    return 0;
+  }
 
   const soak::SoakReport report = soak::run_soak(defended);
 
@@ -160,10 +230,15 @@ int usage() {
                "                  [--rate-burst N --rate-interval T]\n"
                "                  [--crp-budget N] [--reuse-budget N]\n"
                "                  [--challenge-sketch N] [--admission-devices N]\n"
+               "                  [--detector on|off] [--detector-window N]\n"
+               "                  [--detector-threshold N] [--detector-max-level N]\n"
+               "                  [--detector-decay N] [--detector-devices N]\n"
+               "                  [--attacker-decoys N]\n"
                "                  [--slots N] [--burst N] [--probes N]\n"
                "                  [--checkpoints N] [--eval-challenges N]\n"
                "                  [--soak-seed S] [--protocol 1|2] [--compare on|off]\n"
-               "                  [--require-defense on|off] [--shards N] [--threads N]\n"
+               "                  [--require-defense on|off] [--require-detector on|off]\n"
+               "                  [--shards N] [--threads N]\n"
                "                  [--metrics-out F.json] [--trace-out F.json]\n"
                "closed-loop attack soak against the real loopback server;\n"
                "see docs/attack_soak.md.\n");
